@@ -1,0 +1,100 @@
+//! Paper-figure regeneration as criterion benchmarks.
+//!
+//! Each benchmark runs one measured point of a paper table/figure at
+//! reduced workload scale and asserts its normalized performance lands
+//! in the right regime, so `cargo bench` both times the harness and
+//! sanity-checks the reproduction. The printable tables come from the
+//! `fig2_cpu`/`fig3_io`/`fig4_comm`/`table1` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvft_bench::{measure_cpu_np, measure_io_np, Scale};
+use hvft_core::config::ProtocolVariant;
+use hvft_guest::IoMode;
+use hvft_net::link::LinkSpec;
+use std::hint::black_box;
+
+fn bench_fig2_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("cpu_np_el4096_old", |b| {
+        b.iter(|| {
+            let m = measure_cpu_np(
+                4096,
+                ProtocolVariant::Old,
+                LinkSpec::ethernet_10mbps(),
+                Scale::Tiny,
+            );
+            // Paper: 6.50.
+            assert!((4.0..9.0).contains(&m.np), "NP out of regime: {}", m.np);
+            black_box(m.np)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("write_np_el4096_old", |b| {
+        b.iter(|| {
+            let m = measure_io_np(
+                4096,
+                IoMode::Write,
+                ProtocolVariant::Old,
+                LinkSpec::ethernet_10mbps(),
+                Scale::Tiny,
+            );
+            // Paper: 1.67.
+            assert!((1.4..2.0).contains(&m.np), "NP out of regime: {}", m.np);
+            black_box(m.np)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table1_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("cpu_np_el4096_new", |b| {
+        b.iter(|| {
+            let m = measure_cpu_np(
+                4096,
+                ProtocolVariant::New,
+                LinkSpec::ethernet_10mbps(),
+                Scale::Tiny,
+            );
+            // Paper: 3.21.
+            assert!((2.2..4.5).contains(&m.np), "NP out of regime: {}", m.np);
+            black_box(m.np)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("cpu_np_el32768_atm", |b| {
+        b.iter(|| {
+            let m = measure_cpu_np(
+                32_768,
+                ProtocolVariant::Old,
+                LinkSpec::atm_155mbps(),
+                Scale::Tiny,
+            );
+            // Paper model: 1.66.
+            assert!((1.4..2.0).contains(&m.np), "NP out of regime: {}", m.np);
+            black_box(m.np)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig2_point,
+    bench_fig3_point,
+    bench_table1_point,
+    bench_fig4_point
+);
+criterion_main!(benches);

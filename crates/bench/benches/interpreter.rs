@@ -1,0 +1,100 @@
+//! Substrate microbenchmarks: interpreter, assembler, channel, TLB.
+//!
+//! These measure the *simulator's* wall-clock performance (not simulated
+//! time): how fast the virtual machine executes guest instructions, how
+//! fast the assembler builds images, and the cost of the coordination
+//! primitives. They bound how long the paper-reproduction harnesses take.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+use hvft_hypervisor::bare::BareHost;
+use hvft_hypervisor::cost::CostModel;
+use hvft_machine::tlb::{pte, Tlb, TlbAccess, TlbReplacement};
+use hvft_net::channel::Channel;
+use hvft_net::link::LinkSpec;
+use hvft_sim::time::SimTime;
+use std::hint::black_box;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let image = build_image(&KernelConfig::default(), &dhrystone_source(5_000, 0)).unwrap();
+    let mut g = c.benchmark_group("interpreter");
+    // Count the guest instructions one bare run retires.
+    let mut probe = BareHost::new(
+        &image,
+        CostModel::hp9000_720(),
+        hvft_guest::layout::RAM_BYTES,
+        16,
+        0,
+    );
+    let retired = probe.run(100_000_000).retired;
+    g.throughput(Throughput::Elements(retired));
+    g.sample_size(20);
+    g.bench_function("bare_dhrystone_5k_iters", |b| {
+        b.iter(|| {
+            let mut host = BareHost::new(
+                &image,
+                CostModel::hp9000_720(),
+                hvft_guest::layout::RAM_BYTES,
+                16,
+                0,
+            );
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    g.finish();
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    let src = hvft_guest::kernel_source(&KernelConfig::default());
+    let mut g = c.benchmark_group("assembler");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_function("assemble_kernel", |b| {
+        b.iter(|| black_box(hvft_isa::asm::assemble(black_box(&src)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    c.bench_function("channel_send_pop", |b| {
+        b.iter(|| {
+            let mut ch: Channel<u64> = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+            let mut t = SimTime::ZERO;
+            for i in 0..100u64 {
+                if let Some(d) = ch.send(t, 64, i) {
+                    t = d;
+                }
+            }
+            let mut got = 0;
+            while ch
+                .pop_ready(SimTime::MAX - hvft_sim::time::SimDuration::from_secs(1))
+                .is_some()
+            {
+                got += 1;
+            }
+            black_box(got)
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_lookup_hit", |b| {
+        let mut tlb = Tlb::new(64, TlbReplacement::RoundRobin, 0);
+        for vpn in 0..64 {
+            tlb.insert_pte(vpn << 12, (vpn << 12) | pte::V | pte::R | pte::W | pte::X);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(tlb.lookup(i << 12, TlbAccess::Read, false))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_assembler,
+    bench_channel,
+    bench_tlb
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Protocol-level benchmarks: full replicated runs at several epoch
+//! lengths and under both protocol variants, at reduced workload scale.
+//!
+//! Each iteration runs an entire two-replica simulation to completion;
+//! the criterion time is simulator wall time (the simulated-time results
+//! are what the `fig*`/`table1` binaries report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hvft_core::config::{FtConfig, ProtocolVariant};
+use hvft_core::system::FtSystem;
+use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+use std::hint::black_box;
+
+fn image() -> hvft_isa::program::Program {
+    build_image(
+        &KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 10,
+            ..KernelConfig::default()
+        },
+        &dhrystone_source(5_000, 0),
+    )
+    .unwrap()
+}
+
+fn bench_ft_run(c: &mut Criterion) {
+    let img = image();
+    let mut g = c.benchmark_group("ft_run");
+    g.sample_size(10);
+    for el in [1024u32, 4096, 16384] {
+        for (name, protocol) in [("old", ProtocolVariant::Old), ("new", ProtocolVariant::New)] {
+            g.bench_with_input(
+                BenchmarkId::new(name, el),
+                &(el, protocol),
+                |b, &(el, protocol)| {
+                    b.iter(|| {
+                        let mut cfg = FtConfig {
+                            protocol,
+                            lockstep_check: false,
+                            ..FtConfig::default()
+                        };
+                        cfg.hv.epoch_len = el;
+                        let mut sys = FtSystem::new(&img, cfg);
+                        black_box(sys.run().completion_time)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_lockstep_hashing(c: &mut Criterion) {
+    let img = image();
+    let mut g = c.benchmark_group("lockstep");
+    g.sample_size(10);
+    for (name, check) in [("hashing_on", true), ("hashing_off", false)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = FtConfig {
+                    lockstep_check: check,
+                    ..FtConfig::default()
+                };
+                cfg.hv.epoch_len = 4096;
+                let mut sys = FtSystem::new(&img, cfg);
+                black_box(sys.run().lockstep.compared())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ft_run, bench_lockstep_hashing);
+criterion_main!(benches);

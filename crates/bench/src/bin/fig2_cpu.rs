@@ -1,0 +1,77 @@
+//! Figure 2: CPU-intensive workload — measured and predicted normalized
+//! performance versus epoch length.
+//!
+//! ```text
+//! cargo run --release -p hvft-bench --bin fig2_cpu [--full] [--micro]
+//! ```
+
+use hvft_bench::{measure_cpu_np, Scale, CURVE_ELS};
+use hvft_core::config::ProtocolVariant;
+use hvft_model::cpu::NpcModel;
+use hvft_net::link::LinkSpec;
+
+/// Paper's Figure 2 values for comparison.
+fn paper_measured(el: u32) -> Option<f64> {
+    match el {
+        1024 => Some(22.24),
+        2048 => Some(11.83),
+        4096 => Some(6.50),
+        8192 => Some(3.83),
+        _ => None,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let micro = std::env::args().any(|a| a == "--micro");
+    let paper_model = NpcModel::paper();
+
+    println!("== Figure 2: CPU-intensive workload, original protocol ==");
+    println!("(workload scale: {scale:?}; NP = FT time / bare time)\n");
+    println!("| EL (insns) | NP measured (sim) | NP paper measured | NPC(EL) paper model |");
+    println!("|-----------:|------------------:|------------------:|--------------------:|");
+
+    let mut measured = Vec::new();
+    for el in CURVE_ELS {
+        let m = measure_cpu_np(el, ProtocolVariant::Old, LinkSpec::ethernet_10mbps(), scale);
+        let paper = paper_measured(el).map_or("-".to_owned(), |v| format!("{v:.2}"));
+        println!(
+            "| {:>10} | {:>17.2} | {:>17} | {:>19.2} |",
+            el,
+            m.np,
+            paper,
+            paper_model.np(el as u64)
+        );
+        measured.push(m);
+    }
+
+    // The paper's practical endpoint: HP-UX bounds epochs at 385 000
+    // instructions, where the model predicts 1.24.
+    let endpoint = measure_cpu_np(
+        385_000,
+        ProtocolVariant::Old,
+        LinkSpec::ethernet_10mbps(),
+        scale,
+    );
+    println!(
+        "| {:>10} | {:>17.2} | {:>17} | {:>19.2} |",
+        385_000,
+        endpoint.np,
+        "-",
+        paper_model.np(385_000)
+    );
+
+    if micro {
+        println!("\n== §4.1 microbenchmark counters (simulator) ==");
+        let m = &measured[2]; // EL = 4096 like the paper's detailed run
+        println!("bare runtime RT       : {}", m.bare);
+        println!("FT runtime N'         : {}", m.ft);
+        println!("instructions (VI)     : {}", m.retired);
+        println!("simulated insns (nsim): {}", m.nsim);
+        println!("epochs                : {}", m.epochs);
+        println!(
+            "nsim/VI               : 1 per {:.0} instructions (paper: 1 per ~4000)",
+            m.retired as f64 / m.nsim as f64
+        );
+    }
+}

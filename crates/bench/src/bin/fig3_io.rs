@@ -1,0 +1,77 @@
+//! Figure 3: the disk read and write workloads — measured and predicted
+//! normalized performance versus epoch length.
+//!
+//! ```text
+//! cargo run --release -p hvft-bench --bin fig3_io [--full] [--micro]
+//! ```
+
+use hvft_bench::{bare_disk_op_time, measure_io_np, Scale, CURVE_ELS};
+use hvft_core::config::ProtocolVariant;
+use hvft_guest::IoMode;
+use hvft_model::io::NpIoModel;
+use hvft_net::link::LinkSpec;
+
+fn paper_measured(mode: IoMode, el: u32) -> Option<f64> {
+    match (mode, el) {
+        (IoMode::Write, 1024) => Some(1.87),
+        (IoMode::Write, 2048) => Some(1.71),
+        (IoMode::Write, 4096) => Some(1.67),
+        (IoMode::Write, 8192) => Some(1.64),
+        (IoMode::Read, 1024) => Some(2.32),
+        (IoMode::Read, 2048) => Some(2.10),
+        (IoMode::Read, 4096) => Some(2.03),
+        (IoMode::Read, 8192) => Some(1.98),
+        _ => None,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let micro = std::env::args().any(|a| a == "--micro");
+    let link = LinkSpec::ethernet_10mbps();
+
+    for (mode, model) in [
+        (IoMode::Write, NpIoModel::paper_write()),
+        (IoMode::Read, NpIoModel::paper_read()),
+    ] {
+        let label = match mode {
+            IoMode::Write => "Disk Write",
+            IoMode::Read => "Disk Read",
+        };
+        println!("== Figure 3: {label} workload, original protocol ==");
+        println!("(workload scale: {scale:?})\n");
+        println!("| EL (insns) | NP measured (sim) | NP paper measured | model paper |");
+        println!("|-----------:|------------------:|------------------:|------------:|");
+        let mut at_4k = None;
+        for el in CURVE_ELS {
+            let m = measure_io_np(el, mode, ProtocolVariant::Old, link, scale);
+            let paper = paper_measured(mode, el).map_or("-".to_owned(), |v| format!("{v:.2}"));
+            println!(
+                "| {:>10} | {:>17.2} | {:>17} | {:>11.2} |",
+                el,
+                m.np,
+                paper,
+                model.np(el as u64)
+            );
+            if el == 4096 {
+                at_4k = Some(m);
+            }
+        }
+        println!();
+
+        if micro {
+            let m = at_4k.expect("4K point measured");
+            let bare_op = bare_disk_op_time(mode);
+            let (paper_bare, paper_ft) = match mode {
+                IoMode::Write => (26.0, 27.8),
+                IoMode::Read => (24.2, 33.4),
+            };
+            println!("== §4.2 microbenchmark: per-operation latency at EL = 4096 ==");
+            println!("bare {label} op        : {bare_op}   (paper: {paper_bare} ms)");
+            if let Some(lat) = m.ft_op_latency {
+                println!("FT   {label} op        : {lat}   (paper: {paper_ft} ms)");
+            }
+            println!();
+        }
+    }
+}

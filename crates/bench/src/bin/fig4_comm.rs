@@ -1,0 +1,41 @@
+//! Figure 4: faster replica coordination — normalized performance of the
+//! CPU-intensive workload over 10 Mbps Ethernet versus 155 Mbps ATM.
+//!
+//! Unlike the paper, which only *predicted* the ATM curve, the simulator
+//! can also measure it: we run the same workload over both link models.
+//!
+//! ```text
+//! cargo run --release -p hvft-bench --bin fig4_comm [--full]
+//! ```
+
+use hvft_bench::{measure_cpu_np, Scale, CURVE_ELS};
+use hvft_core::config::ProtocolVariant;
+use hvft_model::comm::predict_fig4;
+use hvft_net::link::LinkSpec;
+
+fn main() {
+    let scale = Scale::from_args();
+    let els: Vec<u64> = CURVE_ELS.iter().map(|&e| e as u64).collect();
+    let predicted = predict_fig4(&els);
+
+    println!("== Figure 4: faster communication (CPU workload, original protocol) ==");
+    println!("(workload scale: {scale:?})\n");
+    println!("| EL (insns) | Ethernet measured | ATM measured | Ethernet paper model | ATM paper model |");
+    println!("|-----------:|------------------:|-------------:|---------------------:|----------------:|");
+    for (i, el) in CURVE_ELS.iter().enumerate() {
+        let eth = measure_cpu_np(
+            *el,
+            ProtocolVariant::Old,
+            LinkSpec::ethernet_10mbps(),
+            scale,
+        );
+        let atm = measure_cpu_np(*el, ProtocolVariant::Old, LinkSpec::atm_155mbps(), scale);
+        let (_, p_eth, p_atm) = predicted[i];
+        println!(
+            "| {:>10} | {:>17.2} | {:>12.2} | {:>20.2} | {:>15.2} |",
+            el, eth.np, atm.np, p_eth, p_atm
+        );
+    }
+    // The paper's comparison point: EL = 32 768, 1.84 vs 1.66.
+    println!("\n(paper at EL = 32768: Ethernet 1.84, ATM 1.66)");
+}

@@ -1,0 +1,333 @@
+//! The `t`-fault-tolerant generalization.
+//!
+//! §2 of the paper: "Our protocols are for a single backup, so we
+//! implement a 1-fault-tolerant virtual machine; generalization to
+//! t-fault-tolerant virtual machines is straightforward." This module
+//! implements that generalization as an epoch-synchronous replica chain:
+//! one primary plus `t` ordered backups, all executing identical
+//! instruction streams; when the current primary failstops, the next
+//! live replica in the chain promotes itself, up to `t` times.
+//!
+//! Compared to [`crate::system::FtSystem`] (which models the full
+//! two-processor prototype with real link timing, the shared disk, and
+//! the asynchronous DES), the chain is a *protocol-level* demonstrator:
+//! replicas advance in lockstep rounds of one epoch, the coordination
+//! messages are abstracted to their information content, and the
+//! environment is the console plus timer. That is exactly the part the
+//! paper calls straightforward — and this module proves it by running
+//! `t + 1` replicas through arbitrary failure schedules and checking
+//! that states stay identical and the survivor finishes the workload
+//! with the reference result.
+
+use hvft_hypervisor::cost::CostModel;
+use hvft_hypervisor::hvguest::{HvConfig, HvEvent, HvGuest};
+use hvft_isa::program::Program;
+use hvft_machine::mem::IO_BASE;
+use hvft_machine::trap::irq;
+use hvft_sim::time::SimDuration;
+
+/// Why a chain run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChainEnd {
+    /// The workload exited with this code on the acting primary.
+    Exit {
+        /// Guest exit code.
+        code: u32,
+    },
+    /// More processors failed than the chain tolerates (> t).
+    Exhausted,
+    /// Replicas diverged at an epoch boundary (protocol violation).
+    Diverged {
+        /// The epoch at whose boundary hashes differed.
+        epoch: u64,
+    },
+    /// The epoch budget ran out (guard).
+    EpochLimit,
+}
+
+/// Result of a chain run.
+#[derive(Clone, Debug)]
+pub struct ChainResult {
+    /// Outcome.
+    pub end: ChainEnd,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Number of primaries that failstopped during the run.
+    pub failures: usize,
+    /// Console bytes, tagged with the replica that (as acting primary)
+    /// emitted them.
+    pub console: Vec<(usize, u8)>,
+}
+
+/// A `t`-fault-tolerant virtual machine: primary + `t` ordered backups.
+pub struct TChain {
+    replicas: Vec<Option<HvGuest>>,
+    /// Index of the acting primary (first live replica).
+    head: usize,
+    epoch: u64,
+    console: Vec<(usize, u8)>,
+}
+
+impl TChain {
+    /// Boots `t + 1` replicas of `image`. Each replica's machine gets a
+    /// different TLB seed — as in the two-replica system, hardware
+    /// non-determinism must be survivable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` (a chain needs at least one backup).
+    pub fn new(image: &Program, t: usize, cost: CostModel, hv: HvConfig) -> Self {
+        assert!(t >= 1, "a t-fault-tolerant chain needs t >= 1");
+        let replicas = (0..=t)
+            .map(|i| {
+                let mut cfg = hv;
+                cfg.tlb_seed = hv.tlb_seed.wrapping_add(1 + i as u64);
+                Some(HvGuest::new(image, cost, cfg))
+            })
+            .collect();
+        TChain {
+            replicas,
+            head: 0,
+            epoch: 0,
+            console: Vec::new(),
+        }
+    }
+
+    /// Number of live replicas.
+    pub fn live(&self) -> usize {
+        self.replicas.iter().flatten().count()
+    }
+
+    /// Failstops the acting primary; the next live replica promotes.
+    /// Returns `false` if no replica is left to promote.
+    pub fn fail_primary(&mut self) -> bool {
+        self.replicas[self.head] = None;
+        match self.replicas.iter().position(Option::is_some) {
+            Some(next) => {
+                self.head = next;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs every live replica through one epoch (or to workload exit).
+    ///
+    /// Returns `Some(end)` when the run is over.
+    fn step_epoch(&mut self, budget: SimDuration) -> Option<ChainEnd> {
+        let mut exit_code: Option<u32> = None;
+        let mut hashes: Vec<(usize, u64)> = Vec::new();
+        let head = self.head;
+        for i in 0..self.replicas.len() {
+            let is_primary = i == head;
+            let Some(guest) = self.replicas[i].as_mut() else {
+                continue;
+            };
+            loop {
+                match guest.run(budget) {
+                    HvEvent::EpochEnd => {
+                        hashes.push((i, guest.state_hash()));
+                        // Interval-timer interrupts are generated from the
+                        // (shared, deterministic) virtual clock — the
+                        // generalization of the [Tme] synchronization.
+                        let retired = guest.cpu.retired();
+                        if guest.vclock.take_expired_timer(retired) {
+                            guest.assert_irq(irq::TIMER);
+                        }
+                        guest.begin_epoch();
+                        break;
+                    }
+                    HvEvent::MmioRead { paddr } => {
+                        let v = match paddr.wrapping_sub(IO_BASE) {
+                            hvft_devices::mmio::CONSOLE_REG_STATUS => 1,
+                            _ => 0,
+                        };
+                        guest.finish_mmio_read(v);
+                    }
+                    HvEvent::MmioWrite { paddr, value } => {
+                        // Output suppression at backups, exactly as in the
+                        // two-replica system.
+                        if is_primary
+                            && paddr.wrapping_sub(IO_BASE) == hvft_devices::mmio::CONSOLE_REG_TX
+                        {
+                            self.console.push((i, value as u8));
+                        }
+                        guest.finish_mmio_write();
+                    }
+                    HvEvent::Diag { value, code } => {
+                        if code == hvft_guest::layout::diag::EXIT {
+                            if is_primary {
+                                exit_code = Some(value);
+                            }
+                            break;
+                        }
+                    }
+                    HvEvent::Halted => break,
+                    HvEvent::BudgetExhausted => return Some(ChainEnd::EpochLimit),
+                    HvEvent::Idle => return Some(ChainEnd::EpochLimit),
+                }
+            }
+        }
+        self.epoch += 1;
+        // Lockstep check across every live replica.
+        if let Some(&(_, first)) = hashes.first() {
+            if hashes.iter().any(|&(_, h)| h != first) {
+                return Some(ChainEnd::Diverged { epoch: self.epoch });
+            }
+        }
+        exit_code.map(|code| ChainEnd::Exit { code })
+    }
+
+    /// Runs to completion, failstopping the acting primary at each epoch
+    /// number listed in `failures_at` (ascending).
+    pub fn run(&mut self, failures_at: &[u64], max_epochs: u64) -> ChainResult {
+        let budget = SimDuration::from_secs(10);
+        let mut failures = 0;
+        let mut fail_iter = failures_at.iter().peekable();
+        loop {
+            if self.epoch >= max_epochs {
+                return self.result(ChainEnd::EpochLimit, failures);
+            }
+            if let Some(&&at) = fail_iter.peek() {
+                if self.epoch >= at {
+                    fail_iter.next();
+                    failures += 1;
+                    if !self.fail_primary() {
+                        return self.result(ChainEnd::Exhausted, failures);
+                    }
+                }
+            }
+            if let Some(end) = self.step_epoch(budget) {
+                return self.result(end, failures);
+            }
+        }
+    }
+
+    fn result(&self, end: ChainEnd, failures: usize) -> ChainResult {
+        ChainResult {
+            end,
+            epochs: self.epoch,
+            failures,
+            console: self.console.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvft_guest::{build_image, dhrystone_source, hello_source, KernelConfig};
+
+    fn image() -> Program {
+        let kernel = KernelConfig {
+            tick_period_us: 1000,
+            tick_work: 2,
+            ..KernelConfig::default()
+        };
+        build_image(&kernel, &dhrystone_source(1_500, 6)).unwrap()
+    }
+
+    fn chain(t: usize) -> TChain {
+        let hv = HvConfig {
+            epoch_len: 1024,
+            ..HvConfig::default()
+        };
+        TChain::new(&image(), t, CostModel::functional(), hv)
+    }
+
+    fn reference_code() -> u32 {
+        let mut c = chain(1);
+        match c.run(&[], 100_000).end {
+            ChainEnd::Exit { code } => code,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_free_chain_stays_in_lockstep() {
+        let mut c = chain(3);
+        let r = c.run(&[], 100_000);
+        assert!(matches!(r.end, ChainEnd::Exit { .. }), "{:?}", r.end);
+        assert_eq!(c.live(), 4);
+        assert_eq!(r.failures, 0);
+    }
+
+    #[test]
+    fn tolerates_exactly_t_failures() {
+        let code = reference_code();
+        for t in 1..=3usize {
+            let mut c = chain(t);
+            // Fail one primary every 3 epochs, t times.
+            let fails: Vec<u64> = (1..=t as u64).map(|k| k * 3).collect();
+            let r = c.run(&fails, 100_000);
+            match r.end {
+                ChainEnd::Exit { code: got } => {
+                    assert_eq!(
+                        got, code,
+                        "t={t}: survivor must produce the reference result"
+                    )
+                }
+                other => panic!("t={t}: {other:?}"),
+            }
+            assert_eq!(r.failures, t);
+            assert_eq!(c.live(), 1, "t={t}: exactly the survivor remains");
+        }
+    }
+
+    #[test]
+    fn t_plus_one_failures_exhaust_the_chain() {
+        let mut c = chain(2);
+        let r = c.run(&[1, 2, 3], 100_000);
+        assert_eq!(r.end, ChainEnd::Exhausted);
+        assert_eq!(r.failures, 3);
+        assert_eq!(c.live(), 0);
+    }
+
+    #[test]
+    fn console_output_hands_over_down_the_chain() {
+        let kernel = KernelConfig {
+            tick_period_us: 200,
+            tick_work: 0,
+            ..KernelConfig::default()
+        };
+        let img = build_image(&kernel, &hello_source("abcdefghij", 2)).unwrap();
+        let hv = HvConfig {
+            epoch_len: 256,
+            ..HvConfig::default()
+        };
+        let mut c = TChain::new(&img, 2, CostModel::functional(), hv);
+        let r = c.run(&[2, 4], 100_000);
+        assert!(matches!(r.end, ChainEnd::Exit { code: 42 }), "{:?}", r.end);
+        // Emitting replica indices never decrease (one-way promotions).
+        let emitters: Vec<usize> = r.console.iter().map(|&(i, _)| i).collect();
+        assert!(emitters.windows(2).all(|w| w[0] <= w[1]), "{emitters:?}");
+        // Bytes remain an in-order subsequence of the message.
+        let bytes: Vec<u8> = r.console.iter().map(|&(_, b)| b).collect();
+        let mut it = b"abcdefghij".iter();
+        assert!(bytes.iter().all(|b| it.any(|m| m == b)), "{bytes:?}");
+    }
+
+    #[test]
+    fn divergence_is_detected_across_the_chain() {
+        let hv = HvConfig {
+            epoch_len: 1024,
+            tlb_managed: false,
+            tlb_slots: 4,
+            ..HvConfig::default()
+        };
+        let mut c = TChain::new(&image(), 2, CostModel::functional(), hv);
+        let r = c.run(&[], 100_000);
+        assert!(
+            matches!(r.end, ChainEnd::Diverged { .. }),
+            "unmanaged random TLBs must diverge somewhere in the chain: {:?}",
+            r.end
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "t >= 1")]
+    fn zero_backups_rejected() {
+        let hv = HvConfig::default();
+        let _ = TChain::new(&image(), 0, CostModel::functional(), hv);
+    }
+}

@@ -1,0 +1,98 @@
+//! Configuration of the fault-tolerant virtual-machine system.
+
+use hvft_hypervisor::cost::CostModel;
+use hvft_hypervisor::hvguest::HvConfig;
+use hvft_net::link::LinkSpec;
+use hvft_sim::time::{SimDuration, SimTime};
+
+/// Which replica-coordination protocol to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolVariant {
+    /// The §2 protocol: at every epoch boundary the primary awaits
+    /// acknowledgments for all messages previously sent (rule P2).
+    Old,
+    /// The §4.3 revision: epoch boundaries do not wait; instead the
+    /// primary must have all messages acknowledged before initiating any
+    /// I/O operation (the only way VM state is revealed).
+    New,
+}
+
+/// Failure injection: when (if ever) the primary's processor failstops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailureSpec {
+    /// No failure.
+    #[default]
+    None,
+    /// The primary halts at this simulated time.
+    At(SimTime),
+}
+
+/// Full system configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FtConfig {
+    /// Per-guest hypervisor configuration (epoch length, TLB policy…).
+    pub hv: HvConfig,
+    /// Timing cost model.
+    pub cost: CostModel,
+    /// Coordination link between the two hypervisors.
+    pub link: LinkSpec,
+    /// Protocol variant.
+    pub protocol: ProtocolVariant,
+    /// Primary failure injection.
+    pub failure: FailureSpec,
+    /// Backup's failure-detection timeout. Must exceed the longest
+    /// legitimate message gap (one epoch of execution plus queueing);
+    /// the backup only suspects the primary after draining the channel,
+    /// matching the paper's detection assumption.
+    pub detector_timeout: SimDuration,
+    /// Disk size in blocks.
+    pub disk_blocks: u32,
+    /// Probability a disk operation reports an uncertain outcome (IO2),
+    /// independent of failover-synthesized ones.
+    pub disk_fault_prob: f64,
+    /// Base RNG seed for the shared environment (disk faults, etc.).
+    pub seed: u64,
+    /// Safety limit on total retired instructions per guest.
+    pub max_insns: u64,
+    /// Whether to hash both VM states at every epoch boundary and record
+    /// divergence (costs simulation wall time, not simulated time).
+    pub lockstep_check: bool,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            hv: HvConfig::default(),
+            cost: CostModel::hp9000_720(),
+            link: LinkSpec::ethernet_10mbps(),
+            protocol: ProtocolVariant::Old,
+            failure: FailureSpec::None,
+            detector_timeout: SimDuration::from_millis(60),
+            disk_blocks: 128,
+            disk_fault_prob: 0.0,
+            seed: 0,
+            max_insns: 2_000_000_000,
+            lockstep_check: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_prototype() {
+        let c = FtConfig::default();
+        assert_eq!(c.protocol, ProtocolVariant::Old);
+        assert_eq!(c.hv.epoch_len, 4096);
+        assert_eq!(c.link.bits_per_sec, 10_000_000);
+        assert_eq!(c.failure, FailureSpec::None);
+    }
+
+    #[test]
+    fn detector_timeout_exceeds_link_latency() {
+        let c = FtConfig::default();
+        assert!(c.detector_timeout > c.link.payload_latency(9000) * 4);
+    }
+}

@@ -1,0 +1,39 @@
+//! `hvft-core` — hypervisor-based fault tolerance: the paper's primary
+//! contribution.
+//!
+//! This crate implements the replica-coordination protocols of
+//! Bressoud & Schneider, *Hypervisor-based Fault-tolerance* (SOSP 1995):
+//! a primary virtual machine and its backup execute identical
+//! instruction streams on two simulated processors, coordinated only by
+//! the hypervisor (rules P1–P7 of §2, plus the §4.3 revision), so that
+//! the environment never observes the primary's failure.
+//!
+//! Entry point: [`system::FtSystem`]. Build a guest image with
+//! `hvft-guest`, pick a [`config::FtConfig`], and run:
+//!
+//! ```
+//! use hvft_core::config::FtConfig;
+//! use hvft_core::system::{FtSystem, RunEnd};
+//! use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+//!
+//! let image = build_image(&KernelConfig::default(), &dhrystone_source(50, 0)).unwrap();
+//! let mut sys = FtSystem::new(&image, FtConfig::default());
+//! let result = sys.run();
+//! assert!(matches!(result.outcome, RunEnd::Exit { .. }));
+//! assert!(result.lockstep.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod config;
+pub mod lockstep;
+pub mod messages;
+pub mod system;
+
+pub use chain::{ChainEnd, ChainResult, TChain};
+pub use config::{FailureSpec, FtConfig, ProtocolVariant};
+pub use lockstep::{Divergence, LockstepChecker};
+pub use messages::{DiskCompletion, ForwardedInterrupt, Message};
+pub use system::{FailoverInfo, FtRunResult, FtSystem, RunEnd};

@@ -1,0 +1,1077 @@
+//! The 1-fault-tolerant virtual machine: two hypervised hosts, the
+//! shared environment, and rules P1–P7.
+//!
+//! [`FtSystem`] co-simulates the primary's and backup's processors with
+//! a conservative discrete-event scheme: each host advances its own
+//! simulated clock, and a host may never run past the earliest event
+//! that could affect it (the link's minimum latency provides the
+//! lookahead). The result is a bit-deterministic simulation of the whole
+//! prototype of §3 — two HP 9000/720-class machines, a shared disk, a
+//! console, and a coordination LAN.
+//!
+//! Protocol rules implemented here, by their paper names:
+//!
+//! - **P1**: an interrupt received at the primary during epoch `E` is
+//!   buffered for delivery at the end of `E` and forwarded as `[E, Int]`;
+//! - **P2**: at the end of epoch `E` the primary sends `[Tme_p]`,
+//!   (original protocol) awaits acknowledgments for everything sent,
+//!   delivers buffered interrupts, sends `[end, E]`, and starts `E+1`;
+//! - **P3**: the backup's hypervisor ignores interrupts destined for the
+//!   backup VM (device interrupts only ever target the issuing host
+//!   here, and the backup suppresses device commands, so nothing to
+//!   ignore arises by construction — its I/O suppression implements the
+//!   same effect);
+//! - **P4**: the backup acknowledges and buffers `[E, Int]`;
+//! - **P5**: at the end of its epoch `E` the backup awaits `[Tme_p]`,
+//!   assigns it, awaits `[end, E]`, delivers the epoch-`E` buffer, and
+//!   starts `E+1`;
+//! - **P6**: if instead the failure detector fires, the backup delivers
+//!   what it buffered and **promotes itself**;
+//! - **P7**: any I/O outstanding at the end of the failover epoch gets a
+//!   synthesized *uncertain* interrupt, so the (replayed) driver retries
+//!   — repetition the environment must tolerate anyway (IO2);
+//! - **§4.3 revision**: the boundary ack-wait of P2 is dropped; instead
+//!   acknowledgments must be complete before the primary initiates any
+//!   I/O operation, I/O being the only way VM state is revealed.
+
+use crate::config::{FailureSpec, FtConfig, ProtocolVariant};
+use crate::lockstep::LockstepChecker;
+use crate::messages::{DiskCompletion, ForwardedInterrupt, Message};
+use hvft_devices::console::Console;
+use hvft_devices::disk::{Disk, DiskCommand, DiskLogEntry, DiskStatus, BLOCK_SIZE};
+use hvft_devices::mmio;
+use hvft_hypervisor::hvguest::{HvEvent, HvGuest, HvStats};
+use hvft_isa::program::Program;
+use hvft_machine::mem::IO_BASE;
+use hvft_machine::trap::irq;
+use hvft_net::channel::Channel;
+use hvft_net::detector::FailureDetector;
+use hvft_sim::time::{SimDuration, SimTime};
+use hvft_sim::trace::{TraceCategory, Tracer};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a host's run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunEnd {
+    /// The workload called `SYS_EXIT`.
+    Exit {
+        /// The code (checksum) passed by the guest.
+        code: u32,
+    },
+    /// The guest halted without an exit diagnostic (kernel fatal path).
+    Fatal {
+        /// Fatal code from the kernel, if any was diagnosed.
+        code: Option<u32>,
+    },
+    /// The per-guest instruction limit tripped.
+    InsnLimit,
+}
+
+/// An I/O the new protocol is holding until acknowledgments complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PendingIo {
+    DiskGo { cmd_value: u32 },
+    ConsoleTx { byte: u8 },
+}
+
+/// Host protocol state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum HostState {
+    /// Executing guest instructions.
+    Running,
+    /// Primary, original protocol: at the boundary of `epoch`, awaiting
+    /// acknowledgments (rule P2).
+    AwaitingAcksBoundary { epoch: u64 },
+    /// Primary, revised protocol: acknowledgments must complete before
+    /// this I/O proceeds (§4.3).
+    AwaitingAcksIo { io: PendingIo },
+    /// Backup at the boundary of `epoch`, awaiting `[Tme_p]` (rule P5).
+    AwaitingTime { epoch: u64 },
+    /// Backup, clock assigned, awaiting `[end, epoch]` (rule P5).
+    AwaitingEnd { epoch: u64 },
+    /// Finished.
+    Done(RunEnd),
+    /// The backup's guest finished the workload while still unpromoted
+    /// (its exit was suppressed); it waits to learn whether the primary
+    /// finished too or failed first.
+    BackupDone(RunEnd),
+    /// Failstopped.
+    Dead,
+}
+
+/// An operation issued by the guest and not yet completed+delivered.
+#[derive(Clone, Debug)]
+struct InflightIo {
+    cmd: DiskCommand,
+    dma_addr: u32,
+    /// Snapshot of the buffer for writes (captured at GO).
+    write_data: Option<Vec<u8>>,
+    issued_at: SimTime,
+}
+
+/// One replica's host: guest + hypervisor + protocol endpoint state.
+struct Host {
+    guest: HvGuest,
+    now: SimTime,
+    /// `guest.elapsed()` already folded into `now`.
+    synced_elapsed: SimDuration,
+    state: HostState,
+    is_primary: bool,
+    promoted: bool,
+    // Messaging.
+    next_seq: u64,
+    acked_upto: u64,
+    highest_recv: u64,
+    // Interrupt buffering (rule P1/P4), keyed by delivery epoch.
+    buffered: BTreeMap<u64, Vec<ForwardedInterrupt>>,
+    // Backup bookkeeping for P5.
+    got_time: BTreeMap<u64, hvft_hypervisor::vclock::VClock>,
+    got_end: BTreeSet<u64>,
+    // Guest-visible device shadows (updated only at delivery points so
+    // both replicas read identical values).
+    reg_block: u32,
+    reg_addr: u32,
+    disk_status_reg: u32,
+    inflight: Option<InflightIo>,
+    // Results.
+    diags: Vec<(u32, u32)>,
+    op_latencies: Vec<SimDuration>,
+}
+
+impl Host {
+    fn new(guest: HvGuest, is_primary: bool) -> Self {
+        Host {
+            guest,
+            now: SimTime::ZERO,
+            synced_elapsed: SimDuration::ZERO,
+            state: HostState::Running,
+            is_primary,
+            promoted: false,
+            next_seq: 0,
+            acked_upto: 0,
+            highest_recv: 0,
+            buffered: BTreeMap::new(),
+            got_time: BTreeMap::new(),
+            got_end: BTreeSet::new(),
+            reg_block: 0,
+            reg_addr: 0,
+            disk_status_reg: mmio::disk_status::IDLE,
+            inflight: None,
+            diags: Vec::new(),
+            op_latencies: Vec::new(),
+        }
+    }
+
+    /// Folds freshly accumulated guest time into the host clock.
+    fn sync_clock(&mut self) {
+        let e = self.guest.elapsed();
+        self.now += e - self.synced_elapsed;
+        self.synced_elapsed = e;
+    }
+
+    /// Charges hypervisor work and advances the host clock.
+    fn charge(&mut self, d: SimDuration) {
+        self.guest.charge(d);
+        self.sync_clock();
+    }
+
+    fn runnable(&self) -> bool {
+        self.state == HostState::Running
+    }
+
+    fn waiting_as_backup(&self) -> bool {
+        matches!(
+            self.state,
+            HostState::AwaitingTime { .. }
+                | HostState::AwaitingEnd { .. }
+                | HostState::BackupDone(_)
+        )
+    }
+
+    fn all_acked(&self) -> bool {
+        self.acked_upto >= self.next_seq
+    }
+}
+
+/// Information about a completed failover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverInfo {
+    /// When the backup promoted itself.
+    pub at: SimTime,
+    /// The failover epoch (rule P6's `E`).
+    pub epoch: u64,
+    /// Whether rule P7 synthesized an uncertain interrupt.
+    pub uncertain_synthesized: bool,
+}
+
+/// The outcome of a system run.
+#[derive(Clone, Debug)]
+pub struct FtRunResult {
+    /// How the acting primary's workload ended.
+    pub outcome: RunEnd,
+    /// Completion time on the acting primary's clock — the `N′` of the
+    /// paper's normalized performance.
+    pub completion_time: SimDuration,
+    /// Failover details if the primary failstopped.
+    pub failover: Option<FailoverInfo>,
+    /// Epoch-boundary state-hash comparison results.
+    pub lockstep: LockstepChecker,
+    /// Bytes the environment's console received, in order.
+    pub console_output: Vec<u8>,
+    /// Hosts that wrote to the console, in order of first write.
+    pub console_hosts: Vec<u8>,
+    /// The disk's environment-visible operation log.
+    pub disk_log: Vec<DiskLogEntry>,
+    /// Acting primary's hypervisor statistics.
+    pub primary_stats: HvStats,
+    /// Original backup's hypervisor statistics.
+    pub backup_stats: HvStats,
+    /// Guest-visible latency of each completed disk operation at the
+    /// acting primary (GO to interrupt delivery).
+    pub op_latencies: Vec<SimDuration>,
+    /// Driver retries recorded by the guest kernel (uncertain outcomes).
+    pub guest_retries: u32,
+    /// Messages the primary sent / the backup sent.
+    pub messages_sent: (u64, u64),
+}
+
+/// The complete §3 prototype: two processors, shared disk, console, LAN.
+pub struct FtSystem {
+    hosts: [Host; 2],
+    /// `chans[i]` carries messages *from* host `i`.
+    chans: [Channel<Message>; 2],
+    disk: Disk,
+    console: Console,
+    detector: FailureDetector,
+    cfg: FtConfig,
+    /// Pending disk completion per host: `(time, op ready)`.
+    disk_done: [Option<SimTime>; 2],
+    fail_at: Option<SimTime>,
+    failover: Option<FailoverInfo>,
+    lockstep: LockstepChecker,
+    /// Index of the host currently acting as primary.
+    acting_primary: usize,
+    tracer: Tracer,
+}
+
+impl FtSystem {
+    /// Builds the system: both replicas boot the identical image in the
+    /// identical state, as §2.1 requires.
+    pub fn new(image: &Program, cfg: FtConfig) -> Self {
+        let mut hv0 = cfg.hv;
+        hv0.tlb_seed = cfg.seed.wrapping_add(101);
+        let mut hv1 = cfg.hv;
+        // Deliberately different machine-level TLB seed: the paper's
+        // point is that replica coordination must survive hardware
+        // non-determinism that is invisible to the VM state.
+        hv1.tlb_seed = cfg.seed.wrapping_add(202);
+        let g0 = HvGuest::new(image, cfg.cost, hv0);
+        let g1 = HvGuest::new(image, cfg.cost, hv1);
+        let mut disk = Disk::new(cfg.disk_blocks, cfg.seed);
+        disk.set_fault_probability(cfg.disk_fault_prob);
+        let fail_at = match cfg.failure {
+            FailureSpec::None => None,
+            FailureSpec::At(t) => Some(t),
+        };
+        FtSystem {
+            hosts: [Host::new(g0, true), Host::new(g1, false)],
+            chans: [
+                Channel::new(cfg.link, cfg.seed ^ 0xA),
+                Channel::new(cfg.link, cfg.seed ^ 0xB),
+            ],
+            disk,
+            console: Console::new(),
+            detector: FailureDetector::new(cfg.detector_timeout),
+            cfg,
+            disk_done: [None, None],
+            fail_at,
+            failover: None,
+            lockstep: LockstepChecker::new(),
+            acting_primary: 0,
+            tracer: Tracer::new(4096),
+        }
+    }
+
+    /// Access to the protocol-event tracer (disabled by default; enable
+    /// with [`Tracer::set_enabled`] before [`FtSystem::run`]). Records
+    /// failure injection, failover/promotion, P7 synthesis, and lockstep
+    /// divergence — the low-frequency events worth a timeline.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Shared-disk access for test setup (pre-filling blocks).
+    pub fn disk_mut(&mut self) -> &mut Disk {
+        &mut self.disk
+    }
+
+    /// Reads a word of a host's guest memory (test inspection).
+    pub fn guest_mem_u32(&self, host: usize, paddr: u32) -> u32 {
+        self.hosts[host].guest.mem.read_u32(paddr).unwrap_or(0)
+    }
+
+    // -----------------------------------------------------------------
+    // Messaging
+    // -----------------------------------------------------------------
+
+    fn send(&mut self, from: usize, mut msg: Message) {
+        let to = 1 - from;
+        let host = &mut self.hosts[from];
+        // Stamp the sequence number.
+        match &mut msg {
+            Message::Interrupt { seq, .. }
+            | Message::Time { seq, .. }
+            | Message::EpochEnd { seq, .. } => {
+                host.next_seq += 1;
+                *seq = host.next_seq;
+            }
+            Message::Ack { .. } => {}
+        }
+        let bytes = msg.wire_bytes();
+        let now = host.now;
+        let _ = self.chans[from].send(now, bytes, msg);
+        let _ = to;
+    }
+
+    fn deliver(&mut self, to: usize, at: SimTime, msg: Message) {
+        let host = &mut self.hosts[to];
+        host.now = host.now.max(at);
+        host.charge(self.cfg.cost.hv_msg_recv);
+        if to == 1 {
+            self.detector.heard(at);
+        }
+        match msg {
+            Message::Ack { upto } => {
+                host.acked_upto = host.acked_upto.max(upto);
+                self.try_resume_primary(to);
+            }
+            Message::Interrupt {
+                seq,
+                epoch,
+                interrupt,
+            } => {
+                self.hosts[to]
+                    .buffered
+                    .entry(epoch)
+                    .or_default()
+                    .push(interrupt);
+                self.ack(to, seq);
+                self.try_advance_backup(to);
+            }
+            Message::Time { seq, epoch, vclock } => {
+                self.hosts[to].got_time.insert(epoch, vclock);
+                self.ack(to, seq);
+                self.try_advance_backup(to);
+            }
+            Message::EpochEnd { seq, epoch } => {
+                self.hosts[to].got_end.insert(epoch);
+                self.ack(to, seq);
+                self.try_advance_backup(to);
+            }
+        }
+    }
+
+    fn ack(&mut self, host: usize, seq: u64) {
+        self.hosts[host].highest_recv = self.hosts[host].highest_recv.max(seq);
+        let upto = self.hosts[host].highest_recv;
+        self.send(host, Message::Ack { upto });
+    }
+
+    fn peer_alive(&self, of: usize) -> bool {
+        self.hosts[1 - of].state != HostState::Dead
+            && !matches!(self.hosts[1 - of].state, HostState::Done(_))
+    }
+
+    // -----------------------------------------------------------------
+    // Primary-side protocol
+    // -----------------------------------------------------------------
+
+    /// The epoch tag for an interrupt received now (P1's `E`): interrupts
+    /// arriving while boundary processing for `E` is under way belong to
+    /// `E + 1`.
+    fn interrupt_epoch(&self, host: usize) -> u64 {
+        let h = &self.hosts[host];
+        match h.state {
+            HostState::AwaitingAcksBoundary { epoch } => epoch + 1,
+            _ => h.guest.epoch(),
+        }
+    }
+
+    /// Rule P2, first half: boundary reached at the primary.
+    fn primary_epoch_end(&mut self, i: usize) {
+        let epoch = self.hosts[i].guest.epoch();
+        if self.cfg.lockstep_check {
+            let hash = self.hosts[i].guest.state_hash();
+            self.lockstep
+                .record(if i == self.acting_primary { 0 } else { 1 }, epoch, hash);
+            if let Some(d) = self.lockstep.divergences().last() {
+                if d.epoch == epoch {
+                    self.tracer.emit(
+                        self.hosts[i].now,
+                        TraceCategory::Protocol,
+                        Some(i as u8),
+                        format!("LOCKSTEP DIVERGENCE at epoch {epoch}"),
+                    );
+                }
+            }
+        }
+        self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
+        if self.peer_alive(i) {
+            let vclock = self.hosts[i].guest.vclock.snapshot();
+            self.send(
+                i,
+                Message::Time {
+                    seq: 0,
+                    epoch,
+                    vclock,
+                },
+            );
+            if self.cfg.protocol == ProtocolVariant::Old && !self.hosts[i].all_acked() {
+                self.hosts[i].state = HostState::AwaitingAcksBoundary { epoch };
+                return;
+            }
+        }
+        self.finish_primary_boundary(i, epoch);
+    }
+
+    /// Rule P2, second half: deliver, announce, start the next epoch.
+    fn finish_primary_boundary(&mut self, i: usize, epoch: u64) {
+        self.deliver_boundary_interrupts(i, epoch);
+        if self.peer_alive(i) {
+            self.send(i, Message::EpochEnd { seq: 0, epoch });
+        }
+        self.hosts[i].guest.begin_epoch();
+        self.hosts[i].state = HostState::Running;
+    }
+
+    /// Resumes a primary stalled on acknowledgments, if they are in.
+    fn try_resume_primary(&mut self, i: usize) {
+        if !self.hosts[i].all_acked() {
+            return;
+        }
+        match self.hosts[i].state.clone() {
+            HostState::AwaitingAcksBoundary { epoch } => {
+                self.finish_primary_boundary(i, epoch);
+            }
+            HostState::AwaitingAcksIo { io } => {
+                self.hosts[i].state = HostState::Running;
+                self.perform_io(i, io);
+                self.hosts[i].guest.finish_mmio_write();
+                self.hosts[i].sync_clock();
+            }
+            _ => {}
+        }
+    }
+
+    /// Delivers everything buffered for `epoch`, plus interval-timer
+    /// expiry "based on Tme" — identical logic at both replicas.
+    fn deliver_boundary_interrupts(&mut self, i: usize, epoch: u64) {
+        let retired = self.hosts[i].guest.cpu.retired();
+        if self.hosts[i].guest.vclock.take_expired_timer(retired) {
+            self.hosts[i].guest.assert_irq(irq::TIMER);
+        }
+        let list = self.hosts[i].buffered.remove(&epoch).unwrap_or_default();
+        for fwd in list {
+            self.apply_interrupt(i, fwd);
+        }
+    }
+
+    fn apply_interrupt(&mut self, i: usize, fwd: ForwardedInterrupt) {
+        let host = &mut self.hosts[i];
+        host.guest.assert_irq(fwd.irq_bits);
+        if let Some(dc) = fwd.disk {
+            host.disk_status_reg = dc.status;
+            if let Some(inflight) = host.inflight.take() {
+                if let Some(data) = &dc.data {
+                    host.guest.mem.write_bytes(inflight.dma_addr, data);
+                }
+                host.op_latencies.push(host.now - inflight.issued_at);
+            } else if let Some(data) = &dc.data {
+                // Delivery with no recorded GO can only mean a protocol
+                // bug; keep the memory effect anyway for debuggability.
+                host.guest.mem.write_bytes(host.reg_addr, data);
+            }
+        }
+    }
+
+    /// Carries out a (possibly deferred) externally visible I/O at the
+    /// acting primary.
+    fn perform_io(&mut self, i: usize, io: PendingIo) {
+        match io {
+            PendingIo::DiskGo { cmd_value } => self.disk_go(i, cmd_value),
+            PendingIo::ConsoleTx { byte } => {
+                let now = self.hosts[i].now;
+                self.console.write(now, i as u8, byte);
+            }
+        }
+    }
+
+    fn disk_go(&mut self, i: usize, cmd_value: u32) {
+        let cmd = match cmd_value {
+            mmio::disk_cmd::READ => DiskCommand::Read,
+            mmio::disk_cmd::WRITE => DiskCommand::Write,
+            _ => return,
+        };
+        let (block, addr, now) = (
+            self.hosts[i].reg_block,
+            self.hosts[i].reg_addr,
+            self.hosts[i].now,
+        );
+        let write_data = match cmd {
+            DiskCommand::Write => Some(
+                self.hosts[i]
+                    .guest
+                    .mem
+                    .read_bytes(addr, BLOCK_SIZE)
+                    .to_vec(),
+            ),
+            DiskCommand::Read => None,
+        };
+        match self.disk.submit(now, i as u8, cmd, block) {
+            Ok(dur) => {
+                self.disk_done[i] = Some(now + dur);
+                self.hosts[i].inflight = Some(InflightIo {
+                    cmd,
+                    dma_addr: addr,
+                    write_data,
+                    issued_at: now,
+                });
+            }
+            Err(_) => {
+                // Controller rejected (bad block / busy): surface as an
+                // immediate uncertain completion through the normal
+                // buffered path so both replicas see it identically.
+                let epoch = self.interrupt_epoch(i);
+                let fwd = ForwardedInterrupt {
+                    irq_bits: irq::DISK,
+                    disk: Some(DiskCompletion {
+                        status: mmio::disk_status::UNCERTAIN,
+                        data: None,
+                    }),
+                };
+                self.hosts[i].inflight = Some(InflightIo {
+                    cmd,
+                    dma_addr: addr,
+                    write_data,
+                    issued_at: now,
+                });
+                self.hosts[i]
+                    .buffered
+                    .entry(epoch)
+                    .or_default()
+                    .push(fwd.clone());
+                if self.peer_alive(i) {
+                    self.send(
+                        i,
+                        Message::Interrupt {
+                            seq: 0,
+                            epoch,
+                            interrupt: fwd,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rule P1: device completion arrives at the acting primary.
+    fn disk_completion(&mut self, i: usize) {
+        self.hosts[i].charge(self.cfg.cost.hv_entry_exit);
+        let cmd = self.hosts[i]
+            .inflight
+            .as_ref()
+            .map(|io| io.cmd)
+            .expect("completion without GO");
+        debug_assert_eq!(self.disk.pending().map(|p| p.cmd), Some(cmd));
+        let (status, data) = match cmd {
+            DiskCommand::Write => {
+                let data = self.hosts[i]
+                    .inflight
+                    .as_ref()
+                    .and_then(|io| io.write_data.clone())
+                    .expect("write completion without captured data");
+                (self.disk.complete_write(&data), None)
+            }
+            DiskCommand::Read => {
+                let (s, d) = self.disk.complete_read();
+                (s, d)
+            }
+        };
+        let status_reg = match status {
+            DiskStatus::Complete => mmio::disk_status::DONE,
+            DiskStatus::Uncertain => mmio::disk_status::UNCERTAIN,
+        };
+        let fwd = ForwardedInterrupt {
+            irq_bits: irq::DISK,
+            disk: Some(DiskCompletion {
+                status: status_reg,
+                data,
+            }),
+        };
+        let epoch = self.interrupt_epoch(i);
+        self.hosts[i]
+            .buffered
+            .entry(epoch)
+            .or_default()
+            .push(fwd.clone());
+        if self.peer_alive(i) {
+            self.send(
+                i,
+                Message::Interrupt {
+                    seq: 0,
+                    epoch,
+                    interrupt: fwd,
+                },
+            );
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Backup-side protocol
+    // -----------------------------------------------------------------
+
+    fn backup_epoch_end(&mut self, i: usize) {
+        let epoch = self.hosts[i].guest.epoch();
+        if self.cfg.lockstep_check {
+            let hash = self.hosts[i].guest.state_hash();
+            self.lockstep.record(1, epoch, hash);
+        }
+        self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
+        self.hosts[i].state = HostState::AwaitingTime { epoch };
+        self.try_advance_backup(i);
+    }
+
+    /// Rule P5's waiting sequence, re-evaluated whenever a message lands.
+    fn try_advance_backup(&mut self, i: usize) {
+        loop {
+            match self.hosts[i].state.clone() {
+                HostState::AwaitingTime { epoch } => {
+                    if let Some(vc) = self.hosts[i].got_time.remove(&epoch) {
+                        self.hosts[i].guest.vclock.assign(vc);
+                        self.hosts[i].state = HostState::AwaitingEnd { epoch };
+                    } else {
+                        return;
+                    }
+                }
+                HostState::AwaitingEnd { epoch } if self.hosts[i].got_end.remove(&epoch) => {
+                    self.deliver_boundary_interrupts(i, epoch);
+                    self.hosts[i].guest.begin_epoch();
+                    self.hosts[i].state = HostState::Running;
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Rules P6 + P7: the failure detector fired while the backup was
+    /// waiting at the end of epoch `E`.
+    fn failover(&mut self, i: usize, at: SimTime) {
+        if let HostState::BackupDone(end) = self.hosts[i].state {
+            // The backup's guest already finished the whole workload; the
+            // primary's failure makes that (suppressed) completion real.
+            self.hosts[i].is_primary = true;
+            self.hosts[i].promoted = true;
+            self.acting_primary = i;
+            self.hosts[i].now = self.hosts[i].now.max(at);
+            self.failover = Some(FailoverInfo {
+                at: self.hosts[i].now,
+                epoch: self.hosts[i].guest.epoch(),
+                uncertain_synthesized: false,
+            });
+            self.hosts[i].state = HostState::Done(end);
+            return;
+        }
+        let epoch = match self.hosts[i].state {
+            HostState::AwaitingTime { epoch } | HostState::AwaitingEnd { epoch } => epoch,
+            _ => unreachable!("failover outside a waiting state"),
+        };
+        self.hosts[i].now = self.hosts[i].now.max(at);
+        // P6: deliver everything buffered — the primary is gone, so there
+        // is no replica left to stay in step with, and holding epoch-
+        // tagged completions any longer would only delay the driver.
+        let epochs: Vec<u64> = self.hosts[i].buffered.keys().copied().collect();
+        self.deliver_boundary_interrupts(i, epoch);
+        for e in epochs {
+            if e != epoch {
+                let list = self.hosts[i].buffered.remove(&e).unwrap_or_default();
+                for fwd in list {
+                    self.apply_interrupt(i, fwd);
+                }
+            }
+        }
+        // P7: outstanding I/O gets an uncertain interrupt; the driver
+        // will retry, which the environment cannot distinguish from a
+        // transient device fault.
+        let mut synthesized = false;
+        if let Some(inflight) = self.hosts[i].inflight.take() {
+            self.hosts[i].disk_status_reg = mmio::disk_status::UNCERTAIN;
+            self.hosts[i].guest.assert_irq(irq::DISK);
+            self.hosts[i]
+                .op_latencies
+                .push(self.hosts[i].now - inflight.issued_at);
+            synthesized = true;
+        }
+        // Promotion.
+        self.hosts[i].is_primary = true;
+        self.hosts[i].promoted = true;
+        self.acting_primary = i;
+        self.tracer.emit(
+            self.hosts[i].now,
+            TraceCategory::Failure,
+            Some(i as u8),
+            format!(
+                "P6: backup promoted at end of epoch {epoch}{}",
+                if synthesized {
+                    "; P7 synthesized an uncertain interrupt"
+                } else {
+                    ""
+                }
+            ),
+        );
+        self.failover = Some(FailoverInfo {
+            at: self.hosts[i].now,
+            epoch,
+            uncertain_synthesized: synthesized,
+        });
+        self.hosts[i].guest.begin_epoch();
+        self.hosts[i].state = HostState::Running;
+    }
+
+    // -----------------------------------------------------------------
+    // MMIO handling
+    // -----------------------------------------------------------------
+
+    fn handle_mmio_read(&mut self, i: usize, paddr: u32) {
+        let off = paddr.wrapping_sub(IO_BASE);
+        let value = match off {
+            mmio::DISK_REG_STATUS => self.hosts[i].disk_status_reg,
+            mmio::DISK_REG_BLOCK => self.hosts[i].reg_block,
+            mmio::DISK_REG_ADDR => self.hosts[i].reg_addr,
+            mmio::CONSOLE_REG_STATUS => 1,
+            _ => 0,
+        };
+        self.hosts[i].guest.finish_mmio_read(value);
+        self.hosts[i].sync_clock();
+    }
+
+    fn handle_mmio_write(&mut self, i: usize, paddr: u32, value: u32) {
+        let off = paddr.wrapping_sub(IO_BASE);
+        let is_primary = self.hosts[i].is_primary;
+        match off {
+            mmio::DISK_REG_BLOCK => self.hosts[i].reg_block = value,
+            mmio::DISK_REG_ADDR => self.hosts[i].reg_addr = value,
+            mmio::DISK_REG_CMD => {
+                if is_primary {
+                    let io = PendingIo::DiskGo { cmd_value: value };
+                    if self.must_await_acks_for_io(i) {
+                        self.hosts[i].state = HostState::AwaitingAcksIo { io };
+                        return; // MMIO completes after the acks arrive.
+                    }
+                    self.perform_io(i, io);
+                } else {
+                    // Case (i) of §2.2: backup I/O is suppressed; record
+                    // the attempt for P7's outstanding-I/O bookkeeping.
+                    let cmd = match value {
+                        mmio::disk_cmd::READ => Some(DiskCommand::Read),
+                        mmio::disk_cmd::WRITE => Some(DiskCommand::Write),
+                        _ => None,
+                    };
+                    if let Some(cmd) = cmd {
+                        let h = &mut self.hosts[i];
+                        h.inflight = Some(InflightIo {
+                            cmd,
+                            dma_addr: h.reg_addr,
+                            write_data: None,
+                            issued_at: h.now,
+                        });
+                    }
+                }
+            }
+            mmio::CONSOLE_REG_TX if is_primary => {
+                let io = PendingIo::ConsoleTx { byte: value as u8 };
+                if self.must_await_acks_for_io(i) {
+                    self.hosts[i].state = HostState::AwaitingAcksIo { io };
+                    return;
+                }
+                self.perform_io(i, io);
+            }
+            // Backup console output is suppressed entirely.
+            _ => {}
+        }
+        self.hosts[i].guest.finish_mmio_write();
+        self.hosts[i].sync_clock();
+    }
+
+    /// §4.3: under the revised protocol, I/O may not start until all
+    /// coordination messages have been acknowledged.
+    fn must_await_acks_for_io(&self, i: usize) -> bool {
+        self.cfg.protocol == ProtocolVariant::New
+            && self.peer_alive(i)
+            && !self.hosts[i].all_acked()
+    }
+
+    // -----------------------------------------------------------------
+    // Failure injection
+    // -----------------------------------------------------------------
+
+    fn inject_failure(&mut self, at: SimTime) {
+        self.fail_at = None;
+        let victim = 0;
+        if matches!(
+            self.hosts[victim].state,
+            HostState::Done(_) | HostState::Dead
+        ) {
+            return;
+        }
+        self.hosts[victim].now = self.hosts[victim].now.max(at);
+        self.hosts[victim].state = HostState::Dead;
+        self.tracer.emit(
+            at,
+            TraceCategory::Failure,
+            Some(victim as u8),
+            "primary processor failstopped".to_owned(),
+        );
+        // In-flight messages still arrive (the backup "detects the
+        // primary's failure only after receiving the last message sent"),
+        // but nothing further leaves the dead processor.
+        self.chans[victim].sever();
+        self.chans[1 - victim].sever();
+        // A disk operation in flight from the dead host is abandoned:
+        // the medium may or may not have absorbed it, and no interrupt
+        // will ever be delivered for it — the §2.2 two-generals corner.
+        if self.disk_done[victim].take().is_some() {
+            let data = self.hosts[victim]
+                .inflight
+                .as_ref()
+                .and_then(|io| io.write_data.clone());
+            self.disk.abandon(data.as_deref());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The conservative co-simulation loop
+    // -----------------------------------------------------------------
+
+    /// Handles one guest-level event from host `i`'s hypervisor.
+    fn dispatch_guest_event(&mut self, i: usize, ev: HvEvent) {
+        match ev {
+            HvEvent::BudgetExhausted => {}
+            HvEvent::EpochEnd => {
+                if self.hosts[i].is_primary {
+                    self.primary_epoch_end(i);
+                } else {
+                    self.backup_epoch_end(i);
+                }
+            }
+            HvEvent::MmioRead { paddr } => self.handle_mmio_read(i, paddr),
+            HvEvent::MmioWrite { paddr, value } => self.handle_mmio_write(i, paddr, value),
+            HvEvent::Diag { value, code } => {
+                self.hosts[i].diags.push((value, code));
+                let end = if code == hvft_guest::layout::diag::EXIT {
+                    Some(RunEnd::Exit { code: value })
+                } else if code == hvft_guest::layout::diag::FATAL {
+                    Some(RunEnd::Fatal { code: Some(value) })
+                } else {
+                    None
+                };
+                if let Some(end) = end {
+                    self.finish_host(i, end);
+                }
+            }
+            HvEvent::Halted => {
+                let code = self.hosts[i]
+                    .diags
+                    .iter()
+                    .rev()
+                    .find(|(_, c)| *c == hvft_guest::layout::diag::EXIT)
+                    .map(|(v, _)| *v);
+                let end = match code {
+                    Some(c) => RunEnd::Exit { code: c },
+                    None => RunEnd::Fatal { code: None },
+                };
+                self.finish_host(i, end);
+            }
+            HvEvent::Idle => {
+                // Our guests spin rather than idle; treat as a fatal
+                // condition so tests catch unexpected kernels.
+                self.finish_host(i, RunEnd::Fatal { code: None });
+            }
+        }
+    }
+
+    /// Marks a host's workload as finished. At the primary this ends the
+    /// run; at an unpromoted backup the (suppressed) exit parks the host
+    /// until it learns the primary's fate.
+    fn finish_host(&mut self, i: usize, end: RunEnd) {
+        if self.hosts[i].is_primary {
+            self.hosts[i].state = HostState::Done(end);
+        } else {
+            self.hosts[i].state = HostState::BackupDone(end);
+        }
+    }
+
+    /// Earliest pending event time across the whole system.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        let mut t: Option<SimTime> = None;
+        let mut consider = |c: Option<SimTime>| {
+            if let Some(ct) = c {
+                t = Some(match t {
+                    Some(cur) => cur.min(ct),
+                    None => ct,
+                });
+            }
+        };
+        consider(self.chans[0].next_delivery());
+        consider(self.chans[1].next_delivery());
+        consider(self.disk_done[0]);
+        consider(self.disk_done[1]);
+        consider(self.fail_at);
+        if self.hosts[1].waiting_as_backup() && self.peer_might_be_dead() {
+            consider(Some(self.detector.deadline()));
+        }
+        t
+    }
+
+    fn peer_might_be_dead(&self) -> bool {
+        // The detector only matters once the primary could be silent.
+        true
+    }
+
+    /// Processes the single earliest event. Returns `false` if there was
+    /// none.
+    fn process_one_event(&mut self) -> bool {
+        let Some(t) = self.next_event_time() else {
+            return false;
+        };
+        // Identify which source fires at `t`; priority order is fixed for
+        // determinism: failure, disk completions, channel 0, channel 1,
+        // detector.
+        if self.fail_at == Some(t) {
+            self.inject_failure(t);
+            return true;
+        }
+        for i in 0..2 {
+            if self.disk_done[i] == Some(t) {
+                self.disk_done[i] = None;
+                self.hosts[i].now = self.hosts[i].now.max(t);
+                self.disk_completion(i);
+                return true;
+            }
+        }
+        for from in 0..2 {
+            if self.chans[from].next_delivery() == Some(t) {
+                let msg = self.chans[from].pop_ready(t).expect("due message");
+                self.deliver(1 - from, t, msg);
+                return true;
+            }
+        }
+        if self.hosts[1].waiting_as_backup() && self.detector.deadline() == t {
+            if self.detector.expired(t) {
+                self.failover(1, t);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Runs the system until the acting primary's workload completes.
+    pub fn run(&mut self) -> FtRunResult {
+        let lookahead = self.chans[0].lookahead();
+        loop {
+            // Completion check.
+            if let HostState::Done(end) = self.hosts[self.acting_primary].state {
+                return self.result(end);
+            }
+            // Instruction-limit guard.
+            for i in 0..2 {
+                if self.hosts[i].runnable()
+                    && self.hosts[i].guest.cpu.retired() >= self.cfg.max_insns
+                {
+                    self.hosts[i].state = HostState::Done(RunEnd::InsnLimit);
+                }
+            }
+
+            let ev_time = self.next_event_time();
+            // Pick the runnable host with the smaller clock.
+            let mut pick: Option<usize> = None;
+            for i in 0..2 {
+                if self.hosts[i].runnable()
+                    && pick.is_none_or(|p| self.hosts[i].now < self.hosts[p].now)
+                {
+                    pick = Some(i);
+                }
+            }
+
+            match (pick, ev_time) {
+                (None, Some(_)) => {
+                    // Nothing can run; advance by events.
+                    if !self.process_one_event() {
+                        return self.result(RunEnd::Fatal { code: None });
+                    }
+                }
+                (None, None) => {
+                    // Deadlock: nobody runnable, no events. This is a
+                    // protocol bug or an ended run.
+                    let end = match self.hosts[self.acting_primary].state {
+                        HostState::Done(e) => e,
+                        _ => RunEnd::Fatal { code: None },
+                    };
+                    return self.result(end);
+                }
+                (Some(i), ev) => {
+                    // Events at (or within one instruction of) the
+                    // host's clock go first — a budget smaller than one
+                    // instruction cannot make progress.
+                    if let Some(t) = ev {
+                        if t <= self.hosts[i].now.saturating_add(self.cfg.cost.insn) {
+                            self.process_one_event();
+                            continue;
+                        }
+                    }
+                    // Horizon: the earliest thing that could affect
+                    // anyone, including messages the peer might send
+                    // (conservative lookahead).
+                    let mut horizon = ev.unwrap_or(SimTime::MAX);
+                    let peer = 1 - i;
+                    if self.hosts[peer].runnable() {
+                        horizon = horizon.min(self.hosts[peer].now.saturating_add(lookahead));
+                    }
+                    let budget = if horizon == SimTime::MAX {
+                        SimDuration::from_millis(10)
+                    } else {
+                        horizon - self.hosts[i].now
+                    };
+                    let event = self.hosts[i].guest.run(budget);
+                    self.hosts[i].sync_clock();
+                    self.dispatch_guest_event(i, event);
+                }
+            }
+        }
+    }
+
+    fn result(&mut self, outcome: RunEnd) -> FtRunResult {
+        let ap = self.acting_primary;
+        let retries_addr = hvft_guest::layout::kdata::RETRIES;
+        FtRunResult {
+            outcome,
+            completion_time: self.hosts[ap].now - SimTime::ZERO,
+            failover: self.failover,
+            lockstep: self.lockstep.clone(),
+            console_output: self.console.output(),
+            console_hosts: self.console.hosts_seen(),
+            disk_log: self.disk.log().to_vec(),
+            primary_stats: *self.hosts[ap].guest.stats(),
+            backup_stats: *self.hosts[1].guest.stats(),
+            op_latencies: {
+                let mut v = self.hosts[0].op_latencies.clone();
+                if ap == 1 {
+                    v.extend_from_slice(&self.hosts[1].op_latencies);
+                }
+                v
+            },
+            guest_retries: self.hosts[ap].guest.mem.read_u32(retries_addr).unwrap_or(0),
+            messages_sent: (self.chans[0].stats().sent, self.chans[1].stats().sent),
+        }
+    }
+}

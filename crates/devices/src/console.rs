@@ -1,0 +1,100 @@
+//! The console device.
+//!
+//! The prototype attached a remote console over Ethernet "for control and
+//! debugging" (paper §3, Figure 1). Ours is an output sink reached
+//! through memory-mapped registers; its byte stream is part of the
+//! *environment*, so tests use it to check that the outside world sees
+//! output from exactly one virtual machine at a time — even across a
+//! failover.
+
+use hvft_sim::time::SimTime;
+
+/// One logged console write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsoleEvent {
+    /// When the byte was written.
+    pub time: SimTime,
+    /// Which host wrote it.
+    pub host: u8,
+    /// The byte.
+    pub byte: u8,
+}
+
+/// An append-only console.
+#[derive(Clone, Debug, Default)]
+pub struct Console {
+    events: Vec<ConsoleEvent>,
+}
+
+impl Console {
+    /// Creates an empty console.
+    pub fn new() -> Self {
+        Console::default()
+    }
+
+    /// Writes one byte from `host` at time `now`.
+    pub fn write(&mut self, now: SimTime, host: u8, byte: u8) {
+        self.events.push(ConsoleEvent {
+            time: now,
+            host,
+            byte,
+        });
+    }
+
+    /// All bytes in arrival order.
+    pub fn output(&self) -> Vec<u8> {
+        self.events.iter().map(|e| e.byte).collect()
+    }
+
+    /// Output as a lossy string.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output()).into_owned()
+    }
+
+    /// The raw event log.
+    pub fn events(&self) -> &[ConsoleEvent] {
+        &self.events
+    }
+
+    /// The hosts that produced output, in order of first appearance.
+    pub fn hosts_seen(&self) -> Vec<u8> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if !seen.contains(&e.host) {
+                seen.push(e.host);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_output_in_order() {
+        let mut c = Console::new();
+        for (i, b) in b"hello".iter().enumerate() {
+            c.write(SimTime::from_nanos(i as u64), 0, *b);
+        }
+        assert_eq!(c.output_string(), "hello");
+        assert_eq!(c.events().len(), 5);
+    }
+
+    #[test]
+    fn tracks_hosts() {
+        let mut c = Console::new();
+        c.write(SimTime::ZERO, 0, b'a');
+        c.write(SimTime::ZERO, 0, b'b');
+        c.write(SimTime::ZERO, 1, b'c');
+        assert_eq!(c.hosts_seen(), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_console() {
+        let c = Console::new();
+        assert!(c.output().is_empty());
+        assert!(c.hosts_seen().is_empty());
+    }
+}

@@ -1,0 +1,552 @@
+//! The shared disk model.
+//!
+//! The paper's prototype hangs a single SCSI disk off a bus chained to
+//! both processors (I/O Device Accessibility Assumption). Every device is
+//! required to satisfy the interface contract of §2.2:
+//!
+//! - **IO1**: if an I/O instruction is issued and performed, the issuing
+//!   processor receives a *completion* interrupt;
+//! - **IO2**: if the issuing processor receives an *uncertain* interrupt
+//!   (SCSI `CHECK_CONDITION`), the I/O may or may not have been performed.
+//!
+//! Drivers must therefore retry on uncertain interrupts, and the
+//! environment must tolerate repeated I/O instructions. Rule P7 exploits
+//! exactly this: after failover, outstanding I/O gets a synthesized
+//! uncertain interrupt and the (replayed) driver retries.
+//!
+//! This model implements that contract, including injectable transient
+//! faults where the operation's effect *may or may not* have been applied,
+//! and keeps an **operation log** so tests can verify that the
+//! environment observed a sequence consistent with a single processor.
+
+use hvft_sim::rng::SimRng;
+use hvft_sim::time::{SimDuration, SimTime};
+
+/// Disk block size in bytes (the paper's read benchmark uses 8 KB blocks).
+pub const BLOCK_SIZE: usize = 8192;
+
+/// A disk command.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskCommand {
+    /// Transfer a block from disk to host memory.
+    Read,
+    /// Transfer a block from host memory to disk.
+    Write,
+}
+
+/// Status delivered with the completion interrupt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskStatus {
+    /// IO1: the operation was performed.
+    Complete,
+    /// IO2: the operation may or may not have been performed
+    /// (SCSI `CHECK_CONDITION`); the driver must retry.
+    Uncertain,
+}
+
+/// One entry of the environment-visible operation log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiskLogEntry {
+    /// Simulated time the command was issued.
+    pub issued_at: SimTime,
+    /// Which host issued it (0 = primary's processor, 1 = backup's).
+    pub host: u8,
+    /// The command.
+    pub cmd: DiskCommand,
+    /// Target block.
+    pub block: u32,
+    /// Status eventually returned.
+    pub status: DiskStatus,
+    /// Whether the effect was actually applied (writes) / data actually
+    /// transferred (reads). Only meaningful for `Uncertain` outcomes,
+    /// where IO2 leaves it ambiguous to the host.
+    pub applied: bool,
+}
+
+/// Errors from disk command submission.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskError {
+    /// A command is already in flight (single-threaded controller).
+    Busy,
+    /// Block number beyond the medium.
+    BadBlock {
+        /// The offending block number.
+        block: u32,
+    },
+}
+
+impl core::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            DiskError::Busy => write!(f, "controller busy"),
+            DiskError::BadBlock { block } => write!(f, "block {block} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// An in-flight operation.
+#[derive(Clone, Debug)]
+pub struct PendingOp {
+    /// The command.
+    pub cmd: DiskCommand,
+    /// Target block.
+    pub block: u32,
+    /// Issuing host.
+    pub host: u8,
+    /// Index into the log, filled at completion.
+    log_idx: usize,
+}
+
+/// The shared disk: storage, timing, fault injection, and the
+/// environment log.
+///
+/// The embedding host drives the protocol:
+/// 1. [`Disk::submit`] when the guest writes the GO register — returns the
+///    service time; the host schedules a completion event;
+/// 2. [`Disk::complete_write`] / [`Disk::complete_read`] when that event
+///    fires — applies the effect (subject to injected faults) and returns
+///    the [`DiskStatus`] to post with the interrupt.
+pub struct Disk {
+    blocks: Vec<u8>,
+    num_blocks: u32,
+    read_time: SimDuration,
+    write_time: SimDuration,
+    pending: Option<PendingOp>,
+    log: Vec<DiskLogEntry>,
+    rng: SimRng,
+    fault_prob: f64,
+    force_uncertain: u32,
+}
+
+impl Disk {
+    /// Creates a zero-filled disk of `num_blocks` blocks with the paper's
+    /// service times (read 24.2 ms, write 26 ms) and no transient faults.
+    pub fn new(num_blocks: u32, seed: u64) -> Self {
+        Disk {
+            blocks: vec![0; num_blocks as usize * BLOCK_SIZE],
+            num_blocks,
+            read_time: SimDuration::from_micros_f64(24_200.0),
+            write_time: SimDuration::from_micros_f64(26_000.0),
+            pending: None,
+            log: Vec::new(),
+            rng: SimRng::seed_from_label(seed, "disk"),
+            fault_prob: 0.0,
+            force_uncertain: 0,
+        }
+    }
+
+    /// Overrides the service times.
+    pub fn set_service_times(&mut self, read: SimDuration, write: SimDuration) {
+        self.read_time = read;
+        self.write_time = write;
+    }
+
+    /// Read service time.
+    pub fn read_time(&self) -> SimDuration {
+        self.read_time
+    }
+
+    /// Write service time.
+    pub fn write_time(&self) -> SimDuration {
+        self.write_time
+    }
+
+    /// Sets the probability that an operation completes with an
+    /// *uncertain* interrupt (IO2), exercising driver retry paths.
+    pub fn set_fault_probability(&mut self, p: f64) {
+        self.fault_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// Forces the next `n` completions to be uncertain (deterministic
+    /// fault injection for tests).
+    pub fn force_uncertain(&mut self, n: u32) {
+        self.force_uncertain += n;
+    }
+
+    /// Number of blocks on the medium.
+    pub fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    /// Whether a command is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The in-flight operation, if any.
+    pub fn pending(&self) -> Option<&PendingOp> {
+        self.pending.as_ref()
+    }
+
+    /// Submits a command; returns how long the operation will take.
+    /// The host must call the matching `complete_*` after that delay.
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        host: u8,
+        cmd: DiskCommand,
+        block: u32,
+    ) -> Result<SimDuration, DiskError> {
+        if self.pending.is_some() {
+            return Err(DiskError::Busy);
+        }
+        if block >= self.num_blocks {
+            return Err(DiskError::BadBlock { block });
+        }
+        let log_idx = self.log.len();
+        self.log.push(DiskLogEntry {
+            issued_at: now,
+            host,
+            cmd,
+            block,
+            status: DiskStatus::Complete, // patched at completion
+            applied: false,
+        });
+        self.pending = Some(PendingOp {
+            cmd,
+            block,
+            host,
+            log_idx,
+        });
+        Ok(match cmd {
+            DiskCommand::Read => self.read_time,
+            DiskCommand::Write => self.write_time,
+        })
+    }
+
+    /// Abandons the in-flight operation *without* completing it, as
+    /// happens when the issuing processor dies mid-transfer. The
+    /// operation's effect is decided now (it may have reached the medium
+    /// or not — the essence of the two-generals situation of §2.2), but
+    /// no interrupt is ever delivered for it.
+    pub fn abandon(&mut self, data_if_write: Option<&[u8]>) {
+        let Some(op) = self.pending.take() else {
+            return;
+        };
+        // The medium may have absorbed the write before the crash.
+        let applied = self.rng.gen_bool(0.5);
+        if applied {
+            if let (DiskCommand::Write, Some(data)) = (op.cmd, data_if_write) {
+                self.store(op.block, data);
+            }
+        }
+        let entry = &mut self.log[op.log_idx];
+        entry.status = DiskStatus::Uncertain;
+        entry.applied = applied;
+    }
+
+    fn outcome(&mut self) -> (DiskStatus, bool) {
+        if self.force_uncertain > 0 {
+            self.force_uncertain -= 1;
+            // IO2: performed-or-not is genuinely ambiguous.
+            let applied = self.rng.gen_bool(0.5);
+            return (DiskStatus::Uncertain, applied);
+        }
+        if self.fault_prob > 0.0 && self.rng.gen_bool(self.fault_prob) {
+            let applied = self.rng.gen_bool(0.5);
+            return (DiskStatus::Uncertain, applied);
+        }
+        (DiskStatus::Complete, true)
+    }
+
+    /// Completes an in-flight write with the data the host DMA'd from
+    /// guest memory. Returns the status to deliver with the interrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no write is pending or `data` is not one block.
+    pub fn complete_write(&mut self, data: &[u8]) -> DiskStatus {
+        assert_eq!(data.len(), BLOCK_SIZE, "writes are whole blocks");
+        let op = self.pending.take().expect("no pending operation");
+        assert_eq!(op.cmd, DiskCommand::Write, "pending op is not a write");
+        let (status, applied) = self.outcome();
+        if applied {
+            self.store(op.block, data);
+        }
+        let entry = &mut self.log[op.log_idx];
+        entry.status = status;
+        entry.applied = applied;
+        status
+    }
+
+    /// Completes an in-flight read. Returns the status and, when the data
+    /// transfer happened, the block contents for the host to DMA into
+    /// guest memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no read is pending.
+    pub fn complete_read(&mut self) -> (DiskStatus, Option<Vec<u8>>) {
+        let op = self.pending.take().expect("no pending operation");
+        assert_eq!(op.cmd, DiskCommand::Read, "pending op is not a read");
+        let (status, applied) = self.outcome();
+        let data = if applied {
+            Some(self.fetch(op.block).to_vec())
+        } else {
+            None
+        };
+        let entry = &mut self.log[op.log_idx];
+        entry.status = status;
+        entry.applied = applied;
+        (status, data)
+    }
+
+    fn store(&mut self, block: u32, data: &[u8]) {
+        let at = block as usize * BLOCK_SIZE;
+        self.blocks[at..at + BLOCK_SIZE].copy_from_slice(data);
+    }
+
+    fn fetch(&self, block: u32) -> &[u8] {
+        let at = block as usize * BLOCK_SIZE;
+        &self.blocks[at..at + BLOCK_SIZE]
+    }
+
+    /// Direct medium access for test setup and verification (not part of
+    /// the device interface).
+    pub fn peek_block(&self, block: u32) -> &[u8] {
+        self.fetch(block)
+    }
+
+    /// Direct medium mutation for test setup.
+    pub fn poke_block(&mut self, block: u32, data: &[u8]) {
+        assert_eq!(data.len(), BLOCK_SIZE);
+        self.store(block, data);
+    }
+
+    /// The environment-visible operation log.
+    pub fn log(&self) -> &[DiskLogEntry] {
+        &self.log
+    }
+}
+
+/// Checks that an operation log is consistent with what a single
+/// processor could have produced.
+///
+/// The enforceable invariant is that commands come from at most one host
+/// at a time with at most **one** host switch (primary → promoted
+/// backup) and no interleaving back. Repeated `(cmd, block)` pairs
+/// across the switch are *not* flagged: they are indistinguishable from
+/// a program that legitimately re-issues the operation, and IO2 obliges
+/// the environment to tolerate repetition anyway — rule P7 leans on
+/// exactly that. Whether the *effects* are right is checked separately
+/// by comparing final medium state against a failure-free reference run.
+///
+/// Returns `Err` with a description of the first violation.
+pub fn check_single_processor_consistency(log: &[DiskLogEntry]) -> Result<(), String> {
+    let mut current_host: Option<u8> = None;
+    let mut switches = 0;
+    for (i, e) in log.iter().enumerate() {
+        match current_host {
+            None => current_host = Some(e.host),
+            Some(h) if h != e.host => {
+                switches += 1;
+                if switches > 1 {
+                    return Err(format!("op {i}: second host switch (to host {})", e.host));
+                }
+                current_host = Some(e.host);
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn block_of(byte: u8) -> Vec<u8> {
+        vec![byte; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut d = Disk::new(16, 7);
+        let dur = d.submit(t0(), 0, DiskCommand::Write, 3).unwrap();
+        assert_eq!(dur, SimDuration::from_micros(26_000));
+        assert_eq!(d.complete_write(&block_of(0xAA)), DiskStatus::Complete);
+
+        d.submit(t0(), 0, DiskCommand::Read, 3).unwrap();
+        let (status, data) = d.complete_read();
+        assert_eq!(status, DiskStatus::Complete);
+        assert_eq!(data.unwrap(), block_of(0xAA));
+    }
+
+    #[test]
+    fn busy_while_pending() {
+        let mut d = Disk::new(4, 0);
+        d.submit(t0(), 0, DiskCommand::Read, 0).unwrap();
+        assert_eq!(
+            d.submit(t0(), 0, DiskCommand::Read, 1),
+            Err(DiskError::Busy)
+        );
+        assert!(d.is_busy());
+        let _ = d.complete_read();
+        assert!(!d.is_busy());
+    }
+
+    #[test]
+    fn bad_block_rejected() {
+        let mut d = Disk::new(4, 0);
+        assert_eq!(
+            d.submit(t0(), 0, DiskCommand::Read, 4),
+            Err(DiskError::BadBlock { block: 4 })
+        );
+    }
+
+    #[test]
+    fn forced_uncertain_write_may_or_may_not_apply() {
+        // Run many injected faults; both "applied" and "not applied"
+        // outcomes must occur — IO2's ambiguity is real.
+        let mut applied = 0;
+        let mut not_applied = 0;
+        for seed in 0..32 {
+            let mut d = Disk::new(2, seed);
+            d.poke_block(1, &block_of(0x00));
+            d.force_uncertain(1);
+            d.submit(t0(), 0, DiskCommand::Write, 1).unwrap();
+            let status = d.complete_write(&block_of(0xBB));
+            assert_eq!(status, DiskStatus::Uncertain);
+            if d.peek_block(1) == block_of(0xBB).as_slice() {
+                applied += 1;
+            } else {
+                not_applied += 1;
+            }
+        }
+        assert!(applied > 0, "some uncertain writes should reach the medium");
+        assert!(not_applied > 0, "some uncertain writes should be lost");
+    }
+
+    #[test]
+    fn uncertain_read_may_withhold_data() {
+        let mut saw_data = false;
+        let mut saw_none = false;
+        for seed in 0..32 {
+            let mut d = Disk::new(2, seed);
+            d.force_uncertain(1);
+            d.submit(t0(), 0, DiskCommand::Read, 0).unwrap();
+            let (status, data) = d.complete_read();
+            assert_eq!(status, DiskStatus::Uncertain);
+            match data {
+                Some(_) => saw_data = true,
+                None => saw_none = true,
+            }
+        }
+        assert!(saw_data && saw_none);
+    }
+
+    #[test]
+    fn retry_after_uncertain_write_is_idempotent() {
+        // The driver contract: on uncertain, repeat the same write. The
+        // medium must end up with the data exactly once.
+        let mut d = Disk::new(2, 3);
+        d.force_uncertain(1);
+        d.submit(t0(), 0, DiskCommand::Write, 0).unwrap();
+        assert_eq!(d.complete_write(&block_of(0x42)), DiskStatus::Uncertain);
+        // Retry.
+        d.submit(t0(), 0, DiskCommand::Write, 0).unwrap();
+        assert_eq!(d.complete_write(&block_of(0x42)), DiskStatus::Complete);
+        assert_eq!(d.peek_block(0), block_of(0x42).as_slice());
+    }
+
+    #[test]
+    fn abandon_decides_effect_without_interrupt() {
+        let mut d = Disk::new(2, 5);
+        d.submit(t0(), 0, DiskCommand::Write, 0).unwrap();
+        d.abandon(Some(&block_of(0x99)));
+        assert!(!d.is_busy());
+        let e = &d.log()[0];
+        assert_eq!(e.status, DiskStatus::Uncertain);
+        // Whether it applied is recorded for the environment-consistency
+        // check, even though no host ever learns it.
+        if e.applied {
+            assert_eq!(d.peek_block(0), block_of(0x99).as_slice());
+        } else {
+            assert_eq!(d.peek_block(0), block_of(0x00).as_slice());
+        }
+    }
+
+    #[test]
+    fn log_records_operations() {
+        let mut d = Disk::new(4, 0);
+        d.submit(SimTime::from_nanos(10), 0, DiskCommand::Write, 2)
+            .unwrap();
+        d.complete_write(&block_of(1));
+        d.submit(SimTime::from_nanos(20), 0, DiskCommand::Read, 2)
+            .unwrap();
+        d.complete_read();
+        let log = d.log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].cmd, DiskCommand::Write);
+        assert_eq!(log[1].cmd, DiskCommand::Read);
+        assert_eq!(log[0].block, 2);
+    }
+
+    #[test]
+    fn consistency_accepts_single_host() {
+        let log = vec![
+            DiskLogEntry {
+                issued_at: t0(),
+                host: 0,
+                cmd: DiskCommand::Write,
+                block: 1,
+                status: DiskStatus::Complete,
+                applied: true,
+            };
+            5
+        ];
+        // Identical repeated writes from one host are always fine (the
+        // guest may legitimately rewrite a block).
+        assert!(check_single_processor_consistency(&log).is_ok());
+    }
+
+    #[test]
+    fn consistency_accepts_failover_with_uncertain_repeat() {
+        let mk = |host, status| DiskLogEntry {
+            issued_at: t0(),
+            host,
+            cmd: DiskCommand::Write,
+            block: 7,
+            status,
+            applied: true,
+        };
+        let log = vec![mk(0, DiskStatus::Uncertain), mk(1, DiskStatus::Complete)];
+        assert!(check_single_processor_consistency(&log).is_ok());
+    }
+
+    #[test]
+    fn consistency_allows_cross_host_repeat() {
+        // Indistinguishable from a legitimate re-write of the same block
+        // (and tolerated by IO2 regardless), so not an anomaly.
+        let mk = |host, status| DiskLogEntry {
+            issued_at: t0(),
+            host,
+            cmd: DiskCommand::Write,
+            block: 7,
+            status,
+            applied: true,
+        };
+        let log = vec![mk(0, DiskStatus::Complete), mk(1, DiskStatus::Complete)];
+        assert!(check_single_processor_consistency(&log).is_ok());
+    }
+
+    #[test]
+    fn consistency_rejects_double_switch() {
+        let mk = |host, block| DiskLogEntry {
+            issued_at: t0(),
+            host,
+            cmd: DiskCommand::Read,
+            block,
+            status: DiskStatus::Complete,
+            applied: true,
+        };
+        let log = vec![mk(0, 1), mk(1, 2), mk(0, 3)];
+        assert!(check_single_processor_consistency(&log).is_err());
+    }
+}

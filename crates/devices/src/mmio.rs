@@ -1,0 +1,73 @@
+//! The memory-mapped I/O register map shared by guests and hosts.
+//!
+//! All device registers live in the physical I/O window (see
+//! `hvft_machine::mem::IO_BASE`). Offsets here are relative to that base;
+//! the guest mini-OS hard-codes the same constants in its driver.
+
+/// Disk controller register block offset.
+pub const DISK_BASE: u32 = 0x100;
+/// Disk: target block number (read/write).
+pub const DISK_REG_BLOCK: u32 = DISK_BASE;
+/// Disk: DMA physical address in host RAM (read/write).
+pub const DISK_REG_ADDR: u32 = DISK_BASE + 0x4;
+/// Disk: command/GO register; writing a [`disk_cmd`] value starts the operation.
+pub const DISK_REG_CMD: u32 = DISK_BASE + 0x8;
+/// Disk: status register (read), a [`disk_status`] value.
+pub const DISK_REG_STATUS: u32 = DISK_BASE + 0xC;
+
+/// Console register block offset.
+pub const CONSOLE_BASE: u32 = 0x200;
+/// Console: transmit register; writing a byte emits it.
+pub const CONSOLE_REG_TX: u32 = CONSOLE_BASE;
+/// Console: status register (always ready in this model).
+pub const CONSOLE_REG_STATUS: u32 = CONSOLE_BASE + 0x4;
+
+/// Values written to [`DISK_REG_CMD`].
+pub mod disk_cmd {
+    /// Start a block read.
+    pub const READ: u32 = 1;
+    /// Start a block write.
+    pub const WRITE: u32 = 2;
+}
+
+/// Values read from [`DISK_REG_STATUS`].
+pub mod disk_status {
+    /// No operation in flight and none completed since the last command.
+    pub const IDLE: u32 = 0;
+    /// Operation in flight.
+    pub const BUSY: u32 = 1;
+    /// Last operation completed successfully (IO1 completion interrupt).
+    pub const DONE: u32 = 2;
+    /// Last operation's outcome is uncertain (IO2 / SCSI
+    /// `CHECK_CONDITION`); the driver must retry.
+    pub const UNCERTAIN: u32 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_blocks_do_not_overlap() {
+        let disk = [DISK_REG_BLOCK, DISK_REG_ADDR, DISK_REG_CMD, DISK_REG_STATUS];
+        let console = [CONSOLE_REG_TX, CONSOLE_REG_STATUS];
+        for d in disk {
+            for c in console {
+                assert_ne!(d, c);
+            }
+        }
+    }
+
+    #[test]
+    fn registers_are_word_aligned() {
+        for r in [
+            DISK_REG_BLOCK,
+            DISK_REG_ADDR,
+            DISK_REG_CMD,
+            DISK_REG_STATUS,
+            CONSOLE_REG_TX,
+        ] {
+            assert_eq!(r % 4, 0, "register {r:#x} must be aligned");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The guest physical memory layout and kernel ABI constants.
+//!
+//! The kernel keeps its hot data below `0x2000` so trap handlers can
+//! address it with plain `r0`-relative displacements (the 14-bit signed
+//! displacement field reaches `0x1FFF`), which lets handlers save and
+//! restore registers without needing a free base register first.
+
+/// Base of the interrupt vector table (each vector slot is 32 bytes).
+pub const IVA_BASE: u32 = 0x100;
+/// Kernel scratch/data area (r0-relative addressable).
+pub const KDATA: u32 = 0x400;
+/// Kernel entry point (boot).
+pub const KERNEL_TEXT: u32 = 0x1000;
+/// Page table base: 1024 word entries covering virtual pages 0..1023
+/// (the first 4 MB) — installed in `ptbr` at boot.
+pub const PAGE_TABLE: u32 = 0x2000;
+/// Reachable with `ori` from a page-aligned value (must stay below the
+/// 14-bit unsigned immediate ceiling for the TLB-miss handler).
+const _: () = assert!(PAGE_TABLE < (1 << 14));
+/// Kernel stack top (grows down; mostly unused — handlers are leaf code).
+pub const KSTACK_TOP: u32 = 0xF000;
+/// User program text.
+pub const USER_TEXT: u32 = 0x10000;
+/// User scratch data array.
+pub const USER_DATA: u32 = 0x20000;
+/// User DMA buffer for disk transfers (one 8 KB block: pages 0x30, 0x31).
+pub const DMA_BUF: u32 = 0x30000;
+/// First page (number) with the user-access bit set.
+pub const USER_FIRST_PAGE: u32 = USER_TEXT >> 12;
+/// One past the last user page.
+pub const USER_LAST_PAGE: u32 = 0x40;
+/// Pages mapped identity in the boot page table.
+pub const MAPPED_PAGES: u32 = 0x40;
+/// Guest RAM size in bytes (covers everything above plus headroom).
+pub const RAM_BYTES: usize = 0x40000;
+
+/// Kernel data slots (absolute addresses, r0-relative addressable).
+pub mod kdata {
+    use super::KDATA;
+    /// Timer tick counter.
+    pub const TICKS: u32 = KDATA;
+    /// Disk-completion flag set by the interrupt handler.
+    pub const DISK_DONE: u32 = KDATA + 0x4;
+    /// Disk status captured from the controller by the handler.
+    pub const DISK_ST: u32 = KDATA + 0x8;
+    /// Saved `ipsw` across a syscall (so interrupts can nest over it).
+    pub const SAVED_IPSW: u32 = KDATA + 0xC;
+    /// Saved `iip` across a syscall.
+    pub const SAVED_IIP: u32 = KDATA + 0x10;
+    /// Interval-timer reload value in microseconds.
+    pub const TICK_PERIOD: u32 = KDATA + 0x14;
+    /// Interrupt-handler register save slots.
+    pub const S_R28: u32 = KDATA + 0x18;
+    /// Interrupt-handler register save slot.
+    pub const S_R29: u32 = KDATA + 0x1C;
+    /// Interrupt-handler register save slot.
+    pub const S_R30: u32 = KDATA + 0x20;
+    /// Interrupt-handler register save slot.
+    pub const S_R31: u32 = KDATA + 0x24;
+    /// Exit code stored by `SYS_EXIT`.
+    pub const EXIT_CODE: u32 = KDATA + 0x28;
+    /// Count of disk-driver retries caused by uncertain interrupts.
+    pub const RETRIES: u32 = KDATA + 0x2C;
+}
+
+/// Syscall numbers (the `gate` immediate).
+pub mod sys {
+    /// Write the byte in `r4` to the console.
+    pub const PUTC: u32 = 1;
+    /// Return the time-of-day clock (µs, low word) in `r4`.
+    pub const GETTIME: u32 = 2;
+    /// Read block `r4` from disk into the buffer at physical `r5`.
+    pub const READ_BLOCK: u32 = 3;
+    /// Write the buffer at physical `r5` to disk block `r4`.
+    pub const WRITE_BLOCK: u32 = 4;
+    /// Terminate the workload with code `r4`.
+    pub const EXIT: u32 = 5;
+    /// Emit a harness marker carrying `r4`.
+    pub const MARK: u32 = 6;
+    /// Return the tick counter in `r4`.
+    pub const GETTICKS: u32 = 7;
+}
+
+/// `diag` immediate codes understood by the embedding harness.
+pub mod diag {
+    /// Workload finished; `r4` carries the exit code / checksum.
+    pub const EXIT: u32 = 1;
+    /// Progress marker; `r4` carries a value.
+    pub const MARK: u32 = 2;
+    /// Kernel fatal trap; `r4` carries the fatal code.
+    pub const FATAL: u32 = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kdata_is_r0_addressable() {
+        // Every kdata slot must fit a signed 14-bit displacement.
+        for a in [
+            kdata::TICKS,
+            kdata::DISK_DONE,
+            kdata::DISK_ST,
+            kdata::SAVED_IPSW,
+            kdata::SAVED_IIP,
+            kdata::TICK_PERIOD,
+            kdata::S_R28,
+            kdata::S_R29,
+            kdata::S_R30,
+            kdata::S_R31,
+            kdata::EXIT_CODE,
+            kdata::RETRIES,
+        ] {
+            assert!(a < 8192, "{a:#x} exceeds the r0-relative range");
+            assert_eq!(a % 4, 0);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // Layout invariants, deliberately spelled out.
+    fn regions_do_not_overlap() {
+        assert!(IVA_BASE + 11 * 32 <= KDATA);
+        assert!(KDATA + 0x30 <= KERNEL_TEXT);
+        assert!(
+            KERNEL_TEXT < PAGE_TABLE,
+            "kernel text region precedes page table"
+        );
+        assert!(PAGE_TABLE + 1024 * 4 <= KSTACK_TOP);
+        assert!(KSTACK_TOP <= USER_TEXT);
+        assert!(USER_TEXT < USER_DATA);
+        assert!(USER_DATA < DMA_BUF);
+        assert!((DMA_BUF as usize) + 8192 <= RAM_BYTES);
+    }
+
+    #[test]
+    fn user_pages_cover_user_regions() {
+        for addr in [USER_TEXT, USER_DATA, DMA_BUF, DMA_BUF + 8191] {
+            let page = addr >> 12;
+            assert!(
+                (USER_FIRST_PAGE..USER_LAST_PAGE).contains(&page),
+                "{addr:#x} not in user pages"
+            );
+        }
+    }
+}

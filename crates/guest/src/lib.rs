@@ -1,0 +1,42 @@
+//! `hvft-guest` — the guest software stack.
+//!
+//! The paper runs unmodified HP-UX plus benchmark processes on its
+//! virtual machine. Our equivalent is a miniature kernel
+//! ([`kernel::kernel_source`]) and user-level benchmark programs
+//! ([`programs`]) written in the `hvft-isa` assembly dialect. The same
+//! binary image runs on the bare machine (for the paper's `RT` baseline)
+//! and under the replicated hypervisors, unmodified.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod layout;
+pub mod programs;
+
+pub use kernel::{kernel_source, KernelConfig};
+pub use programs::{dhrystone_source, hello_source, io_bench_source, mixed_source, IoMode};
+
+use hvft_isa::asm::{assemble, AsmError};
+use hvft_isa::program::Program;
+
+/// Assembles the kernel plus a user program into one bootable image.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_guest::{build_image, KernelConfig};
+///
+/// let img = build_image(
+///     &KernelConfig::default(),
+///     &hvft_guest::dhrystone_source(10, 0),
+/// )
+/// .unwrap();
+/// assert_eq!(img.entry, img.symbol("k_boot").unwrap());
+/// ```
+pub fn build_image(cfg: &KernelConfig, user_source: &str) -> Result<Program, AsmError> {
+    let mut src = kernel_source(cfg);
+    src.push('\n');
+    src.push_str(user_source);
+    assemble(&src)
+}

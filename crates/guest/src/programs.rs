@@ -1,0 +1,342 @@
+//! User-level benchmark programs.
+//!
+//! These are the guests' workloads from §4 of the paper:
+//!
+//! - [`dhrystone_source`]: the CPU-intensive workload — a synthetic
+//!   integer/memory/branch mix in the spirit of Dhrystone 2.1, run at
+//!   user privilege with a configurable syscall density;
+//! - [`io_bench_source`]: the I/O workloads — random-block disk reads or
+//!   writes, each awaited synchronously, exactly like the §4.2
+//!   benchmarks ("randomly selects a disk block, issues a read, and
+//!   awaits the data", iterated);
+//! - [`hello_source`]: a minimal console program for the quickstart.
+//!
+//! All programs end with `SYS_EXIT`, carrying a checksum in `r4` that is
+//! **independent of timing** (clock values never feed it), so the same
+//! binary must produce the identical checksum on bare hardware, on the
+//! primary, and on a promoted backup — the determinism property the test
+//! suite leans on.
+
+use crate::layout::{sys, DMA_BUF, USER_DATA, USER_TEXT};
+
+/// Which direction the I/O benchmark drives the disk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoMode {
+    /// Random-block reads (the paper's read benchmark).
+    Read,
+    /// Random-block writes (the paper's write benchmark).
+    Write,
+}
+
+fn prologue(name: &str) -> String {
+    format!(
+        "; ---- user program: {name} (generated) ----
+.org {utext:#x}
+u_main:
+",
+        utext = USER_TEXT
+    )
+}
+
+/// The CPU-intensive workload.
+///
+/// Each iteration executes a fixed mix of ALU, memory, byte, branch and
+/// call/return work (≈ 30 instructions plus a leaf call). When
+/// `syscall_every` is non-zero, every that-many-th iteration performs a
+/// `SYS_GETTIME` syscall, whose kernel path executes privileged
+/// instructions that the hypervisor must simulate.
+pub fn dhrystone_source(iters: u32, syscall_every: u32) -> String {
+    let mut s = prologue("dhrystone");
+    s.push_str(&format!(
+        "    li   r10, 0              ; checksum
+    li   r11, {iters}        ; iteration counter
+    li   r12, {udata:#x}     ; record array
+    li   r13, 0x12345        ; mixing state
+    li   r23, {se}           ; syscall period (0 = never)
+u_loop:
+    ; integer mix
+    add  r14, r13, r10
+    xor  r15, r14, r11
+    slli r16, r15, 3
+    srli r17, r15, 5
+    or   r14, r16, r17
+    sub  r13, r14, r11
+    mul  r15, r13, r14
+    add  r10, r10, r15
+    ; record assignment: store and reload a rotating slot; the stride
+    ; spreads the record array across several pages so small TLBs churn
+    andi r18, r11, 0xFF
+    slli r18, r18, 6
+    add  r18, r18, r12
+    sw   r14, 0(r18)
+    lw   r19, 0(r18)
+    add  r10, r10, r19
+    ; string-ish byte traffic
+    sb   r14, 1024(r18)
+    lbu  r20, 1024(r18)
+    add  r10, r10, r20
+    ; data-dependent branch
+    andi r21, r11, 1
+    beq  r21, r0, u_even
+    addi r10, r10, 7
+u_even:
+    ; procedure call (exercises the jal privilege-bit quirk)
+    call u_leaf
+    add  r10, r10, r24
+",
+        iters = iters,
+        udata = USER_DATA,
+        se = syscall_every,
+    ));
+    if syscall_every > 0 {
+        s.push_str(&format!(
+            "    ; periodic syscall: kernel executes privileged clock reads
+    remu r22, r11, r23
+    bne  r22, r0, u_nosys
+    gate {gettime}               ; result in r4 is timing-dependent —
+    and  r4, r4, r0              ; never fold it into the checksum
+u_nosys:
+",
+            gettime = sys::GETTIME
+        ));
+    }
+    s.push_str(&format!(
+        "    addi r11, r11, -1
+    bne  r11, r0, u_loop
+    mv   r4, r10
+    gate {exit}
+
+u_leaf:
+    xor  r24, r10, r11
+    andi r24, r24, 0xFFF
+    ret
+",
+        exit = sys::EXIT
+    ));
+    s
+}
+
+/// The I/O workload: `ops` random-block operations, LCG-selected within
+/// `num_blocks`, each one issued via syscall and awaited.
+///
+/// For writes, the first 16 words of the DMA buffer are refreshed with
+/// iteration-dependent data first. For reads, the first word of the
+/// buffer after each read is folded into the checksum.
+pub fn io_bench_source(ops: u32, mode: IoMode, num_blocks: u32, seed: u32) -> String {
+    let syscall = match mode {
+        IoMode::Read => sys::READ_BLOCK,
+        IoMode::Write => sys::WRITE_BLOCK,
+    };
+    let mut s = prologue(match mode {
+        IoMode::Read => "disk-read benchmark",
+        IoMode::Write => "disk-write benchmark",
+    });
+    s.push_str(&format!(
+        "    li   r10, {ops}          ; remaining operations
+    li   r11, {seed:#x}      ; LCG state
+    li   r12, {dma:#x}       ; DMA buffer
+    li   r13, {blocks}       ; number of blocks
+    li   r19, 0              ; checksum
+u_loop:
+    ; LCG step: state = state * 1664525 + 1013904223
+    li   r14, 1664525
+    mul  r11, r11, r14
+    li   r14, 1013904223
+    add  r11, r11, r14
+    srli r15, r11, 8
+    remu r15, r15, r13       ; block number
+",
+        ops = ops,
+        seed = seed,
+        dma = DMA_BUF,
+        blocks = num_blocks,
+    ));
+    if mode == IoMode::Write {
+        s.push_str(
+            "    ; refresh the head of the buffer so each write is distinct
+    addi r16, r0, 16
+    mv   r17, r12
+u_fill:
+    sw   r11, 0(r17)
+    addi r17, r17, 4
+    addi r16, r16, -1
+    bne  r16, r0, u_fill
+",
+        );
+    }
+    s.push_str(&format!(
+        "    mv   r4, r15
+    mv   r5, r12
+    gate {syscall}
+",
+        syscall = syscall
+    ));
+    if mode == IoMode::Read {
+        s.push_str(
+            "    lw   r18, 0(r12)
+    add  r19, r19, r18
+",
+        );
+    } else {
+        s.push_str(
+            "    add  r19, r19, r15       ; fold the block number instead
+",
+        );
+    }
+    s.push_str(&format!(
+        "    addi r10, r10, -1
+    bne  r10, r0, u_loop
+    mv   r4, r19
+    gate {exit}
+",
+        exit = sys::EXIT
+    ));
+    s
+}
+
+/// A mixed workload: like [`io_bench_source`], but with `compute_iters`
+/// iterations of integer work before each I/O operation.
+///
+/// §4.2 remarks that "in a benchmark where more computation were done
+/// before each I/O operation, the dominance of the cpu(EL) term would
+/// ameliorate the normalized performance" — this workload lets the
+/// ablation harness test that claim: its NP must interpolate between
+/// the pure-I/O and pure-CPU workloads' values.
+pub fn mixed_source(
+    ops: u32,
+    mode: IoMode,
+    num_blocks: u32,
+    seed: u32,
+    compute_iters: u32,
+) -> String {
+    let syscall = match mode {
+        IoMode::Read => sys::READ_BLOCK,
+        IoMode::Write => sys::WRITE_BLOCK,
+    };
+    let mut s = prologue("mixed compute + disk benchmark");
+    s.push_str(&format!(
+        "    li   r10, {ops}          ; remaining operations
+    li   r11, {seed:#x}      ; LCG state
+    li   r12, {dma:#x}       ; DMA buffer
+    li   r13, {blocks}       ; number of blocks
+    li   r19, 0              ; checksum
+u_loop:
+    ; compute phase: {compute} iterations of integer mix
+    li   r20, {compute}
+    beq  r20, r0, u_io
+u_compute:
+    add  r14, r11, r19
+    xor  r15, r14, r20
+    slli r16, r15, 3
+    srli r17, r15, 7
+    or   r14, r16, r17
+    mul  r15, r14, r20
+    add  r19, r19, r15
+    addi r20, r20, -1
+    bne  r20, r0, u_compute
+u_io:
+    ; LCG step and I/O
+    li   r14, 1664525
+    mul  r11, r11, r14
+    li   r14, 1013904223
+    add  r11, r11, r14
+    srli r15, r11, 8
+    remu r15, r15, r13
+    mv   r4, r15
+    mv   r5, r12
+    gate {syscall}
+    add  r19, r19, r15
+    addi r10, r10, -1
+    bne  r10, r0, u_loop
+    mv   r4, r19
+    gate {exit}
+",
+        ops = ops,
+        seed = seed,
+        dma = DMA_BUF,
+        blocks = num_blocks,
+        compute = compute_iters,
+        syscall = syscall,
+        exit = sys::EXIT,
+    ));
+    s
+}
+
+/// A tiny console program: prints a message, waits for a few timer
+/// ticks, prints again, exits with a fixed code.
+pub fn hello_source(message: &str, wait_ticks: u32) -> String {
+    let mut s = prologue("hello");
+    s.push_str("    la r12, u_msg\nu_putloop:\n");
+    s.push_str(&format!(
+        "    lbu  r4, 0(r12)
+    beq  r4, r0, u_wait
+    gate {putc}
+    addi r12, r12, 1
+    b    u_putloop
+u_wait:
+    gate {getticks}
+    mv   r13, r4
+    addi r13, r13, {wait}
+u_tickloop:
+    gate {getticks}
+    blt  r4, r13, u_tickloop
+    addi r4, r0, 42
+    gate {exit}
+u_msg:
+    .asciiz \"{msg}\"
+",
+        putc = sys::PUTC,
+        getticks = sys::GETTICKS,
+        wait = wait_ticks,
+        exit = sys::EXIT,
+        msg = message
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+            .replace('\t', "\\t"),
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvft_isa::asm::assemble;
+
+    #[test]
+    fn dhrystone_assembles() {
+        for se in [0, 1, 10] {
+            let src = dhrystone_source(1000, se);
+            assemble(&src).unwrap_or_else(|e| panic!("dhrystone(se={se}): {e}"));
+        }
+    }
+
+    #[test]
+    fn io_bench_assembles() {
+        for mode in [IoMode::Read, IoMode::Write] {
+            let src = io_bench_source(64, mode, 128, 1);
+            assemble(&src).unwrap_or_else(|e| panic!("io({mode:?}): {e}"));
+        }
+    }
+
+    #[test]
+    fn hello_assembles() {
+        let src = hello_source("hi there\n", 2);
+        let p = assemble(&src).unwrap();
+        assert!(p.symbol("u_main").is_some());
+    }
+
+    #[test]
+    fn mixed_assembles() {
+        for compute in [0, 100, 10_000] {
+            let src = mixed_source(8, IoMode::Write, 32, 3, compute);
+            assemble(&src).unwrap_or_else(|e| panic!("mixed({compute}): {e}"));
+        }
+    }
+
+    #[test]
+    fn programs_org_at_user_text() {
+        let p = assemble(&dhrystone_source(1, 0)).unwrap();
+        assert_eq!(p.symbol("u_main"), Some(USER_TEXT));
+    }
+}

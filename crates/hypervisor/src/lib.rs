@@ -1,0 +1,26 @@
+//! `hvft-hypervisor` — the software layer between the hardware and the
+//! operating system.
+//!
+//! Two embedders of the `hvft-machine` CPU live here:
+//!
+//! - [`bare::BareHost`]: the guest running directly on the simulated
+//!   hardware — the paper's baseline for normalized performance;
+//! - [`hvguest::HvGuest`]: the guest under the hypervisor — privileged
+//!   and environment instructions simulated, epochs delimited by the
+//!   recovery counter, TLB management taken over, I/O intercepted.
+//!
+//! The replica-coordination protocols (rules P1–P7) that make two
+//! `HvGuest`s into a fault-tolerant virtual machine live in `hvft-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bare;
+pub mod cost;
+pub mod hvguest;
+pub mod vclock;
+
+pub use bare::{BareExit, BareHost, BareRunResult};
+pub use cost::CostModel;
+pub use hvguest::{HvConfig, HvEvent, HvGuest, HvStats, GUEST_KERNEL_LEVEL};
+pub use vclock::VClock;

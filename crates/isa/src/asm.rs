@@ -1,0 +1,1156 @@
+//! A two-pass assembler for the hvft ISA.
+//!
+//! The guest mini-OS and the benchmark programs are written in this
+//! assembly dialect. Syntax:
+//!
+//! ```text
+//! ; comment (also "//")
+//! .org 0x1000              ; set location counter
+//! .equ BUFSZ, 4096         ; constant definition
+//! .entry main              ; initial PC (defaults to first label)
+//! .word expr, expr         ; literal words
+//! .byte 1, 2, 3            ; literal bytes
+//! .space 64                ; zero fill
+//! .ascii "hi"              ; string bytes (\n, \0, \\, \" escapes)
+//! .asciiz "hi"             ; NUL-terminated string
+//! .align 8                 ; pad to power-of-two boundary
+//! main:
+//!     li   r5, 0xDEADBEEF  ; pseudo: lui+ori
+//!     la   r6, buffer      ; pseudo: address of symbol
+//!     lw   r7, 4(r6)
+//!     beq  r7, r0, done
+//!     call subroutine      ; pseudo: jal ra, …
+//!     b    main            ; pseudo: unconditional branch
+//! done:
+//!     ret                  ; pseudo: jalr r0, ra, 0
+//! ```
+//!
+//! Expressions are a symbol or integer optionally followed by `+`/`-`
+//! integer terms. Pseudo-instructions always occupy a fixed number of
+//! words so the two passes agree on layout.
+
+use crate::codec::encode;
+use crate::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
+use crate::program::{Program, Segment};
+use crate::reg::{ControlReg, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error with its source line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+type Result<T> = std::result::Result<T, AsmError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use hvft_isa::asm::assemble;
+///
+/// let p = assemble(".org 0\nstart: addi r1, r0, 1\n halt\n").unwrap();
+/// assert_eq!(p.size(), 8);
+/// ```
+pub fn assemble(source: &str) -> Result<Program> {
+    let stmts = parse(source)?;
+    let symbols = layout(&stmts)?;
+    emit(&stmts, symbols)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Label(String),
+    Org(Expr),
+    Entry(Expr),
+    Equ(String, Expr),
+    Word(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Space(Expr),
+    Ascii(Vec<u8>),
+    Align(Expr),
+    Insn {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    number: usize,
+    stmt: Stmt,
+}
+
+#[derive(Clone, Debug)]
+enum Operand {
+    Reg(Reg),
+    Ctl(ControlReg),
+    Expr(Expr),
+    /// `disp(base)` memory operand.
+    Mem(Expr, Reg),
+}
+
+#[derive(Clone, Debug)]
+struct Expr {
+    terms: Vec<(i64, Term)>,
+}
+
+#[derive(Clone, Debug)]
+enum Term {
+    Num(i64),
+    Sym(String),
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b';' if !in_str => return &line[..i],
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse(source: &str) -> Result<Vec<Line>> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = find_label_colon(text) {
+            let name = text[..colon].trim();
+            if !is_ident(name) {
+                return err(number, format!("invalid label name {name:?}"));
+            }
+            out.push(Line {
+                number,
+                stmt: Stmt::Label(name.to_owned()),
+            });
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let stmt = if let Some(rest) = text.strip_prefix('.') {
+            parse_directive(number, rest)?
+        } else {
+            parse_insn(number, text)?
+        };
+        out.push(Line { number, stmt });
+    }
+    Ok(out)
+}
+
+/// Finds the colon ending a leading label, if the line starts with one.
+fn find_label_colon(text: &str) -> Option<usize> {
+    let colon = text.find(':')?;
+    let head = &text[..colon];
+    if !head.is_empty() && is_ident(head.trim()) && !head.contains(' ') {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_directive(number: usize, rest: &str) -> Result<Stmt> {
+    let (name, args) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    match name {
+        "org" => Ok(Stmt::Org(parse_expr(number, args)?)),
+        "entry" => Ok(Stmt::Entry(parse_expr(number, args)?)),
+        "equ" => {
+            let (sym, val) = args.split_once(',').ok_or_else(|| AsmError {
+                line: number,
+                msg: ".equ needs NAME, value".into(),
+            })?;
+            let sym = sym.trim();
+            if !is_ident(sym) {
+                return err(number, format!("invalid .equ name {sym:?}"));
+            }
+            Ok(Stmt::Equ(sym.to_owned(), parse_expr(number, val.trim())?))
+        }
+        "word" => Ok(Stmt::Word(parse_expr_list(number, args)?)),
+        "byte" => Ok(Stmt::Byte(parse_expr_list(number, args)?)),
+        "space" => Ok(Stmt::Space(parse_expr(number, args)?)),
+        "align" => Ok(Stmt::Align(parse_expr(number, args)?)),
+        "ascii" => Ok(Stmt::Ascii(parse_string(number, args)?)),
+        "asciiz" => {
+            let mut bytes = parse_string(number, args)?;
+            bytes.push(0);
+            Ok(Stmt::Ascii(bytes))
+        }
+        _ => err(number, format!("unknown directive .{name}")),
+    }
+}
+
+fn parse_string(number: usize, args: &str) -> Result<Vec<u8>> {
+    let args = args.trim();
+    if !(args.len() >= 2 && args.starts_with('"') && args.ends_with('"')) {
+        return err(number, "expected quoted string");
+    }
+    let inner = &args[1..args.len() - 1];
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return err(number, format!("bad escape \\{other:?}")),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn parse_expr_list(number: usize, args: &str) -> Result<Vec<Expr>> {
+    args.split(',')
+        .map(|a| parse_expr(number, a.trim()))
+        .collect()
+}
+
+fn parse_expr(number: usize, text: &str) -> Result<Expr> {
+    let text = text.trim();
+    if text.is_empty() {
+        return err(number, "expected expression");
+    }
+    let mut terms = Vec::new();
+    let mut rest = text;
+    let mut sign = 1i64;
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('-') {
+            sign = -sign;
+            rest = r;
+            continue;
+        }
+        if let Some(r) = rest.strip_prefix('+') {
+            rest = r;
+            continue;
+        }
+        // Consume one atom.
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| c == '+' || c == '-' || c.is_whitespace())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let atom = &rest[..end];
+        if atom.is_empty() {
+            return err(number, format!("malformed expression {text:?}"));
+        }
+        let term = parse_atom(number, atom)?;
+        terms.push((sign, term));
+        sign = 1;
+        rest = &rest[end..];
+        let r = rest.trim_start();
+        if r.is_empty() {
+            break;
+        }
+        rest = r;
+        if !(rest.starts_with('+') || rest.starts_with('-')) {
+            return err(number, format!("unexpected token in expression {text:?}"));
+        }
+    }
+    Ok(Expr { terms })
+}
+
+fn parse_atom(number: usize, atom: &str) -> Result<Term> {
+    if let Some(hex) = atom.strip_prefix("0x").or_else(|| atom.strip_prefix("0X")) {
+        return match i64::from_str_radix(hex, 16) {
+            Ok(v) => Ok(Term::Num(v)),
+            Err(_) => err(number, format!("bad hex literal {atom:?}")),
+        };
+    }
+    if atom.starts_with(|c: char| c.is_ascii_digit()) {
+        return match atom.parse::<i64>() {
+            Ok(v) => Ok(Term::Num(v)),
+            Err(_) => err(number, format!("bad number {atom:?}")),
+        };
+    }
+    if atom.len() == 3 && atom.starts_with('\'') && atom.ends_with('\'') {
+        return Ok(Term::Num(i64::from(atom.as_bytes()[1])));
+    }
+    if is_ident(atom) {
+        return Ok(Term::Sym(atom.to_owned()));
+    }
+    err(number, format!("bad expression atom {atom:?}"))
+}
+
+fn parse_insn(number: usize, text: &str) -> Result<Stmt> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], text[i..].trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let mut operands = Vec::new();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            operands.push(parse_operand(number, part.trim())?);
+        }
+    }
+    Ok(Stmt::Insn { mnemonic, operands })
+}
+
+fn parse_operand(number: usize, text: &str) -> Result<Operand> {
+    if let Some(r) = Reg::parse(text) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(cr) = ControlReg::parse(text) {
+        return Ok(Operand::Ctl(cr));
+    }
+    // Memory operand: expr(base)
+    if text.ends_with(')') {
+        if let Some(open) = text.rfind('(') {
+            let base = text[open + 1..text.len() - 1].trim();
+            let Some(base) = Reg::parse(base) else {
+                return err(number, format!("bad base register in {text:?}"));
+            };
+            let disp_text = text[..open].trim();
+            let disp = if disp_text.is_empty() {
+                Expr { terms: vec![] }
+            } else {
+                parse_expr(number, disp_text)?
+            };
+            return Ok(Operand::Mem(disp, base));
+        }
+    }
+    Ok(Operand::Expr(parse_expr(number, text)?))
+}
+
+// ---------------------------------------------------------------------------
+// Layout (pass 1)
+// ---------------------------------------------------------------------------
+
+/// Size in bytes each statement occupies; pseudo-instructions have a fixed
+/// expansion so both passes agree.
+fn stmt_size(line: &Line, lc: u32, symbols: &BTreeMap<String, i64>) -> Result<u32> {
+    Ok(match &line.stmt {
+        Stmt::Label(_) | Stmt::Org(_) | Stmt::Entry(_) | Stmt::Equ(..) => 0,
+        Stmt::Word(es) => 4 * es.len() as u32,
+        Stmt::Byte(es) => es.len() as u32,
+        Stmt::Ascii(bytes) => bytes.len() as u32,
+        Stmt::Space(e) => eval_const(line.number, e, symbols)? as u32,
+        Stmt::Align(e) => {
+            let a = eval_const(line.number, e, symbols)? as u32;
+            if a == 0 || !a.is_power_of_two() {
+                return err(line.number, ".align argument must be a power of two");
+            }
+            (a - (lc % a)) % a
+        }
+        Stmt::Insn { mnemonic, .. } => match mnemonic.as_str() {
+            "li" | "la" => 8,
+            _ => 4,
+        },
+    })
+}
+
+/// Pass 1: resolve `.equ` constants and label addresses.
+fn layout(lines: &[Line]) -> Result<BTreeMap<String, i64>> {
+    let mut symbols: BTreeMap<String, i64> = BTreeMap::new();
+    let mut lc: u32 = 0;
+    for line in lines {
+        match &line.stmt {
+            Stmt::Label(name) => {
+                if symbols.contains_key(name) {
+                    return err(line.number, format!("duplicate symbol {name:?}"));
+                }
+                symbols.insert(name.clone(), i64::from(lc));
+            }
+            Stmt::Equ(name, e) => {
+                let v = eval_const(line.number, e, &symbols)?;
+                if symbols.contains_key(name) {
+                    return err(line.number, format!("duplicate symbol {name:?}"));
+                }
+                symbols.insert(name.clone(), v);
+            }
+            Stmt::Org(e) => {
+                lc = eval_const(line.number, e, &symbols)? as u32;
+            }
+            _ => {
+                lc = lc
+                    .checked_add(stmt_size(line, lc, &symbols)?)
+                    .ok_or_else(|| AsmError {
+                        line: line.number,
+                        msg: "address overflow".into(),
+                    })?;
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+fn eval_const(number: usize, e: &Expr, symbols: &BTreeMap<String, i64>) -> Result<i64> {
+    let mut total = 0i64;
+    for (sign, term) in &e.terms {
+        let v = match term {
+            Term::Num(n) => *n,
+            Term::Sym(s) => *symbols.get(s).ok_or_else(|| AsmError {
+                line: number,
+                msg: format!("undefined symbol {s:?}"),
+            })?,
+        };
+        total += sign * v;
+    }
+    Ok(total)
+}
+
+// ---------------------------------------------------------------------------
+// Emission (pass 2)
+// ---------------------------------------------------------------------------
+
+struct Emitter {
+    segments: Vec<Segment>,
+    lc: u32,
+    open: Option<(u32, Vec<u8>)>,
+}
+
+impl Emitter {
+    fn new() -> Self {
+        Emitter {
+            segments: Vec::new(),
+            lc: 0,
+            open: None,
+        }
+    }
+
+    fn set_lc(&mut self, lc: u32) {
+        self.flush();
+        self.lc = lc;
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        let (_, buf) = self.open.get_or_insert_with(|| (self.lc, Vec::new()));
+        buf.extend_from_slice(data);
+        self.lc += data.len() as u32;
+    }
+
+    fn word(&mut self, w: u32) {
+        self.bytes(&w.to_le_bytes());
+    }
+
+    fn flush(&mut self) {
+        if let Some((base, data)) = self.open.take() {
+            if !data.is_empty() {
+                self.segments.push(Segment { base, data });
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Segment> {
+        self.flush();
+        self.segments.sort_by_key(|s| s.base);
+        self.segments
+    }
+}
+
+fn emit(lines: &[Line], symbols: BTreeMap<String, i64>) -> Result<Program> {
+    let mut em = Emitter::new();
+    let mut entry: Option<u32> = None;
+    let mut first_label: Option<u32> = None;
+
+    for line in lines {
+        let n = line.number;
+        match &line.stmt {
+            Stmt::Label(name) => {
+                if first_label.is_none() {
+                    first_label = Some(symbols[name] as u32);
+                }
+            }
+            Stmt::Equ(..) => {}
+            Stmt::Org(e) => em.set_lc(eval_const(n, e, &symbols)? as u32),
+            Stmt::Entry(e) => entry = Some(eval_const(n, e, &symbols)? as u32),
+            Stmt::Word(es) => {
+                for e in es {
+                    let v = eval_const(n, e, &symbols)?;
+                    em.word(v as u32);
+                }
+            }
+            Stmt::Byte(es) => {
+                for e in es {
+                    let v = eval_const(n, e, &symbols)?;
+                    if !(-128..=255).contains(&v) {
+                        return err(n, format!("byte value {v} out of range"));
+                    }
+                    em.bytes(&[(v & 0xFF) as u8]);
+                }
+            }
+            Stmt::Ascii(bytes) => em.bytes(bytes),
+            Stmt::Space(e) => {
+                let len = eval_const(n, e, &symbols)? as usize;
+                em.bytes(&vec![0u8; len]);
+            }
+            Stmt::Align(e) => {
+                let a = eval_const(n, e, &symbols)? as u32;
+                let pad = (a - (em.lc % a)) % a;
+                em.bytes(&vec![0u8; pad as usize]);
+            }
+            Stmt::Insn { mnemonic, operands } => {
+                let pc = em.lc;
+                for insn in lower(n, mnemonic, operands, pc, &symbols)? {
+                    let w = encode(insn).map_err(|e| AsmError {
+                        line: n,
+                        msg: format!("{insn}: {e}"),
+                    })?;
+                    em.word(w);
+                }
+            }
+        }
+    }
+
+    let symbols_u32: BTreeMap<String, u32> =
+        symbols.into_iter().map(|(k, v)| (k, v as u32)).collect();
+    Ok(Program {
+        segments: em.finish(),
+        entry: entry.or(first_label).unwrap_or(0),
+        symbols: symbols_u32,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Instruction lowering
+// ---------------------------------------------------------------------------
+
+struct Ops<'a> {
+    line: usize,
+    mnemonic: &'a str,
+    operands: &'a [Operand],
+    pc: u32,
+    symbols: &'a BTreeMap<String, i64>,
+}
+
+impl<'a> Ops<'a> {
+    fn count(&self, want: usize) -> Result<()> {
+        if self.operands.len() == want {
+            Ok(())
+        } else {
+            err(
+                self.line,
+                format!(
+                    "{} expects {want} operand(s), got {}",
+                    self.mnemonic,
+                    self.operands.len()
+                ),
+            )
+        }
+    }
+
+    fn reg(&self, i: usize) -> Result<Reg> {
+        match self.operands.get(i) {
+            Some(Operand::Reg(r)) => Ok(*r),
+            _ => err(
+                self.line,
+                format!("{} operand {} must be a register", self.mnemonic, i + 1),
+            ),
+        }
+    }
+
+    fn ctl(&self, i: usize) -> Result<ControlReg> {
+        match self.operands.get(i) {
+            Some(Operand::Ctl(c)) => Ok(*c),
+            _ => err(
+                self.line,
+                format!(
+                    "{} operand {} must be a control register",
+                    self.mnemonic,
+                    i + 1
+                ),
+            ),
+        }
+    }
+
+    fn imm(&self, i: usize) -> Result<i64> {
+        match self.operands.get(i) {
+            Some(Operand::Expr(e)) => eval_const(self.line, e, self.symbols),
+            _ => err(
+                self.line,
+                format!("{} operand {} must be an expression", self.mnemonic, i + 1),
+            ),
+        }
+    }
+
+    fn mem(&self, i: usize) -> Result<(i32, Reg)> {
+        match self.operands.get(i) {
+            Some(Operand::Mem(e, base)) => {
+                let d = eval_const(self.line, e, self.symbols)?;
+                Ok((d as i32, *base))
+            }
+            // Bare symbol/number treated as absolute address off r0.
+            Some(Operand::Expr(e)) => {
+                let d = eval_const(self.line, e, self.symbols)?;
+                Ok((d as i32, Reg::ZERO))
+            }
+            _ => err(
+                self.line,
+                format!("{} operand {} must be disp(base)", self.mnemonic, i + 1),
+            ),
+        }
+    }
+
+    fn rel(&self, i: usize) -> Result<i32> {
+        let target = self.imm(i)?;
+        Ok((target - i64::from(self.pc)) as i32)
+    }
+}
+
+fn lower(
+    line: usize,
+    mnemonic: &str,
+    operands: &[Operand],
+    pc: u32,
+    symbols: &BTreeMap<String, i64>,
+) -> Result<Vec<Instruction>> {
+    use Instruction as I;
+    let o = Ops {
+        line,
+        mnemonic,
+        operands,
+        pc,
+        symbols,
+    };
+
+    let alu = |op: AluOp| -> Result<Vec<Instruction>> {
+        o.count(3)?;
+        Ok(vec![I::Alu {
+            op,
+            rd: o.reg(0)?,
+            rs1: o.reg(1)?,
+            rs2: o.reg(2)?,
+        }])
+    };
+    let alui = |op: AluImmOp| -> Result<Vec<Instruction>> {
+        o.count(3)?;
+        Ok(vec![I::AluImm {
+            op,
+            rd: o.reg(0)?,
+            rs1: o.reg(1)?,
+            imm: o.imm(2)? as i32,
+        }])
+    };
+    let load = |w: MemWidth| -> Result<Vec<Instruction>> {
+        o.count(2)?;
+        let (disp, base) = o.mem(1)?;
+        Ok(vec![I::Load {
+            width: w,
+            rd: o.reg(0)?,
+            base,
+            disp,
+        }])
+    };
+    let store = |w: MemWidth| -> Result<Vec<Instruction>> {
+        o.count(2)?;
+        let (disp, base) = o.mem(1)?;
+        Ok(vec![I::Store {
+            width: w,
+            rs: o.reg(0)?,
+            base,
+            disp,
+        }])
+    };
+    let branch = |c: BranchCond| -> Result<Vec<Instruction>> {
+        o.count(3)?;
+        Ok(vec![I::Branch {
+            cond: c,
+            rs1: o.reg(0)?,
+            rs2: o.reg(1)?,
+            offset: o.rel(2)?,
+        }])
+    };
+
+    match mnemonic {
+        "add" => alu(AluOp::Add),
+        "sub" => alu(AluOp::Sub),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "sll" => alu(AluOp::Sll),
+        "srl" => alu(AluOp::Srl),
+        "sra" => alu(AluOp::Sra),
+        "slt" => alu(AluOp::Slt),
+        "sltu" => alu(AluOp::Sltu),
+        "mul" => alu(AluOp::Mul),
+        "divu" => alu(AluOp::Divu),
+        "remu" => alu(AluOp::Remu),
+
+        "addi" => alui(AluImmOp::Addi),
+        "andi" => alui(AluImmOp::Andi),
+        "ori" => alui(AluImmOp::Ori),
+        "xori" => alui(AluImmOp::Xori),
+        "slti" => alui(AluImmOp::Slti),
+        "slli" => alui(AluImmOp::Slli),
+        "srli" => alui(AluImmOp::Srli),
+        "srai" => alui(AluImmOp::Srai),
+        "lui" => {
+            o.count(2)?;
+            Ok(vec![I::Lui {
+                rd: o.reg(0)?,
+                imm: o.imm(1)? as u32,
+            }])
+        }
+
+        "lw" => load(MemWidth::Word),
+        "lb" => load(MemWidth::Byte),
+        "lbu" => load(MemWidth::ByteU),
+        "sw" => store(MemWidth::Word),
+        "sb" => store(MemWidth::Byte),
+
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "bltu" => branch(BranchCond::Ltu),
+        "bgeu" => branch(BranchCond::Geu),
+
+        "jal" => {
+            o.count(2)?;
+            Ok(vec![I::Jal {
+                rd: o.reg(0)?,
+                offset: o.rel(1)?,
+            }])
+        }
+        "jalr" => {
+            o.count(3)?;
+            Ok(vec![I::Jalr {
+                rd: o.reg(0)?,
+                base: o.reg(1)?,
+                disp: o.imm(2)? as i32,
+            }])
+        }
+
+        "mftod" => {
+            o.count(1)?;
+            Ok(vec![I::MfTod { rd: o.reg(0)? }])
+        }
+        "mftodh" => {
+            o.count(1)?;
+            Ok(vec![I::MfTodH { rd: o.reg(0)? }])
+        }
+        "mtit" => {
+            o.count(1)?;
+            Ok(vec![I::MtIt { rs: o.reg(0)? }])
+        }
+        "mfit" => {
+            o.count(1)?;
+            Ok(vec![I::MfIt { rd: o.reg(0)? }])
+        }
+        "mtctl" => {
+            o.count(2)?;
+            Ok(vec![I::MtCtl {
+                cr: o.ctl(0)?,
+                rs: o.reg(1)?,
+            }])
+        }
+        "mfctl" => {
+            o.count(2)?;
+            Ok(vec![I::MfCtl {
+                rd: o.reg(0)?,
+                cr: o.ctl(1)?,
+            }])
+        }
+        "rfi" => {
+            o.count(0)?;
+            Ok(vec![I::Rfi])
+        }
+        "tlbi" => {
+            o.count(2)?;
+            Ok(vec![I::Tlbi {
+                rs1: o.reg(0)?,
+                rs2: o.reg(1)?,
+            }])
+        }
+        "tlbp" => {
+            o.count(1)?;
+            Ok(vec![I::Tlbp { rs: o.reg(0)? }])
+        }
+        "gate" => {
+            o.count(1)?;
+            Ok(vec![I::Gate {
+                imm: o.imm(0)? as u32,
+            }])
+        }
+        "ssm" => {
+            o.count(1)?;
+            Ok(vec![I::Ssm {
+                imm: o.imm(0)? as u32,
+            }])
+        }
+        "rsm" => {
+            o.count(1)?;
+            Ok(vec![I::Rsm {
+                imm: o.imm(0)? as u32,
+            }])
+        }
+        "probe" => {
+            o.count(2)?;
+            Ok(vec![I::Probe {
+                rd: o.reg(0)?,
+                rs: o.reg(1)?,
+            }])
+        }
+        "halt" => {
+            o.count(0)?;
+            Ok(vec![I::Halt])
+        }
+        "idle" => {
+            o.count(0)?;
+            Ok(vec![I::Idle])
+        }
+        "brk" => {
+            o.count(1)?;
+            Ok(vec![I::Brk {
+                imm: o.imm(0)? as u32,
+            }])
+        }
+        "diag" => {
+            o.count(2)?;
+            Ok(vec![I::Diag {
+                rs: o.reg(0)?,
+                imm: o.imm(1)? as u32,
+            }])
+        }
+        "nop" => {
+            o.count(0)?;
+            Ok(vec![I::Nop])
+        }
+
+        // -------------------------------------------------------------
+        // Pseudo-instructions
+        // -------------------------------------------------------------
+        "li" | "la" => {
+            o.count(2)?;
+            let rd = o.reg(0)?;
+            let value = o.imm(1)? as u32;
+            Ok(vec![
+                I::Lui {
+                    rd,
+                    imm: value >> 13,
+                },
+                I::AluImm {
+                    op: AluImmOp::Ori,
+                    rd,
+                    rs1: rd,
+                    imm: (value & 0x1FFF) as i32,
+                },
+            ])
+        }
+        "mv" => {
+            o.count(2)?;
+            Ok(vec![I::AluImm {
+                op: AluImmOp::Addi,
+                rd: o.reg(0)?,
+                rs1: o.reg(1)?,
+                imm: 0,
+            }])
+        }
+        "b" | "j" => {
+            o.count(1)?;
+            let offset = o.rel(0)?;
+            Ok(vec![I::Jal {
+                rd: Reg::ZERO,
+                offset,
+            }])
+        }
+        "call" => {
+            o.count(1)?;
+            Ok(vec![I::Jal {
+                rd: Reg::RA,
+                offset: o.rel(0)?,
+            }])
+        }
+        "ret" => {
+            o.count(0)?;
+            Ok(vec![I::Jalr {
+                rd: Reg::ZERO,
+                base: Reg::RA,
+                disp: 0,
+            }])
+        }
+
+        _ => err(line, format!("unknown mnemonic {mnemonic:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode;
+
+    fn words_of(src: &str) -> Vec<Instruction> {
+        let p = assemble(src).unwrap_or_else(|e| panic!("assemble failed: {e}"));
+        p.words().map(|(_, w)| decode(w).unwrap()).collect()
+    }
+
+    #[test]
+    fn simple_program() {
+        let insns = words_of("start: addi r1, r0, 42\n halt\n");
+        assert_eq!(insns.len(), 2);
+        assert_eq!(
+            insns[0],
+            Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::RA,
+                rs1: Reg::ZERO,
+                imm: 42
+            }
+        );
+        assert_eq!(insns[1], Instruction::Halt);
+    }
+
+    #[test]
+    fn org_and_labels() {
+        let p = assemble(".org 0x1000\nmain:\n nop\nnext:\n nop\n").unwrap();
+        assert_eq!(p.symbol("main"), Some(0x1000));
+        assert_eq!(p.symbol("next"), Some(0x1004));
+        assert_eq!(p.entry, 0x1000);
+    }
+
+    #[test]
+    fn entry_directive_overrides() {
+        let p = assemble(".org 0\nfoo: nop\nbar: nop\n.entry bar\n").unwrap();
+        assert_eq!(p.entry, 4);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let p = assemble(".equ BASE, 0x100\n.equ OFF, BASE + 8\n.org OFF\nx: nop\n").unwrap();
+        assert_eq!(p.symbol("x"), Some(0x108));
+    }
+
+    #[test]
+    fn branch_offsets_are_pc_relative() {
+        let insns = words_of("top: nop\n beq r1, r2, top\n bne r1, r2, bottom\nbottom: nop\n");
+        match insns[1] {
+            Instruction::Branch {
+                cond: BranchCond::Eq,
+                offset,
+                ..
+            } => assert_eq!(offset, -4),
+            ref other => panic!("expected beq, got {other}"),
+        }
+        match insns[2] {
+            Instruction::Branch {
+                cond: BranchCond::Ne,
+                offset,
+                ..
+            } => assert_eq!(offset, 4),
+            ref other => panic!("expected bne, got {other}"),
+        }
+    }
+
+    #[test]
+    fn li_expands_to_lui_ori() {
+        let insns = words_of("start: li r5, 0xDEADBEEF\n");
+        assert_eq!(insns.len(), 2);
+        assert_eq!(
+            insns[0],
+            Instruction::Lui {
+                rd: Reg::of(5),
+                imm: 0xDEADBEEF >> 13
+            }
+        );
+        assert_eq!(
+            insns[1],
+            Instruction::AluImm {
+                op: AluImmOp::Ori,
+                rd: Reg::of(5),
+                rs1: Reg::of(5),
+                imm: (0xDEADBEEFu32 & 0x1FFF) as i32
+            }
+        );
+    }
+
+    #[test]
+    fn la_resolves_labels() {
+        let p = assemble(".org 0x2000\nmain: la r4, data\n halt\ndata: .word 7\n").unwrap();
+        let insns: Vec<_> = p.words().take(3).map(|(_, w)| decode(w).unwrap()).collect();
+        // data is at 0x2000 + 12.
+        let addr = 0x200Cu32;
+        assert_eq!(
+            insns[0],
+            Instruction::Lui {
+                rd: Reg::of(4),
+                imm: addr >> 13
+            }
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let insns = words_of("f: lw r1, 8(r2)\n sw r1, -4(sp)\n lw r3, 16(r0)\n");
+        assert_eq!(
+            insns[0],
+            Instruction::Load {
+                width: MemWidth::Word,
+                rd: Reg::RA,
+                base: Reg::SP,
+                disp: 8
+            }
+        );
+        assert_eq!(
+            insns[2],
+            Instruction::Load {
+                width: MemWidth::Word,
+                rd: Reg::GP,
+                base: Reg::ZERO,
+                disp: 16
+            }
+        );
+    }
+
+    #[test]
+    fn data_directives() {
+        let p =
+            assemble(".org 0\nd: .word 0x11223344, 5\n .byte 1, 2\n .space 2\n .asciiz \"ab\"\n")
+                .unwrap();
+        let seg = &p.segments[0];
+        assert_eq!(&seg.data[0..4], &[0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(&seg.data[4..8], &[5, 0, 0, 0]);
+        assert_eq!(&seg.data[8..10], &[1, 2]);
+        assert_eq!(&seg.data[10..12], &[0, 0]);
+        assert_eq!(&seg.data[12..15], b"ab\0");
+    }
+
+    #[test]
+    fn align_pads() {
+        let p = assemble(".org 0\n .byte 1\n .align 4\nx: nop\n").unwrap();
+        assert_eq!(p.symbol("x"), Some(4));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let insns = words_of("main: call f\n halt\nf: ret\n");
+        assert_eq!(
+            insns[0],
+            Instruction::Jal {
+                rd: Reg::RA,
+                offset: 8
+            }
+        );
+        assert_eq!(
+            insns[2],
+            Instruction::Jalr {
+                rd: Reg::ZERO,
+                base: Reg::RA,
+                disp: 0
+            }
+        );
+    }
+
+    #[test]
+    fn ctl_registers() {
+        let insns = words_of("t: mtctl rctr, r7\n mfctl r8, eirr\n");
+        assert_eq!(
+            insns[0],
+            Instruction::MtCtl {
+                cr: ControlReg::Rctr,
+                rs: Reg::of(7)
+            }
+        );
+        assert_eq!(
+            insns[1],
+            Instruction::MfCtl {
+                rd: Reg::of(8),
+                cr: ControlReg::Eirr
+            }
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let insns = words_of("x: nop ; trailing\n // whole line\n nop\n");
+        assert_eq!(insns.len(), 2);
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = assemble("one: nop\n bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let e = assemble("x: jal ra, nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        // A branch across > 32 KB must fail to encode.
+        let src = format!("a: beq r0, r0, far\n .space {}\nfar: nop\n", 40_000);
+        let e = assemble(&src).unwrap_err();
+        assert!(e.msg.contains("does not fit"), "{e}");
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let p = assemble("a: b_label: nop\n").unwrap();
+        assert_eq!(p.symbol("a"), p.symbol("b_label"));
+    }
+
+    #[test]
+    fn char_literals() {
+        let insns = words_of("x: addi r1, r0, 'A'\n");
+        assert_eq!(
+            insns[0],
+            Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::RA,
+                rs1: Reg::ZERO,
+                imm: 65
+            }
+        );
+    }
+}

@@ -1,0 +1,819 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! Every instruction is one little-endian 32-bit word:
+//!
+//! ```text
+//!  31      24 23   19 18   14 13      9 8        0
+//! +----------+-------+-------+---------+----------+
+//! |  opcode  |  rd   |  rs1  |   rs2   |  unused  |   R-type
+//! |  opcode  |  rd   |  rs1  |      imm14         |   I-type (signed/unsigned per op)
+//! |  opcode  |  rd   |          imm19             |   LUI / JAL (JAL: signed words)
+//! |  opcode  |  rs1  |  rs2  |      imm14         |   branches (signed words)
+//! +----------+-------+-------+--------------------+
+//! ```
+
+use crate::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
+use crate::reg::{ControlReg, Reg};
+use core::fmt;
+
+/// Errors from [`encode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// An immediate does not fit its field.
+    ImmOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// Number of bits available (after any implicit scaling).
+        bits: u32,
+        /// Whether the field is signed.
+        signed: bool,
+    },
+    /// A branch or jump offset is not a multiple of 4.
+    MisalignedOffset {
+        /// The offending offset.
+        offset: i32,
+    },
+    /// A store with `ByteU` width (loads only).
+    InvalidStoreWidth,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EncodeError::ImmOutOfRange {
+                value,
+                bits,
+                signed,
+            } => {
+                let kind = if signed { "signed" } else { "unsigned" };
+                write!(f, "immediate {value} does not fit in {bits} {kind} bits")
+            }
+            EncodeError::MisalignedOffset { offset } => {
+                write!(f, "control-transfer offset {offset} is not a multiple of 4")
+            }
+            EncodeError::InvalidStoreWidth => write!(f, "stores cannot use unsigned byte width"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors from [`decode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode {
+        /// The opcode field.
+        opcode: u8,
+    },
+    /// A field held an invalid value (e.g. control-register index).
+    BadField {
+        /// The raw word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::BadOpcode { opcode } => write!(f, "unknown opcode {opcode:#04x}"),
+            DecodeError::BadField { word } => write!(f, "invalid field in word {word:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space.
+mod op {
+    pub const ADD: u8 = 0x01;
+    pub const SUB: u8 = 0x02;
+    pub const AND: u8 = 0x03;
+    pub const OR: u8 = 0x04;
+    pub const XOR: u8 = 0x05;
+    pub const SLL: u8 = 0x06;
+    pub const SRL: u8 = 0x07;
+    pub const SRA: u8 = 0x08;
+    pub const SLT: u8 = 0x09;
+    pub const SLTU: u8 = 0x0A;
+    pub const MUL: u8 = 0x0B;
+    pub const DIVU: u8 = 0x0C;
+    pub const REMU: u8 = 0x0D;
+
+    pub const ADDI: u8 = 0x10;
+    pub const ANDI: u8 = 0x11;
+    pub const ORI: u8 = 0x12;
+    pub const XORI: u8 = 0x13;
+    pub const SLTI: u8 = 0x14;
+    pub const SLLI: u8 = 0x15;
+    pub const SRLI: u8 = 0x16;
+    pub const SRAI: u8 = 0x17;
+    pub const LUI: u8 = 0x18;
+
+    pub const LW: u8 = 0x20;
+    pub const LB: u8 = 0x21;
+    pub const LBU: u8 = 0x22;
+    pub const SW: u8 = 0x23;
+    pub const SB: u8 = 0x24;
+
+    pub const BEQ: u8 = 0x28;
+    pub const BNE: u8 = 0x29;
+    pub const BLT: u8 = 0x2A;
+    pub const BGE: u8 = 0x2B;
+    pub const BLTU: u8 = 0x2C;
+    pub const BGEU: u8 = 0x2D;
+
+    pub const JAL: u8 = 0x30;
+    pub const JALR: u8 = 0x31;
+
+    pub const MFTOD: u8 = 0x40;
+    pub const MFTODH: u8 = 0x41;
+    pub const MTIT: u8 = 0x42;
+    pub const MFIT: u8 = 0x43;
+    pub const MTCTL: u8 = 0x44;
+    pub const MFCTL: u8 = 0x45;
+    pub const RFI: u8 = 0x46;
+    pub const TLBI: u8 = 0x47;
+    pub const TLBP: u8 = 0x48;
+    pub const GATE: u8 = 0x49;
+    pub const PROBE: u8 = 0x4A;
+    pub const HALT: u8 = 0x4B;
+    pub const IDLE: u8 = 0x4C;
+    pub const BRK: u8 = 0x4D;
+    pub const DIAG: u8 = 0x4E;
+    pub const NOP: u8 = 0x4F;
+    pub const SSM: u8 = 0x50;
+    pub const RSM: u8 = 0x51;
+}
+
+const IMM14_MIN: i32 = -(1 << 13);
+const IMM14_MAX: i32 = (1 << 13) - 1;
+const IMM14_UMAX: u32 = (1 << 14) - 1;
+const IMM19_UMAX: u32 = (1 << 19) - 1;
+const JAL_WORD_MIN: i32 = -(1 << 18);
+const JAL_WORD_MAX: i32 = (1 << 18) - 1;
+
+fn check_simm14(v: i32) -> Result<u32, EncodeError> {
+    if (IMM14_MIN..=IMM14_MAX).contains(&v) {
+        Ok((v as u32) & IMM14_UMAX)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            value: v as i64,
+            bits: 14,
+            signed: true,
+        })
+    }
+}
+
+fn check_uimm14(v: i32) -> Result<u32, EncodeError> {
+    if (0..=IMM14_UMAX as i32).contains(&v) {
+        Ok(v as u32)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            value: v as i64,
+            bits: 14,
+            signed: false,
+        })
+    }
+}
+
+fn check_shamt(v: i32) -> Result<u32, EncodeError> {
+    if (0..=31).contains(&v) {
+        Ok(v as u32)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            value: v as i64,
+            bits: 5,
+            signed: false,
+        })
+    }
+}
+
+fn check_branch_offset(offset: i32) -> Result<u32, EncodeError> {
+    if offset % 4 != 0 {
+        return Err(EncodeError::MisalignedOffset { offset });
+    }
+    check_simm14(offset / 4)
+}
+
+fn check_jal_offset(offset: i32) -> Result<u32, EncodeError> {
+    if offset % 4 != 0 {
+        return Err(EncodeError::MisalignedOffset { offset });
+    }
+    let words = offset / 4;
+    if (JAL_WORD_MIN..=JAL_WORD_MAX).contains(&words) {
+        Ok((words as u32) & IMM19_UMAX)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            value: offset as i64,
+            bits: 19,
+            signed: true,
+        })
+    }
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+#[inline]
+fn r3(opc: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    (u32::from(opc) << 24)
+        | (u32::from(rd.index()) << 19)
+        | (u32::from(rs1.index()) << 14)
+        | (u32::from(rs2.index()) << 9)
+}
+
+#[inline]
+fn ri(opc: u8, rd: Reg, rs1: Reg, imm14: u32) -> u32 {
+    debug_assert!(imm14 <= IMM14_UMAX);
+    (u32::from(opc) << 24) | (u32::from(rd.index()) << 19) | (u32::from(rs1.index()) << 14) | imm14
+}
+
+#[inline]
+fn rl(opc: u8, rd: Reg, imm19: u32) -> u32 {
+    debug_assert!(imm19 <= IMM19_UMAX);
+    (u32::from(opc) << 24) | (u32::from(rd.index()) << 19) | imm19
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_isa::codec::{encode, decode};
+/// use hvft_isa::instruction::Instruction;
+///
+/// let word = encode(Instruction::Nop).unwrap();
+/// assert_eq!(decode(word).unwrap(), Instruction::Nop);
+/// ```
+pub fn encode(insn: Instruction) -> Result<u32, EncodeError> {
+    use Instruction as I;
+    Ok(match insn {
+        I::Alu {
+            op: a,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let opc = match a {
+                AluOp::Add => op::ADD,
+                AluOp::Sub => op::SUB,
+                AluOp::And => op::AND,
+                AluOp::Or => op::OR,
+                AluOp::Xor => op::XOR,
+                AluOp::Sll => op::SLL,
+                AluOp::Srl => op::SRL,
+                AluOp::Sra => op::SRA,
+                AluOp::Slt => op::SLT,
+                AluOp::Sltu => op::SLTU,
+                AluOp::Mul => op::MUL,
+                AluOp::Divu => op::DIVU,
+                AluOp::Remu => op::REMU,
+            };
+            r3(opc, rd, rs1, rs2)
+        }
+        I::AluImm {
+            op: a,
+            rd,
+            rs1,
+            imm,
+        } => {
+            let (opc, field) = match a {
+                AluImmOp::Addi => (op::ADDI, check_simm14(imm)?),
+                AluImmOp::Slti => (op::SLTI, check_simm14(imm)?),
+                AluImmOp::Andi => (op::ANDI, check_uimm14(imm)?),
+                AluImmOp::Ori => (op::ORI, check_uimm14(imm)?),
+                AluImmOp::Xori => (op::XORI, check_uimm14(imm)?),
+                AluImmOp::Slli => (op::SLLI, check_shamt(imm)?),
+                AluImmOp::Srli => (op::SRLI, check_shamt(imm)?),
+                AluImmOp::Srai => (op::SRAI, check_shamt(imm)?),
+            };
+            ri(opc, rd, rs1, field)
+        }
+        I::Lui { rd, imm } => {
+            if imm > IMM19_UMAX {
+                return Err(EncodeError::ImmOutOfRange {
+                    value: i64::from(imm),
+                    bits: 19,
+                    signed: false,
+                });
+            }
+            rl(op::LUI, rd, imm)
+        }
+        I::Load {
+            width,
+            rd,
+            base,
+            disp,
+        } => {
+            let opc = match width {
+                MemWidth::Word => op::LW,
+                MemWidth::Byte => op::LB,
+                MemWidth::ByteU => op::LBU,
+            };
+            ri(opc, rd, base, check_simm14(disp)?)
+        }
+        I::Store {
+            width,
+            rs,
+            base,
+            disp,
+        } => {
+            let opc = match width {
+                MemWidth::Word => op::SW,
+                MemWidth::Byte => op::SB,
+                MemWidth::ByteU => return Err(EncodeError::InvalidStoreWidth),
+            };
+            ri(opc, rs, base, check_simm14(disp)?)
+        }
+        I::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let opc = match cond {
+                BranchCond::Eq => op::BEQ,
+                BranchCond::Ne => op::BNE,
+                BranchCond::Lt => op::BLT,
+                BranchCond::Ge => op::BGE,
+                BranchCond::Ltu => op::BLTU,
+                BranchCond::Geu => op::BGEU,
+            };
+            ri(opc, rs1, rs2, check_branch_offset(offset)?)
+        }
+        I::Jal { rd, offset } => rl(op::JAL, rd, check_jal_offset(offset)?),
+        I::Jalr { rd, base, disp } => ri(op::JALR, rd, base, check_simm14(disp)?),
+        I::MfTod { rd } => r3(op::MFTOD, rd, Reg::ZERO, Reg::ZERO),
+        I::MfTodH { rd } => r3(op::MFTODH, rd, Reg::ZERO, Reg::ZERO),
+        I::MtIt { rs } => r3(op::MTIT, Reg::ZERO, rs, Reg::ZERO),
+        I::MfIt { rd } => r3(op::MFIT, rd, Reg::ZERO, Reg::ZERO),
+        I::MtCtl { cr, rs } => {
+            (u32::from(op::MTCTL) << 24)
+                | (u32::from(cr.index()) << 19)
+                | (u32::from(rs.index()) << 14)
+        }
+        I::MfCtl { rd, cr } => {
+            (u32::from(op::MFCTL) << 24)
+                | (u32::from(rd.index()) << 19)
+                | (u32::from(cr.index()) << 14)
+        }
+        I::Rfi => u32::from(op::RFI) << 24,
+        I::Tlbi { rs1, rs2 } => r3(op::TLBI, Reg::ZERO, rs1, rs2),
+        I::Tlbp { rs } => r3(op::TLBP, Reg::ZERO, rs, Reg::ZERO),
+        I::Gate { imm } => {
+            if imm > IMM14_UMAX {
+                return Err(EncodeError::ImmOutOfRange {
+                    value: i64::from(imm),
+                    bits: 14,
+                    signed: false,
+                });
+            }
+            (u32::from(op::GATE) << 24) | imm
+        }
+        I::Probe { rd, rs } => r3(op::PROBE, rd, rs, Reg::ZERO),
+        I::Halt => u32::from(op::HALT) << 24,
+        I::Idle => u32::from(op::IDLE) << 24,
+        I::Brk { imm } => {
+            if imm > IMM14_UMAX {
+                return Err(EncodeError::ImmOutOfRange {
+                    value: i64::from(imm),
+                    bits: 14,
+                    signed: false,
+                });
+            }
+            (u32::from(op::BRK) << 24) | imm
+        }
+        I::Diag { rs, imm } => {
+            if imm > IMM14_UMAX {
+                return Err(EncodeError::ImmOutOfRange {
+                    value: i64::from(imm),
+                    bits: 14,
+                    signed: false,
+                });
+            }
+            (u32::from(op::DIAG) << 24) | (u32::from(rs.index()) << 14) | imm
+        }
+        I::Ssm { imm } => {
+            if imm > IMM14_UMAX {
+                return Err(EncodeError::ImmOutOfRange {
+                    value: i64::from(imm),
+                    bits: 14,
+                    signed: false,
+                });
+            }
+            (u32::from(op::SSM) << 24) | imm
+        }
+        I::Rsm { imm } => {
+            if imm > IMM14_UMAX {
+                return Err(EncodeError::ImmOutOfRange {
+                    value: i64::from(imm),
+                    bits: 14,
+                    signed: false,
+                });
+            }
+            (u32::from(op::RSM) << 24) | imm
+        }
+        I::Nop => u32::from(op::NOP) << 24,
+    })
+}
+
+fn field_rd(word: u32) -> Reg {
+    Reg::of(((word >> 19) & 0x1F) as u8)
+}
+fn field_rs1(word: u32) -> Reg {
+    Reg::of(((word >> 14) & 0x1F) as u8)
+}
+fn field_rs2(word: u32) -> Reg {
+    Reg::of(((word >> 9) & 0x1F) as u8)
+}
+fn field_imm14(word: u32) -> u32 {
+    word & IMM14_UMAX
+}
+fn field_imm19(word: u32) -> u32 {
+    word & IMM19_UMAX
+}
+
+/// Decodes a 32-bit word into an instruction.
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    use Instruction as I;
+    let opc = (word >> 24) as u8;
+    let alu = |o: AluOp| I::Alu {
+        op: o,
+        rd: field_rd(word),
+        rs1: field_rs1(word),
+        rs2: field_rs2(word),
+    };
+    let alui_s = |o: AluImmOp| I::AluImm {
+        op: o,
+        rd: field_rd(word),
+        rs1: field_rs1(word),
+        imm: sext(field_imm14(word), 14),
+    };
+    let alui_u = |o: AluImmOp| I::AluImm {
+        op: o,
+        rd: field_rd(word),
+        rs1: field_rs1(word),
+        imm: field_imm14(word) as i32,
+    };
+    let load = |w: MemWidth| I::Load {
+        width: w,
+        rd: field_rd(word),
+        base: field_rs1(word),
+        disp: sext(field_imm14(word), 14),
+    };
+    let store = |w: MemWidth| I::Store {
+        width: w,
+        rs: field_rd(word),
+        base: field_rs1(word),
+        disp: sext(field_imm14(word), 14),
+    };
+    let branch = |c: BranchCond| I::Branch {
+        cond: c,
+        rs1: field_rd(word),
+        rs2: field_rs1(word),
+        offset: sext(field_imm14(word), 14) * 4,
+    };
+    let shamt = |o: AluImmOp| -> Result<Instruction, DecodeError> {
+        let imm = field_imm14(word);
+        if imm > 31 {
+            return Err(DecodeError::BadField { word });
+        }
+        Ok(I::AluImm {
+            op: o,
+            rd: field_rd(word),
+            rs1: field_rs1(word),
+            imm: imm as i32,
+        })
+    };
+
+    Ok(match opc {
+        op::ADD => alu(AluOp::Add),
+        op::SUB => alu(AluOp::Sub),
+        op::AND => alu(AluOp::And),
+        op::OR => alu(AluOp::Or),
+        op::XOR => alu(AluOp::Xor),
+        op::SLL => alu(AluOp::Sll),
+        op::SRL => alu(AluOp::Srl),
+        op::SRA => alu(AluOp::Sra),
+        op::SLT => alu(AluOp::Slt),
+        op::SLTU => alu(AluOp::Sltu),
+        op::MUL => alu(AluOp::Mul),
+        op::DIVU => alu(AluOp::Divu),
+        op::REMU => alu(AluOp::Remu),
+
+        op::ADDI => alui_s(AluImmOp::Addi),
+        op::SLTI => alui_s(AluImmOp::Slti),
+        op::ANDI => alui_u(AluImmOp::Andi),
+        op::ORI => alui_u(AluImmOp::Ori),
+        op::XORI => alui_u(AluImmOp::Xori),
+        op::SLLI => shamt(AluImmOp::Slli)?,
+        op::SRLI => shamt(AluImmOp::Srli)?,
+        op::SRAI => shamt(AluImmOp::Srai)?,
+        op::LUI => I::Lui {
+            rd: field_rd(word),
+            imm: field_imm19(word),
+        },
+
+        op::LW => load(MemWidth::Word),
+        op::LB => load(MemWidth::Byte),
+        op::LBU => load(MemWidth::ByteU),
+        op::SW => store(MemWidth::Word),
+        op::SB => store(MemWidth::Byte),
+
+        op::BEQ => branch(BranchCond::Eq),
+        op::BNE => branch(BranchCond::Ne),
+        op::BLT => branch(BranchCond::Lt),
+        op::BGE => branch(BranchCond::Ge),
+        op::BLTU => branch(BranchCond::Ltu),
+        op::BGEU => branch(BranchCond::Geu),
+
+        op::JAL => I::Jal {
+            rd: field_rd(word),
+            offset: sext(field_imm19(word), 19) * 4,
+        },
+        op::JALR => I::Jalr {
+            rd: field_rd(word),
+            base: field_rs1(word),
+            disp: sext(field_imm14(word), 14),
+        },
+
+        op::MFTOD => I::MfTod { rd: field_rd(word) },
+        op::MFTODH => I::MfTodH { rd: field_rd(word) },
+        op::MTIT => I::MtIt {
+            rs: field_rs1(word),
+        },
+        op::MFIT => I::MfIt { rd: field_rd(word) },
+        op::MTCTL => {
+            let cr = ControlReg::from_index(((word >> 19) & 0x1F) as u8)
+                .ok_or(DecodeError::BadField { word })?;
+            I::MtCtl {
+                cr,
+                rs: field_rs1(word),
+            }
+        }
+        op::MFCTL => {
+            let cr = ControlReg::from_index(((word >> 14) & 0x1F) as u8)
+                .ok_or(DecodeError::BadField { word })?;
+            I::MfCtl {
+                rd: field_rd(word),
+                cr,
+            }
+        }
+        op::RFI => I::Rfi,
+        op::TLBI => I::Tlbi {
+            rs1: field_rs1(word),
+            rs2: field_rs2(word),
+        },
+        op::TLBP => I::Tlbp {
+            rs: field_rs1(word),
+        },
+        op::GATE => I::Gate {
+            imm: field_imm14(word),
+        },
+        op::PROBE => I::Probe {
+            rd: field_rd(word),
+            rs: field_rs1(word),
+        },
+        op::HALT => I::Halt,
+        op::IDLE => I::Idle,
+        op::BRK => I::Brk {
+            imm: field_imm14(word),
+        },
+        op::DIAG => I::Diag {
+            rs: field_rs1(word),
+            imm: field_imm14(word),
+        },
+        op::NOP => I::Nop,
+        op::SSM => I::Ssm {
+            imm: field_imm14(word),
+        },
+        op::RSM => I::Rsm {
+            imm: field_imm14(word),
+        },
+
+        _ => return Err(DecodeError::BadOpcode { opcode: opc }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction as I;
+
+    fn rt(insn: I) {
+        let w = encode(insn).unwrap_or_else(|e| panic!("encode {insn}: {e}"));
+        let back = decode(w).unwrap_or_else(|e| panic!("decode {insn}: {e}"));
+        assert_eq!(insn, back, "round trip of {insn} via {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_representatives() {
+        let r = Reg::of;
+        rt(I::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        });
+        rt(I::Alu {
+            op: AluOp::Remu,
+            rd: r(31),
+            rs1: r(30),
+            rs2: r(29),
+        });
+        rt(I::AluImm {
+            op: AluImmOp::Addi,
+            rd: r(4),
+            rs1: r(5),
+            imm: -8192,
+        });
+        rt(I::AluImm {
+            op: AluImmOp::Addi,
+            rd: r(4),
+            rs1: r(5),
+            imm: 8191,
+        });
+        rt(I::AluImm {
+            op: AluImmOp::Ori,
+            rd: r(4),
+            rs1: r(5),
+            imm: 16383,
+        });
+        rt(I::AluImm {
+            op: AluImmOp::Srai,
+            rd: r(4),
+            rs1: r(5),
+            imm: 31,
+        });
+        rt(I::Lui {
+            rd: r(6),
+            imm: (1 << 19) - 1,
+        });
+        rt(I::Load {
+            width: MemWidth::ByteU,
+            rd: r(7),
+            base: r(8),
+            disp: -1,
+        });
+        rt(I::Store {
+            width: MemWidth::Word,
+            rs: r(9),
+            base: r(10),
+            disp: 4,
+        });
+        rt(I::Branch {
+            cond: BranchCond::Geu,
+            rs1: r(11),
+            rs2: r(12),
+            offset: -32768,
+        });
+        rt(I::Branch {
+            cond: BranchCond::Eq,
+            rs1: r(11),
+            rs2: r(12),
+            offset: 32764,
+        });
+        rt(I::Jal {
+            rd: r(1),
+            offset: -(1 << 20),
+        });
+        rt(I::Jal {
+            rd: r(0),
+            offset: (1 << 20) - 4,
+        });
+        rt(I::Jalr {
+            rd: r(0),
+            base: r(1),
+            disp: 0,
+        });
+        rt(I::MfTod { rd: r(13) });
+        rt(I::MfTodH { rd: r(14) });
+        rt(I::MtIt { rs: r(15) });
+        rt(I::MfIt { rd: r(16) });
+        for cr in ControlReg::ALL {
+            rt(I::MtCtl { cr, rs: r(17) });
+            rt(I::MfCtl { rd: r(18), cr });
+        }
+        rt(I::Rfi);
+        rt(I::Tlbi {
+            rs1: r(19),
+            rs2: r(20),
+        });
+        rt(I::Tlbp { rs: r(21) });
+        rt(I::Gate { imm: 16383 });
+        rt(I::Probe {
+            rd: r(22),
+            rs: r(23),
+        });
+        rt(I::Halt);
+        rt(I::Idle);
+        rt(I::Brk { imm: 7 });
+        rt(I::Diag { rs: r(24), imm: 99 });
+        rt(I::Nop);
+        rt(I::Ssm { imm: 3 });
+        rt(I::Rsm { imm: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range_immediates() {
+        let r = Reg::of;
+        assert!(encode(I::AluImm {
+            op: AluImmOp::Addi,
+            rd: r(1),
+            rs1: r(1),
+            imm: 8192
+        })
+        .is_err());
+        assert!(encode(I::AluImm {
+            op: AluImmOp::Addi,
+            rd: r(1),
+            rs1: r(1),
+            imm: -8193
+        })
+        .is_err());
+        assert!(encode(I::AluImm {
+            op: AluImmOp::Ori,
+            rd: r(1),
+            rs1: r(1),
+            imm: -1
+        })
+        .is_err());
+        assert!(encode(I::AluImm {
+            op: AluImmOp::Slli,
+            rd: r(1),
+            rs1: r(1),
+            imm: 32
+        })
+        .is_err());
+        assert!(encode(I::Lui {
+            rd: r(1),
+            imm: 1 << 19
+        })
+        .is_err());
+        assert!(encode(I::Gate { imm: 1 << 14 }).is_err());
+    }
+
+    #[test]
+    fn rejects_misaligned_offsets() {
+        assert_eq!(
+            encode(I::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::ZERO,
+                rs2: Reg::ZERO,
+                offset: 2
+            }),
+            Err(EncodeError::MisalignedOffset { offset: 2 })
+        );
+        assert!(encode(I::Jal {
+            rd: Reg::RA,
+            offset: 5
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_store_byteu() {
+        assert_eq!(
+            encode(I::Store {
+                width: MemWidth::ByteU,
+                rs: Reg::ZERO,
+                base: Reg::ZERO,
+                disp: 0
+            }),
+            Err(EncodeError::InvalidStoreWidth)
+        );
+    }
+
+    #[test]
+    fn decode_bad_opcode() {
+        assert_eq!(
+            decode(0xFF00_0000),
+            Err(DecodeError::BadOpcode { opcode: 0xFF })
+        );
+        assert_eq!(
+            decode(0x0000_0000),
+            Err(DecodeError::BadOpcode { opcode: 0x00 })
+        );
+    }
+
+    #[test]
+    fn decode_bad_control_register() {
+        // MTCTL with cr index 15 (invalid).
+        let word = (u32::from(super::op::MTCTL) << 24) | (15 << 19);
+        assert_eq!(decode(word), Err(DecodeError::BadField { word }));
+        // Shift with shamt > 31.
+        let word = (u32::from(super::op::SLLI) << 24) | 40;
+        assert_eq!(decode(word), Err(DecodeError::BadField { word }));
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sext(0x3FFF, 14), -1);
+        assert_eq!(sext(0x2000, 14), -8192);
+        assert_eq!(sext(0x1FFF, 14), 8191);
+        assert_eq!(sext(0x7FFFF, 19), -1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Disassembly helpers for debugging guest images.
+
+use crate::codec::decode;
+use crate::program::Program;
+
+/// One disassembled line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Word address.
+    pub addr: u32,
+    /// Raw word.
+    pub word: u32,
+    /// Assembly text, or `None` for data words that do not decode.
+    pub text: Option<String>,
+    /// Labels (from the program's symbol table) at this address.
+    pub labels: Vec<String>,
+}
+
+/// Disassembles every whole word of a program image, annotating
+/// addresses with symbol-table labels.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_isa::asm::assemble;
+/// use hvft_isa::disasm::disassemble;
+///
+/// let p = assemble(".org 0\nmain: addi r1, r0, 7\n halt\n").unwrap();
+/// let lines = disassemble(&p);
+/// assert_eq!(lines[0].labels, vec!["main".to_owned()]);
+/// assert_eq!(lines[0].text.as_deref(), Some("addi r1, r0, 7"));
+/// assert_eq!(lines[1].text.as_deref(), Some("halt"));
+/// ```
+pub fn disassemble(program: &Program) -> Vec<DisasmLine> {
+    program
+        .words()
+        .map(|(addr, word)| {
+            let labels: Vec<String> = program
+                .symbols
+                .iter()
+                .filter(|&(_, &a)| a == addr)
+                .map(|(name, _)| name.clone())
+                .collect();
+            let text = decode(word).ok().map(|i| i.to_string());
+            DisasmLine {
+                addr,
+                word,
+                text,
+                labels,
+            }
+        })
+        .collect()
+}
+
+/// Renders a disassembly as printable lines.
+pub fn render(program: &Program) -> String {
+    let mut out = String::new();
+    for line in disassemble(program) {
+        for label in &line.labels {
+            out.push_str(&format!("{label}:\n"));
+        }
+        match &line.text {
+            Some(t) => out.push_str(&format!("  {:#010x}: {:08x}  {t}\n", line.addr, line.word)),
+            None => out.push_str(&format!(
+                "  {:#010x}: {:08x}  .word\n",
+                line.addr, line.word
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn round_trips_a_small_program() {
+        let p = assemble(
+            ".org 0x100
+            start:
+                addi r4, r0, 1
+                beq  r4, r0, start
+            done:
+                halt
+            data:
+                .word 0xFFFFFFFF",
+        )
+        .unwrap();
+        let lines = disassemble(&p);
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].labels.contains(&"start".to_owned()));
+        assert_eq!(lines[2].labels, vec!["done".to_owned()]);
+        // 0xFFFFFFFF has an invalid opcode → data.
+        assert!(lines[3].text.is_none());
+    }
+
+    #[test]
+    fn render_is_printable() {
+        let p = assemble("main: nop\n halt\n").unwrap();
+        let text = render(&p);
+        assert!(text.contains("main:"));
+        assert!(text.contains("nop"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn whole_kernel_disassembles() {
+        // Every instruction the kernel generator emits must decode back.
+        let src = r"
+        .org 0x1000
+        k:  mftod r4
+            mtctl eiem, r5
+            ssm 1
+            rsm 1
+            tlbi r6, r7
+            gate 3
+            rfi
+        ";
+        let p = assemble(src).unwrap();
+        for line in disassemble(&p) {
+            assert!(
+                line.text.is_some(),
+                "word {:#010x} at {:#x} failed",
+                line.word,
+                line.addr
+            );
+        }
+    }
+}

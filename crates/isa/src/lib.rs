@@ -1,0 +1,26 @@
+//! `hvft-isa` — the instruction-set architecture of the hvft virtual
+//! machine.
+//!
+//! A 32-bit fixed-width RISC ISA whose design mirrors the PA-RISC features
+//! the paper's protocols rest on: ordinary vs. environment instructions,
+//! four privilege levels with leaky `jal`/`probe`/`gate` semantics, a
+//! software-managed TLB, and a recovery counter. See [`instruction`] for
+//! the full catalogue, [`codec`] for the binary format, and [`asm`] for
+//! the assembler in which the guest mini-OS is written.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod codec;
+pub mod disasm;
+pub mod instruction;
+pub mod program;
+pub mod reg;
+
+pub use asm::{assemble, AsmError};
+pub use codec::{decode, encode, DecodeError, EncodeError};
+pub use disasm::{disassemble, DisasmLine};
+pub use instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
+pub use program::{Program, Segment};
+pub use reg::{ControlReg, Reg};

@@ -1,0 +1,149 @@
+//! Assembled program images.
+
+use std::collections::BTreeMap;
+
+/// A contiguous chunk of an assembled image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Physical load address of the first byte.
+    pub base: u32,
+    /// Raw bytes (instructions are little-endian words).
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// Address one past the last byte.
+    pub fn end(&self) -> u32 {
+        self.base + self.data.len() as u32
+    }
+}
+
+/// An assembled program: load segments plus the symbol table.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_isa::asm::assemble;
+///
+/// let prog = assemble(
+///     "
+///     .org 0x1000
+///     start:
+///         addi r1, r0, 7
+///         halt
+///     ",
+/// )
+/// .unwrap();
+/// assert_eq!(prog.symbol("start"), Some(0x1000));
+/// assert_eq!(prog.entry, 0x1000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Load segments in ascending address order.
+    pub segments: Vec<Segment>,
+    /// Label → address map.
+    pub symbols: BTreeMap<String, u32>,
+    /// Initial program counter (the first label or explicit `.entry`).
+    pub entry: u32,
+}
+
+impl Program {
+    /// Looks up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total bytes across all segments.
+    pub fn size(&self) -> usize {
+        self.segments.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Copies all segments into a flat memory buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment extends beyond `mem.len()`.
+    pub fn load_into(&self, mem: &mut [u8]) {
+        for seg in &self.segments {
+            let base = seg.base as usize;
+            let end = base + seg.data.len();
+            assert!(
+                end <= mem.len(),
+                "segment {:#x}..{:#x} exceeds memory of {} bytes",
+                seg.base,
+                end,
+                mem.len()
+            );
+            mem[base..end].copy_from_slice(&seg.data);
+        }
+    }
+
+    /// Iterates over `(address, word)` pairs of all whole words in the image.
+    pub fn words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.segments.iter().flat_map(|seg| {
+            seg.data.chunks_exact(4).enumerate().map(move |(i, b)| {
+                (
+                    seg.base + (i * 4) as u32,
+                    u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_into_places_segments() {
+        let prog = Program {
+            segments: vec![
+                Segment {
+                    base: 4,
+                    data: vec![1, 2, 3, 4],
+                },
+                Segment {
+                    base: 12,
+                    data: vec![9],
+                },
+            ],
+            symbols: BTreeMap::new(),
+            entry: 4,
+        };
+        let mut mem = vec![0u8; 16];
+        prog.load_into(&mut mem);
+        assert_eq!(&mem[4..8], &[1, 2, 3, 4]);
+        assert_eq!(mem[12], 9);
+        assert_eq!(prog.size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds memory")]
+    fn load_into_checks_bounds() {
+        let prog = Program {
+            segments: vec![Segment {
+                base: 14,
+                data: vec![0; 4],
+            }],
+            symbols: BTreeMap::new(),
+            entry: 0,
+        };
+        let mut mem = vec![0u8; 16];
+        prog.load_into(&mut mem);
+    }
+
+    #[test]
+    fn words_iterates_le() {
+        let prog = Program {
+            segments: vec![Segment {
+                base: 0,
+                data: vec![0x78, 0x56, 0x34, 0x12],
+            }],
+            symbols: BTreeMap::new(),
+            entry: 0,
+        };
+        let ws: Vec<_> = prog.words().collect();
+        assert_eq!(ws, vec![(0, 0x1234_5678)]);
+    }
+}

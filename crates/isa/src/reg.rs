@@ -1,0 +1,232 @@
+//! General-purpose and control registers of the hvft ISA.
+
+use core::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// `r0` is hardwired to zero, as on most RISC machines: writes to it are
+/// discarded, reads return 0.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_isa::reg::Reg;
+///
+/// let r = Reg::new(5).unwrap();
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "r5");
+/// assert!(Reg::new(32).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional link register (return address), `r1`.
+    pub const RA: Reg = Reg(1);
+    /// Conventional stack pointer, `r2`.
+    pub const SP: Reg = Reg(2);
+    /// Conventional global pointer, `r3`.
+    pub const GP: Reg = Reg(3);
+
+    /// Creates a register from its index; `None` if out of range.
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index < 32 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register, panicking on out-of-range indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn of(index: u8) -> Reg {
+        match Reg::new(index) {
+            Some(r) => r,
+            None => panic!("register index out of range"),
+        }
+    }
+
+    /// The register's index, 0..=31.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Parses a register name: `r0`..`r31` or an ABI alias
+    /// (`zero`, `ra`, `sp`, `gp`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        match name {
+            "zero" => return Some(Reg::ZERO),
+            "ra" => return Some(Reg::RA),
+            "sp" => return Some(Reg::SP),
+            "gp" => return Some(Reg::GP),
+            _ => {}
+        }
+        let rest = name.strip_prefix('r')?;
+        // Reject forms like "r01" to keep names canonical.
+        if rest.len() > 1 && rest.starts_with('0') {
+            return None;
+        }
+        let idx: u8 = rest.parse().ok()?;
+        Reg::new(idx)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Control registers, accessible only via the privileged `mtctl`/`mfctl`.
+///
+/// These mirror the PA-RISC control space at the granularity the paper's
+/// protocols need: trap shadow registers, the interrupt mask/request pair,
+/// the page-table base for TLB-miss handling, and the **recovery counter**
+/// that delimits epochs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ControlReg {
+    /// Interrupt vector address: base of the trap handler table.
+    Iva,
+    /// Saved processor status word at the last trap.
+    Ipsw,
+    /// Saved program counter at the last trap (the interruption IP).
+    Iip,
+    /// Recovery counter: decremented once per completed instruction; a
+    /// `RecoveryCounter` trap fires when it would go negative.
+    Rctr,
+    /// External-interrupt enable mask (bit per source).
+    Eiem,
+    /// External-interrupt request register (pending bits, write-1-to-clear).
+    Eirr,
+    /// Page-table base register for the software TLB-miss handler.
+    Ptbr,
+    /// Trap argument (e.g. faulting virtual address, gate/break immediate).
+    TrapArg,
+    /// Scratch register 0 for trap handlers.
+    Scratch0,
+    /// Scratch register 1 for trap handlers.
+    Scratch1,
+}
+
+impl ControlReg {
+    /// All control registers in encoding order.
+    pub const ALL: [ControlReg; 10] = [
+        ControlReg::Iva,
+        ControlReg::Ipsw,
+        ControlReg::Iip,
+        ControlReg::Rctr,
+        ControlReg::Eiem,
+        ControlReg::Eirr,
+        ControlReg::Ptbr,
+        ControlReg::TrapArg,
+        ControlReg::Scratch0,
+        ControlReg::Scratch1,
+    ];
+
+    /// Encoding index of this control register.
+    pub const fn index(self) -> u8 {
+        match self {
+            ControlReg::Iva => 0,
+            ControlReg::Ipsw => 1,
+            ControlReg::Iip => 2,
+            ControlReg::Rctr => 3,
+            ControlReg::Eiem => 4,
+            ControlReg::Eirr => 5,
+            ControlReg::Ptbr => 6,
+            ControlReg::TrapArg => 7,
+            ControlReg::Scratch0 => 8,
+            ControlReg::Scratch1 => 9,
+        }
+    }
+
+    /// Decodes a control-register index.
+    pub const fn from_index(idx: u8) -> Option<ControlReg> {
+        match idx {
+            0 => Some(ControlReg::Iva),
+            1 => Some(ControlReg::Ipsw),
+            2 => Some(ControlReg::Iip),
+            3 => Some(ControlReg::Rctr),
+            4 => Some(ControlReg::Eiem),
+            5 => Some(ControlReg::Eirr),
+            6 => Some(ControlReg::Ptbr),
+            7 => Some(ControlReg::TrapArg),
+            8 => Some(ControlReg::Scratch0),
+            9 => Some(ControlReg::Scratch1),
+            _ => None,
+        }
+    }
+
+    /// Assembly-language name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ControlReg::Iva => "iva",
+            ControlReg::Ipsw => "ipsw",
+            ControlReg::Iip => "iip",
+            ControlReg::Rctr => "rctr",
+            ControlReg::Eiem => "eiem",
+            ControlReg::Eirr => "eirr",
+            ControlReg::Ptbr => "ptbr",
+            ControlReg::TrapArg => "traparg",
+            ControlReg::Scratch0 => "scratch0",
+            ControlReg::Scratch1 => "scratch1",
+        }
+    }
+
+    /// Parses an assembly-language control-register name.
+    pub fn parse(name: &str) -> Option<ControlReg> {
+        ControlReg::ALL.into_iter().find(|cr| cr.name() == name)
+    }
+}
+
+impl fmt::Display for ControlReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert!(Reg::new(31).is_some());
+        assert!(Reg::new(32).is_none());
+        assert_eq!(Reg::of(7).index(), 7);
+    }
+
+    #[test]
+    fn reg_parse_names_and_aliases() {
+        assert_eq!(Reg::parse("r0"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("r31"), Reg::new(31));
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("ra"), Some(Reg::RA));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("gp"), Some(Reg::GP));
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("x1"), None);
+        assert_eq!(Reg::parse("r01"), None, "non-canonical names rejected");
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn ctl_round_trip() {
+        for cr in ControlReg::ALL {
+            assert_eq!(ControlReg::from_index(cr.index()), Some(cr));
+            assert_eq!(ControlReg::parse(cr.name()), Some(cr));
+        }
+        assert_eq!(ControlReg::from_index(10), None);
+        assert_eq!(ControlReg::parse("nope"), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Reg::of(13)), "r13");
+        assert_eq!(format!("{}", ControlReg::Rctr), "rctr");
+    }
+}

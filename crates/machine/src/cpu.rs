@@ -1,0 +1,995 @@
+//! The CPU interpreter.
+//!
+//! [`Cpu::step`] executes at most one instruction and reports anything the
+//! embedding layer must handle as an [`Exit`]. Two embedders exist:
+//!
+//! - the **bare machine** (`hvft-hypervisor::bare`): handles exits the way
+//!   real hardware + firmware would (environment instructions execute
+//!   against the real clock, traps vector through the guest's IVT);
+//! - the **hypervisor** (`hvft-hypervisor::hv`): simulates privileged and
+//!   environment instructions so their effects are identical at primary
+//!   and backup, and uses the recovery-counter exit to delimit epochs.
+//!
+//! The split keeps the CPU policy-free: it knows nothing about devices,
+//! wall-clock time, or replication.
+
+use crate::mem::{MemFault, Memory};
+use crate::psw::Psw;
+use crate::tlb::{Tlb, TlbAccess, TlbReplacement, TlbResult};
+use crate::trap::Trap;
+use hvft_isa::codec::decode;
+use hvft_isa::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
+use hvft_isa::reg::{ControlReg, Reg};
+
+/// Number of control registers.
+const NUM_CTL: usize = 10;
+
+/// An environment operation the embedder must complete.
+///
+/// These correspond exactly to the paper's *environment instructions*:
+/// their results depend on state outside the virtual machine (clocks),
+/// so under replication the hypervisor must supply identical results to
+/// both virtual machines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnvOp {
+    /// `mftod rd`: read low word of the time-of-day clock.
+    ReadTod {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `mftodh rd`: read high word of the time-of-day clock.
+    ReadTodHigh {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// `mtit rs`: arm the interval timer for `value` microseconds.
+    SetTimer {
+        /// Countdown in microseconds.
+        value: u32,
+    },
+    /// `mfit rd`: read remaining microseconds of the interval timer.
+    ReadTimer {
+        /// Destination register.
+        rd: Reg,
+    },
+}
+
+/// Why [`Cpu::step`] returned without simply retiring an instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Exit {
+    /// The instruction retired normally.
+    Retired,
+    /// A trap must be handled. For restarting traps (`Trap::restarts`)
+    /// the PC still addresses the faulting instruction; for `gate`/`brk`
+    /// the instruction has retired and the PC addresses its successor.
+    Trap(Trap),
+    /// An environment instruction at privilege 0 needs the embedder.
+    /// Complete with [`Cpu::complete_env_read`] or
+    /// [`Cpu::complete_env_effect`].
+    Env(EnvOp),
+    /// A load reached the memory-mapped I/O window. Complete with
+    /// [`Cpu::complete_mmio_read`].
+    MmioRead {
+        /// Physical address in the I/O window.
+        paddr: u32,
+        /// Access width.
+        width: MemWidth,
+        /// Destination register.
+        rd: Reg,
+    },
+    /// A store reached the memory-mapped I/O window. Complete with
+    /// [`Cpu::complete_env_effect`].
+    MmioWrite {
+        /// Physical address in the I/O window.
+        paddr: u32,
+        /// Access width.
+        width: MemWidth,
+        /// Value to store (byte stores pass the low 8 bits).
+        value: u32,
+    },
+    /// `halt` at privilege 0: the processor stops. Never retires.
+    Halt,
+    /// `idle` at privilege 0: wait for an external interrupt. Complete
+    /// with [`Cpu::complete_env_effect`] once the wait is over.
+    Idle,
+    /// `diag` at privilege 0: a harness escape. Complete with
+    /// [`Cpu::complete_env_effect`].
+    Diag {
+        /// Value of the argument register.
+        value: u32,
+        /// Immediate marker code.
+        code: u32,
+    },
+}
+
+/// The processor: registers, PSW, control registers and TLB.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_machine::cpu::{Cpu, Exit, LoadProgram};
+/// use hvft_machine::mem::Memory;
+/// use hvft_isa::asm::assemble;
+///
+/// let prog = assemble(".org 0\nstart: addi r5, r0, 3\n halt\n").unwrap();
+/// let mut mem = Memory::new(4096);
+/// let mut cpu = Cpu::new(16, hvft_machine::tlb::TlbReplacement::RoundRobin, 0);
+/// prog.load_into_cpu(&mut cpu, &mut mem);
+/// assert_eq!(cpu.step(&mut mem), Exit::Retired);
+/// assert_eq!(cpu.reg(hvft_isa::reg::Reg::of(5)), 3);
+/// assert_eq!(cpu.step(&mut mem), Exit::Halt);
+/// ```
+pub struct Cpu {
+    regs: [u32; 32],
+    /// Program counter (address of the next instruction).
+    pub pc: u32,
+    /// Processor status word.
+    pub psw: Psw,
+    ctl: [u32; NUM_CTL],
+    /// The translation lookaside buffer.
+    pub tlb: Tlb,
+    retired: u64,
+}
+
+/// Extension trait so programs can be loaded straight into a CPU+memory
+/// pair.
+pub trait LoadProgram {
+    /// Loads the image into memory and points the CPU at the entry.
+    fn load_into_cpu(&self, cpu: &mut Cpu, mem: &mut Memory);
+}
+
+impl LoadProgram for hvft_isa::program::Program {
+    fn load_into_cpu(&self, cpu: &mut Cpu, mem: &mut Memory) {
+        for seg in &self.segments {
+            mem.write_bytes(seg.base, &seg.data);
+        }
+        cpu.pc = self.entry;
+    }
+}
+
+impl Cpu {
+    /// Creates a reset CPU with a TLB of `tlb_slots` entries.
+    pub fn new(tlb_slots: usize, policy: TlbReplacement, tlb_seed: u64) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: 0,
+            psw: Psw::reset(),
+            ctl: [0; NUM_CTL],
+            tlb: Tlb::new(tlb_slots, policy, tlb_seed),
+            retired: 0,
+        }
+    }
+
+    /// Reads a general-purpose register (`r0` reads as zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a general-purpose register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r.index() != 0 {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// Reads a control register.
+    pub fn ctl(&self, cr: ControlReg) -> u32 {
+        self.ctl[cr.index() as usize]
+    }
+
+    /// Writes a control register directly (embedder/hypervisor use).
+    pub fn set_ctl(&mut self, cr: ControlReg, value: u32) {
+        self.ctl[cr.index() as usize] = value;
+    }
+
+    /// Asserts external-interrupt request bits (`eirr |= bits`).
+    pub fn raise_irq(&mut self, bits: u32) {
+        self.ctl[ControlReg::Eirr.index() as usize] |= bits;
+    }
+
+    /// Pending *enabled* interrupt bits (`eirr & eiem`).
+    pub fn pending_irq(&self) -> u32 {
+        self.ctl(ControlReg::Eirr) & self.ctl(ControlReg::Eiem)
+    }
+
+    /// Total retired instructions since reset.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// All 32 general-purpose registers (for hashing and debug).
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// All control registers in index order (for hashing and debug).
+    pub fn ctl_raw(&self) -> &[u32; NUM_CTL] {
+        &self.ctl
+    }
+
+    // -----------------------------------------------------------------
+    // Trap delivery and completion helpers
+    // -----------------------------------------------------------------
+
+    /// Vectors the CPU through its interrupt vector table for `trap`,
+    /// exactly as the hardware would: saves PSW/PC, enters privilege 0
+    /// with translation and interrupts off, jumps to `iva + 32 * vector`.
+    ///
+    /// The recovery-counter enable is preserved: under the hypervisor all
+    /// guest execution is counted, handlers included.
+    pub fn deliver_trap(&mut self, trap: Trap) {
+        self.set_ctl(ControlReg::Ipsw, self.psw.pack());
+        self.set_ctl(ControlReg::Iip, self.pc);
+        self.set_ctl(ControlReg::TrapArg, trap.trap_arg());
+        self.psw = Psw::handler_entry(self.psw.recovery);
+        self.pc = self.ctl(ControlReg::Iva) + 32 * trap.vector();
+    }
+
+    /// Like [`Cpu::deliver_trap`] but enters at the given privilege level
+    /// instead of 0 — the hypervisor uses this to reflect traps into the
+    /// guest kernel, which runs at real level 1 (paper §3.1's
+    /// privilege-level mapping).
+    pub fn deliver_trap_at(&mut self, trap: Trap, level: u8) {
+        self.deliver_trap(trap);
+        self.psw.cpl = level;
+    }
+
+    /// Completes an [`Exit::Env`] or [`Exit::MmioRead`]-style exit that
+    /// produces a register value, then retires the instruction.
+    pub fn complete_env_read(&mut self, rd: Reg, value: u32) {
+        self.set_reg(rd, value);
+        self.retire_next();
+    }
+
+    /// Completes an exit whose effect is external (timer arm, MMIO write,
+    /// `idle` wake-up, `diag`), then retires the instruction.
+    pub fn complete_env_effect(&mut self) {
+        self.retire_next();
+    }
+
+    /// Completes an [`Exit::MmioRead`], applying width extension.
+    pub fn complete_mmio_read(&mut self, rd: Reg, width: MemWidth, value: u32) {
+        let v = match width {
+            MemWidth::Word => value,
+            MemWidth::Byte => (value as u8) as i8 as i32 as u32,
+            MemWidth::ByteU => u32::from(value as u8),
+        };
+        self.complete_env_read(rd, v);
+    }
+
+    /// Skips the instruction at PC without executing it (hypervisor use,
+    /// after simulating a privileged instruction).
+    pub fn retire_skip(&mut self) {
+        self.retire_next();
+    }
+
+    /// Retires the current instruction with an explicit successor PC
+    /// (hypervisor use, e.g. when simulating `rfi`).
+    pub fn retire_to(&mut self, next_pc: u32) {
+        self.retire_at(next_pc);
+    }
+
+    fn retire_at(&mut self, next_pc: u32) {
+        self.pc = next_pc;
+        self.retired += 1;
+        if self.psw.recovery {
+            let rctr = self.ctl(ControlReg::Rctr);
+            // Saturate at zero; the pre-step check raises the trap.
+            self.set_ctl(ControlReg::Rctr, rctr.saturating_sub(1));
+        }
+    }
+
+    fn retire_next(&mut self) {
+        self.retire_at(self.pc.wrapping_add(4));
+    }
+
+    // -----------------------------------------------------------------
+    // Address translation
+    // -----------------------------------------------------------------
+
+    /// Translates a virtual address for the given access, honouring the
+    /// PSW translation bit and privilege level.
+    pub fn translate(&mut self, vaddr: u32, access: TlbAccess) -> Result<u32, Trap> {
+        if !self.psw.translation {
+            return Ok(vaddr);
+        }
+        let user = self.psw.is_user();
+        match self.tlb.lookup(vaddr, access, user) {
+            TlbResult::Hit(p) => Ok(p),
+            TlbResult::Miss => Err(Trap::TlbMiss {
+                vaddr,
+                write: access == TlbAccess::Write,
+            }),
+            TlbResult::Denied => Err(Trap::AccessFault {
+                vaddr,
+                write: access == TlbAccess::Write,
+            }),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Execution
+    // -----------------------------------------------------------------
+
+    /// Executes at most one instruction.
+    ///
+    /// Pre-execution checks, in priority order:
+    /// 1. recovery-counter expiry (epoch boundary) when `psw.recovery`;
+    /// 2. pending enabled external interrupt when `psw.interrupts`.
+    ///
+    /// Both are reported as [`Exit::Trap`] *without* executing the
+    /// instruction at PC; the embedder decides how to deliver them.
+    pub fn step(&mut self, mem: &mut Memory) -> Exit {
+        if self.psw.recovery && self.ctl(ControlReg::Rctr) == 0 {
+            return Exit::Trap(Trap::RecoveryCounter);
+        }
+        if self.psw.interrupts && self.pending_irq() != 0 {
+            return Exit::Trap(Trap::ExternalInterrupt);
+        }
+
+        // Fetch.
+        if !self.pc.is_multiple_of(4) {
+            return Exit::Trap(Trap::AlignmentFault { vaddr: self.pc });
+        }
+        let fetch_pa = match self.translate(self.pc, TlbAccess::Execute) {
+            Ok(p) => p,
+            Err(t) => return Exit::Trap(t),
+        };
+        let word = match mem.read_u32(fetch_pa) {
+            Ok(w) => w,
+            Err(MemFault::Io { paddr } | MemFault::Unmapped { paddr }) => {
+                return Exit::Trap(Trap::AccessFault {
+                    vaddr: paddr,
+                    write: false,
+                });
+            }
+        };
+        let insn = match decode(word) {
+            Ok(i) => i,
+            Err(_) => return Exit::Trap(Trap::IllegalInstruction { word }),
+        };
+
+        // Privilege check.
+        if insn.is_privileged() && self.psw.cpl != 0 {
+            return Exit::Trap(Trap::PrivilegedOp { word });
+        }
+
+        self.execute(insn, word, mem)
+    }
+
+    fn execute(&mut self, insn: Instruction, _word: u32, mem: &mut Memory) -> Exit {
+        use Instruction as I;
+        match insn {
+            I::Alu { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    AluOp::Add => a.wrapping_add(b),
+                    AluOp::Sub => a.wrapping_sub(b),
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Sll => a.wrapping_shl(b & 31),
+                    AluOp::Srl => a.wrapping_shr(b & 31),
+                    AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                    AluOp::Sltu => u32::from(a < b),
+                    AluOp::Mul => a.wrapping_mul(b),
+                    AluOp::Divu => {
+                        if b == 0 {
+                            return Exit::Trap(Trap::ArithmeticError);
+                        }
+                        a / b
+                    }
+                    AluOp::Remu => {
+                        if b == 0 {
+                            return Exit::Trap(Trap::ArithmeticError);
+                        }
+                        a % b
+                    }
+                };
+                self.set_reg(rd, v);
+                self.retire_next();
+                Exit::Retired
+            }
+            I::AluImm { op, rd, rs1, imm } => {
+                let a = self.reg(rs1);
+                let v = match op {
+                    AluImmOp::Addi => a.wrapping_add(imm as u32),
+                    AluImmOp::Andi => a & (imm as u32),
+                    AluImmOp::Ori => a | (imm as u32),
+                    AluImmOp::Xori => a ^ (imm as u32),
+                    AluImmOp::Slti => u32::from((a as i32) < imm),
+                    AluImmOp::Slli => a.wrapping_shl(imm as u32),
+                    AluImmOp::Srli => a.wrapping_shr(imm as u32),
+                    AluImmOp::Srai => ((a as i32).wrapping_shr(imm as u32)) as u32,
+                };
+                self.set_reg(rd, v);
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Lui { rd, imm } => {
+                self.set_reg(rd, imm << 13);
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Load {
+                width,
+                rd,
+                base,
+                disp,
+            } => {
+                let vaddr = self.reg(base).wrapping_add(disp as u32);
+                if width == MemWidth::Word && !vaddr.is_multiple_of(4) {
+                    return Exit::Trap(Trap::AlignmentFault { vaddr });
+                }
+                let paddr = match self.translate(vaddr, TlbAccess::Read) {
+                    Ok(p) => p,
+                    Err(t) => return Exit::Trap(t),
+                };
+                let result = match width {
+                    MemWidth::Word => mem.read_u32(paddr),
+                    MemWidth::Byte | MemWidth::ByteU => mem.read_u8(paddr).map(u32::from),
+                };
+                match result {
+                    Ok(raw) => {
+                        let v = match width {
+                            MemWidth::Word | MemWidth::ByteU => raw,
+                            MemWidth::Byte => (raw as u8) as i8 as i32 as u32,
+                        };
+                        self.set_reg(rd, v);
+                        self.retire_next();
+                        Exit::Retired
+                    }
+                    Err(MemFault::Io { paddr }) => Exit::MmioRead { paddr, width, rd },
+                    Err(MemFault::Unmapped { paddr }) => Exit::Trap(Trap::AccessFault {
+                        vaddr: paddr,
+                        write: false,
+                    }),
+                }
+            }
+            I::Store {
+                width,
+                rs,
+                base,
+                disp,
+            } => {
+                let vaddr = self.reg(base).wrapping_add(disp as u32);
+                if width == MemWidth::Word && !vaddr.is_multiple_of(4) {
+                    return Exit::Trap(Trap::AlignmentFault { vaddr });
+                }
+                let paddr = match self.translate(vaddr, TlbAccess::Write) {
+                    Ok(p) => p,
+                    Err(t) => return Exit::Trap(t),
+                };
+                let value = self.reg(rs);
+                let result = match width {
+                    MemWidth::Word => mem.write_u32(paddr, value),
+                    MemWidth::Byte | MemWidth::ByteU => mem.write_u8(paddr, value as u8),
+                };
+                match result {
+                    Ok(()) => {
+                        self.retire_next();
+                        Exit::Retired
+                    }
+                    Err(MemFault::Io { paddr }) => Exit::MmioWrite {
+                        paddr,
+                        width,
+                        value,
+                    },
+                    Err(MemFault::Unmapped { paddr }) => Exit::Trap(Trap::AccessFault {
+                        vaddr: paddr,
+                        write: true,
+                    }),
+                }
+            }
+            I::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                let next = if taken {
+                    self.pc.wrapping_add(offset as u32)
+                } else {
+                    self.pc.wrapping_add(4)
+                };
+                self.retire_at(next);
+                Exit::Retired
+            }
+            I::Jal { rd, offset } => {
+                // PA-RISC quirk: the privilege level rides in the low bits
+                // of the return address (paper §3.1).
+                let link = self.pc.wrapping_add(4) | u32::from(self.psw.cpl);
+                let target = self.pc.wrapping_add(offset as u32);
+                self.set_reg(rd, link);
+                self.retire_at(target);
+                Exit::Retired
+            }
+            I::Jalr { rd, base, disp } => {
+                let target = self.reg(base).wrapping_add(disp as u32) & !3;
+                let link = self.pc.wrapping_add(4) | u32::from(self.psw.cpl);
+                self.set_reg(rd, link);
+                self.retire_at(target);
+                Exit::Retired
+            }
+            I::MfTod { rd } => Exit::Env(EnvOp::ReadTod { rd }),
+            I::MfTodH { rd } => Exit::Env(EnvOp::ReadTodHigh { rd }),
+            I::MtIt { rs } => Exit::Env(EnvOp::SetTimer {
+                value: self.reg(rs),
+            }),
+            I::MfIt { rd } => Exit::Env(EnvOp::ReadTimer { rd }),
+            I::MtCtl { cr, rs } => {
+                let v = self.reg(rs);
+                if cr == ControlReg::Eirr {
+                    // Write-one-to-clear, so handlers can acknowledge.
+                    let cur = self.ctl(ControlReg::Eirr);
+                    self.set_ctl(ControlReg::Eirr, cur & !v);
+                } else {
+                    self.set_ctl(cr, v);
+                }
+                self.retire_next();
+                Exit::Retired
+            }
+            I::MfCtl { rd, cr } => {
+                let v = self.ctl(cr);
+                self.set_reg(rd, v);
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Rfi => {
+                let psw = Psw::unpack(self.ctl(ControlReg::Ipsw));
+                let pc = self.ctl(ControlReg::Iip);
+                // RFI is a retirement too, but the target PC comes from
+                // iip; count it before switching context.
+                self.retire_at(pc);
+                self.psw = psw;
+                Exit::Retired
+            }
+            I::Tlbi { rs1, rs2 } => {
+                let vaddr = self.reg(rs1);
+                let pte_word = self.reg(rs2);
+                self.tlb.insert_pte(vaddr, pte_word);
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Tlbp { rs } => {
+                if rs.index() == 0 {
+                    self.tlb.purge_all();
+                } else {
+                    let vaddr = self.reg(rs);
+                    self.tlb.purge(vaddr);
+                }
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Gate { imm } => {
+                // Retires, then traps: the handler returns to the next
+                // instruction.
+                self.retire_next();
+                Exit::Trap(Trap::Gate { imm })
+            }
+            I::Brk { imm } => {
+                self.retire_next();
+                Exit::Trap(Trap::Break { imm })
+            }
+            I::Probe { rd, rs } => {
+                let vaddr = self.reg(rs);
+                if !self.psw.translation {
+                    self.set_reg(rd, 1);
+                    self.retire_next();
+                    return Exit::Retired;
+                }
+                match self.tlb.lookup(vaddr, TlbAccess::Read, self.psw.is_user()) {
+                    TlbResult::Hit(_) => {
+                        self.set_reg(rd, 1);
+                        self.retire_next();
+                        Exit::Retired
+                    }
+                    TlbResult::Denied => {
+                        self.set_reg(rd, 0);
+                        self.retire_next();
+                        Exit::Retired
+                    }
+                    TlbResult::Miss => Exit::Trap(Trap::TlbMiss {
+                        vaddr,
+                        write: false,
+                    }),
+                }
+            }
+            I::Ssm { imm } => {
+                if imm & 1 != 0 {
+                    self.psw.interrupts = true;
+                }
+                if imm & 2 != 0 {
+                    self.psw.translation = true;
+                }
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Rsm { imm } => {
+                if imm & 1 != 0 {
+                    self.psw.interrupts = false;
+                }
+                if imm & 2 != 0 {
+                    self.psw.translation = false;
+                }
+                self.retire_next();
+                Exit::Retired
+            }
+            I::Halt => Exit::Halt,
+            I::Idle => Exit::Idle,
+            I::Diag { rs, imm } => Exit::Diag {
+                value: self.reg(rs),
+                code: imm,
+            },
+            I::Nop => {
+                self.retire_next();
+                Exit::Retired
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::pte;
+    use hvft_isa::asm::assemble;
+
+    fn setup(src: &str) -> (Cpu, Memory) {
+        let prog = assemble(src).unwrap_or_else(|e| panic!("asm: {e}"));
+        let mut mem = Memory::new(64 * 1024);
+        let mut cpu = Cpu::new(16, TlbReplacement::RoundRobin, 0);
+        prog.load_into_cpu(&mut cpu, &mut mem);
+        (cpu, mem)
+    }
+
+    fn run_until_halt(cpu: &mut Cpu, mem: &mut Memory, max: u64) {
+        for _ in 0..max {
+            match cpu.step(mem) {
+                Exit::Retired => {}
+                Exit::Halt => return,
+                other => panic!("unexpected exit {other:?} at pc={:#x}", cpu.pc),
+            }
+        }
+        panic!("did not halt in {max} steps");
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (mut cpu, mut mem) = setup(
+            "start:
+                addi r4, r0, 10
+                addi r5, r0, 32
+                add  r6, r4, r5
+                halt",
+        );
+        run_until_halt(&mut cpu, &mut mem, 10);
+        assert_eq!(cpu.reg(Reg::of(6)), 42);
+        assert_eq!(cpu.retired(), 3);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let (mut cpu, mut mem) = setup("s: addi r0, r0, 99\n add r4, r0, r0\n halt");
+        run_until_halt(&mut cpu, &mut mem, 10);
+        assert_eq!(cpu.reg(Reg::ZERO), 0);
+        assert_eq!(cpu.reg(Reg::of(4)), 0);
+    }
+
+    #[test]
+    fn memory_round_trip_and_loop() {
+        let (mut cpu, mut mem) = setup(
+            "start:
+                li   r4, 0x2000      ; buffer
+                addi r5, r0, 5       ; counter
+                addi r6, r0, 0       ; sum
+            loop:
+                sw   r5, 0(r4)
+                lw   r7, 0(r4)
+                add  r6, r6, r7
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                halt",
+        );
+        run_until_halt(&mut cpu, &mut mem, 100);
+        assert_eq!(cpu.reg(Reg::of(6)), 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn byte_loads_sign_extend() {
+        let (mut cpu, mut mem) = setup(
+            "start:
+                li   r4, 0x2000
+                addi r5, r0, -1
+                sb   r5, 0(r4)
+                lb   r6, 0(r4)
+                lbu  r7, 0(r4)
+                halt",
+        );
+        run_until_halt(&mut cpu, &mut mem, 10);
+        assert_eq!(cpu.reg(Reg::of(6)), 0xFFFF_FFFF);
+        assert_eq!(cpu.reg(Reg::of(7)), 0xFF);
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let (mut cpu, mut mem) = setup("s: addi r4, r0, 1\n divu r5, r4, r0\n halt");
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Trap(Trap::ArithmeticError));
+        // Faulting instruction did not retire.
+        assert_eq!(cpu.retired(), 1);
+    }
+
+    #[test]
+    fn jal_leaks_privilege_level_in_link() {
+        let (mut cpu, mut mem) = setup("s: jal ra, target\ntarget: halt");
+        cpu.psw.cpl = 3; // pretend user mode; jal is not privileged
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        // Link = (pc+4) | cpl = 4 | 3.
+        assert_eq!(cpu.reg(Reg::RA), 4 | 3);
+    }
+
+    #[test]
+    fn jalr_masks_privilege_bits() {
+        let (mut cpu, mut mem) = setup(
+            "s:
+                jal  ra, sub      ; ra = 4 | cpl
+                halt
+            sub:
+                jalr r0, ra, 0    ; must return to 4 even with dirty bits",
+        );
+        cpu.psw.cpl = 3;
+        assert_eq!(cpu.step(&mut mem), Exit::Retired); // jal
+        assert_eq!(cpu.step(&mut mem), Exit::Retired); // jalr back
+        assert_eq!(cpu.pc, 4);
+    }
+
+    #[test]
+    fn privileged_instruction_traps_above_level_0() {
+        let (mut cpu, mut mem) = setup("s: halt");
+        cpu.psw.cpl = 1;
+        match cpu.step(&mut mem) {
+            Exit::Trap(Trap::PrivilegedOp { .. }) => {}
+            other => panic!("expected PrivilegedOp, got {other:?}"),
+        }
+        // At level 0 it becomes a Halt exit.
+        cpu.psw.cpl = 0;
+        assert_eq!(cpu.step(&mut mem), Exit::Halt);
+    }
+
+    #[test]
+    fn gate_retires_then_traps() {
+        let (mut cpu, mut mem) = setup("s: gate 7\n halt");
+        cpu.psw.cpl = 3;
+        assert_eq!(cpu.step(&mut mem), Exit::Trap(Trap::Gate { imm: 7 }));
+        assert_eq!(cpu.retired(), 1);
+        assert_eq!(cpu.pc, 4, "gate handler must return past the gate");
+    }
+
+    #[test]
+    fn trap_delivery_and_rfi() {
+        let (mut cpu, mut mem) = setup(
+            ".org 0
+            boot:
+                li   r4, 0x1000
+                mtctl iva, r4
+                gate 3            ; to handler at iva + 32*7
+                addi r5, r0, 77   ; resumed here
+                halt
+            .org 0x1000 + 224
+            gate_handler:
+                mfctl r6, traparg
+                rfi",
+        );
+        // boot (li=2 insns, mtctl) then gate.
+        for _ in 0..3 {
+            assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        }
+        match cpu.step(&mut mem) {
+            Exit::Trap(t @ Trap::Gate { imm: 3 }) => cpu.deliver_trap(t),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cpu.pc, 0x1000 + 32 * 7);
+        assert_eq!(cpu.psw.cpl, 0);
+        // Handler: mfctl, rfi.
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.reg(Reg::of(6)), 3);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        // Resumed after the gate.
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.reg(Reg::of(5)), 77);
+        assert_eq!(cpu.step(&mut mem), Exit::Halt);
+    }
+
+    #[test]
+    fn recovery_counter_delimits_epochs() {
+        let (mut cpu, mut mem) = setup("s: nop\n nop\n nop\n nop\n nop\n nop\n nop\n nop\n halt");
+        cpu.psw.recovery = true;
+        cpu.set_ctl(ControlReg::Rctr, 3);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        // Exactly 3 instructions retired; the 4th step reports the epoch end.
+        assert_eq!(cpu.step(&mut mem), Exit::Trap(Trap::RecoveryCounter));
+        assert_eq!(cpu.retired(), 3);
+        // Re-arming continues execution.
+        cpu.set_ctl(ControlReg::Rctr, 2);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Trap(Trap::RecoveryCounter));
+        assert_eq!(cpu.retired(), 5);
+    }
+
+    #[test]
+    fn external_interrupt_checked_before_instruction() {
+        let (mut cpu, mut mem) = setup("s: nop\n halt");
+        cpu.psw.interrupts = true;
+        cpu.set_ctl(ControlReg::Eiem, 0b1);
+        cpu.raise_irq(0b1);
+        assert_eq!(cpu.step(&mut mem), Exit::Trap(Trap::ExternalInterrupt));
+        // Masked interrupts do not fire.
+        cpu.set_ctl(ControlReg::Eiem, 0);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+    }
+
+    #[test]
+    fn eirr_write_one_to_clear() {
+        let (mut cpu, mut mem) = setup("s: addi r4, r0, 1\n mtctl eirr, r4\n halt");
+        cpu.raise_irq(0b11);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.ctl(ControlReg::Eirr), 0b10, "bit 0 cleared, bit 1 kept");
+    }
+
+    #[test]
+    fn env_instructions_exit_at_level_0() {
+        let (mut cpu, mut mem) = setup("s: mftod r4\n halt");
+        match cpu.step(&mut mem) {
+            Exit::Env(EnvOp::ReadTod { rd }) => {
+                cpu.complete_env_read(rd, 123_456);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cpu.reg(Reg::of(4)), 123_456);
+        assert_eq!(cpu.retired(), 1);
+        assert_eq!(cpu.step(&mut mem), Exit::Halt);
+    }
+
+    #[test]
+    fn mmio_exits() {
+        let (mut cpu, mut mem) = setup(
+            "s:
+                li r4, 0xF0000000
+                lw r5, 0(r4)
+                sw r5, 4(r4)
+                halt",
+        );
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        match cpu.step(&mut mem) {
+            Exit::MmioRead {
+                paddr,
+                width: MemWidth::Word,
+                rd,
+            } => {
+                assert_eq!(paddr, 0xF000_0000);
+                cpu.complete_mmio_read(rd, MemWidth::Word, 0xAB);
+            }
+            other => panic!("{other:?}"),
+        }
+        match cpu.step(&mut mem) {
+            Exit::MmioWrite { paddr, value, .. } => {
+                assert_eq!(paddr, 0xF000_0004);
+                assert_eq!(value, 0xAB);
+                cpu.complete_env_effect();
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cpu.step(&mut mem), Exit::Halt);
+    }
+
+    #[test]
+    fn translation_and_tlb_miss() {
+        let (mut cpu, mut mem) = setup("s: nop\n halt");
+        // Map virtual page 8 to physical page 0 (where the code is).
+        cpu.psw.translation = true;
+        cpu.pc = 8 << 12;
+        match cpu.step(&mut mem) {
+            Exit::Trap(Trap::TlbMiss {
+                vaddr,
+                write: false,
+            }) => assert_eq!(vaddr, 8 << 12),
+            other => panic!("{other:?}"),
+        }
+        cpu.tlb.insert_pte(8 << 12, pte::V | pte::R | pte::X); // pfn 0
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.pc, (8 << 12) + 4);
+    }
+
+    #[test]
+    fn user_mode_protection() {
+        let (mut cpu, mut mem) = setup("s: lw r4, 0(r5)\n halt");
+        cpu.psw.translation = true;
+        cpu.psw.cpl = 3;
+        cpu.set_reg(Reg::of(5), 9 << 12);
+        // Executable+user for the code page at vpn 0 → pfn 0.
+        cpu.tlb.insert_pte(0, pte::V | pte::R | pte::X | pte::U);
+        // Kernel-only data page.
+        cpu.tlb
+            .insert_pte(9 << 12, (2 << 12) | pte::V | pte::R | pte::W);
+        match cpu.step(&mut mem) {
+            Exit::Trap(Trap::AccessFault {
+                vaddr,
+                write: false,
+            }) => assert_eq!(vaddr, 9 << 12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_word_access_faults() {
+        let (mut cpu, mut mem) = setup("s: li r4, 0x2001\n lw r5, 0(r4)\n halt");
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(
+            cpu.step(&mut mem),
+            Exit::Trap(Trap::AlignmentFault { vaddr: 0x2001 })
+        );
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let (mut cpu, mut mem) = setup("s: .word 0\n");
+        match cpu.step(&mut mem) {
+            Exit::Trap(Trap::IllegalInstruction { word: 0 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_reports_accessibility() {
+        let (mut cpu, mut mem) = setup("s: probe r4, r5\n probe r6, r7\n halt");
+        cpu.psw.translation = true;
+        cpu.tlb.insert_pte(0, pte::V | pte::R | pte::X); // code page
+        cpu.tlb.insert_pte(5 << 12, (1 << 12) | pte::V | pte::R);
+        cpu.set_reg(Reg::of(5), 5 << 12);
+        cpu.set_reg(Reg::of(7), 5 << 12);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.reg(Reg::of(4)), 1);
+        // Probe from user mode on a kernel page reports inaccessible —
+        // this is how probe reveals the (real) privilege level.
+        cpu.psw.cpl = 3;
+        cpu.tlb.insert_pte(0, pte::V | pte::R | pte::X | pte::U);
+        assert_eq!(cpu.step(&mut mem), Exit::Retired);
+        assert_eq!(cpu.reg(Reg::of(6)), 0);
+    }
+
+    #[test]
+    fn idle_and_diag_exits() {
+        let (mut cpu, mut mem) = setup("s: diag r4, 9\n idle\n halt");
+        cpu.set_reg(Reg::of(4), 0xBEEF);
+        assert_eq!(
+            cpu.step(&mut mem),
+            Exit::Diag {
+                value: 0xBEEF,
+                code: 9
+            }
+        );
+        cpu.complete_env_effect();
+        assert_eq!(cpu.step(&mut mem), Exit::Idle);
+        cpu.complete_env_effect();
+        assert_eq!(cpu.step(&mut mem), Exit::Halt);
+    }
+}

@@ -1,0 +1,222 @@
+//! Physical memory and the memory-mapped I/O window.
+//!
+//! Like PA-RISC, I/O controller registers live in physical address space
+//! and are reached with ordinary loads and stores. Accesses that fall in
+//! the I/O window are not satisfied by RAM; the CPU reports them to its
+//! embedder (the bare machine routes them to devices, the hypervisor
+//! intercepts them — paper §3.2, Environment Instruction Assumption).
+
+/// Base physical address of the memory-mapped I/O window.
+pub const IO_BASE: u32 = 0xF000_0000;
+/// Size of the I/O window in bytes.
+pub const IO_SIZE: u32 = 0x0001_0000;
+
+/// Page size (bytes) shared by the MMU and page tables.
+pub const PAGE_SIZE: u32 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Classification of a physical address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AddrKind {
+    /// Backed by RAM.
+    Ram,
+    /// Inside the memory-mapped I/O window.
+    Io,
+    /// Neither RAM nor I/O.
+    Unmapped,
+}
+
+/// Byte-addressable little-endian physical memory.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_machine::mem::Memory;
+///
+/// let mut m = Memory::new(4096);
+/// m.write_u32(8, 0xCAFEBABE).unwrap();
+/// assert_eq!(m.read_u32(8), Ok(0xCAFEBABE));
+/// ```
+#[derive(Clone)]
+pub struct Memory {
+    ram: Vec<u8>,
+}
+
+/// A physical access that cannot be satisfied by RAM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemFault {
+    /// Address is in the I/O window; the embedder must handle it.
+    Io {
+        /// The physical address.
+        paddr: u32,
+    },
+    /// Address is outside RAM and the I/O window.
+    Unmapped {
+        /// The physical address.
+        paddr: u32,
+    },
+}
+
+impl Memory {
+    /// Allocates zeroed RAM of `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RAM region would overlap the I/O window.
+    pub fn new(bytes: usize) -> Self {
+        assert!(
+            (bytes as u64) <= u64::from(IO_BASE),
+            "RAM of {bytes} bytes would overlap the I/O window at {IO_BASE:#x}"
+        );
+        Memory {
+            ram: vec![0; bytes],
+        }
+    }
+
+    /// RAM size in bytes.
+    pub fn size(&self) -> usize {
+        self.ram.len()
+    }
+
+    /// Classifies a physical address.
+    pub fn kind(&self, paddr: u32) -> AddrKind {
+        if (paddr as usize) < self.ram.len() {
+            AddrKind::Ram
+        } else if (IO_BASE..IO_BASE.wrapping_add(IO_SIZE)).contains(&paddr) {
+            AddrKind::Io
+        } else {
+            AddrKind::Unmapped
+        }
+    }
+
+    fn check(&self, paddr: u32, len: u32) -> Result<usize, MemFault> {
+        let end = paddr as u64 + u64::from(len);
+        if end <= self.ram.len() as u64 {
+            Ok(paddr as usize)
+        } else if self.kind(paddr) == AddrKind::Io {
+            Err(MemFault::Io { paddr })
+        } else {
+            Err(MemFault::Unmapped { paddr })
+        }
+    }
+
+    /// Reads a little-endian word. `paddr` must be 4-byte aligned (the CPU
+    /// checks alignment before calling).
+    pub fn read_u32(&self, paddr: u32) -> Result<u32, MemFault> {
+        let i = self.check(paddr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.ram[i],
+            self.ram[i + 1],
+            self.ram[i + 2],
+            self.ram[i + 3],
+        ]))
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, paddr: u32, value: u32) -> Result<(), MemFault> {
+        let i = self.check(paddr, 4)?;
+        self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, paddr: u32) -> Result<u8, MemFault> {
+        let i = self.check(paddr, 1)?;
+        Ok(self.ram[i])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, paddr: u32, value: u8) -> Result<(), MemFault> {
+        let i = self.check(paddr, 1)?;
+        self.ram[i] = value;
+        Ok(())
+    }
+
+    /// Copies a slice into RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds RAM.
+    pub fn write_bytes(&mut self, paddr: u32, bytes: &[u8]) {
+        let i = paddr as usize;
+        self.ram[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads a slice out of RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds RAM.
+    pub fn read_bytes(&self, paddr: u32, len: usize) -> &[u8] {
+        let i = paddr as usize;
+        &self.ram[i..i + len]
+    }
+
+    /// Raw view of all RAM (used by the state hasher).
+    pub fn raw(&self) -> &[u8] {
+        &self.ram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = Memory::new(64);
+        m.write_u32(0, 0x0102_0304).unwrap();
+        assert_eq!(m.read_u32(0), Ok(0x0102_0304));
+        // Little-endian byte order.
+        assert_eq!(m.read_u8(0), Ok(0x04));
+        assert_eq!(m.read_u8(3), Ok(0x01));
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut m = Memory::new(16);
+        m.write_u8(7, 0xAB).unwrap();
+        assert_eq!(m.read_u8(7), Ok(0xAB));
+    }
+
+    #[test]
+    fn io_window_faults_as_io() {
+        let m = Memory::new(4096);
+        assert_eq!(m.kind(IO_BASE), AddrKind::Io);
+        assert_eq!(m.kind(IO_BASE + IO_SIZE - 4), AddrKind::Io);
+        assert_eq!(
+            m.read_u32(IO_BASE + 8),
+            Err(MemFault::Io { paddr: IO_BASE + 8 })
+        );
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut m = Memory::new(4096);
+        assert_eq!(m.kind(0x8000_0000), AddrKind::Unmapped);
+        assert_eq!(m.read_u32(4096), Err(MemFault::Unmapped { paddr: 4096 }));
+        assert_eq!(
+            m.write_u32(0x7FFF_FFFC, 1),
+            Err(MemFault::Unmapped { paddr: 0x7FFF_FFFC })
+        );
+        // Word straddling the end of RAM is unmapped, not a partial write.
+        assert_eq!(
+            m.write_u32(4094, 1),
+            Err(MemFault::Unmapped { paddr: 4094 })
+        );
+    }
+
+    #[test]
+    fn bulk_access() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, &[1, 2, 3]);
+        assert_eq!(m.read_bytes(4, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn ram_cannot_reach_io_window() {
+        let _ = Memory::new(IO_BASE as usize + 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! The processor status word.
+
+use core::fmt;
+
+/// Processor status word: privilege level plus the interruption-control
+/// bits the paper's mechanisms require.
+///
+/// Like PA-RISC, the machine has four privilege levels; level 0 may execute
+/// privileged instructions. The hypervisor runs the guest kernel at level 1
+/// ("virtual level 0") and guest user code at level 3, so every privileged
+/// instruction executed by the guest traps (paper §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Psw {
+    /// Current privilege level, 0 (most privileged) ..= 3.
+    pub cpl: u8,
+    /// External interrupts enabled.
+    pub interrupts: bool,
+    /// Address translation enabled (off inside interruption handlers).
+    pub translation: bool,
+    /// Recovery counter enabled: when set, the counter in `rctr`
+    /// decrements per retired instruction and traps on expiry.
+    pub recovery: bool,
+}
+
+impl Psw {
+    /// The state the processor boots in and enters trap handlers with:
+    /// privilege 0, interrupts off, translation off, recovery counting
+    /// unchanged by delivery (set explicitly by the embedder).
+    pub const fn handler_entry(recovery: bool) -> Psw {
+        Psw {
+            cpl: 0,
+            interrupts: false,
+            translation: false,
+            recovery,
+        }
+    }
+
+    /// Boot-time PSW.
+    pub const fn reset() -> Psw {
+        Psw {
+            cpl: 0,
+            interrupts: false,
+            translation: false,
+            recovery: false,
+        }
+    }
+
+    /// Packs into a word for storage in `ipsw`.
+    pub const fn pack(self) -> u32 {
+        (self.cpl as u32)
+            | ((self.interrupts as u32) << 2)
+            | ((self.translation as u32) << 3)
+            | ((self.recovery as u32) << 4)
+    }
+
+    /// Unpacks from an `ipsw` word; unused bits are ignored.
+    pub const fn unpack(word: u32) -> Psw {
+        Psw {
+            cpl: (word & 0x3) as u8,
+            interrupts: word & (1 << 2) != 0,
+            translation: word & (1 << 3) != 0,
+            recovery: word & (1 << 4) != 0,
+        }
+    }
+
+    /// Whether the processor is at user privilege (level 3).
+    pub const fn is_user(self) -> bool {
+        self.cpl == 3
+    }
+}
+
+impl fmt::Display for Psw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpl={} i={} t={} r={}",
+            self.cpl, self.interrupts as u8, self.translation as u8, self.recovery as u8
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for cpl in 0..4 {
+            for bits in 0..8 {
+                let psw = Psw {
+                    cpl,
+                    interrupts: bits & 1 != 0,
+                    translation: bits & 2 != 0,
+                    recovery: bits & 4 != 0,
+                };
+                assert_eq!(Psw::unpack(psw.pack()), psw);
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_ignores_garbage_bits() {
+        let psw = Psw::unpack(0xFFFF_FF00 | 0b10111);
+        assert_eq!(psw.cpl, 3);
+        assert!(psw.interrupts);
+        assert!(!psw.translation);
+        assert!(psw.recovery);
+    }
+
+    #[test]
+    fn reset_state() {
+        let psw = Psw::reset();
+        assert_eq!(psw.cpl, 0);
+        assert!(!psw.interrupts);
+        assert!(!psw.translation);
+        assert!(!psw.is_user());
+    }
+
+    #[test]
+    fn user_check() {
+        assert!(Psw {
+            cpl: 3,
+            ..Psw::reset()
+        }
+        .is_user());
+        assert!(!Psw {
+            cpl: 1,
+            ..Psw::reset()
+        }
+        .is_user());
+    }
+}

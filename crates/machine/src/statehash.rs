@@ -1,0 +1,198 @@
+//! Virtual-machine state hashing for lockstep divergence detection.
+//!
+//! The paper defines the *virtual-machine state* as "the memory and
+//! registers that change only with execution of instructions by that
+//! virtual machine" — general registers, PC, PSW, address-translation
+//! state and main memory — and explicitly excludes the time-of-day clock,
+//! interval timer and I/O state (§2.1). The replica-coordination
+//! protocols guarantee this state is identical at the primary and backup
+//! at every epoch boundary; hashing it is how the test suite (and the
+//! `lockstep` checker in `hvft-core`) verifies that guarantee.
+
+use crate::cpu::Cpu;
+use crate::mem::Memory;
+use hvft_isa::reg::ControlReg;
+
+/// Incremental FNV-1a (64-bit) hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Mixes in bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Mixes in a word.
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Final digest.
+    pub const fn digest(self) -> u64 {
+        self.0
+    }
+}
+
+/// Control registers included in the VM state.
+///
+/// `rctr` is excluded (owned by the hypervisor for epoch control) and
+/// `eirr` is *included*: under the protocols, interrupt assertions happen
+/// at identical instruction-stream points on both replicas, so their
+/// pending sets must match at epoch boundaries.
+const HASHED_CTL: [ControlReg; 9] = [
+    ControlReg::Iva,
+    ControlReg::Ipsw,
+    ControlReg::Iip,
+    ControlReg::Eiem,
+    ControlReg::Eirr,
+    ControlReg::Ptbr,
+    ControlReg::TrapArg,
+    ControlReg::Scratch0,
+    ControlReg::Scratch1,
+];
+
+/// Hashes the complete virtual-machine state (registers + PSW + hashed
+/// control registers + all of RAM).
+///
+/// # Examples
+///
+/// ```
+/// use hvft_machine::cpu::Cpu;
+/// use hvft_machine::mem::Memory;
+/// use hvft_machine::statehash::vm_state_hash;
+/// use hvft_machine::tlb::TlbReplacement;
+///
+/// let cpu = Cpu::new(8, TlbReplacement::RoundRobin, 0);
+/// let mem = Memory::new(4096);
+/// let h1 = vm_state_hash(&cpu, &mem);
+/// let h2 = vm_state_hash(&cpu, &mem);
+/// assert_eq!(h1, h2);
+/// ```
+pub fn vm_state_hash(cpu: &Cpu, mem: &Memory) -> u64 {
+    let mut h = Fnv64::new();
+    for &r in cpu.regs() {
+        h.update_u32(r);
+    }
+    h.update_u32(cpu.pc);
+    h.update_u32(cpu.psw.pack());
+    for cr in HASHED_CTL {
+        h.update_u32(cpu.ctl(cr));
+    }
+    h.update(mem.raw());
+    h.digest()
+}
+
+/// Hashes only registers and control state (cheap variant for frequent
+/// epoch-boundary checks on large memories).
+pub fn register_state_hash(cpu: &Cpu) -> u64 {
+    let mut h = Fnv64::new();
+    for &r in cpu.regs() {
+        h.update_u32(r);
+    }
+    h.update_u32(cpu.pc);
+    h.update_u32(cpu.psw.pack());
+    for cr in HASHED_CTL {
+        h.update_u32(cpu.ctl(cr));
+    }
+    h.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::TlbReplacement;
+    use hvft_isa::reg::Reg;
+
+    fn fresh() -> (Cpu, Memory) {
+        (
+            Cpu::new(8, TlbReplacement::RoundRobin, 0),
+            Memory::new(4096),
+        )
+    }
+
+    #[test]
+    fn identical_states_hash_equal() {
+        let (a_cpu, a_mem) = fresh();
+        let (b_cpu, b_mem) = fresh();
+        assert_eq!(vm_state_hash(&a_cpu, &a_mem), vm_state_hash(&b_cpu, &b_mem));
+    }
+
+    #[test]
+    fn register_difference_changes_hash() {
+        let (mut a, mem) = fresh();
+        let base = vm_state_hash(&a, &mem);
+        a.set_reg(Reg::of(5), 1);
+        assert_ne!(vm_state_hash(&a, &mem), base);
+    }
+
+    #[test]
+    fn memory_difference_changes_hash() {
+        let (cpu, mut mem) = fresh();
+        let base = vm_state_hash(&cpu, &mem);
+        mem.write_u8(100, 1).unwrap();
+        assert_ne!(vm_state_hash(&cpu, &mem), base);
+    }
+
+    #[test]
+    fn pc_difference_changes_hash() {
+        let (mut cpu, mem) = fresh();
+        let base = vm_state_hash(&cpu, &mem);
+        cpu.pc = 4;
+        assert_ne!(vm_state_hash(&cpu, &mem), base);
+    }
+
+    #[test]
+    fn rctr_is_excluded() {
+        // The recovery counter belongs to the hypervisor, not the VM state.
+        let (mut cpu, mem) = fresh();
+        let base = vm_state_hash(&cpu, &mem);
+        cpu.set_ctl(hvft_isa::reg::ControlReg::Rctr, 12345);
+        assert_eq!(vm_state_hash(&cpu, &mem), base);
+    }
+
+    #[test]
+    fn tlb_is_excluded() {
+        // With hypervisor-managed TLBs (the paper's fix), TLB contents may
+        // legitimately differ between replicas.
+        let (mut cpu, mem) = fresh();
+        let base = vm_state_hash(&cpu, &mem);
+        cpu.tlb.insert_pte(0x5000, 0x3017);
+        assert_eq!(vm_state_hash(&cpu, &mem), base);
+    }
+
+    #[test]
+    fn register_hash_ignores_memory() {
+        let (cpu, _) = fresh();
+        let h = register_state_hash(&cpu);
+        let (cpu2, _) = fresh();
+        assert_eq!(h, register_state_hash(&cpu2));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a 64 of "a" is 0xaf63dc4c8601ec8c.
+        let mut h = Fnv64::new();
+        h.update(b"a");
+        assert_eq!(h.digest(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,198 @@
+//! Traps (interruptions) and external-interrupt sources.
+
+use core::fmt;
+
+/// External-interrupt source bits in the `eirr`/`eiem` control registers.
+pub mod irq {
+    /// Interval timer expiry.
+    pub const TIMER: u32 = 1 << 0;
+    /// Disk controller completion (or uncertain) interrupt.
+    pub const DISK: u32 = 1 << 1;
+    /// Console transmit-complete interrupt.
+    pub const CONSOLE: u32 = 1 << 2;
+}
+
+/// A synchronous trap or external interruption.
+///
+/// The vector index selects the handler at `iva + 32 * index`
+/// (see [`Trap::vector`]); handlers are entered at privilege 0 with
+/// translation and interrupts off, the old PSW in `ipsw` and the old PC in
+/// `iip`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Trap {
+    /// Undecodable instruction word.
+    IllegalInstruction {
+        /// The raw word.
+        word: u32,
+    },
+    /// Privileged instruction attempted above privilege level 0.
+    ///
+    /// Under the hypervisor this is the workhorse trap: the guest kernel
+    /// runs at (real) level 1, so all of its privileged instructions arrive
+    /// here and are simulated.
+    PrivilegedOp {
+        /// The raw instruction word.
+        word: u32,
+    },
+    /// No TLB entry translates the access.
+    TlbMiss {
+        /// Faulting virtual address.
+        vaddr: u32,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// A TLB entry exists but forbids the access (protection violation).
+    AccessFault {
+        /// Faulting virtual address.
+        vaddr: u32,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// Misaligned word access.
+    AlignmentFault {
+        /// Faulting virtual address.
+        vaddr: u32,
+    },
+    /// Division by zero.
+    ArithmeticError,
+    /// `gate` instruction: controlled entry into the kernel (syscall).
+    Gate {
+        /// Service number from the instruction.
+        imm: u32,
+    },
+    /// `brk` instruction.
+    Break {
+        /// Debugger tag from the instruction.
+        imm: u32,
+    },
+    /// Recovery counter expired — this delimits an epoch (paper §2.1).
+    RecoveryCounter,
+    /// An enabled external interrupt is pending (see [`irq`]).
+    ExternalInterrupt,
+}
+
+impl Trap {
+    /// Handler index; the handler entry point is `iva + 32 * vector`.
+    pub const fn vector(self) -> u32 {
+        match self {
+            Trap::IllegalInstruction { .. } => 1,
+            Trap::PrivilegedOp { .. } => 2,
+            Trap::TlbMiss { .. } => 3,
+            Trap::AccessFault { .. } => 4,
+            Trap::AlignmentFault { .. } => 5,
+            Trap::ArithmeticError => 6,
+            Trap::Gate { .. } => 7,
+            Trap::Break { .. } => 8,
+            Trap::RecoveryCounter => 9,
+            Trap::ExternalInterrupt => 10,
+        }
+    }
+
+    /// Value deposited in the `traparg` control register on delivery.
+    pub const fn trap_arg(self) -> u32 {
+        match self {
+            Trap::IllegalInstruction { word } | Trap::PrivilegedOp { word } => word,
+            Trap::TlbMiss { vaddr, .. }
+            | Trap::AccessFault { vaddr, .. }
+            | Trap::AlignmentFault { vaddr } => vaddr,
+            Trap::Gate { imm } | Trap::Break { imm } => imm,
+            Trap::ArithmeticError | Trap::RecoveryCounter | Trap::ExternalInterrupt => 0,
+        }
+    }
+
+    /// Whether the trapping instruction did **not** retire and delivery
+    /// must record the *faulting* instruction's address (restart
+    /// semantics), as opposed to `gate`, which retires and records the
+    /// following instruction.
+    pub const fn restarts(self) -> bool {
+        !matches!(self, Trap::Gate { .. } | Trap::Break { .. })
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Trap::IllegalInstruction { word } => write!(f, "illegal instruction {word:#010x}"),
+            Trap::PrivilegedOp { word } => write!(f, "privileged operation {word:#010x}"),
+            Trap::TlbMiss { vaddr, write } => {
+                write!(
+                    f,
+                    "TLB miss at {vaddr:#010x} ({})",
+                    if write { "write" } else { "read" }
+                )
+            }
+            Trap::AccessFault { vaddr, write } => {
+                write!(
+                    f,
+                    "access fault at {vaddr:#010x} ({})",
+                    if write { "write" } else { "read" }
+                )
+            }
+            Trap::AlignmentFault { vaddr } => write!(f, "alignment fault at {vaddr:#010x}"),
+            Trap::ArithmeticError => write!(f, "arithmetic error"),
+            Trap::Gate { imm } => write!(f, "gate {imm}"),
+            Trap::Break { imm } => write!(f, "break {imm}"),
+            Trap::RecoveryCounter => write!(f, "recovery counter"),
+            Trap::ExternalInterrupt => write!(f, "external interrupt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_distinct() {
+        let traps = [
+            Trap::IllegalInstruction { word: 0 },
+            Trap::PrivilegedOp { word: 0 },
+            Trap::TlbMiss {
+                vaddr: 0,
+                write: false,
+            },
+            Trap::AccessFault {
+                vaddr: 0,
+                write: false,
+            },
+            Trap::AlignmentFault { vaddr: 0 },
+            Trap::ArithmeticError,
+            Trap::Gate { imm: 0 },
+            Trap::Break { imm: 0 },
+            Trap::RecoveryCounter,
+            Trap::ExternalInterrupt,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in traps {
+            assert!(seen.insert(t.vector()), "duplicate vector for {t}");
+        }
+    }
+
+    #[test]
+    fn trap_args() {
+        assert_eq!(
+            Trap::TlbMiss {
+                vaddr: 0x1234,
+                write: true
+            }
+            .trap_arg(),
+            0x1234
+        );
+        assert_eq!(Trap::Gate { imm: 9 }.trap_arg(), 9);
+        assert_eq!(Trap::PrivilegedOp { word: 0xAB }.trap_arg(), 0xAB);
+        assert_eq!(Trap::RecoveryCounter.trap_arg(), 0);
+    }
+
+    #[test]
+    fn restart_semantics() {
+        assert!(Trap::TlbMiss {
+            vaddr: 0,
+            write: false
+        }
+        .restarts());
+        assert!(Trap::PrivilegedOp { word: 0 }.restarts());
+        assert!(!Trap::Gate { imm: 0 }.restarts());
+        assert!(!Trap::Break { imm: 0 }.restarts());
+        assert!(Trap::RecoveryCounter.restarts());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the machine: interpreter determinism (the
+//! Ordinary Instruction Assumption) and TLB model conformance.
+
+use hvft_isa::codec::encode;
+use hvft_isa::instruction::{AluImmOp, AluOp, Instruction};
+use hvft_isa::reg::Reg;
+use hvft_machine::cpu::{Cpu, Exit};
+use hvft_machine::mem::Memory;
+use hvft_machine::statehash::vm_state_hash;
+use hvft_machine::tlb::{pte, Tlb, TlbAccess, TlbReplacement, TlbResult};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_ordinary() -> impl Strategy<Value = Instruction> {
+    // A pool of ordinary instructions that cannot trap (registers are
+    // arbitrary, addresses constrained to low RAM via masking sequences).
+    let reg = (1u8..30).prop_map(Reg::of);
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::And),
+                Just(AluOp::Or),
+                Just(AluOp::Xor),
+                Just(AluOp::Sll),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Mul),
+            ],
+            reg.clone(),
+            reg.clone(),
+            reg.clone()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
+        (reg.clone(), reg.clone(), -8192i32..=8191).prop_map(|(rd, rs1, imm)| {
+            Instruction::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1,
+                imm,
+            }
+        }),
+        (reg.clone(), reg.clone(), 0i32..=16383).prop_map(|(rd, rs1, imm)| {
+            Instruction::AluImm {
+                op: AluImmOp::Andi,
+                rd,
+                rs1,
+                imm,
+            }
+        }),
+        (reg.clone(), 0u32..(1 << 19)).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        Just(Instruction::Nop),
+    ]
+}
+
+/// Executes a program of ordinary instructions and returns the state
+/// hash at the end.
+fn run_program(insns: &[Instruction], seed: u64) -> u64 {
+    let mut cpu = Cpu::new(16, TlbReplacement::Random, seed);
+    let mut mem = Memory::new(1 << 16);
+    let mut addr = 0u32;
+    for &i in insns {
+        mem.write_u32(addr, encode(i).unwrap()).unwrap();
+        addr += 4;
+    }
+    mem.write_u32(addr, encode(Instruction::Halt).unwrap())
+        .unwrap();
+    loop {
+        match cpu.step(&mut mem) {
+            Exit::Retired => {}
+            Exit::Halt => break,
+            other => panic!("unexpected exit {other:?}"),
+        }
+    }
+    vm_state_hash(&cpu, &mem)
+}
+
+proptest! {
+    #[test]
+    fn ordinary_instructions_are_deterministic(
+        insns in prop::collection::vec(arb_ordinary(), 0..200),
+    ) {
+        // The Ordinary Instruction Assumption: same program, same initial
+        // state → bit-identical final state, regardless of the machine's
+        // hidden non-determinism (here: the TLB replacement seed).
+        let a = run_program(&insns, 1);
+        let b = run_program(&insns, 99);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tlb_conforms_to_reference_model(
+        ops in prop::collection::vec(
+            // (vpn, is_insert, purge_all)
+            (0u32..64, any::<bool>(), prop::bool::weighted(0.02)),
+            1..300,
+        ),
+        slots in 1usize..32,
+    ) {
+        let mut tlb = Tlb::new(slots, TlbReplacement::RoundRobin, 0);
+        // Reference: map of present translations; capacity enforced by
+        // checking the subset property rather than exact contents.
+        let mut reference: HashMap<u32, u32> = HashMap::new();
+        for (vpn, is_insert, purge_all) in ops {
+            if purge_all {
+                tlb.purge_all();
+                reference.clear();
+            } else if is_insert {
+                let word = (vpn << 12) | pte::V | pte::R;
+                tlb.insert_pte(vpn << 12, word);
+                reference.insert(vpn, vpn);
+            } else {
+                match tlb.lookup(vpn << 12, TlbAccess::Read, false) {
+                    TlbResult::Hit(pa) => {
+                        // Any hit must agree with the reference mapping.
+                        let expect = reference.get(&vpn);
+                        let frame = pa >> 12;
+                        prop_assert_eq!(expect, Some(&frame),
+                            "hit frame {} disagrees with reference", frame);
+                    }
+                    TlbResult::Miss => {
+                        // Misses are always allowed (capacity evictions).
+                    }
+                    TlbResult::Denied => {
+                        return Err(TestCaseError::fail("R-only entry denied a read"));
+                    }
+                }
+            }
+            prop_assert!(tlb.occupancy() <= tlb.capacity());
+        }
+    }
+
+    #[test]
+    fn last_inserted_entry_is_always_present(
+        preload in prop::collection::vec(0u32..1000, 0..100),
+        last in 0u32..1000,
+        slots in 1usize..16,
+        policy_random in any::<bool>(),
+    ) {
+        let policy = if policy_random { TlbReplacement::Random } else { TlbReplacement::RoundRobin };
+        let mut tlb = Tlb::new(slots, policy, 7);
+        for vpn in preload {
+            tlb.insert_pte(vpn << 12, (vpn << 12) | pte::V | pte::R);
+        }
+        tlb.insert_pte(last << 12, (last << 12) | pte::V | pte::R);
+        // Whatever got evicted, the most recent insert must be resident.
+        prop_assert!(matches!(
+            tlb.lookup(last << 12, TlbAccess::Read, false),
+            TlbResult::Hit(_)
+        ));
+    }
+}

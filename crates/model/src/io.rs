@@ -1,0 +1,188 @@
+//! `NPW(EL)` / `NPR(EL)`: the I/O workload models (§4.2).
+//!
+//! ```text
+//! NPW(EL) = nW · ( cpu(EL) + xferW + delayW(EL) ) / RT
+//! NPR(EL) = nR · ( cpu(EL) + xferR + delayR(EL) ) / RT
+//! ```
+//!
+//! `cpu(EL)` — the elapsed time to select a block and initiate the
+//! transfer with the hypervisor present — is an *empirical* function in
+//! the paper (they measured it per epoch length; it is dominated by
+//! hypervisor-simulated privileged instructions in the syscall and
+//! driver paths). We represent it as an interpolation table, with
+//! defaults back-fitted so the model reproduces Figure 3's printed
+//! points, and let the benchmark harness install tables measured from
+//! the simulator instead.
+
+/// Which I/O benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoDirection {
+    /// 2048 random-block writes, each awaited (`NPW`).
+    Write,
+    /// 2048 random-block reads (≈ 1729 reaching the disk), each awaited
+    /// (`NPR`).
+    Read,
+}
+
+/// Parameters of one I/O workload model.
+#[derive(Clone, Debug)]
+pub struct NpIoModel {
+    /// Which benchmark.
+    pub direction: IoDirection,
+    /// `cpu(EL)` sample points `(EL, seconds)`, ascending in `EL`;
+    /// linearly interpolated, clamped at the ends.
+    pub cpu_table: Vec<(u64, f64)>,
+    /// Device transfer seconds (`xferW` = 26 ms, `xferR` = 24.2 ms).
+    pub xfer_secs: f64,
+    /// Epoch-length-independent part of the interrupt-delivery delay
+    /// (boundary processing, data forwarding for reads).
+    pub delay0_secs: f64,
+    /// Delay growth per instruction of epoch length (buffered interrupts
+    /// wait out the residual epoch; ≈ half an epoch at 0.02 µs per
+    /// instruction).
+    pub delay_slope_secs_per_insn: f64,
+    /// Bare-hardware seconds per operation (`RT / n`).
+    pub rt_per_op_secs: f64,
+}
+
+impl NpIoModel {
+    /// Paper-fitted write model (Figure 3's `NPW`).
+    pub fn paper_write() -> Self {
+        NpIoModel {
+            direction: IoDirection::Write,
+            cpu_table: vec![
+                (1024, 26.46e-3),
+                (2048, 21.93e-3),
+                (4096, 20.78e-3),
+                (8192, 19.89e-3),
+                (32768, 20.20e-3),
+            ],
+            xfer_secs: 26.0e-3,
+            delay0_secs: 0.45e-3,
+            delay_slope_secs_per_insn: 0.01e-6, // half of 0.02 µs
+            rt_per_op_secs: 28.3e-3,
+        }
+    }
+
+    /// Paper-fitted read model (Figure 3's `NPR`). The larger `delay0`
+    /// is the 8 KB data forward to the backup over the 10 Mbps Ethernet
+    /// ("9 messages for the data and 1 message for an acknowledgement").
+    pub fn paper_read() -> Self {
+        NpIoModel {
+            direction: IoDirection::Read,
+            cpu_table: vec![
+                (1024, 28.07e-3),
+                (2048, 22.23e-3),
+                (4096, 20.35e-3),
+                (8192, 18.99e-3),
+                (32768, 18.90e-3),
+            ],
+            xfer_secs: 24.2e-3,
+            delay0_secs: 9.2e-3,
+            delay_slope_secs_per_insn: 0.01e-6,
+            rt_per_op_secs: 26.5e-3,
+        }
+    }
+
+    /// Interpolated `cpu(EL)`.
+    pub fn cpu(&self, el: u64) -> f64 {
+        let t = &self.cpu_table;
+        assert!(!t.is_empty(), "cpu table must not be empty");
+        if el <= t[0].0 {
+            return t[0].1;
+        }
+        for w in t.windows(2) {
+            let (e0, c0) = w[0];
+            let (e1, c1) = w[1];
+            if el <= e1 {
+                let f = (el - e0) as f64 / (e1 - e0) as f64;
+                return c0 + f * (c1 - c0);
+            }
+        }
+        t[t.len() - 1].1
+    }
+
+    /// `delay(EL)`: elapsed time between the completion interrupt and
+    /// its delivery to the virtual machine.
+    pub fn delay(&self, el: u64) -> f64 {
+        self.delay0_secs + self.delay_slope_secs_per_insn * el as f64
+    }
+
+    /// Evaluates the normalized performance at epoch length `el`.
+    pub fn np(&self, el: u64) -> f64 {
+        assert!(el > 0, "epoch length must be positive");
+        (self.cpu(el) + self.xfer_secs + self.delay(el)) / self.rt_per_op_secs
+    }
+
+    /// Sweeps over epoch lengths.
+    pub fn sweep(&self, els: &[u64]) -> Vec<(u64, f64)> {
+        els.iter().map(|&el| (el, self.np(el))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_matches_figure_3() {
+        let m = NpIoModel::paper_write();
+        for (el, printed) in [(1024u64, 1.87), (2048, 1.71), (4096, 1.67), (8192, 1.64)] {
+            let np = m.np(el);
+            assert!(
+                (np - printed).abs() / printed < 0.02,
+                "NPW({el}) = {np:.3}, paper prints {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_matches_figure_3() {
+        let m = NpIoModel::paper_read();
+        for (el, printed) in [(1024u64, 2.32), (2048, 2.10), (4096, 2.03), (8192, 1.98)] {
+            let np = m.np(el);
+            assert!(
+                (np - printed).abs() / printed < 0.02,
+                "NPR({el}) = {np:.3}, paper prints {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_cost_more_than_writes() {
+        // The data forward to the backup makes reads strictly worse.
+        let w = NpIoModel::paper_write();
+        let r = NpIoModel::paper_read();
+        for el in [1024u64, 4096, 32768] {
+            assert!(r.np(el) > w.np(el));
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_epoch_length() {
+        // The "slight upward drift" of Figure 3 at large EL.
+        let m = NpIoModel::paper_write();
+        assert!(m.delay(32768) > m.delay(1024));
+    }
+
+    #[test]
+    fn io_np_never_approaches_one() {
+        // "Normalized performance for the I/O workload experiments never
+        // goes as low as for the CPU-intensive workload."
+        let w = NpIoModel::paper_write();
+        let r = NpIoModel::paper_read();
+        for el in [1024u64, 8192, 32768, 385_000] {
+            assert!(w.np(el) > 1.5, "NPW({el}) = {}", w.np(el));
+            assert!(r.np(el) > 1.5, "NPR({el}) = {}", r.np(el));
+        }
+    }
+
+    #[test]
+    fn cpu_table_interpolates_and_clamps() {
+        let m = NpIoModel::paper_write();
+        assert_eq!(m.cpu(100), m.cpu_table[0].1);
+        assert_eq!(m.cpu(1_000_000), m.cpu_table.last().unwrap().1);
+        let mid = m.cpu(1536);
+        assert!(mid < m.cpu(1024) && mid > m.cpu(2048));
+    }
+}

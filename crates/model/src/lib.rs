@@ -1,0 +1,28 @@
+//! `hvft-model` — the paper's analytic performance models.
+//!
+//! §4 of the paper formulates (and validates) closed-form models for the
+//! normalized performance of each workload as a function of the epoch
+//! length `EL`:
+//!
+//! - [`cpu::NpcModel`] — `NPC(EL)` for the CPU-intensive workload
+//!   (§4.1, Figure 2);
+//! - [`io::NpIoModel`] — `NPW(EL)` / `NPR(EL)` for the disk write and
+//!   read workloads (§4.2, Figure 3);
+//! - [`comm`] — the §4.3 faster-communication variants (Figure 4).
+//!
+//! The constants default to the paper's measured values, so the crate
+//! reproduces the printed curves exactly; the benchmark harness also
+//! instantiates the models with constants *measured from our simulator*
+//! to validate the simulation the same way the paper validated its
+//! prototype.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod cpu;
+pub mod io;
+
+pub use comm::{predict_fig4, CommScenario};
+pub use cpu::NpcModel;
+pub use io::{IoDirection, NpIoModel};

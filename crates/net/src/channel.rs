@@ -1,0 +1,230 @@
+//! A unidirectional FIFO message channel over a modelled link.
+//!
+//! The protocol exposition in §2 assumes "FIFO communications channels"
+//! between the processors. [`Channel`] provides exactly that: messages
+//! are delivered in send order, never earlier than the link model allows,
+//! with optional loss injection (used to probe the revised protocol of
+//! §4.3, which tolerates unacknowledged messages until the next I/O).
+
+use crate::link::LinkSpec;
+use hvft_sim::rng::SimRng;
+use hvft_sim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Channel statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages accepted for transmission.
+    pub sent: u64,
+    /// Messages dropped by loss injection.
+    pub dropped: u64,
+    /// Messages delivered to the receiver.
+    pub delivered: u64,
+    /// Total payload bytes accepted.
+    pub bytes: u64,
+}
+
+/// A unidirectional FIFO channel carrying messages of type `M`.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_net::channel::Channel;
+/// use hvft_net::link::LinkSpec;
+/// use hvft_sim::time::SimTime;
+///
+/// let mut ch: Channel<&str> = Channel::new(LinkSpec::ethernet_10mbps(), 1);
+/// let t = ch.send(SimTime::ZERO, 16, "hello").unwrap();
+/// assert!(ch.pop_ready(SimTime::ZERO).is_none(), "not delivered instantly");
+/// assert_eq!(ch.pop_ready(t), Some("hello"));
+/// ```
+pub struct Channel<M> {
+    link: LinkSpec,
+    /// Time the transmitter finishes serializing the last accepted
+    /// message (models link occupancy).
+    busy_until: SimTime,
+    queue: VecDeque<(SimTime, M)>,
+    rng: SimRng,
+    loss_prob: f64,
+    severed: bool,
+    stats: ChannelStats,
+}
+
+impl<M> Channel<M> {
+    /// Creates an idle channel over `link`.
+    pub fn new(link: LinkSpec, seed: u64) -> Self {
+        Channel {
+            link,
+            busy_until: SimTime::ZERO,
+            queue: VecDeque::new(),
+            rng: SimRng::seed_from_label(seed, "channel"),
+            loss_prob: 0.0,
+            severed: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The underlying link model.
+    pub fn link(&self) -> &LinkSpec {
+        &self.link
+    }
+
+    /// Enables random message loss with probability `p` per message.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.loss_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// Permanently severs the channel: future sends vanish, but messages
+    /// already in flight are still delivered. This models a sender crash:
+    /// the paper assumes the backup "detects the primary's processor
+    /// failure only after receiving the last message sent".
+    pub fn sever(&mut self) {
+        self.severed = true;
+    }
+
+    /// Whether the channel has been severed.
+    pub fn is_severed(&self) -> bool {
+        self.severed
+    }
+
+    /// Sends a message of `bytes` payload bytes at time `now`.
+    ///
+    /// Returns the delivery time, or `None` if the message was lost
+    /// (loss injection) or the channel is severed. Delivery order is
+    /// FIFO even when a short message follows a long one.
+    pub fn send(&mut self, now: SimTime, bytes: usize, msg: M) -> Option<SimTime> {
+        if self.severed {
+            return None;
+        }
+        self.stats.sent += 1;
+        self.stats.bytes += bytes as u64;
+        // Serialization occupies the link even if the message is then lost
+        // (collisions/drops still burn air time).
+        let n_msgs = self.link.messages_for(bytes) as u64;
+        let tx_time = self.link.per_message * n_msgs + self.link.transfer_time(bytes);
+        let start = self.busy_until.max(now);
+        let tx_end = start + tx_time;
+        self.busy_until = tx_end;
+        if self.loss_prob > 0.0 && self.rng.gen_bool(self.loss_prob) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let deliver = tx_end + self.link.propagation;
+        self.queue.push_back((deliver, msg));
+        Some(deliver)
+    }
+
+    /// Time the next message becomes deliverable, if any.
+    pub fn next_delivery(&self) -> Option<SimTime> {
+        self.queue.front().map(|(t, _)| *t)
+    }
+
+    /// Pops the next message if its delivery time has arrived.
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<M> {
+        match self.queue.front() {
+            Some((t, _)) if *t <= now => {
+                self.stats.delivered += 1;
+                self.queue.pop_front().map(|(_, m)| m)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of messages in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// The earliest a message sent *now* could arrive (DES lookahead).
+    pub fn lookahead(&self) -> SimDuration {
+        self.link.min_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut ch: Channel<u32> = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+        // A big message then a small one: the small one must not overtake.
+        let d1 = ch.send(SimTime::ZERO, 8192, 1).unwrap();
+        let d2 = ch.send(SimTime::ZERO, 4, 2).unwrap();
+        assert!(d2 > d1, "FIFO: {d2} must follow {d1}");
+        let far = t(1_000_000_000);
+        assert_eq!(ch.pop_ready(far), Some(1));
+        assert_eq!(ch.pop_ready(far), Some(2));
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut ch: Channel<&str> = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+        let d = ch.send(SimTime::ZERO, 100, "m").unwrap();
+        assert!(ch.pop_ready(d - SimDuration::from_nanos(1)).is_none());
+        assert_eq!(ch.pop_ready(d), Some("m"));
+    }
+
+    #[test]
+    fn link_occupancy_serializes_sends() {
+        let mut ch: Channel<u8> = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+        let d1 = ch.send(SimTime::ZERO, 1024, 1).unwrap();
+        let d2 = ch.send(SimTime::ZERO, 1024, 2).unwrap();
+        // Second message's delivery is pushed by the first's serialization.
+        let gap = d2 - d1;
+        assert!(gap >= ch.link().transfer_time(1024), "gap {gap} too small");
+    }
+
+    #[test]
+    fn loss_injection_drops_messages() {
+        let mut ch: Channel<u32> = Channel::new(LinkSpec::instant(), 42);
+        ch.set_loss_probability(0.5);
+        let mut lost = 0;
+        for i in 0..100 {
+            if ch.send(SimTime::ZERO, 8, i).is_none() {
+                lost += 1;
+            }
+        }
+        assert!(lost > 20 && lost < 80, "loss rate wildly off: {lost}/100");
+        assert_eq!(ch.stats().dropped, lost);
+        assert_eq!(ch.stats().sent, 100);
+    }
+
+    #[test]
+    fn sever_stops_new_but_delivers_in_flight() {
+        let mut ch: Channel<&str> = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+        let d = ch.send(SimTime::ZERO, 8, "in-flight").unwrap();
+        ch.sever();
+        assert_eq!(ch.send(d, 8, "late"), None);
+        assert_eq!(ch.pop_ready(d), Some("in-flight"));
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn next_delivery_peeks() {
+        let mut ch: Channel<u8> = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+        assert_eq!(ch.next_delivery(), None);
+        let d = ch.send(SimTime::ZERO, 8, 1).unwrap();
+        assert_eq!(ch.next_delivery(), Some(d));
+    }
+
+    #[test]
+    fn stats_track_delivery() {
+        let mut ch: Channel<u8> = Channel::new(LinkSpec::instant(), 0);
+        let d = ch.send(SimTime::ZERO, 3, 1).unwrap();
+        ch.pop_ready(d);
+        let s = ch.stats();
+        assert_eq!(s.sent, 1);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.bytes, 3);
+    }
+}

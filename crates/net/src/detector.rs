@@ -1,0 +1,131 @@
+//! Timeout-based failure detection.
+//!
+//! The primary/backup approach requires failstop behaviour: a failed
+//! primary halts detectably (Schlichting & Schneider 1983). The paper
+//! assumes the backup detects
+//! the failure "only after receiving the last message sent by the
+//! primary's hypervisor (as would be the case were timeouts used for
+//! failure detection)" — which is precisely a heartbeat timeout layered
+//! over a FIFO channel.
+
+use hvft_sim::time::{SimDuration, SimTime};
+
+/// A simple timeout failure detector.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_net::detector::FailureDetector;
+/// use hvft_sim::time::{SimDuration, SimTime};
+///
+/// let mut d = FailureDetector::new(SimDuration::from_millis(10));
+/// d.heard(SimTime::ZERO);
+/// assert!(!d.expired(SimTime::from_nanos(9_999_999)));
+/// assert!(d.expired(SimTime::from_nanos(10_000_000)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FailureDetector {
+    timeout: SimDuration,
+    last_heard: SimTime,
+    suspected: bool,
+}
+
+impl FailureDetector {
+    /// Creates a detector; the peer is considered heard-from at t=0.
+    pub fn new(timeout: SimDuration) -> Self {
+        assert!(timeout > SimDuration::ZERO, "timeout must be positive");
+        FailureDetector {
+            timeout,
+            last_heard: SimTime::ZERO,
+            suspected: false,
+        }
+    }
+
+    /// Records communication from the peer.
+    pub fn heard(&mut self, now: SimTime) {
+        if !self.suspected {
+            self.last_heard = self.last_heard.max(now);
+        }
+    }
+
+    /// Whether the peer has been silent past the timeout. Once expired,
+    /// the suspicion is permanent (failstop: crashed processors do not
+    /// come back as the same incarnation).
+    pub fn expired(&mut self, now: SimTime) -> bool {
+        if !self.suspected && now >= self.deadline() {
+            self.suspected = true;
+        }
+        self.suspected
+    }
+
+    /// The instant suspicion would set in absent further messages.
+    pub fn deadline(&self) -> SimTime {
+        self.last_heard.saturating_add(self.timeout)
+    }
+
+    /// Whether the peer is currently suspected.
+    pub fn is_suspected(&self) -> bool {
+        self.suspected
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    fn at(n: u64) -> SimTime {
+        SimTime::ZERO + ms(n)
+    }
+
+    #[test]
+    fn stays_quiet_while_hearing() {
+        let mut d = FailureDetector::new(ms(5));
+        for i in 0..10 {
+            d.heard(at(i));
+            assert!(!d.expired(at(i + 1)));
+        }
+    }
+
+    #[test]
+    fn expires_after_silence() {
+        let mut d = FailureDetector::new(ms(5));
+        d.heard(at(3));
+        assert!(!d.expired(at(7)));
+        assert!(d.expired(at(8)));
+    }
+
+    #[test]
+    fn suspicion_is_permanent() {
+        let mut d = FailureDetector::new(ms(5));
+        assert!(d.expired(at(100)));
+        // A late message does not rescind suspicion (failstop model).
+        d.heard(at(101));
+        assert!(d.expired(at(101)));
+        assert!(d.is_suspected());
+    }
+
+    #[test]
+    fn deadline_tracks_last_heard() {
+        let mut d = FailureDetector::new(ms(5));
+        d.heard(at(10));
+        assert_eq!(d.deadline(), at(15));
+        // Out-of-order heard() calls cannot move the deadline backwards.
+        d.heard(at(8));
+        assert_eq!(d.deadline(), at(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_rejected() {
+        let _ = FailureDetector::new(SimDuration::ZERO);
+    }
+}

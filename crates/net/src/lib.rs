@@ -1,0 +1,18 @@
+//! `hvft-net` — the coordination network between the two hypervisors.
+//!
+//! Provides the FIFO channel abstraction the §2 protocols assume,
+//! parameterized by a [`link::LinkSpec`] performance model (10 Mbps
+//! Ethernet as in the prototype, or the 155 Mbps ATM of §4.3), plus the
+//! timeout [`detector::FailureDetector`] that realizes the failstop
+//! detection assumption.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod detector;
+pub mod link;
+
+pub use channel::{Channel, ChannelStats};
+pub use detector::FailureDetector;
+pub use link::LinkSpec;

@@ -1,0 +1,33 @@
+//! `hvft-sim` — deterministic discrete-event simulation substrate.
+//!
+//! This crate provides the foundation every other `hvft` crate builds on:
+//!
+//! - [`time`]: integer-nanosecond simulated time ([`time::SimTime`],
+//!   [`time::SimDuration`]) in which all of the paper's constants are exact;
+//! - [`event`]: a deterministic event queue with FIFO tie-breaking;
+//! - [`rng`]: seeded, fork-able pseudo-randomness so "non-deterministic"
+//!   hardware behaviour (TLB replacement, transient device faults) is
+//!   reproducible;
+//! - [`stats`]: Welford accumulators and histograms for the measurement
+//!   harnesses (the paper reports means and coefficients of variation over
+//!   20 runs);
+//! - [`trace`]: a bounded structured trace sink.
+//!
+//! The co-simulation loop that coordinates the two simulated hosts lives in
+//! `hvft-core`, because only the fault-tolerant system knows the lookahead
+//! (minimum network latency) that makes conservative synchronization safe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use stats::{DurationHistogram, RunningStats};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCategory, TraceRecord, Tracer};

@@ -1,0 +1,224 @@
+//! Lightweight structured tracing for simulation components.
+//!
+//! A [`Tracer`] collects timestamped, categorized records into a bounded
+//! ring buffer. Tracing is off by default and costs one branch per call
+//! when disabled, so it can stay in hot paths (epoch boundaries, message
+//! sends) without distorting benchmark harness wall time.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Trace categories, matching the subsystems of the prototype.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TraceCategory {
+    /// CPU execution events (traps, mode switches).
+    Cpu,
+    /// Hypervisor entry/exit and instruction simulation.
+    Hypervisor,
+    /// Epoch boundaries and the P1–P7 protocol.
+    Protocol,
+    /// Network sends, deliveries, acks.
+    Net,
+    /// Device commands, completions, uncertain interrupts.
+    Device,
+    /// Failure injection and detection.
+    Failure,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Simulated time at which the event occurred.
+    pub time: SimTime,
+    /// Subsystem that produced the record.
+    pub category: TraceCategory,
+    /// Which host produced it (0 = primary's processor, 1 = backup's), or
+    /// `None` for global events.
+    pub host: Option<u8>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded in-memory trace sink.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_sim::trace::{Tracer, TraceCategory};
+/// use hvft_sim::time::SimTime;
+///
+/// let mut t = Tracer::new(16);
+/// t.set_enabled(true);
+/// t.emit(SimTime::ZERO, TraceCategory::Protocol, Some(0), "epoch 0 ends".into());
+/// assert_eq!(t.records().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer that retains at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: false,
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled; oldest records are dropped
+    /// once capacity is reached.
+    pub fn emit(
+        &mut self,
+        time: SimTime,
+        category: TraceCategory,
+        host: Option<u8>,
+        message: String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            category,
+            host,
+            message,
+        });
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records in a single category.
+    pub fn by_category(&self, cat: TraceCategory) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.category == cat)
+    }
+
+    /// Number of records evicted due to capacity pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the retained records (does not reset the dropped counter).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Renders the retained trace as display lines.
+    pub fn render(&self) -> Vec<String> {
+        self.records
+            .iter()
+            .map(|r| {
+                let host = match r.host {
+                    Some(h) => format!("host{h}"),
+                    None => "  -  ".to_owned(),
+                };
+                format!(
+                    "[{:>12}] {} {:?}: {}",
+                    format!("{}", r.time),
+                    host,
+                    r.category,
+                    r.message
+                )
+            })
+            .collect()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: &mut Tracer, ns: u64, msg: &str) {
+        t.emit(
+            SimTime::from_nanos(ns),
+            TraceCategory::Protocol,
+            Some(0),
+            msg.to_owned(),
+        );
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let mut t = Tracer::new(4);
+        rec(&mut t, 1, "x");
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let mut t = Tracer::new(2);
+        t.set_enabled(true);
+        rec(&mut t, 1, "a");
+        rec(&mut t, 2, "b");
+        rec(&mut t, 3, "c");
+        let msgs: Vec<_> = t.records().map(|r| r.message.clone()).collect();
+        assert_eq!(msgs, ["b", "c"]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn category_filter() {
+        let mut t = Tracer::new(8);
+        t.set_enabled(true);
+        t.emit(SimTime::ZERO, TraceCategory::Net, None, "send".into());
+        t.emit(
+            SimTime::ZERO,
+            TraceCategory::Device,
+            Some(1),
+            "disk go".into(),
+        );
+        assert_eq!(t.by_category(TraceCategory::Net).count(), 1);
+        assert_eq!(t.by_category(TraceCategory::Device).count(), 1);
+        assert_eq!(t.by_category(TraceCategory::Cpu).count(), 0);
+    }
+
+    #[test]
+    fn render_includes_host_and_time() {
+        let mut t = Tracer::new(2);
+        t.set_enabled(true);
+        rec(&mut t, 1500, "hello");
+        let lines = t.render();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("host0"), "{}", lines[0]);
+        assert!(lines[0].contains("hello"));
+    }
+
+    #[test]
+    fn clear_retains_dropped_count() {
+        let mut t = Tracer::new(1);
+        t.set_enabled(true);
+        rec(&mut t, 1, "a");
+        rec(&mut t, 2, "b");
+        t.clear();
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.dropped(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Epoch-length tuning: the paper's central performance trade-off.
+//!
+//! ```text
+//! cargo run --release --example epoch_tuning
+//! ```
+//!
+//! Short epochs deliver interrupts promptly but pay boundary overhead
+//! often; long epochs amortize the overhead but delay interrupts
+//! (§4: "Epoch length was our paramount concern"). This example sweeps
+//! the epoch length for a small CPU-bound workload, prints the measured
+//! normalized performance next to the paper's analytic model, and shows
+//! the interrupt-delay side of the trade-off.
+
+use hvft::core::{FtConfig, FtSystem, ProtocolVariant};
+use hvft::guest::{build_image, dhrystone_source, KernelConfig};
+use hvft::hypervisor::bare::BareHost;
+use hvft::hypervisor::cost::CostModel;
+use hvft::model::cpu::NpcModel;
+
+fn main() {
+    let kernel = KernelConfig {
+        tick_period_us: 10_000,
+        tick_work: 158,
+        ..KernelConfig::default()
+    };
+    let image = build_image(&kernel, &dhrystone_source(40_000, 0)).expect("guest image assembles");
+
+    // Bare-hardware baseline (the paper's RT).
+    let mut bare = BareHost::new(
+        &image,
+        CostModel::hp9000_720(),
+        hvft::guest::layout::RAM_BYTES,
+        64,
+        0,
+    );
+    let bare_run = bare.run(1_000_000_000);
+    println!(
+        "bare hardware RT = {} for {} instructions\n",
+        bare_run.time, bare_run.retired
+    );
+
+    let paper = NpcModel::paper();
+    println!("| epoch length | NP measured | NPC(EL) paper model | interrupt delay bound |");
+    println!("|-------------:|------------:|--------------------:|----------------------:|");
+    for el in [1024u32, 2048, 4096, 8192, 16384, 32768, 131_072, 385_000] {
+        let mut cfg = FtConfig {
+            protocol: ProtocolVariant::Old,
+            lockstep_check: false,
+            ..FtConfig::default()
+        };
+        cfg.hv.epoch_len = el;
+        let mut sys = FtSystem::new(&image, cfg);
+        let r = sys.run();
+        let np = r.completion_time.as_nanos() as f64 / bare_run.time.as_nanos() as f64;
+        // An interrupt buffered at the start of an epoch waits out the
+        // whole epoch: EL × 0.02 µs.
+        let delay_us = el as f64 * 0.02;
+        println!(
+            "| {el:>12} | {np:>11.2} | {:>19.2} | {delay_us:>19.0} µs |",
+            paper.np(el as u64)
+        );
+    }
+    println!();
+    println!("The knee of the curve is why the paper runs epochs as long as the");
+    println!("OS tolerates: HP-UX's clock maintenance bounds EL at 385 000, where");
+    println!("the model predicts NP = 1.24 — replica coordination itself costs");
+    println!("only ~6% there; the rest is instruction-simulation overhead.");
+}

@@ -1,0 +1,47 @@
+//! **hvft** — Hypervisor-based Fault-tolerance, reproduced in Rust.
+//!
+//! This workspace reproduces Bressoud & Schneider, *Hypervisor-based
+//! Fault-tolerance* (SOSP 1995): a primary virtual machine and its
+//! backup execute identical instruction streams on two (simulated)
+//! processors, coordinated entirely by the hypervisor, so that the
+//! environment never notices the primary failing.
+//!
+//! The crate is an umbrella that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `hvft-core` | the P1–P7 protocols and [`core::FtSystem`] |
+//! | [`hypervisor`] | `hvft-hypervisor` | the hypervisor and bare machine |
+//! | [`machine`] | `hvft-machine` | CPU, MMU/TLB, recovery counter |
+//! | [`isa`] | `hvft-isa` | instruction set and assembler |
+//! | [`guest`] | `hvft-guest` | the mini guest OS and workloads |
+//! | [`devices`] | `hvft-devices` | shared disk (IO1/IO2), console |
+//! | [`net`] | `hvft-net` | FIFO channels, link models, detector |
+//! | [`sim`] | `hvft-sim` | simulated time, events, RNG, stats |
+//! | [`model`] | `hvft-model` | the paper's analytic NP models |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hvft::core::{FtConfig, FtSystem, RunEnd};
+//! use hvft::guest::{build_image, dhrystone_source, KernelConfig};
+//!
+//! let image = build_image(&KernelConfig::default(), &dhrystone_source(100, 0)).unwrap();
+//! let mut system = FtSystem::new(&image, FtConfig::default());
+//! let result = system.run();
+//! assert!(matches!(result.outcome, RunEnd::Exit { .. }));
+//! assert!(result.lockstep.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hvft_core as core;
+pub use hvft_devices as devices;
+pub use hvft_guest as guest;
+pub use hvft_hypervisor as hypervisor;
+pub use hvft_isa as isa;
+pub use hvft_machine as machine;
+pub use hvft_model as model;
+pub use hvft_net as net;
+pub use hvft_sim as sim;

@@ -1,0 +1,58 @@
+//! Cross-crate consistency checks: constants the guest assembly
+//! hard-codes must agree with the machine and device crates.
+
+use hvft::guest::layout;
+use hvft::machine::{IO_BASE, PAGE_SIZE};
+
+#[test]
+fn guest_io_base_matches_machine() {
+    // The generated kernel embeds IO_BASE = 0xF0000000 in its driver.
+    assert_eq!(IO_BASE, 0xF000_0000);
+    let src = hvft::guest::kernel_source(&hvft::guest::KernelConfig::default());
+    assert!(
+        src.contains("0xf0000100") || src.contains("0xF0000100"),
+        "kernel driver must target the disk register block"
+    );
+}
+
+#[test]
+fn guest_page_table_covers_mapped_pages() {
+    // One PTE word per page, table at PAGE_TABLE.
+    assert_eq!(PAGE_SIZE, 4096);
+    let table_bytes = layout::MAPPED_PAGES * 4;
+    assert!(layout::PAGE_TABLE + table_bytes <= layout::KSTACK_TOP);
+    // All of guest RAM is covered by the mapped pages.
+    assert!(layout::RAM_BYTES as u32 <= layout::MAPPED_PAGES * PAGE_SIZE);
+}
+
+#[test]
+fn dma_buffer_holds_a_disk_block() {
+    assert!(hvft::devices::BLOCK_SIZE <= (layout::RAM_BYTES - layout::DMA_BUF as usize));
+    // The buffer must lie in user-accessible pages so the user program
+    // can read what the kernel DMA'd.
+    let first = layout::DMA_BUF >> 12;
+    let last = (layout::DMA_BUF + hvft::devices::BLOCK_SIZE as u32 - 1) >> 12;
+    assert!(first >= layout::USER_FIRST_PAGE && last < layout::USER_LAST_PAGE);
+}
+
+#[test]
+fn ivt_slots_fit_32_bytes() {
+    // Each vector slot holds a single jump; the CPU spaces vectors 32
+    // bytes apart.
+    let src = hvft::guest::kernel_source(&hvft::guest::KernelConfig::default());
+    let prog = hvft::isa::asm::assemble(&src).unwrap();
+    // Vector 10 (external interrupt) is the last one.
+    let v10 = layout::IVA_BASE + 32 * 10;
+    assert!(prog.segments.iter().any(|s| s.base <= v10 && v10 < s.end()));
+}
+
+#[test]
+fn kernel_config_default_is_conservative() {
+    let d = hvft::guest::KernelConfig::default();
+    assert_eq!(
+        d.io_work_priv, 0,
+        "functional default must not inflate I/O paths"
+    );
+    assert_eq!(d.io_work_ord, 0);
+    assert!(d.arm_timer);
+}

@@ -1,0 +1,149 @@
+//! Property tests: failover transparency under *arbitrary* failure
+//! times and environment seeds.
+//!
+//! The paper's correctness claim is universally quantified — "after the
+//! primary's processor has failed, exactly one backup generates
+//! interactions with the environment and in such a way that the
+//! environment is unaware of the primary's failure". These properties
+//! sample that space: whenever the primary is killed, and whatever
+//! transient faults the disk injects, the promoted backup must finish
+//! with the reference checksum and the environment log must stay
+//! single-processor consistent.
+
+use hvft::core::{FailureSpec, FtConfig, FtSystem, ProtocolVariant, RunEnd};
+use hvft::devices::check_single_processor_consistency;
+use hvft::guest::{build_image, dhrystone_source, io_bench_source, IoMode, KernelConfig};
+use hvft::hypervisor::cost::CostModel;
+use hvft::sim::time::SimTime;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fast() -> FtConfig {
+    FtConfig {
+        cost: CostModel::functional(),
+        ..FtConfig::default()
+    }
+}
+
+struct Reference {
+    image: hvft_isa::program::Program,
+    total_ns: u64,
+    code: u32,
+}
+
+fn cpu_reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let kernel = KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 2,
+            ..KernelConfig::default()
+        };
+        let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
+        let mut sys = FtSystem::new(&image, fast());
+        let r = sys.run();
+        let code = match r.outcome {
+            RunEnd::Exit { code } => code,
+            other => panic!("{other:?}"),
+        };
+        Reference {
+            image,
+            total_ns: r.completion_time.as_nanos(),
+            code,
+        }
+    })
+}
+
+fn io_reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let image = build_image(
+            &KernelConfig::default(),
+            &io_bench_source(3, IoMode::Write, 16, 13),
+        )
+        .unwrap();
+        let mut sys = FtSystem::new(&image, fast());
+        let r = sys.run();
+        let code = match r.outcome {
+            RunEnd::Exit { code } => code,
+            other => panic!("{other:?}"),
+        };
+        Reference {
+            image,
+            total_ns: r.completion_time.as_nanos(),
+            code,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cpu_failover_is_checksum_transparent(frac in 1u64..1000) {
+        let reference = cpu_reference();
+        let t = reference.total_ns * frac / 1000;
+        let mut cfg = fast();
+        cfg.failure = FailureSpec::At(SimTime::from_nanos(t.max(1)));
+        let mut sys = FtSystem::new(&reference.image, cfg);
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code),
+            other => return Err(TestCaseError::fail(format!("fail at {t}: {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn io_failover_keeps_environment_consistent(
+        frac in 1u64..1000,
+        protocol_new in any::<bool>(),
+    ) {
+        let reference = io_reference();
+        let t = reference.total_ns * frac / 1000;
+        let mut cfg = fast();
+        cfg.protocol = if protocol_new { ProtocolVariant::New } else { ProtocolVariant::Old };
+        cfg.failure = FailureSpec::At(SimTime::from_nanos(t.max(1)));
+        let mut sys = FtSystem::new(&reference.image, cfg);
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code),
+            other => return Err(TestCaseError::fail(format!("fail at {t}: {other:?}"))),
+        }
+        if let Err(e) = check_single_processor_consistency(&r.disk_log) {
+            return Err(TestCaseError::fail(format!("fail at {t}: {e}")));
+        }
+    }
+
+    #[test]
+    fn disk_faults_never_break_lockstep(fault_seed in 0u64..1_000, prob in 0.0f64..0.4) {
+        let image = build_image(
+            &KernelConfig::default(),
+            &io_bench_source(2, IoMode::Write, 8, 21),
+        ).unwrap();
+        let mut cfg = fast();
+        cfg.disk_fault_prob = prob;
+        cfg.seed = fault_seed;
+        let mut sys = FtSystem::new(&image, cfg);
+        let r = sys.run();
+        prop_assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
+        prop_assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+        if let Err(e) = check_single_processor_consistency(&r.disk_log) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    #[test]
+    fn epoch_length_invariance(el_exp in 8u32..15) {
+        // Checksums are independent of the epoch length (2^8 .. 2^14).
+        let reference = cpu_reference();
+        let mut cfg = fast();
+        cfg.hv.epoch_len = 1 << el_exp;
+        let mut sys = FtSystem::new(&reference.image, cfg);
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code),
+            other => return Err(TestCaseError::fail(format!("EL=2^{el_exp}: {other:?}"))),
+        }
+        prop_assert!(r.lockstep.is_clean());
+    }
+}
