@@ -1,30 +1,36 @@
-//! The `t`-fault-tolerant generalization.
+//! The `t`-fault-tolerant generalization as a round-synchronous chain.
 //!
 //! §2 of the paper: "Our protocols are for a single backup, so we
 //! implement a 1-fault-tolerant virtual machine; generalization to
 //! t-fault-tolerant virtual machines is straightforward." This module
-//! implements that generalization as an epoch-synchronous replica chain:
-//! one primary plus `t` ordered backups, all executing identical
+//! implements that generalization as an epoch-synchronous replica
+//! chain: one primary plus `t` ordered backups, all executing identical
 //! instruction streams; when the current primary failstops, the next
 //! live replica in the chain promotes itself, up to `t` times.
 //!
-//! Compared to [`crate::system::FtSystem`] (which models the full
-//! two-processor prototype with real link timing, the shared disk, and
-//! the asynchronous DES), the chain is a *protocol-level* demonstrator:
-//! replicas advance in lockstep rounds of one epoch, the coordination
-//! messages are abstracted to their information content, and the
-//! environment is the console plus timer. That is exactly the part the
-//! paper calls straightforward — and this module proves it by running
-//! `t + 1` replicas through arbitrary failure schedules and checking
-//! that states stay identical and the survivor finishes the workload
-//! with the reference result.
+//! The chain runs the *same* [`crate::protocol::ReplicaEngine`] state
+//! machines as the realistic DES in [`crate::system::FtSystem`] — the
+//! P1–P7 rule logic is not re-implemented here. What changes is only
+//! the machinery the rules are abstract over: replicas advance in
+//! lockstep rounds of one epoch, the transport is hvft-net's
+//! [`InstantLink`] (messages reduced to their information content,
+//! delivered within the round), and the environment is the console plus
+//! timer. That is exactly the part the paper calls straightforward —
+//! and this module proves it by running `t + 1` replicas through
+//! arbitrary failure schedules and checking that states stay identical
+//! and the survivor finishes the workload with the reference result.
 
+use crate::config::ProtocolVariant;
+use crate::lockstep::LockstepChecker;
+use crate::messages::Message;
+use crate::protocol::{apply_to_guest, Effect, ReplicaEngine};
 use hvft_hypervisor::cost::CostModel;
 use hvft_hypervisor::hvguest::{HvConfig, HvEvent, HvGuest};
 use hvft_isa::program::Program;
 use hvft_machine::mem::IO_BASE;
-use hvft_machine::trap::irq;
-use hvft_sim::time::SimDuration;
+use hvft_net::transport::{InstantLink, Transport};
+use hvft_sim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Why a chain run ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,39 +63,83 @@ pub struct ChainResult {
     /// Console bytes, tagged with the replica that (as acting primary)
     /// emitted them.
     pub console: Vec<(usize, u8)>,
+    /// Cross-replica state-hash comparisons performed.
+    pub comparisons: u64,
+}
+
+/// One chain member: a hypervised guest plus its protocol engine.
+struct Replica {
+    guest: HvGuest,
+    engine: ReplicaEngine,
 }
 
 /// A `t`-fault-tolerant virtual machine: primary + `t` ordered backups.
 pub struct TChain {
-    replicas: Vec<Option<HvGuest>>,
+    replicas: Vec<Option<Replica>>,
     /// Index of the acting primary (first live replica).
     head: usize,
     epoch: u64,
     console: Vec<(usize, u8)>,
+    lockstep: LockstepChecker,
+    /// `links[&(i, j)]` carries messages from replica `i` to `j`.
+    links: BTreeMap<(usize, usize), InstantLink<Message>>,
 }
 
 impl TChain {
-    /// Boots `t + 1` replicas of `image`. Each replica's machine gets a
-    /// different TLB seed — as in the two-replica system, hardware
-    /// non-determinism must be survivable.
+    /// Boots `t + 1` replicas of `image` under the original (§2)
+    /// protocol. Each replica's machine gets a different TLB seed — as
+    /// in the DES system, hardware non-determinism must be survivable.
     ///
     /// # Panics
     ///
     /// Panics if `t == 0` (a chain needs at least one backup).
     pub fn new(image: &Program, t: usize, cost: CostModel, hv: HvConfig) -> Self {
+        Self::with_protocol(image, t, cost, hv, ProtocolVariant::Old)
+    }
+
+    /// [`TChain::new`] with an explicit protocol variant. The chain's
+    /// instantaneous links acknowledge within the round, so both
+    /// variants behave identically — running them through the same
+    /// engine is precisely the point.
+    pub fn with_protocol(
+        image: &Program,
+        t: usize,
+        cost: CostModel,
+        hv: HvConfig,
+        variant: ProtocolVariant,
+    ) -> Self {
         assert!(t >= 1, "a t-fault-tolerant chain needs t >= 1");
-        let replicas = (0..=t)
+        let n = t + 1;
+        let replicas = (0..n)
             .map(|i| {
                 let mut cfg = hv;
                 cfg.tlb_seed = hv.tlb_seed.wrapping_add(1 + i as u64);
-                Some(HvGuest::new(image, cost, cfg))
+                let engine = if i == 0 {
+                    ReplicaEngine::new_primary(0, (1..n).collect(), variant)
+                } else {
+                    ReplicaEngine::new_backup(i, 0, variant)
+                };
+                Some(Replica {
+                    guest: HvGuest::new(image, cost, cfg),
+                    engine,
+                })
             })
             .collect();
+        let mut links = BTreeMap::new();
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    links.insert((from, to), InstantLink::new());
+                }
+            }
+        }
         TChain {
             replicas,
             head: 0,
             epoch: 0,
             console: Vec::new(),
+            lockstep: LockstepChecker::new(),
+            links,
         }
     }
 
@@ -101,13 +151,78 @@ impl TChain {
     /// Failstops the acting primary; the next live replica promotes.
     /// Returns `false` if no replica is left to promote.
     pub fn fail_primary(&mut self) -> bool {
-        self.replicas[self.head] = None;
+        let dead = self.head;
+        self.replicas[dead] = None;
+        for (&(from, to), link) in self.links.iter_mut() {
+            if from == dead || to == dead {
+                link.sever();
+            }
+        }
         match self.replicas.iter().position(Option::is_some) {
             Some(next) => {
                 self.head = next;
+                let survivors: Vec<usize> = (0..self.replicas.len())
+                    .filter(|&j| j != next && self.replicas[j].is_some())
+                    .collect();
+                self.replicas[next]
+                    .as_mut()
+                    .expect("next is live")
+                    .engine
+                    .promote_running(survivors);
                 true
             }
             None => false,
+        }
+    }
+
+    /// Applies engine effects for replica `i`; sends go onto the links,
+    /// everything else goes through the shared guest applier. Purely
+    /// guest-local: the chain has no disk and holds no I/O.
+    fn process_effects(&mut self, i: usize, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    if let Some(link) = self.links.get_mut(&(i, to)) {
+                        let bytes = msg.wire_bytes();
+                        let _ = link.send(SimTime::ZERO, bytes, msg);
+                    }
+                }
+                Effect::SynthesizeUncertain | Effect::ResumeHeldIo => {
+                    unreachable!("the chain performs no device I/O")
+                }
+                guest_local => {
+                    if let Some(r) = self.replicas[i].as_mut() {
+                        apply_to_guest(&guest_local, &mut r.guest);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains every link to a fixpoint, feeding messages to the
+    /// receiving engines in deterministic `(from, to)` order.
+    fn pump_messages(&mut self) {
+        loop {
+            let mut fired = false;
+            let pairs: Vec<(usize, usize)> = self.links.keys().copied().collect();
+            for (from, to) in pairs {
+                let Some(msg) = self
+                    .links
+                    .get_mut(&(from, to))
+                    .and_then(|l| l.pop_ready(SimTime::ZERO))
+                else {
+                    continue;
+                };
+                fired = true;
+                let Some(r) = self.replicas[to].as_mut() else {
+                    continue;
+                };
+                let effects = r.engine.message_received(from, msg);
+                self.process_effects(to, effects);
+            }
+            if !fired {
+                return;
+            }
         }
     }
 
@@ -116,25 +231,19 @@ impl TChain {
     /// Returns `Some(end)` when the run is over.
     fn step_epoch(&mut self, budget: SimDuration) -> Option<ChainEnd> {
         let mut exit_code: Option<u32> = None;
-        let mut hashes: Vec<(usize, u64)> = Vec::new();
         let head = self.head;
+        let mut at_boundary: Vec<usize> = Vec::new();
         for i in 0..self.replicas.len() {
             let is_primary = i == head;
-            let Some(guest) = self.replicas[i].as_mut() else {
+            let Some(replica) = self.replicas[i].as_mut() else {
                 continue;
             };
             loop {
-                match guest.run(budget) {
+                match replica.guest.run(budget) {
                     HvEvent::EpochEnd => {
-                        hashes.push((i, guest.state_hash()));
-                        // Interval-timer interrupts are generated from the
-                        // (shared, deterministic) virtual clock — the
-                        // generalization of the [Tme] synchronization.
-                        let retired = guest.cpu.retired();
-                        if guest.vclock.take_expired_timer(retired) {
-                            guest.assert_irq(irq::TIMER);
-                        }
-                        guest.begin_epoch();
+                        self.lockstep
+                            .record(i, replica.guest.epoch(), replica.guest.state_hash());
+                        at_boundary.push(i);
                         break;
                     }
                     HvEvent::MmioRead { paddr } => {
@@ -142,17 +251,17 @@ impl TChain {
                             hvft_devices::mmio::CONSOLE_REG_STATUS => 1,
                             _ => 0,
                         };
-                        guest.finish_mmio_read(v);
+                        replica.guest.finish_mmio_read(v);
                     }
                     HvEvent::MmioWrite { paddr, value } => {
-                        // Output suppression at backups, exactly as in the
-                        // two-replica system.
+                        // Output suppression at backups, exactly as in
+                        // the DES system.
                         if is_primary
                             && paddr.wrapping_sub(IO_BASE) == hvft_devices::mmio::CONSOLE_REG_TX
                         {
                             self.console.push((i, value as u8));
                         }
-                        guest.finish_mmio_write();
+                        replica.guest.finish_mmio_write();
                     }
                     HvEvent::Diag { value, code } => {
                         if code == hvft_guest::layout::diag::EXIT {
@@ -169,13 +278,35 @@ impl TChain {
             }
         }
         self.epoch += 1;
-        // Lockstep check across every live replica.
-        if let Some(&(_, first)) = hashes.first() {
-            if hashes.iter().any(|&(_, h)| h != first) {
-                return Some(ChainEnd::Diverged { epoch: self.epoch });
+        if !self.lockstep.is_clean() {
+            return Some(ChainEnd::Diverged { epoch: self.epoch });
+        }
+        if let Some(code) = exit_code {
+            return Some(ChainEnd::Exit { code });
+        }
+        // Boundary processing through the engines: the primary issues
+        // [Tme]/[end], backups wait for them; the instant links resolve
+        // the whole exchange (including acknowledgments) within the
+        // round.
+        for i in at_boundary {
+            let Some(r) = self.replicas[i].as_mut() else {
+                continue;
+            };
+            let epoch = r.guest.epoch();
+            let vclock = r.guest.vclock.snapshot();
+            let effects = r.engine.boundary_reached(epoch, vclock);
+            self.process_effects(i, effects);
+        }
+        self.pump_messages();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if let Some(r) = r {
+                debug_assert!(
+                    r.engine.is_running(),
+                    "replica {i} stuck after the round's message pump"
+                );
             }
         }
-        exit_code.map(|code| ChainEnd::Exit { code })
+        None
     }
 
     /// Runs to completion, failstopping the acting primary at each epoch
@@ -209,6 +340,7 @@ impl TChain {
             epochs: self.epoch,
             failures,
             console: self.console.clone(),
+            comparisons: self.lockstep.compared(),
         }
     }
 }
@@ -250,6 +382,8 @@ mod tests {
         assert!(matches!(r.end, ChainEnd::Exit { .. }), "{:?}", r.end);
         assert_eq!(c.live(), 4);
         assert_eq!(r.failures, 0);
+        // Every boundary compared all four replicas.
+        assert!(r.comparisons >= 3 * (r.epochs - 1), "{:?}", r.comparisons);
     }
 
     #[test]
@@ -272,6 +406,24 @@ mod tests {
             assert_eq!(r.failures, t);
             assert_eq!(c.live(), 1, "t={t}: exactly the survivor remains");
         }
+    }
+
+    #[test]
+    fn both_protocol_variants_drive_the_chain_identically() {
+        let img = image();
+        let hv = HvConfig {
+            epoch_len: 1024,
+            ..HvConfig::default()
+        };
+        let run = |variant| {
+            let mut c = TChain::with_protocol(&img, 2, CostModel::functional(), hv, variant);
+            let r = c.run(&[4], 100_000);
+            match r.end {
+                ChainEnd::Exit { code } => (code, r.epochs),
+                other => panic!("{variant:?}: {other:?}"),
+            }
+        };
+        assert_eq!(run(ProtocolVariant::Old), run(ProtocolVariant::New));
     }
 
     #[test]

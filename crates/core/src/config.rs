@@ -38,7 +38,12 @@ pub struct FtConfig {
     pub link: LinkSpec,
     /// Protocol variant.
     pub protocol: ProtocolVariant,
-    /// Primary failure injection.
+    /// Number of ordered backups (`t` of the t-fault-tolerant VM). The
+    /// paper's prototype is `1`; any `t ≥ 1` runs the same engines with
+    /// cascading failover.
+    pub backups: usize,
+    /// Primary failure injection. Additional (cascading) failures can
+    /// be scheduled with `FtSystem::schedule_failure`.
     pub failure: FailureSpec,
     /// Backup's failure-detection timeout. Must exceed the longest
     /// legitimate message gap (one epoch of execution plus queueing);
@@ -66,6 +71,7 @@ impl Default for FtConfig {
             cost: CostModel::hp9000_720(),
             link: LinkSpec::ethernet_10mbps(),
             protocol: ProtocolVariant::Old,
+            backups: 1,
             failure: FailureSpec::None,
             detector_timeout: SimDuration::from_millis(60),
             disk_blocks: 128,
@@ -88,6 +94,7 @@ mod tests {
         assert_eq!(c.hv.epoch_len, 4096);
         assert_eq!(c.link.bits_per_sec, 10_000_000);
         assert_eq!(c.failure, FailureSpec::None);
+        assert_eq!(c.backups, 1, "the paper's prototype has one backup");
     }
 
     #[test]

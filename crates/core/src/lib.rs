@@ -3,10 +3,25 @@
 //!
 //! This crate implements the replica-coordination protocols of
 //! Bressoud & Schneider, *Hypervisor-based Fault-tolerance* (SOSP 1995):
-//! a primary virtual machine and its backup execute identical
-//! instruction streams on two simulated processors, coordinated only by
-//! the hypervisor (rules P1–P7 of §2, plus the §4.3 revision), so that
-//! the environment never observes the primary's failure.
+//! a primary virtual machine and its backups execute identical
+//! instruction streams on simulated processors, coordinated only by the
+//! hypervisor (rules P1–P7 of §2, plus the §4.3 revision), so that the
+//! environment never observes a primary's failure.
+//!
+//! The crate is layered the way the paper argues the problem decomposes:
+//!
+//! - [`protocol`] — the P1–P7 / §4.3 rules as *pure state machines*
+//!   ([`protocol::ReplicaEngine`]): events in, effects out, no knowledge
+//!   of scheduling, channels, or devices. This is the only place the
+//!   rules exist.
+//! - [`system`] — [`system::FtSystem`], the realistic discrete-event
+//!   driver: `t + 1` hosts with their own clocks, modelled link timing,
+//!   a shared disk and console, timeout failure detectors, and
+//!   cascading failover.
+//! - [`chain`] — [`chain::TChain`], the round-synchronous t-fault chain
+//!   on instantaneous links; same engines, different machinery.
+//! - [`messages`], [`config`], [`lockstep`] — the wire vocabulary, the
+//!   knobs, and the `n`-replica divergence checker.
 //!
 //! Entry point: [`system::FtSystem`]. Build a guest image with
 //! `hvft-guest`, pick a [`config::FtConfig`], and run:
@@ -30,10 +45,12 @@ pub mod chain;
 pub mod config;
 pub mod lockstep;
 pub mod messages;
+pub mod protocol;
 pub mod system;
 
 pub use chain::{ChainEnd, ChainResult, TChain};
 pub use config::{FailureSpec, FtConfig, ProtocolVariant};
 pub use lockstep::{Divergence, LockstepChecker};
 pub use messages::{DiskCompletion, ForwardedInterrupt, Message};
+pub use protocol::{Effect, IoGate, Promotion, ReplicaEngine, ReplicaId};
 pub use system::{FailoverInfo, FtRunResult, FtSystem, RunEnd};

@@ -1,31 +1,54 @@
-//! Lockstep divergence detection.
+//! Lockstep divergence detection across `n` replicas.
 //!
-//! Rules P1–P6 guarantee that "the backup virtual machine executes the
+//! Rules P1–P6 guarantee that every backup virtual machine "executes the
 //! same sequence of instructions (each having the same effect) as the
 //! primary virtual machine". This checker verifies that guarantee
-//! empirically: each replica reports a hash of its complete VM state at
-//! every epoch boundary (taken *before* boundary processing, so both
-//! replicas hash at the identical instruction-stream point), and the
-//! checker compares hashes for equal epoch numbers.
+//! empirically, for one primary plus any number of ordered backups: each
+//! replica reports a hash of its complete VM state at every epoch
+//! boundary (taken *before* boundary processing, so all replicas hash at
+//! the identical instruction-stream point), and the checker compares
+//! every report for an epoch against the first one recorded.
+//!
+//! A t-fault chain needs exactly this generalization: with `t + 1`
+//! replicas, an epoch may receive up to `t + 1` hashes, and a divergence
+//! must say *which pair* disagreed so the failing replica can be
+//! identified (the reference hash travels with the report that set it).
 
-use std::collections::BTreeMap;
-
-/// One recorded divergence.
+/// One recorded divergence: a pair of replicas whose state hashes
+/// differed at the same epoch boundary.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Divergence {
     /// Epoch at whose boundary the states differed.
     pub epoch: u64,
-    /// Primary's state hash.
-    pub primary: u64,
-    /// Backup's state hash.
-    pub backup: u64,
+    /// The replica whose hash set the epoch's reference (first report).
+    pub replica_a: usize,
+    /// Reference replica's state hash.
+    pub hash_a: u64,
+    /// The replica that disagreed with the reference.
+    pub replica_b: usize,
+    /// Disagreeing replica's state hash.
+    pub hash_b: u64,
 }
 
-/// Collects per-epoch state hashes from both replicas and reports
-/// mismatches.
+/// Per-epoch record: the reference report plus how many reports arrived.
+#[derive(Clone, Copy, Debug)]
+struct EpochRecord {
+    reference: (usize, u64),
+    reports: u32,
+}
+
+/// How far behind the most recent reported epoch records are retained.
+/// Replicas lag each other by at most a couple of epochs (the backup
+/// runs one epoch behind the primary, plus channel latency), so a
+/// generous window keeps memory O(window) over billion-instruction
+/// runs without ever dropping a comparison that could still happen.
+const RETAIN_EPOCHS: u64 = 1024;
+
+/// Collects per-epoch state hashes from any number of replicas and
+/// reports mismatches.
 #[derive(Clone, Debug, Default)]
 pub struct LockstepChecker {
-    pending: BTreeMap<u64, (Option<u64>, Option<u64>)>,
+    epochs: std::collections::BTreeMap<u64, EpochRecord>,
     compared: u64,
     divergences: Vec<Divergence>,
 }
@@ -36,40 +59,68 @@ impl LockstepChecker {
         Self::default()
     }
 
-    /// Records `host` (0 = primary, 1 = backup) reaching the end of
-    /// `epoch` with the given state hash.
-    pub fn record(&mut self, host: u8, epoch: u64, hash: u64) {
-        let slot = self.pending.entry(epoch).or_default();
-        match host {
-            0 => slot.0 = Some(hash),
-            _ => slot.1 = Some(hash),
+    /// Records `replica` reaching the end of `epoch` with the given
+    /// state hash. The first report for an epoch becomes its reference;
+    /// every later report is compared against it. Records older than
+    /// [`RETAIN_EPOCHS`] behind the newest reported epoch are pruned,
+    /// bounding memory for arbitrarily long runs.
+    pub fn record(&mut self, replica: usize, epoch: u64, hash: u64) {
+        if epoch > RETAIN_EPOCHS {
+            let keep_from = epoch - RETAIN_EPOCHS;
+            if self
+                .epochs
+                .first_key_value()
+                .is_some_and(|(&e, _)| e < keep_from)
+            {
+                self.epochs = self.epochs.split_off(&keep_from);
+            }
         }
-        if let (Some(p), Some(b)) = *slot {
-            self.pending.remove(&epoch);
-            self.compared += 1;
-            if p != b {
-                self.divergences.push(Divergence {
+        match self.epochs.get_mut(&epoch) {
+            None => {
+                self.epochs.insert(
                     epoch,
-                    primary: p,
-                    backup: b,
-                });
+                    EpochRecord {
+                        reference: (replica, hash),
+                        reports: 1,
+                    },
+                );
+            }
+            Some(rec) => {
+                rec.reports += 1;
+                self.compared += 1;
+                let (ref_replica, ref_hash) = rec.reference;
+                if hash != ref_hash {
+                    self.divergences.push(Divergence {
+                        epoch,
+                        replica_a: ref_replica,
+                        hash_a: ref_hash,
+                        replica_b: replica,
+                        hash_b: hash,
+                    });
+                }
             }
         }
     }
 
-    /// Number of epochs for which both hashes arrived and were compared.
+    /// Number of cross-replica comparisons performed (an epoch reported
+    /// by `k` replicas contributes `k - 1`).
     pub fn compared(&self) -> u64 {
         self.compared
     }
 
-    /// All recorded divergences, in epoch order.
+    /// All recorded divergences, in the order they were detected.
     pub fn divergences(&self) -> &[Divergence] {
         &self.divergences
     }
 
-    /// Whether every compared epoch matched.
+    /// Whether every comparison matched.
     pub fn is_clean(&self) -> bool {
         self.divergences.is_empty()
+    }
+
+    /// Number of replicas that reported `epoch` so far.
+    pub fn reports_for(&self, epoch: u64) -> u32 {
+        self.epochs.get(&epoch).map_or(0, |r| r.reports)
     }
 }
 
@@ -89,7 +140,7 @@ mod tests {
     }
 
     #[test]
-    fn mismatch_is_recorded() {
+    fn mismatch_reports_the_pair() {
         let mut c = LockstepChecker::new();
         c.record(0, 3, 1);
         c.record(1, 3, 2);
@@ -98,8 +149,10 @@ mod tests {
             c.divergences(),
             &[Divergence {
                 epoch: 3,
-                primary: 1,
-                backup: 2
+                replica_a: 0,
+                hash_a: 1,
+                replica_b: 1,
+                hash_b: 2
             }]
         );
     }
@@ -114,6 +167,48 @@ mod tests {
         assert_eq!(c.compared(), 1);
         assert!(c.is_clean());
         // Epoch 1 never compared (backup died) — still clean.
-        assert_eq!(c.compared(), 1);
+        assert_eq!(c.reports_for(1), 1);
+    }
+
+    #[test]
+    fn n_replicas_compare_against_the_first_report() {
+        let mut c = LockstepChecker::new();
+        for r in 0..4 {
+            c.record(r, 0, 0xFEED);
+        }
+        assert!(c.is_clean());
+        assert_eq!(c.compared(), 3);
+        // A fifth replica disagrees: exactly one divergence, naming the
+        // reference replica and the deviant.
+        c.record(4, 0, 0xBAD);
+        assert_eq!(c.divergences().len(), 1);
+        let d = c.divergences()[0];
+        assert_eq!((d.replica_a, d.replica_b), (0, 4));
+        assert_eq!((d.hash_a, d.hash_b), (0xFEED, 0xBAD));
+    }
+
+    #[test]
+    fn old_records_are_pruned_to_a_window() {
+        let mut c = LockstepChecker::new();
+        for e in 0..(RETAIN_EPOCHS * 3) {
+            c.record(0, e, e);
+            c.record(1, e, e);
+        }
+        assert!(c.is_clean());
+        assert_eq!(c.compared(), RETAIN_EPOCHS * 3);
+        // Ancient epochs are gone; recent ones remain queryable.
+        assert_eq!(c.reports_for(0), 0);
+        assert_eq!(c.reports_for(RETAIN_EPOCHS * 3 - 1), 2);
+    }
+
+    #[test]
+    fn divergence_between_two_backups_is_caught() {
+        let mut c = LockstepChecker::new();
+        c.record(0, 5, 10);
+        c.record(1, 5, 10);
+        c.record(2, 5, 11);
+        assert_eq!(c.compared(), 2);
+        assert_eq!(c.divergences().len(), 1);
+        assert_eq!(c.divergences()[0].replica_b, 2);
     }
 }

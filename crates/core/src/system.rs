@@ -1,42 +1,37 @@
-//! The 1-fault-tolerant virtual machine: two hypervised hosts, the
-//! shared environment, and rules P1–P7.
+//! The t-fault-tolerant virtual machine as a discrete-event system:
+//! `t + 1` hypervised hosts, the shared environment, and the protocol
+//! engines of [`crate::protocol`].
 //!
-//! [`FtSystem`] co-simulates the primary's and backup's processors with
-//! a conservative discrete-event scheme: each host advances its own
-//! simulated clock, and a host may never run past the earliest event
-//! that could affect it (the link's minimum latency provides the
-//! lookahead). The result is a bit-deterministic simulation of the whole
-//! prototype of §3 — two HP 9000/720-class machines, a shared disk, a
-//! console, and a coordination LAN.
+//! [`FtSystem`] is a *driver*: the P1–P7 / §4.3 rule logic lives
+//! entirely in [`crate::protocol::ReplicaEngine`], and this module owns
+//! what the rules are abstract over — the hosts' simulated clocks, the
+//! coordination [`Channel`]s, the shared disk and console, the timeout
+//! failure detectors, and the conservative co-simulation loop.
 //!
-//! Protocol rules implemented here, by their paper names:
+//! Each host advances its own simulated clock, and a host may never run
+//! past the earliest event that could affect it (the link's minimum
+//! latency provides the lookahead). The result is a bit-deterministic
+//! simulation of the whole prototype of §3 — HP 9000/720-class
+//! machines, a shared disk, a console, and a coordination LAN — now
+//! generalized from the paper's single backup to an ordered chain of
+//! `t ≥ 1` backups with cascading failover:
 //!
-//! - **P1**: an interrupt received at the primary during epoch `E` is
-//!   buffered for delivery at the end of `E` and forwarded as `[E, Int]`;
-//! - **P2**: at the end of epoch `E` the primary sends `[Tme_p]`,
-//!   (original protocol) awaits acknowledgments for everything sent,
-//!   delivers buffered interrupts, sends `[end, E]`, and starts `E+1`;
-//! - **P3**: the backup's hypervisor ignores interrupts destined for the
-//!   backup VM (device interrupts only ever target the issuing host
-//!   here, and the backup suppresses device commands, so nothing to
-//!   ignore arises by construction — its I/O suppression implements the
-//!   same effect);
-//! - **P4**: the backup acknowledges and buffers `[E, Int]`;
-//! - **P5**: at the end of its epoch `E` the backup awaits `[Tme_p]`,
-//!   assigns it, awaits `[end, E]`, delivers the epoch-`E` buffer, and
-//!   starts `E+1`;
-//! - **P6**: if instead the failure detector fires, the backup delivers
-//!   what it buffered and **promotes itself**;
-//! - **P7**: any I/O outstanding at the end of the failover epoch gets a
-//!   synthesized *uncertain* interrupt, so the (replayed) driver retries
-//!   — repetition the environment must tolerate anyway (IO2);
-//! - **§4.3 revision**: the boundary ack-wait of P2 is dropped; instead
-//!   acknowledgments must be complete before the primary initiates any
-//!   I/O operation, I/O being the only way VM state is revealed.
+//! - the acting primary broadcasts `[E, Int]`, `[Tme_p]` and `[end, E]`
+//!   to every live backup and counts every backup's acknowledgments;
+//! - every backup runs its own failure detector, with a timeout of
+//!   `k × base` for rank `k` among the live replicas, so the
+//!   next-in-line backup suspects first; a deeper backup that suspects
+//!   out of turn re-arms and defers to the chain order, so exactly one
+//!   replica promotes even when detectors race;
+//! - on promotion with survivors, the new primary completes the
+//!   failover epoch for the whole chain (see
+//!   [`crate::protocol::ReplicaEngine::promote_at_boundary`]), and the
+//!   survivors' detectors are re-armed against the new primary.
 
-use crate::config::{FailureSpec, FtConfig, ProtocolVariant};
+use crate::config::{FailureSpec, FtConfig};
 use crate::lockstep::LockstepChecker;
 use crate::messages::{DiskCompletion, ForwardedInterrupt, Message};
+use crate::protocol::{apply_to_guest, Effect, IoGate, ReplicaEngine};
 use hvft_devices::console::Console;
 use hvft_devices::disk::{Disk, DiskCommand, DiskLogEntry, DiskStatus, BLOCK_SIZE};
 use hvft_devices::mmio;
@@ -48,7 +43,7 @@ use hvft_net::channel::Channel;
 use hvft_net::detector::FailureDetector;
 use hvft_sim::time::{SimDuration, SimTime};
 use hvft_sim::trace::{TraceCategory, Tracer};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// How a host's run ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -67,33 +62,23 @@ pub enum RunEnd {
     InsnLimit,
 }
 
-/// An I/O the new protocol is holding until acknowledgments complete.
+/// An I/O the revised protocol is holding until acknowledgments
+/// complete (§4.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum PendingIo {
     DiskGo { cmd_value: u32 },
     ConsoleTx { byte: u8 },
 }
 
-/// Host protocol state.
-#[derive(Clone, PartialEq, Eq, Debug)]
-enum HostState {
-    /// Executing guest instructions.
-    Running,
-    /// Primary, original protocol: at the boundary of `epoch`, awaiting
-    /// acknowledgments (rule P2).
-    AwaitingAcksBoundary { epoch: u64 },
-    /// Primary, revised protocol: acknowledgments must complete before
-    /// this I/O proceeds (§4.3).
-    AwaitingAcksIo { io: PendingIo },
-    /// Backup at the boundary of `epoch`, awaiting `[Tme_p]` (rule P5).
-    AwaitingTime { epoch: u64 },
-    /// Backup, clock assigned, awaiting `[end, epoch]` (rule P5).
-    AwaitingEnd { epoch: u64 },
-    /// Finished.
+/// Host lifecycle, orthogonal to the engine's protocol phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Life {
+    /// Participating in the protocol.
+    Active,
+    /// Finished as acting primary: the run is over.
     Done(RunEnd),
-    /// The backup's guest finished the workload while still unpromoted
-    /// (its exit was suppressed); it waits to learn whether the primary
-    /// finished too or failed first.
+    /// The guest finished the workload while still an unpromoted backup
+    /// (its exit was suppressed); it waits to learn the primary's fate.
     BackupDone(RunEnd),
     /// Failstopped.
     Dead,
@@ -109,26 +94,19 @@ struct InflightIo {
     issued_at: SimTime,
 }
 
-/// One replica's host: guest + hypervisor + protocol endpoint state.
+/// One replica's host: guest + clock + device shadows + its engine.
 struct Host {
     guest: HvGuest,
+    engine: ReplicaEngine,
     now: SimTime,
     /// `guest.elapsed()` already folded into `now`.
     synced_elapsed: SimDuration,
-    state: HostState,
-    is_primary: bool,
+    life: Life,
     promoted: bool,
-    // Messaging.
-    next_seq: u64,
-    acked_upto: u64,
-    highest_recv: u64,
-    // Interrupt buffering (rule P1/P4), keyed by delivery epoch.
-    buffered: BTreeMap<u64, Vec<ForwardedInterrupt>>,
-    // Backup bookkeeping for P5.
-    got_time: BTreeMap<u64, hvft_hypervisor::vclock::VClock>,
-    got_end: BTreeSet<u64>,
+    /// §4.3 I/O held until the engine releases it.
+    held_io: Option<PendingIo>,
     // Guest-visible device shadows (updated only at delivery points so
-    // both replicas read identical values).
+    // all replicas read identical values).
     reg_block: u32,
     reg_addr: u32,
     disk_status_reg: u32,
@@ -139,20 +117,15 @@ struct Host {
 }
 
 impl Host {
-    fn new(guest: HvGuest, is_primary: bool) -> Self {
+    fn new(guest: HvGuest, engine: ReplicaEngine) -> Self {
         Host {
             guest,
+            engine,
             now: SimTime::ZERO,
             synced_elapsed: SimDuration::ZERO,
-            state: HostState::Running,
-            is_primary,
+            life: Life::Active,
             promoted: false,
-            next_seq: 0,
-            acked_upto: 0,
-            highest_recv: 0,
-            buffered: BTreeMap::new(),
-            got_time: BTreeMap::new(),
-            got_end: BTreeSet::new(),
+            held_io: None,
             reg_block: 0,
             reg_addr: 0,
             disk_status_reg: mmio::disk_status::IDLE,
@@ -176,20 +149,20 @@ impl Host {
     }
 
     fn runnable(&self) -> bool {
-        self.state == HostState::Running
+        self.life == Life::Active && self.engine.is_running()
     }
 
+    /// Whether rule P6 may promote this host right now.
     fn waiting_as_backup(&self) -> bool {
-        matches!(
-            self.state,
-            HostState::AwaitingTime { .. }
-                | HostState::AwaitingEnd { .. }
-                | HostState::BackupDone(_)
-        )
+        match self.life {
+            Life::BackupDone(_) => true,
+            Life::Active => !self.engine.is_primary() && self.engine.is_waiting_backup(),
+            _ => false,
+        }
     }
 
-    fn all_acked(&self) -> bool {
-        self.acked_upto >= self.next_seq
+    fn alive(&self) -> bool {
+        matches!(self.life, Life::Active | Life::BackupDone(_))
     }
 }
 
@@ -212,8 +185,11 @@ pub struct FtRunResult {
     /// Completion time on the acting primary's clock — the `N′` of the
     /// paper's normalized performance.
     pub completion_time: SimDuration,
-    /// Failover details if the primary failstopped.
+    /// First failover, if the original primary failstopped.
     pub failover: Option<FailoverInfo>,
+    /// Every failover of the run, in promotion order (cascading
+    /// failures produce one entry per promotion).
+    pub failovers: Vec<FailoverInfo>,
     /// Epoch-boundary state-hash comparison results.
     pub lockstep: LockstepChecker,
     /// Bytes the environment's console received, in order.
@@ -224,30 +200,38 @@ pub struct FtRunResult {
     pub disk_log: Vec<DiskLogEntry>,
     /// Acting primary's hypervisor statistics.
     pub primary_stats: HvStats,
-    /// Original backup's hypervisor statistics.
+    /// First backup's hypervisor statistics.
     pub backup_stats: HvStats,
+    /// Hypervisor statistics of every replica, in chain order.
+    pub replica_stats: Vec<HvStats>,
     /// Guest-visible latency of each completed disk operation at the
     /// acting primary (GO to interrupt delivery).
     pub op_latencies: Vec<SimDuration>,
     /// Driver retries recorded by the guest kernel (uncertain outcomes).
     pub guest_retries: u32,
-    /// Messages the primary sent / the backup sent.
+    /// Messages the original primary sent / the first backup sent.
     pub messages_sent: (u64, u64),
+    /// Messages sent by each replica, in chain order.
+    pub messages_per_replica: Vec<u64>,
 }
 
-/// The complete §3 prototype: two processors, shared disk, console, LAN.
+/// The complete §3 prototype, generalized to `t` backups: `t + 1`
+/// processors, shared disk, console, coordination LAN.
 pub struct FtSystem {
-    hosts: [Host; 2],
-    /// `chans[i]` carries messages *from* host `i`.
-    chans: [Channel<Message>; 2],
+    hosts: Vec<Host>,
+    /// `chans[&(i, j)]` carries messages from replica `i` to `j`.
+    chans: BTreeMap<(usize, usize), Channel<Message>>,
     disk: Disk,
     console: Console,
-    detector: FailureDetector,
+    /// Per-backup failure detector (`None` for the acting primary and
+    /// the dead).
+    detectors: Vec<Option<FailureDetector>>,
     cfg: FtConfig,
-    /// Pending disk completion per host: `(time, op ready)`.
-    disk_done: [Option<SimTime>; 2],
-    fail_at: Option<SimTime>,
-    failover: Option<FailoverInfo>,
+    /// Pending disk completion per host.
+    disk_done: Vec<Option<SimTime>>,
+    /// Failure schedule: each entry failstops the then-acting primary.
+    fail_schedule: Vec<SimTime>,
+    failovers: Vec<FailoverInfo>,
     lockstep: LockstepChecker,
     /// Index of the host currently acting as primary.
     acting_primary: usize,
@@ -255,41 +239,77 @@ pub struct FtSystem {
 }
 
 impl FtSystem {
-    /// Builds the system: both replicas boot the identical image in the
-    /// identical state, as §2.1 requires.
+    /// Builds the system: all `1 + cfg.backups` replicas boot the
+    /// identical image in the identical state, as §2.1 requires.
     pub fn new(image: &Program, cfg: FtConfig) -> Self {
-        let mut hv0 = cfg.hv;
-        hv0.tlb_seed = cfg.seed.wrapping_add(101);
-        let mut hv1 = cfg.hv;
-        // Deliberately different machine-level TLB seed: the paper's
-        // point is that replica coordination must survive hardware
-        // non-determinism that is invisible to the VM state.
-        hv1.tlb_seed = cfg.seed.wrapping_add(202);
-        let g0 = HvGuest::new(image, cfg.cost, hv0);
-        let g1 = HvGuest::new(image, cfg.cost, hv1);
+        assert!(cfg.backups >= 1, "a fault-tolerant system needs a backup");
+        let n = 1 + cfg.backups;
+        let mut hosts = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut hv = cfg.hv;
+            // Deliberately different machine-level TLB seeds: the
+            // paper's point is that replica coordination must survive
+            // hardware non-determinism invisible to the VM state.
+            hv.tlb_seed = cfg.seed.wrapping_add(101 * (i as u64 + 1));
+            let guest = HvGuest::new(image, cfg.cost, hv);
+            let engine = if i == 0 {
+                ReplicaEngine::new_primary(0, (1..n).collect(), cfg.protocol)
+            } else {
+                ReplicaEngine::new_backup(i, 0, cfg.protocol)
+            };
+            hosts.push(Host::new(guest, engine));
+        }
+        let mut chans = BTreeMap::new();
+        let mut pair = 0u64;
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    chans.insert((from, to), Channel::new(cfg.link, cfg.seed ^ (0xA + pair)));
+                    pair += 1;
+                }
+            }
+        }
+        let mut detectors = vec![None; n];
+        for (rank, slot) in detectors.iter_mut().enumerate().skip(1) {
+            // Rank-scaled timeouts: the next-in-line backup suspects
+            // first; deeper backups wait out the promotion hand-over.
+            let mut d = FailureDetector::new(cfg.detector_timeout * rank as u64);
+            d.heard(SimTime::ZERO);
+            *slot = Some(d);
+        }
         let mut disk = Disk::new(cfg.disk_blocks, cfg.seed);
         disk.set_fault_probability(cfg.disk_fault_prob);
-        let fail_at = match cfg.failure {
-            FailureSpec::None => None,
-            FailureSpec::At(t) => Some(t),
+        let fail_schedule = match cfg.failure {
+            FailureSpec::None => Vec::new(),
+            FailureSpec::At(t) => vec![t],
         };
         FtSystem {
-            hosts: [Host::new(g0, true), Host::new(g1, false)],
-            chans: [
-                Channel::new(cfg.link, cfg.seed ^ 0xA),
-                Channel::new(cfg.link, cfg.seed ^ 0xB),
-            ],
+            hosts,
+            chans,
             disk,
             console: Console::new(),
-            detector: FailureDetector::new(cfg.detector_timeout),
+            detectors,
             cfg,
-            disk_done: [None, None],
-            fail_at,
-            failover: None,
+            disk_done: vec![None; n],
+            fail_schedule,
+            failovers: Vec::new(),
             lockstep: LockstepChecker::new(),
             acting_primary: 0,
             tracer: Tracer::new(4096),
         }
+    }
+
+    /// Number of replicas (1 primary + `t` backups).
+    pub fn replicas(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Schedules an additional failstop of the then-acting primary at
+    /// `at` (cascading failures for `t ≥ 2` systems). Failures fire in
+    /// time order regardless of insertion order.
+    pub fn schedule_failure(&mut self, at: SimTime) {
+        self.fail_schedule.push(at);
+        self.fail_schedule.sort();
     }
 
     /// Access to the protocol-event tracer (disabled by default; enable
@@ -311,175 +331,45 @@ impl FtSystem {
     }
 
     // -----------------------------------------------------------------
-    // Messaging
+    // Engine-effect execution
     // -----------------------------------------------------------------
 
-    fn send(&mut self, from: usize, mut msg: Message) {
-        let to = 1 - from;
-        let host = &mut self.hosts[from];
-        // Stamp the sequence number.
-        match &mut msg {
-            Message::Interrupt { seq, .. }
-            | Message::Time { seq, .. }
-            | Message::EpochEnd { seq, .. } => {
-                host.next_seq += 1;
-                *seq = host.next_seq;
-            }
-            Message::Ack { .. } => {}
-        }
-        let bytes = msg.wire_bytes();
-        let now = host.now;
-        let _ = self.chans[from].send(now, bytes, msg);
-        let _ = to;
-    }
-
-    fn deliver(&mut self, to: usize, at: SimTime, msg: Message) {
-        let host = &mut self.hosts[to];
-        host.now = host.now.max(at);
-        host.charge(self.cfg.cost.hv_msg_recv);
-        if to == 1 {
-            self.detector.heard(at);
-        }
-        match msg {
-            Message::Ack { upto } => {
-                host.acked_upto = host.acked_upto.max(upto);
-                self.try_resume_primary(to);
-            }
-            Message::Interrupt {
-                seq,
-                epoch,
-                interrupt,
-            } => {
-                self.hosts[to]
-                    .buffered
-                    .entry(epoch)
-                    .or_default()
-                    .push(interrupt);
-                self.ack(to, seq);
-                self.try_advance_backup(to);
-            }
-            Message::Time { seq, epoch, vclock } => {
-                self.hosts[to].got_time.insert(epoch, vclock);
-                self.ack(to, seq);
-                self.try_advance_backup(to);
-            }
-            Message::EpochEnd { seq, epoch } => {
-                self.hosts[to].got_end.insert(epoch);
-                self.ack(to, seq);
-                self.try_advance_backup(to);
-            }
-        }
-    }
-
-    fn ack(&mut self, host: usize, seq: u64) {
-        self.hosts[host].highest_recv = self.hosts[host].highest_recv.max(seq);
-        let upto = self.hosts[host].highest_recv;
-        self.send(host, Message::Ack { upto });
-    }
-
-    fn peer_alive(&self, of: usize) -> bool {
-        self.hosts[1 - of].state != HostState::Dead
-            && !matches!(self.hosts[1 - of].state, HostState::Done(_))
-    }
-
-    // -----------------------------------------------------------------
-    // Primary-side protocol
-    // -----------------------------------------------------------------
-
-    /// The epoch tag for an interrupt received now (P1's `E`): interrupts
-    /// arriving while boundary processing for `E` is under way belong to
-    /// `E + 1`.
-    fn interrupt_epoch(&self, host: usize) -> u64 {
-        let h = &self.hosts[host];
-        match h.state {
-            HostState::AwaitingAcksBoundary { epoch } => epoch + 1,
-            _ => h.guest.epoch(),
-        }
-    }
-
-    /// Rule P2, first half: boundary reached at the primary.
-    fn primary_epoch_end(&mut self, i: usize) {
-        let epoch = self.hosts[i].guest.epoch();
-        if self.cfg.lockstep_check {
-            let hash = self.hosts[i].guest.state_hash();
-            self.lockstep
-                .record(if i == self.acting_primary { 0 } else { 1 }, epoch, hash);
-            if let Some(d) = self.lockstep.divergences().last() {
-                if d.epoch == epoch {
-                    self.tracer.emit(
-                        self.hosts[i].now,
-                        TraceCategory::Protocol,
-                        Some(i as u8),
-                        format!("LOCKSTEP DIVERGENCE at epoch {epoch}"),
-                    );
+    /// Carries out the effects an engine emitted for host `i`, in order.
+    fn process_effects(&mut self, i: usize, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.transmit(i, to, msg),
+                Effect::DeliverInterrupt(fwd) => {
+                    self.hosts[i].guest.assert_irq(fwd.irq_bits);
+                    self.apply_interrupt_payload(i, &fwd);
                 }
+                Effect::SynthesizeUncertain => self.synthesize_uncertain(i),
+                Effect::ResumeHeldIo => {
+                    let io = self.hosts[i].held_io.take().expect("held I/O to resume");
+                    self.perform_io(i, io);
+                    self.hosts[i].guest.finish_mmio_write();
+                    self.hosts[i].sync_clock();
+                }
+                guest_local => apply_to_guest(&guest_local, &mut self.hosts[i].guest),
             }
-        }
-        self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
-        if self.peer_alive(i) {
-            let vclock = self.hosts[i].guest.vclock.snapshot();
-            self.send(
-                i,
-                Message::Time {
-                    seq: 0,
-                    epoch,
-                    vclock,
-                },
-            );
-            if self.cfg.protocol == ProtocolVariant::Old && !self.hosts[i].all_acked() {
-                self.hosts[i].state = HostState::AwaitingAcksBoundary { epoch };
-                return;
-            }
-        }
-        self.finish_primary_boundary(i, epoch);
-    }
-
-    /// Rule P2, second half: deliver, announce, start the next epoch.
-    fn finish_primary_boundary(&mut self, i: usize, epoch: u64) {
-        self.deliver_boundary_interrupts(i, epoch);
-        if self.peer_alive(i) {
-            self.send(i, Message::EpochEnd { seq: 0, epoch });
-        }
-        self.hosts[i].guest.begin_epoch();
-        self.hosts[i].state = HostState::Running;
-    }
-
-    /// Resumes a primary stalled on acknowledgments, if they are in.
-    fn try_resume_primary(&mut self, i: usize) {
-        if !self.hosts[i].all_acked() {
-            return;
-        }
-        match self.hosts[i].state.clone() {
-            HostState::AwaitingAcksBoundary { epoch } => {
-                self.finish_primary_boundary(i, epoch);
-            }
-            HostState::AwaitingAcksIo { io } => {
-                self.hosts[i].state = HostState::Running;
-                self.perform_io(i, io);
-                self.hosts[i].guest.finish_mmio_write();
-                self.hosts[i].sync_clock();
-            }
-            _ => {}
         }
     }
 
-    /// Delivers everything buffered for `epoch`, plus interval-timer
-    /// expiry "based on Tme" — identical logic at both replicas.
-    fn deliver_boundary_interrupts(&mut self, i: usize, epoch: u64) {
-        let retired = self.hosts[i].guest.cpu.retired();
-        if self.hosts[i].guest.vclock.take_expired_timer(retired) {
-            self.hosts[i].guest.assert_irq(irq::TIMER);
-        }
-        let list = self.hosts[i].buffered.remove(&epoch).unwrap_or_default();
-        for fwd in list {
-            self.apply_interrupt(i, fwd);
-        }
+    fn transmit(&mut self, from: usize, to: usize, msg: Message) {
+        let bytes = msg.wire_bytes();
+        let now = self.hosts[from].now;
+        let _ = self
+            .chans
+            .get_mut(&(from, to))
+            .expect("mesh channel")
+            .send(now, bytes, msg);
     }
 
-    fn apply_interrupt(&mut self, i: usize, fwd: ForwardedInterrupt) {
+    /// The device half of interrupt delivery: status register, DMA data,
+    /// and operation-latency accounting.
+    fn apply_interrupt_payload(&mut self, i: usize, fwd: &ForwardedInterrupt) {
         let host = &mut self.hosts[i];
-        host.guest.assert_irq(fwd.irq_bits);
-        if let Some(dc) = fwd.disk {
+        if let Some(dc) = &fwd.disk {
             host.disk_status_reg = dc.status;
             if let Some(inflight) = host.inflight.take() {
                 if let Some(data) = &dc.data {
@@ -494,8 +384,70 @@ impl FtSystem {
         }
     }
 
-    /// Carries out a (possibly deferred) externally visible I/O at the
-    /// acting primary.
+    /// Rule P7 with no surviving backups: the uncertain interrupt is
+    /// applied locally, outside the message stream.
+    fn synthesize_uncertain(&mut self, i: usize) {
+        let host = &mut self.hosts[i];
+        host.disk_status_reg = mmio::disk_status::UNCERTAIN;
+        host.guest.assert_irq(irq::DISK);
+        if let Some(inflight) = host.inflight.take() {
+            host.op_latencies.push(host.now - inflight.issued_at);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Messaging
+    // -----------------------------------------------------------------
+
+    fn deliver(&mut self, to: usize, from: usize, at: SimTime, msg: Message) {
+        if !self.hosts[to].alive() {
+            // A failstopped (or finished) processor takes no further
+            // part in the protocol: messages still draining from the
+            // channels are dropped, never fed to its engine — a late
+            // acknowledgment must not release a dead primary's held
+            // I/O.
+            return;
+        }
+        let host = &mut self.hosts[to];
+        host.now = host.now.max(at);
+        host.charge(self.cfg.cost.hv_msg_recv);
+        if let Some(d) = &mut self.detectors[to] {
+            d.heard(at);
+        }
+        let effects = self.hosts[to].engine.message_received(from, msg);
+        self.process_effects(to, effects);
+    }
+
+    // -----------------------------------------------------------------
+    // Epoch boundaries
+    // -----------------------------------------------------------------
+
+    fn epoch_end(&mut self, i: usize) {
+        let epoch = self.hosts[i].guest.epoch();
+        if self.cfg.lockstep_check {
+            let hash = self.hosts[i].guest.state_hash();
+            let before = self.lockstep.divergences().len();
+            self.lockstep.record(i, epoch, hash);
+            if self.lockstep.divergences().len() > before {
+                self.tracer.emit(
+                    self.hosts[i].now,
+                    TraceCategory::Protocol,
+                    Some(i as u8),
+                    format!("LOCKSTEP DIVERGENCE at epoch {epoch}"),
+                );
+            }
+        }
+        self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
+        let vclock = self.hosts[i].guest.vclock.snapshot();
+        let effects = self.hosts[i].engine.boundary_reached(epoch, vclock);
+        self.process_effects(i, effects);
+    }
+
+    // -----------------------------------------------------------------
+    // I/O at the acting primary
+    // -----------------------------------------------------------------
+
+    /// Carries out a (possibly §4.3-deferred) externally visible I/O.
     fn perform_io(&mut self, i: usize, io: PendingIo) {
         match io {
             PendingIo::DiskGo { cmd_value } => self.disk_go(i, cmd_value),
@@ -540,8 +492,7 @@ impl FtSystem {
             Err(_) => {
                 // Controller rejected (bad block / busy): surface as an
                 // immediate uncertain completion through the normal
-                // buffered path so both replicas see it identically.
-                let epoch = self.interrupt_epoch(i);
+                // buffered path so all replicas see it identically.
                 let fwd = ForwardedInterrupt {
                     irq_bits: irq::DISK,
                     disk: Some(DiskCompletion {
@@ -555,21 +506,9 @@ impl FtSystem {
                     write_data,
                     issued_at: now,
                 });
-                self.hosts[i]
-                    .buffered
-                    .entry(epoch)
-                    .or_default()
-                    .push(fwd.clone());
-                if self.peer_alive(i) {
-                    self.send(
-                        i,
-                        Message::Interrupt {
-                            seq: 0,
-                            epoch,
-                            interrupt: fwd,
-                        },
-                    );
-                }
+                let epoch = self.hosts[i].guest.epoch();
+                let effects = self.hosts[i].engine.interrupt_raised(epoch, fwd);
+                self.process_effects(i, effects);
             }
         }
     }
@@ -608,134 +547,82 @@ impl FtSystem {
                 data,
             }),
         };
-        let epoch = self.interrupt_epoch(i);
-        self.hosts[i]
-            .buffered
-            .entry(epoch)
-            .or_default()
-            .push(fwd.clone());
-        if self.peer_alive(i) {
-            self.send(
-                i,
-                Message::Interrupt {
-                    seq: 0,
-                    epoch,
-                    interrupt: fwd,
-                },
-            );
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Backup-side protocol
-    // -----------------------------------------------------------------
-
-    fn backup_epoch_end(&mut self, i: usize) {
         let epoch = self.hosts[i].guest.epoch();
-        if self.cfg.lockstep_check {
-            let hash = self.hosts[i].guest.state_hash();
-            self.lockstep.record(1, epoch, hash);
-        }
-        self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
-        self.hosts[i].state = HostState::AwaitingTime { epoch };
-        self.try_advance_backup(i);
+        let effects = self.hosts[i].engine.interrupt_raised(epoch, fwd);
+        self.process_effects(i, effects);
     }
 
-    /// Rule P5's waiting sequence, re-evaluated whenever a message lands.
-    fn try_advance_backup(&mut self, i: usize) {
-        loop {
-            match self.hosts[i].state.clone() {
-                HostState::AwaitingTime { epoch } => {
-                    if let Some(vc) = self.hosts[i].got_time.remove(&epoch) {
-                        self.hosts[i].guest.vclock.assign(vc);
-                        self.hosts[i].state = HostState::AwaitingEnd { epoch };
-                    } else {
-                        return;
-                    }
-                }
-                HostState::AwaitingEnd { epoch } if self.hosts[i].got_end.remove(&epoch) => {
-                    self.deliver_boundary_interrupts(i, epoch);
-                    self.hosts[i].guest.begin_epoch();
-                    self.hosts[i].state = HostState::Running;
-                    return;
-                }
-                _ => return,
-            }
-        }
+    // -----------------------------------------------------------------
+    // Failover (rules P6/P7)
+    // -----------------------------------------------------------------
+
+    /// Live backups after `of`, in chain (promotion) order.
+    fn survivors_after(&self, of: usize) -> Vec<usize> {
+        (0..self.hosts.len())
+            .filter(|&j| j != of && j != self.acting_primary && self.hosts[j].alive())
+            .collect()
     }
 
-    /// Rules P6 + P7: the failure detector fired while the backup was
-    /// waiting at the end of epoch `E`.
+    /// The backup next in line for promotion, if any.
+    fn next_in_line(&self) -> Option<usize> {
+        (0..self.hosts.len()).find(|&j| j != self.acting_primary && self.hosts[j].alive())
+    }
+
     fn failover(&mut self, i: usize, at: SimTime) {
-        if let HostState::BackupDone(end) = self.hosts[i].state {
-            // The backup's guest already finished the whole workload; the
-            // primary's failure makes that (suppressed) completion real.
-            self.hosts[i].is_primary = true;
+        if let Life::BackupDone(end) = self.hosts[i].life {
+            // The backup's guest already finished the whole workload;
+            // the primary's failure makes that (suppressed) completion
+            // real.
             self.hosts[i].promoted = true;
             self.acting_primary = i;
+            self.detectors[i] = None;
             self.hosts[i].now = self.hosts[i].now.max(at);
-            self.failover = Some(FailoverInfo {
+            self.failovers.push(FailoverInfo {
                 at: self.hosts[i].now,
                 epoch: self.hosts[i].guest.epoch(),
                 uncertain_synthesized: false,
             });
-            self.hosts[i].state = HostState::Done(end);
+            self.hosts[i].life = Life::Done(end);
             return;
         }
-        let epoch = match self.hosts[i].state {
-            HostState::AwaitingTime { epoch } | HostState::AwaitingEnd { epoch } => epoch,
-            _ => unreachable!("failover outside a waiting state"),
-        };
         self.hosts[i].now = self.hosts[i].now.max(at);
-        // P6: deliver everything buffered — the primary is gone, so there
-        // is no replica left to stay in step with, and holding epoch-
-        // tagged completions any longer would only delay the driver.
-        let epochs: Vec<u64> = self.hosts[i].buffered.keys().copied().collect();
-        self.deliver_boundary_interrupts(i, epoch);
-        for e in epochs {
-            if e != epoch {
-                let list = self.hosts[i].buffered.remove(&e).unwrap_or_default();
-                for fwd in list {
-                    self.apply_interrupt(i, fwd);
-                }
-            }
-        }
-        // P7: outstanding I/O gets an uncertain interrupt; the driver
-        // will retry, which the environment cannot distinguish from a
-        // transient device fault.
-        let mut synthesized = false;
-        if let Some(inflight) = self.hosts[i].inflight.take() {
-            self.hosts[i].disk_status_reg = mmio::disk_status::UNCERTAIN;
-            self.hosts[i].guest.assert_irq(irq::DISK);
+        let survivors = self.survivors_after(i);
+        let outstanding = self.hosts[i].inflight.is_some();
+        let vclock = self.hosts[i].guest.vclock.snapshot();
+        let (effects, promo) =
             self.hosts[i]
-                .op_latencies
-                .push(self.hosts[i].now - inflight.issued_at);
-            synthesized = true;
-        }
-        // Promotion.
-        self.hosts[i].is_primary = true;
+                .engine
+                .promote_at_boundary(vclock, outstanding, survivors.clone());
         self.hosts[i].promoted = true;
         self.acting_primary = i;
+        self.detectors[i] = None;
+        self.process_effects(i, effects);
+        // Survivors re-arm against the new primary, ranks shifted up.
+        let now = self.hosts[i].now;
+        for (rank0, &s) in survivors.iter().enumerate() {
+            let mut d = FailureDetector::new(self.cfg.detector_timeout * (rank0 as u64 + 1));
+            d.heard(now);
+            self.detectors[s] = Some(d);
+        }
         self.tracer.emit(
-            self.hosts[i].now,
+            now,
             TraceCategory::Failure,
             Some(i as u8),
             format!(
-                "P6: backup promoted at end of epoch {epoch}{}",
-                if synthesized {
+                "P6: backup promoted at end of epoch {}{}",
+                promo.epoch,
+                if promo.uncertain_synthesized {
                     "; P7 synthesized an uncertain interrupt"
                 } else {
                     ""
                 }
             ),
         );
-        self.failover = Some(FailoverInfo {
-            at: self.hosts[i].now,
-            epoch,
-            uncertain_synthesized: synthesized,
+        self.failovers.push(FailoverInfo {
+            at: now,
+            epoch: promo.epoch,
+            uncertain_synthesized: promo.uncertain_synthesized,
         });
-        self.hosts[i].guest.begin_epoch();
-        self.hosts[i].state = HostState::Running;
     }
 
     // -----------------------------------------------------------------
@@ -757,15 +644,15 @@ impl FtSystem {
 
     fn handle_mmio_write(&mut self, i: usize, paddr: u32, value: u32) {
         let off = paddr.wrapping_sub(IO_BASE);
-        let is_primary = self.hosts[i].is_primary;
+        let is_primary = self.hosts[i].engine.is_primary();
         match off {
             mmio::DISK_REG_BLOCK => self.hosts[i].reg_block = value,
             mmio::DISK_REG_ADDR => self.hosts[i].reg_addr = value,
             mmio::DISK_REG_CMD => {
                 if is_primary {
                     let io = PendingIo::DiskGo { cmd_value: value };
-                    if self.must_await_acks_for_io(i) {
-                        self.hosts[i].state = HostState::AwaitingAcksIo { io };
+                    if self.hosts[i].engine.io_requested() == IoGate::Hold {
+                        self.hosts[i].held_io = Some(io);
                         return; // MMIO completes after the acks arrive.
                     }
                     self.perform_io(i, io);
@@ -790,8 +677,8 @@ impl FtSystem {
             }
             mmio::CONSOLE_REG_TX if is_primary => {
                 let io = PendingIo::ConsoleTx { byte: value as u8 };
-                if self.must_await_acks_for_io(i) {
-                    self.hosts[i].state = HostState::AwaitingAcksIo { io };
+                if self.hosts[i].engine.io_requested() == IoGate::Hold {
+                    self.hosts[i].held_io = Some(io);
                     return;
                 }
                 self.perform_io(i, io);
@@ -803,29 +690,17 @@ impl FtSystem {
         self.hosts[i].sync_clock();
     }
 
-    /// §4.3: under the revised protocol, I/O may not start until all
-    /// coordination messages have been acknowledged.
-    fn must_await_acks_for_io(&self, i: usize) -> bool {
-        self.cfg.protocol == ProtocolVariant::New
-            && self.peer_alive(i)
-            && !self.hosts[i].all_acked()
-    }
-
     // -----------------------------------------------------------------
     // Failure injection
     // -----------------------------------------------------------------
 
     fn inject_failure(&mut self, at: SimTime) {
-        self.fail_at = None;
-        let victim = 0;
-        if matches!(
-            self.hosts[victim].state,
-            HostState::Done(_) | HostState::Dead
-        ) {
+        let victim = self.acting_primary;
+        if !matches!(self.hosts[victim].life, Life::Active | Life::BackupDone(_)) {
             return;
         }
         self.hosts[victim].now = self.hosts[victim].now.max(at);
-        self.hosts[victim].state = HostState::Dead;
+        self.hosts[victim].life = Life::Dead;
         self.tracer.emit(
             at,
             TraceCategory::Failure,
@@ -833,10 +708,14 @@ impl FtSystem {
             "primary processor failstopped".to_owned(),
         );
         // In-flight messages still arrive (the backup "detects the
-        // primary's failure only after receiving the last message sent"),
-        // but nothing further leaves the dead processor.
-        self.chans[victim].sever();
-        self.chans[1 - victim].sever();
+        // primary's failure only after receiving the last message
+        // sent"), but nothing further leaves the dead processor, and
+        // nothing is worth sending to it.
+        for (&(from, to), ch) in self.chans.iter_mut() {
+            if from == victim || to == victim {
+                ch.sever();
+            }
+        }
         // A disk operation in flight from the dead host is abandoned:
         // the medium may or may not have absorbed it, and no interrupt
         // will ever be delivered for it — the §2.2 two-generals corner.
@@ -857,13 +736,7 @@ impl FtSystem {
     fn dispatch_guest_event(&mut self, i: usize, ev: HvEvent) {
         match ev {
             HvEvent::BudgetExhausted => {}
-            HvEvent::EpochEnd => {
-                if self.hosts[i].is_primary {
-                    self.primary_epoch_end(i);
-                } else {
-                    self.backup_epoch_end(i);
-                }
-            }
+            HvEvent::EpochEnd => self.epoch_end(i),
             HvEvent::MmioRead { paddr } => self.handle_mmio_read(i, paddr),
             HvEvent::MmioWrite { paddr, value } => self.handle_mmio_write(i, paddr, value),
             HvEvent::Diag { value, code } => {
@@ -900,19 +773,19 @@ impl FtSystem {
         }
     }
 
-    /// Marks a host's workload as finished. At the primary this ends the
-    /// run; at an unpromoted backup the (suppressed) exit parks the host
-    /// until it learns the primary's fate.
+    /// Marks a host's workload as finished. At the acting primary this
+    /// ends the run; at an unpromoted backup the (suppressed) exit parks
+    /// the host until it learns the primary's fate.
     fn finish_host(&mut self, i: usize, end: RunEnd) {
-        if self.hosts[i].is_primary {
-            self.hosts[i].state = HostState::Done(end);
+        if self.hosts[i].engine.is_primary() {
+            self.hosts[i].life = Life::Done(end);
         } else {
-            self.hosts[i].state = HostState::BackupDone(end);
+            self.hosts[i].life = Life::BackupDone(end);
         }
     }
 
     /// Earliest pending event time across the whole system.
-    fn next_event_time(&mut self) -> Option<SimTime> {
+    fn next_event_time(&self) -> Option<SimTime> {
         let mut t: Option<SimTime> = None;
         let mut consider = |c: Option<SimTime>| {
             if let Some(ct) = c {
@@ -922,20 +795,22 @@ impl FtSystem {
                 });
             }
         };
-        consider(self.chans[0].next_delivery());
-        consider(self.chans[1].next_delivery());
-        consider(self.disk_done[0]);
-        consider(self.disk_done[1]);
-        consider(self.fail_at);
-        if self.hosts[1].waiting_as_backup() && self.peer_might_be_dead() {
-            consider(Some(self.detector.deadline()));
+        for ch in self.chans.values() {
+            consider(ch.next_delivery());
+        }
+        for d in &self.disk_done {
+            consider(*d);
+        }
+        consider(self.fail_schedule.first().copied());
+        for b in 0..self.hosts.len() {
+            if b == self.acting_primary || !self.hosts[b].waiting_as_backup() {
+                continue;
+            }
+            if let Some(det) = &self.detectors[b] {
+                consider(Some(det.deadline()));
+            }
         }
         t
-    }
-
-    fn peer_might_be_dead(&self) -> bool {
-        // The detector only matters once the primary could be silent.
-        true
     }
 
     /// Processes the single earliest event. Returns `false` if there was
@@ -944,14 +819,15 @@ impl FtSystem {
         let Some(t) = self.next_event_time() else {
             return false;
         };
-        // Identify which source fires at `t`; priority order is fixed for
-        // determinism: failure, disk completions, channel 0, channel 1,
-        // detector.
-        if self.fail_at == Some(t) {
+        // Identify which source fires at `t`; priority order is fixed
+        // for determinism: failure, disk completions, channels in
+        // (from, to) order, detector.
+        if self.fail_schedule.first() == Some(&t) {
+            self.fail_schedule.remove(0);
             self.inject_failure(t);
             return true;
         }
-        for i in 0..2 {
+        for i in 0..self.hosts.len() {
             if self.disk_done[i] == Some(t) {
                 self.disk_done[i] = None;
                 self.hosts[i].now = self.hosts[i].now.max(t);
@@ -959,16 +835,41 @@ impl FtSystem {
                 return true;
             }
         }
-        for from in 0..2 {
-            if self.chans[from].next_delivery() == Some(t) {
-                let msg = self.chans[from].pop_ready(t).expect("due message");
-                self.deliver(1 - from, t, msg);
-                return true;
-            }
+        let due_pair = self
+            .chans
+            .iter()
+            .find(|(_, ch)| ch.next_delivery() == Some(t))
+            .map(|(&pair, _)| pair);
+        if let Some((from, to)) = due_pair {
+            let msg = self
+                .chans
+                .get_mut(&(from, to))
+                .unwrap()
+                .pop_ready(t)
+                .expect("due message");
+            self.deliver(to, from, t, msg);
+            return true;
         }
-        if self.hosts[1].waiting_as_backup() && self.detector.deadline() == t {
-            if self.detector.expired(t) {
-                self.failover(1, t);
+        for b in 0..self.hosts.len() {
+            if b == self.acting_primary || !self.hosts[b].waiting_as_backup() {
+                continue;
+            }
+            let next = self.next_in_line();
+            let Some(det) = &mut self.detectors[b] else {
+                continue;
+            };
+            if det.deadline() != t {
+                continue;
+            }
+            if Some(b) == next {
+                if det.expired(t) {
+                    self.failover(b, t);
+                }
+            } else {
+                // Suspecting out of turn (an earlier live backup has
+                // promotion priority): defer to the chain order and
+                // re-arm rather than risk two promoters.
+                det.heard(t);
             }
             return true;
         }
@@ -977,25 +878,29 @@ impl FtSystem {
 
     /// Runs the system until the acting primary's workload completes.
     pub fn run(&mut self) -> FtRunResult {
-        let lookahead = self.chans[0].lookahead();
+        let lookahead = self.cfg.link.min_latency();
         loop {
             // Completion check.
-            if let HostState::Done(end) = self.hosts[self.acting_primary].state {
+            if let Life::Done(end) = self.hosts[self.acting_primary].life {
                 return self.result(end);
             }
             // Instruction-limit guard.
-            for i in 0..2 {
+            for i in 0..self.hosts.len() {
                 if self.hosts[i].runnable()
                     && self.hosts[i].guest.cpu.retired() >= self.cfg.max_insns
                 {
-                    self.hosts[i].state = HostState::Done(RunEnd::InsnLimit);
+                    self.hosts[i].life = Life::Done(RunEnd::InsnLimit);
+                    if i != self.acting_primary {
+                        let effects = self.hosts[self.acting_primary].engine.remove_peer(i);
+                        self.process_effects(self.acting_primary, effects);
+                    }
                 }
             }
 
             let ev_time = self.next_event_time();
-            // Pick the runnable host with the smaller clock.
+            // Pick the runnable host with the smallest clock.
             let mut pick: Option<usize> = None;
-            for i in 0..2 {
+            for i in 0..self.hosts.len() {
                 if self.hosts[i].runnable()
                     && pick.is_none_or(|p| self.hosts[i].now < self.hosts[p].now)
                 {
@@ -1013,8 +918,8 @@ impl FtSystem {
                 (None, None) => {
                     // Deadlock: nobody runnable, no events. This is a
                     // protocol bug or an ended run.
-                    let end = match self.hosts[self.acting_primary].state {
-                        HostState::Done(e) => e,
+                    let end = match self.hosts[self.acting_primary].life {
+                        Life::Done(e) => e,
                         _ => RunEnd::Fatal { code: None },
                     };
                     return self.result(end);
@@ -1030,12 +935,13 @@ impl FtSystem {
                         }
                     }
                     // Horizon: the earliest thing that could affect
-                    // anyone, including messages the peer might send
+                    // anyone, including messages any peer might send
                     // (conservative lookahead).
                     let mut horizon = ev.unwrap_or(SimTime::MAX);
-                    let peer = 1 - i;
-                    if self.hosts[peer].runnable() {
-                        horizon = horizon.min(self.hosts[peer].now.saturating_add(lookahead));
+                    for j in 0..self.hosts.len() {
+                        if j != i && self.hosts[j].runnable() {
+                            horizon = horizon.min(self.hosts[j].now.saturating_add(lookahead));
+                        }
                     }
                     let budget = if horizon == SimTime::MAX {
                         SimDuration::from_millis(10)
@@ -1053,25 +959,38 @@ impl FtSystem {
     fn result(&mut self, outcome: RunEnd) -> FtRunResult {
         let ap = self.acting_primary;
         let retries_addr = hvft_guest::layout::kdata::RETRIES;
+        let sent_by = |from: usize| -> u64 {
+            self.chans
+                .iter()
+                .filter(|((f, _), _)| *f == from)
+                .map(|(_, ch)| ch.stats().sent)
+                .sum()
+        };
+        let messages_per_replica: Vec<u64> = (0..self.hosts.len()).map(sent_by).collect();
         FtRunResult {
             outcome,
             completion_time: self.hosts[ap].now - SimTime::ZERO,
-            failover: self.failover,
+            failover: self.failovers.first().copied(),
+            failovers: self.failovers.clone(),
             lockstep: self.lockstep.clone(),
             console_output: self.console.output(),
             console_hosts: self.console.hosts_seen(),
             disk_log: self.disk.log().to_vec(),
             primary_stats: *self.hosts[ap].guest.stats(),
             backup_stats: *self.hosts[1].guest.stats(),
+            replica_stats: self.hosts.iter().map(|h| *h.guest.stats()).collect(),
             op_latencies: {
                 let mut v = self.hosts[0].op_latencies.clone();
-                if ap == 1 {
-                    v.extend_from_slice(&self.hosts[1].op_latencies);
+                for host in &self.hosts[1..] {
+                    if host.promoted {
+                        v.extend_from_slice(&host.op_latencies);
+                    }
                 }
                 v
             },
             guest_retries: self.hosts[ap].guest.mem.read_u32(retries_addr).unwrap_or(0),
-            messages_sent: (self.chans[0].stats().sent, self.chans[1].stats().sent),
+            messages_sent: (messages_per_replica[0], messages_per_replica[1]),
+            messages_per_replica,
         }
     }
 }

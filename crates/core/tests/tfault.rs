@@ -1,0 +1,294 @@
+//! Integration tests of the t-fault-tolerant DES: one primary plus
+//! `t ≥ 2` ordered backups with real link timing, rank-scaled failure
+//! detectors, and cascading failover.
+
+use hvft_core::config::{FailureSpec, FtConfig, ProtocolVariant};
+use hvft_core::system::{FtSystem, RunEnd};
+use hvft_devices::disk::check_single_processor_consistency;
+use hvft_guest::{
+    build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
+};
+use hvft_hypervisor::cost::CostModel;
+use hvft_sim::time::{SimDuration, SimTime};
+
+fn fast_cfg(backups: usize) -> FtConfig {
+    FtConfig {
+        cost: CostModel::functional(),
+        backups,
+        // Snappy detection so cascades fit inside millisecond-scale
+        // functional-cost runs: a kill scheduled before the previous
+        // promotion completes would hit an already-dead processor.
+        detector_timeout: SimDuration::from_micros(800),
+        ..FtConfig::default()
+    }
+}
+
+/// Detection-latency headroom between scheduled kills: the rank-1
+/// detector timeout plus slack for the promotion hand-over.
+const DETECT_NS: u64 = 2_000_000;
+
+fn cpu_image(iters: u32) -> hvft_isa::program::Program {
+    build_image(
+        &KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 3,
+            ..KernelConfig::default()
+        },
+        &dhrystone_source(iters, 10),
+    )
+    .expect("image builds")
+}
+
+fn reference(image: &hvft_isa::program::Program, backups: usize) -> (u32, u64) {
+    let mut sys = FtSystem::new(image, fast_cfg(backups));
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => (code, r.completion_time.as_nanos()),
+        other => panic!("reference run: {other:?}"),
+    }
+}
+
+#[test]
+fn t2_failure_free_run_keeps_three_replicas_in_lockstep() {
+    let image = cpu_image(800);
+    let (code1, _) = reference(&image, 1);
+    let mut sys = FtSystem::new(&image, fast_cfg(2));
+    assert_eq!(sys.replicas(), 3);
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, code1, "t must not change the checksum"),
+        other => panic!("{other:?}"),
+    }
+    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+    // Three replicas hash every epoch: two comparisons per epoch.
+    assert!(
+        r.lockstep.compared() > 2 * 2,
+        "compared only {}",
+        r.lockstep.compared()
+    );
+    assert!(r.failovers.is_empty());
+    // The primary broadcast to both backups; both acknowledged.
+    assert!(r.messages_per_replica[1] > 0 && r.messages_per_replica[2] > 0);
+}
+
+#[test]
+fn t2_cascading_failover_is_checksum_transparent() {
+    let image = cpu_image(3000);
+    for protocol in [ProtocolVariant::Old, ProtocolVariant::New] {
+        // The variants complete in different simulated times, so each
+        // needs its own failure-free baseline.
+        let mut ref_cfg = fast_cfg(2);
+        ref_cfg.protocol = protocol;
+        let mut ref_sys = FtSystem::new(&image, ref_cfg);
+        let ref_r = ref_sys.run();
+        let (ref_code, total_ns) = match ref_r.outcome {
+            RunEnd::Exit { code } => (code, ref_r.completion_time.as_nanos()),
+            other => panic!("{protocol:?} reference: {other:?}"),
+        };
+        let mut cfg = fast_cfg(2);
+        cfg.protocol = protocol;
+        // Kill the original primary at 1/3 of the failure-free run, and
+        // the first backup after it has detected, promoted, and made
+        // some progress of its own.
+        let t1 = total_ns / 3;
+        let t2 = t1 + DETECT_NS + total_ns / 4;
+        cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
+        let mut sys = FtSystem::new(&image, cfg);
+        sys.schedule_failure(SimTime::from_nanos(t2));
+        let r = sys.run();
+        assert_eq!(
+            r.failovers.len(),
+            2,
+            "{protocol:?}: two promotions expected, got {:?}",
+            r.failovers
+        );
+        assert!(
+            r.failovers[0].epoch <= r.failovers[1].epoch,
+            "{protocol:?}: promotions must move forward in the stream"
+        );
+        match r.outcome {
+            RunEnd::Exit { code } => assert_eq!(
+                code, ref_code,
+                "{protocol:?}: the last survivor must produce the reference checksum"
+            ),
+            other => panic!("{protocol:?}: {other:?}"),
+        }
+        assert!(
+            r.lockstep.is_clean(),
+            "{protocol:?}: surviving replicas diverged: {:?}",
+            r.lockstep.divergences()
+        );
+    }
+}
+
+#[test]
+fn t3_survives_three_cascading_failures() {
+    let image = cpu_image(3000);
+    let (ref_code, total_ns) = reference(&image, 3);
+    let mut cfg = fast_cfg(3);
+    let t1 = total_ns / 4;
+    let t2 = t1 + DETECT_NS + total_ns / 5;
+    let t3 = t2 + DETECT_NS + total_ns / 5;
+    cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
+    let mut sys = FtSystem::new(&image, cfg);
+    sys.schedule_failure(SimTime::from_nanos(t2));
+    sys.schedule_failure(SimTime::from_nanos(t3));
+    let r = sys.run();
+    assert_eq!(r.failovers.len(), 3, "{:?}", r.failovers);
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, ref_code),
+        other => panic!("{other:?}"),
+    }
+    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+}
+
+#[test]
+fn t2_disk_writes_survive_cascading_failover_consistently() {
+    let image = build_image(
+        &KernelConfig::default(),
+        &io_bench_source(6, IoMode::Write, 64, 7),
+    )
+    .unwrap();
+    let (ref_code, total_ns) = reference(&image, 2);
+    let mut cfg = fast_cfg(2);
+    let t1 = total_ns / 3;
+    cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
+    let mut sys = FtSystem::new(&image, cfg);
+    sys.schedule_failure(SimTime::from_nanos(t1 + DETECT_NS + total_ns / 4));
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, ref_code),
+        other => panic!("{other:?} (failovers: {:?})", r.failovers),
+    }
+    // The environment saw a single-processor-consistent command stream
+    // across both hand-overs, even with P7 retries.
+    check_single_processor_consistency(&r.disk_log)
+        .unwrap_or_else(|e| panic!("environment anomaly: {e}\nlog: {:#?}", r.disk_log));
+    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+}
+
+#[test]
+fn t2_cascade_sweep_never_breaks_transparency() {
+    // Kill the acting primary twice at many different point pairs; every
+    // run must end with the reference checksum. (Late second kills may
+    // land after the survivor finished — then they are harmless no-ops,
+    // which the checksum assertion still covers.)
+    let image = cpu_image(1500);
+    let (ref_code, total_ns) = reference(&image, 2);
+    for k in 1..8 {
+        let t1 = total_ns * k / 10;
+        let t2 = t1 + DETECT_NS + total_ns / 5;
+        let mut cfg = fast_cfg(2);
+        cfg.failure = FailureSpec::At(SimTime::from_nanos(t1.max(1)));
+        let mut sys = FtSystem::new(&image, cfg);
+        sys.schedule_failure(SimTime::from_nanos(t2.max(2)));
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => {
+                assert_eq!(code, ref_code, "kills at {t1}/{t2} ns: checksum mismatch")
+            }
+            other => panic!("kills at {t1}/{t2} ns: {other:?} ({:?})", r.failovers),
+        }
+    }
+}
+
+#[test]
+fn t2_console_output_hands_over_down_the_chain() {
+    let msg = "abcdefghijklmnopqrstuvwxyz";
+    let image = build_image(
+        &KernelConfig {
+            tick_period_us: 500,
+            tick_work: 0,
+            ..KernelConfig::default()
+        },
+        &hello_source(msg, 3),
+    )
+    .unwrap();
+    let (_, total_ns) = reference(&image, 2);
+    let mut cfg = fast_cfg(2);
+    let t1 = total_ns / 4;
+    cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
+    let mut sys = FtSystem::new(&image, cfg);
+    sys.schedule_failure(SimTime::from_nanos(t1 + DETECT_NS + total_ns / 4));
+    let r = sys.run();
+    assert!(
+        matches!(r.outcome, RunEnd::Exit { code: 42 }),
+        "{:?}",
+        r.outcome
+    );
+    // Bytes form an in-order subsequence of the message (fire-and-forget
+    // output may lose bytes in failover epochs, never reorder them), and
+    // emitting hosts only ever move down the chain.
+    let s = String::from_utf8_lossy(&r.console_output).into_owned();
+    let mut it = msg.chars();
+    assert!(
+        s.chars().all(|c| it.any(|m| m == c)),
+        "not a subsequence: {s:?}"
+    );
+    assert!(
+        r.console_hosts.windows(2).all(|w| w[0] <= w[1]),
+        "hand-over must be one-way: {:?}",
+        r.console_hosts
+    );
+    assert!(r.console_hosts.len() <= 3);
+}
+
+#[test]
+fn dead_primary_never_acts_on_late_acknowledgments() {
+    // Regression: under the §4.3 protocol the primary may be killed
+    // while holding an I/O in AwaitIoAcks with the acknowledgment
+    // already in flight; the still-draining ack must not release the
+    // dead host's held I/O (a post-mortem disk command would violate
+    // single-processor consistency, a console byte would violate host
+    // monotonicity). A dense kill sweep maximizes the odds of landing
+    // inside a held-I/O window.
+    let image = build_image(
+        &KernelConfig::default(),
+        &io_bench_source(4, IoMode::Write, 32, 3),
+    )
+    .unwrap();
+    let mut ref_cfg = fast_cfg(1);
+    ref_cfg.protocol = ProtocolVariant::New;
+    let mut ref_sys = FtSystem::new(&image, ref_cfg);
+    let ref_r = ref_sys.run();
+    let (ref_code, total_ns) = match ref_r.outcome {
+        RunEnd::Exit { code } => (code, ref_r.completion_time.as_nanos()),
+        other => panic!("reference: {other:?}"),
+    };
+    for k in 1..30 {
+        let t = total_ns * k / 30;
+        let mut cfg = fast_cfg(1);
+        cfg.protocol = ProtocolVariant::New;
+        cfg.failure = FailureSpec::At(SimTime::from_nanos(t.max(1)));
+        let mut sys = FtSystem::new(&image, cfg);
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => assert_eq!(code, ref_code, "kill at {t} ns"),
+            other => panic!("kill at {t} ns: {other:?}"),
+        }
+        check_single_processor_consistency(&r.disk_log)
+            .unwrap_or_else(|e| panic!("kill at {t} ns: {e}"));
+        assert!(
+            r.console_hosts.windows(2).all(|w| w[0] <= w[1]),
+            "kill at {t} ns: console host went backwards: {:?}",
+            r.console_hosts
+        );
+    }
+}
+
+#[test]
+fn deep_chains_boot_and_finish() {
+    // t = 5: six replicas over one coordination LAN still reach the
+    // reference result (scalability smoke test for the mesh + detector
+    // ranks).
+    let image = cpu_image(150);
+    let (ref_code, _) = reference(&image, 1);
+    let mut sys = FtSystem::new(&image, fast_cfg(5));
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, ref_code),
+        other => panic!("{other:?}"),
+    }
+    assert!(r.lockstep.is_clean());
+    assert_eq!(r.replica_stats.len(), 6);
+}

@@ -324,30 +324,30 @@ impl Disk {
 /// Checks that an operation log is consistent with what a single
 /// processor could have produced.
 ///
-/// The enforceable invariant is that commands come from at most one host
-/// at a time with at most **one** host switch (primary → promoted
-/// backup) and no interleaving back. Repeated `(cmd, block)` pairs
-/// across the switch are *not* flagged: they are indistinguishable from
-/// a program that legitimately re-issues the operation, and IO2 obliges
-/// the environment to tolerate repetition anyway — rule P7 leans on
-/// exactly that. Whether the *effects* are right is checked separately
-/// by comparing final medium state against a failure-free reference run.
+/// The enforceable invariant is that commands come from at most one
+/// host at a time, and that hand-overs only ever move *forward* down
+/// the replica chain (primary → promoted backup → next promoted backup,
+/// for t-fault systems) with no interleaving back to an earlier host.
+/// Repeated `(cmd, block)` pairs across a switch are *not* flagged:
+/// they are indistinguishable from a program that legitimately
+/// re-issues the operation, and IO2 obliges the environment to tolerate
+/// repetition anyway — rule P7 leans on exactly that. Whether the
+/// *effects* are right is checked separately by comparing final medium
+/// state against a failure-free reference run.
 ///
 /// Returns `Err` with a description of the first violation.
 pub fn check_single_processor_consistency(log: &[DiskLogEntry]) -> Result<(), String> {
     let mut current_host: Option<u8> = None;
-    let mut switches = 0;
     for (i, e) in log.iter().enumerate() {
         match current_host {
             None => current_host = Some(e.host),
-            Some(h) if h != e.host => {
-                switches += 1;
-                if switches > 1 {
-                    return Err(format!("op {i}: second host switch (to host {})", e.host));
-                }
-                current_host = Some(e.host);
+            Some(h) if e.host < h => {
+                return Err(format!(
+                    "op {i}: command from host {} after host {h} took over",
+                    e.host
+                ));
             }
-            _ => {}
+            Some(_) => current_host = Some(e.host),
         }
     }
     Ok(())
@@ -537,7 +537,7 @@ mod tests {
     }
 
     #[test]
-    fn consistency_rejects_double_switch() {
+    fn consistency_rejects_switching_back() {
         let mk = |host, block| DiskLogEntry {
             issued_at: t0(),
             host,
@@ -548,5 +548,24 @@ mod tests {
         };
         let log = vec![mk(0, 1), mk(1, 2), mk(0, 3)];
         assert!(check_single_processor_consistency(&log).is_err());
+    }
+
+    #[test]
+    fn consistency_accepts_cascading_hand_overs() {
+        // A t = 2 system hands the disk down the chain: 0 → 1 → 2 is a
+        // legal single-processor view; any return to an earlier host is
+        // not.
+        let mk = |host, block| DiskLogEntry {
+            issued_at: t0(),
+            host,
+            cmd: DiskCommand::Write,
+            block,
+            status: DiskStatus::Complete,
+            applied: true,
+        };
+        let ok = vec![mk(0, 1), mk(1, 2), mk(2, 3), mk(2, 4)];
+        assert!(check_single_processor_consistency(&ok).is_ok());
+        let bad = vec![mk(0, 1), mk(2, 2), mk(1, 3)];
+        assert!(check_single_processor_consistency(&bad).is_err());
     }
 }

@@ -1,0 +1,109 @@
+//! The narrow guest-control surface the replication protocols need.
+//!
+//! The protocol engines in `hvft-core` never see a full [`HvGuest`]:
+//! their effects touch exactly five things — the epoch counter, the
+//! state hash, interrupt assertion, the virtual clock, and the
+//! boundary-delimiting recovery counter. [`GuestCtl`] names that
+//! surface, so the engine-effect applier is checked against what the
+//! protocols are *allowed* to do rather than everything a hypervised
+//! guest can do, and so tests can drive the protocol layer with mock
+//! guests.
+
+use crate::hvguest::HvGuest;
+use crate::vclock::VClock;
+
+/// What replica coordination may do to a guest.
+///
+/// Rules P1–P7 only ever: read the epoch number, hash the VM state at a
+/// boundary, assert interrupt bits (at boundaries), ship and assign the
+/// virtual clock (`[Tme]`), check interval-timer expiry "based on Tme",
+/// and re-arm the recovery counter for the next epoch.
+pub trait GuestCtl {
+    /// Current epoch number (completed epochs).
+    fn epoch(&self) -> u64;
+
+    /// Hash of the complete VM state (lockstep checking).
+    fn state_hash(&self) -> u64;
+
+    /// Asserts external-interrupt bits in the guest's `eirr`.
+    fn assert_irq(&mut self, bits: u32);
+
+    /// Snapshot of the virtual clock for a `[Tme_p]` message.
+    fn vclock_snapshot(&self) -> VClock;
+
+    /// `Tme_b := Tme_p` (rule P5).
+    fn vclock_assign(&mut self, vc: VClock);
+
+    /// If the interval timer expired at the current instruction-stream
+    /// point, disarms it and reports `true` (boundary timer delivery).
+    fn timer_expired(&mut self) -> bool;
+
+    /// Re-arms the recovery counter: the next epoch begins.
+    fn begin_epoch(&mut self);
+}
+
+impl GuestCtl for HvGuest {
+    fn epoch(&self) -> u64 {
+        HvGuest::epoch(self)
+    }
+
+    fn state_hash(&self) -> u64 {
+        HvGuest::state_hash(self)
+    }
+
+    fn assert_irq(&mut self, bits: u32) {
+        HvGuest::assert_irq(self, bits)
+    }
+
+    fn vclock_snapshot(&self) -> VClock {
+        self.vclock.snapshot()
+    }
+
+    fn vclock_assign(&mut self, vc: VClock) {
+        self.vclock.assign(vc)
+    }
+
+    fn timer_expired(&mut self) -> bool {
+        let retired = self.cpu.retired();
+        self.vclock.take_expired_timer(retired)
+    }
+
+    fn begin_epoch(&mut self) {
+        HvGuest::begin_epoch(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::hvguest::{HvConfig, HvEvent};
+    use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+    use hvft_sim::time::SimDuration;
+
+    #[test]
+    fn hvguest_implements_the_narrow_surface() {
+        let image = build_image(&KernelConfig::default(), &dhrystone_source(20, 0)).unwrap();
+        let mut g = HvGuest::new(&image, CostModel::functional(), HvConfig::default());
+        fn through_trait(g: &mut dyn GuestCtl) -> (u64, u64) {
+            let e = g.epoch();
+            let h = g.state_hash();
+            let snap = g.vclock_snapshot();
+            g.vclock_assign(snap);
+            (e, h)
+        }
+        let (e0, h0) = through_trait(&mut g);
+        assert_eq!(e0, 0);
+        // The trait calls themselves must not perturb the VM state.
+        assert_eq!(h0, g.state_hash());
+        // Run to the first boundary and advance through the trait.
+        match g.run(SimDuration::from_secs(10)) {
+            HvEvent::EpochEnd => {}
+            HvEvent::Halted | HvEvent::Diag { .. } => return,
+            other => panic!("unexpected {other:?}"),
+        }
+        let before = GuestCtl::epoch(&g);
+        GuestCtl::begin_epoch(&mut g);
+        assert_eq!(GuestCtl::epoch(&g), before + 1);
+    }
+}

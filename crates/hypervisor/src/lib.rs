@@ -17,6 +17,7 @@
 
 pub mod bare;
 pub mod cost;
+pub mod guest_iface;
 pub mod hvguest;
 pub mod vclock;
 

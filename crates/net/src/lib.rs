@@ -12,7 +12,9 @@
 pub mod channel;
 pub mod detector;
 pub mod link;
+pub mod transport;
 
 pub use channel::{Channel, ChannelStats};
 pub use detector::FailureDetector;
 pub use link::LinkSpec;
+pub use transport::{InstantLink, Transport};

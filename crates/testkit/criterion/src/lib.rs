@@ -1,0 +1,248 @@
+//! A minimal, offline, in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! implements the subset of criterion's API the workspace's benches
+//! use — [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`throughput`/`bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with plain wall-clock timing and stdout reporting instead
+//! of criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// (total duration, total iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to smooth noise.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        std::hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn report(label: &str, measured: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((total, iters)) = measured else {
+        println!("{label:<40} (no measurement)");
+        return;
+    };
+    let per_iter = total.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:.3e} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!("  {:.3e} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "{label:<40} {:>12.3?}/iter{rate}",
+        Duration::from_secs_f64(per_iter)
+    );
+}
+
+/// A named group of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        routine(&mut b);
+        let label = format!("{}/{}", self.name, id.into_label());
+        report(&label, b.measured, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        routine(&mut b, input);
+        let label = format!("{}/{}", self.name, id.into_label());
+        report(&label, b.measured, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion of the various id forms benches pass to `bench_function`.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.name
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples();
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples(),
+            measured: None,
+        };
+        routine(&mut b);
+        report(&id.into_label(), b.measured, None);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        if self.default_samples == 0 {
+            10
+        } else {
+            self.default_samples
+        }
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_without_panicking() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function(BenchmarkId::new("f", 42), |b| b.iter(|| 2 * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+}

@@ -47,8 +47,8 @@ fn main() {
     println!("epochs compared : {}", broken.lockstep.compared());
     match broken.lockstep.divergences().first() {
         Some(d) => println!(
-            "DIVERGED at epoch {}: primary hash {:#018x} != backup hash {:#018x}",
-            d.epoch, d.primary, d.backup
+            "DIVERGED at epoch {}: replica {} hash {:#018x} != replica {} hash {:#018x}",
+            d.epoch, d.replica_a, d.hash_a, d.replica_b, d.hash_b
         ),
         None => println!("(no divergence this time — rerun with another seed)"),
     }

@@ -1,0 +1,207 @@
+//! The engine-equivalence oracle for the protocol refactor.
+//!
+//! `FtSystem` (the realistic DES: modelled link timing, shared disk,
+//! timeout failure detectors) and `TChain` (the round-synchronous
+//! chain on instantaneous links) run the *same* `hvft-core::protocol`
+//! engines. If the rule logic is truly transport-independent — the
+//! paper's claim — then the same workload and failure schedule must
+//! produce identical guest-visible results through both drivers, at
+//! t = 1 and t = 2 alike. These properties sample that space.
+
+use hvft::core::chain::{ChainEnd, TChain};
+use hvft::core::{FailureSpec, FtConfig, FtSystem, RunEnd};
+use hvft::guest::{build_image, dhrystone_source, hello_source, KernelConfig};
+use hvft::hypervisor::cost::CostModel;
+use hvft::hypervisor::hvguest::HvConfig;
+use hvft::sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Rank-1 detection latency plus hand-over slack, in nanoseconds.
+const DETECT_NS: u64 = 2_000_000;
+
+fn fast(backups: usize) -> FtConfig {
+    FtConfig {
+        cost: CostModel::functional(),
+        backups,
+        detector_timeout: SimDuration::from_micros(800),
+        ..FtConfig::default()
+    }
+}
+
+fn cpu_image() -> &'static hvft_isa::program::Program {
+    static IMG: OnceLock<hvft_isa::program::Program> = OnceLock::new();
+    IMG.get_or_init(|| {
+        let kernel = KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 2,
+            ..KernelConfig::default()
+        };
+        build_image(&kernel, &dhrystone_source(1_500, 7)).unwrap()
+    })
+}
+
+struct Reference {
+    code: u32,
+    total_ns: u64,
+    console: Vec<u8>,
+}
+
+/// Failure-free t = 1 DES run of the CPU image.
+fn cpu_reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let mut sys = FtSystem::new(cpu_image(), fast(1));
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => Reference {
+                code,
+                total_ns: r.completion_time.as_nanos(),
+                console: r.console_output,
+            },
+            other => panic!("cpu reference: {other:?}"),
+        }
+    })
+}
+
+fn run_chain(
+    image: &hvft_isa::program::Program,
+    t: usize,
+    fails: &[u64],
+    epoch_len: u32,
+) -> (u32, Vec<u8>) {
+    let hv = HvConfig {
+        epoch_len,
+        ..HvConfig::default()
+    };
+    let mut chain = TChain::new(image, t, CostModel::functional(), hv);
+    let r = chain.run(fails, 10_000_000);
+    match r.end {
+        ChainEnd::Exit { code } => (code, r.console.iter().map(|&(_, b)| b).collect()),
+        other => panic!("chain (t={t}, fails={fails:?}): {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn failure_free_engines_agree_across_epoch_lengths(el_exp in 9u32..13) {
+        // The same workload through both drivers at the same epoch
+        // length: identical checksums, at t = 1 and t = 2.
+        let el = 1u32 << el_exp;
+        let reference = cpu_reference();
+        for t in [1usize, 2] {
+            let mut cfg = fast(t);
+            cfg.hv.epoch_len = el;
+            let mut sys = FtSystem::new(cpu_image(), cfg);
+            let r = sys.run();
+            match r.outcome {
+                RunEnd::Exit { code } => prop_assert_eq!(code, reference.code,
+                    "DES t={} EL={}", t, el),
+                other => return Err(TestCaseError::fail(format!("DES t={t} EL={el}: {other:?}"))),
+            }
+            prop_assert!(r.lockstep.is_clean(), "DES t={} EL={} diverged", t, el);
+            let (chain_code, _) = run_chain(cpu_image(), t, &[], el);
+            prop_assert_eq!(chain_code, reference.code, "chain t={} EL={}", t, el);
+        }
+    }
+
+    #[test]
+    fn failure_schedules_agree_between_des_and_chain(
+        frac in 1u64..8,
+        gap in 1u64..4,
+        two_failures in any::<bool>(),
+    ) {
+        // Kill the acting primary (twice, for t = 2) in the DES; the
+        // survivor must produce the reference checksum. Then replay an
+        // equivalent schedule — the observed failover epochs — through
+        // the chain and demand the same checksum again.
+        let reference = cpu_reference();
+        let t = if two_failures { 2 } else { 1 };
+        let t1 = (reference.total_ns * frac / 10).max(1);
+        let mut cfg = fast(t);
+        cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
+        let mut sys = FtSystem::new(cpu_image(), cfg);
+        if two_failures {
+            let t2 = t1 + DETECT_NS + reference.total_ns * gap / 10;
+            sys.schedule_failure(SimTime::from_nanos(t2));
+        }
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code,
+                "DES t={} frac={}", t, frac),
+            other => return Err(TestCaseError::fail(format!("DES t={t} frac={frac}: {other:?}"))),
+        }
+        prop_assert!(r.lockstep.is_clean(), "divergence: {:?}", r.lockstep.divergences());
+        // Console bytes under failover are an in-order subsequence of
+        // the reference stream (fire-and-forget output may lose bytes in
+        // the failover epoch, never reorder or invent them).
+        let mut it = reference.console.iter();
+        prop_assert!(
+            r.console_output.iter().all(|b| it.any(|m| m == b)),
+            "DES console not a subsequence: {:?}", r.console_output
+        );
+        // Replay through the chain: each DES promotion at epoch E means
+        // the dead primary completed epochs < E+1.
+        let fails: Vec<u64> = r.failovers.iter().map(|f| f.epoch + 1).collect();
+        let (chain_code, _) = run_chain(cpu_image(), t, &fails, cfg.hv.epoch_len);
+        prop_assert_eq!(chain_code, reference.code, "chain replay of {:?}", fails);
+    }
+}
+
+#[test]
+fn console_streams_are_identical_without_failures() {
+    // The strongest equivalence: byte-for-byte identical console output
+    // through the DES (t = 1 and t = 2) and the chain.
+    let msg = "the quick brown fox jumps over the lazy dog";
+    let kernel = KernelConfig {
+        tick_period_us: 500,
+        tick_work: 0,
+        ..KernelConfig::default()
+    };
+    let image = build_image(&kernel, &hello_source(msg, 2)).unwrap();
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    for t in [1usize, 2] {
+        let mut sys = FtSystem::new(&image, fast(t));
+        let r = sys.run();
+        assert!(
+            matches!(r.outcome, RunEnd::Exit { code: 42 }),
+            "{:?}",
+            r.outcome
+        );
+        streams.push(r.console_output);
+        let (code, chain_bytes) = run_chain(&image, t, &[], FtConfig::default().hv.epoch_len);
+        assert_eq!(code, 42);
+        streams.push(chain_bytes);
+    }
+    for s in &streams[1..] {
+        assert_eq!(
+            s, &streams[0],
+            "every driver/t must emit the identical byte stream"
+        );
+    }
+    assert!(!streams[0].is_empty(), "the workload must actually print");
+}
+
+#[test]
+fn chain_boundary_kills_lose_no_console_bytes() {
+    // Chain failstops happen exactly at epoch boundaries, so — unlike
+    // mid-epoch DES kills — the hand-over loses nothing: the full
+    // reference stream must appear.
+    let msg = "abcdefghijklmnopqrstuvwxyz";
+    let kernel = KernelConfig {
+        tick_period_us: 500,
+        tick_work: 0,
+        ..KernelConfig::default()
+    };
+    let image = build_image(&kernel, &hello_source(msg, 2)).unwrap();
+    let el = 256;
+    let (_, reference) = run_chain(&image, 2, &[], el);
+    let (code, with_fails) = run_chain(&image, 2, &[3, 6], el);
+    assert_eq!(code, 42);
+    assert_eq!(
+        with_fails, reference,
+        "boundary-aligned failovers must be byte-transparent"
+    );
+}
