@@ -17,31 +17,44 @@ use std::hint::black_box;
 
 fn bench_interpreter(c: &mut Criterion) {
     let image = build_image(&KernelConfig::default(), &dhrystone_source(5_000, 0)).unwrap();
-    let mut g = c.benchmark_group("interpreter");
-    // Count the guest instructions one bare run retires.
-    let mut probe = BareHost::new(
+    // One host, reset per iteration: the benchmark measures execution,
+    // not RAM/device allocation. The warm-up run doubles as the
+    // retired-instruction count for throughput reporting.
+    let mut host = BareHost::new(
         &image,
         CostModel::hp9000_720(),
         hvft_guest::layout::RAM_BYTES,
         16,
         0,
     );
-    let retired = probe.run(100_000_000).retired;
+    let retired = host.run(100_000_000).retired;
+    let mut g = c.benchmark_group("interpreter");
     g.throughput(Throughput::Elements(retired));
     g.sample_size(20);
+    // "after": the predecoded-block engine (the default).
     g.bench_function("bare_dhrystone_5k_iters", |b| {
         b.iter(|| {
-            let mut host = BareHost::new(
-                &image,
-                CostModel::hp9000_720(),
-                hvft_guest::layout::RAM_BYTES,
-                16,
-                0,
-            );
+            host.reset(&image);
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    // "before": the per-instruction engine, for the speedup record
+    // (reset() re-enables block execution, so the flag is re-cleared
+    // every iteration).
+    g.bench_function("bare_dhrystone_5k_iters_step", |b| {
+        b.iter(|| {
+            host.reset(&image);
+            host.cpu.set_block_execution(false);
             black_box(host.run(100_000_000).retired)
         })
     });
     g.finish();
+    // Machine-readable record (ns/insn, insns/sec, before/after) for
+    // the CI artifact; written at the workspace root.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interpreter.json");
+    c.save_json(out)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
 }
 
 fn bench_assembler(c: &mut Criterion) {

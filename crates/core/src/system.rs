@@ -185,8 +185,6 @@ pub struct FtRunResult {
     /// Completion time on the acting primary's clock — the `N′` of the
     /// paper's normalized performance.
     pub completion_time: SimDuration,
-    /// First failover, if the original primary failstopped.
-    pub failover: Option<FailoverInfo>,
     /// Every failover of the run, in promotion order (cascading
     /// failures produce one entry per promotion).
     pub failovers: Vec<FailoverInfo>,
@@ -200,8 +198,6 @@ pub struct FtRunResult {
     pub disk_log: Vec<DiskLogEntry>,
     /// Acting primary's hypervisor statistics.
     pub primary_stats: HvStats,
-    /// First backup's hypervisor statistics.
-    pub backup_stats: HvStats,
     /// Hypervisor statistics of every replica, in chain order.
     pub replica_stats: Vec<HvStats>,
     /// Guest-visible latency of each completed disk operation at the
@@ -209,8 +205,6 @@ pub struct FtRunResult {
     pub op_latencies: Vec<SimDuration>,
     /// Driver retries recorded by the guest kernel (uncertain outcomes).
     pub guest_retries: u32,
-    /// Messages the original primary sent / the first backup sent.
-    pub messages_sent: (u64, u64),
     /// Messages sent by each replica, in chain order.
     pub messages_per_replica: Vec<u64>,
 }
@@ -231,6 +225,9 @@ pub struct FtSystem {
     disk_done: Vec<Option<SimTime>>,
     /// Failure schedule: each entry failstops the then-acting primary.
     fail_schedule: Vec<SimTime>,
+    /// Failure schedule for specific replicas (backup failstops),
+    /// sorted by time.
+    replica_fail_schedule: Vec<(SimTime, usize)>,
     failovers: Vec<FailoverInfo>,
     lockstep: LockstepChecker,
     /// Index of the host currently acting as primary.
@@ -292,6 +289,7 @@ impl FtSystem {
             cfg,
             disk_done: vec![None; n],
             fail_schedule,
+            replica_fail_schedule: Vec::new(),
             failovers: Vec::new(),
             lockstep: LockstepChecker::new(),
             acting_primary: 0,
@@ -310,6 +308,23 @@ impl FtSystem {
     pub fn schedule_failure(&mut self, at: SimTime) {
         self.fail_schedule.push(at);
         self.fail_schedule.sort();
+    }
+
+    /// Schedules a failstop of a *specific* replica at `at` — the way
+    /// backup processors die. If the replica is the acting primary when
+    /// the failure fires, this is equivalent to a primary failstop;
+    /// otherwise the chain loses a backup: the acting primary stops
+    /// counting it toward the acknowledgment condition
+    /// ([`crate::protocol::ReplicaEngine::remove_peer`]) and the run
+    /// continues with the survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn schedule_replica_failure(&mut self, at: SimTime, replica: usize) {
+        assert!(replica < self.hosts.len(), "no replica {replica}");
+        self.replica_fail_schedule.push((at, replica));
+        self.replica_fail_schedule.sort_by_key(|&(t, r)| (t, r));
     }
 
     /// Access to the protocol-event tracer (disabled by default; enable
@@ -728,6 +743,42 @@ impl FtSystem {
         }
     }
 
+    /// Failstops a specific replica. A backup's death removes it from
+    /// the acting primary's peer set (which may resume a primary
+    /// stalled on that backup's acknowledgments); a death of the acting
+    /// primary itself degenerates to [`FtSystem::inject_failure`].
+    fn inject_replica_failure(&mut self, at: SimTime, victim: usize) {
+        if victim == self.acting_primary {
+            self.inject_failure(at);
+            return;
+        }
+        if !self.hosts[victim].alive() {
+            return;
+        }
+        self.hosts[victim].now = self.hosts[victim].now.max(at);
+        self.hosts[victim].life = Life::Dead;
+        self.detectors[victim] = None;
+        self.tracer.emit(
+            at,
+            TraceCategory::Failure,
+            Some(victim as u8),
+            "backup processor failstopped".to_owned(),
+        );
+        for (&(from, to), ch) in self.chans.iter_mut() {
+            if from == victim || to == victim {
+                ch.sever();
+            }
+        }
+        // The acting primary detects the backup's silence (modelled at
+        // the failure instant, like the instruction-limit path) and
+        // stops counting it toward the acknowledgment condition.
+        let ap = self.acting_primary;
+        if self.hosts[ap].alive() {
+            let effects = self.hosts[ap].engine.remove_peer(victim);
+            self.process_effects(ap, effects);
+        }
+    }
+
     // -----------------------------------------------------------------
     // The conservative co-simulation loop
     // -----------------------------------------------------------------
@@ -802,6 +853,7 @@ impl FtSystem {
             consider(*d);
         }
         consider(self.fail_schedule.first().copied());
+        consider(self.replica_fail_schedule.first().map(|&(t, _)| t));
         for b in 0..self.hosts.len() {
             if b == self.acting_primary || !self.hosts[b].waiting_as_backup() {
                 continue;
@@ -820,11 +872,16 @@ impl FtSystem {
             return false;
         };
         // Identify which source fires at `t`; priority order is fixed
-        // for determinism: failure, disk completions, channels in
-        // (from, to) order, detector.
+        // for determinism: primary failure, replica failure, disk
+        // completions, channels in (from, to) order, detector.
         if self.fail_schedule.first() == Some(&t) {
             self.fail_schedule.remove(0);
             self.inject_failure(t);
+            return true;
+        }
+        if self.replica_fail_schedule.first().map(|&(ft, _)| ft) == Some(t) {
+            let (_, victim) = self.replica_fail_schedule.remove(0);
+            self.inject_replica_failure(t, victim);
             return true;
         }
         for i in 0..self.hosts.len() {
@@ -970,14 +1027,12 @@ impl FtSystem {
         FtRunResult {
             outcome,
             completion_time: self.hosts[ap].now - SimTime::ZERO,
-            failover: self.failovers.first().copied(),
             failovers: self.failovers.clone(),
             lockstep: self.lockstep.clone(),
             console_output: self.console.output(),
             console_hosts: self.console.hosts_seen(),
             disk_log: self.disk.log().to_vec(),
             primary_stats: *self.hosts[ap].guest.stats(),
-            backup_stats: *self.hosts[1].guest.stats(),
             replica_stats: self.hosts.iter().map(|h| *h.guest.stats()).collect(),
             op_latencies: {
                 let mut v = self.hosts[0].op_latencies.clone();
@@ -989,7 +1044,6 @@ impl FtSystem {
                 v
             },
             guest_retries: self.hosts[ap].guest.mem.read_u32(retries_addr).unwrap_or(0),
-            messages_sent: (messages_per_replica[0], messages_per_replica[1]),
             messages_per_replica,
         }
     }

@@ -49,7 +49,7 @@ fn cpu_workload_lockstep_is_clean() {
         "compared only {} epochs",
         r.lockstep.compared()
     );
-    assert!(r.failover.is_none());
+    assert!(r.failovers.is_empty());
 }
 
 #[test]
@@ -217,7 +217,7 @@ fn failover_mid_cpu_run_is_transparent() {
     ));
     let mut sys = FtSystem::new(&image, cfg);
     let r = sys.run();
-    let failover = r.failover.expect("failover must have happened");
+    let failover = *r.failovers.first().expect("failover must have happened");
     assert!(failover.at > SimTime::ZERO);
     match r.outcome {
         RunEnd::Exit { code } => {
@@ -243,7 +243,7 @@ fn failover_during_disk_write_retries_uncertainly() {
     cfg.failure = FailureSpec::At(SimTime::from_nanos(total.as_nanos() / 2));
     let mut sys = FtSystem::new(&image, cfg);
     let r = sys.run();
-    assert!(r.failover.is_some(), "no failover: {:?}", r.outcome);
+    assert!(!r.failovers.is_empty(), "no failover: {:?}", r.outcome);
     assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
     // The environment saw a single-processor-consistent sequence even if
     // commands were repeated after the uncertain interrupt.
@@ -285,7 +285,7 @@ fn failover_sweep_never_breaks_consistency() {
             RunEnd::Exit { code } => {
                 assert_eq!(code, ref_code, "fail at {t} ns: checksum mismatch")
             }
-            other => panic!("fail at {t} ns: {other:?} (failover: {:?})", r.failover),
+            other => panic!("fail at {t} ns: {other:?} (failovers: {:?})", r.failovers),
         }
         check_single_processor_consistency(&r.disk_log)
             .unwrap_or_else(|e| panic!("fail at {t} ns: {e}"));
@@ -397,7 +397,7 @@ fn interrupt_forwarding_counts_messages() {
     let image = cpu_image(200);
     let mut sys = FtSystem::new(&image, fast_cfg());
     let r = sys.run();
-    let (from_primary, from_backup) = r.messages_sent;
+    let (from_primary, from_backup) = (r.messages_per_replica[0], r.messages_per_replica[1]);
     // Per epoch: [Tme] + [end] from the primary, at least one ack back.
     assert!(from_primary as i64 >= 2 * r.lockstep.compared() as i64 - 2);
     assert!(from_backup > 0);
@@ -412,7 +412,7 @@ fn failure_before_any_epoch_promotes_backup_from_start() {
     cfg.detector_timeout = SimDuration::from_millis(5);
     let mut sys = FtSystem::new(&image, cfg);
     let r = sys.run();
-    assert!(r.failover.is_some());
+    assert!(!r.failovers.is_empty());
     assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
 }
 
@@ -427,7 +427,7 @@ fn tracer_records_failover_timeline() {
     let mut sys = FtSystem::new(&image, cfg);
     sys.tracer_mut().set_enabled(true);
     let r = sys.run();
-    assert!(r.failover.is_some());
+    assert!(!r.failovers.is_empty());
     let lines = sys.tracer_mut().render();
     assert!(
         lines.iter().any(|l| l.contains("failstopped")),

@@ -277,6 +277,128 @@ fn dead_primary_never_acts_on_late_acknowledgments() {
 }
 
 #[test]
+fn t2_backup_failstop_leaves_the_run_unharmed() {
+    // Kill the *first backup* mid-run: the acting primary must remove
+    // it from the acknowledgment set, carry on with the second backup,
+    // and finish with the reference checksum — no failover at all.
+    let image = cpu_image(1500);
+    for protocol in [ProtocolVariant::Old, ProtocolVariant::New] {
+        // Per-protocol reference: the §4.3 variant completes in a
+        // different simulated time (and its backups legitimately trail
+        // the primary, since boundaries do not wait for acks).
+        let mut ref_cfg = fast_cfg(2);
+        ref_cfg.protocol = protocol;
+        let mut ref_sys = FtSystem::new(&image, ref_cfg);
+        let ref_r = ref_sys.run();
+        let (ref_code, total_ns) = match ref_r.outcome {
+            RunEnd::Exit { code } => (code, ref_r.completion_time.as_nanos()),
+            other => panic!("{protocol:?} reference: {other:?}"),
+        };
+        let mut cfg = fast_cfg(2);
+        cfg.protocol = protocol;
+        let mut sys = FtSystem::new(&image, cfg);
+        sys.schedule_replica_failure(SimTime::from_nanos(total_ns / 3), 1);
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => assert_eq!(code, ref_code, "{protocol:?}"),
+            other => panic!("{protocol:?}: {other:?}"),
+        }
+        assert!(
+            r.failovers.is_empty(),
+            "{protocol:?}: a backup death must not promote anyone: {:?}",
+            r.failovers
+        );
+        assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+        // The dead backup fell silent at the kill; the survivor kept
+        // acknowledging to the end of the run.
+        assert!(
+            r.messages_per_replica[1] < r.messages_per_replica[2],
+            "{protocol:?}: dead backup sent {} >= survivor's {}",
+            r.messages_per_replica[1],
+            r.messages_per_replica[2]
+        );
+    }
+}
+
+#[test]
+fn t2_backup_failstop_sweep_is_checksum_transparent() {
+    // A backup may die at any point — including inside an epoch-boundary
+    // acknowledgment wait, where the primary is stalled on the dead
+    // backup's ack and only remove_peer can resume it.
+    let image = cpu_image(800);
+    let (ref_code, total_ns) = reference(&image, 2);
+    for k in 1..10 {
+        let t = (total_ns * k / 10).max(1);
+        let mut sys = FtSystem::new(&image, fast_cfg(2));
+        sys.schedule_replica_failure(SimTime::from_nanos(t), 1);
+        let r = sys.run();
+        match r.outcome {
+            RunEnd::Exit { code } => assert_eq!(code, ref_code, "backup kill at {t} ns"),
+            other => panic!("backup kill at {t} ns: {other:?}"),
+        }
+        assert!(r.failovers.is_empty(), "backup kill at {t} ns");
+    }
+}
+
+#[test]
+fn t1_backup_failstop_degenerates_to_an_unreplicated_run() {
+    // With the only backup dead, the primary runs on alone (the paper's
+    // system would re-integrate a new backup here; we assert the
+    // degenerate mode completes and stops hashing comparisons).
+    let image = cpu_image(800);
+    let (ref_code, total_ns) = reference(&image, 1);
+    let mut sys = FtSystem::new(&image, fast_cfg(1));
+    sys.schedule_replica_failure(SimTime::from_nanos(total_ns / 2), 1);
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, ref_code),
+        other => panic!("{other:?}"),
+    }
+    assert!(r.failovers.is_empty());
+}
+
+#[test]
+fn t2_backup_then_primary_failure_still_fails_over() {
+    // Backup 1 dies, then the primary dies: backup 2 must detect,
+    // promote, and finish — the chain order skips the dead replica.
+    let image = cpu_image(3000);
+    let (ref_code, total_ns) = reference(&image, 2);
+    let t1 = total_ns / 4;
+    let t2 = t1 + DETECT_NS + total_ns / 4;
+    let mut sys = FtSystem::new(&image, fast_cfg(2));
+    sys.schedule_replica_failure(SimTime::from_nanos(t1), 1);
+    sys.schedule_failure(SimTime::from_nanos(t2));
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, ref_code),
+        other => panic!("{other:?} (failovers: {:?})", r.failovers),
+    }
+    assert_eq!(
+        r.failovers.len(),
+        1,
+        "exactly one promotion (backup 2): {:?}",
+        r.failovers
+    );
+    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+}
+
+#[test]
+fn killing_the_acting_primary_by_replica_id_is_a_primary_failure() {
+    // schedule_replica_failure(0) at a time when 0 is still primary
+    // must behave exactly like FailureSpec::At.
+    let image = cpu_image(1500);
+    let (ref_code, total_ns) = reference(&image, 1);
+    let mut sys = FtSystem::new(&image, fast_cfg(1));
+    sys.schedule_replica_failure(SimTime::from_nanos(total_ns / 2), 0);
+    let r = sys.run();
+    match r.outcome {
+        RunEnd::Exit { code } => assert_eq!(code, ref_code),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(r.failovers.len(), 1, "{:?}", r.failovers);
+}
+
+#[test]
 fn deep_chains_boot_and_finish() {
     // t = 5: six replicas over one coordination LAN still reach the
     // reference result (scalability smoke test for the mesh + detector

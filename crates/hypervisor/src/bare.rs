@@ -65,6 +65,8 @@ pub struct BareHost {
     disk_status_reg: u32,
     diags: Vec<(u32, u32)>,
     exit_code: Option<u32>,
+    disk_blocks: u32,
+    seed: u64,
 }
 
 impl BareHost {
@@ -94,12 +96,56 @@ impl BareHost {
             disk_status_reg: mmio::disk_status::IDLE,
             diags: Vec::new(),
             exit_code: None,
+            disk_blocks,
+            seed,
         }
+    }
+
+    /// Re-boots `image` on this host in place, reusing the RAM
+    /// allocation. After `reset` the host is observably identical to a
+    /// freshly constructed one — benches use this so repeated runs
+    /// measure execution, not allocation.
+    pub fn reset(&mut self, image: &Program) {
+        self.cpu = Cpu::new(64, TlbReplacement::Random, self.seed);
+        self.mem.reset();
+        image.load_into_cpu(&mut self.cpu, &mut self.mem);
+        self.disk = Disk::new(self.disk_blocks, self.seed);
+        self.console = Console::new();
+        self.now = SimTime::ZERO;
+        self.timer_fires_at = None;
+        self.disk_done_at = None;
+        self.reg_block = 0;
+        self.reg_addr = 0;
+        self.disk_status_reg = mmio::disk_status::IDLE;
+        self.diags.clear();
+        self.exit_code = None;
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Instructions the per-step path would retire before the earliest
+    /// pending timer/disk event fires: events fire when `now` reaches
+    /// their deadline, and `now` advances by `cost.insn` per retired
+    /// instruction. `u64::MAX` when nothing is pending.
+    fn insns_until_next_event(&self) -> u64 {
+        let next = [self.timer_fires_at, self.disk_done_at]
+            .into_iter()
+            .flatten()
+            .min();
+        let Some(t) = next else {
+            return u64::MAX;
+        };
+        if t <= self.now {
+            return 0;
+        }
+        let insn = self.cost.insn.as_nanos();
+        if insn == 0 {
+            return u64::MAX;
+        }
+        (t - self.now).as_nanos().div_ceil(insn)
     }
 
     fn poll_events(&mut self) {
@@ -182,6 +228,11 @@ impl BareHost {
     }
 
     /// Runs the guest to completion (or the instruction limit).
+    ///
+    /// Execution goes through the predecoded-block engine
+    /// ([`Cpu::run`]), entered with a budget clamped to the next
+    /// timer/disk deadline so devices interrupt at exactly the same
+    /// instruction as single-stepping would.
     pub fn run(&mut self, max_insns: u64) -> BareRunResult {
         let start = self.now;
         let result_exit = loop {
@@ -190,7 +241,10 @@ impl BareHost {
             }
             self.poll_events();
             let retired_before = self.cpu.retired();
-            let exit = self.cpu.step(&mut self.mem);
+            let budget = (max_insns - retired_before)
+                .min(self.insns_until_next_event())
+                .max(1);
+            let exit = self.cpu.run(&mut self.mem, budget);
             match exit {
                 Exit::Retired => {}
                 Exit::Trap(t) => {

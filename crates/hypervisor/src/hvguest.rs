@@ -113,6 +113,10 @@ pub struct HvConfig {
     pub tlb_seed: u64,
     /// Guest RAM size in bytes.
     pub ram_bytes: usize,
+    /// Whether the CPU uses the predecoded-block fast path. Disabling
+    /// it single-steps — observably identical, and the knob lets
+    /// differential tests prove that.
+    pub block_exec: bool,
 }
 
 impl Default for HvConfig {
@@ -124,6 +128,7 @@ impl Default for HvConfig {
             tlb_policy: TlbReplacement::Random,
             tlb_seed: 0,
             ram_bytes: hvft_guest::layout::RAM_BYTES,
+            block_exec: true,
         }
     }
 }
@@ -150,6 +155,7 @@ impl HvGuest {
     /// epoch.
     pub fn new(image: &Program, cost: CostModel, config: HvConfig) -> Self {
         let mut cpu = Cpu::new(config.tlb_slots, config.tlb_policy, config.tlb_seed);
+        cpu.set_block_execution(config.block_exec);
         let mut mem = Memory::new(config.ram_bytes);
         image.load_into_cpu(&mut cpu, &mut mem);
         cpu.psw.cpl = GUEST_KERNEL_LEVEL;
@@ -267,14 +273,27 @@ impl HvGuest {
 
     /// Runs the guest until a hypervisor-level event occurs or `budget`
     /// simulated time has been consumed (measured from this call).
+    ///
+    /// Execution goes through the predecoded-block engine
+    /// ([`Cpu::run`]) with the instruction budget set to exactly the
+    /// count the per-step path would retire before exhausting the time
+    /// budget, so pause points (and therefore the conservative
+    /// co-simulation's horizons) are unchanged.
     pub fn run(&mut self, budget: SimDuration) -> HvEvent {
         let deadline = self.elapsed + budget;
         loop {
             if self.elapsed >= deadline {
                 return HvEvent::BudgetExhausted;
             }
+            let remaining = deadline.saturating_sub(self.elapsed);
+            let insn_ns = self.cost.insn.as_nanos();
+            let max_insns = if insn_ns == 0 {
+                u64::MAX
+            } else {
+                remaining.as_nanos().div_ceil(insn_ns)
+            };
             let retired_before = self.cpu.retired();
-            let exit = self.cpu.step(&mut self.mem);
+            let exit = self.cpu.run(&mut self.mem, max_insns);
             // Charge instruction time by retirement delta; this covers
             // plain retirement, gate/brk (which retire inside a Trap
             // exit) and instructions retired by privileged simulation.

@@ -53,7 +53,10 @@ impl Reg {
 
     /// The register's index, 0..=31.
     pub const fn index(self) -> u8 {
-        self.0
+        // The mask is a no-op (construction guarantees `< 32`) but
+        // proves the range to the optimizer, eliding bounds checks on
+        // the interpreter's register-file accesses.
+        self.0 & 31
     }
 
     /// Parses a register name: `r0`..`r31` or an ABI alias

@@ -13,7 +13,8 @@
 //! The split keeps the CPU policy-free: it knows nothing about devices,
 //! wall-clock time, or replication.
 
-use crate::mem::{MemFault, Memory};
+use crate::block::{BlockCache, BlockCacheStats};
+use crate::mem::{MemFault, Memory, PAGE_SHIFT};
 use crate::psw::Psw;
 use crate::tlb::{Tlb, TlbAccess, TlbReplacement, TlbResult};
 use crate::trap::Trap;
@@ -23,6 +24,53 @@ use hvft_isa::reg::{ControlReg, Reg};
 
 /// Number of control registers.
 const NUM_CTL: usize = 10;
+
+/// Three-register ALU semantics; `None` flags division by zero (an
+/// arithmetic trap). Shared by the per-step and block paths so the two
+/// cannot drift.
+#[inline]
+fn alu_value(op: AluOp, a: u32, b: u32) -> Option<u32> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Divu => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+    })
+}
+
+/// Register-immediate ALU semantics; shared by both execution paths.
+#[inline]
+fn alu_imm_value(op: AluImmOp, a: u32, imm: i32) -> u32 {
+    match op {
+        AluImmOp::Addi => a.wrapping_add(imm as u32),
+        AluImmOp::Andi => a & (imm as u32),
+        AluImmOp::Ori => a | (imm as u32),
+        AluImmOp::Xori => a ^ (imm as u32),
+        AluImmOp::Slti => u32::from((a as i32) < imm),
+        AluImmOp::Slli => a.wrapping_shl(imm as u32),
+        AluImmOp::Srli => a.wrapping_shr(imm as u32),
+        AluImmOp::Srai => ((a as i32).wrapping_shr(imm as u32)) as u32,
+    }
+}
 
 /// An environment operation the embedder must complete.
 ///
@@ -129,6 +177,11 @@ pub struct Cpu {
     /// The translation lookaside buffer.
     pub tlb: Tlb,
     retired: u64,
+    /// Predecoded-block cache backing [`Cpu::run`].
+    blocks: BlockCache,
+    /// Whether [`Cpu::run`] uses the block engine (`true`) or falls
+    /// back to stepping (`false`, for differential testing).
+    block_exec: bool,
 }
 
 /// Extension trait so programs can be loaded straight into a CPU+memory
@@ -157,15 +210,37 @@ impl Cpu {
             ctl: [0; NUM_CTL],
             tlb: Tlb::new(tlb_slots, policy, tlb_seed),
             retired: 0,
+            blocks: BlockCache::new(),
+            block_exec: true,
         }
     }
 
+    /// Enables or disables the predecoded-block fast path of
+    /// [`Cpu::run`]. Disabled, `run` single-steps — the two modes are
+    /// observably identical; the switch exists so differential tests
+    /// can prove it.
+    pub fn set_block_execution(&mut self, enabled: bool) {
+        self.block_exec = enabled;
+    }
+
+    /// Whether the block fast path is enabled.
+    pub fn block_execution(&self) -> bool {
+        self.block_exec
+    }
+
+    /// Block-cache behaviour counters.
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.blocks.stats()
+    }
+
     /// Reads a general-purpose register (`r0` reads as zero).
+    #[inline]
     pub fn reg(&self, r: Reg) -> u32 {
         self.regs[r.index() as usize]
     }
 
     /// Writes a general-purpose register (writes to `r0` are discarded).
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         if r.index() != 0 {
             self.regs[r.index() as usize] = value;
@@ -269,6 +344,7 @@ impl Cpu {
         self.retire_at(next_pc);
     }
 
+    #[inline]
     fn retire_at(&mut self, next_pc: u32) {
         self.pc = next_pc;
         self.retired += 1;
@@ -279,6 +355,7 @@ impl Cpu {
         }
     }
 
+    #[inline]
     fn retire_next(&mut self) {
         self.retire_at(self.pc.wrapping_add(4));
     }
@@ -289,6 +366,7 @@ impl Cpu {
 
     /// Translates a virtual address for the given access, honouring the
     /// PSW translation bit and privilege level.
+    #[inline]
     pub fn translate(&mut self, vaddr: u32, access: TlbAccess) -> Result<u32, Trap> {
         if !self.psw.translation {
             return Ok(vaddr);
@@ -357,53 +435,269 @@ impl Cpu {
         self.execute(insn, word, mem)
     }
 
+    /// Executes up to `max_insns` instructions (counted by retirement)
+    /// through the predecoded-block engine, returning at the first exit
+    /// the embedder must handle, or [`Exit::Retired`] once the budget
+    /// is consumed.
+    ///
+    /// This is observably identical — same exits at the same retirement
+    /// counts with the same machine state — to calling [`Cpu::step`] in
+    /// a loop `max_insns` times and stopping at the first non-retired
+    /// exit. See [`crate::block`] for why the batching cannot move an
+    /// epoch boundary or an interrupt-delivery point.
+    pub fn run(&mut self, mem: &mut Memory, max_insns: u64) -> Exit {
+        let goal = self.retired.saturating_add(max_insns);
+        if !self.block_exec {
+            while self.retired < goal {
+                let e = self.step(mem);
+                if e != Exit::Retired {
+                    return e;
+                }
+            }
+            return Exit::Retired;
+        }
+        // Move the cache out of `self` so blocks can be borrowed from
+        // it while `execute` borrows `self` — no refcounting or copying
+        // on the hot path.
+        let mut cache = std::mem::take(&mut self.blocks);
+        let exit = self.run_blocks(&mut cache, mem, goal);
+        self.blocks = cache;
+        exit
+    }
+
+    fn run_blocks(&mut self, cache: &mut BlockCache, mem: &mut Memory, goal: u64) -> Exit {
+        'outer: while self.retired < goal {
+            // Pre-execution checks, identical to [`Cpu::step`]. Nothing
+            // inside a block can change their inputs (every PSW/ctl/TLB
+            // writer is privileged, hence a block terminator), so
+            // checking once per block equals checking once per step.
+            if self.psw.recovery && self.ctl(ControlReg::Rctr) == 0 {
+                return Exit::Trap(Trap::RecoveryCounter);
+            }
+            if self.psw.interrupts && self.pending_irq() != 0 {
+                return Exit::Trap(Trap::ExternalInterrupt);
+            }
+            if !self.pc.is_multiple_of(4) {
+                return Exit::Trap(Trap::AlignmentFault { vaddr: self.pc });
+            }
+            // One translation covers the whole block: blocks never
+            // cross a page boundary.
+            let fetch_pa = match self.translate(self.pc, TlbAccess::Execute) {
+                Ok(p) => p,
+                Err(t) => return Exit::Trap(t),
+            };
+            let Some(block) = cache.get_or_build(fetch_pa, mem) else {
+                // Unreadable or undecodable first word: the slow path
+                // raises the exact trap.
+                return self.step(mem);
+            };
+            // Clamp so the recovery counter can only expire *between*
+            // instructions, exactly where the per-step path traps.
+            let len = block.insns.len();
+            let mut n = (goal - self.retired).min(len as u64);
+            if self.psw.recovery {
+                n = n.min(u64::from(self.ctl(ControlReg::Rctr)));
+            }
+            let n = n as usize;
+            // Only a block's final instruction can be a terminator, so
+            // the straight-line prefix is terminator-free — and since
+            // every privileged instruction is a terminator, it is also
+            // privilege-check-free. Retirement bookkeeping (pc,
+            // retired, rctr) for the prefix is batched: instructions in
+            // the prefix never observe those registers, and every path
+            // that leaves the prefix syncs them first, so the batching
+            // is invisible.
+            let has_term = n == len && block.insns[n - 1].is_block_terminator();
+            let straight = if has_term { n - 1 } else { n };
+            let base_pc = self.pc;
+            let block_gen = block.gen;
+            let block_page_addr = fetch_pa & !((1u32 << PAGE_SHIFT) - 1);
+            for (done, &insn) in block.insns[..straight].iter().enumerate() {
+                use Instruction as I;
+                match insn {
+                    I::Alu { op, rd, rs1, rs2 } => {
+                        let a = self.reg(rs1);
+                        let b = self.reg(rs2);
+                        match alu_value(op, a, b) {
+                            Some(v) => self.set_reg(rd, v),
+                            None => {
+                                self.sync_batch(base_pc, done);
+                                return Exit::Trap(Trap::ArithmeticError);
+                            }
+                        }
+                    }
+                    I::AluImm { op, rd, rs1, imm } => {
+                        let v = alu_imm_value(op, self.reg(rs1), imm);
+                        self.set_reg(rd, v);
+                    }
+                    I::Lui { rd, imm } => self.set_reg(rd, imm << 13),
+                    I::Nop => {}
+                    I::Load {
+                        width,
+                        rd,
+                        base,
+                        disp,
+                    } => match self.access_load(width, rd, base, disp, mem) {
+                        Ok(v) => self.set_reg(rd, v),
+                        Err(exit) => {
+                            self.sync_batch(base_pc, done);
+                            return exit;
+                        }
+                    },
+                    I::Store {
+                        width,
+                        rs,
+                        base,
+                        disp,
+                    } => match self.access_store(width, rs, base, disp, mem) {
+                        Ok(()) => {
+                            // The store may have patched this block's
+                            // own page ahead of the program counter;
+                            // abandon the predecoded tail and re-fetch.
+                            if mem.page_gen(block_page_addr) != block_gen {
+                                self.sync_batch(base_pc, done + 1);
+                                continue 'outer;
+                            }
+                        }
+                        Err(exit) => {
+                            self.sync_batch(base_pc, done);
+                            return exit;
+                        }
+                    },
+                    // Probe (the only other non-terminator) and any
+                    // future stragglers: sync and take the generic
+                    // per-instruction path, then re-enter the block
+                    // machinery from the next pc.
+                    other => {
+                        self.sync_batch(base_pc, done);
+                        let e = self.execute(other, block.words[done], mem);
+                        if e != Exit::Retired {
+                            return e;
+                        }
+                        continue 'outer;
+                    }
+                }
+            }
+            self.sync_batch(base_pc, straight);
+            if has_term {
+                let insn = block.insns[n - 1];
+                if insn.is_privileged() && self.psw.cpl != 0 {
+                    return Exit::Trap(Trap::PrivilegedOp {
+                        word: block.words[n - 1],
+                    });
+                }
+                let e = self.execute(insn, block.words[n - 1], mem);
+                if e != Exit::Retired {
+                    return e;
+                }
+            }
+        }
+        Exit::Retired
+    }
+
+    /// Load semantics shared by [`Cpu::step`] and the block engine so
+    /// the two cannot drift: alignment check, translation, access and
+    /// width extension. `Ok` is the value for `rd`; `Err` is the exit
+    /// (trap or MMIO) the caller must surface. Retirement is the
+    /// caller's job.
+    #[inline]
+    fn access_load(
+        &mut self,
+        width: MemWidth,
+        rd: Reg,
+        base: Reg,
+        disp: i32,
+        mem: &Memory,
+    ) -> Result<u32, Exit> {
+        let vaddr = self.reg(base).wrapping_add(disp as u32);
+        if width == MemWidth::Word && !vaddr.is_multiple_of(4) {
+            return Err(Exit::Trap(Trap::AlignmentFault { vaddr }));
+        }
+        let paddr = self.translate(vaddr, TlbAccess::Read).map_err(Exit::Trap)?;
+        let result = match width {
+            MemWidth::Word => mem.read_u32(paddr),
+            MemWidth::Byte | MemWidth::ByteU => mem.read_u8(paddr).map(u32::from),
+        };
+        match result {
+            Ok(raw) => Ok(match width {
+                MemWidth::Word | MemWidth::ByteU => raw,
+                MemWidth::Byte => (raw as u8) as i8 as i32 as u32,
+            }),
+            Err(MemFault::Io { paddr }) => Err(Exit::MmioRead { paddr, width, rd }),
+            Err(MemFault::Unmapped { paddr }) => Err(Exit::Trap(Trap::AccessFault {
+                vaddr: paddr,
+                write: false,
+            })),
+        }
+    }
+
+    /// Store counterpart of [`Cpu::access_load`], equally shared by
+    /// both engines. `Ok(())` means the store hit RAM; `Err` is the
+    /// exit to surface. Retirement is the caller's job.
+    #[inline]
+    fn access_store(
+        &mut self,
+        width: MemWidth,
+        rs: Reg,
+        base: Reg,
+        disp: i32,
+        mem: &mut Memory,
+    ) -> Result<(), Exit> {
+        let vaddr = self.reg(base).wrapping_add(disp as u32);
+        if width == MemWidth::Word && !vaddr.is_multiple_of(4) {
+            return Err(Exit::Trap(Trap::AlignmentFault { vaddr }));
+        }
+        let paddr = self
+            .translate(vaddr, TlbAccess::Write)
+            .map_err(Exit::Trap)?;
+        let value = self.reg(rs);
+        let result = match width {
+            MemWidth::Word => mem.write_u32(paddr, value),
+            MemWidth::Byte | MemWidth::ByteU => mem.write_u8(paddr, value as u8),
+        };
+        match result {
+            Ok(()) => Ok(()),
+            Err(MemFault::Io { paddr }) => Err(Exit::MmioWrite {
+                paddr,
+                width,
+                value,
+            }),
+            Err(MemFault::Unmapped { paddr }) => Err(Exit::Trap(Trap::AccessFault {
+                vaddr: paddr,
+                write: true,
+            })),
+        }
+    }
+
+    /// Folds a batch of `done` straight-line retirements into the
+    /// architectural state: pc, retired count, and the recovery
+    /// counter. `done` never exceeds the block-entry clamp, so the
+    /// recovery counter cannot underflow.
+    #[inline]
+    fn sync_batch(&mut self, base_pc: u32, done: usize) {
+        self.pc = base_pc.wrapping_add(done as u32 * 4);
+        self.retired += done as u64;
+        if self.psw.recovery && done > 0 {
+            let rctr = self.ctl(ControlReg::Rctr);
+            self.set_ctl(ControlReg::Rctr, rctr - done as u32);
+        }
+    }
+
     fn execute(&mut self, insn: Instruction, _word: u32, mem: &mut Memory) -> Exit {
         use Instruction as I;
         match insn {
             I::Alu { op, rd, rs1, rs2 } => {
                 let a = self.reg(rs1);
                 let b = self.reg(rs2);
-                let v = match op {
-                    AluOp::Add => a.wrapping_add(b),
-                    AluOp::Sub => a.wrapping_sub(b),
-                    AluOp::And => a & b,
-                    AluOp::Or => a | b,
-                    AluOp::Xor => a ^ b,
-                    AluOp::Sll => a.wrapping_shl(b & 31),
-                    AluOp::Srl => a.wrapping_shr(b & 31),
-                    AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
-                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
-                    AluOp::Sltu => u32::from(a < b),
-                    AluOp::Mul => a.wrapping_mul(b),
-                    AluOp::Divu => {
-                        if b == 0 {
-                            return Exit::Trap(Trap::ArithmeticError);
-                        }
-                        a / b
-                    }
-                    AluOp::Remu => {
-                        if b == 0 {
-                            return Exit::Trap(Trap::ArithmeticError);
-                        }
-                        a % b
-                    }
+                let Some(v) = alu_value(op, a, b) else {
+                    return Exit::Trap(Trap::ArithmeticError);
                 };
                 self.set_reg(rd, v);
                 self.retire_next();
                 Exit::Retired
             }
             I::AluImm { op, rd, rs1, imm } => {
-                let a = self.reg(rs1);
-                let v = match op {
-                    AluImmOp::Addi => a.wrapping_add(imm as u32),
-                    AluImmOp::Andi => a & (imm as u32),
-                    AluImmOp::Ori => a | (imm as u32),
-                    AluImmOp::Xori => a ^ (imm as u32),
-                    AluImmOp::Slti => u32::from((a as i32) < imm),
-                    AluImmOp::Slli => a.wrapping_shl(imm as u32),
-                    AluImmOp::Srli => a.wrapping_shr(imm as u32),
-                    AluImmOp::Srai => ((a as i32).wrapping_shr(imm as u32)) as u32,
-                };
+                let v = alu_imm_value(op, self.reg(rs1), imm);
                 self.set_reg(rd, v);
                 self.retire_next();
                 Exit::Retired
@@ -418,71 +712,26 @@ impl Cpu {
                 rd,
                 base,
                 disp,
-            } => {
-                let vaddr = self.reg(base).wrapping_add(disp as u32);
-                if width == MemWidth::Word && !vaddr.is_multiple_of(4) {
-                    return Exit::Trap(Trap::AlignmentFault { vaddr });
+            } => match self.access_load(width, rd, base, disp, mem) {
+                Ok(v) => {
+                    self.set_reg(rd, v);
+                    self.retire_next();
+                    Exit::Retired
                 }
-                let paddr = match self.translate(vaddr, TlbAccess::Read) {
-                    Ok(p) => p,
-                    Err(t) => return Exit::Trap(t),
-                };
-                let result = match width {
-                    MemWidth::Word => mem.read_u32(paddr),
-                    MemWidth::Byte | MemWidth::ByteU => mem.read_u8(paddr).map(u32::from),
-                };
-                match result {
-                    Ok(raw) => {
-                        let v = match width {
-                            MemWidth::Word | MemWidth::ByteU => raw,
-                            MemWidth::Byte => (raw as u8) as i8 as i32 as u32,
-                        };
-                        self.set_reg(rd, v);
-                        self.retire_next();
-                        Exit::Retired
-                    }
-                    Err(MemFault::Io { paddr }) => Exit::MmioRead { paddr, width, rd },
-                    Err(MemFault::Unmapped { paddr }) => Exit::Trap(Trap::AccessFault {
-                        vaddr: paddr,
-                        write: false,
-                    }),
-                }
-            }
+                Err(exit) => exit,
+            },
             I::Store {
                 width,
                 rs,
                 base,
                 disp,
-            } => {
-                let vaddr = self.reg(base).wrapping_add(disp as u32);
-                if width == MemWidth::Word && !vaddr.is_multiple_of(4) {
-                    return Exit::Trap(Trap::AlignmentFault { vaddr });
+            } => match self.access_store(width, rs, base, disp, mem) {
+                Ok(()) => {
+                    self.retire_next();
+                    Exit::Retired
                 }
-                let paddr = match self.translate(vaddr, TlbAccess::Write) {
-                    Ok(p) => p,
-                    Err(t) => return Exit::Trap(t),
-                };
-                let value = self.reg(rs);
-                let result = match width {
-                    MemWidth::Word => mem.write_u32(paddr, value),
-                    MemWidth::Byte | MemWidth::ByteU => mem.write_u8(paddr, value as u8),
-                };
-                match result {
-                    Ok(()) => {
-                        self.retire_next();
-                        Exit::Retired
-                    }
-                    Err(MemFault::Io { paddr }) => Exit::MmioWrite {
-                        paddr,
-                        width,
-                        value,
-                    },
-                    Err(MemFault::Unmapped { paddr }) => Exit::Trap(Trap::AccessFault {
-                        vaddr: paddr,
-                        write: true,
-                    }),
-                }
-            }
+                Err(exit) => exit,
+            },
             I::Branch {
                 cond,
                 rs1,
@@ -974,6 +1223,99 @@ mod tests {
         cpu.tlb.insert_pte(0, pte::V | pte::R | pte::X | pte::U);
         assert_eq!(cpu.step(&mut mem), Exit::Retired);
         assert_eq!(cpu.reg(Reg::of(6)), 0);
+    }
+
+    #[test]
+    fn run_consumes_exact_budget_mid_block() {
+        let (mut cpu, mut mem) = setup("s: nop\n nop\n nop\n nop\n nop\n nop\n halt");
+        assert_eq!(cpu.run(&mut mem, 2), Exit::Retired);
+        assert_eq!(cpu.retired(), 2);
+        assert_eq!(cpu.pc, 8, "budget must stop between instructions");
+        // Resume mid-block: a new (overlapping) block starts at pc.
+        assert_eq!(cpu.run(&mut mem, 100), Exit::Halt);
+        assert_eq!(cpu.retired(), 6);
+    }
+
+    #[test]
+    fn run_recovery_counter_is_exact() {
+        let (mut cpu, mut mem) = setup("s: nop\n nop\n nop\n nop\n nop\n nop\n nop\n nop\n halt");
+        cpu.psw.recovery = true;
+        cpu.set_ctl(ControlReg::Rctr, 3);
+        assert_eq!(
+            cpu.run(&mut mem, 1000),
+            Exit::Trap(Trap::RecoveryCounter),
+            "the counter expires between instructions, never mid-block"
+        );
+        assert_eq!(cpu.retired(), 3);
+        cpu.set_ctl(ControlReg::Rctr, 2);
+        assert_eq!(cpu.run(&mut mem, 1000), Exit::Trap(Trap::RecoveryCounter));
+        assert_eq!(cpu.retired(), 5);
+    }
+
+    #[test]
+    fn run_reports_pending_interrupt_before_a_block() {
+        let (mut cpu, mut mem) = setup("s: nop\n nop\n halt");
+        cpu.psw.interrupts = true;
+        cpu.set_ctl(ControlReg::Eiem, 0b1);
+        cpu.raise_irq(0b1);
+        assert_eq!(cpu.run(&mut mem, 1000), Exit::Trap(Trap::ExternalInterrupt));
+        assert_eq!(cpu.retired(), 0);
+    }
+
+    #[test]
+    fn run_patching_ahead_within_the_same_block() {
+        // The store at address 4 rewrites the instruction at address 20
+        // *in the same straight-line block* before it executes. The
+        // block engine must abandon the predecoded tail and re-fetch,
+        // exactly like the per-step path.
+        let src = "start:
+                lw   r4, 256(r0)     ; replacement word, poked below
+                sw   r4, 20(r0)      ; patch the insn at address 20
+                addi r5, r0, 1
+                addi r5, r5, 1
+                addi r6, r0, 7       ; address 16 (left alone)
+                addi r6, r0, 7       ; address 20 <- patched to addi r6, r0, 99
+                halt";
+        let patched = hvft_isa::codec::encode(Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::of(6),
+            rs1: Reg::ZERO,
+            imm: 99,
+        })
+        .unwrap();
+        let run_with = |block_exec: bool| {
+            let (mut cpu, mut mem) = setup(src);
+            mem.write_u32(256, patched).unwrap();
+            cpu.set_block_execution(block_exec);
+            let e = cpu.run(&mut mem, 1000);
+            assert_eq!(e, Exit::Halt);
+            (cpu.reg(Reg::of(6)), cpu.retired())
+        };
+        let (blocked, retired_b) = run_with(true);
+        let (stepped, retired_s) = run_with(false);
+        assert_eq!(blocked, 99, "patched instruction must be executed");
+        assert_eq!(blocked, stepped);
+        assert_eq!(retired_b, retired_s);
+    }
+
+    #[test]
+    fn run_block_cache_hits_on_loops() {
+        let (mut cpu, mut mem) = setup(
+            "start:
+                addi r5, r0, 50
+            loop:
+                addi r6, r6, 1
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                halt",
+        );
+        assert_eq!(cpu.run(&mut mem, 100_000), Exit::Halt);
+        assert_eq!(cpu.reg(Reg::of(6)), 50);
+        let stats = cpu.block_cache_stats();
+        assert!(
+            stats.hits > 40,
+            "loop iterations must hit the cache: {stats:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Fast deterministic hashing for the interpreter's hot lookup tables.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, deterministic hasher for the small integer keys the hot
+/// paths index by (physical addresses, virtual page numbers). The
+/// standard library's default SipHash is DoS-resistant but costs more
+/// than the lookups it serves here; simulator determinism only needs a
+/// fixed multiplicative mix.
+#[derive(Default)]
+pub struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // The multiplicative mix concentrates entropy in the high bits;
+        // HashMap masks with the low ones.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// `BuildHasher` plugging [`IntHasher`] into a `HashMap`.
+pub type IntBuildHasher = BuildHasherDefault<IntHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let hash = |v: u32| {
+            let mut h = IntHasher::default();
+            h.write_u32(v);
+            h.finish()
+        };
+        assert_eq!(hash(0x1234), hash(0x1234));
+        assert_ne!(hash(0x1234), hash(0x1238));
+        // Word-aligned addresses must not collapse onto the low bits a
+        // HashMap masks with.
+        let a = hash(0x1000) & 0x7F;
+        let b = hash(0x2000) & 0x7F;
+        let c = hash(0x3000) & 0x7F;
+        assert!(a != b || b != c, "aligned keys collapsed: {a} {b} {c}");
+    }
+}

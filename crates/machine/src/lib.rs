@@ -22,13 +22,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod cpu;
+pub mod hash;
 pub mod mem;
 pub mod psw;
 pub mod statehash;
 pub mod tlb;
 pub mod trap;
 
+pub use block::{BlockCache, BlockCacheStats, DecodedBlock};
 pub use cpu::{Cpu, EnvOp, Exit, LoadProgram};
 pub use mem::{MemFault, Memory, IO_BASE, IO_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use psw::Psw;

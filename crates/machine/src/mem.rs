@@ -41,6 +41,11 @@ pub enum AddrKind {
 #[derive(Clone)]
 pub struct Memory {
     ram: Vec<u8>,
+    /// Per-page write generation, bumped on every RAM write (CPU store,
+    /// program load, or device DMA). The block cache compares a cached
+    /// block's recorded generation against the current one to detect
+    /// self-modifying code without any registration protocol.
+    page_gens: Vec<u64>,
 }
 
 /// A physical access that cannot be satisfied by RAM.
@@ -71,6 +76,32 @@ impl Memory {
         );
         Memory {
             ram: vec![0; bytes],
+            page_gens: vec![0; bytes.div_ceil(PAGE_SIZE as usize)],
+        }
+    }
+
+    /// Write generation of the page containing `paddr`. Returns 0 for
+    /// addresses outside RAM (no blocks are ever cached there).
+    pub fn page_gen(&self, paddr: u32) -> u64 {
+        self.page_gens
+            .get((paddr >> PAGE_SHIFT) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    #[inline]
+    fn touch(&mut self, paddr: u32) {
+        if let Some(g) = self.page_gens.get_mut((paddr >> PAGE_SHIFT) as usize) {
+            *g += 1;
+        }
+    }
+
+    /// Zeroes all RAM in place (keeping the allocation) and bumps every
+    /// page generation so cached blocks over the old contents die.
+    pub fn reset(&mut self) {
+        self.ram.fill(0);
+        for g in &mut self.page_gens {
+            *g += 1;
         }
     }
 
@@ -90,6 +121,7 @@ impl Memory {
         }
     }
 
+    #[inline]
     fn check(&self, paddr: u32, len: u32) -> Result<usize, MemFault> {
         let end = paddr as u64 + u64::from(len);
         if end <= self.ram.len() as u64 {
@@ -103,33 +135,40 @@ impl Memory {
 
     /// Reads a little-endian word. `paddr` must be 4-byte aligned (the CPU
     /// checks alignment before calling).
+    #[inline]
     pub fn read_u32(&self, paddr: u32) -> Result<u32, MemFault> {
         let i = self.check(paddr, 4)?;
-        Ok(u32::from_le_bytes([
-            self.ram[i],
-            self.ram[i + 1],
-            self.ram[i + 2],
-            self.ram[i + 3],
-        ]))
+        let bytes: [u8; 4] = self.ram[i..i + 4].try_into().expect("checked length");
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// Writes a little-endian word.
+    #[inline]
     pub fn write_u32(&mut self, paddr: u32, value: u32) -> Result<(), MemFault> {
         let i = self.check(paddr, 4)?;
         self.ram[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        self.touch(paddr);
+        // An unaligned word may straddle a page boundary (the CPU checks
+        // alignment, but embedders may not).
+        if paddr >> PAGE_SHIFT != (paddr + 3) >> PAGE_SHIFT {
+            self.touch(paddr + 3);
+        }
         Ok(())
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, paddr: u32) -> Result<u8, MemFault> {
         let i = self.check(paddr, 1)?;
         Ok(self.ram[i])
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, paddr: u32, value: u8) -> Result<(), MemFault> {
         let i = self.check(paddr, 1)?;
         self.ram[i] = value;
+        self.touch(paddr);
         Ok(())
     }
 
@@ -139,8 +178,16 @@ impl Memory {
     ///
     /// Panics if the range exceeds RAM.
     pub fn write_bytes(&mut self, paddr: u32, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
         let i = paddr as usize;
         self.ram[i..i + bytes.len()].copy_from_slice(bytes);
+        // DMA can span pages; every touched page must invalidate.
+        let end = paddr + bytes.len() as u32 - 1;
+        for page in (paddr >> PAGE_SHIFT)..=(end >> PAGE_SHIFT) {
+            self.touch(page << PAGE_SHIFT);
+        }
     }
 
     /// Reads a slice out of RAM.
@@ -218,5 +265,55 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn ram_cannot_reach_io_window() {
         let _ = Memory::new(IO_BASE as usize + 1);
+    }
+
+    #[test]
+    fn writes_bump_the_page_generation() {
+        let mut m = Memory::new(3 * PAGE_SIZE as usize);
+        let g0 = m.page_gen(0);
+        let g1 = m.page_gen(PAGE_SIZE);
+        m.write_u8(4, 1).unwrap();
+        assert_ne!(m.page_gen(0), g0, "byte write must bump its page");
+        assert_eq!(m.page_gen(PAGE_SIZE), g1, "other pages untouched");
+        let g1 = m.page_gen(PAGE_SIZE);
+        m.write_u32(PAGE_SIZE + 8, 7).unwrap();
+        assert_ne!(m.page_gen(PAGE_SIZE), g1, "word write must bump its page");
+        // Reads never bump.
+        let g = m.page_gen(0);
+        let _ = m.read_u32(0);
+        let _ = m.read_u8(1);
+        assert_eq!(m.page_gen(0), g);
+        // Out-of-RAM queries are harmless.
+        assert_eq!(m.page_gen(0x8000_0000), 0);
+    }
+
+    #[test]
+    fn bulk_writes_bump_every_spanned_page() {
+        let mut m = Memory::new(3 * PAGE_SIZE as usize);
+        let (g0, g1, g2) = (
+            m.page_gen(0),
+            m.page_gen(PAGE_SIZE),
+            m.page_gen(2 * PAGE_SIZE),
+        );
+        // DMA spanning pages 0..=2.
+        m.write_bytes(PAGE_SIZE - 8, &vec![1; (PAGE_SIZE + 16) as usize]);
+        assert_ne!(m.page_gen(0), g0);
+        assert_ne!(m.page_gen(PAGE_SIZE), g1);
+        assert_ne!(m.page_gen(2 * PAGE_SIZE), g2);
+        // Empty writes are a complete no-op (no generation bump).
+        let g = m.page_gen(0);
+        m.write_bytes(0, &[]);
+        assert_eq!(m.page_gen(0), g);
+    }
+
+    #[test]
+    fn reset_zeroes_and_invalidates() {
+        let mut m = Memory::new(2 * PAGE_SIZE as usize);
+        m.write_u32(16, 0xDEAD_BEEF).unwrap();
+        let g = m.page_gen(16);
+        m.reset();
+        assert_eq!(m.read_u32(16), Ok(0));
+        assert_ne!(m.page_gen(16), g, "reset must invalidate cached blocks");
+        assert_eq!(m.size(), 2 * PAGE_SIZE as usize);
     }
 }

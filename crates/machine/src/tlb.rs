@@ -90,6 +90,12 @@ pub enum TlbResult {
     Denied,
 }
 
+/// Size of the direct-mapped front cache (power of two).
+const FRONT_SLOTS: usize = 16;
+/// Front-cache tag marking an empty slot (no valid vpn reaches it:
+/// vpns are at most 20 bits).
+const FRONT_EMPTY: u32 = u32::MAX;
+
 /// A fully associative, software-filled TLB.
 ///
 /// # Examples
@@ -107,7 +113,13 @@ pub enum TlbResult {
 pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     /// vpn → slot index for O(1) lookup.
-    index: std::collections::HashMap<u32, usize>,
+    index: std::collections::HashMap<u32, usize, crate::hash::IntBuildHasher>,
+    /// Direct-mapped front cache (vpn tag → slot), indexed by the low
+    /// vpn bits, for the common case of accesses revisiting a handful
+    /// of pages; cleared on any insert or purge. Purely an access-path
+    /// shortcut — hit/miss accounting and permission checks are
+    /// identical with or without it.
+    front: [(u32, u32); FRONT_SLOTS],
     policy: TlbReplacement,
     rr_next: usize,
     rng: SimRng,
@@ -126,7 +138,8 @@ impl Tlb {
         assert!(slots > 0, "TLB needs at least one slot");
         Tlb {
             entries: vec![None; slots],
-            index: std::collections::HashMap::new(),
+            index: std::collections::HashMap::default(),
+            front: [(FRONT_EMPTY, 0); FRONT_SLOTS],
             policy,
             rr_next: 0,
             rng: SimRng::seed_from_label(seed, "tlb"),
@@ -146,11 +159,19 @@ impl Tlb {
     }
 
     /// Looks up `vaddr` for the given access at the given privilege.
+    #[inline]
     pub fn lookup(&mut self, vaddr: u32, access: TlbAccess, user: bool) -> TlbResult {
         let vpn = vaddr >> PAGE_SHIFT;
-        let Some(&slot) = self.index.get(&vpn) else {
-            self.misses += 1;
-            return TlbResult::Miss;
+        let fidx = (vpn as usize) & (FRONT_SLOTS - 1);
+        let slot = if self.front[fidx].0 == vpn {
+            self.front[fidx].1 as usize
+        } else {
+            let Some(&slot) = self.index.get(&vpn) else {
+                self.misses += 1;
+                return TlbResult::Miss;
+            };
+            self.front[fidx] = (vpn, slot as u32);
+            slot
         };
         let entry = self.entries[slot].expect("indexed slot must be valid");
         let f = entry.flags;
@@ -172,6 +193,7 @@ impl Tlb {
     /// Inserts a mapping, evicting per the replacement policy if full.
     /// An existing entry for the same page is overwritten in place.
     pub fn insert(&mut self, entry: TlbEntry) {
+        self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
         if let Some(&slot) = self.index.get(&entry.vpn) {
             self.entries[slot] = Some(entry);
             return;
@@ -206,6 +228,7 @@ impl Tlb {
 
     /// Purges the entry covering `vaddr`, if any.
     pub fn purge(&mut self, vaddr: u32) {
+        self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
         let vpn = vaddr >> PAGE_SHIFT;
         if let Some(slot) = self.index.remove(&vpn) {
             self.entries[slot] = None;
@@ -214,6 +237,7 @@ impl Tlb {
 
     /// Purges every entry.
     pub fn purge_all(&mut self) {
+        self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
         self.index.clear();
         self.entries.iter_mut().for_each(|e| *e = None);
     }

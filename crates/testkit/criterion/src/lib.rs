@@ -10,6 +10,49 @@
 
 use std::time::{Duration, Instant};
 
+/// One completed benchmark measurement, recorded for machine-readable
+/// output ([`Criterion::save_json`]).
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full label (`group/function`).
+    pub label: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Elements processed per iteration, when declared via
+    /// [`Throughput::Elements`].
+    pub elements_per_iter: Option<u64>,
+    /// Bytes processed per iteration, when declared via
+    /// [`Throughput::Bytes`].
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl Measurement {
+    fn json(&self) -> String {
+        // Labels come from bench source code; escape the two JSON
+        // specials anyway.
+        let label = self.label.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut s = format!(
+            "{{\"label\": \"{label}\", \"ns_per_iter\": {:.3}",
+            self.ns_per_iter
+        );
+        if let Some(n) = self.elements_per_iter {
+            s.push_str(&format!(
+                ", \"elements_per_iter\": {n}, \"ns_per_element\": {:.3}, \"elements_per_sec\": {:.1}",
+                self.ns_per_iter / n as f64,
+                n as f64 / (self.ns_per_iter * 1e-9)
+            ));
+        }
+        if let Some(n) = self.bytes_per_iter {
+            s.push_str(&format!(
+                ", \"bytes_per_iter\": {n}, \"bytes_per_sec\": {:.1}",
+                n as f64 / (self.ns_per_iter * 1e-9)
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
 /// Throughput annotation for a benchmark group.
 #[derive(Clone, Copy, Debug)]
 pub enum Throughput {
@@ -65,10 +108,14 @@ impl Bencher {
     }
 }
 
-fn report(label: &str, measured: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+fn report(
+    label: &str,
+    measured: Option<(Duration, u64)>,
+    throughput: Option<Throughput>,
+) -> Option<Measurement> {
     let Some((total, iters)) = measured else {
         println!("{label:<40} (no measurement)");
-        return;
+        return None;
     };
     let per_iter = total.as_secs_f64() / iters as f64;
     let rate = match throughput {
@@ -80,6 +127,18 @@ fn report(label: &str, measured: Option<(Duration, u64)>, throughput: Option<Thr
         "{label:<40} {:>12.3?}/iter{rate}",
         Duration::from_secs_f64(per_iter)
     );
+    Some(Measurement {
+        label: label.to_owned(),
+        ns_per_iter: per_iter * 1e9,
+        elements_per_iter: match throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        },
+        bytes_per_iter: match throughput {
+            Some(Throughput::Bytes(n)) => Some(n),
+            _ => None,
+        },
+    })
 }
 
 /// A named group of benchmarks sharing sample-size and throughput
@@ -88,7 +147,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -116,7 +175,9 @@ impl BenchmarkGroup<'_> {
         };
         routine(&mut b);
         let label = format!("{}/{}", self.name, id.into_label());
-        report(&label, b.measured, self.throughput);
+        if let Some(m) = report(&label, b.measured, self.throughput) {
+            self.criterion.measurements.push(m);
+        }
         self
     }
 
@@ -133,7 +194,9 @@ impl BenchmarkGroup<'_> {
         };
         routine(&mut b, input);
         let label = format!("{}/{}", self.name, id.into_label());
-        report(&label, b.measured, self.throughput);
+        if let Some(m) = report(&label, b.measured, self.throughput) {
+            self.criterion.measurements.push(m);
+        }
         self
     }
 
@@ -169,6 +232,7 @@ impl IntoBenchmarkLabel for BenchmarkId {
 #[derive(Default)]
 pub struct Criterion {
     default_samples: usize,
+    measurements: Vec<Measurement>,
 }
 
 impl Criterion {
@@ -179,7 +243,7 @@ impl Criterion {
             name: name.into(),
             samples,
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -194,8 +258,30 @@ impl Criterion {
             measured: None,
         };
         routine(&mut b);
-        report(&id.into_label(), b.measured, None);
+        if let Some(m) = report(&id.into_label(), b.measured, None) {
+            self.measurements.push(m);
+        }
         self
+    }
+
+    /// Every measurement recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Writes the recorded measurements as a JSON document — the
+    /// machine-readable bench output CI archives as an artifact.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let entries: Vec<String> = self
+            .measurements
+            .iter()
+            .map(|m| format!("    {}", m.json()))
+            .collect();
+        let doc = format!(
+            "{{\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(path, doc)
     }
 
     fn samples(&self) -> usize {
@@ -231,6 +317,29 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn measurements_are_recorded_and_serialized() {
+        let mut c = Criterion::default();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(100))
+            .bench_function("counted", |b| b.iter(|| 2 * 2));
+        g.finish();
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].label, "plain");
+        assert_eq!(c.measurements()[1].label, "grp/counted");
+        assert_eq!(c.measurements()[1].elements_per_iter, Some(100));
+        let path = std::env::temp_dir().join("hvft_criterion_shim_test.json");
+        c.save_json(&path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(doc.contains("\"label\": \"grp/counted\""));
+        assert!(doc.contains("\"elements_per_iter\": 100"));
+        assert!(doc.contains("\"ns_per_element\":"));
+        assert!(doc.starts_with("{\n  \"benchmarks\": ["));
+    }
 
     #[test]
     fn bench_function_reports_without_panicking() {

@@ -46,7 +46,10 @@ fn main() {
     let result = system.run();
 
     println!("failure       : primary killed at {fail_at}");
-    let info = result.failover.expect("backup must have promoted itself");
+    let info = *result
+        .failovers
+        .first()
+        .expect("backup must have promoted itself");
     println!(
         "failover      : backup promoted at {} (failover epoch {}, P7 uncertain synthesized: {})",
         info.at, info.epoch, info.uncertain_synthesized

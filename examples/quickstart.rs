@@ -65,7 +65,7 @@ fn main() {
     );
     println!(
         "messages           : {} from primary, {} from backup",
-        result.messages_sent.0, result.messages_sent.1
+        result.messages_per_replica[0], result.messages_per_replica[1]
     );
     println!(
         "simulated insns    : {} at the primary's hypervisor (nsim)",

@@ -17,7 +17,7 @@ fn identical_runs(image: &hvft_isa::program::Program, cfg: FtConfig) {
         ra.completion_time, rb.completion_time,
         "simulated time must be exact"
     );
-    assert_eq!(ra.messages_sent, rb.messages_sent);
+    assert_eq!(ra.messages_per_replica, rb.messages_per_replica);
     assert_eq!(ra.console_output, rb.console_output);
     assert_eq!(ra.disk_log.len(), rb.disk_log.len());
     for (x, y) in ra.disk_log.iter().zip(rb.disk_log.iter()) {

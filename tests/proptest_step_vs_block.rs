@@ -1,0 +1,621 @@
+//! Differential tests: the predecoded-block engine versus single-
+//! stepping.
+//!
+//! `Cpu::run` (basic blocks, one translate + one cache probe per block,
+//! batched retirement) must be **observably identical** to `Cpu::step`
+//! in a loop: same retired counts, same machine-state hashes, same trap
+//! sequences at the same instruction-stream points, same console bytes.
+//! This file proves it three ways:
+//!
+//! - **bare differential**: every guest workload runs to completion on
+//!   two [`BareHost`]s, one per engine, compared chunk by chunk;
+//! - **hypervised differential**: the same workloads run under the full
+//!   replicated [`FtSystem`] with the block engine on and off, and the
+//!   entire observable outcome (checksums, epoch counts, simulated
+//!   times, console, disk log) must match — this exercises privileged
+//!   simulation, trap reflection, TLB management and epoch delimitation
+//!   over the block engine;
+//! - **instruction-soup proptest**: randomized code (valid, privileged,
+//!   trapping and garbage words mixed) driven through both engines with
+//!   traps delivered bare-metal style, comparing the full event
+//!   sequence and final state hash.
+
+use hvft::guest::layout::RAM_BYTES;
+use hvft::guest::{
+    build_image, dhrystone_source, hello_source, io_bench_source, mixed_source, IoMode,
+    KernelConfig,
+};
+use hvft::hypervisor::bare::{BareExit, BareHost};
+use hvft::hypervisor::cost::CostModel;
+use hvft::isa::codec::encode;
+use hvft::isa::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
+use hvft::isa::reg::Reg;
+use hvft::machine::cpu::{Cpu, Exit};
+use hvft::machine::mem::Memory;
+use hvft::machine::statehash::vm_state_hash;
+use hvft::machine::tlb::TlbReplacement;
+use hvft_core::config::{FailureSpec, FtConfig};
+use hvft_core::system::{FtRunResult, FtSystem};
+use hvft_sim::time::SimTime;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Bare differential: chunked lockstep over complete workloads
+// ---------------------------------------------------------------------
+
+fn assert_bare_equivalent(
+    name: &str,
+    user: &str,
+    kcfg: &KernelConfig,
+    prep: impl Fn(&mut BareHost),
+) {
+    let image = build_image(kcfg, user).expect("image builds");
+    let mk = || {
+        let mut h = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 32, 7);
+        prep(&mut h);
+        h
+    };
+    let mut blocked = mk();
+    let mut stepped = mk();
+    stepped.cpu.set_block_execution(false);
+    // Compare at chunk boundaries so a divergence is localized to
+    // within `chunk` instructions of where it first occurred.
+    let chunk = 10_000u64;
+    let cap = 500_000_000u64;
+    let mut limit = 0u64;
+    loop {
+        limit += chunk;
+        let ra = blocked.run(limit);
+        let rb = stepped.run(limit);
+        assert_eq!(ra.exit, rb.exit, "{name}: exits diverged at limit {limit}");
+        assert_eq!(
+            ra.retired, rb.retired,
+            "{name}: retired counts diverged at limit {limit}"
+        );
+        assert_eq!(ra.diags, rb.diags, "{name}: diag streams diverged");
+        assert_eq!(
+            ra.time, rb.time,
+            "{name}: simulated time diverged at limit {limit}"
+        );
+        assert_eq!(
+            vm_state_hash(&blocked.cpu, &blocked.mem),
+            vm_state_hash(&stepped.cpu, &stepped.mem),
+            "{name}: state hashes diverged at {} retired",
+            ra.retired
+        );
+        assert_eq!(
+            blocked.console.output_string(),
+            stepped.console.output_string(),
+            "{name}: console bytes diverged"
+        );
+        if ra.exit != BareExit::InstructionLimit {
+            break;
+        }
+        assert!(limit < cap, "{name}: no exit before {cap} instructions");
+    }
+}
+
+#[test]
+fn bare_dhrystone_with_syscalls_is_engine_invariant() {
+    let kcfg = KernelConfig {
+        tick_period_us: 200,
+        tick_work: 2,
+        ..KernelConfig::default()
+    };
+    assert_bare_equivalent("dhrystone", &dhrystone_source(400, 7), &kcfg, |_| {});
+}
+
+#[test]
+fn bare_hello_is_engine_invariant() {
+    let kcfg = KernelConfig {
+        tick_period_us: 1000,
+        tick_work: 0,
+        ..KernelConfig::default()
+    };
+    assert_bare_equivalent("hello", &hello_source("block vs step\n", 2), &kcfg, |_| {});
+}
+
+#[test]
+fn bare_io_write_is_engine_invariant() {
+    assert_bare_equivalent(
+        "io-write",
+        &io_bench_source(4, IoMode::Write, 16, 9),
+        &KernelConfig::default(),
+        |_| {},
+    );
+}
+
+#[test]
+fn bare_io_read_is_engine_invariant() {
+    let pattern: Vec<u8> = (0..hvft::devices::disk::BLOCK_SIZE)
+        .map(|i| (i % 251) as u8)
+        .collect();
+    assert_bare_equivalent(
+        "io-read",
+        &io_bench_source(3, IoMode::Read, 16, 5),
+        &KernelConfig::default(),
+        |h| {
+            for b in 0..16 {
+                h.disk.poke_block(b, &pattern);
+            }
+        },
+    );
+}
+
+#[test]
+fn bare_mixed_is_engine_invariant() {
+    assert_bare_equivalent(
+        "mixed",
+        &mixed_source(3, IoMode::Write, 16, 11, 50),
+        &KernelConfig::default(),
+        |_| {},
+    );
+}
+
+// ---------------------------------------------------------------------
+// Self-modifying guest code (the riskiest block-cache path)
+// ---------------------------------------------------------------------
+
+/// A bare-metal guest that executes a code sequence, then patches one
+/// of its instructions *after it was executed (and cached)*, and runs
+/// it again: iteration 1 executes `addi r20, r20, 1`, every later
+/// iteration must execute the patched `addi r20, r20, 100`.
+const SMC_GUEST: &str = ".org 0
+start:
+    addi r22, r0, 5          ; loop counter
+    lw   r21, 512(r0)        ; replacement word (poked by the test)
+outer:
+    jal  ra, patchable
+    ; after the first pass, overwrite the instruction at `slot`
+    sw   r21, 48(r0)
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+
+    .org 48
+patchable:
+slot:
+    addi r20, r20, 1         ; becomes: addi r20, r20, 100
+    jalr r0, ra, 0
+";
+
+#[test]
+fn self_modifying_guest_invalidates_the_block_cache() {
+    let patched = encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::of(20),
+        rs1: Reg::of(20),
+        imm: 100,
+    })
+    .unwrap();
+    let image = hvft::isa::asm::assemble(SMC_GUEST).expect("asm");
+    let run = |block: bool| {
+        let mut host = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 16, 0);
+        host.cpu.set_block_execution(block);
+        host.mem.write_u32(512, patched).unwrap();
+        let r = host.run(100_000);
+        (r, host)
+    };
+    let (ra, host_a) = run(true);
+    let (rb, host_b) = run(false);
+    assert!(matches!(ra.exit, BareExit::Halted { .. }), "{:?}", ra.exit);
+    assert_eq!(ra.exit, rb.exit);
+    assert_eq!(ra.retired, rb.retired);
+    assert_eq!(
+        vm_state_hash(&host_a.cpu, &host_a.mem),
+        vm_state_hash(&host_b.cpu, &host_b.mem),
+        "self-modifying code must behave identically on both engines"
+    );
+    // 5 passes: 1 original (+1), 4 patched (+100 each).
+    assert_eq!(host_a.cpu.reg(Reg::of(20)), 1 + 4 * 100);
+    let stats = host_a.cpu.block_cache_stats();
+    assert!(
+        stats.invalidations >= 1,
+        "patching a cached block must invalidate it: {stats:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Hypervised differential: the whole replicated system, block on/off
+// ---------------------------------------------------------------------
+
+fn ft_outcome(image: &hvft::isa::program::Program, mut cfg: FtConfig, block: bool) -> FtRunResult {
+    cfg.hv.block_exec = block;
+    let mut sys = FtSystem::new(image, cfg);
+    sys.run()
+}
+
+fn assert_ft_equivalent(name: &str, user: &str, kcfg: &KernelConfig, cfg: FtConfig) {
+    let image = build_image(kcfg, user).expect("image builds");
+    let a = ft_outcome(&image, cfg, true);
+    let b = ft_outcome(&image, cfg, false);
+    assert_eq!(a.outcome, b.outcome, "{name}: outcomes diverged");
+    assert_eq!(
+        a.completion_time, b.completion_time,
+        "{name}: completion times diverged"
+    );
+    assert_eq!(a.console_output, b.console_output, "{name}: console bytes");
+    assert_eq!(a.console_hosts, b.console_hosts, "{name}: console hosts");
+    assert_eq!(a.disk_log, b.disk_log, "{name}: disk logs diverged");
+    assert_eq!(a.guest_retries, b.guest_retries, "{name}: retries");
+    assert_eq!(
+        a.messages_per_replica, b.messages_per_replica,
+        "{name}: message counts diverged"
+    );
+    assert_eq!(
+        a.failovers, b.failovers,
+        "{name}: failover schedules diverged"
+    );
+    assert!(a.lockstep.is_clean(), "{name}: block run diverged");
+    assert!(b.lockstep.is_clean(), "{name}: step run diverged");
+    assert_eq!(
+        a.lockstep.compared(),
+        b.lockstep.compared(),
+        "{name}: lockstep comparison counts diverged"
+    );
+    // Same number of epochs, simulated instructions, reflections and
+    // interrupt deliveries on every replica.
+    let stats = |r: &FtRunResult| {
+        r.replica_stats
+            .iter()
+            .map(|s| (s.epochs, s.simulated, s.reflected, s.mmio, s.irqs_delivered))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(stats(&a), stats(&b), "{name}: hypervisor stats diverged");
+}
+
+#[test]
+fn ft_dhrystone_is_engine_invariant() {
+    let kcfg = KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 2,
+        ..KernelConfig::default()
+    };
+    let cfg = FtConfig {
+        cost: CostModel::functional(),
+        ..FtConfig::default()
+    };
+    assert_ft_equivalent("ft-dhrystone", &dhrystone_source(800, 7), &kcfg, cfg);
+}
+
+#[test]
+fn ft_io_write_is_engine_invariant() {
+    let cfg = FtConfig {
+        cost: CostModel::functional(),
+        ..FtConfig::default()
+    };
+    assert_ft_equivalent(
+        "ft-io-write",
+        &io_bench_source(3, IoMode::Write, 16, 13),
+        &KernelConfig::default(),
+        cfg,
+    );
+}
+
+#[test]
+fn ft_hello_is_engine_invariant() {
+    let kcfg = KernelConfig {
+        tick_period_us: 500,
+        tick_work: 1,
+        ..KernelConfig::default()
+    };
+    let cfg = FtConfig {
+        cost: CostModel::functional(),
+        ..FtConfig::default()
+    };
+    assert_ft_equivalent("ft-hello", &hello_source("ft hello\n", 1), &kcfg, cfg);
+}
+
+#[test]
+fn ft_mixed_is_engine_invariant() {
+    let cfg = FtConfig {
+        cost: CostModel::functional(),
+        ..FtConfig::default()
+    };
+    assert_ft_equivalent(
+        "ft-mixed",
+        &mixed_source(2, IoMode::Write, 16, 3, 80),
+        &KernelConfig::default(),
+        cfg,
+    );
+}
+
+#[test]
+fn ft_failover_is_engine_invariant() {
+    // A failover mid-run (promotion, P7 bookkeeping, detector re-arm)
+    // must land on exactly the same epoch under both engines.
+    let kcfg = KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 2,
+        ..KernelConfig::default()
+    };
+    let cfg = FtConfig {
+        cost: CostModel::functional(),
+        failure: FailureSpec::At(SimTime::from_nanos(800_000)),
+        ..FtConfig::default()
+    };
+    assert_ft_equivalent("ft-failover", &dhrystone_source(1_500, 9), &kcfg, cfg);
+}
+
+// ---------------------------------------------------------------------
+// Instruction-soup proptest
+// ---------------------------------------------------------------------
+
+/// Deterministically expands one random draw into an instruction word:
+/// mostly valid straight-line code, with control transfers, privileged
+/// and environment instructions, gates, and raw garbage mixed in.
+fn synth_word(r: u64) -> u32 {
+    let reg = |n: u64| Reg::of((n % 32) as u8);
+    let pick = r % 100;
+    let a = r >> 8;
+    let insn = if pick < 30 {
+        Instruction::Alu {
+            op: match a % 13 {
+                0 => AluOp::Add,
+                1 => AluOp::Sub,
+                2 => AluOp::And,
+                3 => AluOp::Or,
+                4 => AluOp::Xor,
+                5 => AluOp::Sll,
+                6 => AluOp::Srl,
+                7 => AluOp::Sra,
+                8 => AluOp::Slt,
+                9 => AluOp::Sltu,
+                10 => AluOp::Mul,
+                11 => AluOp::Divu,
+                _ => AluOp::Remu,
+            },
+            rd: reg(a >> 4),
+            rs1: reg(a >> 9),
+            rs2: reg(a >> 14),
+        }
+    } else if pick < 50 {
+        Instruction::AluImm {
+            op: match a % 8 {
+                0 => AluImmOp::Addi,
+                1 => AluImmOp::Andi,
+                2 => AluImmOp::Ori,
+                3 => AluImmOp::Xori,
+                4 => AluImmOp::Slti,
+                5 => AluImmOp::Slli,
+                6 => AluImmOp::Srli,
+                _ => AluImmOp::Srai,
+            },
+            rd: reg(a >> 3),
+            rs1: reg(a >> 8),
+            imm: if matches!(a % 8, 5..=7) {
+                ((a >> 13) % 32) as i32
+            } else {
+                (((a >> 13) % 4096) as i32) - 2048
+            },
+        }
+    } else if pick < 62 {
+        // Loads and stores around the scratch area at 0x2000.
+        let width = match a % 3 {
+            0 => MemWidth::Word,
+            1 => MemWidth::Byte,
+            _ => MemWidth::ByteU,
+        };
+        if a.is_multiple_of(2) {
+            Instruction::Load {
+                width,
+                rd: reg(a >> 4),
+                base: Reg::SP,
+                disp: ((a >> 9) % 512) as i32 * 4 - 1024,
+            }
+        } else {
+            Instruction::Store {
+                width: if width == MemWidth::ByteU {
+                    MemWidth::Byte
+                } else {
+                    width
+                },
+                rs: reg(a >> 4),
+                base: Reg::SP,
+                disp: ((a >> 9) % 512) as i32 * 4 - 1024,
+            }
+        }
+    } else if pick < 72 {
+        Instruction::Branch {
+            cond: match a % 6 {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                2 => BranchCond::Lt,
+                3 => BranchCond::Ge,
+                4 => BranchCond::Ltu,
+                _ => BranchCond::Geu,
+            },
+            rs1: reg(a >> 3),
+            rs2: reg(a >> 8),
+            offset: (((a >> 13) % 16) as i32 - 8) * 4,
+        }
+    } else if pick < 77 {
+        Instruction::Jal {
+            rd: reg(a),
+            offset: (((a >> 6) % 16) as i32 - 8) * 4,
+        }
+    } else if pick < 80 {
+        Instruction::Jalr {
+            rd: reg(a),
+            base: reg(a >> 5),
+            disp: ((a >> 10) % 64) as i32 * 4,
+        }
+    } else if pick < 84 {
+        Instruction::Gate {
+            imm: (a % 16) as u32,
+        }
+    } else if pick < 86 {
+        Instruction::Brk {
+            imm: (a % 8) as u32,
+        }
+    } else if pick < 88 {
+        Instruction::Probe {
+            rd: reg(a),
+            rs: reg(a >> 5),
+        }
+    } else if pick < 96 {
+        // Privileged / environment instructions: above privilege 0
+        // these all trap; the engines must agree on where.
+        match a % 8 {
+            0 => Instruction::MfCtl {
+                rd: reg(a >> 3),
+                cr: hvft::isa::reg::ControlReg::Scratch0,
+            },
+            1 => Instruction::MtCtl {
+                cr: hvft::isa::reg::ControlReg::Scratch1,
+                rs: reg(a >> 3),
+            },
+            2 => Instruction::Ssm {
+                imm: ((a >> 3) % 4) as u32,
+            },
+            3 => Instruction::Rsm {
+                imm: ((a >> 3) % 4) as u32,
+            },
+            4 => Instruction::Tlbp { rs: reg(a >> 3) },
+            5 => Instruction::MfTod { rd: reg(a >> 3) },
+            6 => Instruction::Idle,
+            _ => Instruction::Nop,
+        }
+    } else if pick < 98 {
+        Instruction::Nop
+    } else {
+        // Raw garbage: undecodable with high probability.
+        return (a as u32) | 0xFF00_0000;
+    };
+    encode(insn).unwrap_or(0)
+}
+
+/// Drives one engine until `max_retired` instructions retired or
+/// `max_events` non-retired exits, delivering traps the way bare
+/// hardware would and logging every event.
+fn drive(
+    cpu: &mut Cpu,
+    mem: &mut Memory,
+    use_run: bool,
+    max_retired: u64,
+    max_events: u32,
+) -> Vec<String> {
+    let mut log = Vec::new();
+    let mut events = 0u32;
+    while cpu.retired() < max_retired && events < max_events {
+        let exit = if use_run {
+            cpu.run(mem, max_retired - cpu.retired())
+        } else {
+            cpu.step(mem)
+        };
+        match exit {
+            Exit::Retired => {}
+            Exit::Trap(t) => {
+                log.push(format!("{t:?} pc={:#x} n={}", cpu.pc, cpu.retired()));
+                events += 1;
+                cpu.deliver_trap(t);
+            }
+            other => {
+                log.push(format!("{other:?} pc={:#x} n={}", cpu.pc, cpu.retired()));
+                break;
+            }
+        }
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_code_runs_identically_on_both_engines(
+        seeds in prop::collection::vec(any::<u64>(), 48),
+        cpl in 0u8..4,
+        user_code in any::<bool>(),
+    ) {
+        let build = || {
+            let mut cpu = Cpu::new(16, TlbReplacement::RoundRobin, 0);
+            let mut mem = Memory::new(64 * 1024);
+            for (i, &s) in seeds.iter().enumerate() {
+                mem.write_u32(i as u32 * 4, synth_word(s)).unwrap();
+            }
+            // A halt island after the soup so straight runs terminate.
+            for i in seeds.len()..seeds.len() + 16 {
+                mem.write_u32(i as u32 * 4, encode(Instruction::Halt).unwrap()).unwrap();
+            }
+            cpu.psw.cpl = cpl;
+            cpu.set_reg(Reg::SP, 0x2000);
+            cpu.set_reg(Reg::GP, 0x3000);
+            for r in 4..12u8 {
+                cpu.set_reg(Reg::of(r), (seeds[r as usize] as u32) % 0x4000);
+            }
+            if user_code {
+                // Exercise translation: identity-map the low pages,
+                // user-accessible, via the TLB directly.
+                cpu.psw.translation = true;
+                for page in 0u32..16 {
+                    cpu.tlb.insert_pte(
+                        page << 12,
+                        (page << 12) | hvft::machine::tlb::pte::V
+                            | hvft::machine::tlb::pte::R
+                            | hvft::machine::tlb::pte::W
+                            | hvft::machine::tlb::pte::X
+                            | hvft::machine::tlb::pte::U,
+                    );
+                }
+            }
+            (cpu, mem)
+        };
+        let (mut cpu_a, mut mem_a) = build();
+        let (mut cpu_b, mut mem_b) = build();
+        cpu_b.set_block_execution(false);
+        let log_a = drive(&mut cpu_a, &mut mem_a, true, 5_000, 400);
+        let log_b = drive(&mut cpu_b, &mut mem_b, false, 5_000, 400);
+        prop_assert_eq!(&log_a, &log_b, "event sequences diverged");
+        prop_assert_eq!(cpu_a.retired(), cpu_b.retired());
+        prop_assert_eq!(cpu_a.pc, cpu_b.pc);
+        prop_assert_eq!(
+            vm_state_hash(&cpu_a, &mem_a),
+            vm_state_hash(&cpu_b, &mem_b),
+            "final states diverged"
+        );
+    }
+
+    #[test]
+    fn random_recovery_counter_epochs_are_engine_exact(
+        seeds in prop::collection::vec(any::<u64>(), 32),
+        epoch_len in 1u32..257,
+    ) {
+        // The Instruction-Stream Interrupt Assumption, adversarially:
+        // with the recovery counter armed, both engines must report the
+        // epoch boundary at exactly the same retired count, whatever
+        // the code does.
+        let build = || {
+            let mut cpu = Cpu::new(16, TlbReplacement::RoundRobin, 0);
+            let mut mem = Memory::new(64 * 1024);
+            for (i, &s) in seeds.iter().enumerate() {
+                mem.write_u32(i as u32 * 4, synth_word(s)).unwrap();
+            }
+            for i in seeds.len()..seeds.len() + 16 {
+                mem.write_u32(i as u32 * 4, encode(Instruction::Jal { rd: Reg::ZERO, offset: -((seeds.len() as i32) * 4) }).unwrap()).unwrap();
+            }
+            cpu.psw.recovery = true;
+            cpu.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
+            cpu.set_reg(Reg::SP, 0x2000);
+            (cpu, mem)
+        };
+        let (mut cpu_a, mut mem_a) = build();
+        let (mut cpu_b, mut mem_b) = build();
+        cpu_b.set_block_execution(false);
+        for _ in 0..4 {
+            let log_a = drive(&mut cpu_a, &mut mem_a, true, u64::MAX, 200);
+            let log_b = drive(&mut cpu_b, &mut mem_b, false, u64::MAX, 200);
+            prop_assert_eq!(&log_a, &log_b);
+            prop_assert_eq!(cpu_a.retired(), cpu_b.retired());
+            // Re-arm and continue (drive stops at the event cap or a
+            // non-trap exit; RecoveryCounter traps are delivered like
+            // any other and vector to low memory).
+            cpu_a.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
+            cpu_b.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
+        }
+        prop_assert_eq!(
+            vm_state_hash(&cpu_a, &mem_a),
+            vm_state_hash(&cpu_b, &mem_b)
+        );
+    }
+}
