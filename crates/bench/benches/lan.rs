@@ -1,0 +1,123 @@
+//! Lossy-LAN and cluster benchmarks: what sharding many fault-tolerant
+//! systems onto one wire costs, and what the retransmission layer's
+//! recovery machinery costs — recorded to `BENCH_lan.json` for the CI
+//! artifact.
+//!
+//! Two kinds of number live here:
+//!
+//! - `lan/*` are substrate microbenchmarks (wall-clock cost of the
+//!   shared-medium model itself);
+//! - `cluster/*` time whole cluster runs to completion; each iteration
+//!   simulates the *same* deterministic run, so the wall time measures
+//!   the simulator while the recorded run is the paper-relevant datum.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hvft_core::cluster::FtCluster;
+use hvft_core::config::FtConfig;
+use hvft_core::system::RunEnd;
+use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+use hvft_hypervisor::cost::CostModel;
+use hvft_isa::program::Program;
+use hvft_net::lan::Lan;
+use hvft_net::link::LinkSpec;
+use hvft_sim::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn cpu_image() -> Program {
+    let kernel = KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 2,
+        ..KernelConfig::default()
+    };
+    build_image(&kernel, &dhrystone_source(400, 0)).expect("image builds")
+}
+
+fn shard_cfg(seed: u64, loss: f64) -> FtConfig {
+    FtConfig {
+        cost: CostModel::functional(),
+        seed,
+        loss_prob: loss,
+        retransmit: Some(SimDuration::from_millis(5)),
+        detector_timeout: SimDuration::from_millis(300),
+        ..FtConfig::default()
+    }
+}
+
+/// Shared-medium model microbenchmark: send + deliver across 6 nodes.
+fn bench_lan_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lan");
+    g.throughput(Throughput::Elements(600));
+    g.bench_function("send_pop_6nodes_600msgs", |b| {
+        b.iter(|| {
+            let mut lan: Lan<u64> = Lan::new(LinkSpec::ethernet_10mbps(), 0);
+            let nodes: Vec<_> = (0..6).map(|_| lan.add_node()).collect();
+            let mut t = SimTime::ZERO;
+            for i in 0..600u64 {
+                let from = nodes[(i % 6) as usize];
+                let to = nodes[((i + 1) % 6) as usize];
+                if let Some(d) = lan.send(t, from, to, 64, i) {
+                    t = d;
+                }
+            }
+            let mut got = 0;
+            let far = t + SimDuration::from_secs(1);
+            while lan.pop_ready(far).is_some() {
+                got += 1;
+            }
+            black_box(got)
+        })
+    });
+    g.finish();
+}
+
+/// Whole-cluster throughput: N CPU-bound shards to completion on one
+/// shared Ethernet, lossless vs 20% loss with retransmission.
+fn bench_cluster(c: &mut Criterion) {
+    let image = cpu_image();
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    for (label, systems, loss) in [
+        ("throughput_1sys_lossless", 1usize, 0.0),
+        ("throughput_3sys_lossless", 3, 0.0),
+        ("throughput_3sys_loss20", 3, 0.2),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cluster = FtCluster::new(LinkSpec::ethernet_10mbps(), 9);
+                for i in 0..systems {
+                    cluster.add_system(&image, shard_cfg(9 + i as u64, loss));
+                }
+                let results = cluster.run();
+                for r in &results {
+                    assert!(
+                        matches!(r.outcome, RunEnd::Exit { .. }),
+                        "shard must finish: {:?}",
+                        r.outcome
+                    );
+                }
+                // The paper-relevant datum: simulated completion of the
+                // slowest shard (contention stretches it as N grows).
+                black_box(
+                    results
+                        .iter()
+                        .map(|r| r.completion_time)
+                        .max()
+                        .expect("nonempty"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn save(c: &mut Criterion) {
+    // Machine-readable record for the CI artifact, at the workspace
+    // root next to BENCH_interpreter.json.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lan.json");
+    c.save_json(out)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_lan_substrate, bench_cluster, save);
+criterion_main!(benches);

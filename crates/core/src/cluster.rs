@@ -1,0 +1,277 @@
+//! Many fault-tolerant systems sharing one LAN: the sharded driver.
+//!
+//! The paper's prototype dedicates a private Ethernet to one
+//! primary/backup pair. A machine room does not: many replicated
+//! machines contend for the same wire. [`FtCluster`] models exactly
+//! that — `N` independent [`FtSystem`] shards, each with its own guest
+//! image, replica chain, disk and console, all coordinating over a
+//! single shared-medium [`Lan`] so that one system's `[E, Int]` burst
+//! delays every other system's epoch boundary.
+//!
+//! The shards never exchange protocol messages — sharding is by
+//! construction total: each guest workload is pinned to one replica
+//! chain. What couples them is the *medium*: bandwidth contention
+//! (`Lan` serializes all transmissions), plus whatever loss or
+//! severing is injected on individual links.
+//!
+//! Scheduling is conservative and deterministic: every step, the
+//! cluster advances the shard whose [`FtSystem::next_action_time`] is
+//! smallest (ties break by shard index), so cross-shard contention on
+//! the medium is resolved in near-global-time order and a cluster run
+//! is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvft_core::cluster::FtCluster;
+//! use hvft_core::config::FtConfig;
+//! use hvft_core::system::RunEnd;
+//! use hvft_guest::{build_image, hello_source, KernelConfig};
+//! use hvft_net::link::LinkSpec;
+//! use hvft_sim::time::SimDuration;
+//!
+//! let image = build_image(&KernelConfig::default(), &hello_source("hi\n", 1)).unwrap();
+//! let mut cluster = FtCluster::new(LinkSpec::ethernet_10mbps(), 7);
+//! let cfg = FtConfig {
+//!     loss_prob: 0.1,
+//!     retransmit: Some(SimDuration::from_millis(5)),
+//!     // Detection must dominate worst-case retransmission gaps.
+//!     detector_timeout: SimDuration::from_millis(300),
+//!     ..FtConfig::default()
+//! };
+//! for _ in 0..2 {
+//!     cluster.add_system(&image, cfg);
+//! }
+//! let results = cluster.run();
+//! for r in &results {
+//!     assert!(matches!(r.outcome, RunEnd::Exit { code: 42 }));
+//! }
+//! ```
+
+use crate::config::FtConfig;
+use crate::system::{FtRunResult, FtSystem, WireFrame};
+use hvft_isa::program::Program;
+use hvft_net::lan::{Lan, LanStats};
+use hvft_net::link::LinkSpec;
+use hvft_sim::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// `N` independent fault-tolerant systems multiplexed over one shared
+/// [`Lan`], co-simulated on one conservative discrete-event schedule.
+pub struct FtCluster {
+    lan: Rc<RefCell<Lan<WireFrame>>>,
+    systems: Vec<FtSystem>,
+    results: Vec<Option<FtRunResult>>,
+}
+
+impl FtCluster {
+    /// An empty cluster over a shared medium modelled by `link`;
+    /// `seed` feeds the medium's per-link loss RNGs.
+    pub fn new(link: LinkSpec, seed: u64) -> Self {
+        FtCluster {
+            lan: Rc::new(RefCell::new(Lan::new(link, seed))),
+            systems: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Adds one fault-tolerant system (a guest image and its
+    /// `1 + cfg.backups` replicas) to the cluster; returns its shard
+    /// index. The system's replicas get consecutive nodes on the
+    /// shared LAN; `cfg.link` is overridden by the cluster's medium.
+    pub fn add_system(&mut self, image: &Program, mut cfg: FtConfig) -> usize {
+        let base = {
+            let mut lan = self.lan.borrow_mut();
+            let base = lan.nodes();
+            for _ in 0..(1 + cfg.backups) {
+                lan.add_node();
+            }
+            base
+        };
+        cfg.link = *self.lan.borrow().link();
+        let sys = FtSystem::new_on_lan(image, cfg, Rc::clone(&self.lan), base);
+        self.systems.push(sys);
+        self.results.push(None);
+        self.systems.len() - 1
+    }
+
+    /// Number of shards.
+    pub fn systems(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// Direct access to shard `sys` (failure scheduling, disk
+    /// pre-filling, tracing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sys` is out of range.
+    pub fn system_mut(&mut self, sys: usize) -> &mut FtSystem {
+        &mut self.systems[sys]
+    }
+
+    /// Sets the loss probability of every link currently registered on
+    /// the shared medium (per-system loss can be set via each system's
+    /// [`FtConfig::loss_prob`] before [`FtCluster::add_system`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `p > 0` if any shard's configuration cannot survive
+    /// loss — retransmission disabled, or a detection timeout that
+    /// does not dominate worst-case recovery. Turning loss on behind a
+    /// raw-channel shard would stall its first dropped boundary and
+    /// falsely promote a backup under a live primary, the exact
+    /// failure the construction-time guard exists to prevent.
+    pub fn set_loss_probability_all(&mut self, p: f64) {
+        if p > 0.0 {
+            for sys in &self.systems {
+                FtSystem::assert_loss_tolerant(sys.config());
+            }
+        }
+        self.lan.borrow_mut().set_loss_probability_all(p);
+    }
+
+    /// Medium-wide traffic counters.
+    pub fn lan_stats(&self) -> LanStats {
+        self.lan.borrow().stats()
+    }
+
+    /// Runs every shard to completion and returns their results in
+    /// shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no systems.
+    pub fn run(&mut self) -> Vec<FtRunResult> {
+        assert!(!self.systems.is_empty(), "empty cluster");
+        loop {
+            // Pick the unfinished shard that can act earliest; a shard
+            // whose next_action_time is None is finished or deadlocked
+            // — step it once more to collect its result.
+            let mut pick: Option<(SimTime, usize)> = None;
+            let mut finished = true;
+            for (i, sys) in self.systems.iter().enumerate() {
+                if self.results[i].is_some() {
+                    continue;
+                }
+                finished = false;
+                let t = sys.next_action_time().unwrap_or(SimTime::ZERO);
+                if pick.is_none_or(|(pt, _)| t < pt) {
+                    pick = Some((t, i));
+                }
+            }
+            if finished {
+                return self
+                    .results
+                    .iter()
+                    .map(|r| r.clone().expect("all shards finished"))
+                    .collect();
+            }
+            let (_, i) = pick.expect("unfinished shard");
+            if let Some(result) = self.systems[i].step() {
+                self.results[i] = Some(result);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::RunEnd;
+    use hvft_guest::{build_image, dhrystone_source, hello_source, KernelConfig};
+    use hvft_hypervisor::cost::CostModel;
+    use hvft_sim::time::SimDuration;
+
+    fn fast() -> FtConfig {
+        FtConfig {
+            cost: CostModel::functional(),
+            ..FtConfig::default()
+        }
+    }
+
+    #[test]
+    fn three_shards_finish_with_independent_outputs() {
+        let hello = build_image(&KernelConfig::default(), &hello_source("a\n", 1)).unwrap();
+        let dhry = build_image(&KernelConfig::default(), &dhrystone_source(200, 0)).unwrap();
+        let mut cluster = FtCluster::new(LinkSpec::ethernet_10mbps(), 1);
+        cluster.add_system(&hello, fast());
+        cluster.add_system(&dhry, fast());
+        cluster.add_system(&hello, fast());
+        let results = cluster.run();
+        assert_eq!(results.len(), 3);
+        assert!(matches!(results[0].outcome, RunEnd::Exit { code: 42 }));
+        assert!(matches!(results[1].outcome, RunEnd::Exit { .. }));
+        assert_eq!(results[0].console_output, b"a\n");
+        assert_eq!(results[2].console_output, b"a\n");
+        for r in &results {
+            assert!(r.lockstep.is_clean());
+        }
+    }
+
+    #[test]
+    fn contention_slows_a_shard_down() {
+        // One shard alone vs the same shard sharing the wire with two
+        // chatty neighbours: the medium is the only coupling, so the
+        // lone run must be at least as fast.
+        let image = build_image(&KernelConfig::default(), &dhrystone_source(300, 0)).unwrap();
+        let solo = {
+            let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 5);
+            c.add_system(&image, fast());
+            c.run()[0].completion_time
+        };
+        let contended = {
+            let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 5);
+            c.add_system(&image, fast());
+            c.add_system(&image, fast());
+            c.add_system(&image, fast());
+            c.run()[0].completion_time
+        };
+        assert!(
+            contended > solo,
+            "sharing the medium must cost time: solo {solo}, contended {contended}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmission")]
+    fn lan_loss_behind_raw_shards_is_rejected() {
+        // Turning loss on after construction must face the same guard
+        // as FtConfig::loss_prob: a raw-channel shard would stall its
+        // first dropped boundary and falsely promote a backup.
+        let image = build_image(&KernelConfig::default(), &hello_source("x", 1)).unwrap();
+        let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 1);
+        c.add_system(&image, fast());
+        c.set_loss_probability_all(0.2);
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let image = build_image(&KernelConfig::default(), &dhrystone_source(150, 0)).unwrap();
+        let run = || {
+            let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 9);
+            let cfg = FtConfig {
+                loss_prob: 0.15,
+                retransmit: Some(SimDuration::from_millis(5)),
+                detector_timeout: SimDuration::from_millis(300),
+                ..fast()
+            };
+            for _ in 0..3 {
+                c.add_system(&image, cfg);
+            }
+            let rs = c.run();
+            rs.iter()
+                .map(|r| {
+                    (
+                        format!("{:?}", r.outcome),
+                        r.completion_time,
+                        r.messages_per_replica.clone(),
+                        r.frames_retransmitted,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -38,6 +38,20 @@ pub struct FtConfig {
     pub link: LinkSpec,
     /// Protocol variant.
     pub protocol: ProtocolVariant,
+    /// Per-message loss probability on every coordination link. The §2
+    /// protocols assume a lossless network; any value above `0.0`
+    /// models the lossy LAN of §4.3 and requires [`FtConfig::retransmit`]
+    /// for the run to make progress (without it, a lost `[Tme]` or
+    /// `[end]` permanently stalls an epoch boundary).
+    pub loss_prob: f64,
+    /// Retransmission timeout of the link-level ack/retransmit layer
+    /// (`hvft-net::reliable`), or `None` to run on raw channels as the
+    /// §2 prototype does. Should comfortably exceed the worst-case
+    /// round trip — an 8 KB disk-read forward takes ≈ 7 ms on the
+    /// 10 Mbps Ethernet — and divide the failure-detection timeout many
+    /// times over, so a run of unlucky drops is recovered well before a
+    /// backup falsely suspects the primary.
+    pub retransmit: Option<SimDuration>,
     /// Number of ordered backups (`t` of the t-fault-tolerant VM). The
     /// paper's prototype is `1`; any `t ≥ 1` runs the same engines with
     /// cascading failover.
@@ -71,6 +85,8 @@ impl Default for FtConfig {
             cost: CostModel::hp9000_720(),
             link: LinkSpec::ethernet_10mbps(),
             protocol: ProtocolVariant::Old,
+            loss_prob: 0.0,
+            retransmit: None,
             backups: 1,
             failure: FailureSpec::None,
             detector_timeout: SimDuration::from_millis(60),
@@ -95,6 +111,16 @@ mod tests {
         assert_eq!(c.link.bits_per_sec, 10_000_000);
         assert_eq!(c.failure, FailureSpec::None);
         assert_eq!(c.backups, 1, "the paper's prototype has one backup");
+    }
+
+    #[test]
+    fn default_network_is_lossless_and_raw() {
+        let c = FtConfig::default();
+        assert_eq!(c.loss_prob, 0.0);
+        assert!(
+            c.retransmit.is_none(),
+            "the §2 prototype runs on raw lossless channels"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod cluster;
 pub mod config;
 pub mod lockstep;
 pub mod messages;
@@ -49,8 +50,9 @@ pub mod protocol;
 pub mod system;
 
 pub use chain::{ChainEnd, ChainResult, TChain};
+pub use cluster::FtCluster;
 pub use config::{FailureSpec, FtConfig, ProtocolVariant};
 pub use lockstep::{Divergence, LockstepChecker};
 pub use messages::{DiskCompletion, ForwardedInterrupt, Message};
 pub use protocol::{Effect, IoGate, Promotion, ReplicaEngine, ReplicaId};
-pub use system::{FailoverInfo, FtRunResult, FtSystem, RunEnd};
+pub use system::{FailoverInfo, FtRunResult, FtSystem, RunEnd, WireFrame};

@@ -61,9 +61,9 @@ impl LockstepChecker {
 
     /// Records `replica` reaching the end of `epoch` with the given
     /// state hash. The first report for an epoch becomes its reference;
-    /// every later report is compared against it. Records older than
-    /// [`RETAIN_EPOCHS`] behind the newest reported epoch are pruned,
-    /// bounding memory for arbitrarily long runs.
+    /// every later report is compared against it. Records more than a
+    /// fixed window (`RETAIN_EPOCHS`) behind the newest reported epoch
+    /// are pruned, bounding memory for arbitrarily long runs.
     pub fn record(&mut self, replica: usize, epoch: u64, hash: u64) {
         if epoch > RETAIN_EPOCHS {
             let keep_from = epoch - RETAIN_EPOCHS;

@@ -154,6 +154,37 @@ enum Phase {
 /// A replica starts as the primary or as a backup and may switch role
 /// exactly once per promotion; a `t`-fault system drives `t + 1` of
 /// these, re-wiring roles as primaries failstop.
+///
+/// # Examples
+///
+/// One original-protocol epoch boundary between a primary and a
+/// backup, the driver's message routing done by hand:
+///
+/// ```
+/// use hvft_core::config::ProtocolVariant;
+/// use hvft_core::protocol::{Effect, ReplicaEngine};
+/// use hvft_hypervisor::vclock::VClock;
+///
+/// let mut primary = ReplicaEngine::new_primary(0, vec![1], ProtocolVariant::Old);
+/// let mut backup = ReplicaEngine::new_backup(1, 0, ProtocolVariant::Old);
+///
+/// // The primary's guest reaches the end of epoch 0: [Tme] goes out
+/// // and the boundary stalls awaiting its acknowledgment (rule P2).
+/// let effects = primary.boundary_reached(0, VClock::new());
+/// let Effect::Send { to: 1, msg } = &effects[0] else { unreachable!() };
+/// assert!(!primary.is_running());
+///
+/// // The backup waits at its own boundary for [Tme] (rule P5), then
+/// // assigns the clock and acknowledges.
+/// assert!(backup.boundary_reached(0, VClock::new()).is_empty());
+/// let replies = backup.message_received(0, msg.clone());
+/// let Effect::Send { msg: ack, .. } = &replies[0] else { unreachable!() };
+///
+/// // The acknowledgment releases the primary into epoch 1.
+/// let released = primary.message_received(1, ack.clone());
+/// assert!(primary.is_running());
+/// assert!(released.contains(&Effect::StartEpoch));
+/// ```
 #[derive(Clone, Debug)]
 pub struct ReplicaEngine {
     id: ReplicaId,
@@ -336,7 +367,19 @@ impl ReplicaEngine {
     // -----------------------------------------------------------------
 
     /// A protocol message arrived from replica `from`.
+    ///
+    /// Sequenced messages are *resend-tolerant*: a message whose
+    /// sequence number was already received (a retransmission whose
+    /// original, or whose acknowledgment, the lossy network dropped) is
+    /// re-acknowledged but changes no protocol state, so a driver may
+    /// replay `[E, Int]`, `[Tme_p]` or `[end, E]` any number of times
+    /// without double-buffering an interrupt or re-assigning a clock.
     pub fn message_received(&mut self, from: ReplicaId, msg: Message) -> Vec<Effect> {
+        if let Some(seq) = msg.seq() {
+            if self.is_duplicate(from, seq) {
+                return vec![self.ack(from, seq)];
+            }
+        }
         match msg {
             Message::Ack { upto } => {
                 let slot = self.acked.entry(from).or_insert(0);
@@ -366,6 +409,13 @@ impl ReplicaEngine {
                 effects
             }
         }
+    }
+
+    /// Whether a sequenced message from `from` was already processed.
+    /// A message from a *new* sender is never a duplicate — a new
+    /// primary's sequence space starts fresh.
+    fn is_duplicate(&self, from: ReplicaId, seq: u64) -> bool {
+        from == self.primary && seq <= self.highest_recv
     }
 
     /// Cumulatively acknowledges everything received from the sender;
@@ -858,6 +908,50 @@ mod tests {
                 locals[i]
             );
         }
+    }
+
+    #[test]
+    fn duplicate_messages_reack_without_state_changes() {
+        let mut b = ReplicaEngine::new_backup(1, 0, ProtocolVariant::Old);
+        let int = Message::Interrupt {
+            seq: 1,
+            epoch: 0,
+            interrupt: ForwardedInterrupt {
+                irq_bits: irq::DISK,
+                disk: None,
+            },
+        };
+        let _ = b.message_received(0, int.clone());
+        // The retransmitted copy must be acked but not re-buffered.
+        let effects = b.message_received(0, int);
+        assert_eq!(
+            effects,
+            vec![Effect::Send {
+                to: 0,
+                msg: Message::Ack { upto: 1 }
+            }],
+            "a duplicate produces exactly a re-ack"
+        );
+        let _ = b.boundary_reached(0, vc());
+        let time = Message::Time {
+            seq: 2,
+            epoch: 0,
+            vclock: vc(),
+        };
+        let first = b.message_received(0, time.clone());
+        assert!(first.contains(&Effect::AssignClock(vc())));
+        let second = b.message_received(0, time);
+        assert!(
+            !second.contains(&Effect::AssignClock(vc())),
+            "a duplicate [Tme] must not re-assign the clock: {second:?}"
+        );
+        // Delivery of [end, 0] releases exactly one buffered interrupt.
+        let effects = b.message_received(0, Message::EpochEnd { seq: 3, epoch: 0 });
+        let delivered = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::DeliverInterrupt(_)))
+            .count();
+        assert_eq!(delivered, 1, "the duplicate was not double-buffered");
     }
 
     #[test]

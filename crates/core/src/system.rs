@@ -41,9 +41,20 @@ use hvft_machine::mem::IO_BASE;
 use hvft_machine::trap::irq;
 use hvft_net::channel::Channel;
 use hvft_net::detector::FailureDetector;
+use hvft_net::lan::Lan;
+use hvft_net::reliable::{Frame, RecvWindow, SendWindow};
 use hvft_sim::time::{SimDuration, SimTime};
 use hvft_sim::trace::{TraceCategory, Tracer};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// What the coordination network actually carries: protocol messages
+/// wrapped in the reliable layer's envelope. Runs without
+/// retransmission ([`crate::config::FtConfig::retransmit`] `None`) send
+/// unsequenced `Data` frames and never generate `Ack` frames, so the
+/// wire timing is identical to raw [`Message`] channels.
+pub type WireFrame = Frame<Message>;
 
 /// How a host's run ended.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -205,16 +216,163 @@ pub struct FtRunResult {
     pub op_latencies: Vec<SimDuration>,
     /// Driver retries recorded by the guest kernel (uncertain outcomes).
     pub guest_retries: u32,
-    /// Messages sent by each replica, in chain order.
+    /// Frames sent by each replica, in chain order (includes
+    /// retransmissions and link-level acks when the reliable layer is
+    /// enabled).
     pub messages_per_replica: Vec<u64>,
+    /// Data frames re-sent by the ack/retransmission layer (zero when
+    /// [`crate::config::FtConfig::retransmit`] is `None`).
+    pub frames_retransmitted: u64,
+    /// Duplicate or out-of-order frames suppressed by receivers (zero
+    /// without the reliable layer).
+    pub frames_suppressed: u64,
+}
+
+/// The coordination medium: either a private full mesh of
+/// point-to-point channels (the paper's dedicated coordination LAN) or
+/// a window onto a shared [`Lan`] carrying several fault-tolerant
+/// systems' traffic at once (the sharded [`crate::cluster::FtCluster`]).
+///
+/// Replica indices are system-local; the `Shared` variant maps replica
+/// `i` to LAN node `base + i`.
+enum NetBackend {
+    Mesh(BTreeMap<(usize, usize), Channel<WireFrame>>),
+    Shared {
+        lan: Rc<RefCell<Lan<WireFrame>>>,
+        base: usize,
+        n: usize,
+    },
+}
+
+impl NetBackend {
+    /// Offers a frame for transmission; returns the instant its
+    /// serialization onto the medium completes (known to the sender's
+    /// NIC whether or not the frame is then lost), which anchors the
+    /// retransmit timer.
+    fn send(
+        &mut self,
+        now: SimTime,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        frame: WireFrame,
+    ) -> SimTime {
+        match self {
+            NetBackend::Mesh(chans) => {
+                let ch = chans.get_mut(&(from, to)).expect("mesh channel");
+                let _ = ch.send(now, bytes, frame);
+                ch.busy_until()
+            }
+            NetBackend::Shared { lan, base, .. } => {
+                let mut lan = lan.borrow_mut();
+                let _ = lan.send(now, *base + from, *base + to, bytes, frame);
+                lan.busy_until()
+            }
+        }
+    }
+
+    /// Earliest pending delivery addressed to this system.
+    fn next_delivery(&self) -> Option<SimTime> {
+        match self {
+            NetBackend::Mesh(chans) => chans.values().filter_map(|ch| ch.next_delivery()).min(),
+            NetBackend::Shared { lan, base, n } => {
+                lan.borrow().next_delivery_within(*base, *base + *n)
+            }
+        }
+    }
+
+    /// Pops the earliest delivery due at `t`; ties break in
+    /// `(from, to)` order for determinism.
+    fn pop_due(&mut self, t: SimTime) -> Option<(usize, usize, WireFrame)> {
+        match self {
+            NetBackend::Mesh(chans) => {
+                let pair = chans
+                    .iter()
+                    .find(|(_, ch)| ch.next_delivery() == Some(t))
+                    .map(|(&pair, _)| pair)?;
+                let frame = chans
+                    .get_mut(&pair)
+                    .unwrap()
+                    .pop_ready(t)
+                    .expect("due message");
+                Some((pair.0, pair.1, frame))
+            }
+            NetBackend::Shared { lan, base, n } => {
+                let (from, to, frame) = lan.borrow_mut().pop_ready_within(*base, *base + *n, t)?;
+                Some((from - *base, to - *base, frame))
+            }
+        }
+    }
+
+    /// Severs every link touching `victim` (its processor failstopped).
+    fn sever_all_of(&mut self, victim: usize) {
+        match self {
+            NetBackend::Mesh(chans) => {
+                for (&(from, to), ch) in chans.iter_mut() {
+                    if from == victim || to == victim {
+                        ch.sever();
+                    }
+                }
+            }
+            NetBackend::Shared { lan, base, .. } => lan.borrow_mut().sever_node(*base + victim),
+        }
+    }
+
+    fn is_severed(&self, from: usize, to: usize) -> bool {
+        match self {
+            NetBackend::Mesh(chans) => chans.get(&(from, to)).is_none_or(|ch| ch.is_severed()),
+            NetBackend::Shared { lan, base, .. } => {
+                lan.borrow().is_severed(*base + from, *base + to)
+            }
+        }
+    }
+
+    /// Frames sent by replica `from` over the run (includes
+    /// retransmissions and link-level acks).
+    fn sent_by(&self, from: usize) -> u64 {
+        match self {
+            NetBackend::Mesh(chans) => chans
+                .iter()
+                .filter(|((f, _), _)| *f == from)
+                .map(|(_, ch)| ch.stats().sent)
+                .sum(),
+            NetBackend::Shared { lan, base, .. } => lan.borrow().sent_by(*base + from),
+        }
+    }
+}
+
+/// Per-directed-link ack/retransmission state (present only when
+/// [`crate::config::FtConfig::retransmit`] is set).
+struct RelNet {
+    send: BTreeMap<(usize, usize), SendWindow<Message>>,
+    recv: BTreeMap<(usize, usize), RecvWindow>,
+}
+
+impl RelNet {
+    fn new(n: usize, rto: SimDuration) -> Self {
+        let mut send = BTreeMap::new();
+        let mut recv = BTreeMap::new();
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    send.insert((from, to), SendWindow::new(rto));
+                    recv.insert((from, to), RecvWindow::new());
+                }
+            }
+        }
+        RelNet { send, recv }
+    }
 }
 
 /// The complete §3 prototype, generalized to `t` backups: `t + 1`
 /// processors, shared disk, console, coordination LAN.
 pub struct FtSystem {
     hosts: Vec<Host>,
-    /// `chans[&(i, j)]` carries messages from replica `i` to `j`.
-    chans: BTreeMap<(usize, usize), Channel<Message>>,
+    /// The coordination medium carrying `[E, Int]`, `[Tme]`, `[end]`
+    /// and acknowledgments between the replicas.
+    net: NetBackend,
+    /// Link-level ack/retransmission state, when enabled.
+    rel: Option<RelNet>,
     disk: Disk,
     console: Console,
     /// Per-backup failure detector (`None` for the acting primary and
@@ -223,6 +381,13 @@ pub struct FtSystem {
     cfg: FtConfig,
     /// Pending disk completion per host.
     disk_done: Vec<Option<SimTime>>,
+    /// Per-directed-link instant of the last outbound frame (data, ack
+    /// or heartbeat). A protocol-stalled acting primary heartbeats a
+    /// backup when *that backup's* link has been quiet for a fraction
+    /// of the detection timeout — per-link, because a primary busy
+    /// retransmitting to one lagging backup must not starve the
+    /// caught-up one of liveness evidence.
+    last_outbound: BTreeMap<(usize, usize), SimTime>,
     /// Failure schedule: each entry failstops the then-acting primary.
     fail_schedule: Vec<SimTime>,
     /// Failure schedule for specific replicas (backup failstops),
@@ -237,9 +402,96 @@ pub struct FtSystem {
 
 impl FtSystem {
     /// Builds the system: all `1 + cfg.backups` replicas boot the
-    /// identical image in the identical state, as §2.1 requires.
+    /// identical image in the identical state, as §2.1 requires. The
+    /// coordination medium is a private full mesh of point-to-point
+    /// channels over `cfg.link`, with `cfg.loss_prob` loss injection
+    /// and, when `cfg.retransmit` is set, the link-level
+    /// ack/retransmission layer.
     pub fn new(image: &Program, cfg: FtConfig) -> Self {
+        let n = 1 + cfg.backups;
+        let mut chans = BTreeMap::new();
+        let mut pair = 0u64;
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    let mut ch = Channel::new(cfg.link, cfg.seed ^ (0xA + pair));
+                    ch.set_loss_probability(cfg.loss_prob);
+                    chans.insert((from, to), ch);
+                    pair += 1;
+                }
+            }
+        }
+        Self::build(image, cfg, NetBackend::Mesh(chans))
+    }
+
+    /// Builds the system as one shard of a multi-system cluster: the
+    /// coordination medium is a window onto `lan`, whose nodes
+    /// `base .. base + 1 + cfg.backups` must already be registered for
+    /// this system (see [`crate::cluster::FtCluster`]). Loss injection
+    /// on the shared medium is the cluster's job; `cfg.loss_prob` is
+    /// applied to this system's links as a convenience.
+    pub(crate) fn new_on_lan(
+        image: &Program,
+        cfg: FtConfig,
+        lan: Rc<RefCell<Lan<WireFrame>>>,
+        base: usize,
+    ) -> Self {
+        let n = 1 + cfg.backups;
+        {
+            let mut l = lan.borrow_mut();
+            assert!(
+                base + n <= l.nodes(),
+                "LAN nodes {base}..{} not registered",
+                base + n
+            );
+            if cfg.loss_prob > 0.0 {
+                for from in 0..n {
+                    for to in 0..n {
+                        if from != to {
+                            l.set_loss_probability(base + from, base + to, cfg.loss_prob);
+                        }
+                    }
+                }
+            }
+        }
+        Self::build(image, cfg, NetBackend::Shared { lan, base, n })
+    }
+
+    /// Validates that a configuration can survive message loss:
+    /// retransmission must be enabled (a lost `[Tme]` or `[end]`
+    /// otherwise stalls its epoch boundary forever) and detection must
+    /// dominate recovery. The paper assumes *accurate* failure
+    /// detection; under loss, a stalled primary's retransmissions and
+    /// heartbeats arrive at most `4 × rto` apart (bounded-burst
+    /// resends, backoff capped at 2²), so demanding
+    /// `detector_timeout ≥ 32 × rto` makes a false suspicion require
+    /// ≥ 8 consecutive drops on one link.
+    ///
+    /// Called for `cfg.loss_prob > 0` at construction and again by
+    /// [`crate::cluster::FtCluster::set_loss_probability_all`], which
+    /// can turn loss on after construction.
+    pub(crate) fn assert_loss_tolerant(cfg: &FtConfig) {
+        let Some(rto) = cfg.retransmit else {
+            panic!(
+                "message loss without retransmission stalls the first dropped \
+                 boundary (enable FtConfig::retransmit)"
+            );
+        };
+        assert!(
+            cfg.detector_timeout >= rto * 32,
+            "detector_timeout ({}) must be at least 32 × the retransmission \
+             timeout ({}) or unlucky loss bursts will promote a backup under \
+             a live primary",
+            cfg.detector_timeout,
+            rto,
+        );
+    }
+
+    fn build(image: &Program, cfg: FtConfig, net: NetBackend) -> Self {
         assert!(cfg.backups >= 1, "a fault-tolerant system needs a backup");
+        if cfg.loss_prob > 0.0 {
+            Self::assert_loss_tolerant(&cfg);
+        }
         let n = 1 + cfg.backups;
         let mut hosts = Vec::with_capacity(n);
         for i in 0..n {
@@ -255,16 +507,6 @@ impl FtSystem {
                 ReplicaEngine::new_backup(i, 0, cfg.protocol)
             };
             hosts.push(Host::new(guest, engine));
-        }
-        let mut chans = BTreeMap::new();
-        let mut pair = 0u64;
-        for from in 0..n {
-            for to in 0..n {
-                if from != to {
-                    chans.insert((from, to), Channel::new(cfg.link, cfg.seed ^ (0xA + pair)));
-                    pair += 1;
-                }
-            }
         }
         let mut detectors = vec![None; n];
         for (rank, slot) in detectors.iter_mut().enumerate().skip(1) {
@@ -282,11 +524,20 @@ impl FtSystem {
         };
         FtSystem {
             hosts,
-            chans,
+            net,
+            rel: cfg.retransmit.map(|rto| RelNet::new(n, rto)),
             disk,
             console: Console::new(),
             detectors,
             cfg,
+            last_outbound: (0..n)
+                .flat_map(|from| {
+                    (0..n)
+                        .filter(move |&to| to != from)
+                        .map(move |to| (from, to))
+                })
+                .map(|pair| (pair, SimTime::ZERO))
+                .collect(),
             disk_done: vec![None; n],
             fail_schedule,
             replica_fail_schedule: Vec::new(),
@@ -300,6 +551,11 @@ impl FtSystem {
     /// Number of replicas (1 primary + `t` backups).
     pub fn replicas(&self) -> usize {
         self.hosts.len()
+    }
+
+    /// The configuration this system was built with.
+    pub(crate) fn config(&self) -> &FtConfig {
+        &self.cfg
     }
 
     /// Schedules an additional failstop of the then-acting primary at
@@ -373,11 +629,37 @@ impl FtSystem {
     fn transmit(&mut self, from: usize, to: usize, msg: Message) {
         let bytes = msg.wire_bytes();
         let now = self.hosts[from].now;
-        let _ = self
-            .chans
-            .get_mut(&(from, to))
-            .expect("mesh channel")
-            .send(now, bytes, msg);
+        self.note_outbound(from, to, now);
+        match &mut self.rel {
+            // Reliable mode: stamp a link-level sequence number, retain
+            // a copy until the receiver's cumulative ack covers it, and
+            // anchor the retransmit timer at the frame's serialization
+            // end (a frame queued behind a backlog is not "lost").
+            Some(rel) => {
+                let window = rel.send.get_mut(&(from, to)).expect("send window");
+                let frame = window.wrap(bytes, msg);
+                let wire = frame.wire_bytes(bytes);
+                let tx_end = self.net.send(now, from, to, wire, frame);
+                let window = self
+                    .rel
+                    .as_mut()
+                    .expect("rel unchanged")
+                    .send
+                    .get_mut(&(from, to))
+                    .expect("send window");
+                window.arm(tx_end);
+            }
+            // Raw mode (the §2 lossless assumption): unsequenced frame,
+            // wire timing identical to a bare `Message` channel.
+            None => {
+                let frame = Frame::Data {
+                    seq: 0,
+                    payload: msg,
+                };
+                let wire = frame.wire_bytes(bytes);
+                self.net.send(now, from, to, wire, frame);
+            }
+        }
     }
 
     /// The device half of interrupt delivery: status register, DMA data,
@@ -414,7 +696,7 @@ impl FtSystem {
     // Messaging
     // -----------------------------------------------------------------
 
-    fn deliver(&mut self, to: usize, from: usize, at: SimTime, msg: Message) {
+    fn deliver_frame(&mut self, to: usize, from: usize, at: SimTime, frame: WireFrame) {
         if !self.hosts[to].alive() {
             // A failstopped (or finished) processor takes no further
             // part in the protocol: messages still draining from the
@@ -427,10 +709,152 @@ impl FtSystem {
         host.now = host.now.max(at);
         host.charge(self.cfg.cost.hv_msg_recv);
         if let Some(d) = &mut self.detectors[to] {
+            // Any frame — data, duplicate, or link-level ack — proves
+            // the sender alive.
             d.heard(at);
         }
-        let effects = self.hosts[to].engine.message_received(from, msg);
+        let payload = match frame {
+            Frame::Ack { cum } => {
+                // A link-level ack for data *we* sent to `from`.
+                if let Some(rel) = &mut self.rel {
+                    let now = self.hosts[to].now;
+                    rel.send
+                        .get_mut(&(to, from))
+                        .expect("send window")
+                        .on_ack(now, cum);
+                }
+                return;
+            }
+            Frame::Data { seq, payload } => {
+                if let Some(rel) = &mut self.rel {
+                    // Accept in sequence; answer every data frame —
+                    // fresh or duplicate — with the cumulative ack, so
+                    // the sender's window drains even when acks drop.
+                    let rx = rel.recv.get_mut(&(from, to)).expect("recv window");
+                    let fresh = rx.accept(seq);
+                    let ack: WireFrame = Frame::Ack {
+                        cum: rx.cumulative_ack(),
+                    };
+                    let bytes = ack.wire_bytes(0);
+                    let now = self.hosts[to].now;
+                    self.note_outbound(to, from, now);
+                    self.net.send(now, to, from, bytes, ack);
+                    if !fresh {
+                        return;
+                    }
+                }
+                payload
+            }
+            Frame::Heartbeat => {
+                // Pure liveness: the detector reset above is the whole
+                // point.
+                return;
+            }
+        };
+        let effects = self.hosts[to].engine.message_received(from, payload);
         self.process_effects(to, effects);
+    }
+
+    /// Earliest armed retransmit timer, with its link, considering only
+    /// links whose sender can still retransmit. Used by both the event
+    /// horizon and the dispatcher so they can never disagree.
+    fn next_retransmit(&self) -> Option<(SimTime, (usize, usize))> {
+        let rel = self.rel.as_ref()?;
+        rel.send
+            .iter()
+            .filter(|((from, _), _)| self.hosts[*from].alive())
+            .filter_map(|(&pair, w)| w.deadline().map(|d| (d, pair)))
+            .min()
+    }
+
+    /// A retransmit timer fired: re-send the window's unacknowledged
+    /// tail, or disarm it if the destination is beyond reach (dead peer
+    /// or severed link) so the timer cannot fire forever.
+    fn fire_retransmit(&mut self, t: SimTime, pair: (usize, usize)) {
+        let (from, to) = pair;
+        let unreachable = !self.hosts[to].alive() || self.net.is_severed(from, to);
+        let rel = self.rel.as_mut().expect("retransmit without RelNet");
+        let window = rel.send.get_mut(&pair).expect("send window");
+        if unreachable {
+            window.disarm();
+            return;
+        }
+        // Retransmission is NIC/controller work: it occupies the wire
+        // but charges no guest time and does not move the host clock.
+        // Bounded-burst with exponential backoff — see the congestion
+        // notes on `hvft_net::reliable`.
+        let burst = window.retransmit();
+        if !burst.is_empty() {
+            self.note_outbound(from, to, t);
+            let mut tx_end = t;
+            for out in burst {
+                let wire = out.frame.wire_bytes(out.bytes);
+                tx_end = self.net.send(t, from, to, wire, out.frame);
+            }
+            let rel = self.rel.as_mut().expect("retransmit without RelNet");
+            rel.send.get_mut(&pair).expect("send window").rearm(tx_end);
+        }
+    }
+
+    /// Records an outbound frame on `from → to` (heartbeat bookkeeping).
+    fn note_outbound(&mut self, from: usize, to: usize, at: SimTime) {
+        let slot = self.last_outbound.get_mut(&(from, to)).expect("link slot");
+        *slot = (*slot).max(at);
+    }
+
+    /// How often a protocol-stalled acting primary beacons its
+    /// liveness: enough heartbeat opportunities fit into the detection
+    /// timeout that a false suspicion needs a long run of consecutive
+    /// heartbeat losses on top of a long stall.
+    fn heartbeat_period(&self) -> SimDuration {
+        SimDuration::from_nanos((self.cfg.detector_timeout.as_nanos() / 16).max(1))
+    }
+
+    /// The next heartbeat instant, if one is needed. A heartbeat is
+    /// needed only while the acting primary is stalled by the protocol
+    /// (awaiting boundary or I/O acknowledgments): a running primary
+    /// streams coordination messages anyway, and once its send windows
+    /// drain a stalled one would otherwise fall silent — failure
+    /// detectors must measure liveness, not protocol progress. The
+    /// deadline is per peer link: the earliest quiet one governs.
+    ///
+    /// Heartbeats belong to the lossy-LAN machinery: without the
+    /// reliable layer the §2 lossless-network assumption is in force,
+    /// every send is a delivery, and the configured detection timeout
+    /// already bounds every legitimate gap — so raw-channel runs stay
+    /// bit-identical to the original prototype.
+    fn next_heartbeat(&self) -> Option<SimTime> {
+        self.rel.as_ref()?;
+        let i = self.acting_primary;
+        let host = &self.hosts[i];
+        if host.life != Life::Active || !host.engine.is_primary() || host.engine.is_running() {
+            return None;
+        }
+        host.engine
+            .peers()
+            .iter()
+            .filter(|&&p| self.hosts[p].alive())
+            .map(|&p| self.last_outbound[&(i, p)] + self.heartbeat_period())
+            .min()
+    }
+
+    fn fire_heartbeat(&mut self, t: SimTime) {
+        let i = self.acting_primary;
+        let due: Vec<usize> = self.hosts[i]
+            .engine
+            .peers()
+            .iter()
+            .copied()
+            .filter(|&p| {
+                self.hosts[p].alive() && self.last_outbound[&(i, p)] + self.heartbeat_period() <= t
+            })
+            .collect();
+        for p in due {
+            self.note_outbound(i, p, t);
+            let hb: WireFrame = Frame::Heartbeat;
+            let bytes = hb.wire_bytes(0);
+            self.net.send(t, i, p, bytes, hb);
+        }
     }
 
     // -----------------------------------------------------------------
@@ -726,11 +1150,8 @@ impl FtSystem {
         // primary's failure only after receiving the last message
         // sent"), but nothing further leaves the dead processor, and
         // nothing is worth sending to it.
-        for (&(from, to), ch) in self.chans.iter_mut() {
-            if from == victim || to == victim {
-                ch.sever();
-            }
-        }
+        self.net.sever_all_of(victim);
+        self.disarm_windows_of(victim);
         // A disk operation in flight from the dead host is abandoned:
         // the medium may or may not have absorbed it, and no interrupt
         // will ever be delivered for it — the §2.2 two-generals corner.
@@ -740,6 +1161,19 @@ impl FtSystem {
                 .as_ref()
                 .and_then(|io| io.write_data.clone());
             self.disk.abandon(data.as_deref());
+        }
+    }
+
+    /// Drops all retransmission state touching a failstopped replica:
+    /// the dead processor re-sends nothing, and frames addressed to it
+    /// are no longer worth recovering.
+    fn disarm_windows_of(&mut self, victim: usize) {
+        if let Some(rel) = &mut self.rel {
+            for (&(from, to), w) in rel.send.iter_mut() {
+                if from == victim || to == victim {
+                    w.disarm();
+                }
+            }
         }
     }
 
@@ -764,11 +1198,8 @@ impl FtSystem {
             Some(victim as u8),
             "backup processor failstopped".to_owned(),
         );
-        for (&(from, to), ch) in self.chans.iter_mut() {
-            if from == victim || to == victim {
-                ch.sever();
-            }
-        }
+        self.net.sever_all_of(victim);
+        self.disarm_windows_of(victim);
         // The acting primary detects the backup's silence (modelled at
         // the failure instant, like the instruction-limit path) and
         // stops counting it toward the acknowledgment condition.
@@ -846,9 +1277,9 @@ impl FtSystem {
                 });
             }
         };
-        for ch in self.chans.values() {
-            consider(ch.next_delivery());
-        }
+        consider(self.net.next_delivery());
+        consider(self.next_retransmit().map(|(t, _)| t));
+        consider(self.next_heartbeat());
         for d in &self.disk_done {
             consider(*d);
         }
@@ -873,7 +1304,10 @@ impl FtSystem {
         };
         // Identify which source fires at `t`; priority order is fixed
         // for determinism: primary failure, replica failure, disk
-        // completions, channels in (from, to) order, detector.
+        // completions, deliveries in (from, to) order, retransmit
+        // timers, heartbeat, detector. The heartbeat precedes the
+        // detector so a stalled-but-live primary beats suspicion to
+        // the same instant.
         if self.fail_schedule.first() == Some(&t) {
             self.fail_schedule.remove(0);
             self.inject_failure(t);
@@ -892,19 +1326,20 @@ impl FtSystem {
                 return true;
             }
         }
-        let due_pair = self
-            .chans
-            .iter()
-            .find(|(_, ch)| ch.next_delivery() == Some(t))
-            .map(|(&pair, _)| pair);
-        if let Some((from, to)) = due_pair {
-            let msg = self
-                .chans
-                .get_mut(&(from, to))
-                .unwrap()
-                .pop_ready(t)
-                .expect("due message");
-            self.deliver(to, from, t, msg);
+        if self.net.next_delivery() == Some(t) {
+            if let Some((from, to, frame)) = self.net.pop_due(t) {
+                self.deliver_frame(to, from, t, frame);
+                return true;
+            }
+        }
+        if let Some((due, pair)) = self.next_retransmit() {
+            if due == t {
+                self.fire_retransmit(t, pair);
+                return true;
+            }
+        }
+        if self.next_heartbeat() == Some(t) {
+            self.fire_heartbeat(t);
             return true;
         }
         for b in 0..self.hosts.len() {
@@ -935,95 +1370,123 @@ impl FtSystem {
 
     /// Runs the system until the acting primary's workload completes.
     pub fn run(&mut self) -> FtRunResult {
-        let lookahead = self.cfg.link.min_latency();
         loop {
-            // Completion check.
-            if let Life::Done(end) = self.hosts[self.acting_primary].life {
-                return self.result(end);
+            if let Some(result) = self.step() {
+                return result;
             }
-            // Instruction-limit guard.
-            for i in 0..self.hosts.len() {
-                if self.hosts[i].runnable()
-                    && self.hosts[i].guest.cpu.retired() >= self.cfg.max_insns
-                {
-                    self.hosts[i].life = Life::Done(RunEnd::InsnLimit);
-                    if i != self.acting_primary {
-                        let effects = self.hosts[self.acting_primary].engine.remove_peer(i);
-                        self.process_effects(self.acting_primary, effects);
-                    }
-                }
-            }
+        }
+    }
 
-            let ev_time = self.next_event_time();
-            // Pick the runnable host with the smallest clock.
-            let mut pick: Option<usize> = None;
-            for i in 0..self.hosts.len() {
-                if self.hosts[i].runnable()
-                    && pick.is_none_or(|p| self.hosts[i].now < self.hosts[p].now)
-                {
-                    pick = Some(i);
-                }
+    /// The earliest instant at which this system can do anything: its
+    /// next pending event, or the clock of its laggiest runnable host.
+    /// `None` means the system is finished (or deadlocked) — stepping
+    /// it again will produce a result without advancing time. A
+    /// multi-system driver ([`crate::cluster::FtCluster`]) steps
+    /// whichever of its shards reports the smallest value.
+    pub fn next_action_time(&self) -> Option<SimTime> {
+        let mut t = self.next_event_time();
+        for host in &self.hosts {
+            if host.runnable() && t.is_none_or(|cur| host.now < cur) {
+                t = Some(host.now);
             }
+        }
+        t
+    }
 
-            match (pick, ev_time) {
-                (None, Some(_)) => {
-                    // Nothing can run; advance by events.
-                    if !self.process_one_event() {
-                        return self.result(RunEnd::Fatal { code: None });
-                    }
-                }
-                (None, None) => {
-                    // Deadlock: nobody runnable, no events. This is a
-                    // protocol bug or an ended run.
-                    let end = match self.hosts[self.acting_primary].life {
-                        Life::Done(e) => e,
-                        _ => RunEnd::Fatal { code: None },
-                    };
-                    return self.result(end);
-                }
-                (Some(i), ev) => {
-                    // Events at (or within one instruction of) the
-                    // host's clock go first — a budget smaller than one
-                    // instruction cannot make progress.
-                    if let Some(t) = ev {
-                        if t <= self.hosts[i].now.saturating_add(self.cfg.cost.insn) {
-                            self.process_one_event();
-                            continue;
-                        }
-                    }
-                    // Horizon: the earliest thing that could affect
-                    // anyone, including messages any peer might send
-                    // (conservative lookahead).
-                    let mut horizon = ev.unwrap_or(SimTime::MAX);
-                    for j in 0..self.hosts.len() {
-                        if j != i && self.hosts[j].runnable() {
-                            horizon = horizon.min(self.hosts[j].now.saturating_add(lookahead));
-                        }
-                    }
-                    let budget = if horizon == SimTime::MAX {
-                        SimDuration::from_millis(10)
-                    } else {
-                        horizon - self.hosts[i].now
-                    };
-                    let event = self.hosts[i].guest.run(budget);
-                    self.hosts[i].sync_clock();
-                    self.dispatch_guest_event(i, event);
+    /// Advances the system by one scheduling decision — one event, or
+    /// one conservative slice of one guest — and returns the final
+    /// result once the run is over. [`FtSystem::run`] is exactly this
+    /// in a loop; a cluster driver interleaves `step` calls across
+    /// systems sharing a medium.
+    pub fn step(&mut self) -> Option<FtRunResult> {
+        // Completion check.
+        if let Life::Done(end) = self.hosts[self.acting_primary].life {
+            return Some(self.result(end));
+        }
+        // Instruction-limit guard.
+        for i in 0..self.hosts.len() {
+            if self.hosts[i].runnable() && self.hosts[i].guest.cpu.retired() >= self.cfg.max_insns {
+                self.hosts[i].life = Life::Done(RunEnd::InsnLimit);
+                if i != self.acting_primary {
+                    let effects = self.hosts[self.acting_primary].engine.remove_peer(i);
+                    self.process_effects(self.acting_primary, effects);
                 }
             }
         }
+
+        let ev_time = self.next_event_time();
+        // Pick the runnable host with the smallest clock.
+        let mut pick: Option<usize> = None;
+        for i in 0..self.hosts.len() {
+            if self.hosts[i].runnable()
+                && pick.is_none_or(|p| self.hosts[i].now < self.hosts[p].now)
+            {
+                pick = Some(i);
+            }
+        }
+
+        match (pick, ev_time) {
+            (None, Some(_)) => {
+                // Nothing can run; advance by events.
+                if !self.process_one_event() {
+                    return Some(self.result(RunEnd::Fatal { code: None }));
+                }
+            }
+            (None, None) => {
+                // Deadlock: nobody runnable, no events. This is a
+                // protocol bug or an ended run.
+                let end = match self.hosts[self.acting_primary].life {
+                    Life::Done(e) => e,
+                    _ => RunEnd::Fatal { code: None },
+                };
+                return Some(self.result(end));
+            }
+            (Some(i), ev) => {
+                // Events at (or within one instruction of) the
+                // host's clock go first — a budget smaller than one
+                // instruction cannot make progress.
+                if let Some(t) = ev {
+                    if t <= self.hosts[i].now.saturating_add(self.cfg.cost.insn) {
+                        self.process_one_event();
+                        return None;
+                    }
+                }
+                // Horizon: the earliest thing that could affect
+                // anyone, including messages any peer might send
+                // (conservative lookahead).
+                let lookahead = self.cfg.link.min_latency();
+                let mut horizon = ev.unwrap_or(SimTime::MAX);
+                for j in 0..self.hosts.len() {
+                    if j != i && self.hosts[j].runnable() {
+                        horizon = horizon.min(self.hosts[j].now.saturating_add(lookahead));
+                    }
+                }
+                let budget = if horizon == SimTime::MAX {
+                    SimDuration::from_millis(10)
+                } else {
+                    horizon - self.hosts[i].now
+                };
+                let event = self.hosts[i].guest.run(budget);
+                self.hosts[i].sync_clock();
+                self.dispatch_guest_event(i, event);
+            }
+        }
+        None
     }
 
     fn result(&mut self, outcome: RunEnd) -> FtRunResult {
         let ap = self.acting_primary;
         let retries_addr = hvft_guest::layout::kdata::RETRIES;
-        let sent_by = |from: usize| -> u64 {
-            self.chans
-                .iter()
-                .filter(|((f, _), _)| *f == from)
-                .map(|(_, ch)| ch.stats().sent)
-                .sum()
+        let messages_per_replica: Vec<u64> = (0..self.hosts.len())
+            .map(|from| self.net.sent_by(from))
+            .collect();
+        let (frames_retransmitted, frames_suppressed) = match &self.rel {
+            Some(rel) => (
+                rel.send.values().map(|w| w.stats().retransmitted).sum(),
+                rel.recv.values().map(|w| w.stats().suppressed).sum(),
+            ),
+            None => (0, 0),
         };
-        let messages_per_replica: Vec<u64> = (0..self.hosts.len()).map(sent_by).collect();
         FtRunResult {
             outcome,
             completion_time: self.hosts[ap].now - SimTime::ZERO,
@@ -1045,6 +1508,8 @@ impl FtSystem {
             },
             guest_retries: self.hosts[ap].guest.mem.read_u32(retries_addr).unwrap_or(0),
             messages_per_replica,
+            frames_retransmitted,
+            frames_suppressed,
         }
     }
 }

@@ -1,0 +1,147 @@
+//! Integration tests for the §4.3 lossy-LAN mode: message loss plus
+//! link-level retransmission must be invisible to the guest and the
+//! environment.
+
+use hvft_core::config::{FailureSpec, FtConfig};
+use hvft_core::system::{FtSystem, RunEnd};
+use hvft_guest::{
+    build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
+};
+use hvft_hypervisor::cost::CostModel;
+use hvft_isa::program::Program;
+use hvft_sim::time::{SimDuration, SimTime};
+
+fn base() -> FtConfig {
+    FtConfig {
+        cost: CostModel::functional(),
+        ..FtConfig::default()
+    }
+}
+
+fn lossy(p: f64) -> FtConfig {
+    FtConfig {
+        loss_prob: p,
+        retransmit: Some(SimDuration::from_millis(5)),
+        // Detection must dominate worst-case recovery: retransmission
+        // bursts arrive at most 4 × 5 ms apart (backoff cap), so a
+        // 300 ms timeout only fires after ~15 consecutive losses on
+        // one link (p ≈ 0.2¹⁵ at the 20% loss rate probed here).
+        detector_timeout: SimDuration::from_millis(300),
+        ..base()
+    }
+}
+
+/// Guest-visible behaviour of a run: what the environment can observe.
+fn observable(image: &Program, cfg: FtConfig) -> (String, Vec<u8>, bool) {
+    let mut sys = FtSystem::new(image, cfg);
+    let r = sys.run();
+    (
+        format!("{:?}", r.outcome),
+        r.console_output,
+        r.lockstep.is_clean(),
+    )
+}
+
+#[test]
+fn cpu_run_is_loss_transparent() {
+    let kernel = KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 3,
+        ..KernelConfig::default()
+    };
+    let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
+    let clean = observable(&image, lossy(0.0));
+    let lossy_run = observable(&image, lossy(0.2));
+    assert_eq!(
+        clean, lossy_run,
+        "loss 0.2 + retransmission must be invisible"
+    );
+    assert!(clean.2, "lockstep hashes stay clean");
+}
+
+#[test]
+fn io_run_is_loss_transparent() {
+    let image = build_image(
+        &KernelConfig::default(),
+        &io_bench_source(6, IoMode::Write, 32, 4),
+    )
+    .unwrap();
+    assert_eq!(
+        observable(&image, lossy(0.0)),
+        observable(&image, lossy(0.2))
+    );
+}
+
+#[test]
+fn console_stream_is_loss_transparent() {
+    let image = build_image(&KernelConfig::default(), &hello_source("lossy hello\n", 2)).unwrap();
+    let (outcome, console, _) = observable(&image, lossy(0.25));
+    assert_eq!(outcome, "Exit { code: 42 }");
+    assert_eq!(console, b"lossy hello\n");
+}
+
+#[test]
+fn loss_actually_drops_and_recovers() {
+    let kernel = KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 3,
+        ..KernelConfig::default()
+    };
+    let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
+    let mut sys = FtSystem::new(&image, lossy(0.2));
+    let r = sys.run();
+    assert!(matches!(r.outcome, RunEnd::Exit { .. }));
+    assert!(
+        r.frames_retransmitted > 0,
+        "a 20% loss rate must trigger retransmissions"
+    );
+    assert!(
+        r.frames_suppressed > 0,
+        "retransmission must occasionally duplicate (lost acks)"
+    );
+    // And the lossless run of the same config retransmits nothing.
+    let mut clean = FtSystem::new(&image, lossy(0.0));
+    let rc = clean.run();
+    assert_eq!(rc.frames_retransmitted, 0);
+    assert_eq!(rc.frames_suppressed, 0);
+}
+
+#[test]
+fn failover_under_loss_is_transparent() {
+    // Kill the primary mid-run while the network is dropping messages:
+    // the survivor must still produce the reference checksum.
+    let kernel = KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 2,
+        ..KernelConfig::default()
+    };
+    let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
+    let reference = observable(&image, lossy(0.0));
+    for backups in [1usize, 2] {
+        let cfg = FtConfig {
+            backups,
+            failure: FailureSpec::At(SimTime::from_nanos(3_000_000)),
+            ..lossy(0.2)
+        };
+        let mut sys = FtSystem::new(&image, cfg);
+        let r = sys.run();
+        assert_eq!(r.failovers.len(), 1, "t = {backups}");
+        assert_eq!(
+            format!("{:?}", r.outcome),
+            reference.0,
+            "t = {backups}: survivor must match the loss-free reference"
+        );
+        assert_eq!(r.console_output, reference.1, "t = {backups}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "retransmission")]
+fn loss_without_retransmission_is_rejected() {
+    let image = build_image(&KernelConfig::default(), &hello_source("x", 1)).unwrap();
+    let cfg = FtConfig {
+        loss_prob: 0.1,
+        ..base()
+    };
+    let _ = FtSystem::new(&image, cfg);
+}

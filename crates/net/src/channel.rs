@@ -24,6 +24,99 @@ pub struct ChannelStats {
     pub bytes: u64,
 }
 
+/// The per-link state and semantics shared by [`Channel`] (a private
+/// point-to-point medium) and [`crate::lan::Lan`] (a shared one): FIFO
+/// delivery no earlier than serialization + propagation allow, loss
+/// drawn per message *after* the air time is charged, and
+/// sever-with-drain. The serialization clock (`busy_until`) is owned
+/// by the caller — per channel for a private link, per medium for a
+/// shared one — which is the only difference between the two media.
+pub(crate) struct FifoCore<M> {
+    queue: VecDeque<(SimTime, M)>,
+    rng: SimRng,
+    loss_prob: f64,
+    severed: bool,
+    stats: ChannelStats,
+}
+
+impl<M> FifoCore<M> {
+    pub(crate) fn new(rng: SimRng) -> Self {
+        FifoCore {
+            queue: VecDeque::new(),
+            rng,
+            loss_prob: 0.0,
+            severed: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    pub(crate) fn set_loss_probability(&mut self, p: f64) {
+        self.loss_prob = p.clamp(0.0, 1.0);
+    }
+
+    pub(crate) fn sever(&mut self) {
+        self.severed = true;
+    }
+
+    pub(crate) fn is_severed(&self) -> bool {
+        self.severed
+    }
+
+    /// Offers a message for transmission at `now`, advancing the
+    /// caller's serialization clock. Severed links accept (and count)
+    /// nothing; lost messages still burn air time.
+    pub(crate) fn offer(
+        &mut self,
+        spec: &LinkSpec,
+        busy_until: &mut SimTime,
+        now: SimTime,
+        bytes: usize,
+        msg: M,
+    ) -> Option<SimTime> {
+        if self.severed {
+            return None;
+        }
+        self.stats.sent += 1;
+        self.stats.bytes += bytes as u64;
+        // Serialization occupies the medium even if the message is then
+        // lost (collisions/drops still burn air time).
+        let n_msgs = spec.messages_for(bytes) as u64;
+        let tx_time = spec.per_message * n_msgs + spec.transfer_time(bytes);
+        let start = (*busy_until).max(now);
+        let tx_end = start + tx_time;
+        *busy_until = tx_end;
+        if self.loss_prob > 0.0 && self.rng.gen_bool(self.loss_prob) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let deliver = tx_end + spec.propagation;
+        self.queue.push_back((deliver, msg));
+        Some(deliver)
+    }
+
+    pub(crate) fn next_delivery(&self) -> Option<SimTime> {
+        self.queue.front().map(|(t, _)| *t)
+    }
+
+    pub(crate) fn pop_ready(&mut self, now: SimTime) -> Option<M> {
+        match self.queue.front() {
+            Some((t, _)) if *t <= now => {
+                self.stats.delivered += 1;
+                self.queue.pop_front().map(|(_, m)| m)
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub(crate) fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
 /// A unidirectional FIFO channel carrying messages of type `M`.
 ///
 /// # Examples
@@ -43,11 +136,7 @@ pub struct Channel<M> {
     /// Time the transmitter finishes serializing the last accepted
     /// message (models link occupancy).
     busy_until: SimTime,
-    queue: VecDeque<(SimTime, M)>,
-    rng: SimRng,
-    loss_prob: f64,
-    severed: bool,
-    stats: ChannelStats,
+    core: FifoCore<M>,
 }
 
 impl<M> Channel<M> {
@@ -56,11 +145,7 @@ impl<M> Channel<M> {
         Channel {
             link,
             busy_until: SimTime::ZERO,
-            queue: VecDeque::new(),
-            rng: SimRng::seed_from_label(seed, "channel"),
-            loss_prob: 0.0,
-            severed: false,
-            stats: ChannelStats::default(),
+            core: FifoCore::new(SimRng::seed_from_label(seed, "channel")),
         }
     }
 
@@ -71,7 +156,7 @@ impl<M> Channel<M> {
 
     /// Enables random message loss with probability `p` per message.
     pub fn set_loss_probability(&mut self, p: f64) {
-        self.loss_prob = p.clamp(0.0, 1.0);
+        self.core.set_loss_probability(p);
     }
 
     /// Permanently severs the channel: future sends vanish, but messages
@@ -79,12 +164,12 @@ impl<M> Channel<M> {
     /// the paper assumes the backup "detects the primary's processor
     /// failure only after receiving the last message sent".
     pub fn sever(&mut self) {
-        self.severed = true;
+        self.core.sever();
     }
 
     /// Whether the channel has been severed.
     pub fn is_severed(&self) -> bool {
-        self.severed
+        self.core.is_severed()
     }
 
     /// Sends a message of `bytes` payload bytes at time `now`.
@@ -93,51 +178,37 @@ impl<M> Channel<M> {
     /// (loss injection) or the channel is severed. Delivery order is
     /// FIFO even when a short message follows a long one.
     pub fn send(&mut self, now: SimTime, bytes: usize, msg: M) -> Option<SimTime> {
-        if self.severed {
-            return None;
-        }
-        self.stats.sent += 1;
-        self.stats.bytes += bytes as u64;
-        // Serialization occupies the link even if the message is then lost
-        // (collisions/drops still burn air time).
-        let n_msgs = self.link.messages_for(bytes) as u64;
-        let tx_time = self.link.per_message * n_msgs + self.link.transfer_time(bytes);
-        let start = self.busy_until.max(now);
-        let tx_end = start + tx_time;
-        self.busy_until = tx_end;
-        if self.loss_prob > 0.0 && self.rng.gen_bool(self.loss_prob) {
-            self.stats.dropped += 1;
-            return None;
-        }
-        let deliver = tx_end + self.link.propagation;
-        self.queue.push_back((deliver, msg));
-        Some(deliver)
+        self.core
+            .offer(&self.link, &mut self.busy_until, now, bytes, msg)
     }
 
     /// Time the next message becomes deliverable, if any.
     pub fn next_delivery(&self) -> Option<SimTime> {
-        self.queue.front().map(|(t, _)| *t)
+        self.core.next_delivery()
     }
 
     /// Pops the next message if its delivery time has arrived.
     pub fn pop_ready(&mut self, now: SimTime) -> Option<M> {
-        match self.queue.front() {
-            Some((t, _)) if *t <= now => {
-                self.stats.delivered += 1;
-                self.queue.pop_front().map(|(_, m)| m)
-            }
-            _ => None,
-        }
+        self.core.pop_ready(now)
     }
 
     /// Number of messages in flight.
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.core.in_flight()
+    }
+
+    /// The instant the transmitter finishes serializing everything
+    /// accepted so far — when the last bit of the most recent send left
+    /// the adapter. A sender's NIC knows this exactly, which is what
+    /// makes serialization-aware retransmit timers honest (see
+    /// [`crate::reliable::SendWindow::arm`]).
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
     }
 
     /// Counters.
     pub fn stats(&self) -> ChannelStats {
-        self.stats
+        self.core.stats()
     }
 
     /// The earliest a message sent *now* could arrive (DES lookahead).

@@ -9,6 +9,19 @@
 use hvft_sim::time::SimDuration;
 
 /// Performance parameters of a point-to-point link.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_net::link::LinkSpec;
+///
+/// let e = LinkSpec::ethernet_10mbps();
+/// // An 8 KB disk block (+48 header bytes) crosses as the paper's
+/// // "9 messages for the data" (§4.2)…
+/// assert_eq!(e.messages_for(8192 + 48), 9);
+/// // …and its end-to-end latency is dominated by serialization.
+/// assert!(e.payload_latency(8192) > e.transfer_time(8192));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinkSpec {
     /// Raw bandwidth in bits per second.

@@ -17,6 +17,25 @@ use std::collections::VecDeque;
 /// Implementations must deliver messages in send order and never before
 /// the send time; [`Transport::lookahead`] bounds how soon after a send
 /// a delivery can occur (the conservative-DES horizon).
+///
+/// # Examples
+///
+/// Code written against the trait runs over any medium:
+///
+/// ```
+/// use hvft_net::channel::Channel;
+/// use hvft_net::link::LinkSpec;
+/// use hvft_net::transport::{InstantLink, Transport};
+/// use hvft_sim::time::SimTime;
+///
+/// fn round_trip<T: Transport<u8>>(t: &mut T) -> Option<u8> {
+///     let at = t.send(SimTime::ZERO, 1, 7)?;
+///     t.pop_ready(at)
+/// }
+/// assert_eq!(round_trip(&mut InstantLink::new()), Some(7));
+/// let mut ch = Channel::new(LinkSpec::ethernet_10mbps(), 0);
+/// assert_eq!(round_trip(&mut ch), Some(7));
+/// ```
 pub trait Transport<M> {
     /// Offers `msg` (`bytes` payload bytes) for transmission at `now`.
     /// Returns the delivery time, or `None` if the transport dropped it

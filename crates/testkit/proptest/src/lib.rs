@@ -191,7 +191,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    /// Uniform choice between type-erased alternatives (the `prop_oneof!` macro).
     pub struct Union<T>(Vec<BoxedStrategy<T>>);
 
     impl<T> Union<T> {
