@@ -10,37 +10,51 @@
 //! - `cluster/*` time whole cluster runs to completion; each iteration
 //!   simulates the *same* deterministic run, so the wall time measures
 //!   the simulator while the recorded run is the paper-relevant datum.
+//!
+//! Non-regression micro-asserts ride along: the ready-time index behind
+//! `Lan::pop_ready_within` must not change simulated cluster throughput
+//! (delivery order is asserted identical run-to-run, and the substrate
+//! must stay orders of magnitude under the pre-index worst case).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hvft_core::cluster::FtCluster;
-use hvft_core::config::FtConfig;
-use hvft_core::system::RunEnd;
-use hvft_guest::{build_image, dhrystone_source, KernelConfig};
-use hvft_hypervisor::cost::CostModel;
-use hvft_isa::program::Program;
+use hvft_core::scenario::{ClusterScenario, RunReport, Scenario};
+use hvft_guest::workload::Dhrystone;
+use hvft_guest::KernelConfig;
 use hvft_net::lan::Lan;
 use hvft_net::link::LinkSpec;
 use hvft_sim::time::{SimDuration, SimTime};
 use std::hint::black_box;
 
-fn cpu_image() -> Program {
-    let kernel = KernelConfig {
-        tick_period_us: 2000,
-        tick_work: 2,
-        ..KernelConfig::default()
-    };
-    build_image(&kernel, &dhrystone_source(400, 0)).expect("image builds")
+fn cpu_workload() -> Dhrystone {
+    Dhrystone {
+        iters: 400,
+        syscall_every: 0,
+        kernel: KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 2,
+            ..KernelConfig::default()
+        },
+    }
 }
 
-fn shard_cfg(seed: u64, loss: f64) -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        seed,
-        loss_prob: loss,
-        retransmit: Some(SimDuration::from_millis(5)),
-        detector_timeout: SimDuration::from_millis(300),
-        ..FtConfig::default()
+fn cluster(systems: usize, loss: f64) -> ClusterScenario {
+    let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), 9);
+    for i in 0..systems {
+        let mut b = Scenario::builder()
+            .workload(cpu_workload())
+            .functional_cost()
+            .seed(9 + i as u64);
+        if loss > 0.0 {
+            b = b
+                .lossy(loss)
+                .retransmit(SimDuration::from_millis(5))
+                .detector_timeout(SimDuration::from_millis(300));
+        }
+        cluster
+            .add(b.build().expect("valid shard"))
+            .expect("replicated shard");
     }
+    cluster
 }
 
 /// Shared-medium model microbenchmark: send + deliver across 6 nodes.
@@ -68,46 +82,77 @@ fn bench_lan_substrate(c: &mut Criterion) {
         })
     });
     g.finish();
+    // Micro-assert: with the ready-time index a send+pop costs well
+    // under a microsecond; 50 µs/element would mean the per-pop scan
+    // over all links is back (or worse). Generous enough for any CI
+    // machine, tight enough to catch an O(links) pop.
+    let m = c
+        .measurements()
+        .iter()
+        .find(|m| m.label == "lan/send_pop_6nodes_600msgs")
+        .expect("substrate measurement recorded");
+    let ns_per_elem = m.ns_per_iter / 600.0;
+    assert!(
+        ns_per_elem < 50_000.0,
+        "LAN substrate regressed to {ns_per_elem:.0} ns/element"
+    );
 }
 
 /// Whole-cluster throughput: N CPU-bound shards to completion on one
 /// shared Ethernet, lossless vs 20% loss with retransmission.
 fn bench_cluster(c: &mut Criterion) {
-    let image = cpu_image();
     let mut g = c.benchmark_group("cluster");
     g.sample_size(10);
+    let mut recorded: Vec<(usize, f64, SimDuration)> = Vec::new();
     for (label, systems, loss) in [
         ("throughput_1sys_lossless", 1usize, 0.0),
         ("throughput_3sys_lossless", 3, 0.0),
         ("throughput_3sys_loss20", 3, 0.2),
     ] {
+        let scenario = cluster(systems, loss);
+        let mut slowest = SimDuration::ZERO;
         g.bench_function(label, |b| {
             b.iter(|| {
-                let mut cluster = FtCluster::new(LinkSpec::ethernet_10mbps(), 9);
-                for i in 0..systems {
-                    cluster.add_system(&image, shard_cfg(9 + i as u64, loss));
-                }
-                let results = cluster.run();
+                let results: Vec<RunReport> = scenario.run();
                 for r in &results {
-                    assert!(
-                        matches!(r.outcome, RunEnd::Exit { .. }),
-                        "shard must finish: {:?}",
-                        r.outcome
-                    );
+                    assert!(r.exit.is_clean_exit(), "shard must finish: {:?}", r.exit);
                 }
                 // The paper-relevant datum: simulated completion of the
                 // slowest shard (contention stretches it as N grows).
-                black_box(
-                    results
-                        .iter()
-                        .map(|r| r.completion_time)
-                        .max()
-                        .expect("nonempty"),
-                )
+                slowest = results
+                    .iter()
+                    .map(|r| r.completion_time)
+                    .max()
+                    .expect("nonempty");
+                black_box(slowest)
             })
         });
+        recorded.push((systems, loss, slowest));
     }
     g.finish();
+    // Micro-asserts on the *simulated* numbers, which are deterministic:
+    // cluster throughput must not regress behind the LAN index.
+    // (a) A rerun reproduces the slowest-shard time bit-for-bit — the
+    //     index changed no delivery order.
+    for &(systems, loss, slowest) in &recorded {
+        let again = cluster(systems, loss)
+            .run()
+            .iter()
+            .map(|r| r.completion_time)
+            .max()
+            .expect("nonempty");
+        assert_eq!(
+            again, slowest,
+            "{systems}-system loss={loss} cluster is not deterministic"
+        );
+    }
+    // (b) Contention ordering is preserved: sharing the wire costs time,
+    //     and loss recovery costs more.
+    assert!(recorded[1].2 > recorded[0].2, "contention must cost time");
+    assert!(
+        recorded[2].2 > recorded[1].2,
+        "loss recovery must cost time"
+    );
 }
 
 fn save(c: &mut Criterion) {

@@ -6,8 +6,8 @@
 //! are what the `fig*`/`table1` binaries report).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hvft_core::config::{FtConfig, ProtocolVariant};
-use hvft_core::system::FtSystem;
+use hvft_core::config::ProtocolVariant;
+use hvft_core::scenario::Scenario;
 use hvft_guest::{build_image, dhrystone_source, KernelConfig};
 use std::hint::black_box;
 
@@ -33,16 +33,14 @@ fn bench_ft_run(c: &mut Criterion) {
                 BenchmarkId::new(name, el),
                 &(el, protocol),
                 |b, &(el, protocol)| {
-                    b.iter(|| {
-                        let mut cfg = FtConfig {
-                            protocol,
-                            lockstep_check: false,
-                            ..FtConfig::default()
-                        };
-                        cfg.hv.epoch_len = el;
-                        let mut sys = FtSystem::new(&img, cfg);
-                        black_box(sys.run().completion_time)
-                    })
+                    let scenario = Scenario::builder()
+                        .image(img.clone())
+                        .protocol(protocol)
+                        .lockstep(false)
+                        .epoch_len(el)
+                        .build()
+                        .expect("bench scenario is valid");
+                    b.iter(|| black_box(scenario.run().completion_time))
                 },
             );
         }
@@ -55,16 +53,14 @@ fn bench_lockstep_hashing(c: &mut Criterion) {
     let mut g = c.benchmark_group("lockstep");
     g.sample_size(10);
     for (name, check) in [("hashing_on", true), ("hashing_off", false)] {
+        let scenario = Scenario::builder()
+            .image(img.clone())
+            .lockstep(check)
+            .epoch_len(4096)
+            .build()
+            .expect("bench scenario is valid");
         g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = FtConfig {
-                    lockstep_check: check,
-                    ..FtConfig::default()
-                };
-                cfg.hv.epoch_len = 4096;
-                let mut sys = FtSystem::new(&img, cfg);
-                black_box(sys.run().lockstep.compared())
-            })
+            b.iter(|| black_box(scenario.run().lockstep_compared))
         });
     }
     g.finish();

@@ -1,0 +1,58 @@
+//! The workload-registry sweep: every registered guest through the
+//! scenario builder at `t ∈ {1, 2}`, recorded to `BENCH_scenarios.json`
+//! for the CI artifact (next to the interpreter and LAN records).
+//!
+//! Wall time per iteration measures the simulator; the asserts pin the
+//! paper's transparency property across the whole registry — every
+//! workload must exit identically at t = 1 and t = 2 (backup count is
+//! invisible to the guest), with clean lockstep throughout.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hvft_core::scenario::Scenario;
+use hvft_guest::workload::registry;
+use std::hint::black_box;
+
+fn bench_registry_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(3);
+    for w in registry() {
+        let name = w.name();
+        let mut codes = Vec::new();
+        for backups in [1usize, 2] {
+            let scenario = Scenario::builder()
+                .workload_named(&name)
+                .functional_cost()
+                .backups(backups)
+                .build()
+                .unwrap_or_else(|e| panic!("{name} t={backups}: {e}"));
+            // One verified run outside the timer: exit + lockstep.
+            let probe = scenario.run();
+            assert!(
+                probe.exit.is_clean_exit(),
+                "{name} t={backups}: {:?}",
+                probe.exit
+            );
+            assert!(probe.lockstep_clean, "{name} t={backups}: diverged");
+            codes.push(probe.exit.code());
+            g.throughput(Throughput::Elements(probe.retired));
+            g.bench_function(format!("{name}_t{backups}"), |b| {
+                b.iter(|| black_box(scenario.run().completion_time))
+            });
+        }
+        assert_eq!(
+            codes[0], codes[1],
+            "{name}: the backup count must be invisible to the guest"
+        );
+    }
+    g.finish();
+}
+
+fn save(c: &mut Criterion) {
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenarios.json");
+    c.save_json(out)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_registry_sweep, save);
+criterion_main!(benches);

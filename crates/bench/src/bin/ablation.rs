@@ -14,8 +14,8 @@
 //!    with each mechanism's cost individually zeroed.
 
 use hvft_bench::{paper_kernel, run_bare, run_ft};
-use hvft_core::config::{FtConfig, ProtocolVariant};
-use hvft_core::system::FtSystem;
+use hvft_core::config::ProtocolVariant;
+use hvft_core::scenario::Scenario;
 use hvft_guest::{build_image, mixed_source, IoMode};
 use hvft_hypervisor::cost::CostModel;
 use hvft_net::link::LinkSpec;
@@ -84,15 +84,15 @@ fn cost_decomposition() {
     let (bare, _) = run_bare(&image, 3_000_000_000);
 
     let np_with = |label: &str, cost: CostModel, protocol: ProtocolVariant| {
-        let mut cfg = FtConfig {
-            cost,
-            protocol,
-            lockstep_check: false,
-            ..FtConfig::default()
-        };
-        cfg.hv.epoch_len = 4096;
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
+        let r = Scenario::builder()
+            .image(image.clone())
+            .cost(cost)
+            .protocol(protocol)
+            .lockstep(false)
+            .epoch_len(4096)
+            .build()
+            .expect("ablation scenario is valid")
+            .run();
         let np = r.completion_time.as_nanos() as f64 / bare.as_nanos() as f64;
         println!("| {label:<44} | {np:>6.2} |");
         np

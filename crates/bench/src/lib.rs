@@ -16,11 +16,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use hvft_core::config::{FtConfig, ProtocolVariant};
-use hvft_core::system::{FtSystem, RunEnd};
+use hvft_core::config::ProtocolVariant;
+use hvft_core::scenario::{RunReport, Scenario};
 use hvft_guest::{build_image, dhrystone_source, io_bench_source, IoMode, KernelConfig};
-use hvft_hypervisor::bare::{BareExit, BareHost};
-use hvft_hypervisor::cost::CostModel;
 use hvft_net::link::LinkSpec;
 use hvft_sim::time::SimDuration;
 
@@ -110,19 +108,27 @@ fn np_of(bare: SimDuration, ft: SimDuration) -> f64 {
 
 /// Runs a guest image on the bare host and returns its completion time
 /// and retired-instruction count.
+///
+/// # Panics
+///
+/// Panics unless the workload terminates through a clean `SYS_EXIT` —
+/// a codeless halt (kernel fatal path), a stuck guest, or the
+/// instruction limit means the measurement would be of a broken run.
 pub fn run_bare(image: &hvft_isa::program::Program, max_insns: u64) -> (SimDuration, u64) {
-    let mut host = BareHost::new(
-        image,
-        CostModel::hp9000_720(),
-        hvft_guest::layout::RAM_BYTES,
-        128,
-        7,
+    let r = Scenario::builder()
+        .image(image.clone())
+        .bare()
+        .seed(7)
+        .max_insns(max_insns)
+        .build()
+        .expect("bare scenario is valid")
+        .run();
+    assert!(
+        r.exit.is_clean_exit(),
+        "bare run did not complete: {:?}",
+        r.exit
     );
-    let r = host.run(max_insns);
-    match r.exit {
-        BareExit::Halted { .. } => (r.time, r.retired),
-        other => panic!("bare run did not complete: {other:?}"),
-    }
+    (r.completion_time, r.retired)
 }
 
 /// Runs a guest image under the fault-tolerant system.
@@ -132,21 +138,21 @@ pub fn run_ft(
     protocol: ProtocolVariant,
     link: LinkSpec,
     max_insns: u64,
-) -> hvft_core::system::FtRunResult {
-    let mut cfg = FtConfig {
-        protocol,
-        link,
-        lockstep_check: false,
-        max_insns,
-        ..FtConfig::default()
-    };
-    cfg.hv.epoch_len = epoch_len;
-    let mut sys = FtSystem::new(image, cfg);
-    let r = sys.run();
+) -> RunReport {
+    let r = Scenario::builder()
+        .image(image.clone())
+        .epoch_len(epoch_len)
+        .protocol(protocol)
+        .link(link)
+        .lockstep(false)
+        .max_insns(max_insns)
+        .build()
+        .expect("measurement scenario is valid")
+        .run();
     assert!(
-        matches!(r.outcome, RunEnd::Exit { .. }),
+        r.exit.is_clean_exit(),
         "FT run (EL={epoch_len}, {protocol:?}) did not complete: {:?}",
-        r.outcome
+        r.exit
     );
     r
 }

@@ -23,9 +23,11 @@
 use crate::config::ProtocolVariant;
 use crate::lockstep::LockstepChecker;
 use crate::messages::Message;
+use crate::observer::Observer;
 use crate::protocol::{apply_to_guest, Effect, ReplicaEngine};
+use crate::system::FailoverInfo;
 use hvft_hypervisor::cost::CostModel;
-use hvft_hypervisor::hvguest::{HvConfig, HvEvent, HvGuest};
+use hvft_hypervisor::hvguest::{HvConfig, HvEvent, HvGuest, HvStats};
 use hvft_isa::program::Program;
 use hvft_machine::mem::IO_BASE;
 use hvft_net::transport::{InstantLink, Transport};
@@ -65,6 +67,16 @@ pub struct ChainResult {
     pub console: Vec<(usize, u8)>,
     /// Cross-replica state-hash comparisons performed.
     pub comparisons: u64,
+    /// Every promotion in order: the epoch it happened at, with `at`
+    /// carrying the promoted replica's accumulated guest time (the
+    /// chain is round-synchronous and has no global clock).
+    pub promotions: Vec<FailoverInfo>,
+    /// Simulated guest time accumulated by the acting primary (zero if
+    /// the chain was exhausted).
+    pub completion_time: SimDuration,
+    /// Hypervisor statistics per replica, in chain order (default for
+    /// failstopped replicas).
+    pub replica_stats: Vec<HvStats>,
 }
 
 /// One chain member: a hypervised guest plus its protocol engine.
@@ -83,6 +95,11 @@ pub struct TChain {
     lockstep: LockstepChecker,
     /// `links[&(i, j)]` carries messages from replica `i` to `j`.
     links: BTreeMap<(usize, usize), InstantLink<Message>>,
+    /// Epoch of each promotion, in promotion order.
+    promotions: Vec<FailoverInfo>,
+    /// Run observers (see [`crate::observer::Observer`]); hook sites
+    /// are the chain's round boundaries and promotions.
+    observers: Vec<Box<dyn Observer>>,
 }
 
 impl TChain {
@@ -90,18 +107,47 @@ impl TChain {
     /// protocol. Each replica's machine gets a different TLB seed — as
     /// in the DES system, hardware non-determinism must be survivable.
     ///
+    /// Deprecated shim: construct through
+    /// [`crate::scenario::Scenario::builder`] with
+    /// [`crate::scenario::Driver::Chain`], which validates instead of
+    /// panicking.
+    ///
     /// # Panics
     ///
     /// Panics if `t == 0` (a chain needs at least one backup).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build runs through hvft_core::scenario::Scenario with Driver::Chain; \
+                this unvalidated constructor panics on bad configurations"
+    )]
     pub fn new(image: &Program, t: usize, cost: CostModel, hv: HvConfig) -> Self {
-        Self::with_protocol(image, t, cost, hv, ProtocolVariant::Old)
+        Self::build(image, t, cost, hv, ProtocolVariant::Old)
     }
 
     /// [`TChain::new`] with an explicit protocol variant. The chain's
     /// instantaneous links acknowledge within the round, so both
     /// variants behave identically — running them through the same
     /// engine is precisely the point.
+    ///
+    /// Deprecated shim: see [`TChain::new`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build runs through hvft_core::scenario::Scenario with Driver::Chain; \
+                this unvalidated constructor panics on bad configurations"
+    )]
     pub fn with_protocol(
+        image: &Program,
+        t: usize,
+        cost: CostModel,
+        hv: HvConfig,
+        variant: ProtocolVariant,
+    ) -> Self {
+        Self::build(image, t, cost, hv, variant)
+    }
+
+    /// The validated construction path used by the scenario layer (and
+    /// the deprecated constructor shims).
+    pub(crate) fn build(
         image: &Program,
         t: usize,
         cost: CostModel,
@@ -140,12 +186,26 @@ impl TChain {
             console: Vec::new(),
             lockstep: LockstepChecker::new(),
             links,
+            promotions: Vec::new(),
+            observers: Vec::new(),
         }
     }
 
     /// Number of live replicas.
     pub fn live(&self) -> usize {
         self.replicas.iter().flatten().count()
+    }
+
+    /// Registers a run observer. The chain fires the epoch-boundary and
+    /// failover hooks; its instantaneous links carry no observable wire
+    /// traffic.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// Removes and returns the registered observers.
+    pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
+        std::mem::take(&mut self.observers)
     }
 
     /// Failstops the acting primary; the next live replica promotes.
@@ -164,11 +224,19 @@ impl TChain {
                 let survivors: Vec<usize> = (0..self.replicas.len())
                     .filter(|&j| j != next && self.replicas[j].is_some())
                     .collect();
-                self.replicas[next]
-                    .as_mut()
-                    .expect("next is live")
-                    .engine
-                    .promote_running(survivors);
+                let promoted = self.replicas[next].as_mut().expect("next is live");
+                promoted.engine.promote_running(survivors);
+                let info = FailoverInfo {
+                    // The chain is round-synchronous: promotion "time"
+                    // is the promoted replica's accumulated guest time.
+                    at: SimTime::ZERO + promoted.guest.elapsed(),
+                    epoch: self.epoch,
+                    uncertain_synthesized: false,
+                };
+                self.promotions.push(info);
+                for obs in &mut self.observers {
+                    obs.failover(&info);
+                }
                 true
             }
             None => false,
@@ -277,6 +345,17 @@ impl TChain {
                 }
             }
         }
+        if !self.observers.is_empty() {
+            for &i in &at_boundary {
+                let (epoch, at) = {
+                    let r = self.replicas[i].as_ref().expect("boundary replica is live");
+                    (r.guest.epoch(), SimTime::ZERO + r.guest.elapsed())
+                };
+                for obs in &mut self.observers {
+                    obs.epoch_boundary(i, epoch, at);
+                }
+            }
+        }
         self.epoch += 1;
         if !self.lockstep.is_clean() {
             return Some(ChainEnd::Diverged { epoch: self.epoch });
@@ -341,11 +420,24 @@ impl TChain {
             failures,
             console: self.console.clone(),
             comparisons: self.lockstep.compared(),
+            promotions: self.promotions.clone(),
+            completion_time: self.replicas[self.head]
+                .as_ref()
+                .map(|r| r.guest.elapsed())
+                .unwrap_or(SimDuration::ZERO),
+            replica_stats: self
+                .replicas
+                .iter()
+                .map(|r| r.as_ref().map(|r| *r.guest.stats()).unwrap_or_default())
+                .collect(),
         }
     }
 }
 
 #[cfg(test)]
+// The chain's own tests deliberately exercise the legacy constructors
+// while the deprecated shims exist (the scenario layer has its own).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use hvft_guest::{build_image, dhrystone_source, hello_source, KernelConfig};

@@ -22,20 +22,24 @@
 //!   on instantaneous links; same engines, different machinery.
 //! - [`messages`], [`config`], [`lockstep`] — the wire vocabulary, the
 //!   knobs, and the `n`-replica divergence checker.
+//! - [`scenario`], [`observer`] — the public front door: the typed,
+//!   validating [`scenario::ScenarioBuilder`], the uniform
+//!   [`scenario::RunReport`] every driver yields, and the
+//!   [`observer::Observer`] hook API onto protocol events.
 //!
-//! Entry point: [`system::FtSystem`]. Build a guest image with
-//! `hvft-guest`, pick a [`config::FtConfig`], and run:
+//! Entry point: [`scenario::Scenario`]. Pick a workload (by name from
+//! the `hvft-guest` registry, or by value), configure, run:
 //!
 //! ```
-//! use hvft_core::config::FtConfig;
-//! use hvft_core::system::{FtSystem, RunEnd};
-//! use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+//! use hvft_core::scenario::Scenario;
 //!
-//! let image = build_image(&KernelConfig::default(), &dhrystone_source(50, 0)).unwrap();
-//! let mut sys = FtSystem::new(&image, FtConfig::default());
-//! let result = sys.run();
-//! assert!(matches!(result.outcome, RunEnd::Exit { .. }));
-//! assert!(result.lockstep.is_clean());
+//! let report = Scenario::builder()
+//!     .workload_named("dhrystone")
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
+//! assert!(report.exit.is_clean_exit());
+//! assert!(report.lockstep_clean);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,7 +50,9 @@ pub mod cluster;
 pub mod config;
 pub mod lockstep;
 pub mod messages;
+pub mod observer;
 pub mod protocol;
+pub mod scenario;
 pub mod system;
 
 pub use chain::{ChainEnd, ChainResult, TChain};
@@ -54,5 +60,9 @@ pub use cluster::FtCluster;
 pub use config::{FailureSpec, FtConfig, ProtocolVariant};
 pub use lockstep::{Divergence, LockstepChecker};
 pub use messages::{DiskCompletion, ForwardedInterrupt, Message};
+pub use observer::Observer;
 pub use protocol::{Effect, IoGate, Promotion, ReplicaEngine, ReplicaId};
+pub use scenario::{
+    ClusterScenario, ConfigError, Driver, ExitStatus, RunReport, Runner, Scenario, ScenarioBuilder,
+};
 pub use system::{FailoverInfo, FtRunResult, FtSystem, RunEnd, WireFrame};

@@ -1,0 +1,88 @@
+//! Run-observer hooks: a uniform window onto the low-frequency protocol
+//! events of every driver.
+//!
+//! The drivers used to grow a bespoke counter for each question anyone
+//! asked of a run ("how many frames were re-sent?", "when did the
+//! failover land?"). An [`Observer`] inverts that: the driver announces
+//! each protocol-level event — epoch boundaries, failovers, message
+//! sends/drops/retransmissions, interrupt deliveries — and whoever
+//! needs a statistic accumulates it outside the driver.
+//!
+//! Hooks fire only on the *driver's* event paths (a few per epoch),
+//! never inside the interpreter's per-instruction fast path, and each
+//! site is guarded by an is-empty check on the observer list — so an
+//! unobserved run does exactly the work it did before the hooks
+//! existed. The interpreter's own fast path (`hvft-machine`'s
+//! predecoded-block engine) is untouched; its branch-free discipline is
+//! preserved by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use hvft_core::observer::Observer;
+//! use hvft_core::scenario::Scenario;
+//! use hvft_core::system::FailoverInfo;
+//! use hvft_sim::time::SimTime;
+//!
+//! /// Counts epoch boundaries per replica.
+//! #[derive(Default)]
+//! struct Boundaries(std::collections::BTreeMap<usize, u64>);
+//!
+//! impl Observer for Boundaries {
+//!     fn epoch_boundary(&mut self, replica: usize, _epoch: u64, _at: SimTime) {
+//!         *self.0.entry(replica).or_default() += 1;
+//!     }
+//! }
+//!
+//! let scenario = Scenario::builder()
+//!     .workload(hvft_guest::workload::Hello::default())
+//!     .build()
+//!     .unwrap();
+//! let mut runner = scenario.runner();
+//! runner.add_observer(Box::new(Boundaries::default()));
+//! let report = runner.run();
+//! assert!(report.exit.is_clean_exit());
+//! ```
+
+use crate::system::FailoverInfo;
+use hvft_sim::time::SimTime;
+
+/// Hooks into a run's protocol-level events. Every method has an empty
+/// default body: implement only what you care about.
+///
+/// Replica indices are chain positions (0 = the initial primary).
+/// Message hooks see link-level traffic: payload frames, acks and
+/// heartbeats alike, because that is what occupies the wire.
+pub trait Observer {
+    /// A replica's guest reached an epoch boundary (rule P2/P5
+    /// processing follows).
+    fn epoch_boundary(&mut self, _replica: usize, _epoch: u64, _at: SimTime) {}
+
+    /// A backup promoted itself (rules P6/P7); `info` is the same
+    /// record the run report carries.
+    fn failover(&mut self, _info: &FailoverInfo) {}
+
+    /// A frame was offered to the coordination medium and a delivery
+    /// was scheduled. Fires for first transmissions and retransmissions
+    /// alike, so `message_sent + message_dropped` is the complete wire
+    /// view. (The run report's `messages_per_replica` counts frames
+    /// that *occupied the medium* — which includes loss-consumed ones —
+    /// so the two agree exactly on lossless runs and differ by the drop
+    /// count under loss injection.)
+    fn message_sent(&mut self, _from: usize, _to: usize, _bytes: usize, _at: SimTime) {}
+
+    /// A frame was offered but never produced a delivery: loss
+    /// injection consumed it (it still burned air time) or the link was
+    /// severed.
+    fn message_dropped(&mut self, _from: usize, _to: usize, _at: SimTime) {}
+
+    /// A retransmit timer fired and re-sent `frames` unacknowledged
+    /// frames on `from → to` (each also reported individually through
+    /// [`Observer::message_sent`]/[`Observer::message_dropped`]).
+    fn retransmit(&mut self, _from: usize, _to: usize, _frames: usize, _at: SimTime) {}
+
+    /// An interrupt was delivered into a replica's guest (rule P5 at
+    /// backups, the buffered delivery point at the primary, or a P7
+    /// synthesized uncertain completion).
+    fn interrupt_delivered(&mut self, _replica: usize, _irq_bits: u32, _at: SimTime) {}
+}

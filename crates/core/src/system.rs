@@ -31,6 +31,7 @@
 use crate::config::{FailureSpec, FtConfig};
 use crate::lockstep::LockstepChecker;
 use crate::messages::{DiskCompletion, ForwardedInterrupt, Message};
+use crate::observer::Observer;
 use crate::protocol::{apply_to_guest, Effect, IoGate, ReplicaEngine};
 use hvft_devices::console::Console;
 use hvft_devices::disk::{Disk, DiskCommand, DiskLogEntry, DiskStatus, BLOCK_SIZE};
@@ -248,7 +249,8 @@ impl NetBackend {
     /// Offers a frame for transmission; returns the instant its
     /// serialization onto the medium completes (known to the sender's
     /// NIC whether or not the frame is then lost), which anchors the
-    /// retransmit timer.
+    /// retransmit timer, plus whether the frame actually entered the
+    /// wire (false: loss injection or a severed link consumed it).
     fn send(
         &mut self,
         now: SimTime,
@@ -256,17 +258,19 @@ impl NetBackend {
         to: usize,
         bytes: usize,
         frame: WireFrame,
-    ) -> SimTime {
+    ) -> (SimTime, bool) {
         match self {
             NetBackend::Mesh(chans) => {
                 let ch = chans.get_mut(&(from, to)).expect("mesh channel");
-                let _ = ch.send(now, bytes, frame);
-                ch.busy_until()
+                let accepted = ch.send(now, bytes, frame).is_some();
+                (ch.busy_until(), accepted)
             }
             NetBackend::Shared { lan, base, .. } => {
                 let mut lan = lan.borrow_mut();
-                let _ = lan.send(now, *base + from, *base + to, bytes, frame);
-                lan.busy_until()
+                let accepted = lan
+                    .send(now, *base + from, *base + to, bytes, frame)
+                    .is_some();
+                (lan.busy_until(), accepted)
             }
         }
     }
@@ -398,6 +402,11 @@ pub struct FtSystem {
     /// Index of the host currently acting as primary.
     acting_primary: usize,
     tracer: Tracer,
+    /// Run observers (see [`crate::observer::Observer`]). Every hook
+    /// site lives on a driver event path (never the interpreter's
+    /// per-instruction fast path) behind an is-empty check, so an
+    /// unobserved run pays nothing.
+    observers: Vec<Box<dyn Observer>>,
 }
 
 impl FtSystem {
@@ -407,7 +416,24 @@ impl FtSystem {
     /// channels over `cfg.link`, with `cfg.loss_prob` loss injection
     /// and, when `cfg.retransmit` is set, the link-level
     /// ack/retransmission layer.
+    ///
+    /// Deprecated shim: construct through
+    /// [`crate::scenario::Scenario::builder`], which validates the
+    /// configuration (returning [`crate::scenario::ConfigError`] instead
+    /// of panicking) and yields a uniform
+    /// [`crate::scenario::RunReport`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build runs through hvft_core::scenario::Scenario; \
+                this unvalidated constructor panics on bad configurations"
+    )]
     pub fn new(image: &Program, cfg: FtConfig) -> Self {
+        Self::from_config(image, cfg)
+    }
+
+    /// The validated construction path used by the scenario layer (and
+    /// the deprecated [`FtSystem::new`] shim).
+    pub(crate) fn from_config(image: &Program, cfg: FtConfig) -> Self {
         let n = 1 + cfg.backups;
         let mut chans = BTreeMap::new();
         let mut pair = 0u64;
@@ -545,7 +571,34 @@ impl FtSystem {
             lockstep: LockstepChecker::new(),
             acting_primary: 0,
             tracer: Tracer::new(4096),
+            observers: Vec::new(),
         }
+    }
+
+    /// Registers a run observer. Multiple observers fire in
+    /// registration order at every hook site.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// Removes and returns the registered observers (to read their
+    /// accumulated state after [`FtSystem::run`]).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
+        std::mem::take(&mut self.observers)
+    }
+
+    /// Fans an event out to every registered observer. Hook sites call
+    /// this on driver event paths only; the empty-list check keeps
+    /// unobserved runs free of observer work.
+    fn notify(&mut self, f: impl Fn(&mut dyn Observer)) {
+        for obs in &mut self.observers {
+            f(obs.as_mut());
+        }
+    }
+
+    /// Guest instructions the acting primary has retired.
+    pub fn primary_retired(&self) -> u64 {
+        self.hosts[self.acting_primary].guest.cpu.retired()
     }
 
     /// Number of replicas (1 primary + `t` backups).
@@ -613,6 +666,8 @@ impl FtSystem {
                 Effect::DeliverInterrupt(fwd) => {
                     self.hosts[i].guest.assert_irq(fwd.irq_bits);
                     self.apply_interrupt_payload(i, &fwd);
+                    let at = self.hosts[i].now;
+                    self.notify(|o| o.interrupt_delivered(i, fwd.irq_bits, at));
                 }
                 Effect::SynthesizeUncertain => self.synthesize_uncertain(i),
                 Effect::ResumeHeldIo => {
@@ -630,7 +685,7 @@ impl FtSystem {
         let bytes = msg.wire_bytes();
         let now = self.hosts[from].now;
         self.note_outbound(from, to, now);
-        match &mut self.rel {
+        let accepted = match &mut self.rel {
             // Reliable mode: stamp a link-level sequence number, retain
             // a copy until the receiver's cumulative ack covers it, and
             // anchor the retransmit timer at the frame's serialization
@@ -639,7 +694,7 @@ impl FtSystem {
                 let window = rel.send.get_mut(&(from, to)).expect("send window");
                 let frame = window.wrap(bytes, msg);
                 let wire = frame.wire_bytes(bytes);
-                let tx_end = self.net.send(now, from, to, wire, frame);
+                let (tx_end, accepted) = self.net.send(now, from, to, wire, frame);
                 let window = self
                     .rel
                     .as_mut()
@@ -648,6 +703,7 @@ impl FtSystem {
                     .get_mut(&(from, to))
                     .expect("send window");
                 window.arm(tx_end);
+                accepted
             }
             // Raw mode (the §2 lossless assumption): unsequenced frame,
             // wire timing identical to a bare `Message` channel.
@@ -657,8 +713,13 @@ impl FtSystem {
                     payload: msg,
                 };
                 let wire = frame.wire_bytes(bytes);
-                self.net.send(now, from, to, wire, frame);
+                self.net.send(now, from, to, wire, frame).1
             }
+        };
+        if accepted {
+            self.notify(|o| o.message_sent(from, to, bytes, now));
+        } else {
+            self.notify(|o| o.message_dropped(from, to, now));
         }
     }
 
@@ -690,6 +751,8 @@ impl FtSystem {
         if let Some(inflight) = host.inflight.take() {
             host.op_latencies.push(host.now - inflight.issued_at);
         }
+        let at = self.hosts[i].now;
+        self.notify(|o| o.interrupt_delivered(i, irq::DISK, at));
     }
 
     // -----------------------------------------------------------------
@@ -738,7 +801,12 @@ impl FtSystem {
                     let bytes = ack.wire_bytes(0);
                     let now = self.hosts[to].now;
                     self.note_outbound(to, from, now);
-                    self.net.send(now, to, from, bytes, ack);
+                    let accepted = self.net.send(now, to, from, bytes, ack).1;
+                    if accepted {
+                        self.notify(|o| o.message_sent(to, from, bytes, now));
+                    } else {
+                        self.notify(|o| o.message_dropped(to, from, now));
+                    }
                     if !fresh {
                         return;
                     }
@@ -786,13 +854,30 @@ impl FtSystem {
         let burst = window.retransmit();
         if !burst.is_empty() {
             self.note_outbound(from, to, t);
+            let frames = burst.len();
             let mut tx_end = t;
+            // Re-sent frames go through the same per-frame observer
+            // accounting as first transmissions (sent when the medium
+            // schedules a delivery, dropped when loss consumes it), so
+            // an observer's wire view stays complete under loss; the
+            // aggregate retransmit hook reports the burst itself.
+            let mut sent = Vec::with_capacity(frames);
             for out in burst {
                 let wire = out.frame.wire_bytes(out.bytes);
-                tx_end = self.net.send(t, from, to, wire, out.frame);
+                let (end, accepted) = self.net.send(t, from, to, wire, out.frame);
+                tx_end = end;
+                sent.push((out.bytes, accepted));
             }
             let rel = self.rel.as_mut().expect("retransmit without RelNet");
             rel.send.get_mut(&pair).expect("send window").rearm(tx_end);
+            for (bytes, accepted) in sent {
+                if accepted {
+                    self.notify(|o| o.message_sent(from, to, bytes, t));
+                } else {
+                    self.notify(|o| o.message_dropped(from, to, t));
+                }
+            }
+            self.notify(|o| o.retransmit(from, to, frames, t));
         }
     }
 
@@ -853,7 +938,12 @@ impl FtSystem {
             self.note_outbound(i, p, t);
             let hb: WireFrame = Frame::Heartbeat;
             let bytes = hb.wire_bytes(0);
-            self.net.send(t, i, p, bytes, hb);
+            let accepted = self.net.send(t, i, p, bytes, hb).1;
+            if accepted {
+                self.notify(|o| o.message_sent(i, p, bytes, t));
+            } else {
+                self.notify(|o| o.message_dropped(i, p, t));
+            }
         }
     }
 
@@ -877,6 +967,8 @@ impl FtSystem {
             }
         }
         self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
+        let at = self.hosts[i].now;
+        self.notify(|o| o.epoch_boundary(i, epoch, at));
         let vclock = self.hosts[i].guest.vclock.snapshot();
         let effects = self.hosts[i].engine.boundary_reached(epoch, vclock);
         self.process_effects(i, effects);
@@ -1016,11 +1108,13 @@ impl FtSystem {
             self.acting_primary = i;
             self.detectors[i] = None;
             self.hosts[i].now = self.hosts[i].now.max(at);
-            self.failovers.push(FailoverInfo {
+            let info = FailoverInfo {
                 at: self.hosts[i].now,
                 epoch: self.hosts[i].guest.epoch(),
                 uncertain_synthesized: false,
-            });
+            };
+            self.failovers.push(info);
+            self.notify(|o| o.failover(&info));
             self.hosts[i].life = Life::Done(end);
             return;
         }
@@ -1057,11 +1151,13 @@ impl FtSystem {
                 }
             ),
         );
-        self.failovers.push(FailoverInfo {
+        let info = FailoverInfo {
             at: now,
             epoch: promo.epoch,
             uncertain_synthesized: promo.uncertain_synthesized,
-        });
+        };
+        self.failovers.push(info);
+        self.notify(|o| o.failover(&info));
     }
 
     // -----------------------------------------------------------------

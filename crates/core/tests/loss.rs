@@ -2,6 +2,10 @@
 //! link-level retransmission must be invisible to the guest and the
 //! environment.
 
+// These tests deliberately drive the legacy constructors while the
+// deprecated shims exist; the scenario layer has its own test suite.
+#![allow(deprecated)]
+
 use hvft_core::config::{FailureSpec, FtConfig};
 use hvft_core::system::{FtSystem, RunEnd};
 use hvft_guest::{

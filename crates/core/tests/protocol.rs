@@ -1,5 +1,9 @@
 //! Integration tests of the replica-coordination protocols (P1–P7).
 
+// These tests deliberately drive the legacy constructors while the
+// deprecated shims exist; the scenario layer has its own test suite.
+#![allow(deprecated)]
+
 use hvft_core::config::{FailureSpec, FtConfig, ProtocolVariant};
 use hvft_core::system::{FtSystem, RunEnd};
 use hvft_devices::disk::check_single_processor_consistency;

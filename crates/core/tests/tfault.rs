@@ -2,6 +2,10 @@
 //! `t ≥ 2` ordered backups with real link timing, rank-scaled failure
 //! detectors, and cascading failover.
 
+// These tests deliberately drive the legacy constructors while the
+// deprecated shims exist; the scenario layer has its own test suite.
+#![allow(deprecated)]
+
 use hvft_core::config::{FailureSpec, FtConfig, ProtocolVariant};
 use hvft_core::system::{FtSystem, RunEnd};
 use hvft_devices::disk::check_single_processor_consistency;

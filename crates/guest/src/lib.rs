@@ -13,9 +13,14 @@
 pub mod kernel;
 pub mod layout;
 pub mod programs;
+pub mod workload;
 
 pub use kernel::{kernel_source, KernelConfig};
-pub use programs::{dhrystone_source, hello_source, io_bench_source, mixed_source, IoMode};
+pub use programs::{
+    dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source, pingpong_source,
+    sieve_source, IoMode,
+};
+pub use workload::Workload;
 
 use hvft_isa::asm::{assemble, AsmError};
 use hvft_isa::program::Program;

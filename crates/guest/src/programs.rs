@@ -262,6 +262,223 @@ u_io:
     s
 }
 
+/// A sieve of Eratosthenes over `2..=limit`.
+///
+/// Byte-array marking with a quadratic striding pattern — a branchy,
+/// store-heavy workload quite unlike dhrystone's fixed mix. The
+/// checksum folds every surviving prime and the running prime count,
+/// so it is timing-independent and highly sensitive to any marking
+/// error. The flag array lives at [`USER_DATA`]; `limit` must leave it
+/// clear of the DMA buffer (one byte per candidate).
+pub fn sieve_source(limit: u32) -> String {
+    assert!(
+        (2..=0xFFF0).contains(&limit),
+        "sieve limit {limit} outside 2..=0xFFF0 (flag array must fit below the DMA buffer)"
+    );
+    let mut s = prologue("sieve of Eratosthenes");
+    s.push_str(&format!(
+        "    li   r10, {limit}        ; limit
+    li   r11, {udata:#x}     ; flag array (byte per candidate)
+    ; clear flags 0..=limit
+    mv   r12, r11
+    add  r13, r11, r10
+u_sv_clear:
+    sb   r0, 0(r12)
+    addi r12, r12, 1
+    blt  r12, r13, u_sv_clear
+    sb   r0, 0(r13)          ; include the limit itself
+    ; outer loop: p = 2, 3, ... while p*p <= limit
+    li   r14, 2
+u_sv_outer:
+    mul  r15, r14, r14
+    blt  r10, r15, u_sv_count
+    add  r16, r11, r14
+    lbu  r17, 0(r16)
+    bne  r17, r0, u_sv_next  ; p already composite
+    li   r17, 1
+u_sv_mark:
+    blt  r10, r15, u_sv_next ; multiple beyond limit
+    add  r16, r11, r15
+    sb   r17, 0(r16)
+    add  r15, r15, r14
+    b    u_sv_mark
+u_sv_next:
+    addi r14, r14, 1
+    b    u_sv_outer
+    ; count the survivors, folding primes into the checksum
+u_sv_count:
+    li   r18, 0              ; prime count
+    li   r19, 0              ; checksum
+    li   r14, 2
+u_sv_cloop:
+    blt  r10, r14, u_sv_done
+    add  r16, r11, r14
+    lbu  r17, 0(r16)
+    bne  r17, r0, u_sv_cnext
+    addi r18, r18, 1
+    add  r19, r19, r14
+    slli r20, r19, 1
+    srli r21, r19, 31
+    or   r19, r20, r21       ; rotate-left 1
+    xor  r19, r19, r18
+u_sv_cnext:
+    addi r14, r14, 1
+    b    u_sv_cloop
+u_sv_done:
+    slli r20, r18, 16        ; count in the high half, mix in the low
+    xor  r4, r19, r20
+    gate {exit}
+",
+        limit = limit,
+        udata = USER_DATA,
+        exit = sys::EXIT,
+    ));
+    s
+}
+
+/// An `n × n` integer matrix multiply (`C = A × B`).
+///
+/// `A` and `B` are filled by an LCG from `seed`; the checksum folds
+/// every element of `C` through a rotate-xor mix. Dense `mul`/`lw`
+/// traffic with a 3-deep loop nest — the classic cache/TLB walker.
+/// All three matrices live at [`USER_DATA`] (`3 × n² × 4` bytes, which
+/// must stay below the DMA buffer: `n ≤ 73`).
+pub fn matmul_source(n: u32, seed: u32) -> String {
+    assert!((1..=73).contains(&n), "matmul n {n} outside 1..=73");
+    let mut s = prologue("integer matmul");
+    s.push_str(&format!(
+        "    li   r10, {n}            ; n
+    li   r11, {seed:#x}      ; LCG state
+    li   r12, {udata:#x}     ; A
+    mul  r13, r10, r10       ; n*n
+    slli r14, r13, 2
+    add  r15, r12, r14       ; B = A + n*n*4
+    add  r16, r15, r14       ; C = B + n*n*4
+    ; fill A and B: 2*n*n LCG words
+    slli r17, r13, 1
+    mv   r18, r12
+u_mm_fill:
+    li   r19, 1664525
+    mul  r11, r11, r19
+    li   r19, 1013904223
+    add  r11, r11, r19
+    srli r19, r11, 4
+    sw   r19, 0(r18)
+    addi r18, r18, 4
+    addi r17, r17, -1
+    bne  r17, r0, u_mm_fill
+    ; C[i][j] = sum_k A[i][k] * B[k][j]
+    li   r20, 0              ; checksum
+    li   r17, 0              ; i
+u_mm_i:
+    li   r18, 0              ; j
+u_mm_j:
+    li   r21, 0              ; acc
+    li   r19, 0              ; k
+u_mm_k:
+    mul  r22, r17, r10
+    add  r22, r22, r19
+    slli r22, r22, 2
+    add  r22, r22, r12
+    lw   r22, 0(r22)         ; A[i][k]
+    mul  r23, r19, r10
+    add  r23, r23, r18
+    slli r23, r23, 2
+    add  r23, r23, r15
+    lw   r23, 0(r23)         ; B[k][j]
+    mul  r22, r22, r23
+    add  r21, r21, r22
+    addi r19, r19, 1
+    blt  r19, r10, u_mm_k
+    mul  r22, r17, r10
+    add  r22, r22, r18
+    slli r22, r22, 2
+    add  r22, r22, r16
+    sw   r21, 0(r22)         ; C[i][j]
+    add  r20, r20, r21
+    slli r22, r20, 3
+    srli r23, r20, 29
+    or   r20, r22, r23       ; rotate-left 3
+    xor  r20, r20, r21
+    addi r18, r18, 1
+    blt  r18, r10, u_mm_j
+    addi r17, r17, 1
+    blt  r17, r10, u_mm_i
+    mv   r4, r20
+    gate {exit}
+",
+        n = n,
+        seed = seed,
+        udata = USER_DATA,
+        exit = sys::EXIT,
+    ));
+    s
+}
+
+/// A producer–consumer ping-pong over an in-memory ring.
+///
+/// Each round the producer fills a `depth`-slot queue at [`USER_DATA`]
+/// from an LCG stream, the consumer drains it folding a parity-branchy
+/// checksum, and one console byte marks the round — so the workload
+/// mixes stores, loads, data-dependent branches and a steady trickle of
+/// externally visible I/O (the console path the protocols must gate).
+pub fn pingpong_source(rounds: u32, depth: u32, seed: u32) -> String {
+    assert!(rounds >= 1, "pingpong needs at least one round");
+    assert!(
+        (1..=0x3FF0).contains(&depth),
+        "pingpong depth {depth} outside 1..=0x3FF0 (queue must fit below the DMA buffer)"
+    );
+    let mut s = prologue("producer-consumer ping-pong");
+    s.push_str(&format!(
+        "    li   r10, {rounds}       ; rounds remaining
+    li   r11, {depth}        ; queue depth
+    li   r12, {udata:#x}     ; queue base
+    li   r14, 0              ; checksum
+    li   r15, {seed:#x}      ; producer LCG state
+u_pp_round:
+    ; producer: fill the queue
+    li   r16, 0
+u_pp_prod:
+    li   r17, 1664525
+    mul  r15, r15, r17
+    li   r17, 1013904223
+    add  r15, r15, r17
+    slli r18, r16, 2
+    add  r18, r18, r12
+    sw   r15, 0(r18)
+    addi r16, r16, 1
+    blt  r16, r11, u_pp_prod
+    ; consumer: drain it, branching on item parity
+    li   r16, 0
+u_pp_cons:
+    slli r18, r16, 2
+    add  r18, r18, r12
+    lw   r19, 0(r18)
+    xor  r14, r14, r19
+    andi r20, r19, 1
+    beq  r20, r0, u_pp_even
+    add  r14, r14, r16
+u_pp_even:
+    addi r16, r16, 1
+    blt  r16, r11, u_pp_cons
+    ; one console byte per round: externally visible progress
+    li   r4, 46              ; '.'
+    gate {putc}
+    addi r10, r10, -1
+    bne  r10, r0, u_pp_round
+    mv   r4, r14
+    gate {exit}
+",
+        rounds = rounds,
+        depth = depth,
+        seed = seed,
+        udata = USER_DATA,
+        putc = sys::PUTC,
+        exit = sys::EXIT,
+    ));
+    s
+}
+
 /// A tiny console program: prints a message, waits for a few timer
 /// ticks, prints again, exits with a fixed code.
 pub fn hello_source(message: &str, wait_ticks: u32) -> String {
@@ -332,6 +549,36 @@ mod tests {
             let src = mixed_source(8, IoMode::Write, 32, 3, compute);
             assemble(&src).unwrap_or_else(|e| panic!("mixed({compute}): {e}"));
         }
+    }
+
+    #[test]
+    fn sieve_assembles() {
+        for limit in [10, 500, 5_000] {
+            let src = sieve_source(limit);
+            assemble(&src).unwrap_or_else(|e| panic!("sieve({limit}): {e}"));
+        }
+    }
+
+    #[test]
+    fn matmul_assembles() {
+        for n in [1, 8, 24] {
+            let src = matmul_source(n, 7);
+            assemble(&src).unwrap_or_else(|e| panic!("matmul({n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn pingpong_assembles() {
+        for (rounds, depth) in [(1, 1), (16, 8), (64, 256)] {
+            let src = pingpong_source(rounds, depth, 3);
+            assemble(&src).unwrap_or_else(|e| panic!("pingpong({rounds},{depth}): {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sieve limit")]
+    fn oversized_sieve_rejected() {
+        let _ = sieve_source(0x20000);
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Named, pluggable guest workloads.
+//!
+//! The paper evaluates its protocols under exactly three guest programs
+//! (CPU-intense dhrystone, read-intense, write-intense). The scenario
+//! layer generalizes that: a [`Workload`] is anything that can produce
+//! a bootable guest image, and the [`registry`] holds a named instance
+//! of every built-in workload so harnesses (CLI figure regeneration,
+//! CI benches, proptests) can select guests *by name* instead of
+//! hand-assembling images.
+//!
+//! Built-in workloads:
+//!
+//! | name | program | flavour |
+//! |---|---|---|
+//! | `dhrystone` | [`crate::dhrystone_source`] | the paper's CPU-intense mix |
+//! | `io-read` | [`crate::io_bench_source`] | random-block disk reads (§4.2) |
+//! | `io-write` | [`crate::io_bench_source`] | random-block disk writes (§4.2) |
+//! | `mixed` | [`crate::mixed_source`] | compute + I/O interpolation (§4.2) |
+//! | `hello` | [`crate::hello_source`] | console + timer ticks |
+//! | `sieve` | [`crate::sieve_source`] | branchy byte-store prime sieve |
+//! | `matmul` | [`crate::matmul_source`] | n³ integer multiply, deep loop nest |
+//! | `pingpong` | [`crate::pingpong_source`] | producer–consumer ring + console |
+//!
+//! # Examples
+//!
+//! ```
+//! use hvft_guest::workload::{by_name, registry, Workload};
+//!
+//! // Every registered workload can produce a bootable image.
+//! for w in registry() {
+//!     assert!(w.image().is_ok(), "{} must build", w.name());
+//! }
+//! // Selection by name is how CLIs and CI harnesses pick guests.
+//! let sieve = by_name("sieve").expect("sieve is registered");
+//! assert_eq!(sieve.name(), "sieve");
+//! ```
+
+use crate::build_image;
+use crate::kernel::KernelConfig;
+use crate::programs::{
+    dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source, pingpong_source,
+    sieve_source, IoMode,
+};
+use hvft_isa::asm::AsmError;
+use hvft_isa::program::Program;
+
+/// A guest workload: everything needed to produce one bootable image.
+///
+/// Implementations are plain parameter structs; the scenario layer
+/// treats them uniformly, and [`registry`] exposes a default-sized
+/// instance of each built-in under a stable name.
+pub trait Workload {
+    /// Stable name the workload is registered (and selected) under.
+    fn name(&self) -> String;
+
+    /// The kernel configuration this workload boots with.
+    fn kernel(&self) -> KernelConfig {
+        KernelConfig::default()
+    }
+
+    /// The user program's assembly source (must `.org` at
+    /// [`crate::layout::USER_TEXT`] and label its entry `u_main`).
+    fn user_source(&self) -> String;
+
+    /// Assembles the kernel plus the user program into a bootable image.
+    fn image(&self) -> Result<Program, AsmError> {
+        build_image(&self.kernel(), &self.user_source())
+    }
+}
+
+/// A snappy kernel for functional (non-paper-calibrated) runs: frequent
+/// ticks with a little privileged work, so the timer/interrupt path
+/// stays exercised without dominating short workloads.
+fn functional_kernel() -> KernelConfig {
+    KernelConfig {
+        tick_period_us: 2000,
+        tick_work: 2,
+        ..KernelConfig::default()
+    }
+}
+
+/// The paper's CPU-intense workload (synthetic Dhrystone 2.1 mix).
+#[derive(Clone, Copy, Debug)]
+pub struct Dhrystone {
+    /// Iterations of the fixed integer/memory/branch mix.
+    pub iters: u32,
+    /// Perform a `SYS_GETTIME` syscall every this many iterations
+    /// (0 = never).
+    pub syscall_every: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for Dhrystone {
+    fn default() -> Self {
+        Dhrystone {
+            iters: 1_500,
+            syscall_every: 6,
+            kernel: functional_kernel(),
+        }
+    }
+}
+
+impl Workload for Dhrystone {
+    fn name(&self) -> String {
+        "dhrystone".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        dhrystone_source(self.iters, self.syscall_every)
+    }
+}
+
+/// The §4.2 disk benchmark: random-block reads or writes, each awaited.
+#[derive(Clone, Copy, Debug)]
+pub struct IoBench {
+    /// Operations to perform.
+    pub ops: u32,
+    /// Read or write.
+    pub mode: IoMode,
+    /// Blocks the LCG selects among (must not exceed the disk size the
+    /// scenario configures).
+    pub num_blocks: u32,
+    /// LCG seed for block selection.
+    pub seed: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl IoBench {
+    /// The default-sized read benchmark.
+    pub fn read() -> Self {
+        IoBench {
+            mode: IoMode::Read,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for IoBench {
+    fn default() -> Self {
+        IoBench {
+            ops: 3,
+            mode: IoMode::Write,
+            num_blocks: 16,
+            seed: 5,
+            kernel: KernelConfig::default(),
+        }
+    }
+}
+
+impl Workload for IoBench {
+    fn name(&self) -> String {
+        match self.mode {
+            IoMode::Read => "io-read".into(),
+            IoMode::Write => "io-write".into(),
+        }
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        io_bench_source(self.ops, self.mode, self.num_blocks, self.seed)
+    }
+}
+
+/// The §4.2 interpolation workload: compute iterations before each I/O.
+#[derive(Clone, Copy, Debug)]
+pub struct Mixed {
+    /// I/O operations.
+    pub ops: u32,
+    /// Read or write.
+    pub mode: IoMode,
+    /// Blocks the LCG selects among.
+    pub num_blocks: u32,
+    /// LCG seed.
+    pub seed: u32,
+    /// Integer-mix iterations before each operation.
+    pub compute_iters: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for Mixed {
+    fn default() -> Self {
+        Mixed {
+            ops: 2,
+            mode: IoMode::Write,
+            num_blocks: 16,
+            seed: 3,
+            compute_iters: 400,
+            kernel: KernelConfig::default(),
+        }
+    }
+}
+
+impl Workload for Mixed {
+    fn name(&self) -> String {
+        "mixed".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        mixed_source(
+            self.ops,
+            self.mode,
+            self.num_blocks,
+            self.seed,
+            self.compute_iters,
+        )
+    }
+}
+
+/// The console workload: print, wait out timer ticks, exit 42.
+#[derive(Clone, Debug)]
+pub struct Hello {
+    /// Message to print.
+    pub message: String,
+    /// Timer ticks to wait between prints.
+    pub wait_ticks: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for Hello {
+    fn default() -> Self {
+        Hello {
+            message: "hello from a replicated VM\n".into(),
+            wait_ticks: 2,
+            kernel: functional_kernel(),
+        }
+    }
+}
+
+impl Workload for Hello {
+    fn name(&self) -> String {
+        "hello".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        hello_source(&self.message, self.wait_ticks)
+    }
+}
+
+/// The prime sieve: branchy byte stores over a `limit`-sized array.
+#[derive(Clone, Copy, Debug)]
+pub struct Sieve {
+    /// Sieve candidates `2..=limit`.
+    pub limit: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for Sieve {
+    fn default() -> Self {
+        Sieve {
+            limit: 2_000,
+            kernel: functional_kernel(),
+        }
+    }
+}
+
+impl Workload for Sieve {
+    fn name(&self) -> String {
+        "sieve".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        sieve_source(self.limit)
+    }
+}
+
+/// The integer matrix multiply: `n³` multiply-accumulate loop nest.
+#[derive(Clone, Copy, Debug)]
+pub struct MatMul {
+    /// Matrix dimension (`n × n`).
+    pub n: u32,
+    /// LCG seed filling `A` and `B`.
+    pub seed: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for MatMul {
+    fn default() -> Self {
+        MatMul {
+            n: 16,
+            seed: 7,
+            kernel: functional_kernel(),
+        }
+    }
+}
+
+impl Workload for MatMul {
+    fn name(&self) -> String {
+        "matmul".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        matmul_source(self.n, self.seed)
+    }
+}
+
+/// The producer–consumer ping-pong over an in-memory ring, with one
+/// console byte per round.
+#[derive(Clone, Copy, Debug)]
+pub struct PingPong {
+    /// Fill/drain rounds.
+    pub rounds: u32,
+    /// Queue slots per round.
+    pub depth: u32,
+    /// Producer LCG seed.
+    pub seed: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for PingPong {
+    fn default() -> Self {
+        PingPong {
+            rounds: 24,
+            depth: 32,
+            seed: 11,
+            kernel: functional_kernel(),
+        }
+    }
+}
+
+impl Workload for PingPong {
+    fn name(&self) -> String {
+        "pingpong".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        pingpong_source(self.rounds, self.depth, self.seed)
+    }
+}
+
+/// Default-sized instances of every built-in workload, in stable order.
+///
+/// Sizes are chosen so a whole-registry sweep (e.g. the scenarios bench
+/// or the workload-equivalence proptest) stays CI-friendly; harnesses
+/// wanting paper-scale workloads construct the parameter structs
+/// directly.
+pub fn registry() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Dhrystone::default()),
+        Box::new(IoBench::read()),
+        Box::new(IoBench::default()),
+        Box::new(Mixed::default()),
+        Box::new(Hello::default()),
+        Box::new(Sieve::default()),
+        Box::new(MatMul::default()),
+        Box::new(PingPong::default()),
+    ]
+}
+
+/// Names of every registered workload, in registry order.
+pub fn names() -> Vec<String> {
+    registry().iter().map(|w| w.name()).collect()
+}
+
+/// Looks up a registered workload by name.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    registry().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names = names();
+        for n in &names {
+            assert!(by_name(n).is_some(), "{n} must resolve");
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate workload names");
+    }
+
+    #[test]
+    fn registry_has_the_paper_workloads_and_new_ones() {
+        let names = names();
+        for required in [
+            "dhrystone",
+            "io-read",
+            "io-write",
+            "hello",
+            "mixed",
+            "sieve",
+            "matmul",
+            "pingpong",
+        ] {
+            assert!(names.iter().any(|n| n == required), "{required} missing");
+        }
+    }
+
+    #[test]
+    fn every_registered_workload_builds_an_image() {
+        for w in registry() {
+            let img = w
+                .image()
+                .unwrap_or_else(|e| panic!("{} image: {e}", w.name()));
+            assert_eq!(
+                img.symbol("u_main"),
+                Some(layout::USER_TEXT),
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("no-such-workload").is_none());
+    }
+}

@@ -45,7 +45,7 @@ use crate::channel::{ChannelStats, FifoCore};
 use crate::link::LinkSpec;
 use hvft_sim::rng::SimRng;
 use hvft_sim::time::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies a station on the LAN (assigned by [`Lan::add_node`]).
 pub type NodeId = usize;
@@ -78,6 +78,15 @@ pub struct Lan<M> {
     /// Time the medium finishes serializing the last accepted message.
     busy_until: SimTime,
     links: BTreeMap<(NodeId, NodeId), FifoCore<M>>,
+    /// Ready-time index: one `(front delivery time, link)` entry per
+    /// link with pending deliveries, kept in sync with the links' FIFO
+    /// heads. `pop_ready*`/`next_delivery*` walk this set in time order
+    /// instead of scanning every link per call — the difference between
+    /// O(pending links) and O(registered links²) per pop once a cluster
+    /// grows past a few dozen nodes. Iteration order `(time, (from,
+    /// to))` is exactly the `(t, pair)` minimum the scan computed, so
+    /// delivery order (and thus every seeded simulation) is unchanged.
+    ready: BTreeSet<(SimTime, (NodeId, NodeId))>,
     severed_nodes: Vec<bool>,
 }
 
@@ -90,6 +99,7 @@ impl<M> Lan<M> {
             nodes: 0,
             busy_until: SimTime::ZERO,
             links: BTreeMap::new(),
+            ready: BTreeSet::new(),
             severed_nodes: Vec::new(),
         }
     }
@@ -186,23 +196,40 @@ impl<M> Lan<M> {
         let spec = self.link;
         self.link_mut(from, to); // materialize the link
         let link = self.links.get_mut(&(from, to)).expect("just materialized");
-        link.offer(&spec, &mut self.busy_until, now, bytes, msg)
+        let before = link.next_delivery();
+        let delivery = link.offer(&spec, &mut self.busy_until, now, bytes, msg);
+        let after = link.next_delivery();
+        self.reindex((from, to), before, after);
+        delivery
+    }
+
+    /// Restores the ready-time index invariant for one link after its
+    /// FIFO head may have changed.
+    fn reindex(&mut self, pair: (NodeId, NodeId), before: Option<SimTime>, after: Option<SimTime>) {
+        if before == after {
+            return;
+        }
+        if let Some(t) = before {
+            self.ready.remove(&(t, pair));
+        }
+        if let Some(t) = after {
+            self.ready.insert((t, pair));
+        }
     }
 
     /// Earliest pending delivery across every link, if any.
     pub fn next_delivery(&self) -> Option<SimTime> {
-        self.links.values().filter_map(|l| l.next_delivery()).min()
+        self.ready.first().map(|&(t, _)| t)
     }
 
     /// Earliest pending delivery whose *receiver* lies in
     /// `[lo, hi)` — the view of one fault-tolerant system sharing the
     /// LAN with others.
     pub fn next_delivery_within(&self, lo: NodeId, hi: NodeId) -> Option<SimTime> {
-        self.links
+        self.ready
             .iter()
-            .filter(|(&(_, to), _)| (lo..hi).contains(&to))
-            .filter_map(|(_, l)| l.next_delivery())
-            .min()
+            .find(|(_, (_, to))| (lo..hi).contains(to))
+            .map(|&(t, _)| t)
     }
 
     /// Pops the earliest deliverable message at `now`, if any; ties
@@ -212,22 +239,27 @@ impl<M> Lan<M> {
     }
 
     /// Like [`Lan::pop_ready`], restricted to receivers in `[lo, hi)`.
+    ///
+    /// Resolved through the ready-time index: the first in-window entry
+    /// at or before `now`, in `(time, (from, to))` order — identical to
+    /// the minimum a full link scan would select.
     pub fn pop_ready_within(
         &mut self,
         lo: NodeId,
         hi: NodeId,
         now: SimTime,
     ) -> Option<(NodeId, NodeId, M)> {
-        let due = self
-            .links
+        let (_, (from, to)) = self
+            .ready
             .iter()
-            .filter(|(&(_, to), _)| (lo..hi).contains(&to))
-            .filter_map(|(&pair, l)| l.next_delivery().map(|t| (t, pair)))
-            .filter(|&(t, _)| t <= now)
-            .min()?;
-        let (from, to) = due.1;
+            .take_while(|&&(t, _)| t <= now)
+            .find(|(_, (_, to))| (lo..hi).contains(to))
+            .copied()?;
         let link = self.links.get_mut(&(from, to)).expect("due link");
+        let before = link.next_delivery();
         let msg = link.pop_ready(now).expect("due message");
+        let after = link.next_delivery();
+        self.reindex((from, to), before, after);
         Some((from, to, msg))
     }
 
@@ -385,6 +417,46 @@ mod tests {
             pattern
         };
         assert_eq!(drops(false), drops(true));
+    }
+
+    #[test]
+    fn ready_index_matches_brute_force_scan() {
+        // Drive a LAN through an interleaved send/pop/sever workload and
+        // check, at every step, that the index-backed queries agree with
+        // a brute-force scan over the links (the pre-index algorithm).
+        let mut l: Lan<u32> = Lan::new(LinkSpec::ethernet_10mbps(), 17);
+        let nodes: Vec<_> = (0..5).map(|_| l.add_node()).collect();
+        l.set_loss_probability(nodes[0], nodes[1], 0.3);
+        let brute = |l: &Lan<u32>, lo: usize, hi: usize| -> Option<SimTime> {
+            l.links
+                .iter()
+                .filter(|(&(_, to), _)| (lo..hi).contains(&to))
+                .filter_map(|(_, link)| link.next_delivery())
+                .min()
+        };
+        let mut now = SimTime::ZERO;
+        for i in 0..400u64 {
+            let from = nodes[(i % 5) as usize];
+            let to = nodes[((i * 3 + 1) % 5) as usize];
+            if from != to {
+                if let Some(d) = l.send(now, from, to, 64 + (i % 512) as usize, i as u32) {
+                    now = now.max(d - l.link().min_latency());
+                }
+            }
+            if i == 150 {
+                l.sever_node(nodes[4]);
+            }
+            if i % 3 == 0 {
+                let _ = l.pop_ready(now);
+            }
+            assert_eq!(l.next_delivery(), brute(&l, 0, 5), "step {i}");
+            assert_eq!(l.next_delivery_within(1, 3), brute(&l, 1, 3), "step {i}");
+        }
+        // Drain everything; the index must empty out with the queues.
+        let far = now + SimDuration::from_secs(10);
+        while l.pop_ready(far).is_some() {}
+        assert_eq!(l.next_delivery(), None);
+        assert!(l.ready.is_empty(), "stale index entries: {:?}", l.ready);
     }
 
     #[test]

@@ -9,75 +9,84 @@
 //! reports *uncertain* outcomes (SCSI `CHECK_CONDITION`), shows the
 //! guest driver's retries flowing through the replicated system, and
 //! reports per-operation latency — the paper's 26 ms → 27.8 ms write
-//! comparison.
+//! comparison — straight from the report's timing histogram.
 
-use hvft::core::{FtConfig, FtSystem, RunEnd};
+use hvft::core::scenario::Scenario;
 use hvft::devices::check_single_processor_consistency;
-use hvft::guest::{build_image, io_bench_source, IoMode, KernelConfig};
-use hvft::hypervisor::bare::BareHost;
-use hvft::hypervisor::cost::CostModel;
+use hvft::guest::workload::IoBench;
+use hvft::guest::IoMode;
+
+fn workload(ops: u32) -> IoBench {
+    IoBench {
+        ops,
+        mode: IoMode::Write,
+        num_blocks: 64,
+        seed: 11,
+        ..Default::default()
+    }
+}
 
 fn main() {
     let ops = 12;
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(ops, IoMode::Write, 64, 11),
-    )
-    .expect("image assembles");
 
-    // Bare-hardware baseline.
-    let mut bare = BareHost::new(
-        &image,
-        CostModel::hp9000_720(),
-        hvft::guest::layout::RAM_BYTES,
-        64,
-        0,
-    );
-    let bare_run = bare.run(5_000_000_000);
-    println!("bare hardware  : {} for {ops} writes", bare_run.time);
+    // Bare-hardware baseline — same workload, bare driver.
+    let bare = Scenario::builder()
+        .workload(workload(ops))
+        .bare()
+        .disk_blocks(64)
+        .build()
+        .expect("valid scenario")
+        .run();
+    println!("bare hardware  : {} for {ops} writes", bare.completion_time);
 
     // Replicated, with 15% transient uncertainty injected at the disk.
-    let cfg = FtConfig {
-        disk_fault_prob: 0.15,
-        seed: 9,
-        ..FtConfig::default()
-    };
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { .. } => {}
-        other => panic!("run ended {other:?}"),
-    }
-    println!("replicated     : {} ({}x bare)", r.completion_time, {
-        let np = r.completion_time.as_nanos() as f64 / bare_run.time.as_nanos() as f64;
-        format!("{np:.2}")
-    });
+    let report = Scenario::builder()
+        .workload(workload(ops))
+        .disk_blocks(64)
+        .disk_fault_prob(0.15)
+        .seed(9)
+        .build()
+        .expect("valid scenario")
+        .run();
+    assert!(report.exit.is_clean_exit(), "{:?}", report.exit);
+    let np = report.completion_time.as_nanos() as f64 / bare.completion_time.as_nanos() as f64;
+    println!(
+        "replicated     : {} ({np:.2}x bare)",
+        report.completion_time
+    );
     println!(
         "driver retries : {} (uncertain outcomes, IO2)",
-        r.guest_retries
+        report.guest_retries
     );
     println!(
         "disk log       : {} operations for {ops} logical writes",
-        r.disk_log.len()
+        report.disk_log.len()
     );
 
-    if !r.op_latencies.is_empty() {
-        let mean_ns: u64 =
-            r.op_latencies.iter().map(|d| d.as_nanos()).sum::<u64>() / r.op_latencies.len() as u64;
+    let hist = &report.op_latency_hist;
+    if hist.total() > 0 {
+        let mean_ns: u64 = report
+            .op_latencies
+            .iter()
+            .map(|d| d.as_nanos())
+            .sum::<u64>()
+            / report.op_latencies.len() as u64;
         println!(
-            "op latency     : mean {:.1} ms under FT (paper: 26 ms bare → 27.8 ms replicated)",
-            mean_ns as f64 / 1e6
+            "op latency     : mean {:.1} ms, p90 <= {} over {} ops (paper: 26 ms bare -> 27.8 ms replicated)",
+            mean_ns as f64 / 1e6,
+            hist.quantile(0.9).expect("nonempty histogram"),
+            hist.total(),
         );
     }
 
-    check_single_processor_consistency(&r.disk_log).expect("environment consistency");
+    check_single_processor_consistency(&report.disk_log).expect("environment consistency");
     println!("environment    : log is single-processor consistent ✓");
     assert!(
-        r.lockstep.is_clean(),
+        report.lockstep_clean,
         "retries must replay identically at the backup"
     );
     println!(
         "lockstep       : clean across {} epochs ✓",
-        r.lockstep.compared()
+        report.lockstep_compared
     );
 }

@@ -15,25 +15,22 @@
 //! 2. hypervisor-managed TLB (the paper's fix) → clean lockstep on the
 //!    very same hardware.
 
-use hvft::core::{FtConfig, FtSystem};
-use hvft::guest::{build_image, dhrystone_source, KernelConfig};
-use hvft::hypervisor::cost::CostModel;
+use hvft::core::scenario::{RunReport, Scenario};
+use hvft::guest::workload::Dhrystone;
 
-fn run(tlb_managed: bool) -> hvft::core::FtRunResult {
-    let kernel = KernelConfig {
-        tick_period_us: 2000,
-        tick_work: 3,
-        ..KernelConfig::default()
-    };
-    let image = build_image(&kernel, &dhrystone_source(3_000, 0)).expect("image assembles");
-    let mut cfg = FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    };
-    cfg.hv.tlb_managed = tlb_managed;
-    cfg.hv.tlb_slots = 4; // a tiny TLB keeps the replacement policy busy
-    let mut sys = FtSystem::new(&image, cfg);
-    sys.run()
+fn run(tlb_managed: bool) -> RunReport {
+    Scenario::builder()
+        .workload(Dhrystone {
+            iters: 3_000,
+            syscall_every: 0,
+            ..Default::default()
+        })
+        .functional_cost()
+        .tlb_managed(tlb_managed)
+        .tlb_slots(4) // a tiny TLB keeps the replacement policy busy
+        .build()
+        .expect("valid scenario")
+        .run()
 }
 
 fn main() {
@@ -44,30 +41,28 @@ fn main() {
 
     println!("== 1. TLB managed by the guest kernel (no hypervisor takeover) ==");
     let broken = run(false);
-    println!("epochs compared : {}", broken.lockstep.compared());
-    match broken.lockstep.divergences().first() {
-        Some(d) => println!(
-            "DIVERGED at epoch {}: replica {} hash {:#018x} != replica {} hash {:#018x}",
-            d.epoch, d.replica_a, d.hash_a, d.replica_b, d.hash_b
-        ),
-        None => println!("(no divergence this time — rerun with another seed)"),
+    println!("epochs compared : {}", broken.lockstep_compared);
+    if broken.lockstep_clean {
+        println!("(no divergence this time — rerun with another seed)");
+    } else {
+        println!("DIVERGED — replica state hashes differ at an epoch boundary");
     }
 
     println!();
     println!("== 2. TLB managed by the hypervisor (the paper's §3.2 fix) ==");
     let fixed = run(true);
-    println!("epochs compared : {}", fixed.lockstep.compared());
+    println!("epochs compared : {}", fixed.lockstep_compared);
     println!(
         "lockstep        : {}",
-        if fixed.lockstep.is_clean() {
+        if fixed.lockstep_clean {
             "clean — misses serviced invisibly, replicas identical ✓"
         } else {
             "diverged!?"
         }
     );
-    assert!(fixed.lockstep.is_clean());
+    assert!(fixed.lockstep_clean);
     assert!(
-        !broken.lockstep.is_clean(),
+        !broken.lockstep_clean,
         "expected divergence with unmanaged TLBs"
     );
     println!();

@@ -11,47 +11,49 @@
 //! normalized performance next to the paper's analytic model, and shows
 //! the interrupt-delay side of the trade-off.
 
-use hvft::core::{FtConfig, FtSystem, ProtocolVariant};
-use hvft::guest::{build_image, dhrystone_source, KernelConfig};
-use hvft::hypervisor::bare::BareHost;
-use hvft::hypervisor::cost::CostModel;
+use hvft::core::scenario::Scenario;
+use hvft::guest::workload::Dhrystone;
+use hvft::guest::KernelConfig;
 use hvft::model::cpu::NpcModel;
 
-fn main() {
-    let kernel = KernelConfig {
-        tick_period_us: 10_000,
-        tick_work: 158,
-        ..KernelConfig::default()
-    };
-    let image = build_image(&kernel, &dhrystone_source(40_000, 0)).expect("guest image assembles");
+fn workload() -> Dhrystone {
+    Dhrystone {
+        iters: 40_000,
+        syscall_every: 0,
+        kernel: KernelConfig {
+            tick_period_us: 10_000,
+            tick_work: 158,
+            ..KernelConfig::default()
+        },
+    }
+}
 
+fn main() {
     // Bare-hardware baseline (the paper's RT).
-    let mut bare = BareHost::new(
-        &image,
-        CostModel::hp9000_720(),
-        hvft::guest::layout::RAM_BYTES,
-        64,
-        0,
-    );
-    let bare_run = bare.run(1_000_000_000);
+    let bare = Scenario::builder()
+        .workload(workload())
+        .bare()
+        .disk_blocks(64)
+        .build()
+        .expect("valid scenario")
+        .run();
     println!(
         "bare hardware RT = {} for {} instructions\n",
-        bare_run.time, bare_run.retired
+        bare.completion_time, bare.retired
     );
 
     let paper = NpcModel::paper();
     println!("| epoch length | NP measured | NPC(EL) paper model | interrupt delay bound |");
     println!("|-------------:|------------:|--------------------:|----------------------:|");
     for el in [1024u32, 2048, 4096, 8192, 16384, 32768, 131_072, 385_000] {
-        let mut cfg = FtConfig {
-            protocol: ProtocolVariant::Old,
-            lockstep_check: false,
-            ..FtConfig::default()
-        };
-        cfg.hv.epoch_len = el;
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        let np = r.completion_time.as_nanos() as f64 / bare_run.time.as_nanos() as f64;
+        let r = Scenario::builder()
+            .workload(workload())
+            .epoch_len(el)
+            .lockstep(false)
+            .build()
+            .expect("valid scenario")
+            .run();
+        let np = r.completion_time.as_nanos() as f64 / bare.completion_time.as_nanos() as f64;
         // An interrupt buffered at the start of an epoch waits out the
         // whole epoch: EL × 0.02 µs.
         let delay_us = el as f64 * 0.02;

@@ -10,43 +10,50 @@
 //! the replayed driver retries, and the disk's operation log remains
 //! consistent with what one single processor could have produced.
 
-use hvft::core::{FailureSpec, FtConfig, FtSystem, RunEnd};
+use hvft::core::scenario::Scenario;
 use hvft::devices::check_single_processor_consistency;
-use hvft::guest::{build_image, io_bench_source, IoMode, KernelConfig};
+use hvft::guest::workload::IoBench;
+use hvft::guest::IoMode;
 use hvft::sim::time::SimTime;
 
-fn main() {
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(8, IoMode::Write, 64, 3),
-    )
-    .expect("guest image assembles");
+fn workload() -> IoBench {
+    IoBench {
+        ops: 8,
+        mode: IoMode::Write,
+        num_blocks: 64,
+        seed: 3,
+        ..Default::default()
+    }
+}
 
+fn main() {
     // Reference run: no failure, to learn the total duration and the
     // reference checksum.
-    let mut reference = FtSystem::new(&image, FtConfig::default());
-    let ref_result = reference.run();
-    let ref_code = match ref_result.outcome {
-        RunEnd::Exit { code } => code,
-        other => panic!("reference run ended {other:?}"),
-    };
+    let reference = Scenario::builder()
+        .workload(workload())
+        .disk_blocks(64)
+        .build()
+        .expect("valid scenario")
+        .run();
+    let ref_code = reference.exit.code().expect("reference run exits");
     println!(
         "reference run : {} simulated, checksum {ref_code:#010x}",
-        ref_result.completion_time
+        reference.completion_time
     );
 
     // Failure run: kill the primary squarely in the middle of the I/O
     // phase (very likely mid-operation: each write occupies ~26 ms).
-    let fail_at = SimTime::from_nanos(ref_result.completion_time.as_nanos() / 2);
-    let config = FtConfig {
-        failure: FailureSpec::At(fail_at),
-        ..FtConfig::default()
-    };
-    let mut system = FtSystem::new(&image, config);
-    let result = system.run();
+    let fail_at = SimTime::ZERO + reference.completion_time / 2;
+    let report = Scenario::builder()
+        .workload(workload())
+        .disk_blocks(64)
+        .fail_primary_at(fail_at)
+        .build()
+        .expect("valid scenario")
+        .run();
 
     println!("failure       : primary killed at {fail_at}");
-    let info = *result
+    let info = *report
         .failovers
         .first()
         .expect("backup must have promoted itself");
@@ -54,26 +61,24 @@ fn main() {
         "failover      : backup promoted at {} (failover epoch {}, P7 uncertain synthesized: {})",
         info.at, info.epoch, info.uncertain_synthesized
     );
-    match result.outcome {
-        RunEnd::Exit { code } => {
-            println!("workload      : completed with checksum {code:#010x}");
-            assert_eq!(code, ref_code, "failover must be checksum-transparent");
-            println!("transparency  : checksum identical to the failure-free run ✓");
-        }
-        other => panic!("run ended {other:?}"),
-    }
-    println!("driver retries: {}", result.guest_retries);
+    let code = report.exit.code().unwrap_or_else(|| {
+        panic!("run ended {:?}", report.exit);
+    });
+    println!("workload      : completed with checksum {code:#010x}");
+    assert_eq!(code, ref_code, "failover must be checksum-transparent");
+    println!("transparency  : checksum identical to the failure-free run ✓");
+    println!("driver retries: {}", report.guest_retries);
 
     // The two-generals resolution: the environment may see repeated
     // commands, but only ones a transient device fault could also have
     // produced.
-    match check_single_processor_consistency(&result.disk_log) {
+    match check_single_processor_consistency(&report.disk_log) {
         Ok(()) => println!(
             "environment   : disk log of {} operations is single-processor consistent ✓",
-            result.disk_log.len()
+            report.disk_log.len()
         ),
         Err(e) => panic!("environment saw an anomaly: {e}"),
     }
-    let hosts: Vec<u8> = result.disk_log.iter().map(|e| e.host).collect();
+    let hosts: Vec<u8> = report.disk_log.iter().map(|e| e.host).collect();
     println!("issuing hosts : {hosts:?} (0 = failed primary, 1 = promoted backup)");
 }

@@ -4,60 +4,56 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a guest image (mini-OS + a console program), runs it under the
-//! replicated hypervisors, and prints what the *environment* saw plus
-//! the replica-coordination bookkeeping.
+//! Builds a scenario (the paper's §3 prototype: two simulated
+//! HP 9000/720-class processors, a shared disk, a 10 Mbps coordination
+//! LAN) around a console workload, runs it, and prints what the
+//! *environment* saw plus the replica-coordination bookkeeping.
 
-use hvft::core::{FtConfig, FtSystem, RunEnd};
-use hvft::guest::{build_image, hello_source, KernelConfig};
+use hvft::core::scenario::Scenario;
+use hvft::guest::workload::Hello;
 
 fn main() {
-    // 1. Build the guest image: the unmodified mini-kernel plus a user
-    //    program that prints to the console, waits a couple of timer
-    //    ticks, and exits.
-    let kernel = KernelConfig {
-        tick_period_us: 1000,
-        tick_work: 4,
-        ..KernelConfig::default()
+    // 1. Pick a workload: the unmodified mini-kernel plus a user
+    //    program that prints to the console, waits a few timer ticks,
+    //    and exits. (Any registered workload works — try
+    //    `workload_named("sieve")`.)
+    let workload = Hello {
+        message: "hello from a replicated VM!\n".into(),
+        wait_ticks: 3,
+        ..Default::default()
     };
-    let image = build_image(&kernel, &hello_source("hello from a replicated VM!\n", 3))
-        .expect("guest image assembles");
-    println!(
-        "guest image: {} bytes, entry {:#x}",
-        image.size(),
-        image.entry
-    );
 
-    // 2. Configure the fault-tolerant system: two simulated HP 9000/720-
-    //    class processors, a shared disk, and a 10 Mbps coordination LAN
-    //    — the paper's §3 prototype.
-    let config = FtConfig::default();
+    // 2. Configure through the builder. The defaults are the paper's
+    //    prototype; every knob (protocol variant, backups, loss,
+    //    failure injection…) is a validated method away.
+    let scenario = Scenario::builder()
+        .workload(workload)
+        .build()
+        .expect("the default configuration is valid");
     println!(
-        "epoch length: {} instructions, protocol: {:?}",
-        config.hv.epoch_len, config.protocol
+        "scenario: {} (epoch length {} instructions, protocol {:?})",
+        scenario.label(),
+        scenario.config().hv.epoch_len,
+        scenario.config().protocol,
     );
 
     // 3. Run to completion.
-    let mut system = FtSystem::new(&image, config);
-    let result = system.run();
+    let report = scenario.run();
 
     // 4. Report.
     println!();
     println!("console output ------------------------------------------");
-    print!("{}", String::from_utf8_lossy(&result.console_output));
+    print!("{}", String::from_utf8_lossy(&report.console));
     println!("---------------------------------------------------------");
-    match result.outcome {
-        RunEnd::Exit { code } => println!("workload exit code : {code}"),
-        other => println!("workload ended     : {other:?}"),
-    }
+    println!("workload exit      : {:?}", report.exit);
     println!(
         "completion time    : {} (simulated)",
-        result.completion_time
+        report.completion_time
     );
-    println!("epochs compared    : {}", result.lockstep.compared());
+    println!("epochs compared    : {}", report.lockstep_compared);
     println!(
         "lockstep           : {}",
-        if result.lockstep.is_clean() {
+        if report.lockstep_clean {
             "clean — replicas identical at every epoch boundary"
         } else {
             "DIVERGED"
@@ -65,11 +61,12 @@ fn main() {
     );
     println!(
         "messages           : {} from primary, {} from backup",
-        result.messages_per_replica[0], result.messages_per_replica[1]
+        report.messages_per_replica[0], report.messages_per_replica[1]
     );
     println!(
         "simulated insns    : {} at the primary's hypervisor (nsim)",
-        result.primary_stats.simulated
+        report.primary_stats.simulated
     );
-    assert!(result.lockstep.is_clean());
+    assert!(report.exit.is_clean_exit());
+    assert!(report.lockstep_clean);
 }

@@ -1,0 +1,59 @@
+//! Run any registered workload by name — the scenario API's CLI face.
+//!
+//! ```text
+//! cargo run --release --example run_workload            # sweep them all
+//! cargo run --release --example run_workload -- sieve   # just one
+//! ```
+//!
+//! Every guest in `hvft-guest`'s workload registry runs through the
+//! identical builder-configured pipeline: bare baseline first (the
+//! paper's `RT`), then the replicated system (`N′`), printing the
+//! normalized performance and coordination bookkeeping for each.
+
+use hvft::core::scenario::Scenario;
+use hvft::guest::workload::names;
+
+fn run_one(name: &str) {
+    let bare = Scenario::builder()
+        .workload_named(name)
+        .bare()
+        .build()
+        .unwrap_or_else(|e| panic!("{name} (bare): {e}"))
+        .run();
+    let ft = Scenario::builder()
+        .workload_named(name)
+        .functional_cost()
+        .build()
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .run();
+    assert!(
+        bare.exit.is_clean_exit() && ft.exit.is_clean_exit(),
+        "{name}: bare {:?}, replicated {:?}",
+        bare.exit,
+        ft.exit
+    );
+    assert_eq!(
+        bare.exit.code(),
+        ft.exit.code(),
+        "{name}: replication must not change the checksum"
+    );
+    assert!(ft.lockstep_clean, "{name}: lockstep divergence");
+    println!(
+        "{name:>10}: checksum {:#010x} | bare {} | replicated {} | {} epochs, {} msgs",
+        bare.exit.code().expect("clean exit"),
+        bare.completion_time,
+        ft.completion_time,
+        ft.epochs,
+        ft.messages_per_replica.iter().sum::<u64>(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<String> = if args.is_empty() { names() } else { args };
+    println!("registered workloads: {}\n", names().join(", "));
+    for name in &selected {
+        run_one(name);
+    }
+    println!("\nevery workload ran bare and replicated with identical checksums ✓");
+}

@@ -7,63 +7,74 @@
 //!
 //! §2 of the paper: "n processors implement a system that can tolerate
 //! n−1 faults … generalization to t-fault-tolerant virtual machines is
-//! straightforward." This example runs 1 primary + 3 backups, kills the
-//! acting primary three separate times, and shows the last survivor
-//! finishing the workload with the reference result.
+//! straightforward." This example runs 1 primary + 3 backups through
+//! the chain driver, kills the acting primary three separate times, and
+//! shows the last survivor finishing the workload with the reference
+//! result.
 
-use hvft::core::chain::{ChainEnd, TChain};
-use hvft::guest::{build_image, dhrystone_source, KernelConfig};
-use hvft::hypervisor::cost::CostModel;
-use hvft::hypervisor::hvguest::HvConfig;
+use hvft::core::scenario::{ExitStatus, Scenario, ScenarioBuilder};
+use hvft::guest::workload::Dhrystone;
+use hvft::guest::KernelConfig;
+
+fn base() -> ScenarioBuilder {
+    Scenario::builder()
+        .workload(Dhrystone {
+            iters: 4_000,
+            syscall_every: 8,
+            kernel: KernelConfig {
+                tick_period_us: 1000,
+                tick_work: 2,
+                ..KernelConfig::default()
+            },
+        })
+        .chain()
+        .backups(3)
+        .functional_cost()
+        .epoch_len(1024)
+}
 
 fn main() {
-    let kernel = KernelConfig {
-        tick_period_us: 1000,
-        tick_work: 2,
-        ..KernelConfig::default()
-    };
-    let image = build_image(&kernel, &dhrystone_source(4_000, 8)).expect("image assembles");
-    let hv = HvConfig {
-        epoch_len: 1024,
-        ..HvConfig::default()
-    };
-
     // Reference: no failures.
-    let mut reference = TChain::new(&image, 3, CostModel::functional(), hv);
-    let ref_result = reference.run(&[], 1_000_000);
-    let ref_code = match ref_result.end {
-        ChainEnd::Exit { code } => code,
-        other => panic!("reference chain ended {other:?}"),
-    };
+    let reference = base().build().expect("valid scenario").run();
+    let ref_code = reference.exit.code().expect("reference chain exits");
     println!(
         "reference: 4 replicas, {} epochs, exit code {ref_code:#010x}, no failures",
-        ref_result.epochs
+        reference.epochs
     );
 
     // Adversarial: kill the acting primary at epochs 5, 20 and 40.
-    let mut chain = TChain::new(&image, 3, CostModel::functional(), hv);
-    let result = chain.run(&[5, 20, 40], 1_000_000);
+    let report = base()
+        .fail_primary_at_epoch(5)
+        .fail_primary_at_epoch(20)
+        .fail_primary_at_epoch(40)
+        .build()
+        .expect("valid scenario")
+        .run();
     println!(
-        "with failures at epochs 5/20/40: {} primaries failstopped, {} replica(s) left",
-        result.failures,
-        chain.live()
+        "with failures at epochs 5/20/40: {} primaries failstopped",
+        report.failovers.len(),
     );
-    match result.end {
-        ChainEnd::Exit { code } => {
-            println!("survivor exit code: {code:#010x}");
-            assert_eq!(
-                code, ref_code,
-                "the 4th replica must produce the reference result"
-            );
-            println!("t-fault transparency: identical to the failure-free run ✓");
-        }
-        other => panic!("chain ended {other:?}"),
-    }
+    let code = report
+        .exit
+        .code()
+        .unwrap_or_else(|| panic!("chain ended {:?}", report.exit));
+    println!("survivor exit code: {code:#010x}");
+    assert_eq!(
+        code, ref_code,
+        "the 4th replica must produce the reference result"
+    );
+    println!("t-fault transparency: identical to the failure-free run ✓");
 
     // One failure too many: the chain is exhausted, as the model demands
     // (t-fault tolerance means t faults, not t+1).
-    let mut doomed = TChain::new(&image, 3, CostModel::functional(), hv);
-    let r = doomed.run(&[1, 2, 3, 4], 1_000_000);
-    assert_eq!(r.end, ChainEnd::Exhausted);
+    let doomed = base()
+        .fail_primary_at_epoch(1)
+        .fail_primary_at_epoch(2)
+        .fail_primary_at_epoch(3)
+        .fail_primary_at_epoch(4)
+        .build()
+        .expect("valid scenario")
+        .run();
+    assert_eq!(doomed.exit, ExitStatus::Exhausted);
     println!("4 failures against t = 3: chain exhausted, exactly as specified ✓");
 }

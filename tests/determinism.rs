@@ -1,89 +1,90 @@
-//! Whole-system determinism: two constructions of the same simulation
-//! produce bit-identical results — completion times, message counts,
+//! Whole-system determinism: two runs of the same scenario produce
+//! bit-identical results — completion times, message counts,
 //! environment logs, everything. This is what makes the reproduction's
-//! numbers trustworthy (and debugging sane).
+//! numbers trustworthy (and debugging sane). A `Scenario` builds a
+//! fresh driver per `run()`, so running one twice is exactly the
+//! two-constructions experiment.
 
-use hvft::core::{FailureSpec, FtConfig, FtSystem};
-use hvft::guest::{build_image, dhrystone_source, io_bench_source, IoMode, KernelConfig};
+use hvft::core::scenario::{Scenario, ScenarioBuilder};
+use hvft::guest::workload::{Dhrystone, IoBench};
+use hvft::guest::{IoMode, KernelConfig};
 use hvft::sim::time::SimTime;
 
-fn identical_runs(image: &hvft_isa::program::Program, cfg: FtConfig) {
-    let mut a = FtSystem::new(image, cfg);
-    let ra = a.run();
-    let mut b = FtSystem::new(image, cfg);
-    let rb = b.run();
-    assert_eq!(format!("{:?}", ra.outcome), format!("{:?}", rb.outcome));
+fn identical_runs(builder: ScenarioBuilder) {
+    let scenario = builder.build().expect("valid scenario");
+    let ra = scenario.run();
+    let rb = scenario.run();
+    assert_eq!(ra.exit, rb.exit);
     assert_eq!(
         ra.completion_time, rb.completion_time,
         "simulated time must be exact"
     );
     assert_eq!(ra.messages_per_replica, rb.messages_per_replica);
-    assert_eq!(ra.console_output, rb.console_output);
+    assert_eq!(ra.console, rb.console);
     assert_eq!(ra.disk_log.len(), rb.disk_log.len());
     for (x, y) in ra.disk_log.iter().zip(rb.disk_log.iter()) {
         assert_eq!(x, y);
     }
-    assert_eq!(ra.lockstep.compared(), rb.lockstep.compared());
+    assert_eq!(ra.lockstep_compared, rb.lockstep_compared);
     assert_eq!(ra.op_latencies, rb.op_latencies);
+}
+
+fn io_workload() -> IoBench {
+    IoBench {
+        ops: 4,
+        mode: IoMode::Write,
+        num_blocks: 32,
+        seed: 6,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn cpu_run_is_bit_deterministic() {
-    let kernel = KernelConfig {
-        tick_period_us: 2000,
-        tick_work: 7,
-        ..KernelConfig::default()
-    };
-    let image = build_image(&kernel, &dhrystone_source(2_000, 9)).unwrap();
-    identical_runs(&image, FtConfig::default());
+    identical_runs(Scenario::builder().workload(Dhrystone {
+        iters: 2_000,
+        syscall_every: 9,
+        kernel: KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 7,
+            ..KernelConfig::default()
+        },
+    }));
 }
 
 #[test]
 fn io_run_is_bit_deterministic() {
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(4, IoMode::Write, 32, 6),
-    )
-    .unwrap();
-    identical_runs(&image, FtConfig::default());
+    identical_runs(Scenario::builder().workload(io_workload()).disk_blocks(32));
 }
 
 #[test]
 fn faulty_run_is_bit_deterministic() {
     // Even with injected disk faults and a primary failure, the seeded
     // simulation replays identically.
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(4, IoMode::Write, 32, 6),
-    )
-    .unwrap();
-    let cfg = FtConfig {
-        disk_fault_prob: 0.25,
-        seed: 1234,
-        failure: FailureSpec::At(SimTime::from_nanos(60_000_000)),
-        ..FtConfig::default()
-    };
-    identical_runs(&image, cfg);
+    identical_runs(
+        Scenario::builder()
+            .workload(io_workload())
+            .disk_blocks(32)
+            .disk_fault_prob(0.25)
+            .seed(1234)
+            .fail_primary_at(SimTime::from_nanos(60_000_000)),
+    );
 }
 
 #[test]
 fn different_seeds_change_fault_schedules_not_correctness() {
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(4, IoMode::Write, 32, 6),
-    )
-    .unwrap();
     let mut outcomes = Vec::new();
     for seed in [1u64, 2, 3] {
-        let cfg = FtConfig {
-            disk_fault_prob: 0.3,
-            seed,
-            ..FtConfig::default()
-        };
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        assert!(r.lockstep.is_clean(), "seed {seed}");
-        outcomes.push((format!("{:?}", r.outcome), r.disk_log.len()));
+        let r = Scenario::builder()
+            .workload(io_workload())
+            .disk_blocks(32)
+            .disk_fault_prob(0.3)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.lockstep_clean, "seed {seed}");
+        outcomes.push((r.exit, r.disk_log.len()));
     }
     // All runs complete with the same guest-visible outcome…
     assert!(

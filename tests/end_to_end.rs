@@ -1,19 +1,20 @@
-//! End-to-end integration tests through the umbrella crate's public API.
+//! End-to-end integration tests through the umbrella crate's public
+//! API — every run configured through the `Scenario` builder.
 
-use hvft::core::{FailureSpec, FtConfig, FtSystem, ProtocolVariant, RunEnd};
+use hvft::core::scenario::{Runner, Scenario, ScenarioBuilder};
 use hvft::devices::check_single_processor_consistency;
-use hvft::guest::{
-    build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
-};
-use hvft::hypervisor::bare::{BareExit, BareHost};
-use hvft::hypervisor::cost::CostModel;
+use hvft::guest::workload::{Dhrystone, Hello, IoBench};
+use hvft::guest::{IoMode, KernelConfig};
 use hvft::net::link::LinkSpec;
 use hvft::sim::time::{SimDuration, SimTime};
 
-fn fast() -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
+fn io_workload(ops: u32, mode: IoMode, num_blocks: u32, seed: u32) -> IoBench {
+    IoBench {
+        ops,
+        mode,
+        num_blocks,
+        seed,
+        ..Default::default()
     }
 }
 
@@ -22,69 +23,61 @@ fn the_full_stack_holds_together() {
     // Assemble a guest with every subsystem in play: timer ticks, user
     // mode, syscalls, console output, and disk I/O — then run it bare
     // and replicated and compare the guest-visible world.
-    let kernel = KernelConfig {
-        tick_period_us: 2000,
-        tick_work: 5,
-        ..KernelConfig::default()
+    let workload = IoBench {
+        ops: 4,
+        mode: IoMode::Write,
+        num_blocks: 32,
+        seed: 5,
+        kernel: KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 5,
+            ..KernelConfig::default()
+        },
     };
-    let image = build_image(&kernel, &io_bench_source(4, IoMode::Write, 32, 5)).unwrap();
+    let bare = Scenario::builder()
+        .workload(workload)
+        .bare()
+        .disk_blocks(32)
+        .build()
+        .unwrap()
+        .run();
+    let bare_code = bare.exit.code().expect("bare run exits");
 
-    let mut bare = BareHost::new(
-        &image,
-        CostModel::hp9000_720(),
-        hvft::guest::layout::RAM_BYTES,
-        32,
-        0,
-    );
-    let bare_result = bare.run(2_000_000_000);
-    let bare_code = match bare_result.exit {
-        BareExit::Halted { code } => code.unwrap(),
-        other => panic!("{other:?}"),
-    };
-
-    let mut sys = FtSystem::new(&image, fast());
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, bare_code),
-        other => panic!("{other:?}"),
-    }
-    assert!(r.lockstep.is_clean());
-    // The shared disk holds the same final state the bare run produced
-    // on its private disk: compare the blocks the workload wrote.
-    for e in &r.disk_log {
-        let ft_block = sys.guest_mem_u32(0, hvft::guest::layout::DMA_BUF);
-        let _ = (e, ft_block); // block-level comparison below
-    }
+    let r = Scenario::builder()
+        .workload(workload)
+        .functional_cost()
+        .disk_blocks(32)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(r.exit.code(), Some(bare_code));
+    assert!(r.lockstep_clean);
     check_single_processor_consistency(&r.disk_log).unwrap();
 }
 
 #[test]
 fn replicated_disk_state_matches_bare_disk_state() {
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(5, IoMode::Write, 16, 2),
-    )
-    .unwrap();
-
-    let mut bare = BareHost::new(
-        &image,
-        CostModel::hp9000_720(),
-        hvft::guest::layout::RAM_BYTES,
-        16,
-        0,
-    );
-    let br = bare.run(2_000_000_000);
-    assert!(matches!(br.exit, BareExit::Halted { .. }));
-
-    let mut sys = FtSystem::new(&image, fast());
-    let r = sys.run();
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }));
+    let workload = io_workload(5, IoMode::Write, 16, 2);
+    let run = |builder: ScenarioBuilder| -> Runner {
+        let mut runner = builder
+            .workload(workload)
+            .disk_blocks(16)
+            .build()
+            .unwrap()
+            .runner();
+        runner.run();
+        runner
+    };
+    let mut bare = run(Scenario::builder().bare());
+    let mut ft = run(Scenario::builder().functional_cost());
 
     // Every block either matches or was never written by this workload.
+    let bare_disk = &mut bare.bare_mut().expect("bare runner").disk;
+    let ft_disk = ft.ft_mut().expect("replicated runner").disk_mut();
     for b in 0..16 {
         assert_eq!(
-            bare.disk.peek_block(b),
-            sys.disk_mut().peek_block(b),
+            bare_disk.peek_block(b),
+            ft_disk.peek_block(b),
             "block {b} differs between bare and replicated runs"
         );
     }
@@ -92,74 +85,81 @@ fn replicated_disk_state_matches_bare_disk_state() {
 
 #[test]
 fn failover_mid_read_preserves_data_flow() {
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(4, IoMode::Read, 16, 9),
-    )
-    .unwrap();
+    let workload = io_workload(4, IoMode::Read, 16, 9);
+    let scenario = |fail_at: Option<SimTime>| {
+        let mut b = Scenario::builder()
+            .workload(workload)
+            .functional_cost()
+            .disk_blocks(16);
+        if let Some(at) = fail_at {
+            b = b.fail_primary_at(at);
+        }
+        b.build().unwrap()
+    };
     // Prefill so the checksum is non-trivial.
-    let mk = |sys: &mut FtSystem| {
+    let prefill = |runner: &mut Runner| {
         let pattern: Vec<u8> = (0..hvft::devices::BLOCK_SIZE)
             .map(|i| ((i * 7) % 251) as u8)
             .collect();
+        let disk = runner.ft_mut().expect("replicated runner").disk_mut();
         for b in 0..16 {
-            sys.disk_mut().poke_block(b, &pattern);
+            disk.poke_block(b, &pattern);
         }
     };
-    let mut probe = FtSystem::new(&image, fast());
-    mk(&mut probe);
+    let mut probe = scenario(None).runner();
+    prefill(&mut probe);
     let pr = probe.run();
-    let ref_code = match pr.outcome {
-        RunEnd::Exit { code } => code,
-        other => panic!("{other:?}"),
-    };
+    let ref_code = pr.exit.code().expect("probe run exits");
 
     // Kill during the read phase.
-    let mut cfg = fast();
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(pr.completion_time.as_nanos() * 2 / 3));
-    let mut sys = FtSystem::new(&image, cfg);
-    mk(&mut sys);
-    let r = sys.run();
+    let mut runner = scenario(Some(SimTime::ZERO + pr.completion_time * 2 / 3)).runner();
+    prefill(&mut runner);
+    let r = runner.run();
     assert!(!r.failovers.is_empty());
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code, "read data must survive failover"),
-        other => panic!("{other:?}"),
-    }
+    assert_eq!(
+        r.exit.code(),
+        Some(ref_code),
+        "read data must survive failover"
+    );
     check_single_processor_consistency(&r.disk_log).unwrap();
 }
 
 #[test]
 fn both_protocol_variants_survive_failover() {
-    let image = build_image(
-        &KernelConfig::default(),
-        &io_bench_source(3, IoMode::Write, 16, 4),
-    )
-    .unwrap();
-    let mut probe = FtSystem::new(&image, fast());
+    use hvft::core::ProtocolVariant;
+    let workload = io_workload(3, IoMode::Write, 16, 4);
+    let mut probe = Scenario::builder()
+        .workload(workload)
+        .functional_cost()
+        .disk_blocks(16)
+        .build()
+        .unwrap()
+        .runner();
     let pr = probe.run();
-    let ref_code = match pr.outcome {
-        RunEnd::Exit { code } => code,
-        other => panic!("{other:?}"),
-    };
+    let ref_code = pr.exit.code().expect("probe run exits");
     for protocol in [ProtocolVariant::Old, ProtocolVariant::New] {
-        let mut cfg = fast();
-        cfg.protocol = protocol;
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(pr.completion_time.as_nanos() / 2));
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
+        let mut runner = Scenario::builder()
+            .workload(workload)
+            .functional_cost()
+            .disk_blocks(16)
+            .protocol(protocol)
+            .fail_primary_at(SimTime::ZERO + pr.completion_time / 2)
+            .build()
+            .unwrap()
+            .runner();
+        let r = runner.run();
         assert!(!r.failovers.is_empty(), "{protocol:?}: no failover");
-        match r.outcome {
-            RunEnd::Exit { code } => assert_eq!(code, ref_code, "{protocol:?}"),
-            other => panic!("{protocol:?}: {other:?}"),
-        }
+        assert_eq!(r.exit.code(), Some(ref_code), "{protocol:?}");
         check_single_processor_consistency(&r.disk_log)
             .unwrap_or_else(|e| panic!("{protocol:?}: {e}"));
         // The strongest environment check: the medium ends up in exactly
         // the state the failure-free run produced.
+        let probe_disk = probe.ft_mut().expect("replicated").disk_mut();
+        let run_disk = runner.ft_mut().expect("replicated").disk_mut();
         for b in 0..16 {
             assert_eq!(
-                probe.disk_mut().peek_block(b),
-                sys.disk_mut().peek_block(b),
+                probe_disk.peek_block(b),
+                run_disk.peek_block(b),
                 "{protocol:?}: block {b} differs from failure-free run"
             );
         }
@@ -168,21 +168,25 @@ fn both_protocol_variants_survive_failover() {
 
 #[test]
 fn atm_link_beats_ethernet_under_real_costs() {
-    let kernel = KernelConfig {
-        tick_period_us: 10_000,
-        tick_work: 20,
-        ..KernelConfig::default()
+    let workload = Dhrystone {
+        iters: 10_000,
+        syscall_every: 0,
+        kernel: KernelConfig {
+            tick_period_us: 10_000,
+            tick_work: 20,
+            ..KernelConfig::default()
+        },
     };
-    let image = build_image(&kernel, &dhrystone_source(10_000, 0)).unwrap();
     let run = |link: LinkSpec| {
-        let mut cfg = FtConfig {
-            link,
-            lockstep_check: false,
-            ..FtConfig::default()
-        };
-        cfg.hv.epoch_len = 1024;
-        let mut sys = FtSystem::new(&image, cfg);
-        sys.run().completion_time
+        Scenario::builder()
+            .workload(workload)
+            .link(link)
+            .lockstep(false)
+            .epoch_len(1024)
+            .build()
+            .unwrap()
+            .run()
+            .completion_time
     };
     let eth = run(LinkSpec::ethernet_10mbps());
     let atm = run(LinkSpec::atm_155mbps());
@@ -192,26 +196,33 @@ fn atm_link_beats_ethernet_under_real_costs() {
 #[test]
 fn console_transparency_under_failover_subsequence() {
     let msg = "the quick brown fox jumps over the lazy dog";
-    let kernel = KernelConfig {
-        tick_period_us: 500,
-        tick_work: 0,
-        ..KernelConfig::default()
+    let workload = Hello {
+        message: msg.into(),
+        wait_ticks: 2,
+        kernel: KernelConfig {
+            tick_period_us: 500,
+            tick_work: 0,
+            ..KernelConfig::default()
+        },
     };
-    let image = build_image(&kernel, &hello_source(msg, 2)).unwrap();
-    let mut probe = FtSystem::new(&image, fast());
-    let total = probe.run().completion_time;
+    let total = Scenario::builder()
+        .workload(workload.clone())
+        .functional_cost()
+        .build()
+        .unwrap()
+        .run()
+        .completion_time;
 
     for frac in [4u64, 2, 1] {
-        let mut cfg = fast();
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(total.as_nanos() * frac / 5));
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        assert!(
-            matches!(r.outcome, RunEnd::Exit { code: 42 }),
-            "{:?}",
-            r.outcome
-        );
-        let out = String::from_utf8_lossy(&r.console_output).into_owned();
+        let r = Scenario::builder()
+            .workload(workload.clone())
+            .functional_cost()
+            .fail_primary_at(SimTime::from_nanos(total.as_nanos() * frac / 5))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.exit.code(), Some(42), "{:?}", r.exit);
+        let out = String::from_utf8_lossy(&r.console).into_owned();
         // In-order subsequence (fire-and-forget output may lose bytes in
         // the failover epoch, but never reorders or invents them).
         let mut it = msg.chars();
@@ -226,25 +237,30 @@ fn console_transparency_under_failover_subsequence() {
 fn detector_timeout_scales_run_length() {
     // A larger detector timeout delays promotion but changes nothing
     // else.
-    let image = build_image(&KernelConfig::default(), &dhrystone_source(2_000, 0)).unwrap();
-    let mut probe = FtSystem::new(&image, fast());
-    let pr = probe.run();
-    let ref_code = match pr.outcome {
-        RunEnd::Exit { code } => code,
-        other => panic!("{other:?}"),
+    let workload = Dhrystone {
+        iters: 2_000,
+        syscall_every: 0,
+        kernel: KernelConfig::default(),
     };
+    let pr = Scenario::builder()
+        .workload(workload)
+        .functional_cost()
+        .build()
+        .unwrap()
+        .run();
+    let ref_code = pr.exit.code().expect("probe run exits");
 
     let mut ends = Vec::new();
     for timeout_ms in [10u64, 40] {
-        let mut cfg = fast();
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(pr.completion_time.as_nanos() / 2));
-        cfg.detector_timeout = SimDuration::from_millis(timeout_ms);
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => assert_eq!(code, ref_code),
-            other => panic!("{other:?}"),
-        }
+        let r = Scenario::builder()
+            .workload(workload)
+            .functional_cost()
+            .fail_primary_at(SimTime::ZERO + pr.completion_time / 2)
+            .detector_timeout(SimDuration::from_millis(timeout_ms))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.exit.code(), Some(ref_code));
         ends.push(r.completion_time);
     }
     assert!(

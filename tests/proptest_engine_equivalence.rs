@@ -6,13 +6,12 @@
 //! engines. If the rule logic is truly transport-independent — the
 //! paper's claim — then the same workload and failure schedule must
 //! produce identical guest-visible results through both drivers, at
-//! t = 1 and t = 2 alike. These properties sample that space.
+//! t = 1 and t = 2 alike. These properties sample that space, with
+//! both drivers configured through the one `Scenario` builder.
 
-use hvft::core::chain::{ChainEnd, TChain};
-use hvft::core::{FailureSpec, FtConfig, FtSystem, RunEnd};
-use hvft::guest::{build_image, dhrystone_source, hello_source, KernelConfig};
-use hvft::hypervisor::cost::CostModel;
-use hvft::hypervisor::hvguest::HvConfig;
+use hvft::core::scenario::{RunReport, Scenario, ScenarioBuilder};
+use hvft::guest::workload::{Dhrystone, Hello};
+use hvft::guest::KernelConfig;
 use hvft::sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -20,25 +19,24 @@ use std::sync::OnceLock;
 /// Rank-1 detection latency plus hand-over slack, in nanoseconds.
 const DETECT_NS: u64 = 2_000_000;
 
-fn fast(backups: usize) -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        backups,
-        detector_timeout: SimDuration::from_micros(800),
-        ..FtConfig::default()
-    }
-}
-
-fn cpu_image() -> &'static hvft_isa::program::Program {
-    static IMG: OnceLock<hvft_isa::program::Program> = OnceLock::new();
-    IMG.get_or_init(|| {
-        let kernel = KernelConfig {
+fn cpu_workload() -> Dhrystone {
+    Dhrystone {
+        iters: 1_500,
+        syscall_every: 7,
+        kernel: KernelConfig {
             tick_period_us: 2000,
             tick_work: 2,
             ..KernelConfig::default()
-        };
-        build_image(&kernel, &dhrystone_source(1_500, 7)).unwrap()
-    })
+        },
+    }
+}
+
+fn des_builder(backups: usize) -> ScenarioBuilder {
+    Scenario::builder()
+        .workload(cpu_workload())
+        .functional_cost()
+        .backups(backups)
+        .detector_timeout(SimDuration::from_micros(800))
 }
 
 struct Reference {
@@ -47,39 +45,36 @@ struct Reference {
     console: Vec<u8>,
 }
 
-/// Failure-free t = 1 DES run of the CPU image.
+/// Failure-free t = 1 DES run of the CPU workload.
 fn cpu_reference() -> &'static Reference {
     static REF: OnceLock<Reference> = OnceLock::new();
     REF.get_or_init(|| {
-        let mut sys = FtSystem::new(cpu_image(), fast(1));
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => Reference {
-                code,
-                total_ns: r.completion_time.as_nanos(),
-                console: r.console_output,
-            },
-            other => panic!("cpu reference: {other:?}"),
+        let r = des_builder(1).build().unwrap().run();
+        Reference {
+            code: r.exit.code().unwrap_or_else(|| panic!("{:?}", r.exit)),
+            total_ns: r.completion_time.as_nanos(),
+            console: r.console,
         }
     })
 }
 
-fn run_chain(
-    image: &hvft_isa::program::Program,
-    t: usize,
-    fails: &[u64],
-    epoch_len: u32,
-) -> (u32, Vec<u8>) {
-    let hv = HvConfig {
-        epoch_len,
-        ..HvConfig::default()
-    };
-    let mut chain = TChain::new(image, t, CostModel::functional(), hv);
-    let r = chain.run(fails, 10_000_000);
-    match r.end {
-        ChainEnd::Exit { code } => (code, r.console.iter().map(|&(_, b)| b).collect()),
-        other => panic!("chain (t={t}, fails={fails:?}): {other:?}"),
+fn run_chain(builder: ScenarioBuilder, t: usize, fails: &[u64], epoch_len: u32) -> RunReport {
+    let mut b = builder
+        .chain()
+        .functional_cost()
+        .backups(t)
+        .epoch_len(epoch_len)
+        .max_epochs(10_000_000);
+    for &f in fails {
+        b = b.fail_primary_at_epoch(f);
     }
+    let r = b.build().unwrap().run();
+    assert!(
+        r.exit.is_clean_exit(),
+        "chain (t={t}, fails={fails:?}): {:?}",
+        r.exit
+    );
+    r
 }
 
 proptest! {
@@ -92,18 +87,15 @@ proptest! {
         let el = 1u32 << el_exp;
         let reference = cpu_reference();
         for t in [1usize, 2] {
-            let mut cfg = fast(t);
-            cfg.hv.epoch_len = el;
-            let mut sys = FtSystem::new(cpu_image(), cfg);
-            let r = sys.run();
-            match r.outcome {
-                RunEnd::Exit { code } => prop_assert_eq!(code, reference.code,
-                    "DES t={} EL={}", t, el),
-                other => return Err(TestCaseError::fail(format!("DES t={t} EL={el}: {other:?}"))),
+            let r = des_builder(t).epoch_len(el).build().unwrap().run();
+            match r.exit.code() {
+                Some(code) => prop_assert_eq!(code, reference.code, "DES t={} EL={}", t, el),
+                None => return Err(TestCaseError::fail(
+                    format!("DES t={t} EL={el}: {:?}", r.exit))),
             }
-            prop_assert!(r.lockstep.is_clean(), "DES t={} EL={} diverged", t, el);
-            let (chain_code, _) = run_chain(cpu_image(), t, &[], el);
-            prop_assert_eq!(chain_code, reference.code, "chain t={} EL={}", t, el);
+            prop_assert!(r.lockstep_clean, "DES t={} EL={} diverged", t, el);
+            let chain = run_chain(Scenario::builder().workload(cpu_workload()), t, &[], el);
+            prop_assert_eq!(chain.exit.code(), Some(reference.code), "chain t={} EL={}", t, el);
         }
     }
 
@@ -120,33 +112,48 @@ proptest! {
         let reference = cpu_reference();
         let t = if two_failures { 2 } else { 1 };
         let t1 = (reference.total_ns * frac / 10).max(1);
-        let mut cfg = fast(t);
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
-        let mut sys = FtSystem::new(cpu_image(), cfg);
+        let mut b = des_builder(t).fail_primary_at(SimTime::from_nanos(t1));
         if two_failures {
             let t2 = t1 + DETECT_NS + reference.total_ns * gap / 10;
-            sys.schedule_failure(SimTime::from_nanos(t2));
+            b = b.fail_primary_at(SimTime::from_nanos(t2));
         }
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code,
-                "DES t={} frac={}", t, frac),
-            other => return Err(TestCaseError::fail(format!("DES t={t} frac={frac}: {other:?}"))),
+        let r = b.build().unwrap().run();
+        match r.exit.code() {
+            Some(code) => prop_assert_eq!(code, reference.code, "DES t={} frac={}", t, frac),
+            None => return Err(TestCaseError::fail(
+                format!("DES t={t} frac={frac}: {:?}", r.exit))),
         }
-        prop_assert!(r.lockstep.is_clean(), "divergence: {:?}", r.lockstep.divergences());
+        prop_assert!(r.lockstep_clean, "DES t={} frac={} diverged", t, frac);
         // Console bytes under failover are an in-order subsequence of
         // the reference stream (fire-and-forget output may lose bytes in
         // the failover epoch, never reorder or invent them).
         let mut it = reference.console.iter();
         prop_assert!(
-            r.console_output.iter().all(|b| it.any(|m| m == b)),
-            "DES console not a subsequence: {:?}", r.console_output
+            r.console.iter().all(|b| it.any(|m| m == b)),
+            "DES console not a subsequence: {:?}", r.console
         );
         // Replay through the chain: each DES promotion at epoch E means
         // the dead primary completed epochs < E+1.
         let fails: Vec<u64> = r.failovers.iter().map(|f| f.epoch + 1).collect();
-        let (chain_code, _) = run_chain(cpu_image(), t, &fails, cfg.hv.epoch_len);
-        prop_assert_eq!(chain_code, reference.code, "chain replay of {:?}", fails);
+        let chain = run_chain(
+            Scenario::builder().workload(cpu_workload()),
+            t,
+            &fails,
+            4096,
+        );
+        prop_assert_eq!(chain.exit.code(), Some(reference.code), "chain replay of {:?}", fails);
+    }
+}
+
+fn hello_workload(msg: &str) -> Hello {
+    Hello {
+        message: msg.into(),
+        wait_ticks: 2,
+        kernel: KernelConfig {
+            tick_period_us: 500,
+            tick_work: 0,
+            ..KernelConfig::default()
+        },
     }
 }
 
@@ -155,25 +162,26 @@ fn console_streams_are_identical_without_failures() {
     // The strongest equivalence: byte-for-byte identical console output
     // through the DES (t = 1 and t = 2) and the chain.
     let msg = "the quick brown fox jumps over the lazy dog";
-    let kernel = KernelConfig {
-        tick_period_us: 500,
-        tick_work: 0,
-        ..KernelConfig::default()
-    };
-    let image = build_image(&kernel, &hello_source(msg, 2)).unwrap();
     let mut streams: Vec<Vec<u8>> = Vec::new();
     for t in [1usize, 2] {
-        let mut sys = FtSystem::new(&image, fast(t));
-        let r = sys.run();
-        assert!(
-            matches!(r.outcome, RunEnd::Exit { code: 42 }),
-            "{:?}",
-            r.outcome
+        let r = Scenario::builder()
+            .workload(hello_workload(msg))
+            .functional_cost()
+            .backups(t)
+            .detector_timeout(SimDuration::from_micros(800))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.exit.code(), Some(42), "{:?}", r.exit);
+        streams.push(r.console);
+        let chain = run_chain(
+            Scenario::builder().workload(hello_workload(msg)),
+            t,
+            &[],
+            4096,
         );
-        streams.push(r.console_output);
-        let (code, chain_bytes) = run_chain(&image, t, &[], FtConfig::default().hv.epoch_len);
-        assert_eq!(code, 42);
-        streams.push(chain_bytes);
+        assert_eq!(chain.exit.code(), Some(42));
+        streams.push(chain.console);
     }
     for s in &streams[1..] {
         assert_eq!(
@@ -190,18 +198,24 @@ fn chain_boundary_kills_lose_no_console_bytes() {
     // mid-epoch DES kills — the hand-over loses nothing: the full
     // reference stream must appear.
     let msg = "abcdefghijklmnopqrstuvwxyz";
-    let kernel = KernelConfig {
-        tick_period_us: 500,
-        tick_work: 0,
-        ..KernelConfig::default()
-    };
-    let image = build_image(&kernel, &hello_source(msg, 2)).unwrap();
     let el = 256;
-    let (_, reference) = run_chain(&image, 2, &[], el);
-    let (code, with_fails) = run_chain(&image, 2, &[3, 6], el);
-    assert_eq!(code, 42);
+    let reference = run_chain(
+        Scenario::builder().workload(hello_workload(msg)),
+        2,
+        &[],
+        el,
+    );
+    let with_fails = run_chain(
+        Scenario::builder().workload(hello_workload(msg)),
+        2,
+        &[3, 6],
+        el,
+    );
+    assert_eq!(with_fails.exit.code(), Some(42));
     assert_eq!(
-        with_fails, reference,
+        with_fails.console, reference.console,
         "boundary-aligned failovers must be byte-transparent"
     );
+    // The chain's report carries the promotions as failovers.
+    assert_eq!(with_fails.failovers.len(), 2);
 }

@@ -10,70 +10,73 @@
 //! with the reference checksum and the environment log must stay
 //! single-processor consistent.
 
-use hvft::core::{FailureSpec, FtConfig, FtSystem, ProtocolVariant, RunEnd};
+use hvft::core::scenario::{Protocol, Scenario};
 use hvft::devices::check_single_processor_consistency;
-use hvft::guest::{build_image, dhrystone_source, io_bench_source, IoMode, KernelConfig};
-use hvft::hypervisor::cost::CostModel;
+use hvft::guest::workload::{Dhrystone, IoBench};
+use hvft::guest::{IoMode, KernelConfig};
 use hvft::sim::time::SimTime;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-fn fast() -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
+fn cpu_workload() -> Dhrystone {
+    Dhrystone {
+        iters: 2_000,
+        syscall_every: 7,
+        kernel: KernelConfig {
+            tick_period_us: 2000,
+            tick_work: 2,
+            ..KernelConfig::default()
+        },
+    }
+}
+
+fn io_workload() -> IoBench {
+    IoBench {
+        ops: 3,
+        mode: IoMode::Write,
+        num_blocks: 16,
+        seed: 13,
+        ..Default::default()
     }
 }
 
 struct Reference {
-    image: hvft_isa::program::Program,
     total_ns: u64,
     code: u32,
 }
 
-fn cpu_reference() -> &'static Reference {
-    static REF: OnceLock<Reference> = OnceLock::new();
-    REF.get_or_init(|| {
-        let kernel = KernelConfig {
-            tick_period_us: 2000,
-            tick_work: 2,
-            ..KernelConfig::default()
-        };
-        let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
-        let mut sys = FtSystem::new(&image, fast());
-        let r = sys.run();
-        let code = match r.outcome {
-            RunEnd::Exit { code } => code,
-            other => panic!("{other:?}"),
-        };
+fn reference(slot: &'static OnceLock<Reference>, scenario: Scenario) -> &'static Reference {
+    slot.get_or_init(|| {
+        let r = scenario.run();
         Reference {
-            image,
             total_ns: r.completion_time.as_nanos(),
-            code,
+            code: r.exit.code().unwrap_or_else(|| panic!("{:?}", r.exit)),
         }
     })
 }
 
+fn cpu_reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    reference(
+        &REF,
+        Scenario::builder()
+            .workload(cpu_workload())
+            .functional_cost()
+            .build()
+            .unwrap(),
+    )
+}
+
 fn io_reference() -> &'static Reference {
     static REF: OnceLock<Reference> = OnceLock::new();
-    REF.get_or_init(|| {
-        let image = build_image(
-            &KernelConfig::default(),
-            &io_bench_source(3, IoMode::Write, 16, 13),
-        )
-        .unwrap();
-        let mut sys = FtSystem::new(&image, fast());
-        let r = sys.run();
-        let code = match r.outcome {
-            RunEnd::Exit { code } => code,
-            other => panic!("{other:?}"),
-        };
-        Reference {
-            image,
-            total_ns: r.completion_time.as_nanos(),
-            code,
-        }
-    })
+    reference(
+        &REF,
+        Scenario::builder()
+            .workload(io_workload())
+            .functional_cost()
+            .build()
+            .unwrap(),
+    )
 }
 
 proptest! {
@@ -83,13 +86,16 @@ proptest! {
     fn cpu_failover_is_checksum_transparent(frac in 1u64..1000) {
         let reference = cpu_reference();
         let t = reference.total_ns * frac / 1000;
-        let mut cfg = fast();
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t.max(1)));
-        let mut sys = FtSystem::new(&reference.image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code),
-            other => return Err(TestCaseError::fail(format!("fail at {t}: {other:?}"))),
+        let r = Scenario::builder()
+            .workload(cpu_workload())
+            .functional_cost()
+            .fail_primary_at(SimTime::from_nanos(t.max(1)))
+            .build()
+            .unwrap()
+            .run();
+        match r.exit.code() {
+            Some(code) => prop_assert_eq!(code, reference.code),
+            None => return Err(TestCaseError::fail(format!("fail at {t}: {:?}", r.exit))),
         }
     }
 
@@ -100,14 +106,17 @@ proptest! {
     ) {
         let reference = io_reference();
         let t = reference.total_ns * frac / 1000;
-        let mut cfg = fast();
-        cfg.protocol = if protocol_new { ProtocolVariant::New } else { ProtocolVariant::Old };
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t.max(1)));
-        let mut sys = FtSystem::new(&reference.image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code),
-            other => return Err(TestCaseError::fail(format!("fail at {t}: {other:?}"))),
+        let r = Scenario::builder()
+            .workload(io_workload())
+            .functional_cost()
+            .protocol(if protocol_new { Protocol::New } else { Protocol::Old })
+            .fail_primary_at(SimTime::from_nanos(t.max(1)))
+            .build()
+            .unwrap()
+            .run();
+        match r.exit.code() {
+            Some(code) => prop_assert_eq!(code, reference.code),
+            None => return Err(TestCaseError::fail(format!("fail at {t}: {:?}", r.exit))),
         }
         if let Err(e) = check_single_processor_consistency(&r.disk_log) {
             return Err(TestCaseError::fail(format!("fail at {t}: {e}")));
@@ -116,17 +125,17 @@ proptest! {
 
     #[test]
     fn disk_faults_never_break_lockstep(fault_seed in 0u64..1_000, prob in 0.0f64..0.4) {
-        let image = build_image(
-            &KernelConfig::default(),
-            &io_bench_source(2, IoMode::Write, 8, 21),
-        ).unwrap();
-        let mut cfg = fast();
-        cfg.disk_fault_prob = prob;
-        cfg.seed = fault_seed;
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        prop_assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
-        prop_assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+        let r = Scenario::builder()
+            .workload(IoBench { ops: 2, mode: IoMode::Write, num_blocks: 8, seed: 21,
+                                ..Default::default() })
+            .functional_cost()
+            .disk_fault_prob(prob)
+            .seed(fault_seed)
+            .build()
+            .unwrap()
+            .run();
+        prop_assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
+        prop_assert!(r.lockstep_clean);
         if let Err(e) = check_single_processor_consistency(&r.disk_log) {
             return Err(TestCaseError::fail(e));
         }
@@ -136,14 +145,17 @@ proptest! {
     fn epoch_length_invariance(el_exp in 8u32..15) {
         // Checksums are independent of the epoch length (2^8 .. 2^14).
         let reference = cpu_reference();
-        let mut cfg = fast();
-        cfg.hv.epoch_len = 1 << el_exp;
-        let mut sys = FtSystem::new(&reference.image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => prop_assert_eq!(code, reference.code),
-            other => return Err(TestCaseError::fail(format!("EL=2^{el_exp}: {other:?}"))),
+        let r = Scenario::builder()
+            .workload(cpu_workload())
+            .functional_cost()
+            .epoch_len(1 << el_exp)
+            .build()
+            .unwrap()
+            .run();
+        match r.exit.code() {
+            Some(code) => prop_assert_eq!(code, reference.code),
+            None => return Err(TestCaseError::fail(format!("EL=2^{el_exp}: {:?}", r.exit))),
         }
-        prop_assert!(r.lockstep.is_clean());
+        prop_assert!(r.lockstep_clean);
     }
 }

@@ -17,69 +17,87 @@
 //! revision for the I/O-bound shard (self-clocked by its disk
 //! round-trips, the workload the revision was designed for).
 
-use hvft::core::cluster::FtCluster;
-use hvft::core::{FailureSpec, FtConfig, ProtocolVariant, RunEnd};
-use hvft::guest::{
-    build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
-};
-use hvft::hypervisor::cost::CostModel;
+use hvft::core::scenario::{ClusterScenario, Protocol, Scenario, ScenarioBuilder};
+use hvft::guest::workload::{Dhrystone, Hello, IoBench};
+use hvft::guest::{IoMode, KernelConfig};
 use hvft::net::link::LinkSpec;
 use hvft::sim::time::{SimDuration, SimTime};
-use hvft_isa::program::Program;
 use proptest::prelude::*;
-use std::sync::OnceLock;
 
-/// The three shard images: one CPU-bound, one I/O-bound, one
-/// console-chatty — every cluster mixes all three.
-fn images() -> &'static [Program; 3] {
-    static IMAGES: OnceLock<[Program; 3]> = OnceLock::new();
-    IMAGES.get_or_init(|| {
-        let kernel = KernelConfig {
-            tick_period_us: 2000,
-            tick_work: 2,
-            ..KernelConfig::default()
-        };
-        [
-            build_image(&kernel, &dhrystone_source(1_200, 7)).unwrap(),
-            build_image(
-                &KernelConfig::default(),
-                &io_bench_source(3, IoMode::Write, 16, 9),
-            )
-            .unwrap(),
-            build_image(&KernelConfig::default(), &hello_source("shard up\n", 2)).unwrap(),
-        ]
-    })
+/// The three shard workloads: one CPU-bound, one I/O-bound, one
+/// console-chatty — every cluster mixes all three. The per-shard
+/// protocol variants: §2 for the streaming CPU shard, §4.3 for the
+/// disk shard, caller's choice for the console shard.
+fn shard_builder(i: usize, hello_new: bool) -> ScenarioBuilder {
+    let b = Scenario::builder().functional_cost();
+    match i {
+        0 => b
+            .workload(Dhrystone {
+                iters: 1_200,
+                syscall_every: 7,
+                kernel: KernelConfig {
+                    tick_period_us: 2000,
+                    tick_work: 2,
+                    ..KernelConfig::default()
+                },
+            })
+            .protocol(Protocol::Old),
+        1 => b
+            .workload(IoBench {
+                ops: 3,
+                mode: IoMode::Write,
+                num_blocks: 16,
+                seed: 9,
+                ..Default::default()
+            })
+            .protocol(Protocol::New),
+        _ => b
+            .workload(Hello {
+                message: "shard up\n".into(),
+                wait_ticks: 2,
+                kernel: KernelConfig::default(),
+            })
+            .protocol(if hello_new {
+                Protocol::New
+            } else {
+                Protocol::Old
+            }),
+    }
 }
 
-/// The per-shard protocol variants: §2 for the streaming CPU shard,
-/// §4.3 for the disk shard, caller's choice for the console shard.
-fn variants(hello_new: bool) -> [ProtocolVariant; 3] {
-    [
-        ProtocolVariant::Old,
-        ProtocolVariant::New,
-        if hello_new {
-            ProtocolVariant::New
-        } else {
-            ProtocolVariant::Old
-        },
-    ]
-}
-
-fn shard_cfg(backups: usize, protocol: ProtocolVariant, seed: u64, loss: f64) -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        backups,
-        protocol,
-        seed,
-        loss_prob: loss,
-        retransmit: Some(SimDuration::from_millis(5)),
+fn cluster(
+    backups: usize,
+    hello_new: bool,
+    seed: u64,
+    loss: f64,
+    fail_shard: Option<(usize, u64)>,
+) -> ClusterScenario {
+    let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), seed);
+    for i in 0..3usize {
         // Detection dominates recovery: retransmissions (the stalled
         // primary's only heartbeat) arrive at least every 4 × 5 ms, so
         // a false suspicion needs ~15 consecutive losses per window
-        // (p ≈ 0.2¹⁵). Applied to both sides of the comparison.
-        detector_timeout: SimDuration::from_millis(300),
-        ..FtConfig::default()
+        // (p ≈ 0.2¹⁵). Applied to BOTH sides of the comparison — the
+        // lossless run must differ from the lossy one in the loss draws
+        // alone, not in the recovery machinery or detection margins.
+        let mut b = shard_builder(i, hello_new)
+            .backups(backups)
+            .seed(seed.wrapping_add(i as u64))
+            .retransmit(SimDuration::from_millis(5))
+            .detector_timeout(SimDuration::from_millis(300));
+        if loss > 0.0 {
+            b = b.lossy(loss);
+        }
+        if let Some((shard, at_ns)) = fail_shard {
+            if shard == i {
+                b = b.fail_primary_at(SimTime::from_nanos(at_ns));
+            }
+        }
+        cluster
+            .add(b.build().expect("valid shard scenario"))
+            .expect("replicated shard");
     }
+    cluster
 }
 
 /// What the environment can observe of a whole cluster run, per shard.
@@ -90,31 +108,10 @@ fn observables(
     loss: f64,
     fail_shard: Option<(usize, u64)>,
 ) -> Vec<(String, Vec<u8>, bool)> {
-    let mut cluster = FtCluster::new(LinkSpec::ethernet_10mbps(), seed);
-    for (i, image) in images().iter().enumerate() {
-        let mut cfg = shard_cfg(
-            backups,
-            variants(hello_new)[i],
-            seed.wrapping_add(i as u64),
-            loss,
-        );
-        if let Some((shard, at_ns)) = fail_shard {
-            if shard == i {
-                cfg.failure = FailureSpec::At(SimTime::from_nanos(at_ns));
-            }
-        }
-        cluster.add_system(image, cfg);
-    }
-    cluster
+    cluster(backups, hello_new, seed, loss, fail_shard)
         .run()
         .into_iter()
-        .map(|r| {
-            (
-                format!("{:?}", r.outcome),
-                r.console_output,
-                r.lockstep.is_clean(),
-            )
-        })
+        .map(|r| (format!("{:?}", r.exit), r.console, r.lockstep_clean))
         .collect()
 }
 
@@ -188,18 +185,14 @@ fn pinned_cluster_loss_equivalence() {
     assert_eq!(clean[2].1.as_slice(), b"shard up\n");
     // And the lossy cluster really did lose traffic (the equivalence is
     // not vacuous).
-    let mut cluster = FtCluster::new(LinkSpec::ethernet_10mbps(), 7);
-    for (i, image) in images().iter().enumerate() {
-        cluster.add_system(image, shard_cfg(2, variants(true)[i], 7 + i as u64, 0.2));
-    }
-    let results = cluster.run();
-    assert!(cluster.lan_stats().dropped > 0, "no messages were lost");
+    let (results, lan_stats) = cluster(2, true, 7, 0.2, None).run_with_lan_stats();
+    assert!(lan_stats.dropped > 0, "no messages were lost");
     assert!(
         results.iter().map(|r| r.frames_retransmitted).sum::<u64>() > 0,
         "no retransmissions happened"
     );
     for r in &results {
-        assert!(matches!(r.outcome, RunEnd::Exit { .. }));
+        assert!(r.exit.is_clean_exit());
         assert!(
             r.failovers.is_empty(),
             "no failures were injected, so no promotions may happen: {:?}",

@@ -34,8 +34,7 @@ use hvft::machine::cpu::{Cpu, Exit};
 use hvft::machine::mem::Memory;
 use hvft::machine::statehash::vm_state_hash;
 use hvft::machine::tlb::TlbReplacement;
-use hvft_core::config::{FailureSpec, FtConfig};
-use hvft_core::system::{FtRunResult, FtSystem};
+use hvft_core::scenario::{RunReport, Scenario, ScenarioBuilder};
 use hvft_sim::time::SimTime;
 use proptest::prelude::*;
 
@@ -219,22 +218,35 @@ fn self_modifying_guest_invalidates_the_block_cache() {
 // Hypervised differential: the whole replicated system, block on/off
 // ---------------------------------------------------------------------
 
-fn ft_outcome(image: &hvft::isa::program::Program, mut cfg: FtConfig, block: bool) -> FtRunResult {
-    cfg.hv.block_exec = block;
-    let mut sys = FtSystem::new(image, cfg);
-    sys.run()
+fn ft_outcome(
+    image: &hvft::isa::program::Program,
+    base: &dyn Fn() -> ScenarioBuilder,
+    block: bool,
+) -> RunReport {
+    base()
+        .image(image.clone())
+        .functional_cost()
+        .block_exec(block)
+        .build()
+        .expect("differential scenario is valid")
+        .run()
 }
 
-fn assert_ft_equivalent(name: &str, user: &str, kcfg: &KernelConfig, cfg: FtConfig) {
+fn assert_ft_equivalent(
+    name: &str,
+    user: &str,
+    kcfg: &KernelConfig,
+    base: &dyn Fn() -> ScenarioBuilder,
+) {
     let image = build_image(kcfg, user).expect("image builds");
-    let a = ft_outcome(&image, cfg, true);
-    let b = ft_outcome(&image, cfg, false);
-    assert_eq!(a.outcome, b.outcome, "{name}: outcomes diverged");
+    let a = ft_outcome(&image, base, true);
+    let b = ft_outcome(&image, base, false);
+    assert_eq!(a.exit, b.exit, "{name}: outcomes diverged");
     assert_eq!(
         a.completion_time, b.completion_time,
         "{name}: completion times diverged"
     );
-    assert_eq!(a.console_output, b.console_output, "{name}: console bytes");
+    assert_eq!(a.console, b.console, "{name}: console bytes");
     assert_eq!(a.console_hosts, b.console_hosts, "{name}: console hosts");
     assert_eq!(a.disk_log, b.disk_log, "{name}: disk logs diverged");
     assert_eq!(a.guest_retries, b.guest_retries, "{name}: retries");
@@ -246,16 +258,15 @@ fn assert_ft_equivalent(name: &str, user: &str, kcfg: &KernelConfig, cfg: FtConf
         a.failovers, b.failovers,
         "{name}: failover schedules diverged"
     );
-    assert!(a.lockstep.is_clean(), "{name}: block run diverged");
-    assert!(b.lockstep.is_clean(), "{name}: step run diverged");
+    assert!(a.lockstep_clean, "{name}: block run diverged");
+    assert!(b.lockstep_clean, "{name}: step run diverged");
     assert_eq!(
-        a.lockstep.compared(),
-        b.lockstep.compared(),
+        a.lockstep_compared, b.lockstep_compared,
         "{name}: lockstep comparison counts diverged"
     );
     // Same number of epochs, simulated instructions, reflections and
     // interrupt deliveries on every replica.
-    let stats = |r: &FtRunResult| {
+    let stats = |r: &RunReport| {
         r.replica_stats
             .iter()
             .map(|s| (s.epochs, s.simulated, s.reflected, s.mmio, s.irqs_delivered))
@@ -271,24 +282,21 @@ fn ft_dhrystone_is_engine_invariant() {
         tick_work: 2,
         ..KernelConfig::default()
     };
-    let cfg = FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    };
-    assert_ft_equivalent("ft-dhrystone", &dhrystone_source(800, 7), &kcfg, cfg);
+    assert_ft_equivalent(
+        "ft-dhrystone",
+        &dhrystone_source(800, 7),
+        &kcfg,
+        &Scenario::builder,
+    );
 }
 
 #[test]
 fn ft_io_write_is_engine_invariant() {
-    let cfg = FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    };
     assert_ft_equivalent(
         "ft-io-write",
         &io_bench_source(3, IoMode::Write, 16, 13),
         &KernelConfig::default(),
-        cfg,
+        &Scenario::builder,
     );
 }
 
@@ -299,24 +307,21 @@ fn ft_hello_is_engine_invariant() {
         tick_work: 1,
         ..KernelConfig::default()
     };
-    let cfg = FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    };
-    assert_ft_equivalent("ft-hello", &hello_source("ft hello\n", 1), &kcfg, cfg);
+    assert_ft_equivalent(
+        "ft-hello",
+        &hello_source("ft hello\n", 1),
+        &kcfg,
+        &Scenario::builder,
+    );
 }
 
 #[test]
 fn ft_mixed_is_engine_invariant() {
-    let cfg = FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    };
     assert_ft_equivalent(
         "ft-mixed",
         &mixed_source(2, IoMode::Write, 16, 3, 80),
         &KernelConfig::default(),
-        cfg,
+        &Scenario::builder,
     );
 }
 
@@ -329,12 +334,9 @@ fn ft_failover_is_engine_invariant() {
         tick_work: 2,
         ..KernelConfig::default()
     };
-    let cfg = FtConfig {
-        cost: CostModel::functional(),
-        failure: FailureSpec::At(SimTime::from_nanos(800_000)),
-        ..FtConfig::default()
-    };
-    assert_ft_equivalent("ft-failover", &dhrystone_source(1_500, 9), &kcfg, cfg);
+    assert_ft_equivalent("ft-failover", &dhrystone_source(1_500, 9), &kcfg, &|| {
+        Scenario::builder().fail_primary_at(SimTime::from_nanos(800_000))
+    });
 }
 
 // ---------------------------------------------------------------------
