@@ -1,0 +1,145 @@
+//! Cluster scaling under the parallel conservative-sync executor —
+//! recorded to `BENCH_cluster_scale.json` for the CI artifact.
+//!
+//! One workload mix, swept across shard counts × execution modes
+//! (sequential, and worker-thread counts up to the machine's cores):
+//! each `cluster/<shards>sys/<mode>` entry times the *same*
+//! deterministic simulated run, so the wall-clock ratios between modes
+//! are the scaling curve of the executor itself. On a many-core box the
+//! thread rows shrink toward `1/min(shards, cores)` of the sequential
+//! row; on a one-core CI runner they mostly measure coordination
+//! overhead — either way the recorded curve is honest for the hardware
+//! that produced it, and the bit-identity micro-assert below is the
+//! part that must hold everywhere.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hvft_core::scenario::{ClusterScenario, Parallelism, RunReport, Scenario};
+use hvft_guest::workload::{Dhrystone, IoBench};
+use hvft_guest::{IoMode, KernelConfig};
+use hvft_net::link::LinkSpec;
+
+fn cluster(shards: usize) -> ClusterScenario {
+    let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), 13);
+    for i in 0..shards {
+        let b = Scenario::builder()
+            .functional_cost()
+            .seed(13 + i as u64)
+            // Contention on a crowded wire must not forge suspicions.
+            .detector_timeout(hvft_sim::time::SimDuration::from_millis(300));
+        let b = if i % 2 == 0 {
+            b.workload(Dhrystone {
+                iters: 500,
+                syscall_every: 0,
+                kernel: KernelConfig {
+                    tick_period_us: 2000,
+                    tick_work: 2,
+                    ..KernelConfig::default()
+                },
+            })
+        } else {
+            b.workload(IoBench {
+                ops: 2,
+                mode: IoMode::Write,
+                num_blocks: 16,
+                seed: 4,
+                ..Default::default()
+            })
+        };
+        cluster
+            .add(b.build().expect("valid shard"))
+            .expect("replicated shard");
+    }
+    cluster
+}
+
+/// The full observable surface of a shard's report, for bit-identity
+/// checks across execution modes.
+fn fingerprint(reports: &[RunReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{:?}|{}|{:?}|{:?}|{:?}|{}|{}|{}",
+                r.exit,
+                r.completion_time,
+                r.console,
+                r.failovers,
+                r.messages_per_replica,
+                r.frames_retransmitted,
+                r.frames_suppressed,
+                r.lockstep_compared,
+            )
+        })
+        .collect()
+}
+
+fn modes() -> Vec<(String, Parallelism)> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut modes = vec![("seq".to_owned(), Parallelism::Sequential)];
+    let mut t = 2;
+    while t <= cores.max(2) {
+        modes.push((format!("{t}thr"), Parallelism::Threads(t)));
+        t *= 2;
+    }
+    modes
+}
+
+/// Shards × threads sweep: whole cluster runs to completion.
+fn bench_cluster_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_scale");
+    g.sample_size(5);
+    let mut fingerprints: Vec<(usize, String, Vec<String>)> = Vec::new();
+    for shards in [2usize, 4, 8] {
+        for (mode_label, par) in modes() {
+            let label = format!("{shards}sys_{mode_label}");
+            let mut last: Vec<RunReport> = Vec::new();
+            g.bench_function(label.clone(), |b| {
+                b.iter(|| {
+                    let mut sc = cluster(shards);
+                    sc.parallelism(par);
+                    last = sc.run();
+                    last.len()
+                })
+            });
+            for r in &last {
+                assert!(r.exit.is_clean_exit(), "{label}: {:?}", r.exit);
+            }
+            fingerprints.push((shards, mode_label, fingerprint(&last)));
+        }
+    }
+    g.finish();
+    // Micro-assert: every execution mode of a given shard count is
+    // bit-identical — the determinism oracle, archived alongside the
+    // timings it licenses.
+    for shards in [2usize, 4, 8] {
+        let of_count: Vec<_> = fingerprints
+            .iter()
+            .filter(|(s, _, _)| *s == shards)
+            .collect();
+        let (_, seq_label, reference) = of_count.first().expect("sequential row present");
+        assert_eq!(seq_label, "seq");
+        for (_, mode, fp) in &of_count[1..] {
+            assert_eq!(
+                fp, reference,
+                "{shards} shards: mode {mode} diverged from sequential"
+            );
+        }
+    }
+}
+
+fn save(c: &mut Criterion) {
+    // Machine-readable record for the CI artifact, at the workspace
+    // root next to BENCH_lan.json.
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_cluster_scale.json"
+    );
+    c.save_json(out)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_cluster_scale, save);
+criterion_main!(benches);

@@ -31,6 +31,7 @@ use hvft_hypervisor::hvguest::{HvConfig, HvEvent, HvGuest, HvStats};
 use hvft_isa::program::Program;
 use hvft_machine::mem::IO_BASE;
 use hvft_net::transport::{InstantLink, Transport};
+use hvft_sim::sched::Component;
 use hvft_sim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -103,50 +104,17 @@ pub struct TChain {
 }
 
 impl TChain {
-    /// Boots `t + 1` replicas of `image` under the original (§2)
-    /// protocol. Each replica's machine gets a different TLB seed — as
-    /// in the DES system, hardware non-determinism must be survivable.
+    /// Boots `t + 1` replicas of `image`. Each replica's machine gets a
+    /// different TLB seed — as in the DES system, hardware
+    /// non-determinism must be survivable. The chain's instantaneous
+    /// links acknowledge within the round, so both protocol variants
+    /// behave identically — running them through the same engine is
+    /// precisely the point.
     ///
-    /// Deprecated shim: construct through
-    /// [`crate::scenario::Scenario::builder`] with
-    /// [`crate::scenario::Driver::Chain`], which validates instead of
-    /// panicking.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `t == 0` (a chain needs at least one backup).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build runs through hvft_core::scenario::Scenario with Driver::Chain; \
-                this unvalidated constructor panics on bad configurations"
-    )]
-    pub fn new(image: &Program, t: usize, cost: CostModel, hv: HvConfig) -> Self {
-        Self::build(image, t, cost, hv, ProtocolVariant::Old)
-    }
-
-    /// [`TChain::new`] with an explicit protocol variant. The chain's
-    /// instantaneous links acknowledge within the round, so both
-    /// variants behave identically — running them through the same
-    /// engine is precisely the point.
-    ///
-    /// Deprecated shim: see [`TChain::new`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "build runs through hvft_core::scenario::Scenario with Driver::Chain; \
-                this unvalidated constructor panics on bad configurations"
-    )]
-    pub fn with_protocol(
-        image: &Program,
-        t: usize,
-        cost: CostModel,
-        hv: HvConfig,
-        variant: ProtocolVariant,
-    ) -> Self {
-        Self::build(image, t, cost, hv, variant)
-    }
-
-    /// The validated construction path used by the scenario layer (and
-    /// the deprecated constructor shims).
+    /// This is the validated construction path used by the scenario
+    /// layer; [`crate::scenario::Scenario::builder`] with
+    /// [`crate::scenario::Driver::Chain`] is the public front door and
+    /// validates configurations instead of panicking.
     pub(crate) fn build(
         image: &Program,
         t: usize,
@@ -390,27 +358,20 @@ impl TChain {
 
     /// Runs to completion, failstopping the acting primary at each epoch
     /// number listed in `failures_at` (ascending).
+    ///
+    /// The loop itself is the shared scheduler kernel's: the chain is
+    /// one [`hvft_sim::sched::Component`] whose clock is its round
+    /// number, advanced one round per scheduling decision.
     pub fn run(&mut self, failures_at: &[u64], max_epochs: u64) -> ChainResult {
-        let budget = SimDuration::from_secs(10);
-        let mut failures = 0;
-        let mut fail_iter = failures_at.iter().peekable();
-        loop {
-            if self.epoch >= max_epochs {
-                return self.result(ChainEnd::EpochLimit, failures);
-            }
-            if let Some(&&at) = fail_iter.peek() {
-                if self.epoch >= at {
-                    fail_iter.next();
-                    failures += 1;
-                    if !self.fail_primary() {
-                        return self.result(ChainEnd::Exhausted, failures);
-                    }
-                }
-            }
-            if let Some(end) = self.step_epoch(budget) {
-                return self.result(end, failures);
-            }
-        }
+        let mut rounds = ChainRounds {
+            chain: self,
+            failures_at: failures_at.to_vec(),
+            next_failure: 0,
+            failures: 0,
+            max_epochs,
+            budget: SimDuration::from_secs(10),
+        };
+        hvft_sim::sched::run_solo(&mut rounds)
     }
 
     fn result(&self, end: ChainEnd, failures: usize) -> ChainResult {
@@ -434,10 +395,45 @@ impl TChain {
     }
 }
 
+/// One kernel component wrapping a chain run: the chain is
+/// round-synchronous, so its "clock" is simply the round number, and
+/// each `advance` injects due failstops and executes one epoch round.
+struct ChainRounds<'a> {
+    chain: &'a mut TChain,
+    failures_at: Vec<u64>,
+    next_failure: usize,
+    failures: usize,
+    max_epochs: u64,
+    budget: SimDuration,
+}
+
+impl Component for ChainRounds<'_> {
+    type Output = ChainResult;
+
+    fn next_action_time(&self) -> Option<SimTime> {
+        Some(SimTime::from_nanos(self.chain.epoch))
+    }
+
+    fn advance(&mut self) -> Option<ChainResult> {
+        if self.chain.epoch >= self.max_epochs {
+            return Some(self.chain.result(ChainEnd::EpochLimit, self.failures));
+        }
+        if let Some(&at) = self.failures_at.get(self.next_failure) {
+            if self.chain.epoch >= at {
+                self.next_failure += 1;
+                self.failures += 1;
+                if !self.chain.fail_primary() {
+                    return Some(self.chain.result(ChainEnd::Exhausted, self.failures));
+                }
+            }
+        }
+        self.chain
+            .step_epoch(self.budget)
+            .map(|end| self.chain.result(end, self.failures))
+    }
+}
+
 #[cfg(test)]
-// The chain's own tests deliberately exercise the legacy constructors
-// while the deprecated shims exist (the scenario layer has its own).
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use hvft_guest::{build_image, dhrystone_source, hello_source, KernelConfig};
@@ -456,7 +452,13 @@ mod tests {
             epoch_len: 1024,
             ..HvConfig::default()
         };
-        TChain::new(&image(), t, CostModel::functional(), hv)
+        TChain::build(
+            &image(),
+            t,
+            CostModel::functional(),
+            hv,
+            ProtocolVariant::Old,
+        )
     }
 
     fn reference_code() -> u32 {
@@ -508,7 +510,7 @@ mod tests {
             ..HvConfig::default()
         };
         let run = |variant| {
-            let mut c = TChain::with_protocol(&img, 2, CostModel::functional(), hv, variant);
+            let mut c = TChain::build(&img, 2, CostModel::functional(), hv, variant);
             let r = c.run(&[4], 100_000);
             match r.end {
                 ChainEnd::Exit { code } => (code, r.epochs),
@@ -539,7 +541,7 @@ mod tests {
             epoch_len: 256,
             ..HvConfig::default()
         };
-        let mut c = TChain::new(&img, 2, CostModel::functional(), hv);
+        let mut c = TChain::build(&img, 2, CostModel::functional(), hv, ProtocolVariant::Old);
         let r = c.run(&[2, 4], 100_000);
         assert!(matches!(r.end, ChainEnd::Exit { code: 42 }), "{:?}", r.end);
         // Emitting replica indices never decrease (one-way promotions).
@@ -559,7 +561,13 @@ mod tests {
             tlb_slots: 4,
             ..HvConfig::default()
         };
-        let mut c = TChain::new(&image(), 2, CostModel::functional(), hv);
+        let mut c = TChain::build(
+            &image(),
+            2,
+            CostModel::functional(),
+            hv,
+            ProtocolVariant::Old,
+        );
         let r = c.run(&[], 100_000);
         assert!(
             matches!(r.end, ChainEnd::Diverged { .. }),
@@ -572,6 +580,12 @@ mod tests {
     #[should_panic(expected = "t >= 1")]
     fn zero_backups_rejected() {
         let hv = HvConfig::default();
-        let _ = TChain::new(&image(), 0, CostModel::functional(), hv);
+        let _ = TChain::build(
+            &image(),
+            0,
+            CostModel::functional(),
+            hv,
+            ProtocolVariant::Old,
+        );
     }
 }

@@ -14,16 +14,44 @@
 //! (`Lan` serializes all transmissions), plus whatever loss or
 //! severing is injected on individual links.
 //!
-//! Scheduling is conservative and deterministic: every step, the
-//! cluster advances the shard whose [`FtSystem::next_action_time`] is
-//! smallest (ties break by shard index), so cross-shard contention on
-//! the medium is resolved in near-global-time order and a cluster run
-//! is exactly reproducible.
+//! # Scheduling
+//!
+//! Shards register on the shared kernel's
+//! [`hvft_sim::sched::Scheduler`] — every step advances the
+//! shard whose [`FtSystem::next_action_time`] is smallest (ties break
+//! by shard index), so cross-shard contention on the medium is resolved
+//! in near-global-time order and a cluster run is exactly reproducible.
+//!
+//! # Parallel execution
+//!
+//! [`FtCluster::run_with`] can run the shards' guest computations on
+//! `N` worker threads ([`Parallelism::Threads`]) while producing
+//! results **bit-identical** to the sequential schedule. The executor
+//! is conservative — it never speculates and never rolls back — and
+//! rests on two facts:
+//!
+//! 1. A shard's next scheduling decision (which host runs, with what
+//!    lookahead-bounded budget) and the *content* of that guest slice
+//!    depend only on the shard's own committed state: shards exchange
+//!    no messages, so another shard can influence this one only through
+//!    the medium's serialization clock, which is read exactly at
+//!    commit (send) points, never during a slice.
+//! 2. All shared-medium effects are committed on the coordinator
+//!    thread in the same global `(time, shard)` order the sequential
+//!    schedule uses.
+//!
+//! So each shard's next slice is *planned* as soon as its previous
+//! action commits, executed off-thread up to its conservative horizon
+//! (its own next event, or a peer replica's clock plus the link's
+//! minimum latency — the lookahead), and committed strictly in global
+//! order. Sequential mode runs the identical plan/commit sequence with
+//! the slice executed inline, which is why the two modes cannot
+//! diverge.
 //!
 //! # Examples
 //!
 //! ```
-//! use hvft_core::cluster::FtCluster;
+//! use hvft_core::cluster::{FtCluster, Parallelism};
 //! use hvft_core::config::FtConfig;
 //! use hvft_core::system::RunEnd;
 //! use hvft_guest::{build_image, hello_source, KernelConfig};
@@ -42,27 +70,44 @@
 //! for _ in 0..2 {
 //!     cluster.add_system(&image, cfg);
 //! }
-//! let results = cluster.run();
+//! let results = cluster.run_with(Parallelism::Threads(2));
 //! for r in &results {
 //!     assert!(matches!(r.outcome, RunEnd::Exit { code: 42 }));
 //! }
 //! ```
 
 use crate::config::FtConfig;
-use crate::system::{FtRunResult, FtSystem, WireFrame};
+use crate::system::{FtRunResult, FtSystem, StepPlan, WireFrame};
+use hvft_hypervisor::hvguest::{HvEvent, HvGuest};
 use hvft_isa::program::Program;
 use hvft_net::lan::{Lan, LanStats};
 use hvft_net::link::LinkSpec;
-use hvft_sim::time::SimTime;
+use hvft_sim::sched::Scheduler;
+use hvft_sim::time::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// How a cluster run distributes its shards' guest computations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Parallelism {
+    /// One thread does everything, in exact global-time order.
+    #[default]
+    Sequential,
+    /// Guest slices execute on this many worker threads; all
+    /// shared-medium effects still commit in exact global-time order,
+    /// so the results are bit-identical to [`Parallelism::Sequential`].
+    /// `Threads(0)` degenerates to sequential.
+    Threads(usize),
+}
 
 /// `N` independent fault-tolerant systems multiplexed over one shared
 /// [`Lan`], co-simulated on one conservative discrete-event schedule.
 pub struct FtCluster {
     lan: Rc<RefCell<Lan<WireFrame>>>,
-    systems: Vec<FtSystem>,
-    results: Vec<Option<FtRunResult>>,
+    sched: Scheduler<FtSystem>,
 }
 
 impl FtCluster {
@@ -71,8 +116,7 @@ impl FtCluster {
     pub fn new(link: LinkSpec, seed: u64) -> Self {
         FtCluster {
             lan: Rc::new(RefCell::new(Lan::new(link, seed))),
-            systems: Vec::new(),
-            results: Vec::new(),
+            sched: Scheduler::new(),
         }
     }
 
@@ -91,14 +135,12 @@ impl FtCluster {
         };
         cfg.link = *self.lan.borrow().link();
         let sys = FtSystem::new_on_lan(image, cfg, Rc::clone(&self.lan), base);
-        self.systems.push(sys);
-        self.results.push(None);
-        self.systems.len() - 1
+        self.sched.add(sys)
     }
 
     /// Number of shards.
     pub fn systems(&self) -> usize {
-        self.systems.len()
+        self.sched.len()
     }
 
     /// Direct access to shard `sys` (failure scheduling, disk
@@ -108,7 +150,7 @@ impl FtCluster {
     ///
     /// Panics if `sys` is out of range.
     pub fn system_mut(&mut self, sys: usize) -> &mut FtSystem {
-        &mut self.systems[sys]
+        self.sched.component_mut(sys)
     }
 
     /// Sets the loss probability of every link currently registered on
@@ -125,7 +167,7 @@ impl FtCluster {
     /// failure the construction-time guard exists to prevent.
     pub fn set_loss_probability_all(&mut self, p: f64) {
         if p > 0.0 {
-            for sys in &self.systems {
+            for sys in self.sched.components() {
                 FtSystem::assert_loss_tolerant(sys.config());
             }
         }
@@ -137,41 +179,206 @@ impl FtCluster {
         self.lan.borrow().stats()
     }
 
-    /// Runs every shard to completion and returns their results in
-    /// shard order.
+    /// Runs every shard to completion sequentially and returns their
+    /// results in shard order.
     ///
     /// # Panics
     ///
     /// Panics if the cluster has no systems.
     pub fn run(&mut self) -> Vec<FtRunResult> {
-        assert!(!self.systems.is_empty(), "empty cluster");
+        self.run_with(Parallelism::Sequential)
+    }
+
+    /// Runs every shard to completion under the given [`Parallelism`]
+    /// and returns their results in shard order. The results are
+    /// bit-identical whichever mode is chosen (see the
+    /// [module docs](self) for why).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no systems.
+    pub fn run_with(&mut self, parallelism: Parallelism) -> Vec<FtRunResult> {
+        assert!(!self.sched.is_empty(), "empty cluster");
+        let pool = match parallelism {
+            Parallelism::Sequential | Parallelism::Threads(0) => None,
+            Parallelism::Threads(n) => Some(SlicePool::new(n.min(self.sched.len()))),
+        };
+        self.coordinate(pool.as_ref())
+    }
+
+    /// The coordinator loop shared by both modes: plan each shard as
+    /// soon as its previous action commits (shipping planned slices to
+    /// the workers, if any), then commit actions strictly in the
+    /// kernel's global `(time, shard)` pick order.
+    fn coordinate(&mut self, pool: Option<&SlicePool>) -> Vec<FtRunResult> {
+        let n = self.sched.len();
+        let mut plans: Vec<Option<StepPlan>> = vec![None; n];
+        // A completed off-thread slice's hypervisor event, awaiting its
+        // shard's turn in the global order.
+        let mut slice_events: Vec<Option<HvEvent>> = (0..n).map(|_| None).collect();
         loop {
-            // Pick the unfinished shard that can act earliest; a shard
-            // whose next_action_time is None is finished or deadlocked
-            // — step it once more to collect its result.
-            let mut pick: Option<(SimTime, usize)> = None;
-            let mut finished = true;
-            for (i, sys) in self.systems.iter().enumerate() {
-                if self.results[i].is_some() {
+            for (i, plan_slot) in plans.iter_mut().enumerate() {
+                if plan_slot.is_some() || self.sched.is_finished(i) {
                     continue;
                 }
-                finished = false;
-                let t = sys.next_action_time().unwrap_or(SimTime::ZERO);
-                if pick.is_none_or(|(pt, _)| t < pt) {
-                    pick = Some((t, i));
+                let plan = self.sched.component_mut(i).plan();
+                if let (Some(pool), StepPlan::Slice { host, budget }) = (pool, plan) {
+                    let guest = self.sched.component_mut(i).detach_guest(host);
+                    pool.submit(SliceJob {
+                        shard: i,
+                        host,
+                        guest,
+                        budget,
+                    });
+                }
+                *plan_slot = Some(plan);
+            }
+            let Some(i) = self.sched.pick() else {
+                break;
+            };
+            match plans[i].take().expect("picked shard is planned") {
+                StepPlan::Finished => {
+                    let result = self.sched.component_mut(i).finish_run();
+                    self.sched.record(i, result);
+                }
+                StepPlan::Event => self.sched.component_mut(i).fire_next_event(),
+                StepPlan::Slice { host, budget } => {
+                    let event = match pool {
+                        // Conservative barrier: this shard is globally
+                        // next, so nothing may commit until its slice
+                        // lands. Other shards' finished slices are
+                        // banked along the way.
+                        Some(pool) => loop {
+                            if let Some(ev) = slice_events[i].take() {
+                                break ev;
+                            }
+                            let done = pool.recv();
+                            let (guest, event) = match done.outcome {
+                                Ok(ok) => ok,
+                                Err(msg) => panic!(
+                                    "guest slice panicked on a worker \
+                                     (shard {}, host {}): {msg}",
+                                    done.shard, done.host
+                                ),
+                            };
+                            self.sched
+                                .component_mut(done.shard)
+                                .attach_guest(done.host, guest);
+                            slice_events[done.shard] = Some(event);
+                        },
+                        None => self.sched.component_mut(i).run_slice(host, budget),
+                    };
+                    self.sched.component_mut(i).commit_slice(host, event);
                 }
             }
-            if finished {
-                return self
-                    .results
-                    .iter()
-                    .map(|r| r.clone().expect("all shards finished"))
-                    .collect();
-            }
-            let (_, i) = pick.expect("unfinished shard");
-            if let Some(result) = self.systems[i].step() {
-                self.results[i] = Some(result);
-            }
+        }
+        self.sched.take_outputs()
+    }
+}
+
+/// One planned guest slice, shipped to a worker.
+struct SliceJob {
+    shard: usize,
+    host: usize,
+    guest: HvGuest,
+    budget: SimDuration,
+}
+
+/// A completed slice coming back from a worker. `outcome` carries the
+/// guest back on success, or the panic message if the slice panicked —
+/// the coordinator re-raises it instead of deadlocking on a reply that
+/// will never come.
+struct SliceDone {
+    shard: usize,
+    host: usize,
+    outcome: Result<(HvGuest, HvEvent), String>,
+}
+
+/// A fixed pool of slice workers fed from one shared job queue. Only
+/// guests cross threads; every protocol, device and medium effect stays
+/// on the coordinator.
+struct SlicePool {
+    jobs: Option<mpsc::Sender<SliceJob>>,
+    done: mpsc::Receiver<SliceDone>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl SlicePool {
+    fn new(threads: usize) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<SliceJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel();
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
+                thread::spawn(move || loop {
+                    let job = match job_rx.lock().expect("job queue lock").recv() {
+                        Ok(job) => job,
+                        // Coordinator hung up: drain complete, exit.
+                        Err(_) => return,
+                    };
+                    let SliceJob {
+                        shard,
+                        host,
+                        mut guest,
+                        budget,
+                    } = job;
+                    // A panicking slice must surface on the coordinator
+                    // (as it would sequentially), not strand it waiting
+                    // for a reply. The guest is consumed either way, so
+                    // no broken state escapes the unwind boundary.
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            let event = guest.run(budget);
+                            (guest, event)
+                        }))
+                        .map_err(|payload| {
+                            payload
+                                .downcast_ref::<&str>()
+                                .map(|m| (*m).to_owned())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_owned())
+                        });
+                    if done_tx
+                        .send(SliceDone {
+                            shard,
+                            host,
+                            outcome,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                })
+            })
+            .collect();
+        SlicePool {
+            jobs: Some(job_tx),
+            done: done_rx,
+            workers,
+        }
+    }
+
+    fn submit(&self, job: SliceJob) {
+        self.jobs
+            .as_ref()
+            .expect("pool open")
+            .send(job)
+            .expect("a worker is alive");
+    }
+
+    fn recv(&self) -> SliceDone {
+        self.done.recv().expect("a worker must answer")
+    }
+}
+
+impl Drop for SlicePool {
+    fn drop(&mut self) {
+        // Close the queue so idle workers see the hang-up, then join.
+        self.jobs.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -182,13 +389,35 @@ mod tests {
     use crate::system::RunEnd;
     use hvft_guest::{build_image, dhrystone_source, hello_source, KernelConfig};
     use hvft_hypervisor::cost::CostModel;
-    use hvft_sim::time::SimDuration;
+    use hvft_sim::time::{SimDuration, SimTime};
 
     fn fast() -> FtConfig {
         FtConfig {
             cost: CostModel::functional(),
             ..FtConfig::default()
         }
+    }
+
+    /// Everything a run report contains that a schedule change could
+    /// possibly disturb.
+    fn fingerprint(results: &[FtRunResult]) -> Vec<String> {
+        results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{:?}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}",
+                    r.outcome,
+                    r.completion_time,
+                    r.console_output,
+                    r.failovers,
+                    r.messages_per_replica,
+                    r.frames_retransmitted,
+                    r.frames_suppressed,
+                    r.op_latencies,
+                    r.lockstep.compared(),
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -260,18 +489,53 @@ mod tests {
             for _ in 0..3 {
                 c.add_system(&image, cfg);
             }
-            let rs = c.run();
-            rs.iter()
-                .map(|r| {
-                    (
-                        format!("{:?}", r.outcome),
-                        r.completion_time,
-                        r.messages_per_replica.clone(),
-                        r.frames_retransmitted,
-                    )
-                })
-                .collect::<Vec<_>>()
+            fingerprint(&c.run())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        // The tentpole oracle at unit scope: loss, retransmission and a
+        // mid-run primary failstop on one shard, three shards, compared
+        // across Sequential / Threads(2) / Threads(8) (more threads
+        // than shards exercises the idle-worker path).
+        let image = build_image(&KernelConfig::default(), &dhrystone_source(250, 5)).unwrap();
+        let build = || {
+            let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 11);
+            let cfg = FtConfig {
+                loss_prob: 0.1,
+                retransmit: Some(SimDuration::from_millis(5)),
+                detector_timeout: SimDuration::from_millis(300),
+                backups: 2,
+                ..fast()
+            };
+            for _ in 0..3 {
+                c.add_system(&image, cfg);
+            }
+            c.system_mut(1)
+                .schedule_failure(SimTime::from_nanos(2_000_000));
+            c
+        };
+        let sequential = fingerprint(&build().run_with(Parallelism::Sequential));
+        for threads in [1, 2, 8] {
+            let parallel = fingerprint(&build().run_with(Parallelism::Threads(threads)));
+            assert_eq!(
+                sequential, parallel,
+                "Threads({threads}) diverged from the sequential schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn threads_zero_degenerates_to_sequential() {
+        let image = build_image(&KernelConfig::default(), &hello_source("z\n", 1)).unwrap();
+        let run = |par| {
+            let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 3);
+            c.add_system(&image, fast());
+            c.add_system(&image, fast());
+            fingerprint(&c.run_with(par))
+        };
+        assert_eq!(run(Parallelism::Threads(0)), run(Parallelism::Sequential));
     }
 }

@@ -52,6 +52,13 @@ pub struct FtConfig {
     /// times over, so a run of unlucky drops is recovered well before a
     /// backup falsely suspects the primary.
     pub retransmit: Option<SimDuration>,
+    /// Bounded NIC-queue backpressure: a sender whose outbound queueing
+    /// delay (`busy_until - now`) exceeds this bound blocks until the
+    /// queue drains below it, making the §4.3 (New) saturated regime
+    /// physical instead of infinite-buffer. `None` (the default)
+    /// preserves the paper's NP-model assumption of unbounded buffering
+    /// — Table 1 runs are unchanged.
+    pub nic_queue_bound: Option<SimDuration>,
     /// Number of ordered backups (`t` of the t-fault-tolerant VM). The
     /// paper's prototype is `1`; any `t ≥ 1` runs the same engines with
     /// cascading failover.
@@ -87,6 +94,7 @@ impl Default for FtConfig {
             protocol: ProtocolVariant::Old,
             loss_prob: 0.0,
             retransmit: None,
+            nic_queue_bound: None,
             backups: 1,
             failure: FailureSpec::None,
             detector_timeout: SimDuration::from_millis(60),
@@ -120,6 +128,10 @@ mod tests {
         assert!(
             c.retransmit.is_none(),
             "the §2 prototype runs on raw lossless channels"
+        );
+        assert!(
+            c.nic_queue_bound.is_none(),
+            "the paper's NP model assumes unbounded NIC buffering"
         );
     }
 

@@ -56,11 +56,11 @@ pub mod scenario;
 pub mod system;
 
 pub use chain::{ChainEnd, ChainResult, TChain};
-pub use cluster::FtCluster;
+pub use cluster::{FtCluster, Parallelism};
 pub use config::{FailureSpec, FtConfig, ProtocolVariant};
 pub use lockstep::{Divergence, LockstepChecker};
 pub use messages::{DiskCompletion, ForwardedInterrupt, Message};
-pub use observer::Observer;
+pub use observer::{DropReason, Observer, RunStats};
 pub use protocol::{Effect, IoGate, Promotion, ReplicaEngine, ReplicaId};
 pub use scenario::{
     ClusterScenario, ConfigError, Driver, ExitStatus, RunReport, Runner, Scenario, ScenarioBuilder,

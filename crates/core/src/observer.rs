@@ -47,6 +47,17 @@
 use crate::system::FailoverInfo;
 use hvft_sim::time::SimTime;
 
+/// Why an offered frame never produced a delivery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Loss injection consumed the frame. It still occupied the medium
+    /// (drops burn air time), so it counts toward wire occupancy.
+    Loss,
+    /// The link — or one of its endpoints — was severed; the frame
+    /// never touched the medium at all.
+    Severed,
+}
+
 /// Hooks into a run's protocol-level events. Every method has an empty
 /// default body: implement only what you care about.
 ///
@@ -71,18 +82,103 @@ pub trait Observer {
     /// count under loss injection.)
     fn message_sent(&mut self, _from: usize, _to: usize, _bytes: usize, _at: SimTime) {}
 
-    /// A frame was offered but never produced a delivery: loss
-    /// injection consumed it (it still burned air time) or the link was
-    /// severed.
-    fn message_dropped(&mut self, _from: usize, _to: usize, _at: SimTime) {}
+    /// A frame was offered but never produced a delivery; `reason`
+    /// distinguishes loss injection (the frame still burned air time)
+    /// from a severed link (it never reached the medium).
+    fn message_dropped(&mut self, _from: usize, _to: usize, _at: SimTime, _reason: DropReason) {}
 
     /// A retransmit timer fired and re-sent `frames` unacknowledged
     /// frames on `from → to` (each also reported individually through
     /// [`Observer::message_sent`]/[`Observer::message_dropped`]).
     fn retransmit(&mut self, _from: usize, _to: usize, _frames: usize, _at: SimTime) {}
 
+    /// A receiver discarded a duplicate or out-of-order data frame
+    /// (the reliable layer's dup/gap suppression; it still re-acked).
+    fn duplicate_suppressed(&mut self, _from: usize, _to: usize, _at: SimTime) {}
+
     /// An interrupt was delivered into a replica's guest (rule P5 at
     /// backups, the buffered delivery point at the primary, or a P7
     /// synthesized uncertain completion).
     fn interrupt_delivered(&mut self, _replica: usize, _irq_bits: u32, _at: SimTime) {}
+}
+
+/// The run-long statistics observer installed by default on every
+/// [`crate::system::FtSystem`] run.
+///
+/// This is what subsumed the drivers' bespoke counter plumbing: the run
+/// report's `messages_per_replica`, `frames_retransmitted` and
+/// `frames_suppressed` are accumulated here, from the same hooks any
+/// user [`Observer`] sees, instead of being scraped out of
+/// `ChannelStats` / `SendWindow` internals after the fact. One set of
+/// hooks, one accounting.
+///
+/// `frames_per_replica[i]` counts frames from replica `i` that
+/// *occupied the medium* — accepted transmissions plus loss-consumed
+/// ones (drops burn air time), but not sends into severed links, which
+/// never reach the wire. That is exactly the semantics the old
+/// channel-counter plumbing reported, so reports are unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Medium-occupying frames offered per replica, in chain order.
+    pub frames_per_replica: Vec<u64>,
+    /// Data frames re-sent by the ack/retransmission layer.
+    pub frames_retransmitted: u64,
+    /// Duplicate/out-of-order frames suppressed by receivers.
+    pub frames_suppressed: u64,
+    /// Frames consumed by loss injection.
+    pub frames_lost: u64,
+    /// Frames swallowed by severed links.
+    pub frames_severed: u64,
+    /// Epoch boundaries reached, across all replicas.
+    pub epoch_boundaries: u64,
+    /// Promotions (rules P6/P7).
+    pub failovers: u64,
+    /// Interrupts delivered into guests.
+    pub interrupts_delivered: u64,
+}
+
+impl RunStats {
+    /// Zeroed statistics for a system of `replicas` replicas.
+    pub fn new(replicas: usize) -> Self {
+        RunStats {
+            frames_per_replica: vec![0; replicas],
+            ..RunStats::default()
+        }
+    }
+}
+
+impl Observer for RunStats {
+    fn epoch_boundary(&mut self, _replica: usize, _epoch: u64, _at: SimTime) {
+        self.epoch_boundaries += 1;
+    }
+
+    fn failover(&mut self, _info: &FailoverInfo) {
+        self.failovers += 1;
+    }
+
+    fn message_sent(&mut self, from: usize, _to: usize, _bytes: usize, _at: SimTime) {
+        self.frames_per_replica[from] += 1;
+    }
+
+    fn message_dropped(&mut self, from: usize, _to: usize, _at: SimTime, reason: DropReason) {
+        match reason {
+            DropReason::Loss => {
+                self.frames_per_replica[from] += 1;
+                self.frames_lost += 1;
+            }
+            DropReason::Severed => self.frames_severed += 1,
+        }
+    }
+
+    fn retransmit(&mut self, _from: usize, _to: usize, frames: usize, _at: SimTime) {
+        self.frames_retransmitted += frames as u64;
+    }
+
+    fn duplicate_suppressed(&mut self, _from: usize, _to: usize, _at: SimTime) {
+        self.frames_suppressed += 1;
+    }
+
+    fn interrupt_delivered(&mut self, _replica: usize, _irq_bits: u32, _at: SimTime) {
+        self.interrupts_delivered += 1;
+    }
 }

@@ -79,6 +79,7 @@ use std::fmt;
 
 // The knobs a builder user names directly, re-exported so scenario
 // call sites need only this module.
+pub use crate::cluster::Parallelism;
 pub use crate::config::ProtocolVariant as Protocol;
 
 /// Upper bound on the configurable disk size. The simulated medium is
@@ -293,6 +294,7 @@ pub struct ScenarioBuilder {
     replica_failures: Vec<(SimTime, usize)>,
     chain_failures_at: Vec<u64>,
     max_epochs: u64,
+    parallelism: Parallelism,
 }
 
 impl Default for ScenarioBuilder {
@@ -306,6 +308,7 @@ impl Default for ScenarioBuilder {
             replica_failures: Vec::new(),
             chain_failures_at: Vec::new(),
             max_epochs: 1_000_000,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -371,6 +374,29 @@ impl ScenarioBuilder {
     /// timeout.
     pub fn retransmit(mut self, rto: SimDuration) -> Self {
         self.cfg.retransmit = Some(rto);
+        self
+    }
+
+    /// Bounded NIC-queue backpressure: a sender whose outbound queueing
+    /// delay (`busy_until - now`) exceeds `bound` blocks until the
+    /// queue drains, making the §4.3 (New) saturated regime physical
+    /// instead of infinite-buffer. Off by default, so Table 1 runs are
+    /// unchanged. Replicated/cluster driver only.
+    pub fn nic_queue_bound(mut self, bound: SimDuration) -> Self {
+        self.cfg.nic_queue_bound = Some(bound);
+        self
+    }
+
+    /// How a sharded cluster run executes this scenario's guest
+    /// computations: [`Parallelism::Threads`] runs shards on worker
+    /// threads with conservative synchronization, bit-identical to
+    /// [`Parallelism::Sequential`] (see
+    /// [`crate::cluster::FtCluster::run_with`]). Applies when the
+    /// scenario is added to a [`ClusterScenario`]; a standalone
+    /// replicated run is a single shard and executes sequentially
+    /// either way. Replicated driver only.
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
         self
     }
 
@@ -530,6 +556,20 @@ impl ScenarioBuilder {
                 max: MAX_DISK_BLOCKS,
             });
         }
+        if self.driver != Driver::Replicated {
+            if self.cfg.nic_queue_bound.is_some() {
+                return Err(ConfigError::DriverMismatch(
+                    "the NIC queue bound shapes the replicated DES's timed \
+                     coordination network (bare and chain runs have none)",
+                ));
+            }
+            if self.parallelism != Parallelism::Sequential {
+                return Err(ConfigError::DriverMismatch(
+                    "parallel execution distributes replicated cluster shards \
+                     (bare and chain runs cannot shard onto a LAN)",
+                ));
+            }
+        }
         match self.driver {
             Driver::Bare => {
                 if self.backups.is_some() {
@@ -591,6 +631,7 @@ impl ScenarioBuilder {
             replica_failures: self.replica_failures,
             chain_failures_at: self.chain_failures_at,
             max_epochs: self.max_epochs,
+            parallelism: self.parallelism,
         })
     }
 }
@@ -608,6 +649,7 @@ pub struct Scenario {
     replica_failures: Vec<(SimTime, usize)>,
     chain_failures_at: Vec<u64>,
     max_epochs: u64,
+    parallelism: Parallelism,
 }
 
 impl fmt::Debug for Scenario {
@@ -641,6 +683,12 @@ impl Scenario {
     /// The assembled guest image.
     pub fn image(&self) -> &Program {
         &self.image
+    }
+
+    /// The parallelism this scenario requests when sharded into a
+    /// [`ClusterScenario`].
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Instantiates the driver. Use this instead of [`Scenario::run`]
@@ -927,6 +975,7 @@ pub struct ClusterScenario {
     link: LinkSpec,
     seed: u64,
     shards: Vec<Scenario>,
+    parallelism: Option<Parallelism>,
 }
 
 impl ClusterScenario {
@@ -937,7 +986,36 @@ impl ClusterScenario {
             link,
             seed,
             shards: Vec::new(),
+            parallelism: None,
         }
+    }
+
+    /// Overrides how the cluster executes: by default the run adopts
+    /// the widest [`Parallelism`] any shard requested through
+    /// [`ScenarioBuilder::parallelism`]; this forces a specific mode.
+    /// Either way the results are bit-identical to sequential (see
+    /// [`crate::cluster::FtCluster::run_with`]).
+    pub fn parallelism(&mut self, p: Parallelism) -> &mut Self {
+        self.parallelism = Some(p);
+        self
+    }
+
+    /// The mode [`ClusterScenario::run`] will use: the explicit
+    /// override if set, else the widest shard request.
+    pub fn effective_parallelism(&self) -> Parallelism {
+        if let Some(p) = self.parallelism {
+            return p;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.parallelism)
+            .fold(Parallelism::Sequential, |acc, p| match (acc, p) {
+                (Parallelism::Threads(a), Parallelism::Threads(b)) => {
+                    Parallelism::Threads(a.max(b))
+                }
+                (Parallelism::Threads(a), _) => Parallelism::Threads(a),
+                (_, p) => p,
+            })
     }
 
     /// Adds one shard. Only [`Driver::Replicated`] scenarios can share
@@ -991,7 +1069,7 @@ impl ClusterScenario {
                 sys.schedule_replica_failure(at, replica);
             }
         }
-        let results = cluster.run();
+        let results = cluster.run_with(self.effective_parallelism());
         let reports = results
             .into_iter()
             .enumerate()
@@ -1205,7 +1283,13 @@ mod tests {
             fn message_sent(&mut self, _f: usize, _t: usize, _b: usize, _at: SimTime) {
                 self.0.sent.set(self.0.sent.get() + 1);
             }
-            fn message_dropped(&mut self, _f: usize, _t: usize, _at: SimTime) {
+            fn message_dropped(
+                &mut self,
+                _f: usize,
+                _t: usize,
+                _at: SimTime,
+                _reason: crate::observer::DropReason,
+            ) {
                 self.0.dropped.set(self.0.dropped.get() + 1);
             }
             fn retransmit(&mut self, _f: usize, _t: usize, _n: usize, _at: SimTime) {

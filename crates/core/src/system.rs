@@ -31,7 +31,7 @@
 use crate::config::{FailureSpec, FtConfig};
 use crate::lockstep::LockstepChecker;
 use crate::messages::{DiskCompletion, ForwardedInterrupt, Message};
-use crate::observer::Observer;
+use crate::observer::{DropReason, Observer, RunStats};
 use crate::protocol::{apply_to_guest, Effect, IoGate, ReplicaEngine};
 use hvft_devices::console::Console;
 use hvft_devices::disk::{Disk, DiskCommand, DiskLogEntry, DiskStatus, BLOCK_SIZE};
@@ -44,10 +44,12 @@ use hvft_net::channel::Channel;
 use hvft_net::detector::FailureDetector;
 use hvft_net::lan::Lan;
 use hvft_net::reliable::{Frame, RecvWindow, SendWindow};
+use hvft_sim::sched::{self, Agenda, Component};
 use hvft_sim::time::{SimDuration, SimTime};
 use hvft_sim::trace::{TraceCategory, Tracer};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
 use std::rc::Rc;
 
 /// What the coordination network actually carries: protocol messages
@@ -106,9 +108,45 @@ struct InflightIo {
     issued_at: SimTime,
 }
 
+/// Holds a host's guest, allowing it to be temporarily detached so a
+/// worker thread can execute a planned slice off-thread (the parallel
+/// cluster executor). Everything in [`FtSystem`] that can run between a
+/// slice's planning and its commit — `next_action_time`, the event
+/// agenda — must not touch the guest; dereferencing an empty slot
+/// panics, which is the assertion of that invariant.
+struct GuestSlot(Option<HvGuest>);
+
+impl GuestSlot {
+    fn detach(&mut self) -> HvGuest {
+        self.0.take().expect("guest already detached")
+    }
+
+    fn attach(&mut self, guest: HvGuest) {
+        debug_assert!(self.0.is_none(), "guest already attached");
+        self.0 = Some(guest);
+    }
+}
+
+impl Deref for GuestSlot {
+    type Target = HvGuest;
+    fn deref(&self) -> &HvGuest {
+        self.0
+            .as_ref()
+            .expect("guest is detached to a slice worker")
+    }
+}
+
+impl DerefMut for GuestSlot {
+    fn deref_mut(&mut self) -> &mut HvGuest {
+        self.0
+            .as_mut()
+            .expect("guest is detached to a slice worker")
+    }
+}
+
 /// One replica's host: guest + clock + device shadows + its engine.
 struct Host {
-    guest: HvGuest,
+    guest: GuestSlot,
     engine: ReplicaEngine,
     now: SimTime,
     /// `guest.elapsed()` already folded into `now`.
@@ -131,7 +169,7 @@ struct Host {
 impl Host {
     fn new(guest: HvGuest, engine: ReplicaEngine) -> Self {
         Host {
-            guest,
+            guest: GuestSlot(Some(guest)),
             engine,
             now: SimTime::ZERO,
             synced_elapsed: SimDuration::ZERO,
@@ -331,16 +369,17 @@ impl NetBackend {
         }
     }
 
-    /// Frames sent by replica `from` over the run (includes
-    /// retransmissions and link-level acks).
-    fn sent_by(&self, from: usize) -> u64 {
+    /// The instant the medium carrying `from → to` finishes serializing
+    /// everything accepted so far — the sender's NIC-queue horizon. For
+    /// the private mesh that is the directed channel's own clock; on a
+    /// shared LAN the whole medium is one queue.
+    fn busy_until_of(&self, from: usize, to: usize) -> SimTime {
         match self {
             NetBackend::Mesh(chans) => chans
-                .iter()
-                .filter(|((f, _), _)| *f == from)
-                .map(|(_, ch)| ch.stats().sent)
-                .sum(),
-            NetBackend::Shared { lan, base, .. } => lan.borrow().sent_by(*base + from),
+                .get(&(from, to))
+                .map(|ch| ch.busy_until())
+                .unwrap_or(SimTime::ZERO),
+            NetBackend::Shared { lan, .. } => lan.borrow().busy_until(),
         }
     }
 }
@@ -366,6 +405,43 @@ impl RelNet {
         }
         RelNet { send, recv }
     }
+}
+
+/// One pending event source of the DES, tagged so one [`Agenda`] pick
+/// answers both "when is the next event" and "which event fires".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EventTag {
+    /// The failure schedule kills the then-acting primary.
+    PrimaryFailure,
+    /// The replica failure schedule kills a specific replica.
+    ReplicaFailure,
+    /// The disk controller completes host `i`'s operation.
+    DiskCompletion(usize),
+    /// The coordination medium delivers its earliest due frame.
+    Delivery,
+    /// The `from → to` retransmit timer fires.
+    Retransmit(usize, usize),
+    /// A protocol-stalled acting primary beacons liveness.
+    Heartbeat,
+    /// Backup `b`'s failure detector reaches its deadline.
+    Detector(usize),
+}
+
+/// The system's next scheduling decision (see [`FtSystem::plan`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum StepPlan {
+    /// The run is over; stepping yields the result.
+    Finished,
+    /// Process the earliest pending event inline.
+    Event,
+    /// Run `host`'s guest for `budget` — the only expensive action, and
+    /// the one the parallel cluster executor ships to worker threads.
+    Slice {
+        /// Which host's guest runs.
+        host: usize,
+        /// The conservative slice budget.
+        budget: SimDuration,
+    },
 }
 
 /// The complete §3 prototype, generalized to `t` backups: `t + 1`
@@ -407,6 +483,10 @@ pub struct FtSystem {
     /// per-instruction fast path) behind an is-empty check, so an
     /// unobserved run pays nothing.
     observers: Vec<Box<dyn Observer>>,
+    /// The default run-long statistics observer, always installed: the
+    /// run report's wire counters come from here, fed by the same hook
+    /// sites user observers see (see [`RunStats`]).
+    stats: RunStats,
 }
 
 impl FtSystem {
@@ -417,22 +497,11 @@ impl FtSystem {
     /// and, when `cfg.retransmit` is set, the link-level
     /// ack/retransmission layer.
     ///
-    /// Deprecated shim: construct through
-    /// [`crate::scenario::Scenario::builder`], which validates the
-    /// configuration (returning [`crate::scenario::ConfigError`] instead
-    /// of panicking) and yields a uniform
-    /// [`crate::scenario::RunReport`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "build runs through hvft_core::scenario::Scenario; \
-                this unvalidated constructor panics on bad configurations"
-    )]
-    pub fn new(image: &Program, cfg: FtConfig) -> Self {
-        Self::from_config(image, cfg)
-    }
-
-    /// The validated construction path used by the scenario layer (and
-    /// the deprecated [`FtSystem::new`] shim).
+    /// This is the validated construction path used by the scenario
+    /// layer — [`crate::scenario::Scenario::builder`] is the public
+    /// front door, and validates configurations (returning
+    /// [`crate::scenario::ConfigError`] instead of panicking) before
+    /// reaching this.
     pub(crate) fn from_config(image: &Program, cfg: FtConfig) -> Self {
         let n = 1 + cfg.backups;
         let mut chans = BTreeMap::new();
@@ -572,6 +641,7 @@ impl FtSystem {
             acting_primary: 0,
             tracer: Tracer::new(4096),
             observers: Vec::new(),
+            stats: RunStats::new(n),
         }
     }
 
@@ -587,12 +657,38 @@ impl FtSystem {
         std::mem::take(&mut self.observers)
     }
 
-    /// Fans an event out to every registered observer. Hook sites call
-    /// this on driver event paths only; the empty-list check keeps
-    /// unobserved runs free of observer work.
+    /// The default run-long statistics observer's accumulated state
+    /// (installed on every run; see [`RunStats`]).
+    pub fn run_stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Fans an event out to the always-installed [`RunStats`] observer
+    /// and then every registered user observer — one fan-out, one
+    /// accounting, so the run report and user observers can never see
+    /// different events. Hook sites call this on driver event paths
+    /// only (never the interpreter fast path).
     fn notify(&mut self, f: impl Fn(&mut dyn Observer)) {
+        f(&mut self.stats);
         for obs in &mut self.observers {
             f(obs.as_mut());
+        }
+    }
+
+    /// Accounts one offered frame through the default [`RunStats`]
+    /// observer and the user observers: exactly one of
+    /// `message_sent`/`message_dropped` per offer, with severed links
+    /// distinguished from loss so wire-occupancy counts stay exact.
+    fn note_offered(&mut self, from: usize, to: usize, bytes: usize, at: SimTime, accepted: bool) {
+        if accepted {
+            self.notify(|o| o.message_sent(from, to, bytes, at));
+        } else {
+            let reason = if self.net.is_severed(from, to) {
+                DropReason::Severed
+            } else {
+                DropReason::Loss
+            };
+            self.notify(|o| o.message_dropped(from, to, at, reason));
         }
     }
 
@@ -676,14 +772,27 @@ impl FtSystem {
                     self.hosts[i].guest.finish_mmio_write();
                     self.hosts[i].sync_clock();
                 }
-                guest_local => apply_to_guest(&guest_local, &mut self.hosts[i].guest),
+                guest_local => apply_to_guest(&guest_local, &mut *self.hosts[i].guest),
             }
         }
     }
 
     fn transmit(&mut self, from: usize, to: usize, msg: Message) {
         let bytes = msg.wire_bytes();
-        let now = self.hosts[from].now;
+        let mut now = self.hosts[from].now;
+        // Bounded NIC-queue backpressure: when enabled, a sender whose
+        // outbound queue is more than the bound ahead of its clock
+        // blocks until the queue drains to the bound — the §4.3 (New)
+        // streaming primary can no longer run arbitrarily ahead of a
+        // saturated medium. Protocol data only; acks, retransmissions
+        // and heartbeats are the NIC's own (tiny) control traffic.
+        if let Some(bound) = self.cfg.nic_queue_bound {
+            let queue_head = self.net.busy_until_of(from, to);
+            if queue_head > now + bound {
+                now = queue_head - bound;
+                self.hosts[from].now = now;
+            }
+        }
         self.note_outbound(from, to, now);
         let accepted = match &mut self.rel {
             // Reliable mode: stamp a link-level sequence number, retain
@@ -716,11 +825,7 @@ impl FtSystem {
                 self.net.send(now, from, to, wire, frame).1
             }
         };
-        if accepted {
-            self.notify(|o| o.message_sent(from, to, bytes, now));
-        } else {
-            self.notify(|o| o.message_dropped(from, to, now));
-        }
+        self.note_offered(from, to, bytes, now, accepted);
     }
 
     /// The device half of interrupt delivery: status register, DMA data,
@@ -802,12 +907,9 @@ impl FtSystem {
                     let now = self.hosts[to].now;
                     self.note_outbound(to, from, now);
                     let accepted = self.net.send(now, to, from, bytes, ack).1;
-                    if accepted {
-                        self.notify(|o| o.message_sent(to, from, bytes, now));
-                    } else {
-                        self.notify(|o| o.message_dropped(to, from, now));
-                    }
+                    self.note_offered(to, from, bytes, now, accepted);
                     if !fresh {
+                        self.notify(|o| o.duplicate_suppressed(from, to, now));
                         return;
                     }
                 }
@@ -871,11 +973,7 @@ impl FtSystem {
             let rel = self.rel.as_mut().expect("retransmit without RelNet");
             rel.send.get_mut(&pair).expect("send window").rearm(tx_end);
             for (bytes, accepted) in sent {
-                if accepted {
-                    self.notify(|o| o.message_sent(from, to, bytes, t));
-                } else {
-                    self.notify(|o| o.message_dropped(from, to, t));
-                }
+                self.note_offered(from, to, bytes, t, accepted);
             }
             self.notify(|o| o.retransmit(from, to, frames, t));
         }
@@ -939,11 +1037,7 @@ impl FtSystem {
             let hb: WireFrame = Frame::Heartbeat;
             let bytes = hb.wire_bytes(0);
             let accepted = self.net.send(t, i, p, bytes, hb).1;
-            if accepted {
-                self.notify(|o| o.message_sent(i, p, bytes, t));
-            } else {
-                self.notify(|o| o.message_dropped(i, p, t));
-            }
+            self.note_offered(i, p, bytes, t, accepted);
         }
     }
 
@@ -1362,115 +1456,96 @@ impl FtSystem {
         }
     }
 
-    /// Earliest pending event time across the whole system.
-    fn next_event_time(&self) -> Option<SimTime> {
-        let mut t: Option<SimTime> = None;
-        let mut consider = |c: Option<SimTime>| {
-            if let Some(ct) = c {
-                t = Some(match t {
-                    Some(cur) => cur.min(ct),
-                    None => ct,
-                });
-            }
-        };
-        consider(self.net.next_delivery());
-        consider(self.next_retransmit().map(|(t, _)| t));
-        consider(self.next_heartbeat());
-        for d in &self.disk_done {
-            consider(*d);
+    /// Builds this instant's event agenda: every pending event source,
+    /// offered in fixed priority order — primary failure, replica
+    /// failure, disk completions (host order), deliveries, retransmit
+    /// timers, heartbeat, detectors (backup order). The heartbeat
+    /// precedes the detectors so a stalled-but-live primary beats
+    /// suspicion to the same instant. One [`Agenda`] pick answers both
+    /// "when is the next event" and "which event fires", so the two can
+    /// never disagree.
+    fn event_agenda(&self) -> Agenda<EventTag> {
+        let mut agenda = Agenda::new();
+        agenda.offer(
+            self.fail_schedule.first().copied(),
+            EventTag::PrimaryFailure,
+        );
+        agenda.offer(
+            self.replica_fail_schedule.first().map(|&(t, _)| t),
+            EventTag::ReplicaFailure,
+        );
+        for (i, done) in self.disk_done.iter().enumerate() {
+            agenda.offer(*done, EventTag::DiskCompletion(i));
         }
-        consider(self.fail_schedule.first().copied());
-        consider(self.replica_fail_schedule.first().map(|&(t, _)| t));
+        agenda.offer(self.net.next_delivery(), EventTag::Delivery);
+        if let Some((due, pair)) = self.next_retransmit() {
+            agenda.offer(Some(due), EventTag::Retransmit(pair.0, pair.1));
+        }
+        agenda.offer(self.next_heartbeat(), EventTag::Heartbeat);
         for b in 0..self.hosts.len() {
             if b == self.acting_primary || !self.hosts[b].waiting_as_backup() {
                 continue;
             }
             if let Some(det) = &self.detectors[b] {
-                consider(Some(det.deadline()));
+                agenda.offer(Some(det.deadline()), EventTag::Detector(b));
             }
         }
-        t
+        agenda
     }
 
-    /// Processes the single earliest event. Returns `false` if there was
-    /// none.
-    fn process_one_event(&mut self) -> bool {
-        let Some(t) = self.next_event_time() else {
-            return false;
-        };
-        // Identify which source fires at `t`; priority order is fixed
-        // for determinism: primary failure, replica failure, disk
-        // completions, deliveries in (from, to) order, retransmit
-        // timers, heartbeat, detector. The heartbeat precedes the
-        // detector so a stalled-but-live primary beats suspicion to
-        // the same instant.
-        if self.fail_schedule.first() == Some(&t) {
-            self.fail_schedule.remove(0);
-            self.inject_failure(t);
-            return true;
-        }
-        if self.replica_fail_schedule.first().map(|&(ft, _)| ft) == Some(t) {
-            let (_, victim) = self.replica_fail_schedule.remove(0);
-            self.inject_replica_failure(t, victim);
-            return true;
-        }
-        for i in 0..self.hosts.len() {
-            if self.disk_done[i] == Some(t) {
+    /// Fires one event picked from the agenda at time `t`.
+    fn fire_event(&mut self, t: SimTime, tag: EventTag) {
+        match tag {
+            EventTag::PrimaryFailure => {
+                self.fail_schedule.remove(0);
+                self.inject_failure(t);
+            }
+            EventTag::ReplicaFailure => {
+                let (_, victim) = self.replica_fail_schedule.remove(0);
+                self.inject_replica_failure(t, victim);
+            }
+            EventTag::DiskCompletion(i) => {
                 self.disk_done[i] = None;
                 self.hosts[i].now = self.hosts[i].now.max(t);
                 self.disk_completion(i);
-                return true;
             }
-        }
-        if self.net.next_delivery() == Some(t) {
-            if let Some((from, to, frame)) = self.net.pop_due(t) {
-                self.deliver_frame(to, from, t, frame);
-                return true;
-            }
-        }
-        if let Some((due, pair)) = self.next_retransmit() {
-            if due == t {
-                self.fire_retransmit(t, pair);
-                return true;
-            }
-        }
-        if self.next_heartbeat() == Some(t) {
-            self.fire_heartbeat(t);
-            return true;
-        }
-        for b in 0..self.hosts.len() {
-            if b == self.acting_primary || !self.hosts[b].waiting_as_backup() {
-                continue;
-            }
-            let next = self.next_in_line();
-            let Some(det) = &mut self.detectors[b] else {
-                continue;
-            };
-            if det.deadline() != t {
-                continue;
-            }
-            if Some(b) == next {
-                if det.expired(t) {
-                    self.failover(b, t);
+            EventTag::Delivery => {
+                if let Some((from, to, frame)) = self.net.pop_due(t) {
+                    self.deliver_frame(to, from, t, frame);
                 }
-            } else {
-                // Suspecting out of turn (an earlier live backup has
-                // promotion priority): defer to the chain order and
-                // re-arm rather than risk two promoters.
-                det.heard(t);
             }
-            return true;
+            EventTag::Retransmit(from, to) => self.fire_retransmit(t, (from, to)),
+            EventTag::Heartbeat => self.fire_heartbeat(t),
+            EventTag::Detector(b) => {
+                let next = self.next_in_line();
+                let Some(det) = &mut self.detectors[b] else {
+                    return;
+                };
+                if Some(b) == next {
+                    if det.expired(t) {
+                        self.failover(b, t);
+                    }
+                } else {
+                    // Suspecting out of turn (an earlier live backup has
+                    // promotion priority): defer to the chain order and
+                    // re-arm rather than risk two promoters.
+                    det.heard(t);
+                }
+            }
         }
-        false
     }
 
-    /// Runs the system until the acting primary's workload completes.
-    pub fn run(&mut self) -> FtRunResult {
-        loop {
-            if let Some(result) = self.step() {
-                return result;
-            }
+    /// Fires the earliest pending event, if any.
+    pub(crate) fn fire_next_event(&mut self) {
+        if let Some((t, tag)) = self.event_agenda().into_earliest() {
+            self.fire_event(t, tag);
         }
+    }
+
+    /// Runs the system until the acting primary's workload completes —
+    /// the degenerate one-component schedule of the shared kernel.
+    pub fn run(&mut self) -> FtRunResult {
+        sched::run_solo(self)
     }
 
     /// The earliest instant at which this system can do anything: its
@@ -1479,8 +1554,11 @@ impl FtSystem {
     /// it again will produce a result without advancing time. A
     /// multi-system driver ([`crate::cluster::FtCluster`]) steps
     /// whichever of its shards reports the smallest value.
+    ///
+    /// This never touches the hosts' guests, so it stays answerable
+    /// while a planned slice executes on a worker thread.
     pub fn next_action_time(&self) -> Option<SimTime> {
-        let mut t = self.next_event_time();
+        let mut t = self.event_agenda().earliest().map(|(t, _)| t);
         for host in &self.hosts {
             if host.runnable() && t.is_none_or(|cur| host.now < cur) {
                 t = Some(host.now);
@@ -1489,17 +1567,20 @@ impl FtSystem {
         t
     }
 
-    /// Advances the system by one scheduling decision — one event, or
-    /// one conservative slice of one guest — and returns the final
-    /// result once the run is over. [`FtSystem::run`] is exactly this
-    /// in a loop; a cluster driver interleaves `step` calls across
-    /// systems sharing a medium.
-    pub fn step(&mut self) -> Option<FtRunResult> {
+    /// Decides (and prepares) the system's next scheduling action.
+    ///
+    /// The decision depends only on this system's own state — never on
+    /// what other shards sharing a medium have done since this system
+    /// last committed — which is the invariant that lets the parallel
+    /// cluster executor plan a slice early and execute it off-thread
+    /// while earlier-scheduled shards are still committing.
+    pub(crate) fn plan(&mut self) -> StepPlan {
         // Completion check.
-        if let Life::Done(end) = self.hosts[self.acting_primary].life {
-            return Some(self.result(end));
+        if let Life::Done(_) = self.hosts[self.acting_primary].life {
+            return StepPlan::Finished;
         }
-        // Instruction-limit guard.
+        // Instruction-limit guard (idempotent: a tripped host is no
+        // longer runnable on the second look).
         for i in 0..self.hosts.len() {
             if self.hosts[i].runnable() && self.hosts[i].guest.cpu.retired() >= self.cfg.max_insns {
                 self.hosts[i].life = Life::Done(RunEnd::InsnLimit);
@@ -1510,7 +1591,7 @@ impl FtSystem {
             }
         }
 
-        let ev_time = self.next_event_time();
+        let ev_time = self.event_agenda().earliest().map(|(t, _)| t);
         // Pick the runnable host with the smallest clock.
         let mut pick: Option<usize> = None;
         for i in 0..self.hosts.len() {
@@ -1522,67 +1603,103 @@ impl FtSystem {
         }
 
         match (pick, ev_time) {
-            (None, Some(_)) => {
-                // Nothing can run; advance by events.
-                if !self.process_one_event() {
-                    return Some(self.result(RunEnd::Fatal { code: None }));
-                }
-            }
-            (None, None) => {
-                // Deadlock: nobody runnable, no events. This is a
-                // protocol bug or an ended run.
-                let end = match self.hosts[self.acting_primary].life {
-                    Life::Done(e) => e,
-                    _ => RunEnd::Fatal { code: None },
-                };
-                return Some(self.result(end));
-            }
+            // Nothing can run; advance by events.
+            (None, Some(_)) => StepPlan::Event,
+            // Deadlock: nobody runnable, no events. This is a protocol
+            // bug or an ended run; stepping yields the result.
+            (None, None) => StepPlan::Finished,
             (Some(i), ev) => {
-                // Events at (or within one instruction of) the
-                // host's clock go first — a budget smaller than one
+                // Events at (or within one instruction of) the host's
+                // clock go first — a budget smaller than one
                 // instruction cannot make progress.
                 if let Some(t) = ev {
                     if t <= self.hosts[i].now.saturating_add(self.cfg.cost.insn) {
-                        self.process_one_event();
-                        return None;
+                        return StepPlan::Event;
                     }
                 }
-                // Horizon: the earliest thing that could affect
-                // anyone, including messages any peer might send
-                // (conservative lookahead).
-                let lookahead = self.cfg.link.min_latency();
-                let mut horizon = ev.unwrap_or(SimTime::MAX);
-                for j in 0..self.hosts.len() {
-                    if j != i && self.hosts[j].runnable() {
-                        horizon = horizon.min(self.hosts[j].now.saturating_add(lookahead));
-                    }
-                }
-                let budget = if horizon == SimTime::MAX {
-                    SimDuration::from_millis(10)
-                } else {
-                    horizon - self.hosts[i].now
-                };
-                let event = self.hosts[i].guest.run(budget);
-                self.hosts[i].sync_clock();
-                self.dispatch_guest_event(i, event);
+                // Horizon: the earliest thing that could affect anyone,
+                // including messages any peer might send (conservative
+                // lookahead) — the kernel's budget rule.
+                let budget = sched::conservative_budget(
+                    self.hosts[i].now,
+                    ev,
+                    self.hosts
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, h)| j != i && h.runnable())
+                        .map(|(_, h)| h.now),
+                    self.cfg.link.min_latency(),
+                    SimDuration::from_millis(10),
+                );
+                StepPlan::Slice { host: i, budget }
             }
         }
-        None
+    }
+
+    /// Executes a planned guest slice inline.
+    pub(crate) fn run_slice(&mut self, host: usize, budget: SimDuration) -> HvEvent {
+        self.hosts[host].guest.run(budget)
+    }
+
+    /// Commits a completed guest slice: folds the guest's time into the
+    /// host clock and dispatches the hypervisor event.
+    pub(crate) fn commit_slice(&mut self, host: usize, event: HvEvent) {
+        self.hosts[host].sync_clock();
+        self.dispatch_guest_event(host, event);
+    }
+
+    /// Detaches a host's guest for off-thread slice execution (the
+    /// parallel cluster executor). The system must not be stepped for
+    /// this host until [`FtSystem::attach_guest`] returns it.
+    pub(crate) fn detach_guest(&mut self, host: usize) -> HvGuest {
+        self.hosts[host].guest.detach()
+    }
+
+    /// Returns a detached guest.
+    pub(crate) fn attach_guest(&mut self, host: usize, guest: HvGuest) {
+        self.hosts[host].guest.attach(guest);
+    }
+
+    /// Produces the final result after a [`StepPlan::Finished`] plan.
+    pub(crate) fn finish_run(&mut self) -> FtRunResult {
+        let end = match self.hosts[self.acting_primary].life {
+            Life::Done(e) => e,
+            _ => RunEnd::Fatal { code: None },
+        };
+        self.result(end)
+    }
+
+    /// Advances the system by one scheduling decision — one event, or
+    /// one conservative slice of one guest — and returns the final
+    /// result once the run is over. [`FtSystem::run`] is exactly this
+    /// in a loop; a cluster driver interleaves `step` calls across
+    /// systems sharing a medium.
+    pub fn step(&mut self) -> Option<FtRunResult> {
+        match self.plan() {
+            StepPlan::Finished => Some(self.finish_run()),
+            StepPlan::Event => {
+                self.fire_next_event();
+                None
+            }
+            StepPlan::Slice { host, budget } => {
+                let event = self.run_slice(host, budget);
+                self.commit_slice(host, event);
+                None
+            }
+        }
     }
 
     fn result(&mut self, outcome: RunEnd) -> FtRunResult {
         let ap = self.acting_primary;
         let retries_addr = hvft_guest::layout::kdata::RETRIES;
-        let messages_per_replica: Vec<u64> = (0..self.hosts.len())
-            .map(|from| self.net.sent_by(from))
-            .collect();
-        let (frames_retransmitted, frames_suppressed) = match &self.rel {
-            Some(rel) => (
-                rel.send.values().map(|w| w.stats().retransmitted).sum(),
-                rel.recv.values().map(|w| w.stats().suppressed).sum(),
-            ),
-            None => (0, 0),
-        };
+        // Wire counters come from the default RunStats observer — the
+        // same hooks any user observer sees — not from channel-layer
+        // internals (the bespoke-counter plumbing this subsumed).
+        let messages_per_replica = self.stats.frames_per_replica.clone();
+        let (frames_retransmitted, frames_suppressed) = (
+            self.stats.frames_retransmitted,
+            self.stats.frames_suppressed,
+        );
         FtRunResult {
             outcome,
             completion_time: self.hosts[ap].now - SimTime::ZERO,
@@ -1607,5 +1724,20 @@ impl FtSystem {
             frames_retransmitted,
             frames_suppressed,
         }
+    }
+}
+
+/// [`FtSystem`] as a kernel [`Component`]: [`FtSystem::run`] is the
+/// one-component schedule, and [`crate::cluster::FtCluster`] registers
+/// many of these on one [`hvft_sim::sched::Scheduler`].
+impl Component for FtSystem {
+    type Output = FtRunResult;
+
+    fn next_action_time(&self) -> Option<SimTime> {
+        FtSystem::next_action_time(self)
+    }
+
+    fn advance(&mut self) -> Option<FtRunResult> {
+        self.step()
     }
 }

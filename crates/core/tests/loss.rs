@@ -1,49 +1,34 @@
 //! Integration tests for the §4.3 lossy-LAN mode: message loss plus
 //! link-level retransmission must be invisible to the guest and the
-//! environment.
+//! environment. All runs are assembled through the `Scenario` builder —
+//! the single front door since the legacy constructors were removed.
 
-// These tests deliberately drive the legacy constructors while the
-// deprecated shims exist; the scenario layer has its own test suite.
-#![allow(deprecated)]
-
-use hvft_core::config::{FailureSpec, FtConfig};
-use hvft_core::system::{FtSystem, RunEnd};
+use hvft_core::scenario::{ConfigError, ExitStatus, Scenario, ScenarioBuilder};
 use hvft_guest::{
     build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
 };
-use hvft_hypervisor::cost::CostModel;
 use hvft_isa::program::Program;
 use hvft_sim::time::{SimDuration, SimTime};
 
-fn base() -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    }
+fn base(image: &Program) -> ScenarioBuilder {
+    Scenario::builder().image(image.clone()).functional_cost()
 }
 
-fn lossy(p: f64) -> FtConfig {
-    FtConfig {
-        loss_prob: p,
-        retransmit: Some(SimDuration::from_millis(5)),
+fn lossy(image: &Program, p: f64) -> ScenarioBuilder {
+    base(image)
+        .lossy(p)
+        .retransmit(SimDuration::from_millis(5))
         // Detection must dominate worst-case recovery: retransmission
         // bursts arrive at most 4 × 5 ms apart (backoff cap), so a
         // 300 ms timeout only fires after ~15 consecutive losses on
         // one link (p ≈ 0.2¹⁵ at the 20% loss rate probed here).
-        detector_timeout: SimDuration::from_millis(300),
-        ..base()
-    }
+        .detector_timeout(SimDuration::from_millis(300))
 }
 
 /// Guest-visible behaviour of a run: what the environment can observe.
-fn observable(image: &Program, cfg: FtConfig) -> (String, Vec<u8>, bool) {
-    let mut sys = FtSystem::new(image, cfg);
-    let r = sys.run();
-    (
-        format!("{:?}", r.outcome),
-        r.console_output,
-        r.lockstep.is_clean(),
-    )
+fn observable(builder: ScenarioBuilder) -> (String, Vec<u8>, bool) {
+    let r = builder.build().expect("valid scenario").run();
+    (format!("{:?}", r.exit), r.console, r.lockstep_clean)
 }
 
 #[test]
@@ -54,8 +39,8 @@ fn cpu_run_is_loss_transparent() {
         ..KernelConfig::default()
     };
     let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
-    let clean = observable(&image, lossy(0.0));
-    let lossy_run = observable(&image, lossy(0.2));
+    let clean = observable(lossy(&image, 0.0));
+    let lossy_run = observable(lossy(&image, 0.2));
     assert_eq!(
         clean, lossy_run,
         "loss 0.2 + retransmission must be invisible"
@@ -71,17 +56,17 @@ fn io_run_is_loss_transparent() {
     )
     .unwrap();
     assert_eq!(
-        observable(&image, lossy(0.0)),
-        observable(&image, lossy(0.2))
+        observable(lossy(&image, 0.0)),
+        observable(lossy(&image, 0.2))
     );
 }
 
 #[test]
 fn console_stream_is_loss_transparent() {
     let image = build_image(&KernelConfig::default(), &hello_source("lossy hello\n", 2)).unwrap();
-    let (outcome, console, _) = observable(&image, lossy(0.25));
-    assert_eq!(outcome, "Exit { code: 42 }");
-    assert_eq!(console, b"lossy hello\n");
+    let r = lossy(&image, 0.25).build().unwrap().run();
+    assert_eq!(r.exit, ExitStatus::Exit(42));
+    assert_eq!(r.console, b"lossy hello\n");
 }
 
 #[test]
@@ -92,9 +77,8 @@ fn loss_actually_drops_and_recovers() {
         ..KernelConfig::default()
     };
     let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
-    let mut sys = FtSystem::new(&image, lossy(0.2));
-    let r = sys.run();
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }));
+    let r = lossy(&image, 0.2).build().unwrap().run();
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
     assert!(
         r.frames_retransmitted > 0,
         "a 20% loss rate must trigger retransmissions"
@@ -104,8 +88,7 @@ fn loss_actually_drops_and_recovers() {
         "retransmission must occasionally duplicate (lost acks)"
     );
     // And the lossless run of the same config retransmits nothing.
-    let mut clean = FtSystem::new(&image, lossy(0.0));
-    let rc = clean.run();
+    let rc = lossy(&image, 0.0).build().unwrap().run();
     assert_eq!(rc.frames_retransmitted, 0);
     assert_eq!(rc.frames_suppressed, 0);
 }
@@ -120,32 +103,27 @@ fn failover_under_loss_is_transparent() {
         ..KernelConfig::default()
     };
     let image = build_image(&kernel, &dhrystone_source(2_000, 7)).unwrap();
-    let reference = observable(&image, lossy(0.0));
+    let reference = observable(lossy(&image, 0.0));
     for backups in [1usize, 2] {
-        let cfg = FtConfig {
-            backups,
-            failure: FailureSpec::At(SimTime::from_nanos(3_000_000)),
-            ..lossy(0.2)
-        };
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
+        let r = lossy(&image, 0.2)
+            .backups(backups)
+            .fail_primary_at(SimTime::from_nanos(3_000_000))
+            .build()
+            .unwrap()
+            .run();
         assert_eq!(r.failovers.len(), 1, "t = {backups}");
         assert_eq!(
-            format!("{:?}", r.outcome),
+            format!("{:?}", r.exit),
             reference.0,
             "t = {backups}: survivor must match the loss-free reference"
         );
-        assert_eq!(r.console_output, reference.1, "t = {backups}");
+        assert_eq!(r.console, reference.1, "t = {backups}");
     }
 }
 
 #[test]
-#[should_panic(expected = "retransmission")]
 fn loss_without_retransmission_is_rejected() {
     let image = build_image(&KernelConfig::default(), &hello_source("x", 1)).unwrap();
-    let cfg = FtConfig {
-        loss_prob: 0.1,
-        ..base()
-    };
-    let _ = FtSystem::new(&image, cfg);
+    let err = base(&image).lossy(0.1).build().unwrap_err();
+    assert_eq!(err, ConfigError::LossWithoutRetransmit);
 }

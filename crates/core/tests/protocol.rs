@@ -1,28 +1,22 @@
 //! Integration tests of the replica-coordination protocols (P1–P7).
+//! All runs are assembled through the `Scenario` builder — the single
+//! front door since the legacy constructors were removed.
 
-// These tests deliberately drive the legacy constructors while the
-// deprecated shims exist; the scenario layer has its own test suite.
-#![allow(deprecated)]
-
-use hvft_core::config::{FailureSpec, FtConfig, ProtocolVariant};
-use hvft_core::system::{FtSystem, RunEnd};
+use hvft_core::scenario::{ExitStatus, Protocol, RunReport, Scenario, ScenarioBuilder};
 use hvft_devices::disk::check_single_processor_consistency;
 use hvft_guest::{
     build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
 };
-use hvft_hypervisor::cost::CostModel;
+use hvft_isa::program::Program;
 use hvft_sim::time::{SimDuration, SimTime};
 
-fn fast_cfg() -> FtConfig {
-    // Functional cost model keeps tests quick; protocol behaviour is
-    // identical.
-    FtConfig {
-        cost: CostModel::functional(),
-        ..FtConfig::default()
-    }
+/// Functional cost model keeps tests quick; protocol behaviour is
+/// identical.
+fn fast(image: &Program) -> ScenarioBuilder {
+    Scenario::builder().image(image.clone()).functional_cost()
 }
 
-fn cpu_image(iters: u32) -> hvft_isa::program::Program {
+fn cpu_image(iters: u32) -> Program {
     build_image(
         &KernelConfig {
             tick_period_us: 2000,
@@ -34,24 +28,26 @@ fn cpu_image(iters: u32) -> hvft_isa::program::Program {
     .expect("image builds")
 }
 
-fn io_image(ops: u32, mode: IoMode) -> hvft_isa::program::Program {
+fn io_image(ops: u32, mode: IoMode) -> Program {
     build_image(&KernelConfig::default(), &io_bench_source(ops, mode, 64, 7)).expect("image builds")
+}
+
+fn code_of(r: &RunReport) -> u32 {
+    match r.exit {
+        ExitStatus::Exit(code) => code,
+        other => panic!("expected a clean exit, got {other:?}"),
+    }
 }
 
 #[test]
 fn cpu_workload_lockstep_is_clean() {
-    let mut sys = FtSystem::new(&cpu_image(1200), fast_cfg());
-    let r = sys.run();
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
+    let r = fast(&cpu_image(1200)).build().unwrap().run();
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
+    assert!(r.lockstep_clean);
     assert!(
-        r.lockstep.is_clean(),
-        "divergences: {:?}",
-        r.lockstep.divergences()
-    );
-    assert!(
-        r.lockstep.compared() > 2,
+        r.lockstep_compared > 2,
         "compared only {} epochs",
-        r.lockstep.compared()
+        r.lockstep_compared
     );
     assert!(r.failovers.is_empty());
 }
@@ -61,25 +57,15 @@ fn ft_checksum_matches_bare_hardware() {
     // The same image must compute the identical checksum on bare
     // hardware and under replication — transparency in both directions.
     let image = cpu_image(200);
-    let mut bare = hvft_hypervisor::bare::BareHost::new(
-        &image,
-        CostModel::hp9000_720(),
-        hvft_guest::layout::RAM_BYTES,
-        64,
-        3,
-    );
-    let bare_result = bare.run(1_000_000_000);
-    let bare_code = match bare_result.exit {
-        hvft_hypervisor::bare::BareExit::Halted { code } => code.expect("bare exit code"),
-        other => panic!("bare run ended {other:?}"),
-    };
-
-    let mut sys = FtSystem::new(&image, fast_cfg());
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, bare_code, "FT checksum differs from bare"),
-        other => panic!("FT run ended {other:?}"),
-    }
+    let bare = Scenario::builder()
+        .image(image.clone())
+        .bare()
+        .build()
+        .unwrap()
+        .run();
+    let bare_code = code_of(&bare);
+    let r = fast(&image).build().unwrap().run();
+    assert_eq!(code_of(&r), bare_code, "FT checksum differs from bare");
 }
 
 #[test]
@@ -87,15 +73,9 @@ fn epoch_length_does_not_change_results() {
     let image = cpu_image(150);
     let mut codes = Vec::new();
     for epoch_len in [512, 1024, 4096, 16384] {
-        let mut cfg = fast_cfg();
-        cfg.hv.epoch_len = epoch_len;
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        assert!(r.lockstep.is_clean(), "EL={epoch_len} diverged");
-        match r.outcome {
-            RunEnd::Exit { code } => codes.push(code),
-            other => panic!("EL={epoch_len}: {other:?}"),
-        }
+        let r = fast(&image).epoch_len(epoch_len).build().unwrap().run();
+        assert!(r.lockstep_clean, "EL={epoch_len} diverged");
+        codes.push(code_of(&r));
     }
     assert!(
         codes.windows(2).all(|w| w[0] == w[1]),
@@ -105,10 +85,9 @@ fn epoch_length_does_not_change_results() {
 
 #[test]
 fn disk_write_workload_under_replication() {
-    let mut sys = FtSystem::new(&io_image(6, IoMode::Write), fast_cfg());
-    let r = sys.run();
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
-    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+    let r = fast(&io_image(6, IoMode::Write)).build().unwrap().run();
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
+    assert!(r.lockstep_clean);
     assert_eq!(r.disk_log.len(), 6);
     assert!(
         r.disk_log.iter().all(|e| e.host == 0),
@@ -120,22 +99,21 @@ fn disk_write_workload_under_replication() {
 
 #[test]
 fn disk_read_workload_under_replication() {
-    let image = io_image(5, IoMode::Read);
-    let mut sys = FtSystem::new(&image, fast_cfg());
+    let scenario = fast(&io_image(5, IoMode::Read)).build().unwrap();
+    let mut runner = scenario.runner();
     // Pre-fill the shared medium so reads return observable data.
     let pattern: Vec<u8> = (0..hvft_devices::disk::BLOCK_SIZE)
         .map(|i| (i % 13) as u8)
         .collect();
-    for b in 0..64 {
-        sys.disk_mut().poke_block(b, &pattern);
+    {
+        let sys = runner.ft_mut().expect("replicated driver");
+        for b in 0..64 {
+            sys.disk_mut().poke_block(b, &pattern);
+        }
     }
-    let r = sys.run();
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
-    assert!(
-        r.lockstep.is_clean(),
-        "read data must reach both replicas: {:?}",
-        r.lockstep.divergences()
-    );
+    let r = runner.run();
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
+    assert!(r.lockstep_clean, "read data must reach both replicas");
     assert_eq!(r.disk_log.len(), 5);
 }
 
@@ -150,33 +128,20 @@ fn console_output_comes_from_primary_only() {
         &hello_source("ft says hi\n", 2),
     )
     .unwrap();
-    let mut sys = FtSystem::new(&image, fast_cfg());
-    let r = sys.run();
-    assert!(
-        matches!(r.outcome, RunEnd::Exit { code: 42 }),
-        "{:?}",
-        r.outcome
-    );
-    assert_eq!(String::from_utf8_lossy(&r.console_output), "ft says hi\n");
+    let r = fast(&image).build().unwrap().run();
+    assert_eq!(r.exit, ExitStatus::Exit(42));
+    assert_eq!(String::from_utf8_lossy(&r.console), "ft says hi\n");
     assert_eq!(r.console_hosts, vec![0], "backup output must be suppressed");
 }
 
 #[test]
 fn new_protocol_produces_identical_results() {
     let image = cpu_image(200);
-    let run = |protocol| {
-        let mut cfg = fast_cfg();
-        cfg.protocol = protocol;
-        let mut sys = FtSystem::new(&image, cfg);
-        sys.run()
-    };
-    let old = run(ProtocolVariant::Old);
-    let new = run(ProtocolVariant::New);
-    assert!(old.lockstep.is_clean() && new.lockstep.is_clean());
-    match (old.outcome, new.outcome) {
-        (RunEnd::Exit { code: a }, RunEnd::Exit { code: b }) => assert_eq!(a, b),
-        other => panic!("{other:?}"),
-    }
+    let run = |protocol| fast(&image).protocol(protocol).build().unwrap().run();
+    let old = run(Protocol::Old);
+    let new = run(Protocol::New);
+    assert!(old.lockstep_clean && new.lockstep_clean);
+    assert_eq!(code_of(&old), code_of(&new));
 }
 
 #[test]
@@ -185,16 +150,16 @@ fn new_protocol_is_faster_with_real_costs() {
     // most of all for CPU-intensive workloads.
     let image = cpu_image(400);
     let run = |protocol| {
-        let mut cfg = FtConfig {
-            protocol,
-            ..FtConfig::default()
-        };
-        cfg.hv.epoch_len = 1024;
-        let mut sys = FtSystem::new(&image, cfg);
-        sys.run()
+        Scenario::builder()
+            .image(image.clone())
+            .protocol(protocol)
+            .epoch_len(1024)
+            .build()
+            .unwrap()
+            .run()
     };
-    let old = run(ProtocolVariant::Old);
-    let new = run(ProtocolVariant::New);
+    let old = run(Protocol::Old);
+    let new = run(Protocol::New);
     assert!(
         new.completion_time < old.completion_time,
         "new {} should beat old {}",
@@ -207,31 +172,22 @@ fn new_protocol_is_faster_with_real_costs() {
 fn failover_mid_cpu_run_is_transparent() {
     let image = cpu_image(400);
     // Reference: failure-free run.
-    let mut reference = FtSystem::new(&image, fast_cfg());
-    let ref_result = reference.run();
-    let ref_code = match ref_result.outcome {
-        RunEnd::Exit { code } => code,
-        other => panic!("{other:?}"),
-    };
+    let ref_r = fast(&image).build().unwrap().run();
+    let ref_code = code_of(&ref_r);
 
     // Kill the primary mid-run.
-    let mut cfg = fast_cfg();
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(
-        ref_result.completion_time.as_nanos() / 2,
-    ));
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
+    let r = fast(&image)
+        .fail_primary_at(SimTime::from_nanos(ref_r.completion_time.as_nanos() / 2))
+        .build()
+        .unwrap()
+        .run();
     let failover = *r.failovers.first().expect("failover must have happened");
     assert!(failover.at > SimTime::ZERO);
-    match r.outcome {
-        RunEnd::Exit { code } => {
-            assert_eq!(
-                code, ref_code,
-                "promoted backup must produce the identical checksum"
-            )
-        }
-        other => panic!("after failover: {other:?}"),
-    }
+    assert_eq!(
+        code_of(&r),
+        ref_code,
+        "promoted backup must produce the identical checksum"
+    );
 }
 
 #[test]
@@ -239,31 +195,22 @@ fn failover_during_disk_write_retries_uncertainly() {
     let image = io_image(6, IoMode::Write);
     // Run once to learn the timing, then kill the primary in the middle
     // of the I/O phase.
-    let mut probe = FtSystem::new(&image, fast_cfg());
-    let probe_result = probe.run();
-    let total = probe_result.completion_time;
+    let probe = fast(&image).build().unwrap().run();
+    let total = probe.completion_time;
 
-    let mut cfg = fast_cfg();
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(total.as_nanos() / 2));
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
-    assert!(!r.failovers.is_empty(), "no failover: {:?}", r.outcome);
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
+    let r = fast(&image)
+        .fail_primary_at(SimTime::from_nanos(total.as_nanos() / 2))
+        .build()
+        .unwrap()
+        .run();
+    assert!(!r.failovers.is_empty(), "no failover: {:?}", r.exit);
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
     // The environment saw a single-processor-consistent sequence even if
     // commands were repeated after the uncertain interrupt.
     check_single_processor_consistency(&r.disk_log)
         .unwrap_or_else(|e| panic!("environment saw an anomaly: {e}\nlog: {:#?}", r.disk_log));
     // All six logical writes completed from the guest's point of view.
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(
-            code,
-            match probe_result.outcome {
-                RunEnd::Exit { code } => code,
-                _ => unreachable!(),
-            }
-        ),
-        _ => unreachable!(),
-    }
+    assert_eq!(code_of(&r), code_of(&probe));
 }
 
 #[test]
@@ -271,26 +218,23 @@ fn failover_sweep_never_breaks_consistency() {
     // Kill the primary at many different points; every run must end with
     // the reference checksum and a legal environment log.
     let image = io_image(3, IoMode::Write);
-    let mut probe = FtSystem::new(&image, fast_cfg());
-    let probe_r = probe.run();
-    let total_ns = probe_r.completion_time.as_nanos();
-    let ref_code = match probe_r.outcome {
-        RunEnd::Exit { code } => code,
-        other => panic!("{other:?}"),
-    };
+    let probe = fast(&image).build().unwrap().run();
+    let total_ns = probe.completion_time.as_nanos();
+    let ref_code = code_of(&probe);
 
     for k in 1..10 {
         let t = total_ns * k / 10;
-        let mut cfg = fast_cfg();
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t));
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => {
-                assert_eq!(code, ref_code, "fail at {t} ns: checksum mismatch")
-            }
-            other => panic!("fail at {t} ns: {other:?} (failovers: {:?})", r.failovers),
-        }
+        let r = fast(&image)
+            .fail_primary_at(SimTime::from_nanos(t))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(
+            code_of(&r),
+            ref_code,
+            "fail at {t} ns: checksum mismatch ({:?})",
+            r.failovers
+        );
         check_single_processor_consistency(&r.disk_log)
             .unwrap_or_else(|e| panic!("fail at {t} ns: {e}"));
     }
@@ -309,19 +253,15 @@ fn console_failover_hands_off_once() {
         &hello_source("abcdefghijklmnopqrstuvwxyz", 3),
     )
     .unwrap();
-    let mut probe = FtSystem::new(&image, fast_cfg());
-    let total = probe.run().completion_time;
+    let total = fast(&image).build().unwrap().run().completion_time;
 
-    let mut cfg = fast_cfg();
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(total.as_nanos() / 3));
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
-    assert!(
-        matches!(r.outcome, RunEnd::Exit { code: 42 }),
-        "{:?}",
-        r.outcome
-    );
-    let s = String::from_utf8_lossy(&r.console_output).into_owned();
+    let r = fast(&image)
+        .fail_primary_at(SimTime::from_nanos(total.as_nanos() / 3))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(r.exit, ExitStatus::Exit(42));
+    let s = String::from_utf8_lossy(&r.console).into_owned();
     // The console is our one fire-and-forget device: bytes the primary
     // had not yet emitted when it died, but that fell inside epochs the
     // backup executed with suppression, are lost — the paper's protocols
@@ -351,45 +291,48 @@ fn divergence_detector_fires_without_tlb_management() {
     // replicas' instruction streams drift apart and the lockstep checker
     // must notice.
     let image = cpu_image(400);
-    let mut cfg = fast_cfg();
-    cfg.hv.tlb_managed = false;
-    cfg.hv.tlb_slots = 4; // tiny TLB forces frequent replacement
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
+    let r = fast(&image)
+        .tlb_managed(false)
+        .tlb_slots(4) // tiny TLB forces frequent replacement
+        .build()
+        .unwrap()
+        .run();
     assert!(
-        !r.lockstep.is_clean(),
+        !r.lockstep_clean,
         "expected divergence with unmanaged non-deterministic TLBs (compared {} epochs)",
-        r.lockstep.compared()
+        r.lockstep_compared
     );
 }
 
 #[test]
 fn managed_tlb_stays_clean_even_when_tiny() {
     let image = cpu_image(400);
-    let mut cfg = fast_cfg();
-    cfg.hv.tlb_managed = true;
-    cfg.hv.tlb_slots = 4;
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
-    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }));
+    let r = fast(&image)
+        .tlb_managed(true)
+        .tlb_slots(4)
+        .build()
+        .unwrap()
+        .run();
+    assert!(r.lockstep_clean);
+    assert!(r.exit.is_clean_exit());
 }
 
 #[test]
 fn transient_disk_faults_are_retried_by_the_guest() {
     let image = io_image(8, IoMode::Write);
-    let mut cfg = fast_cfg();
-    cfg.disk_fault_prob = 0.3;
-    cfg.seed = 11;
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
+    let r = fast(&image)
+        .disk_fault_prob(0.3)
+        .seed(11)
+        .build()
+        .unwrap()
+        .run();
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
     assert!(
         r.guest_retries > 0,
         "with 30% fault injection some retries must happen"
     );
     assert!(
-        r.lockstep.is_clean(),
+        r.lockstep_clean,
         "retries are part of the replicated stream"
     );
     check_single_processor_consistency(&r.disk_log).expect("consistency under faults");
@@ -399,40 +342,49 @@ fn transient_disk_faults_are_retried_by_the_guest() {
 #[test]
 fn interrupt_forwarding_counts_messages() {
     let image = cpu_image(200);
-    let mut sys = FtSystem::new(&image, fast_cfg());
-    let r = sys.run();
+    let r = fast(&image).build().unwrap().run();
     let (from_primary, from_backup) = (r.messages_per_replica[0], r.messages_per_replica[1]);
     // Per epoch: [Tme] + [end] from the primary, at least one ack back.
-    assert!(from_primary as i64 >= 2 * r.lockstep.compared() as i64 - 2);
+    assert!(from_primary as i64 >= 2 * r.lockstep_compared as i64 - 2);
     assert!(from_backup > 0);
 }
 
 #[test]
 fn failure_before_any_epoch_promotes_backup_from_start() {
     let image = cpu_image(100);
-    let mut cfg = fast_cfg();
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(1_000));
-    // Keep the detector snappy so the test is fast.
-    cfg.detector_timeout = SimDuration::from_millis(5);
-    let mut sys = FtSystem::new(&image, cfg);
-    let r = sys.run();
+    let r = fast(&image)
+        .fail_primary_at(SimTime::from_nanos(1_000))
+        // Keep the detector snappy so the test is fast.
+        .detector_timeout(SimDuration::from_millis(5))
+        .build()
+        .unwrap()
+        .run();
     assert!(!r.failovers.is_empty());
-    assert!(matches!(r.outcome, RunEnd::Exit { .. }), "{:?}", r.outcome);
+    assert!(r.exit.is_clean_exit(), "{:?}", r.exit);
 }
 
 #[test]
 fn tracer_records_failover_timeline() {
     let image = io_image(3, IoMode::Write);
-    let mut probe = FtSystem::new(&image, fast_cfg());
-    let total = probe.run().completion_time;
+    let total = fast(&image).build().unwrap().run().completion_time;
 
-    let mut cfg = fast_cfg();
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(total.as_nanos() / 2));
-    let mut sys = FtSystem::new(&image, cfg);
-    sys.tracer_mut().set_enabled(true);
-    let r = sys.run();
+    let scenario = fast(&image)
+        .fail_primary_at(SimTime::from_nanos(total.as_nanos() / 2))
+        .build()
+        .unwrap();
+    let mut runner = scenario.runner();
+    runner
+        .ft_mut()
+        .expect("replicated driver")
+        .tracer_mut()
+        .set_enabled(true);
+    let r = runner.run();
     assert!(!r.failovers.is_empty());
-    let lines = sys.tracer_mut().render();
+    let lines = runner
+        .ft_mut()
+        .expect("replicated driver")
+        .tracer_mut()
+        .render();
     assert!(
         lines.iter().any(|l| l.contains("failstopped")),
         "trace must record the failure: {lines:?}"
@@ -452,13 +404,12 @@ fn user_privileged_instruction_is_fatal_via_guest_kernel() {
         utext = hvft_guest::layout::USER_TEXT
     );
     let image = build_image(&KernelConfig::default(), &user).unwrap();
-    let mut sys = FtSystem::new(&image, fast_cfg());
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Fatal { code: Some(2) } => {} // kernel fatal code 2 = privileged op
+    let r = fast(&image).build().unwrap().run();
+    match r.exit {
+        ExitStatus::Fatal(Some(2)) => {} // kernel fatal code 2 = privileged op
         other => panic!("expected kernel fatal, got {other:?}"),
     }
-    assert!(r.lockstep.is_clean());
+    assert!(r.lockstep_clean);
 }
 
 #[test]
@@ -468,10 +419,9 @@ fn unknown_syscall_is_fatal_via_guest_kernel() {
         utext = hvft_guest::layout::USER_TEXT
     );
     let image = build_image(&KernelConfig::default(), &user).unwrap();
-    let mut sys = FtSystem::new(&image, fast_cfg());
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Fatal { code: Some(9) } => {} // kernel fatal code 9 = bad syscall
+    let r = fast(&image).build().unwrap().run();
+    match r.exit {
+        ExitStatus::Fatal(Some(9)) => {} // kernel fatal code 9 = bad syscall
         other => panic!("expected kernel fatal, got {other:?}"),
     }
 }
@@ -488,12 +438,9 @@ fn user_access_to_unmapped_page_is_fatal() {
     );
     let image = build_image(&KernelConfig::default(), &user).unwrap();
     for tlb_managed in [true, false] {
-        let mut cfg = fast_cfg();
-        cfg.hv.tlb_managed = tlb_managed;
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Fatal { code: Some(8) } => {}
+        let r = fast(&image).tlb_managed(tlb_managed).build().unwrap().run();
+        match r.exit {
+            ExitStatus::Fatal(Some(8)) => {}
             other => panic!("tlb_managed={tlb_managed}: expected no-map fatal, got {other:?}"),
         }
     }

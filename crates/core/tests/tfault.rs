@@ -1,37 +1,33 @@
 //! Integration tests of the t-fault-tolerant DES: one primary plus
 //! `t ≥ 2` ordered backups with real link timing, rank-scaled failure
-//! detectors, and cascading failover.
+//! detectors, and cascading failover. All runs are assembled through
+//! the `Scenario` builder — the single front door since the legacy
+//! constructors were removed.
 
-// These tests deliberately drive the legacy constructors while the
-// deprecated shims exist; the scenario layer has its own test suite.
-#![allow(deprecated)]
-
-use hvft_core::config::{FailureSpec, FtConfig, ProtocolVariant};
-use hvft_core::system::{FtSystem, RunEnd};
+use hvft_core::scenario::{ExitStatus, Protocol, Scenario, ScenarioBuilder};
 use hvft_devices::disk::check_single_processor_consistency;
 use hvft_guest::{
     build_image, dhrystone_source, hello_source, io_bench_source, IoMode, KernelConfig,
 };
-use hvft_hypervisor::cost::CostModel;
+use hvft_isa::program::Program;
 use hvft_sim::time::{SimDuration, SimTime};
 
-fn fast_cfg(backups: usize) -> FtConfig {
-    FtConfig {
-        cost: CostModel::functional(),
-        backups,
+fn fast(image: &Program, backups: usize) -> ScenarioBuilder {
+    Scenario::builder()
+        .image(image.clone())
+        .functional_cost()
+        .backups(backups)
         // Snappy detection so cascades fit inside millisecond-scale
         // functional-cost runs: a kill scheduled before the previous
         // promotion completes would hit an already-dead processor.
-        detector_timeout: SimDuration::from_micros(800),
-        ..FtConfig::default()
-    }
+        .detector_timeout(SimDuration::from_micros(800))
 }
 
 /// Detection-latency headroom between scheduled kills: the rank-1
 /// detector timeout plus slack for the promotion hand-over.
 const DETECT_NS: u64 = 2_000_000;
 
-fn cpu_image(iters: u32) -> hvft_isa::program::Program {
+fn cpu_image(iters: u32) -> Program {
     build_image(
         &KernelConfig {
             tick_period_us: 2000,
@@ -43,32 +39,31 @@ fn cpu_image(iters: u32) -> hvft_isa::program::Program {
     .expect("image builds")
 }
 
-fn reference(image: &hvft_isa::program::Program, backups: usize) -> (u32, u64) {
-    let mut sys = FtSystem::new(image, fast_cfg(backups));
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => (code, r.completion_time.as_nanos()),
-        other => panic!("reference run: {other:?}"),
+fn code_of(exit: ExitStatus) -> u32 {
+    match exit {
+        ExitStatus::Exit(code) => code,
+        other => panic!("expected a clean exit, got {other:?}"),
     }
+}
+
+fn reference(image: &Program, backups: usize) -> (u32, u64) {
+    let r = fast(image, backups).build().unwrap().run();
+    (code_of(r.exit), r.completion_time.as_nanos())
 }
 
 #[test]
 fn t2_failure_free_run_keeps_three_replicas_in_lockstep() {
     let image = cpu_image(800);
     let (code1, _) = reference(&image, 1);
-    let mut sys = FtSystem::new(&image, fast_cfg(2));
-    assert_eq!(sys.replicas(), 3);
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, code1, "t must not change the checksum"),
-        other => panic!("{other:?}"),
-    }
-    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+    let r = fast(&image, 2).build().unwrap().run();
+    assert_eq!(r.replica_stats.len(), 3);
+    assert_eq!(code_of(r.exit), code1, "t must not change the checksum");
+    assert!(r.lockstep_clean);
     // Three replicas hash every epoch: two comparisons per epoch.
     assert!(
-        r.lockstep.compared() > 2 * 2,
+        r.lockstep_compared > 2 * 2,
         "compared only {}",
-        r.lockstep.compared()
+        r.lockstep_compared
     );
     assert!(r.failovers.is_empty());
     // The primary broadcast to both backups; both acknowledged.
@@ -78,28 +73,23 @@ fn t2_failure_free_run_keeps_three_replicas_in_lockstep() {
 #[test]
 fn t2_cascading_failover_is_checksum_transparent() {
     let image = cpu_image(3000);
-    for protocol in [ProtocolVariant::Old, ProtocolVariant::New] {
+    for protocol in [Protocol::Old, Protocol::New] {
         // The variants complete in different simulated times, so each
         // needs its own failure-free baseline.
-        let mut ref_cfg = fast_cfg(2);
-        ref_cfg.protocol = protocol;
-        let mut ref_sys = FtSystem::new(&image, ref_cfg);
-        let ref_r = ref_sys.run();
-        let (ref_code, total_ns) = match ref_r.outcome {
-            RunEnd::Exit { code } => (code, ref_r.completion_time.as_nanos()),
-            other => panic!("{protocol:?} reference: {other:?}"),
-        };
-        let mut cfg = fast_cfg(2);
-        cfg.protocol = protocol;
+        let ref_r = fast(&image, 2).protocol(protocol).build().unwrap().run();
+        let (ref_code, total_ns) = (code_of(ref_r.exit), ref_r.completion_time.as_nanos());
         // Kill the original primary at 1/3 of the failure-free run, and
         // the first backup after it has detected, promoted, and made
         // some progress of its own.
         let t1 = total_ns / 3;
         let t2 = t1 + DETECT_NS + total_ns / 4;
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
-        let mut sys = FtSystem::new(&image, cfg);
-        sys.schedule_failure(SimTime::from_nanos(t2));
-        let r = sys.run();
+        let r = fast(&image, 2)
+            .protocol(protocol)
+            .fail_primary_at(SimTime::from_nanos(t1))
+            .fail_primary_at(SimTime::from_nanos(t2))
+            .build()
+            .unwrap()
+            .run();
         assert_eq!(
             r.failovers.len(),
             2,
@@ -110,17 +100,14 @@ fn t2_cascading_failover_is_checksum_transparent() {
             r.failovers[0].epoch <= r.failovers[1].epoch,
             "{protocol:?}: promotions must move forward in the stream"
         );
-        match r.outcome {
-            RunEnd::Exit { code } => assert_eq!(
-                code, ref_code,
-                "{protocol:?}: the last survivor must produce the reference checksum"
-            ),
-            other => panic!("{protocol:?}: {other:?}"),
-        }
+        assert_eq!(
+            code_of(r.exit),
+            ref_code,
+            "{protocol:?}: the last survivor must produce the reference checksum"
+        );
         assert!(
-            r.lockstep.is_clean(),
-            "{protocol:?}: surviving replicas diverged: {:?}",
-            r.lockstep.divergences()
+            r.lockstep_clean,
+            "{protocol:?}: surviving replicas diverged"
         );
     }
 }
@@ -129,21 +116,19 @@ fn t2_cascading_failover_is_checksum_transparent() {
 fn t3_survives_three_cascading_failures() {
     let image = cpu_image(3000);
     let (ref_code, total_ns) = reference(&image, 3);
-    let mut cfg = fast_cfg(3);
     let t1 = total_ns / 4;
     let t2 = t1 + DETECT_NS + total_ns / 5;
     let t3 = t2 + DETECT_NS + total_ns / 5;
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
-    let mut sys = FtSystem::new(&image, cfg);
-    sys.schedule_failure(SimTime::from_nanos(t2));
-    sys.schedule_failure(SimTime::from_nanos(t3));
-    let r = sys.run();
+    let r = fast(&image, 3)
+        .fail_primary_at(SimTime::from_nanos(t1))
+        .fail_primary_at(SimTime::from_nanos(t2))
+        .fail_primary_at(SimTime::from_nanos(t3))
+        .build()
+        .unwrap()
+        .run();
     assert_eq!(r.failovers.len(), 3, "{:?}", r.failovers);
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code),
-        other => panic!("{other:?}"),
-    }
-    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+    assert_eq!(code_of(r.exit), ref_code);
+    assert!(r.lockstep_clean);
 }
 
 #[test]
@@ -154,21 +139,19 @@ fn t2_disk_writes_survive_cascading_failover_consistently() {
     )
     .unwrap();
     let (ref_code, total_ns) = reference(&image, 2);
-    let mut cfg = fast_cfg(2);
     let t1 = total_ns / 3;
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
-    let mut sys = FtSystem::new(&image, cfg);
-    sys.schedule_failure(SimTime::from_nanos(t1 + DETECT_NS + total_ns / 4));
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code),
-        other => panic!("{other:?} (failovers: {:?})", r.failovers),
-    }
+    let r = fast(&image, 2)
+        .fail_primary_at(SimTime::from_nanos(t1))
+        .fail_primary_at(SimTime::from_nanos(t1 + DETECT_NS + total_ns / 4))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(code_of(r.exit), ref_code, "failovers: {:?}", r.failovers);
     // The environment saw a single-processor-consistent command stream
     // across both hand-overs, even with P7 retries.
     check_single_processor_consistency(&r.disk_log)
         .unwrap_or_else(|e| panic!("environment anomaly: {e}\nlog: {:#?}", r.disk_log));
-    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+    assert!(r.lockstep_clean);
 }
 
 #[test]
@@ -182,17 +165,18 @@ fn t2_cascade_sweep_never_breaks_transparency() {
     for k in 1..8 {
         let t1 = total_ns * k / 10;
         let t2 = t1 + DETECT_NS + total_ns / 5;
-        let mut cfg = fast_cfg(2);
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t1.max(1)));
-        let mut sys = FtSystem::new(&image, cfg);
-        sys.schedule_failure(SimTime::from_nanos(t2.max(2)));
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => {
-                assert_eq!(code, ref_code, "kills at {t1}/{t2} ns: checksum mismatch")
-            }
-            other => panic!("kills at {t1}/{t2} ns: {other:?} ({:?})", r.failovers),
-        }
+        let r = fast(&image, 2)
+            .fail_primary_at(SimTime::from_nanos(t1.max(1)))
+            .fail_primary_at(SimTime::from_nanos(t2.max(2)))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(
+            code_of(r.exit),
+            ref_code,
+            "kills at {t1}/{t2} ns: checksum mismatch ({:?})",
+            r.failovers
+        );
     }
 }
 
@@ -209,21 +193,18 @@ fn t2_console_output_hands_over_down_the_chain() {
     )
     .unwrap();
     let (_, total_ns) = reference(&image, 2);
-    let mut cfg = fast_cfg(2);
     let t1 = total_ns / 4;
-    cfg.failure = FailureSpec::At(SimTime::from_nanos(t1));
-    let mut sys = FtSystem::new(&image, cfg);
-    sys.schedule_failure(SimTime::from_nanos(t1 + DETECT_NS + total_ns / 4));
-    let r = sys.run();
-    assert!(
-        matches!(r.outcome, RunEnd::Exit { code: 42 }),
-        "{:?}",
-        r.outcome
-    );
+    let r = fast(&image, 2)
+        .fail_primary_at(SimTime::from_nanos(t1))
+        .fail_primary_at(SimTime::from_nanos(t1 + DETECT_NS + total_ns / 4))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(r.exit, ExitStatus::Exit(42));
     // Bytes form an in-order subsequence of the message (fire-and-forget
     // output may lose bytes in failover epochs, never reorder them), and
     // emitting hosts only ever move down the chain.
-    let s = String::from_utf8_lossy(&r.console_output).into_owned();
+    let s = String::from_utf8_lossy(&r.console).into_owned();
     let mut it = msg.chars();
     assert!(
         s.chars().all(|c| it.any(|m| m == c)),
@@ -251,25 +232,21 @@ fn dead_primary_never_acts_on_late_acknowledgments() {
         &io_bench_source(4, IoMode::Write, 32, 3),
     )
     .unwrap();
-    let mut ref_cfg = fast_cfg(1);
-    ref_cfg.protocol = ProtocolVariant::New;
-    let mut ref_sys = FtSystem::new(&image, ref_cfg);
-    let ref_r = ref_sys.run();
-    let (ref_code, total_ns) = match ref_r.outcome {
-        RunEnd::Exit { code } => (code, ref_r.completion_time.as_nanos()),
-        other => panic!("reference: {other:?}"),
-    };
+    let ref_r = fast(&image, 1)
+        .protocol(Protocol::New)
+        .build()
+        .unwrap()
+        .run();
+    let (ref_code, total_ns) = (code_of(ref_r.exit), ref_r.completion_time.as_nanos());
     for k in 1..30 {
         let t = total_ns * k / 30;
-        let mut cfg = fast_cfg(1);
-        cfg.protocol = ProtocolVariant::New;
-        cfg.failure = FailureSpec::At(SimTime::from_nanos(t.max(1)));
-        let mut sys = FtSystem::new(&image, cfg);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => assert_eq!(code, ref_code, "kill at {t} ns"),
-            other => panic!("kill at {t} ns: {other:?}"),
-        }
+        let r = fast(&image, 1)
+            .protocol(Protocol::New)
+            .fail_primary_at(SimTime::from_nanos(t.max(1)))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(code_of(r.exit), ref_code, "kill at {t} ns");
         check_single_processor_consistency(&r.disk_log)
             .unwrap_or_else(|e| panic!("kill at {t} ns: {e}"));
         assert!(
@@ -286,33 +263,25 @@ fn t2_backup_failstop_leaves_the_run_unharmed() {
     // it from the acknowledgment set, carry on with the second backup,
     // and finish with the reference checksum — no failover at all.
     let image = cpu_image(1500);
-    for protocol in [ProtocolVariant::Old, ProtocolVariant::New] {
+    for protocol in [Protocol::Old, Protocol::New] {
         // Per-protocol reference: the §4.3 variant completes in a
         // different simulated time (and its backups legitimately trail
         // the primary, since boundaries do not wait for acks).
-        let mut ref_cfg = fast_cfg(2);
-        ref_cfg.protocol = protocol;
-        let mut ref_sys = FtSystem::new(&image, ref_cfg);
-        let ref_r = ref_sys.run();
-        let (ref_code, total_ns) = match ref_r.outcome {
-            RunEnd::Exit { code } => (code, ref_r.completion_time.as_nanos()),
-            other => panic!("{protocol:?} reference: {other:?}"),
-        };
-        let mut cfg = fast_cfg(2);
-        cfg.protocol = protocol;
-        let mut sys = FtSystem::new(&image, cfg);
-        sys.schedule_replica_failure(SimTime::from_nanos(total_ns / 3), 1);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => assert_eq!(code, ref_code, "{protocol:?}"),
-            other => panic!("{protocol:?}: {other:?}"),
-        }
+        let ref_r = fast(&image, 2).protocol(protocol).build().unwrap().run();
+        let (ref_code, total_ns) = (code_of(ref_r.exit), ref_r.completion_time.as_nanos());
+        let r = fast(&image, 2)
+            .protocol(protocol)
+            .fail_replica_at(SimTime::from_nanos(total_ns / 3), 1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(code_of(r.exit), ref_code, "{protocol:?}");
         assert!(
             r.failovers.is_empty(),
             "{protocol:?}: a backup death must not promote anyone: {:?}",
             r.failovers
         );
-        assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+        assert!(r.lockstep_clean, "{protocol:?}");
         // The dead backup fell silent at the kill; the survivor kept
         // acknowledging to the end of the run.
         assert!(
@@ -333,13 +302,12 @@ fn t2_backup_failstop_sweep_is_checksum_transparent() {
     let (ref_code, total_ns) = reference(&image, 2);
     for k in 1..10 {
         let t = (total_ns * k / 10).max(1);
-        let mut sys = FtSystem::new(&image, fast_cfg(2));
-        sys.schedule_replica_failure(SimTime::from_nanos(t), 1);
-        let r = sys.run();
-        match r.outcome {
-            RunEnd::Exit { code } => assert_eq!(code, ref_code, "backup kill at {t} ns"),
-            other => panic!("backup kill at {t} ns: {other:?}"),
-        }
+        let r = fast(&image, 2)
+            .fail_replica_at(SimTime::from_nanos(t), 1)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(code_of(r.exit), ref_code, "backup kill at {t} ns");
         assert!(r.failovers.is_empty(), "backup kill at {t} ns");
     }
 }
@@ -351,13 +319,12 @@ fn t1_backup_failstop_degenerates_to_an_unreplicated_run() {
     // degenerate mode completes and stops hashing comparisons).
     let image = cpu_image(800);
     let (ref_code, total_ns) = reference(&image, 1);
-    let mut sys = FtSystem::new(&image, fast_cfg(1));
-    sys.schedule_replica_failure(SimTime::from_nanos(total_ns / 2), 1);
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code),
-        other => panic!("{other:?}"),
-    }
+    let r = fast(&image, 1)
+        .fail_replica_at(SimTime::from_nanos(total_ns / 2), 1)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(code_of(r.exit), ref_code);
     assert!(r.failovers.is_empty());
 }
 
@@ -369,36 +336,34 @@ fn t2_backup_then_primary_failure_still_fails_over() {
     let (ref_code, total_ns) = reference(&image, 2);
     let t1 = total_ns / 4;
     let t2 = t1 + DETECT_NS + total_ns / 4;
-    let mut sys = FtSystem::new(&image, fast_cfg(2));
-    sys.schedule_replica_failure(SimTime::from_nanos(t1), 1);
-    sys.schedule_failure(SimTime::from_nanos(t2));
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code),
-        other => panic!("{other:?} (failovers: {:?})", r.failovers),
-    }
+    let r = fast(&image, 2)
+        .fail_replica_at(SimTime::from_nanos(t1), 1)
+        .fail_primary_at(SimTime::from_nanos(t2))
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(code_of(r.exit), ref_code, "failovers: {:?}", r.failovers);
     assert_eq!(
         r.failovers.len(),
         1,
         "exactly one promotion (backup 2): {:?}",
         r.failovers
     );
-    assert!(r.lockstep.is_clean(), "{:?}", r.lockstep.divergences());
+    assert!(r.lockstep_clean);
 }
 
 #[test]
 fn killing_the_acting_primary_by_replica_id_is_a_primary_failure() {
-    // schedule_replica_failure(0) at a time when 0 is still primary
-    // must behave exactly like FailureSpec::At.
+    // fail_replica_at(.., 0) at a time when 0 is still primary must
+    // behave exactly like a scheduled primary failure.
     let image = cpu_image(1500);
     let (ref_code, total_ns) = reference(&image, 1);
-    let mut sys = FtSystem::new(&image, fast_cfg(1));
-    sys.schedule_replica_failure(SimTime::from_nanos(total_ns / 2), 0);
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code),
-        other => panic!("{other:?}"),
-    }
+    let r = fast(&image, 1)
+        .fail_replica_at(SimTime::from_nanos(total_ns / 2), 0)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(code_of(r.exit), ref_code);
     assert_eq!(r.failovers.len(), 1, "{:?}", r.failovers);
 }
 
@@ -409,12 +374,8 @@ fn deep_chains_boot_and_finish() {
     // ranks).
     let image = cpu_image(150);
     let (ref_code, _) = reference(&image, 1);
-    let mut sys = FtSystem::new(&image, fast_cfg(5));
-    let r = sys.run();
-    match r.outcome {
-        RunEnd::Exit { code } => assert_eq!(code, ref_code),
-        other => panic!("{other:?}"),
-    }
-    assert!(r.lockstep.is_clean());
+    let r = fast(&image, 5).build().unwrap().run();
+    assert_eq!(code_of(r.exit), ref_code);
+    assert!(r.lockstep_clean);
     assert_eq!(r.replica_stats.len(), 6);
 }

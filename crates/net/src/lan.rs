@@ -296,15 +296,6 @@ impl<M> Lan<M> {
             .map(|l| l.stats())
             .unwrap_or_default()
     }
-
-    /// Total messages sent by `node` across all its outgoing links.
-    pub fn sent_by(&self, node: NodeId) -> u64 {
-        self.links
-            .iter()
-            .filter(|(&(from, _), _)| from == node)
-            .map(|(_, l)| l.stats().sent)
-            .sum()
-    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,11 @@
 //! - [`time`]: integer-nanosecond simulated time ([`time::SimTime`],
 //!   [`time::SimDuration`]) in which all of the paper's constants are exact;
 //! - [`event`]: a deterministic event queue with FIFO tie-breaking;
+//! - [`sched`]: the shared scheduler kernel — a deterministic
+//!   [`sched::Scheduler`] over [`sched::Component`]s with FIFO
+//!   tie-breaking, the [`sched::Agenda`] event-source arbiter, and the
+//!   conservative-lookahead budget rule every driver in `hvft-core`
+//!   runs on;
 //! - [`rng`]: seeded, fork-able pseudo-randomness so "non-deterministic"
 //!   hardware behaviour (TLB replacement, transient device faults) is
 //!   reproducible;
@@ -13,21 +18,24 @@
 //!   20 runs);
 //! - [`trace`]: a bounded structured trace sink.
 //!
-//! The co-simulation loop that coordinates the two simulated hosts lives in
-//! `hvft-core`, because only the fault-tolerant system knows the lookahead
-//! (minimum network latency) that makes conservative synchronization safe.
+//! The *shape* of every co-simulation loop lives here in [`sched`]; the
+//! drivers in `hvft-core` supply what only they know — the event sources
+//! and the lookahead (minimum network latency) that make conservative
+//! synchronization safe — and the kernel owns the ordering.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
+pub use sched::{Agenda, Component, Scheduler};
 pub use stats::{DurationHistogram, RunningStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceCategory, TraceRecord, Tracer};

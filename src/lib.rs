@@ -23,14 +23,16 @@
 //! # Quickstart
 //!
 //! ```
-//! use hvft::core::{FtConfig, FtSystem, RunEnd};
-//! use hvft::guest::{build_image, dhrystone_source, KernelConfig};
+//! use hvft::core::scenario::Scenario;
+//! use hvft::guest::workload::Dhrystone;
 //!
-//! let image = build_image(&KernelConfig::default(), &dhrystone_source(100, 0)).unwrap();
-//! let mut system = FtSystem::new(&image, FtConfig::default());
-//! let result = system.run();
-//! assert!(matches!(result.outcome, RunEnd::Exit { .. }));
-//! assert!(result.lockstep.is_clean());
+//! let report = Scenario::builder()
+//!     .workload(Dhrystone { iters: 100, ..Default::default() })
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
+//! assert!(report.exit.is_clean_exit());
+//! assert!(report.lockstep_clean);
 //! ```
 
 #![forbid(unsafe_code)]

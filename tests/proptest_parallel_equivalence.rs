@@ -1,0 +1,200 @@
+//! The parallel-execution determinism oracle: a sharded cluster run
+//! produces **bit-identical** `RunReport`s whether its shards execute
+//! sequentially or on worker threads with conservative synchronization.
+//!
+//! This is the hard promise behind `Parallelism::Threads(n)`: the
+//! parallel executor only relocates guest computation onto workers —
+//! every shared-medium effect still commits in exact global-time order
+//! — so *nothing* the report can express may differ: exit codes,
+//! console streams, epoch counts, completion clocks, per-replica
+//! message counters, retransmission and suppression totals, failover
+//! records, operation latencies. The sweep crosses registry workloads,
+//! shard counts (≥ 3), t ∈ {1, 2}, LAN loss with retransmission, and
+//! primary-failstop schedules; this retires the old legacy-vs-scenario
+//! workload-equivalence proptest, whose legacy path no longer exists.
+
+use hvft::core::scenario::{ClusterScenario, Parallelism, RunReport, Scenario, ScenarioBuilder};
+use hvft::guest::workload::{Dhrystone, IoBench};
+use hvft::guest::{IoMode, KernelConfig};
+use hvft::net::link::LinkSpec;
+use hvft::sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Shard workloads rotate through registry names (small, by-name — the
+/// CLI path) and two value-configured heavyweights (CPU- and I/O-bound)
+/// so the mix always exercises both the streaming and the self-clocked
+/// protocol regimes.
+fn shard_builder(kind: usize) -> ScenarioBuilder {
+    let b = Scenario::builder().functional_cost();
+    match kind % 5 {
+        0 => b.workload(Dhrystone {
+            iters: 900,
+            syscall_every: 7,
+            kernel: KernelConfig {
+                tick_period_us: 2000,
+                tick_work: 2,
+                ..KernelConfig::default()
+            },
+        }),
+        1 => b.workload(IoBench {
+            ops: 3,
+            mode: IoMode::Write,
+            num_blocks: 16,
+            seed: 9,
+            ..Default::default()
+        }),
+        2 => b.workload_named("hello"),
+        3 => b.workload_named("sieve"),
+        _ => b.workload_named("pingpong"),
+    }
+}
+
+fn cluster(
+    shards: usize,
+    backups: usize,
+    seed: u64,
+    loss: bool,
+    fail_shard: Option<(usize, u64)>,
+) -> ClusterScenario {
+    let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), seed);
+    for i in 0..shards {
+        let mut b = shard_builder(i.wrapping_add(seed as usize))
+            .backups(backups)
+            .seed(seed.wrapping_add(i as u64));
+        if loss {
+            b = b
+                .lossy(0.15)
+                .retransmit(SimDuration::from_millis(5))
+                .detector_timeout(SimDuration::from_millis(300));
+        }
+        if let Some((shard, at_ns)) = fail_shard {
+            if shard == i {
+                b = b.fail_primary_at(SimTime::from_nanos(at_ns));
+            }
+        }
+        cluster
+            .add(b.build().expect("valid shard scenario"))
+            .expect("replicated shard");
+    }
+    cluster
+}
+
+/// Everything a `RunReport` can express that a schedule change could
+/// possibly disturb, flattened for exact comparison.
+fn fingerprint(reports: &[RunReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{}|{:?}|{}|{:?}|{:?}|{}|{}|{:?}|{:?}|{}|{}|{:?}|{}|{:?}",
+                r.label,
+                r.exit,
+                r.completion_time,
+                r.console,
+                r.console_hosts,
+                r.epochs,
+                r.retired,
+                r.failovers,
+                r.messages_per_replica,
+                r.frames_retransmitted,
+                r.frames_suppressed,
+                r.op_latencies,
+                r.lockstep_compared,
+                r.disk_log.len(),
+            )
+        })
+        .collect()
+}
+
+fn run_modes_agree(
+    shards: usize,
+    backups: usize,
+    seed: u64,
+    loss: bool,
+    fail_shard: Option<(usize, u64)>,
+    threads: usize,
+) {
+    let mut sequential = cluster(shards, backups, seed, loss, fail_shard);
+    sequential.parallelism(Parallelism::Sequential);
+    let seq = fingerprint(&sequential.run());
+
+    let mut parallel = cluster(shards, backups, seed, loss, fail_shard);
+    parallel.parallelism(Parallelism::Threads(threads));
+    let par = fingerprint(&parallel.run());
+
+    assert_eq!(
+        seq, par,
+        "Threads({threads}) diverged from sequential \
+         (shards={shards}, t={backups}, seed={seed}, loss={loss}, fail={fail_shard:?})"
+    );
+    assert!(
+        seq.iter().any(|f| f.contains("Exit")),
+        "degenerate sweep: no shard exited (seed={seed})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    // The acceptance oracle: ≥ 3 shards, t ∈ {1, 2}, loss and failstop
+    // schedules sampled, 2–4 worker threads.
+    #[test]
+    fn parallel_equals_sequential(
+        seed in 0u64..1_000,
+        shards in 3usize..5,
+        backups in 1usize..3,
+        loss in prop::bool::weighted(0.5),
+        threads in 2usize..5,
+        // 0..3 failstops shard N's primary; 3 injects no failure.
+        fail_shard in 0usize..4,
+        fail_ns in 500_000u64..4_000_000,
+    ) {
+        let fail = (fail_shard < 3).then_some((fail_shard, fail_ns));
+        run_modes_agree(shards, backups, seed, loss, fail, threads);
+    }
+}
+
+/// Deterministic pin of the acceptance criterion — 3 shards, both
+/// t ∈ {1, 2}, loss + a mid-run primary failstop — so the oracle holds
+/// even if sampling shifts.
+#[test]
+fn pinned_parallel_equivalence() {
+    for backups in [1usize, 2] {
+        run_modes_agree(3, backups, 42, true, Some((1, 2_000_000)), 3);
+    }
+}
+
+/// `ScenarioBuilder::parallelism` requests flow through the cluster:
+/// any shard asking for threads turns the parallel executor on, and the
+/// result is still bit-identical to a forced-sequential run.
+#[test]
+fn builder_level_parallelism_request_is_honoured() {
+    let build = |p: Option<Parallelism>| {
+        let mut c = ClusterScenario::new(LinkSpec::ethernet_10mbps(), 7);
+        for i in 0..3usize {
+            let mut b = shard_builder(i).seed(7 + i as u64);
+            if let (0, Some(p)) = (i, p) {
+                b = b.parallelism(p);
+            }
+            c.add(b.build().unwrap()).unwrap();
+        }
+        c
+    };
+    let requested = build(Some(Parallelism::Threads(2)));
+    assert_eq!(
+        requested.effective_parallelism(),
+        Parallelism::Threads(2),
+        "a shard's request must widen the cluster's mode"
+    );
+    let baseline = build(None);
+    assert_eq!(
+        baseline.effective_parallelism(),
+        Parallelism::Sequential,
+        "no request, no threads"
+    );
+    assert_eq!(
+        fingerprint(&requested.run()),
+        fingerprint(&baseline.run()),
+        "the requested mode must not change results"
+    );
+}

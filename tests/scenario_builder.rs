@@ -3,7 +3,7 @@
 //! variant — never a panic, never a wrong variant, and never a silent
 //! acceptance that would hang or OOM a run later.
 
-use hvft::core::scenario::{ConfigError, Scenario, ScenarioBuilder, MAX_DISK_BLOCKS};
+use hvft::core::scenario::{ConfigError, Parallelism, Scenario, ScenarioBuilder, MAX_DISK_BLOCKS};
 use hvft::sim::time::{SimDuration, SimTime};
 
 /// Discriminant-level expectation (payloads are checked separately
@@ -93,6 +93,26 @@ fn every_invalid_combination_yields_its_config_error() {
             wl().chain().lossy(0.5),
             "LossWithoutRetransmit",
         ),
+        (
+            "NIC queue bound on the bare driver",
+            wl().bare().nic_queue_bound(SimDuration::from_millis(1)),
+            "DriverMismatch",
+        ),
+        (
+            "NIC queue bound on the chain driver",
+            wl().chain().nic_queue_bound(SimDuration::from_millis(1)),
+            "DriverMismatch",
+        ),
+        (
+            "worker threads on the bare driver",
+            wl().bare().parallelism(Parallelism::Threads(4)),
+            "DriverMismatch",
+        ),
+        (
+            "worker threads on the chain driver",
+            wl().chain().parallelism(Parallelism::Threads(2)),
+            "DriverMismatch",
+        ),
     ];
     for (label, builder, expected) in cases {
         match builder.build() {
@@ -154,6 +174,10 @@ fn the_boundary_values_are_accepted() {
             .detector_timeout(SimDuration::from_millis(5) * 32),
         wl().bare(),
         wl().chain().fail_primary_at_epoch(1),
+        wl().nic_queue_bound(SimDuration::from_millis(1)),
+        wl().parallelism(Parallelism::Threads(8)),
+        // An explicit Sequential request is fine on any driver.
+        wl().bare().parallelism(Parallelism::Sequential),
     ] {
         builder.build().expect("legal boundary configuration");
     }
