@@ -3,14 +3,17 @@
 //!
 //! One workload mix, swept across shard counts × execution modes
 //! (sequential, and worker-thread counts up to the machine's cores):
-//! each `cluster/<shards>sys/<mode>` entry times the *same*
+//! each `cluster/<shards>sys_<mode>` entry times the *same*
 //! deterministic simulated run, so the wall-clock ratios between modes
-//! are the scaling curve of the executor itself. On a many-core box the
-//! thread rows shrink toward `1/min(shards, cores)` of the sequential
-//! row; on a one-core CI runner they mostly measure coordination
-//! overhead — either way the recorded curve is honest for the hardware
-//! that produced it, and the bit-identity micro-assert below is the
-//! part that must hold everywhere.
+//! are the scaling curve of the executor itself. Thread rows are
+//! labelled with the *effective* parallelism
+//! ([`Parallelism::effective_workers`]): a `Threads(2)` request clamps
+//! to `min(2, shards, cores)`, so on a one-core CI runner the row says
+//! `2thr_eff1` — archived numbers never claim parallelism the hardware
+//! didn't deliver. On a many-core box the thread rows shrink toward
+//! `1/eff` of the sequential row; either way the recorded curve is
+//! honest for the hardware that produced it, and the bit-identity
+//! micro-assert below is the part that must hold everywhere.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hvft_core::scenario::{ClusterScenario, Parallelism, RunReport, Scenario};
@@ -73,17 +76,28 @@ fn fingerprint(reports: &[RunReport]) -> Vec<String> {
         .collect()
 }
 
-fn modes() -> Vec<(String, Parallelism)> {
+fn modes() -> Vec<Parallelism> {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut modes = vec![("seq".to_owned(), Parallelism::Sequential)];
+    let mut modes = vec![Parallelism::Sequential];
     let mut t = 2;
     while t <= cores.max(2) {
-        modes.push((format!("{t}thr"), Parallelism::Threads(t)));
+        modes.push(Parallelism::Threads(t));
         t *= 2;
     }
     modes
+}
+
+/// `seq`, or `<n>thr_eff<e>` with the effective worker count for this
+/// shard count on this machine baked into the archived label.
+fn mode_label(par: Parallelism, shards: usize) -> String {
+    match par {
+        Parallelism::Sequential => "seq".to_owned(),
+        Parallelism::Threads(t) => {
+            format!("{t}thr_eff{}", par.effective_workers(shards))
+        }
+    }
 }
 
 /// Shards × threads sweep: whole cluster runs to completion.
@@ -92,8 +106,9 @@ fn bench_cluster_scale(c: &mut Criterion) {
     g.sample_size(5);
     let mut fingerprints: Vec<(usize, String, Vec<String>)> = Vec::new();
     for shards in [2usize, 4, 8] {
-        for (mode_label, par) in modes() {
-            let label = format!("{shards}sys_{mode_label}");
+        for par in modes() {
+            let mode = mode_label(par, shards);
+            let label = format!("{shards}sys_{mode}");
             let mut last: Vec<RunReport> = Vec::new();
             g.bench_function(label.clone(), |b| {
                 b.iter(|| {
@@ -106,7 +121,7 @@ fn bench_cluster_scale(c: &mut Criterion) {
             for r in &last {
                 assert!(r.exit.is_clean_exit(), "{label}: {:?}", r.exit);
             }
-            fingerprints.push((shards, mode_label, fingerprint(&last)));
+            fingerprints.push((shards, mode, fingerprint(&last)));
         }
     }
     g.finish();

@@ -10,6 +10,7 @@ use hvft_guest::{build_image, dhrystone_source, KernelConfig};
 use hvft_hypervisor::bare::BareHost;
 use hvft_hypervisor::cost::CostModel;
 use hvft_machine::tlb::{pte, Tlb, TlbAccess, TlbReplacement};
+use hvft_machine::ExecTier;
 use hvft_net::channel::Channel;
 use hvft_net::link::LinkSpec;
 use hvft_sim::time::SimTime;
@@ -38,13 +39,23 @@ fn bench_interpreter(c: &mut Criterion) {
             black_box(host.run(100_000_000).retired)
         })
     });
-    // "before": the per-instruction engine, for the speedup record
-    // (reset() re-enables block execution, so the flag is re-cleared
-    // every iteration).
+    // "before": the per-instruction engine, for the speedup record.
+    // set_exec_tier on the host survives reset(), so each iteration
+    // re-boots into the same tier.
+    host.set_exec_tier(ExecTier::Step);
     g.bench_function("bare_dhrystone_5k_iters_step", |b| {
         b.iter(|| {
             host.reset(&image);
-            host.cpu.set_block_execution(false);
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    // Tier 2: the threaded-code superblock jit, same harness. Each
+    // iteration re-boots cold (empty caches), so compile + warm-up cost
+    // is inside the measurement, exactly like the block engine's.
+    host.set_exec_tier(ExecTier::Jit);
+    g.bench_function("bare_dhrystone_5k_iters_jit", |b| {
+        b.iter(|| {
+            host.reset(&image);
             black_box(host.run(100_000_000).retired)
         })
     });

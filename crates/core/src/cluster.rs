@@ -103,6 +103,30 @@ pub enum Parallelism {
     Threads(usize),
 }
 
+impl Parallelism {
+    /// How many guest computations a run over `shards` shards can
+    /// actually advance simultaneously in this mode: the requested
+    /// thread count, clamped to the shard count (the pool never spawns
+    /// idle workers — see [`FtCluster::run_with`]) and to the machine's
+    /// available cores (the OS cannot run more in parallel than that).
+    /// Sequential (and `Threads(0)`, its degenerate form) is 1.
+    ///
+    /// Bench labels record this so archived scaling rows are honest: a
+    /// `Threads(2)` sweep on a one-core box is effectively sequential,
+    /// and its label must say so.
+    pub fn effective_workers(&self, shards: usize) -> usize {
+        match *self {
+            Parallelism::Sequential | Parallelism::Threads(0) => 1,
+            Parallelism::Threads(n) => {
+                let cores = thread::available_parallelism()
+                    .map(|c| c.get())
+                    .unwrap_or(1);
+                n.min(shards).min(cores).max(1)
+            }
+        }
+    }
+}
+
 /// `N` independent fault-tolerant systems multiplexed over one shared
 /// [`Lan`], co-simulated on one conservative discrete-event schedule.
 pub struct FtCluster {

@@ -81,6 +81,7 @@ use std::fmt;
 // call sites need only this module.
 pub use crate::cluster::Parallelism;
 pub use crate::config::ProtocolVariant as Protocol;
+pub use hvft_machine::{ExecStats, ExecTier};
 
 /// Upper bound on the configurable disk size. The simulated medium is
 /// held in memory (8 KB per block); a configuration above this bound is
@@ -126,6 +127,14 @@ pub enum ConfigError {
     EmptyDisk,
     /// A zero-length epoch never reaches a boundary.
     ZeroEpochLen,
+    /// [`ScenarioBuilder::block_exec`] and [`ScenarioBuilder::exec_tier`]
+    /// were both called and disagree about the engine.
+    ExecTierConflict {
+        /// What `block_exec(..)` asked for.
+        block_exec: bool,
+        /// What `exec_tier(..)` asked for.
+        tier: ExecTier,
+    },
     /// An option was combined with a driver that cannot honour it (the
     /// payload says which and why).
     DriverMismatch(&'static str),
@@ -163,6 +172,11 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::EmptyDisk => write!(f, "a disk needs at least one block"),
             ConfigError::ZeroEpochLen => write!(f, "epoch length must be at least 1 instruction"),
+            ConfigError::ExecTierConflict { block_exec, tier } => write!(
+                f,
+                "block_exec({block_exec}) and exec_tier({tier}) disagree: drop \
+                 the legacy block_exec(..) call and keep exec_tier(..)"
+            ),
             ConfigError::DriverMismatch(why) => write!(f, "driver mismatch: {why}"),
         }
     }
@@ -268,6 +282,16 @@ pub struct RunReport {
     pub op_latency_hist: DurationHistogram,
 }
 
+impl RunReport {
+    /// The acting primary's execution-tier breakdown: instructions
+    /// retired per engine, superblocks compiled, jit invalidations.
+    /// Per-replica breakdowns live in each
+    /// [`replica_stats`](RunReport::replica_stats) entry.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.primary_stats.exec
+    }
+}
+
 fn latency_hist(samples: &[SimDuration]) -> DurationHistogram {
     let mut h = DurationHistogram::new(SimDuration::from_millis(1), 64);
     for &d in samples {
@@ -295,6 +319,8 @@ pub struct ScenarioBuilder {
     chain_failures_at: Vec<u64>,
     max_epochs: u64,
     parallelism: Parallelism,
+    block_exec_asked: Option<bool>,
+    exec_tier_asked: Option<ExecTier>,
 }
 
 impl Default for ScenarioBuilder {
@@ -309,6 +335,8 @@ impl Default for ScenarioBuilder {
             chain_failures_at: Vec::new(),
             max_epochs: 1_000_000,
             parallelism: Parallelism::Sequential,
+            block_exec_asked: None,
+            exec_tier_asked: None,
         }
     }
 }
@@ -480,11 +508,28 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Whether guests use the predecoded-block fast path (default true;
-    /// disabling single-steps — observably identical, and the knob lets
-    /// differential tests prove that).
+    /// Legacy two-way engine switch: whether guests use the
+    /// predecoded-block fast path (default true; disabling single-steps
+    /// — observably identical, and the knob lets differential tests
+    /// prove that). Combining it with a disagreeing
+    /// [`ScenarioBuilder::exec_tier`] is a [`ConfigError`].
     pub fn block_exec(mut self, enabled: bool) -> Self {
-        self.cfg.hv.block_exec = enabled;
+        self.block_exec_asked = Some(enabled);
+        self.cfg.hv.exec_tier = if enabled {
+            ExecTier::Block
+        } else {
+            ExecTier::Step
+        };
+        self
+    }
+
+    /// Selects the execution engine for every guest — the single-step
+    /// reference interpreter, predecoded blocks (the default) or the
+    /// threaded-code jit. All tiers are observably identical; see the
+    /// three-way differential oracle in `tests/proptest_step_vs_block.rs`.
+    pub fn exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier_asked = Some(tier);
+        self.cfg.hv.exec_tier = tier;
         self
     }
 
@@ -546,6 +591,16 @@ impl ScenarioBuilder {
         };
         if self.cfg.hv.epoch_len == 0 {
             return Err(ConfigError::ZeroEpochLen);
+        }
+        if let (Some(block_exec), Some(tier)) = (self.block_exec_asked, self.exec_tier_asked) {
+            let implied = if block_exec {
+                ExecTier::Block
+            } else {
+                ExecTier::Step
+            };
+            if tier != implied {
+                return Err(ConfigError::ExecTierConflict { block_exec, tier });
+            }
         }
         if self.cfg.disk_blocks == 0 {
             return Err(ConfigError::EmptyDisk);
@@ -696,17 +751,21 @@ impl Scenario {
     /// (pre-filling disk blocks, enabling the tracer) before running.
     pub fn runner(&self) -> Runner {
         match self.driver {
-            Driver::Bare => Runner::Bare {
-                host: BareHost::new(
+            Driver::Bare => {
+                let mut host = BareHost::new(
                     &self.image,
                     self.cfg.cost,
                     self.cfg.hv.ram_bytes,
                     self.cfg.disk_blocks,
                     self.cfg.seed,
-                ),
-                max_insns: self.cfg.max_insns,
-                label: self.label.clone(),
-            },
+                );
+                host.set_exec_tier(self.cfg.hv.exec_tier);
+                Runner::Bare {
+                    host,
+                    max_insns: self.cfg.max_insns,
+                    label: self.label.clone(),
+                }
+            }
             Driver::Replicated => {
                 let mut system = FtSystem::from_config(&self.image, self.cfg);
                 for &at in &self.extra_primary_failures {
@@ -852,7 +911,10 @@ impl Runner {
                     epochs: 0,
                     retired: r.retired,
                     failovers: Vec::new(),
-                    primary_stats: HvStats::default(),
+                    primary_stats: HvStats {
+                        exec: host.exec_stats(),
+                        ..HvStats::default()
+                    },
                     replica_stats: Vec::new(),
                     messages_per_replica: Vec::new(),
                     frames_retransmitted: 0,
@@ -1175,6 +1237,67 @@ mod tests {
             r.failovers.iter().map(|f| f.epoch).collect::<Vec<_>>(),
             vec![2, 4]
         );
+    }
+
+    #[test]
+    fn exec_tier_is_selectable_on_every_driver() {
+        let run = |driver: Driver| {
+            Scenario::builder()
+                .workload(tiny_dhry())
+                .driver(driver)
+                .functional_cost()
+                .exec_tier(ExecTier::Jit)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let bare = run(Driver::Bare);
+        let ft = run(Driver::Replicated);
+        let chain = run(Driver::Chain);
+        assert!(bare.exit.is_clean_exit());
+        assert_eq!(bare.exit.code(), ft.exit.code(), "bare vs DES under jit");
+        assert_eq!(
+            bare.exit.code(),
+            chain.exit.code(),
+            "bare vs chain under jit"
+        );
+        assert!(ft.lockstep_clean && ft.lockstep_compared > 0);
+        // The tier breakdown must prove the jit actually ran.
+        for (r, who) in [(&bare, "bare"), (&ft, "replicated"), (&chain, "chain")] {
+            let x = r.exec_stats();
+            assert!(x.superblocks_compiled > 0, "{who}: no superblocks compiled");
+            assert!(x.jit_retired > 0, "{who}: nothing retired in superblocks");
+        }
+    }
+
+    #[test]
+    fn conflicting_engine_knobs_are_a_structured_error() {
+        let err = Scenario::builder()
+            .workload(tiny_dhry())
+            .block_exec(false)
+            .exec_tier(ExecTier::Jit)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ExecTierConflict {
+                block_exec: false,
+                tier: ExecTier::Jit
+            }
+        );
+        // Agreement (redundant calls) is fine, in either order.
+        assert!(Scenario::builder()
+            .workload(tiny_dhry())
+            .exec_tier(ExecTier::Step)
+            .block_exec(false)
+            .build()
+            .is_ok());
+        assert!(Scenario::builder()
+            .workload(tiny_dhry())
+            .block_exec(true)
+            .exec_tier(ExecTier::Block)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use hvft_devices::disk::{Disk, DiskCommand, DiskStatus, BLOCK_SIZE};
 use hvft_devices::mmio;
 use hvft_isa::program::Program;
 use hvft_machine::cpu::{Cpu, EnvOp, Exit, LoadProgram};
+use hvft_machine::exec::{ExecStats, ExecTier};
 use hvft_machine::mem::{Memory, IO_BASE};
 use hvft_machine::tlb::TlbReplacement;
 use hvft_machine::trap::irq;
@@ -67,6 +68,7 @@ pub struct BareHost {
     exit_code: Option<u32>,
     disk_blocks: u32,
     seed: u64,
+    exec_tier: ExecTier,
 }
 
 impl BareHost {
@@ -98,7 +100,26 @@ impl BareHost {
             exit_code: None,
             disk_blocks,
             seed,
+            exec_tier: ExecTier::default(),
         }
+    }
+
+    /// Selects the execution engine (default: predecoded blocks). The
+    /// choice survives [`BareHost::reset`], so benches that re-boot the
+    /// host per iteration keep measuring the selected tier.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.exec_tier = tier;
+        self.cpu.set_exec_tier(tier);
+    }
+
+    /// The selected execution engine.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.exec_tier
+    }
+
+    /// The CPU's per-tier execution counters for this boot.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.cpu.exec_stats()
     }
 
     /// Re-boots `image` on this host in place, reusing the RAM
@@ -107,6 +128,7 @@ impl BareHost {
     /// measure execution, not allocation.
     pub fn reset(&mut self, image: &Program) {
         self.cpu = Cpu::new(64, TlbReplacement::Random, self.seed);
+        self.cpu.set_exec_tier(self.exec_tier);
         self.mem.reset();
         image.load_into_cpu(&mut self.cpu, &mut self.mem);
         self.disk = Disk::new(self.disk_blocks, self.seed);

@@ -27,6 +27,7 @@ use hvft_isa::instruction::Instruction;
 use hvft_isa::program::Program;
 use hvft_isa::reg::ControlReg;
 use hvft_machine::cpu::{Cpu, Exit, LoadProgram};
+use hvft_machine::exec::{ExecStats, ExecTier};
 use hvft_machine::mem::{Memory, PAGE_SHIFT};
 use hvft_machine::statehash::vm_state_hash;
 use hvft_machine::tlb::{pte, TlbReplacement};
@@ -94,6 +95,9 @@ pub struct HvStats {
     pub hv_time: SimDuration,
     /// Simulated time spent executing guest instructions.
     pub guest_time: SimDuration,
+    /// Execution-tier breakdown from the CPU: instructions retired per
+    /// engine, superblocks compiled, and jit invalidations.
+    pub exec: ExecStats,
 }
 
 /// Configuration of one hypervised guest.
@@ -113,10 +117,11 @@ pub struct HvConfig {
     pub tlb_seed: u64,
     /// Guest RAM size in bytes.
     pub ram_bytes: usize,
-    /// Whether the CPU uses the predecoded-block fast path. Disabling
-    /// it single-steps — observably identical, and the knob lets
+    /// Which execution engine the CPU uses: the single-step reference
+    /// interpreter, predecoded blocks (the default) or the threaded-code
+    /// jit. All three are observably identical, and the knob lets
     /// differential tests prove that.
-    pub block_exec: bool,
+    pub exec_tier: ExecTier,
 }
 
 impl Default for HvConfig {
@@ -128,7 +133,7 @@ impl Default for HvConfig {
             tlb_policy: TlbReplacement::Random,
             tlb_seed: 0,
             ram_bytes: hvft_guest::layout::RAM_BYTES,
-            block_exec: true,
+            exec_tier: ExecTier::Block,
         }
     }
 }
@@ -155,7 +160,7 @@ impl HvGuest {
     /// epoch.
     pub fn new(image: &Program, cost: CostModel, config: HvConfig) -> Self {
         let mut cpu = Cpu::new(config.tlb_slots, config.tlb_policy, config.tlb_seed);
-        cpu.set_block_execution(config.block_exec);
+        cpu.set_exec_tier(config.exec_tier);
         let mut mem = Memory::new(config.ram_bytes);
         image.load_into_cpu(&mut cpu, &mut mem);
         cpu.psw.cpl = GUEST_KERNEL_LEVEL;
@@ -294,6 +299,7 @@ impl HvGuest {
             };
             let retired_before = self.cpu.retired();
             let exit = self.cpu.run(&mut self.mem, max_insns);
+            self.stats.exec = self.cpu.exec_stats();
             // Charge instruction time by retirement delta; this covers
             // plain retirement, gate/brk (which retire inside a Trap
             // exit) and instructions retired by privileged simulation.

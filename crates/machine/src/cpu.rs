@@ -14,6 +14,8 @@
 //! wall-clock time, or replication.
 
 use crate::block::{BlockCache, BlockCacheStats};
+use crate::exec::{ExecDispatcher, ExecStats, ExecTier};
+use crate::jit::Lookup;
 use crate::mem::{MemFault, Memory, PAGE_SHIFT};
 use crate::psw::Psw;
 use crate::tlb::{Tlb, TlbAccess, TlbReplacement, TlbResult};
@@ -26,10 +28,11 @@ use hvft_isa::reg::{ControlReg, Reg};
 const NUM_CTL: usize = 10;
 
 /// Three-register ALU semantics; `None` flags division by zero (an
-/// arithmetic trap). Shared by the per-step and block paths so the two
-/// cannot drift.
+/// arithmetic trap). Shared by the step, block and jit paths so the
+/// three cannot drift (the jit's specialized handlers call this with a
+/// constant `op`, which folds away after inlining).
 #[inline]
-fn alu_value(op: AluOp, a: u32, b: u32) -> Option<u32> {
+pub(crate) fn alu_value(op: AluOp, a: u32, b: u32) -> Option<u32> {
     Some(match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -57,9 +60,9 @@ fn alu_value(op: AluOp, a: u32, b: u32) -> Option<u32> {
     })
 }
 
-/// Register-immediate ALU semantics; shared by both execution paths.
+/// Register-immediate ALU semantics; shared by all execution paths.
 #[inline]
-fn alu_imm_value(op: AluImmOp, a: u32, imm: i32) -> u32 {
+pub(crate) fn alu_imm_value(op: AluImmOp, a: u32, imm: i32) -> u32 {
     match op {
         AluImmOp::Addi => a.wrapping_add(imm as u32),
         AluImmOp::Andi => a & (imm as u32),
@@ -177,11 +180,9 @@ pub struct Cpu {
     /// The translation lookaside buffer.
     pub tlb: Tlb,
     retired: u64,
-    /// Predecoded-block cache backing [`Cpu::run`].
-    blocks: BlockCache,
-    /// Whether [`Cpu::run`] uses the block engine (`true`) or falls
-    /// back to stepping (`false`, for differential testing).
-    block_exec: bool,
+    /// Execution-tier dispatcher backing [`Cpu::run`]: the selected
+    /// [`ExecTier`] plus the block and superblock caches.
+    exec: ExecDispatcher,
 }
 
 /// Extension trait so programs can be loaded straight into a CPU+memory
@@ -210,27 +211,46 @@ impl Cpu {
             ctl: [0; NUM_CTL],
             tlb: Tlb::new(tlb_slots, policy, tlb_seed),
             retired: 0,
-            blocks: BlockCache::new(),
-            block_exec: true,
+            exec: ExecDispatcher::default(),
         }
     }
 
-    /// Enables or disables the predecoded-block fast path of
-    /// [`Cpu::run`]. Disabled, `run` single-steps — the two modes are
-    /// observably identical; the switch exists so differential tests
-    /// can prove it.
-    pub fn set_block_execution(&mut self, enabled: bool) {
-        self.block_exec = enabled;
+    /// Selects the execution engine behind [`Cpu::run`]. All tiers are
+    /// observably identical — same exits at the same retirement counts
+    /// with the same machine state; the knob exists for differential
+    /// testing and performance work.
+    pub fn set_exec_tier(&mut self, tier: ExecTier) {
+        self.exec.tier = tier;
     }
 
-    /// Whether the block fast path is enabled.
+    /// The execution tier [`Cpu::run`] currently uses.
+    pub fn exec_tier(&self) -> ExecTier {
+        self.exec.tier
+    }
+
+    /// Legacy two-way switch: `true` selects [`ExecTier::Block`],
+    /// `false` the single-step reference tier.
+    pub fn set_block_execution(&mut self, enabled: bool) {
+        self.exec.tier = if enabled {
+            ExecTier::Block
+        } else {
+            ExecTier::Step
+        };
+    }
+
+    /// Whether a batching engine (block or jit) is enabled.
     pub fn block_execution(&self) -> bool {
-        self.block_exec
+        self.exec.tier != ExecTier::Step
     }
 
     /// Block-cache behaviour counters.
     pub fn block_cache_stats(&self) -> BlockCacheStats {
-        self.blocks.stats()
+        self.exec.blocks.stats()
+    }
+
+    /// Per-tier execution counters since reset.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.stats
     }
 
     /// Reads a general-purpose register (`r0` reads as zero).
@@ -436,49 +456,70 @@ impl Cpu {
     }
 
     /// Executes up to `max_insns` instructions (counted by retirement)
-    /// through the predecoded-block engine, returning at the first exit
+    /// through the selected execution tier, returning at the first exit
     /// the embedder must handle, or [`Exit::Retired`] once the budget
     /// is consumed.
     ///
-    /// This is observably identical — same exits at the same retirement
-    /// counts with the same machine state — to calling [`Cpu::step`] in
-    /// a loop `max_insns` times and stopping at the first non-retired
-    /// exit. See [`crate::block`] for why the batching cannot move an
-    /// epoch boundary or an interrupt-delivery point.
+    /// Every tier is observably identical — same exits at the same
+    /// retirement counts with the same machine state — to calling
+    /// [`Cpu::step`] in a loop `max_insns` times and stopping at the
+    /// first non-retired exit. See [`crate::block`] and [`crate::jit`]
+    /// for why the batching cannot move an epoch boundary or an
+    /// interrupt-delivery point.
     pub fn run(&mut self, mem: &mut Memory, max_insns: u64) -> Exit {
         let goal = self.retired.saturating_add(max_insns);
-        if !self.block_exec {
-            while self.retired < goal {
-                let e = self.step(mem);
-                if e != Exit::Retired {
-                    return e;
+        // Move the dispatcher out of `self` so blocks can be borrowed
+        // from its caches while `execute` borrows `self` — no
+        // refcounting or copying on the hot path.
+        let mut d = std::mem::take(&mut self.exec);
+        let before = self.retired;
+        let exit = match d.tier {
+            ExecTier::Step => {
+                let mut e = Exit::Retired;
+                while self.retired < goal {
+                    e = self.step(mem);
+                    if e != Exit::Retired {
+                        break;
+                    }
                 }
+                d.stats.step_retired += self.retired - before;
+                e
             }
-            return Exit::Retired;
-        }
-        // Move the cache out of `self` so blocks can be borrowed from
-        // it while `execute` borrows `self` — no refcounting or copying
-        // on the hot path.
-        let mut cache = std::mem::take(&mut self.blocks);
-        let exit = self.run_blocks(&mut cache, mem, goal);
-        self.blocks = cache;
+            ExecTier::Block => {
+                let e = self.run_blocks(&mut d.blocks, mem, goal);
+                d.stats.block_retired += self.retired - before;
+                e
+            }
+            ExecTier::Jit => self.run_tiered(&mut d, mem, goal),
+        };
+        self.exec = d;
         exit
     }
 
+    /// Pre-dispatch checks shared by every engine, identical to the
+    /// first checks of [`Cpu::step`]: recovery-counter expiry, pending
+    /// enabled interrupt, PC alignment. Nothing inside a block or
+    /// superblock can change their inputs (every PSW/ctl/TLB writer is
+    /// privileged, hence excluded from batched bodies), so checking
+    /// once per dispatch equals checking once per step.
+    #[inline]
+    fn pre_dispatch_check(&self) -> Option<Exit> {
+        if self.psw.recovery && self.ctl(ControlReg::Rctr) == 0 {
+            return Some(Exit::Trap(Trap::RecoveryCounter));
+        }
+        if self.psw.interrupts && self.pending_irq() != 0 {
+            return Some(Exit::Trap(Trap::ExternalInterrupt));
+        }
+        if !self.pc.is_multiple_of(4) {
+            return Some(Exit::Trap(Trap::AlignmentFault { vaddr: self.pc }));
+        }
+        None
+    }
+
     fn run_blocks(&mut self, cache: &mut BlockCache, mem: &mut Memory, goal: u64) -> Exit {
-        'outer: while self.retired < goal {
-            // Pre-execution checks, identical to [`Cpu::step`]. Nothing
-            // inside a block can change their inputs (every PSW/ctl/TLB
-            // writer is privileged, hence a block terminator), so
-            // checking once per block equals checking once per step.
-            if self.psw.recovery && self.ctl(ControlReg::Rctr) == 0 {
-                return Exit::Trap(Trap::RecoveryCounter);
-            }
-            if self.psw.interrupts && self.pending_irq() != 0 {
-                return Exit::Trap(Trap::ExternalInterrupt);
-            }
-            if !self.pc.is_multiple_of(4) {
-                return Exit::Trap(Trap::AlignmentFault { vaddr: self.pc });
+        while self.retired < goal {
+            if let Some(e) = self.pre_dispatch_check() {
+                return e;
             }
             // One translation covers the whole block: blocks never
             // cross a page boundary.
@@ -486,122 +527,183 @@ impl Cpu {
                 Ok(p) => p,
                 Err(t) => return Exit::Trap(t),
             };
-            let Some(block) = cache.get_or_build(fetch_pa, mem) else {
-                // Unreadable or undecodable first word: the slow path
-                // raises the exact trap.
-                return self.step(mem);
+            if let Some(e) = self.block_iteration(cache, mem, goal, fetch_pa) {
+                return e;
+            }
+        }
+        Exit::Retired
+    }
+
+    /// The jit tier: compiled superblocks where they exist, the block
+    /// engine everywhere else (cold code, traps, uncompilable starts).
+    fn run_tiered(&mut self, d: &mut ExecDispatcher, mem: &mut Memory, goal: u64) -> Exit {
+        while self.retired < goal {
+            if let Some(e) = self.pre_dispatch_check() {
+                return e;
+            }
+            // As with blocks, one translation covers the superblock:
+            // superblocks never cross a page boundary either.
+            let fetch_pa = match self.translate(self.pc, TlbAccess::Execute) {
+                Ok(p) => p,
+                Err(t) => return Exit::Trap(t),
             };
-            // Clamp so the recovery counter can only expire *between*
-            // instructions, exactly where the per-step path traps.
-            let len = block.insns.len();
-            let mut n = (goal - self.retired).min(len as u64);
-            if self.psw.recovery {
-                n = n.min(u64::from(self.ctl(ControlReg::Rctr)));
-            }
-            let n = n as usize;
-            // Only a block's final instruction can be a terminator, so
-            // the straight-line prefix is terminator-free — and since
-            // every privileged instruction is a terminator, it is also
-            // privilege-check-free. Retirement bookkeeping (pc,
-            // retired, rctr) for the prefix is batched: instructions in
-            // the prefix never observe those registers, and every path
-            // that leaves the prefix syncs them first, so the batching
-            // is invisible.
-            let has_term = n == len && block.insns[n - 1].is_block_terminator();
-            let straight = if has_term { n - 1 } else { n };
-            let base_pc = self.pc;
-            let block_gen = block.gen;
-            let block_page_addr = fetch_pa & !((1u32 << PAGE_SHIFT) - 1);
-            for (done, &insn) in block.insns[..straight].iter().enumerate() {
-                use Instruction as I;
-                match insn {
-                    I::Alu { op, rd, rs1, rs2 } => {
-                        let a = self.reg(rs1);
-                        let b = self.reg(rs2);
-                        match alu_value(op, a, b) {
-                            Some(v) => self.set_reg(rd, v),
-                            None => {
-                                self.sync_batch(base_pc, done);
-                                return Exit::Trap(Trap::ArithmeticError);
-                            }
-                        }
+            match d.jit.probe(fetch_pa, mem, &mut d.stats) {
+                Lookup::Compiled(first) => {
+                    // Clamp so the recovery counter can only expire
+                    // *between* instructions, exactly where the
+                    // per-step path traps — internal superblock loop
+                    // iterations and chained superblocks spend this
+                    // budget like any other op, so the dispatcher
+                    // re-checks at the exact retirement count.
+                    let mut budget = goal - self.retired;
+                    if self.psw.recovery {
+                        budget = budget.min(u64::from(self.ctl(ControlReg::Rctr)));
                     }
-                    I::AluImm { op, rd, rs1, imm } => {
-                        let v = alu_imm_value(op, self.reg(rs1), imm);
-                        self.set_reg(rd, v);
-                    }
-                    I::Lui { rd, imm } => self.set_reg(rd, imm << 13),
-                    I::Nop => {}
-                    I::Load {
-                        width,
-                        rd,
-                        base,
-                        disp,
-                    } => match self.access_load(width, rd, base, disp, mem) {
-                        Ok(v) => self.set_reg(rd, v),
-                        Err(exit) => {
-                            self.sync_batch(base_pc, done);
-                            return exit;
-                        }
-                    },
-                    I::Store {
-                        width,
-                        rs,
-                        base,
-                        disp,
-                    } => match self.access_store(width, rs, base, disp, mem) {
-                        Ok(()) => {
-                            // The store may have patched this block's
-                            // own page ahead of the program counter;
-                            // abandon the predecoded tail and re-fetch.
-                            if mem.page_gen(block_page_addr) != block_gen {
-                                self.sync_batch(base_pc, done + 1);
-                                continue 'outer;
-                            }
-                        }
-                        Err(exit) => {
-                            self.sync_batch(base_pc, done);
-                            return exit;
-                        }
-                    },
-                    // Probe (the only other non-terminator) and any
-                    // future stragglers: sync and take the generic
-                    // per-instruction path, then re-enter the block
-                    // machinery from the next pc.
-                    other => {
-                        self.sync_batch(base_pc, done);
-                        let e = self.execute(other, block.words[done], mem);
-                        if e != Exit::Retired {
-                            return e;
-                        }
-                        continue 'outer;
+                    let (executed, exit) = d.jit.run_chain(first, self, mem, budget);
+                    d.stats.jit_retired += executed;
+                    if let Some(e) = exit {
+                        return e;
                     }
                 }
-            }
-            self.sync_batch(base_pc, straight);
-            if has_term {
-                let insn = block.insns[n - 1];
-                if insn.is_privileged() && self.psw.cpl != 0 {
-                    return Exit::Trap(Trap::PrivilegedOp {
-                        word: block.words[n - 1],
-                    });
-                }
-                let e = self.execute(insn, block.words[n - 1], mem);
-                if e != Exit::Retired {
-                    return e;
+                Lookup::Cold => {
+                    let before = self.retired;
+                    let r = self.block_iteration(&mut d.blocks, mem, goal, fetch_pa);
+                    d.stats.block_retired += self.retired - before;
+                    if let Some(e) = r {
+                        return e;
+                    }
                 }
             }
         }
         Exit::Retired
     }
 
-    /// Load semantics shared by [`Cpu::step`] and the block engine so
-    /// the two cannot drift: alignment check, translation, access and
+    /// One block-engine dispatch: executes the block at `fetch_pa` (at
+    /// most to `goal`), returning `Some(exit)` to surface an exit or
+    /// `None` to re-enter the dispatch loop.
+    fn block_iteration(
+        &mut self,
+        cache: &mut BlockCache,
+        mem: &mut Memory,
+        goal: u64,
+        fetch_pa: u32,
+    ) -> Option<Exit> {
+        let Some(block) = cache.get_or_build(fetch_pa, mem) else {
+            // Unreadable or undecodable first word: the slow path
+            // raises the exact trap.
+            return Some(self.step(mem));
+        };
+        // Clamp so the recovery counter can only expire *between*
+        // instructions, exactly where the per-step path traps.
+        let len = block.insns.len();
+        let mut n = (goal - self.retired).min(len as u64);
+        if self.psw.recovery {
+            n = n.min(u64::from(self.ctl(ControlReg::Rctr)));
+        }
+        let n = n as usize;
+        // Only a block's final instruction can be a terminator, so
+        // the straight-line prefix is terminator-free — and since
+        // every privileged instruction is a terminator, it is also
+        // privilege-check-free. Retirement bookkeeping (pc,
+        // retired, rctr) for the prefix is batched: instructions in
+        // the prefix never observe those registers, and every path
+        // that leaves the prefix syncs them first, so the batching
+        // is invisible.
+        let has_term = n == len && block.insns[n - 1].is_block_terminator();
+        let straight = if has_term { n - 1 } else { n };
+        let base_pc = self.pc;
+        let block_gen = block.gen;
+        let block_page_addr = fetch_pa & !((1u32 << PAGE_SHIFT) - 1);
+        for (done, &insn) in block.insns[..straight].iter().enumerate() {
+            use Instruction as I;
+            match insn {
+                I::Alu { op, rd, rs1, rs2 } => {
+                    let a = self.reg(rs1);
+                    let b = self.reg(rs2);
+                    match alu_value(op, a, b) {
+                        Some(v) => self.set_reg(rd, v),
+                        None => {
+                            self.sync_batch(base_pc, done);
+                            return Some(Exit::Trap(Trap::ArithmeticError));
+                        }
+                    }
+                }
+                I::AluImm { op, rd, rs1, imm } => {
+                    let v = alu_imm_value(op, self.reg(rs1), imm);
+                    self.set_reg(rd, v);
+                }
+                I::Lui { rd, imm } => self.set_reg(rd, imm << 13),
+                I::Nop => {}
+                I::Load {
+                    width,
+                    rd,
+                    base,
+                    disp,
+                } => match self.access_load(width, rd, base, disp, mem) {
+                    Ok(v) => self.set_reg(rd, v),
+                    Err(exit) => {
+                        self.sync_batch(base_pc, done);
+                        return Some(exit);
+                    }
+                },
+                I::Store {
+                    width,
+                    rs,
+                    base,
+                    disp,
+                } => match self.access_store(width, rs, base, disp, mem) {
+                    Ok(()) => {
+                        // The store may have patched this block's
+                        // own page ahead of the program counter;
+                        // abandon the predecoded tail and re-fetch.
+                        if mem.page_gen(block_page_addr) != block_gen {
+                            self.sync_batch(base_pc, done + 1);
+                            return None;
+                        }
+                    }
+                    Err(exit) => {
+                        self.sync_batch(base_pc, done);
+                        return Some(exit);
+                    }
+                },
+                // Probe (the only other non-terminator) and any
+                // future stragglers: sync and take the generic
+                // per-instruction path, then re-enter the block
+                // machinery from the next pc.
+                other => {
+                    self.sync_batch(base_pc, done);
+                    let e = self.execute(other, block.words[done], mem);
+                    if e != Exit::Retired {
+                        return Some(e);
+                    }
+                    return None;
+                }
+            }
+        }
+        self.sync_batch(base_pc, straight);
+        if has_term {
+            let insn = block.insns[n - 1];
+            if insn.is_privileged() && self.psw.cpl != 0 {
+                return Some(Exit::Trap(Trap::PrivilegedOp {
+                    word: block.words[n - 1],
+                }));
+            }
+            let e = self.execute(insn, block.words[n - 1], mem);
+            if e != Exit::Retired {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Load semantics shared by [`Cpu::step`], the block engine and
+    /// the jit so they cannot drift: alignment check, translation,
+    /// access and
     /// width extension. `Ok` is the value for `rd`; `Err` is the exit
     /// (trap or MMIO) the caller must surface. Retirement is the
     /// caller's job.
     #[inline]
-    fn access_load(
+    pub(crate) fn access_load(
         &mut self,
         width: MemWidth,
         rd: Reg,
@@ -632,10 +734,10 @@ impl Cpu {
     }
 
     /// Store counterpart of [`Cpu::access_load`], equally shared by
-    /// both engines. `Ok(())` means the store hit RAM; `Err` is the
+    /// all engines. `Ok(())` means the store hit RAM; `Err` is the
     /// exit to surface. Retirement is the caller's job.
     #[inline]
-    fn access_store(
+    pub(crate) fn access_store(
         &mut self,
         width: MemWidth,
         rs: Reg,
@@ -677,6 +779,21 @@ impl Cpu {
     fn sync_batch(&mut self, base_pc: u32, done: usize) {
         self.pc = base_pc.wrapping_add(done as u32 * 4);
         self.retired += done as u64;
+        if self.psw.recovery && done > 0 {
+            let rctr = self.ctl(ControlReg::Rctr);
+            self.set_ctl(ControlReg::Rctr, rctr - done as u32);
+        }
+    }
+
+    /// Folds `done` retirements from a superblock run into the
+    /// architectural state (retired count and recovery counter); the
+    /// PC is set by the superblock's exit path, which may have jumped,
+    /// so it cannot be derived from a base the way [`Cpu::sync_batch`]
+    /// does. `done` never exceeds the superblock-entry clamp, so the
+    /// recovery counter cannot underflow.
+    #[inline]
+    pub(crate) fn sync_retire(&mut self, done: u64) {
+        self.retired += done;
         if self.psw.recovery && done > 0 {
             let rctr = self.ctl(ControlReg::Rctr);
             self.set_ctl(ControlReg::Rctr, rctr - done as u32);
@@ -1316,6 +1433,126 @@ mod tests {
             stats.hits > 40,
             "loop iterations must hit the cache: {stats:?}"
         );
+    }
+
+    #[test]
+    fn jit_tier_matches_the_other_engines_on_a_hot_loop() {
+        let src = "start:
+                addi r5, r0, 200
+            loop:
+                addi r6, r6, 1
+                sw   r6, 512(r0)
+                lw   r7, 512(r0)
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                halt";
+        let run_tier = |tier: ExecTier| {
+            let (mut cpu, mut mem) = setup(src);
+            cpu.set_exec_tier(tier);
+            assert_eq!(cpu.run(&mut mem, 1_000_000), Exit::Halt);
+            (
+                cpu.reg(Reg::of(6)),
+                cpu.reg(Reg::of(7)),
+                cpu.retired(),
+                cpu.pc,
+            )
+        };
+        let step = run_tier(ExecTier::Step);
+        let block = run_tier(ExecTier::Block);
+        let jit = run_tier(ExecTier::Jit);
+        assert_eq!(step, block);
+        assert_eq!(step, jit);
+    }
+
+    #[test]
+    fn jit_tier_promotes_and_retires_in_superblocks() {
+        let (mut cpu, mut mem) = setup(
+            "start:
+                addi r5, r0, 500
+            loop:
+                addi r6, r6, 1
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                halt",
+        );
+        cpu.set_exec_tier(ExecTier::Jit);
+        assert_eq!(cpu.run(&mut mem, 1_000_000), Exit::Halt);
+        assert_eq!(cpu.reg(Reg::of(6)), 500);
+        let stats = cpu.exec_stats();
+        assert!(stats.superblocks_compiled >= 1, "{stats:?}");
+        assert!(
+            stats.jit_retired > stats.block_retired,
+            "the hot loop must run compiled: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn jit_recovery_counter_is_exact_inside_superblock_loops() {
+        // The loop is hot enough to be compiled with its backward
+        // branch wired in-span; the recovery counter must still expire
+        // at the exact retirement count, mid-loop, every epoch.
+        let (mut cpu, mut mem) = setup(
+            "start:
+                addi r5, r0, 1000
+            loop:
+                addi r6, r6, 1
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                halt",
+        );
+        cpu.set_exec_tier(ExecTier::Jit);
+        cpu.psw.recovery = true;
+        let mut retired_expect = 0u64;
+        loop {
+            cpu.set_ctl(ControlReg::Rctr, 7);
+            match cpu.run(&mut mem, 1_000_000) {
+                Exit::Trap(Trap::RecoveryCounter) => {
+                    retired_expect += 7;
+                    assert_eq!(cpu.retired(), retired_expect);
+                    assert_eq!(cpu.ctl(ControlReg::Rctr), 0);
+                }
+                Exit::Halt => break,
+                other => panic!("unexpected exit {other:?}"),
+            }
+        }
+        assert_eq!(cpu.reg(Reg::of(6)), 1000);
+    }
+
+    #[test]
+    fn jit_self_patching_superblock_is_abandoned_and_recompiled() {
+        // Warm the loop so it compiles, then let it patch an
+        // instruction *inside its own superblock* ahead of the PC.
+        // Identical architectural results are required on every tier.
+        let src = "start:
+                lw   r4, 768(r0)     ; replacement word, poked below
+                addi r5, r0, 100
+            loop:
+                addi r6, r6, 1       ; address 8 <- patched mid-run
+                addi r5, r5, -1
+                sw   r4, 8(r0)       ; patch the loop body behind us
+                bne  r5, r0, loop
+                halt";
+        let patched = hvft_isa::codec::encode(Instruction::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::of(6),
+            rs1: Reg::of(6),
+            imm: 10,
+        })
+        .unwrap();
+        let run_tier = |tier: ExecTier| {
+            let (mut cpu, mut mem) = setup(src);
+            mem.write_u32(768, patched).unwrap();
+            cpu.set_exec_tier(tier);
+            assert_eq!(cpu.run(&mut mem, 1_000_000), Exit::Halt);
+            (cpu.reg(Reg::of(6)), cpu.retired())
+        };
+        let step = run_tier(ExecTier::Step);
+        let block = run_tier(ExecTier::Block);
+        let jit = run_tier(ExecTier::Jit);
+        assert_eq!(step, block);
+        assert_eq!(step, jit);
+        // The patch landed: 1 iteration of +1, 99 of +10.
+        assert_eq!(step.0, 1 + 99 * 10);
     }
 
     #[test]

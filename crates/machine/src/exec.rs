@@ -1,0 +1,105 @@
+//! Execution tiers and the dispatcher state behind [`Cpu::run`].
+//!
+//! The CPU offers three observably identical ways to execute a budget
+//! of instructions:
+//!
+//! - [`ExecTier::Step`] — the reference interpreter: one fetch,
+//!   translate and decode per instruction ([`Cpu::step`] in a loop);
+//! - [`ExecTier::Block`] — predecoded basic blocks ([`crate::block`]):
+//!   one translation and one cache lookup per straight-line run;
+//! - [`ExecTier::Jit`] — threaded-code superblocks ([`crate::jit`]):
+//!   hot code is compiled into chains of pre-specialized handler
+//!   functions with operands resolved at compile time, entered when a
+//!   compiled superblock exists and falling back to the block engine
+//!   on cold paths.
+//!
+//! "Observably identical" is load-bearing: the paper's protocols
+//! (Bressoud & Schneider §2.1) require epoch boundaries and interrupt
+//! delivery to land at *exact* retirement counts, so every tier clamps
+//! execution to `min(budget, rctr)` and reports the same exits at the
+//! same retirement counts with the same machine state. The three-way
+//! differential oracle in `tests/proptest_step_vs_block.rs` enforces
+//! this.
+//!
+//! [`Cpu::run`]: crate::cpu::Cpu::run
+//! [`Cpu::step`]: crate::cpu::Cpu::step
+
+use crate::block::BlockCache;
+use crate::jit::JitCache;
+use core::fmt;
+use std::str::FromStr;
+
+/// Which engine [`Cpu::run`](crate::cpu::Cpu::run) uses to consume its
+/// instruction budget.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ExecTier {
+    /// Single-step reference interpreter (tier 0).
+    Step,
+    /// Predecoded basic blocks (tier 1, the default).
+    #[default]
+    Block,
+    /// Threaded-code superblock JIT over the block engine (tier 2).
+    Jit,
+}
+
+impl fmt::Display for ExecTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExecTier::Step => "step",
+            ExecTier::Block => "block",
+            ExecTier::Jit => "jit",
+        })
+    }
+}
+
+impl FromStr for ExecTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "step" => Ok(ExecTier::Step),
+            "block" => Ok(ExecTier::Block),
+            "jit" => Ok(ExecTier::Jit),
+            other => Err(format!(
+                "unknown exec tier {other:?} (expected step, block or jit)"
+            )),
+        }
+    }
+}
+
+/// Per-tier execution counters (for tests, benches and reports).
+///
+/// The retirement counters attribute instructions to the engine that
+/// retired them *inside* [`Cpu::run`](crate::cpu::Cpu::run); the few
+/// instructions completed by the embedder between runs (environment
+/// reads, MMIO completions) are counted in
+/// [`Cpu::retired`](crate::cpu::Cpu::retired) but not attributed to a
+/// tier, so the tier counters sum to slightly less than the total.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired by the single-step loop.
+    pub step_retired: u64,
+    /// Instructions retired by the block engine (including the cold
+    /// fallback path of the jit tier).
+    pub block_retired: u64,
+    /// Instructions retired inside compiled superblocks.
+    pub jit_retired: u64,
+    /// Superblocks compiled (promotions and stale recompiles).
+    pub superblocks_compiled: u64,
+    /// Compiled superblocks found stale (self-modifying code or DMA)
+    /// and recompiled or discarded.
+    pub jit_invalidations: u64,
+}
+
+/// Dispatcher state owned by the CPU: the selected tier plus the caches
+/// of both batching engines. Kept in one struct so
+/// [`Cpu::run`](crate::cpu::Cpu::run) can move it out of the CPU
+/// wholesale while executing (blocks are borrowed from the caches while
+/// `execute` borrows the CPU).
+#[derive(Debug, Default)]
+pub struct ExecDispatcher {
+    pub(crate) tier: ExecTier,
+    pub(crate) blocks: BlockCache,
+    pub(crate) jit: JitCache,
+    pub(crate) stats: ExecStats,
+}

@@ -1,0 +1,988 @@
+//! Tier-2 execution: template-compiled superblocks.
+//!
+//! A `SuperBlock` is the unit of compiled code: a run of consecutive
+//! instruction words starting at a physical fetch address, translated
+//! into an array of compact `Op` records — each a pre-specialized
+//! opcode with its operands (register names, immediates, pre-shifted
+//! constants, branch wiring) resolved at compile time. Execution is a
+//! single dense jump table over the opcode — the safe-Rust analogue of
+//! threaded code's computed goto — with every op body inlined into one
+//! loop frame: no fetch, no decode, no per-instruction operand
+//! unpacking, no call/return per instruction, and the loop state
+//! (op index, budget, register-file base) lives in machine registers
+//! across ops.
+//!
+//! Superblocks are larger than the basic blocks of [`crate::block`]:
+//! compilation is a *trace* — it continues through conditional
+//! branches (the not-taken path falls through to the next op) and
+//! follows the static target of unconditional `jal`s within the page,
+//! so a call and its callee compile into one superblock. Each op
+//! records its own entry-relative PC offset, which is what lets the
+//! trace leave address order. Any branch or `jal` whose target was
+//! compiled into the trace is wired directly to the target op index,
+//! so a hot loop — calls included — executes entirely inside one
+//! superblock without re-entering the dispatcher. Compilation stops
+//! at the first `jalr`-class register-indirect jump, at any
+//! privileged or trapping instruction (`gate`, `brk`, every
+//! environment op), at an undecodable word, at an already-compiled
+//! address, or at the page boundary — superblocks, like basic blocks,
+//! never cross a page.
+//!
+//! # Exactness
+//!
+//! The engine preserves the paper's Instruction-Stream Interrupt
+//! Assumption by construction, extending the argument in
+//! [`crate::block`] from basic blocks to superblocks:
+//!
+//! - **retirement clamp**: a superblock entry receives a budget of
+//!   `min(caller budget, rctr)` and executes at most that many ops,
+//!   each retiring exactly one instruction; internal loop iterations
+//!   spend budget like any other op, so the recovery counter expires
+//!   between instructions at the same retirement count the per-step
+//!   path traps at;
+//! - **constant check inputs**: every instruction that can change the
+//!   pending-interrupt predicate, the PSW or the translation state is
+//!   privileged and privileged instructions are never compiled into a
+//!   superblock — so the dispatcher's entry checks and the single
+//!   entry translation stay valid across internal loops;
+//! - **exact faults**: a faulting op reports the same [`Exit`] as the
+//!   per-step path with the PC on the faulting instruction and no
+//!   retirement, by routing loads and stores through the same
+//!   `access_load`/`access_store` helpers the other engines use;
+//! - **self-modifying code**: a superblock records its page's write
+//!   generation at compile time; the dispatcher refuses stale entries,
+//!   and every compiled store re-checks the superblock's own page so a
+//!   block that patches itself abandons its compiled tail exactly like
+//!   the block engine does.
+
+use crate::cpu::{alu_imm_value, alu_value, Cpu, Exit};
+use crate::exec::ExecStats;
+use crate::hash::IntBuildHasher;
+use crate::mem::{Memory, PAGE_SIZE};
+use crate::tlb::{TlbAccess, TlbResult};
+use crate::trap::Trap;
+use hvft_isa::codec::decode;
+use hvft_isa::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
+use hvft_isa::reg::Reg;
+use std::collections::HashMap;
+
+/// Executions of a cold address before it is compiled.
+pub(crate) const PROMOTE_THRESHOLD: u32 = 16;
+
+/// Cap on compiled superblocks; crossing it clears the cache wholesale
+/// (same rationale as the block cache's cap).
+const MAX_SUPERBLOCKS: usize = 4096;
+
+/// Cap on tracked cold addresses before the heat table is reset.
+const MAX_HEAT_ENTRIES: usize = 1 << 16;
+
+/// Slots in the direct-mapped front table (power of two).
+const FRONT_SLOTS: usize = 128;
+/// Front tag marking an empty slot (no RAM block address collides).
+const FRONT_EMPTY: u32 = u32::MAX;
+
+/// Branch-wiring sentinel: the target is outside the compiled span.
+const NO_TARGET: u32 = u32::MAX;
+
+/// Pre-specialized opcode of one compiled [`Op`]. One variant per
+/// instruction template: the ALU operation, memory width or branch
+/// condition is the *variant*, not a field, so the dispatch loop's
+/// jump table lands directly in a body with the operation constant
+/// already folded in.
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+    Mul,
+    Divu,
+    Remu,
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slti,
+    Slli,
+    Srli,
+    Srai,
+    /// The `lui` shift happened at compile time; `imm` is the result.
+    Lui,
+    Nop,
+    Lw,
+    Lb,
+    Lbu,
+    Sw,
+    Sb,
+    Sbu,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Jal,
+    Jalr,
+    Probe,
+}
+
+/// One compiled instruction: a pre-specialized opcode plus
+/// pre-resolved operands — 16 bytes, so op-record indexing is a
+/// single shift and four ops share a cache line.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    kind: Kind,
+    /// Destination register (link register for `jal`/`jalr`).
+    rd: Reg,
+    /// First source: `rs1`, the load/`jalr` base, or the store value.
+    rs1: Reg,
+    /// Second source: `rs2`, branch comparand, or the store base.
+    rs2: Reg,
+    /// Immediate, pre-resolved per kind: sign-extended value,
+    /// displacement, branch byte offset, or the pre-shifted `lui`
+    /// constant.
+    imm: i32,
+    /// Branch/`jal` taken-target op index, or [`NO_TARGET`].
+    target: u32,
+    /// Byte offset of this op's virtual PC from the superblock's
+    /// entry PC (wrapping). Ops are *not* address-contiguous — a
+    /// trace follows `jal`s — so every PC-observing path derives the
+    /// PC from this field, never from the op index.
+    off: u32,
+}
+
+/// A compiled superblock.
+#[derive(Debug)]
+pub(crate) struct SuperBlock {
+    ops: Box<[Op]>,
+    /// Page-aligned physical address of the backing page.
+    page_addr: u32,
+    /// Write generation of the backing page at compile time.
+    gen: u64,
+    /// Entry-relative byte offset of the PC after falling off the
+    /// final op (`ops.last().off + 4`).
+    end_off: u32,
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------
+
+/// Builds the op for `insn` at entry-relative byte offset `off`;
+/// `index_of` maps compiled offsets to op indices for branch/`jal`
+/// wiring. `insn` must be compilable (the first pass guarantees it).
+fn build_op(off: u32, index_of: &HashMap<u32, u32, IntBuildHasher>, insn: Instruction) -> Op {
+    let op = |kind: Kind, rd: Reg, rs1: Reg, rs2: Reg, imm: i32, target: u32| Op {
+        kind,
+        rd,
+        rs1,
+        rs2,
+        imm,
+        target,
+        off,
+    };
+    // Wires a PC-relative transfer to the op index of its target when
+    // the target was compiled into this trace (misaligned targets are
+    // never compiled, so they fall out naturally).
+    let wire = |offset: i32| {
+        index_of
+            .get(&off.wrapping_add(offset as u32))
+            .copied()
+            .unwrap_or(NO_TARGET)
+    };
+    let z = Reg::ZERO;
+    use Instruction as I;
+    match insn {
+        I::Alu {
+            op: a,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let kind = match a {
+                AluOp::Add => Kind::Add,
+                AluOp::Sub => Kind::Sub,
+                AluOp::And => Kind::And,
+                AluOp::Or => Kind::Or,
+                AluOp::Xor => Kind::Xor,
+                AluOp::Sll => Kind::Sll,
+                AluOp::Srl => Kind::Srl,
+                AluOp::Sra => Kind::Sra,
+                AluOp::Slt => Kind::Slt,
+                AluOp::Sltu => Kind::Sltu,
+                AluOp::Mul => Kind::Mul,
+                AluOp::Divu => Kind::Divu,
+                AluOp::Remu => Kind::Remu,
+            };
+            op(kind, rd, rs1, rs2, 0, NO_TARGET)
+        }
+        I::AluImm {
+            op: a,
+            rd,
+            rs1,
+            imm,
+        } => {
+            let kind = match a {
+                AluImmOp::Addi => Kind::Addi,
+                AluImmOp::Andi => Kind::Andi,
+                AluImmOp::Ori => Kind::Ori,
+                AluImmOp::Xori => Kind::Xori,
+                AluImmOp::Slti => Kind::Slti,
+                AluImmOp::Slli => Kind::Slli,
+                AluImmOp::Srli => Kind::Srli,
+                AluImmOp::Srai => Kind::Srai,
+            };
+            op(kind, rd, rs1, z, imm, NO_TARGET)
+        }
+        I::Lui { rd, imm } => op(Kind::Lui, rd, z, z, (imm << 13) as i32, NO_TARGET),
+        I::Nop => op(Kind::Nop, z, z, z, 0, NO_TARGET),
+        I::Load {
+            width,
+            rd,
+            base,
+            disp,
+        } => {
+            let kind = match width {
+                MemWidth::Word => Kind::Lw,
+                MemWidth::Byte => Kind::Lb,
+                MemWidth::ByteU => Kind::Lbu,
+            };
+            op(kind, rd, base, z, disp, NO_TARGET)
+        }
+        I::Store {
+            width,
+            rs,
+            base,
+            disp,
+        } => {
+            let kind = match width {
+                MemWidth::Word => Kind::Sw,
+                MemWidth::Byte => Kind::Sb,
+                MemWidth::ByteU => Kind::Sbu,
+            };
+            op(kind, z, rs, base, disp, NO_TARGET)
+        }
+        I::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let kind = match cond {
+                BranchCond::Eq => Kind::Beq,
+                BranchCond::Ne => Kind::Bne,
+                BranchCond::Lt => Kind::Blt,
+                BranchCond::Ge => Kind::Bge,
+                BranchCond::Ltu => Kind::Bltu,
+                BranchCond::Geu => Kind::Bgeu,
+            };
+            op(kind, z, rs1, rs2, offset, wire(offset))
+        }
+        I::Jal { rd, offset } => op(Kind::Jal, rd, z, z, offset, wire(offset)),
+        I::Jalr { rd, base, disp } => op(Kind::Jalr, rd, base, z, disp, NO_TARGET),
+        I::Probe { rd, rs } => op(Kind::Probe, rd, rs, z, 0, NO_TARGET),
+        other => unreachable!("non-compilable instruction {other:?} reached build_op"),
+    }
+}
+
+/// Compiles the superblock (trace) starting at physical address
+/// `paddr`, or `None` when no compilable instruction starts there.
+fn compile(paddr: u32, gen: u64, mem: &Memory) -> Option<SuperBlock> {
+    let page_addr = paddr & !(PAGE_SIZE - 1);
+    // The trace in compile order: `(instruction, entry-relative byte
+    // offset)`. Offsets are *wrapping* deltas — a `jal` redirect may
+    // target an address before the entry.
+    let mut insns: Vec<(Instruction, u32)> = Vec::new();
+    let mut index_of: HashMap<u32, u32, IntBuildHasher> = HashMap::default();
+    let mut off: u32 = 0;
+    loop {
+        let pa = paddr.wrapping_add(off);
+        // Never cross the page (one write generation covers the whole
+        // trace), never compile the same address twice (this also
+        // bounds the trace at one page of ops).
+        if pa & !(PAGE_SIZE - 1) != page_addr || index_of.contains_key(&off) {
+            break;
+        }
+        let Ok(word) = mem.read_u32(pa) else {
+            break;
+        };
+        let Ok(insn) = decode(word) else {
+            break;
+        };
+        use Instruction as I;
+        // Privileged, trapping and environment instructions are never
+        // compiled; execution reaching them leaves the superblock and
+        // the interpreter takes over.
+        if !matches!(
+            insn,
+            I::Alu { .. }
+                | I::AluImm { .. }
+                | I::Lui { .. }
+                | I::Nop
+                | I::Load { .. }
+                | I::Store { .. }
+                | I::Probe { .. }
+                | I::Branch { .. }
+                | I::Jal { .. }
+                | I::Jalr { .. }
+        ) {
+            break;
+        }
+        index_of.insert(off, insns.len() as u32);
+        insns.push((insn, off));
+        match insn {
+            // Trace compilation follows the static target of an
+            // unconditional `jal` — a call's callee or a jump's
+            // continuation lands in the same superblock — when it is
+            // 4-aligned, in the same page and not already compiled
+            // (the wiring pass then turns the `jal` into an in-span
+            // jump). Otherwise the `jal` is the final op.
+            I::Jal { offset, .. } => {
+                let toff = off.wrapping_add(offset as u32);
+                if offset % 4 == 0
+                    && paddr.wrapping_add(toff) & !(PAGE_SIZE - 1) == page_addr
+                    && !index_of.contains_key(&toff)
+                {
+                    off = toff;
+                } else {
+                    break;
+                }
+            }
+            // A register-indirect jump has no static target: final op.
+            I::Jalr { .. } => break,
+            // Straight-line ops and conditional branches extend the
+            // trace (the not-taken path falls through).
+            _ => off = off.wrapping_add(4),
+        }
+    }
+    let &(_, last_off) = insns.last()?;
+    let ops: Vec<Op> = insns
+        .iter()
+        .map(|&(insn, o)| build_op(o, &index_of, insn))
+        .collect();
+    Some(SuperBlock {
+        ops: ops.into_boxed_slice(),
+        page_addr,
+        gen,
+        end_off: last_off.wrapping_add(4),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+impl SuperBlock {
+    /// Number of compiled ops (for tests).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+impl JitCache {
+    /// Executes the superblock at arena index `start` with the CPU's
+    /// PC at the corresponding virtual address, retiring at most
+    /// `budget` instructions (`budget` must be positive and already
+    /// clamped by the recovery counter), *chaining* straight into the
+    /// next compiled superblock whenever a transfer leaves one: the
+    /// op index, budget and retirement count stay in this one frame
+    /// across superblock boundaries, and the architectural sync
+    /// happens once on the way out. Chaining is sound because nothing
+    /// a superblock executes can change the dispatcher's entry
+    /// predicates (every PSW/ctl/TLB writer is privileged, hence
+    /// never compiled), and the recovery counter is spent through
+    /// `budget`; anything irregular — an unaligned or untranslatable
+    /// target, cold or stale code — returns to the full dispatcher.
+    ///
+    /// Returns the number retired and the exit the embedder must
+    /// handle, if any; on return the PC, retired count and recovery
+    /// counter are synced.
+    ///
+    /// Each op body routes through the same shared semantics helpers
+    /// (`alu_value`, `alu_imm_value`, `access_load`, `access_store`)
+    /// as the step and block engines, with the operation passed as a
+    /// constant that folds away after inlining — so the three engines
+    /// cannot drift.
+    pub(crate) fn run_chain(
+        &self,
+        start: u32,
+        cpu: &mut Cpu,
+        mem: &mut Memory,
+        budget: u64,
+    ) -> (u64, Option<Exit>) {
+        debug_assert!(budget > 0);
+        let mut sb = self.get(start);
+        let mut ops = &sb.ops[..];
+        let mut n = ops.len();
+        let mut entry_vpc = cpu.pc;
+        let mut i: usize = 0;
+        let mut executed: u64 = 0;
+        let exit = 'run: loop {
+            if executed == budget {
+                // Budget (caller's or the recovery counter's) spent:
+                // stop *between* instructions, PC on the next op.
+                cpu.pc = entry_vpc.wrapping_add(ops[i].off);
+                break None;
+            }
+            let op = &ops[i];
+            // Virtual PC of this op, derived from its recorded entry
+            // offset (ops are a trace, not address-contiguous) — only
+            // transfers and exits consume it, so straight-line ops
+            // never materialize it (`vpc!` is a macro, not a binding,
+            // precisely for that).
+            macro_rules! vpc {
+                () => {
+                    entry_vpc.wrapping_add(op.off)
+                };
+            }
+
+            // Control-flow helpers shared by the op bodies below.
+            // `chain!` is the out-of-superblock path: with the PC
+            // already set, hop into the next compiled superblock if
+            // one exists (fresh and aligned), else return to the
+            // dispatcher. `next!` retires the op and falls through
+            // (chaining past the last op); `fault!` leaves with the
+            // PC on the op, which did *not* retire; `taken!` retires
+            // a transfer, continuing at a wired in-span op index or
+            // chaining at the target.
+            macro_rules! chain {
+                () => {{
+                    if executed == budget || !cpu.pc.is_multiple_of(4) {
+                        break 'run None;
+                    }
+                    let Ok(pa) = cpu.translate(cpu.pc, TlbAccess::Execute) else {
+                        break 'run None;
+                    };
+                    match self.peek(pa, mem) {
+                        Some(next) => {
+                            sb = self.get(next);
+                            ops = &sb.ops[..];
+                            n = ops.len();
+                            i = 0;
+                            entry_vpc = cpu.pc;
+                            continue 'run;
+                        }
+                        None => break 'run None,
+                    }
+                }};
+            }
+            macro_rules! next {
+                () => {{
+                    executed += 1;
+                    i += 1;
+                    if i == n {
+                        cpu.pc = entry_vpc.wrapping_add(sb.end_off);
+                        chain!()
+                    }
+                    continue 'run;
+                }};
+            }
+            macro_rules! fault {
+                ($e:expr) => {{
+                    cpu.pc = vpc!();
+                    break 'run Some($e);
+                }};
+            }
+            macro_rules! taken {
+                ($byte_offset:expr) => {{
+                    executed += 1;
+                    if op.target != NO_TARGET {
+                        i = op.target as usize;
+                        continue 'run;
+                    }
+                    cpu.pc = vpc!().wrapping_add($byte_offset as u32);
+                    chain!()
+                }};
+            }
+            macro_rules! alu {
+                ($v:ident) => {{
+                    let a = cpu.reg(op.rs1);
+                    let b = cpu.reg(op.rs2);
+                    match alu_value(AluOp::$v, a, b) {
+                        Some(v) => {
+                            cpu.set_reg(op.rd, v);
+                            next!()
+                        }
+                        None => fault!(Exit::Trap(Trap::ArithmeticError)),
+                    }
+                }};
+            }
+            macro_rules! alu_imm {
+                ($v:ident) => {{
+                    let v = alu_imm_value(AluImmOp::$v, cpu.reg(op.rs1), op.imm);
+                    cpu.set_reg(op.rd, v);
+                    next!()
+                }};
+            }
+            macro_rules! load {
+                ($w:ident) => {{
+                    match cpu.access_load(MemWidth::$w, op.rd, op.rs1, op.imm, mem) {
+                        Ok(v) => {
+                            cpu.set_reg(op.rd, v);
+                            next!()
+                        }
+                        Err(e) => fault!(e),
+                    }
+                }};
+            }
+            macro_rules! store {
+                ($w:ident) => {{
+                    match cpu.access_store(MemWidth::$w, op.rs1, op.rs2, op.imm, mem) {
+                        Ok(()) => {
+                            // The store may have patched this
+                            // superblock's own page ahead of the
+                            // program counter: abandon the compiled
+                            // tail and re-enter the dispatcher.
+                            if mem.page_gen(sb.page_addr) != sb.gen {
+                                executed += 1;
+                                cpu.pc = vpc!().wrapping_add(4);
+                                break 'run None;
+                            }
+                            next!()
+                        }
+                        Err(e) => fault!(e),
+                    }
+                }};
+            }
+            macro_rules! branch {
+                (|$a:ident, $b:ident| $cond:expr) => {{
+                    let $a = cpu.reg(op.rs1);
+                    let $b = cpu.reg(op.rs2);
+                    if $cond {
+                        taken!(op.imm)
+                    }
+                    next!()
+                }};
+            }
+
+            match op.kind {
+                Kind::Add => alu!(Add),
+                Kind::Sub => alu!(Sub),
+                Kind::And => alu!(And),
+                Kind::Or => alu!(Or),
+                Kind::Xor => alu!(Xor),
+                Kind::Sll => alu!(Sll),
+                Kind::Srl => alu!(Srl),
+                Kind::Sra => alu!(Sra),
+                Kind::Slt => alu!(Slt),
+                Kind::Sltu => alu!(Sltu),
+                Kind::Mul => alu!(Mul),
+                Kind::Divu => alu!(Divu),
+                Kind::Remu => alu!(Remu),
+                Kind::Addi => alu_imm!(Addi),
+                Kind::Andi => alu_imm!(Andi),
+                Kind::Ori => alu_imm!(Ori),
+                Kind::Xori => alu_imm!(Xori),
+                Kind::Slti => alu_imm!(Slti),
+                Kind::Slli => alu_imm!(Slli),
+                Kind::Srli => alu_imm!(Srli),
+                Kind::Srai => alu_imm!(Srai),
+                Kind::Lui => {
+                    // The shift happened at compile time.
+                    cpu.set_reg(op.rd, op.imm as u32);
+                    next!()
+                }
+                Kind::Nop => next!(),
+                Kind::Lw => load!(Word),
+                Kind::Lb => load!(Byte),
+                Kind::Lbu => load!(ByteU),
+                Kind::Sw => store!(Word),
+                Kind::Sb => store!(Byte),
+                Kind::Sbu => store!(ByteU),
+                Kind::Beq => branch!(|a, b| a == b),
+                Kind::Bne => branch!(|a, b| a != b),
+                Kind::Blt => branch!(|a, b| (a as i32) < (b as i32)),
+                Kind::Bge => branch!(|a, b| (a as i32) >= (b as i32)),
+                Kind::Bltu => branch!(|a, b| a < b),
+                Kind::Bgeu => branch!(|a, b| a >= b),
+                Kind::Jal => {
+                    // PA-RISC quirk: the privilege level rides in the
+                    // low bits of the link value (paper §3.1). The
+                    // level is read at run time — the same physical
+                    // code can execute at any privilege.
+                    let link = vpc!().wrapping_add(4) | u32::from(cpu.psw.cpl);
+                    cpu.set_reg(op.rd, link);
+                    taken!(op.imm)
+                }
+                Kind::Jalr => {
+                    // Target before link: `rd` may alias the base.
+                    let target = cpu.reg(op.rs1).wrapping_add(op.imm as u32) & !3;
+                    let link = vpc!().wrapping_add(4) | u32::from(cpu.psw.cpl);
+                    cpu.set_reg(op.rd, link);
+                    executed += 1;
+                    cpu.pc = target;
+                    chain!()
+                }
+                Kind::Probe => {
+                    // Probe never changes translation state, so it is
+                    // safe inside a superblock; its semantics mirror
+                    // `Cpu::execute` exactly.
+                    let vaddr = cpu.reg(op.rs1);
+                    if !cpu.psw.translation {
+                        cpu.set_reg(op.rd, 1);
+                        next!()
+                    }
+                    match cpu.tlb.lookup(vaddr, TlbAccess::Read, cpu.psw.is_user()) {
+                        TlbResult::Hit(_) => {
+                            cpu.set_reg(op.rd, 1);
+                            next!()
+                        }
+                        TlbResult::Denied => {
+                            cpu.set_reg(op.rd, 0);
+                            next!()
+                        }
+                        TlbResult::Miss => fault!(Exit::Trap(Trap::TlbMiss {
+                            vaddr,
+                            write: false,
+                        })),
+                    }
+                }
+            }
+        };
+        cpu.sync_retire(executed);
+        (executed, exit)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache and promotion
+// ---------------------------------------------------------------------
+
+/// Result of a dispatcher probe.
+pub(crate) enum Lookup {
+    /// A fresh compiled superblock exists at this arena index
+    /// (resolve it with [`JitCache::get`]); execute it.
+    Compiled(u32),
+    /// No compiled code here (cold, not yet hot, or uncompilable):
+    /// the caller falls back to the block engine.
+    Cold,
+}
+
+/// The superblock cache: physical fetch address → compiled superblock,
+/// with an execution-count heat table driving promotion and a
+/// direct-mapped front table short-circuiting the map on hot hits.
+#[derive(Debug, Default)]
+pub(crate) struct JitCache {
+    arena: Vec<SuperBlock>,
+    map: HashMap<u32, u32, IntBuildHasher>,
+    /// Cold-address execution counts; an address is compiled when its
+    /// count reaches [`PROMOTE_THRESHOLD`].
+    heat: HashMap<u32, u32, IntBuildHasher>,
+    /// `(paddr, arena index)` keyed by `(paddr >> 2) & (FRONT_SLOTS-1)`.
+    front: Option<Box<[(u32, u32); FRONT_SLOTS]>>,
+}
+
+impl JitCache {
+    fn front_mut(&mut self) -> &mut [(u32, u32); FRONT_SLOTS] {
+        self.front
+            .get_or_insert_with(|| Box::new([(FRONT_EMPTY, 0); FRONT_SLOTS]))
+    }
+
+    /// Drops every compiled superblock and all heat state.
+    fn clear(&mut self) {
+        self.arena.clear();
+        self.map.clear();
+        self.heat.clear();
+        if let Some(front) = &mut self.front {
+            front.fill((FRONT_EMPTY, 0));
+        }
+    }
+
+    /// Resolves an arena index returned by [`JitCache::probe`] or
+    /// [`JitCache::peek`].
+    #[inline]
+    pub(crate) fn get(&self, idx: u32) -> &SuperBlock {
+        &self.arena[idx as usize]
+    }
+
+    /// Read-only lookup for superblock chaining: the compiled, fresh
+    /// superblock at `paddr`, or `None` (cold, stale or uncompilable —
+    /// the caller returns to the full dispatcher, whose [`Self::probe`]
+    /// owns promotion and invalidation). Taking `&self` is the point:
+    /// the executing superblock holds a shared borrow of the cache, so
+    /// chaining must not mutate it.
+    #[inline]
+    pub(crate) fn peek(&self, paddr: u32, mem: &Memory) -> Option<u32> {
+        let gen = mem.page_gen(paddr);
+        let fidx = ((paddr >> 2) as usize) & (FRONT_SLOTS - 1);
+        if let Some(front) = &self.front {
+            let (tag, idx) = front[fidx];
+            if tag == paddr && self.arena[idx as usize].gen == gen {
+                return Some(idx);
+            }
+        }
+        let idx = *self.map.get(&paddr)?;
+        let sb = &self.arena[idx as usize];
+        if sb.gen == gen && !sb.ops.is_empty() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up the superblock starting at physical address `paddr`,
+    /// compiling it if the address just crossed the promotion
+    /// threshold, recompiling if its page changed.
+    #[inline]
+    pub(crate) fn probe(&mut self, paddr: u32, mem: &Memory, stats: &mut ExecStats) -> Lookup {
+        let gen = mem.page_gen(paddr);
+        let fidx = ((paddr >> 2) as usize) & (FRONT_SLOTS - 1);
+        if let Some(front) = &self.front {
+            let (tag, idx) = front[fidx];
+            if tag == paddr && self.arena[idx as usize].gen == gen {
+                return Lookup::Compiled(idx);
+            }
+        }
+        self.probe_slow(paddr, gen, fidx, mem, stats)
+    }
+
+    fn probe_slow(
+        &mut self,
+        paddr: u32,
+        gen: u64,
+        fidx: usize,
+        mem: &Memory,
+        stats: &mut ExecStats,
+    ) -> Lookup {
+        if let Some(&idx) = self.map.get(&paddr) {
+            if self.arena[idx as usize].gen != gen {
+                // Self-modifying code or DMA over a compiled page:
+                // this address is known-hot, recompile in place. An
+                // empty-ops marker records an address that no longer
+                // compiles (until the page changes again).
+                stats.jit_invalidations += 1;
+                let replacement = match compile(paddr, gen, mem) {
+                    Some(sb) => {
+                        stats.superblocks_compiled += 1;
+                        sb
+                    }
+                    None => SuperBlock {
+                        ops: Box::new([]),
+                        page_addr: paddr & !(PAGE_SIZE - 1),
+                        gen,
+                        end_off: 0,
+                    },
+                };
+                self.arena[idx as usize] = replacement;
+                self.front_mut()[fidx] = (FRONT_EMPTY, 0);
+            }
+            if self.arena[idx as usize].ops.is_empty() {
+                return Lookup::Cold;
+            }
+            self.front_mut()[fidx] = (paddr, idx);
+            return Lookup::Compiled(idx);
+        }
+        // Cold address: count the execution, promote when hot.
+        if self.heat.len() >= MAX_HEAT_ENTRIES {
+            self.heat.clear();
+        }
+        let heat = self.heat.entry(paddr).or_insert(0);
+        *heat += 1;
+        if *heat < PROMOTE_THRESHOLD {
+            return Lookup::Cold;
+        }
+        self.heat.remove(&paddr);
+        let sb = match compile(paddr, gen, mem) {
+            Some(sb) => {
+                stats.superblocks_compiled += 1;
+                sb
+            }
+            // Uncompilable start (privileged or undecodable first
+            // word): cache an empty marker so the block engine owns
+            // this address without re-attempting compilation.
+            None => SuperBlock {
+                ops: Box::new([]),
+                page_addr: paddr & !(PAGE_SIZE - 1),
+                gen,
+                end_off: 0,
+            },
+        };
+        if self.arena.len() >= MAX_SUPERBLOCKS {
+            self.clear();
+        }
+        let idx = self.arena.len() as u32;
+        let empty = sb.ops.is_empty();
+        self.arena.push(sb);
+        self.map.insert(paddr, idx);
+        if empty {
+            return Lookup::Cold;
+        }
+        self.front_mut()[fidx] = (paddr, idx);
+        Lookup::Compiled(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvft_isa::asm::assemble;
+
+    fn mem_with(src: &str) -> Memory {
+        let prog = assemble(src).unwrap_or_else(|e| panic!("asm: {e}"));
+        let mut mem = Memory::new(4 * PAGE_SIZE as usize);
+        for seg in &prog.segments {
+            mem.write_bytes(seg.base, &seg.data);
+        }
+        mem
+    }
+
+    #[test]
+    fn superblock_chains_across_not_taken_branches() {
+        let mem = mem_with(
+            "s: addi r4, r0, 1
+                bne  r4, r0, 8
+                addi r5, r0, 2
+                addi r6, r0, 3
+                jal  ra, s",
+        );
+        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        assert_eq!(
+            sb.len(),
+            5,
+            "compilation must continue through the conditional branch \
+             and include the final jal"
+        );
+    }
+
+    #[test]
+    fn superblock_stops_at_privileged_instructions() {
+        let mem = mem_with("s: addi r4, r0, 1\n addi r5, r0, 2\n rfi\n nop");
+        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        assert_eq!(sb.len(), 2, "rfi must not be compiled");
+    }
+
+    #[test]
+    fn superblock_stops_at_gate_and_brk() {
+        let mem = mem_with("s: addi r4, r0, 1\n gate 3\n nop");
+        assert_eq!(compile(0, mem.page_gen(0), &mem).expect("sb").len(), 1);
+        let mem = mem_with("s: nop\n brk 0\n nop");
+        assert_eq!(compile(0, mem.page_gen(0), &mem).expect("sb").len(), 1);
+    }
+
+    #[test]
+    fn uncompilable_start_yields_none() {
+        let mem = mem_with("s: halt");
+        assert!(compile(0, mem.page_gen(0), &mem).is_none());
+        let zeros = Memory::new(PAGE_SIZE as usize); // .word 0 is illegal
+        assert!(compile(0, zeros.page_gen(0), &zeros).is_none());
+    }
+
+    #[test]
+    fn backward_branches_are_wired_in_span() {
+        let mem = mem_with(
+            "s: addi r5, r0, 10
+            loop:
+                addi r6, r6, 1
+                addi r5, r5, -1
+                bne  r5, r0, loop
+                jal  ra, s",
+        );
+        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        assert_eq!(sb.len(), 5);
+        // The bne at index 3 targets index 1.
+        assert_eq!(sb.ops[3].target, 1);
+        // The jal at index 4 targets index 0.
+        assert_eq!(sb.ops[4].target, 0);
+    }
+
+    #[test]
+    fn forward_branches_out_of_span_are_unwired() {
+        let mem = mem_with("s: beq r0, r0, 4096\n jal ra, 0");
+        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        assert_eq!(sb.ops[0].target, NO_TARGET);
+    }
+
+    #[test]
+    fn superblock_never_crosses_a_page_boundary() {
+        let mut mem = Memory::new(2 * PAGE_SIZE as usize);
+        let nop = hvft_isa::codec::encode(Instruction::Nop).unwrap();
+        for i in 0..(2 * PAGE_SIZE / 4) {
+            mem.write_u32(i * 4, nop).unwrap();
+        }
+        let sb = compile(16, mem.page_gen(16), &mem).expect("superblock");
+        assert_eq!(sb.len() as u32, (PAGE_SIZE - 16) / 4);
+    }
+
+    #[test]
+    fn cache_promotes_only_hot_addresses() {
+        let mem = mem_with("s: addi r4, r0, 1\n jal ra, s");
+        let mut cache = JitCache::default();
+        let mut stats = ExecStats::default();
+        for _ in 0..PROMOTE_THRESHOLD - 1 {
+            assert!(matches!(cache.probe(0, &mem, &mut stats), Lookup::Cold));
+        }
+        assert!(matches!(
+            cache.probe(0, &mem, &mut stats),
+            Lookup::Compiled(_)
+        ));
+        assert_eq!(stats.superblocks_compiled, 1);
+        // Subsequent probes hit without recompiling.
+        assert!(matches!(
+            cache.probe(0, &mem, &mut stats),
+            Lookup::Compiled(_)
+        ));
+        assert_eq!(stats.superblocks_compiled, 1);
+    }
+
+    #[test]
+    fn cache_invalidates_on_page_writes() {
+        let mut mem = mem_with("s: addi r4, r0, 1\n addi r5, r0, 2\n jal ra, s");
+        let mut cache = JitCache::default();
+        let mut stats = ExecStats::default();
+        for _ in 0..PROMOTE_THRESHOLD {
+            let _ = cache.probe(0, &mem, &mut stats);
+        }
+        assert_eq!(stats.superblocks_compiled, 1);
+        // Patch the second instruction into a halt: recompile shrinks
+        // the superblock.
+        let halt = hvft_isa::codec::encode(Instruction::Halt).unwrap();
+        mem.write_u32(4, halt).unwrap();
+        match cache.probe(0, &mem, &mut stats) {
+            Lookup::Compiled(idx) => assert_eq!(cache.get(idx).len(), 1),
+            Lookup::Cold => panic!("hot address must recompile"),
+        }
+        assert_eq!(stats.jit_invalidations, 1);
+        assert_eq!(stats.superblocks_compiled, 2);
+    }
+
+    #[test]
+    fn uncompilable_hot_address_caches_a_marker() {
+        let mem = mem_with("s: halt");
+        let mut cache = JitCache::default();
+        let mut stats = ExecStats::default();
+        for _ in 0..PROMOTE_THRESHOLD + 8 {
+            assert!(matches!(cache.probe(0, &mem, &mut stats), Lookup::Cold));
+        }
+        assert_eq!(stats.superblocks_compiled, 0);
+        assert_eq!(cache.map.len(), 1, "marker cached after promotion");
+    }
+
+    #[test]
+    fn cache_stays_bounded() {
+        let pages = (MAX_SUPERBLOCKS as u32 * 4).div_ceil(PAGE_SIZE) + 1;
+        let mut mem = Memory::new((pages * PAGE_SIZE) as usize);
+        let jal = hvft_isa::codec::encode(Instruction::Jal {
+            rd: Reg::ZERO,
+            offset: 4,
+        })
+        .unwrap();
+        for i in 0..(pages * PAGE_SIZE / 4) {
+            mem.write_u32(i * 4, jal).unwrap();
+        }
+        let mut cache = JitCache::default();
+        let mut stats = ExecStats::default();
+        for i in 0..(MAX_SUPERBLOCKS as u32 + 64) {
+            for _ in 0..PROMOTE_THRESHOLD {
+                let _ = cache.probe(i * 4, &mem, &mut stats);
+            }
+        }
+        assert!(cache.map.len() <= MAX_SUPERBLOCKS);
+    }
+}

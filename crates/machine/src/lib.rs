@@ -24,7 +24,9 @@
 
 pub mod block;
 pub mod cpu;
+pub mod exec;
 pub mod hash;
+pub mod jit;
 pub mod mem;
 pub mod psw;
 pub mod statehash;
@@ -33,6 +35,7 @@ pub mod trap;
 
 pub use block::{BlockCache, BlockCacheStats, DecodedBlock};
 pub use cpu::{Cpu, EnvOp, Exit, LoadProgram};
+pub use exec::{ExecStats, ExecTier};
 pub use mem::{MemFault, Memory, IO_BASE, IO_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use psw::Psw;
 pub use statehash::{register_state_hash, vm_state_hash, Fnv64};

@@ -1,28 +1,57 @@
 //! Run any registered workload by name — the scenario API's CLI face.
 //!
 //! ```text
-//! cargo run --release --example run_workload            # sweep them all
-//! cargo run --release --example run_workload -- sieve   # just one
+//! cargo run --release --example run_workload                 # sweep them all
+//! cargo run --release --example run_workload -- sieve        # just one
+//! cargo run --release --example run_workload -- --tier=jit   # pick the engine
 //! ```
 //!
 //! Every guest in `hvft-guest`'s workload registry runs through the
 //! identical builder-configured pipeline: bare baseline first (the
 //! paper's `RT`), then the replicated system (`N′`), printing the
-//! normalized performance and coordination bookkeeping for each.
+//! normalized performance, coordination bookkeeping and the execution-
+//! tier breakdown (instructions retired per engine, superblocks
+//! compiled, invalidations) for each.
 
-use hvft::core::scenario::Scenario;
+use hvft::core::scenario::{ExecStats, ExecTier, Scenario};
 use hvft::guest::workload::names;
 
-fn run_one(name: &str) {
+fn tier_summary(x: &ExecStats) -> String {
+    let mut parts = Vec::new();
+    for (label, n) in [
+        ("step", x.step_retired),
+        ("block", x.block_retired),
+        ("jit", x.jit_retired),
+    ] {
+        if n > 0 {
+            parts.push(format!("{label} {n}"));
+        }
+    }
+    if x.superblocks_compiled > 0 {
+        parts.push(format!(
+            "{} superblocks, {} invalidations",
+            x.superblocks_compiled, x.jit_invalidations
+        ));
+    }
+    if parts.is_empty() {
+        "idle".to_owned()
+    } else {
+        parts.join(", ")
+    }
+}
+
+fn run_one(name: &str, tier: ExecTier) {
     let bare = Scenario::builder()
         .workload_named(name)
         .bare()
+        .exec_tier(tier)
         .build()
         .unwrap_or_else(|e| panic!("{name} (bare): {e}"))
         .run();
     let ft = Scenario::builder()
         .workload_named(name)
         .functional_cost()
+        .exec_tier(tier)
         .build()
         .unwrap_or_else(|e| panic!("{name}: {e}"))
         .run();
@@ -46,14 +75,32 @@ fn run_one(name: &str) {
         ft.epochs,
         ft.messages_per_replica.iter().sum::<u64>(),
     );
+    println!(
+        "{:>10}  tiers: bare [{}] | primary [{}]",
+        "",
+        tier_summary(&bare.exec_stats()),
+        tier_summary(&ft.exec_stats()),
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<String> = if args.is_empty() { names() } else { args };
-    println!("registered workloads: {}\n", names().join(", "));
+    let mut tier = ExecTier::default();
+    let mut selected = Vec::new();
+    for a in args {
+        if let Some(t) = a.strip_prefix("--tier=") {
+            tier = t.parse().unwrap_or_else(|e| panic!("{e}"));
+        } else {
+            selected.push(a);
+        }
+    }
+    if selected.is_empty() {
+        selected = names();
+    }
+    println!("registered workloads: {}", names().join(", "));
+    println!("execution tier: {tier}\n");
     for name in &selected {
-        run_one(name);
+        run_one(name, tier);
     }
     println!("\nevery workload ran bare and replicated with identical checksums ✓");
 }

@@ -1,24 +1,30 @@
-//! Differential tests: the predecoded-block engine versus single-
-//! stepping.
+//! Differential tests: the three execution tiers against each other.
 //!
-//! `Cpu::run` (basic blocks, one translate + one cache probe per block,
-//! batched retirement) must be **observably identical** to `Cpu::step`
-//! in a loop: same retired counts, same machine-state hashes, same trap
-//! sequences at the same instruction-stream points, same console bytes.
-//! This file proves it three ways:
+//! `Cpu::run` under every [`ExecTier`] — the single-step reference
+//! interpreter, the predecoded-block engine, and the threaded-code
+//! superblock jit — must be **observably identical**: same retired
+//! counts, same machine-state hashes, same trap sequences at the same
+//! instruction-stream points, same console bytes. This file proves it
+//! four ways:
 //!
 //! - **bare differential**: every guest workload runs to completion on
-//!   two [`BareHost`]s, one per engine, compared chunk by chunk;
+//!   three [`BareHost`]s, one per tier, compared chunk by chunk;
 //! - **hypervised differential**: the same workloads run under the full
-//!   replicated [`FtSystem`] with the block engine on and off, and the
-//!   entire observable outcome (checksums, epoch counts, simulated
-//!   times, console, disk log) must match — this exercises privileged
-//!   simulation, trap reflection, TLB management and epoch delimitation
-//!   over the block engine;
+//!   replicated [`FtSystem`] once per tier (including across a
+//!   failover), and the entire observable outcome (checksums, epoch
+//!   counts, simulated times, console, disk log) must match — this
+//!   exercises privileged simulation, trap reflection, TLB management
+//!   and epoch delimitation over the batching engines;
+//! - **registry sweep**: every registered workload runs bare under all
+//!   three tiers with bit-identical exit codes and console streams;
 //! - **instruction-soup proptest**: randomized code (valid, privileged,
-//!   trapping and garbage words mixed) driven through both engines with
+//!   trapping and garbage words mixed) driven through all tiers with
 //!   traps delivered bare-metal style, comparing the full event
 //!   sequence and final state hash.
+//!
+//! Self-modifying code gets its own section: a guest that patches a
+//! block the engines have already cached (and, for the jit, a compiled
+//! superblock mid-hot-loop) must behave exactly like the interpreter.
 
 use hvft::guest::layout::RAM_BYTES;
 use hvft::guest::{
@@ -31,6 +37,7 @@ use hvft::isa::codec::encode;
 use hvft::isa::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
 use hvft::isa::reg::Reg;
 use hvft::machine::cpu::{Cpu, Exit};
+use hvft::machine::exec::ExecTier;
 use hvft::machine::mem::Memory;
 use hvft::machine::statehash::vm_state_hash;
 use hvft::machine::tlb::TlbReplacement;
@@ -49,14 +56,14 @@ fn assert_bare_equivalent(
     prep: impl Fn(&mut BareHost),
 ) {
     let image = build_image(kcfg, user).expect("image builds");
-    let mk = || {
+    let mk = |tier: ExecTier| {
         let mut h = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 32, 7);
+        h.set_exec_tier(tier);
         prep(&mut h);
         h
     };
-    let mut blocked = mk();
-    let mut stepped = mk();
-    stepped.cpu.set_block_execution(false);
+    let mut stepped = mk(ExecTier::Step);
+    let mut others = [mk(ExecTier::Block), mk(ExecTier::Jit)];
     // Compare at chunk boundaries so a divergence is localized to
     // within `chunk` instructions of where it first occurred.
     let chunk = 10_000u64;
@@ -64,30 +71,36 @@ fn assert_bare_equivalent(
     let mut limit = 0u64;
     loop {
         limit += chunk;
-        let ra = blocked.run(limit);
         let rb = stepped.run(limit);
-        assert_eq!(ra.exit, rb.exit, "{name}: exits diverged at limit {limit}");
-        assert_eq!(
-            ra.retired, rb.retired,
-            "{name}: retired counts diverged at limit {limit}"
-        );
-        assert_eq!(ra.diags, rb.diags, "{name}: diag streams diverged");
-        assert_eq!(
-            ra.time, rb.time,
-            "{name}: simulated time diverged at limit {limit}"
-        );
-        assert_eq!(
-            vm_state_hash(&blocked.cpu, &blocked.mem),
-            vm_state_hash(&stepped.cpu, &stepped.mem),
-            "{name}: state hashes diverged at {} retired",
-            ra.retired
-        );
-        assert_eq!(
-            blocked.console.output_string(),
-            stepped.console.output_string(),
-            "{name}: console bytes diverged"
-        );
-        if ra.exit != BareExit::InstructionLimit {
+        for host in &mut others {
+            let tier = host.exec_tier();
+            let ra = host.run(limit);
+            assert_eq!(
+                ra.exit, rb.exit,
+                "{name}/{tier}: exits diverged at limit {limit}"
+            );
+            assert_eq!(
+                ra.retired, rb.retired,
+                "{name}/{tier}: retired counts diverged at limit {limit}"
+            );
+            assert_eq!(ra.diags, rb.diags, "{name}/{tier}: diag streams diverged");
+            assert_eq!(
+                ra.time, rb.time,
+                "{name}/{tier}: simulated time diverged at limit {limit}"
+            );
+            assert_eq!(
+                vm_state_hash(&host.cpu, &host.mem),
+                vm_state_hash(&stepped.cpu, &stepped.mem),
+                "{name}/{tier}: state hashes diverged at {} retired",
+                ra.retired
+            );
+            assert_eq!(
+                host.console.output_string(),
+                stepped.console.output_string(),
+                "{name}/{tier}: console bytes diverged"
+            );
+        }
+        if rb.exit != BareExit::InstructionLimit {
             break;
         }
         assert!(limit < cap, "{name}: no exit before {cap} instructions");
@@ -188,30 +201,99 @@ fn self_modifying_guest_invalidates_the_block_cache() {
     })
     .unwrap();
     let image = hvft::isa::asm::assemble(SMC_GUEST).expect("asm");
-    let run = |block: bool| {
+    let run = |tier: ExecTier| {
         let mut host = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 16, 0);
-        host.cpu.set_block_execution(block);
+        host.set_exec_tier(tier);
         host.mem.write_u32(512, patched).unwrap();
         let r = host.run(100_000);
         (r, host)
     };
-    let (ra, host_a) = run(true);
-    let (rb, host_b) = run(false);
-    assert!(matches!(ra.exit, BareExit::Halted { .. }), "{:?}", ra.exit);
-    assert_eq!(ra.exit, rb.exit);
-    assert_eq!(ra.retired, rb.retired);
+    let (rb, host_b) = run(ExecTier::Step);
+    for tier in [ExecTier::Block, ExecTier::Jit] {
+        let (ra, host_a) = run(tier);
+        assert!(matches!(ra.exit, BareExit::Halted { .. }), "{:?}", ra.exit);
+        assert_eq!(ra.exit, rb.exit, "{tier}");
+        assert_eq!(ra.retired, rb.retired, "{tier}");
+        assert_eq!(
+            vm_state_hash(&host_a.cpu, &host_a.mem),
+            vm_state_hash(&host_b.cpu, &host_b.mem),
+            "self-modifying code must behave identically on every engine ({tier})"
+        );
+        // 5 passes: 1 original (+1), 4 patched (+100 each).
+        assert_eq!(host_a.cpu.reg(Reg::of(20)), 1 + 4 * 100);
+        let stats = host_a.cpu.block_cache_stats();
+        assert!(
+            stats.invalidations >= 1,
+            "patching a cached block must invalidate it ({tier}): {stats:?}"
+        );
+    }
+}
+
+/// Like [`SMC_GUEST`], but hot: the patchable routine is called 60
+/// times, far past the jit's promotion threshold, and the patch lands
+/// mid-run (when the counter reaches 30) — so it overwrites code inside
+/// a *compiled superblock*, not just a predecoded block.
+const SMC_HOT_GUEST: &str = ".org 0
+start:
+    addi r22, r0, 60         ; loop counter
+    lw   r21, 512(r0)        ; replacement word (poked by the test)
+outer:
+    jal  ra, patchable
+    addi r23, r22, -30
+    bne  r23, r0, nopatch
+    sw   r21, 48(r0)         ; patch `slot` once, mid-hot-loop
+nopatch:
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+
+    .org 48
+patchable:
+slot:
+    addi r20, r20, 1         ; becomes: addi r20, r20, 100
+    jalr r0, ra, 0
+";
+
+#[test]
+fn patching_a_compiled_superblock_invalidates_and_recompiles() {
+    let patched = encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::of(20),
+        rs1: Reg::of(20),
+        imm: 100,
+    })
+    .unwrap();
+    let image = hvft::isa::asm::assemble(SMC_HOT_GUEST).expect("asm");
+    let run = |tier: ExecTier| {
+        let mut host = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 16, 0);
+        host.set_exec_tier(tier);
+        host.mem.write_u32(512, patched).unwrap();
+        let r = host.run(100_000);
+        (r, host)
+    };
+    let (rs, host_s) = run(ExecTier::Step);
+    let (rj, host_j) = run(ExecTier::Jit);
+    assert!(matches!(rj.exit, BareExit::Halted { .. }), "{:?}", rj.exit);
+    assert_eq!(rj.exit, rs.exit);
+    assert_eq!(rj.retired, rs.retired);
     assert_eq!(
-        vm_state_hash(&host_a.cpu, &host_a.mem),
-        vm_state_hash(&host_b.cpu, &host_b.mem),
-        "self-modifying code must behave identically on both engines"
+        vm_state_hash(&host_j.cpu, &host_j.mem),
+        vm_state_hash(&host_s.cpu, &host_s.mem),
+        "a patched superblock must replay exactly like the interpreter"
     );
-    // 5 passes: 1 original (+1), 4 patched (+100 each).
-    assert_eq!(host_a.cpu.reg(Reg::of(20)), 1 + 4 * 100);
-    let stats = host_a.cpu.block_cache_stats();
+    // Calls with r22 = 60..=30 add 1 (31 calls); r22 = 29..=1 add 100.
+    assert_eq!(host_j.cpu.reg(Reg::of(20)), 31 + 29 * 100);
+    let x = host_j.exec_stats();
     assert!(
-        stats.invalidations >= 1,
-        "patching a cached block must invalidate it: {stats:?}"
+        x.superblocks_compiled >= 2,
+        "the patched routine must be compiled, invalidated and \
+         recompiled: {x:?}"
     );
+    assert!(
+        x.jit_invalidations >= 1,
+        "the mid-loop patch must invalidate a compiled superblock: {x:?}"
+    );
+    assert!(x.jit_retired > 0, "the hot loop must run compiled: {x:?}");
 }
 
 // ---------------------------------------------------------------------
@@ -221,12 +303,12 @@ fn self_modifying_guest_invalidates_the_block_cache() {
 fn ft_outcome(
     image: &hvft::isa::program::Program,
     base: &dyn Fn() -> ScenarioBuilder,
-    block: bool,
+    tier: ExecTier,
 ) -> RunReport {
     base()
         .image(image.clone())
         .functional_cost()
-        .block_exec(block)
+        .exec_tier(tier)
         .build()
         .expect("differential scenario is valid")
         .run()
@@ -239,40 +321,49 @@ fn assert_ft_equivalent(
     base: &dyn Fn() -> ScenarioBuilder,
 ) {
     let image = build_image(kcfg, user).expect("image builds");
-    let a = ft_outcome(&image, base, true);
-    let b = ft_outcome(&image, base, false);
-    assert_eq!(a.exit, b.exit, "{name}: outcomes diverged");
-    assert_eq!(
-        a.completion_time, b.completion_time,
-        "{name}: completion times diverged"
-    );
-    assert_eq!(a.console, b.console, "{name}: console bytes");
-    assert_eq!(a.console_hosts, b.console_hosts, "{name}: console hosts");
-    assert_eq!(a.disk_log, b.disk_log, "{name}: disk logs diverged");
-    assert_eq!(a.guest_retries, b.guest_retries, "{name}: retries");
-    assert_eq!(
-        a.messages_per_replica, b.messages_per_replica,
-        "{name}: message counts diverged"
-    );
-    assert_eq!(
-        a.failovers, b.failovers,
-        "{name}: failover schedules diverged"
-    );
-    assert!(a.lockstep_clean, "{name}: block run diverged");
+    let b = ft_outcome(&image, base, ExecTier::Step);
     assert!(b.lockstep_clean, "{name}: step run diverged");
-    assert_eq!(
-        a.lockstep_compared, b.lockstep_compared,
-        "{name}: lockstep comparison counts diverged"
-    );
-    // Same number of epochs, simulated instructions, reflections and
-    // interrupt deliveries on every replica.
-    let stats = |r: &RunReport| {
-        r.replica_stats
-            .iter()
-            .map(|s| (s.epochs, s.simulated, s.reflected, s.mmio, s.irqs_delivered))
-            .collect::<Vec<_>>()
-    };
-    assert_eq!(stats(&a), stats(&b), "{name}: hypervisor stats diverged");
+    for tier in [ExecTier::Block, ExecTier::Jit] {
+        let a = ft_outcome(&image, base, tier);
+        assert_eq!(a.exit, b.exit, "{name}/{tier}: outcomes diverged");
+        assert_eq!(
+            a.completion_time, b.completion_time,
+            "{name}/{tier}: completion times diverged"
+        );
+        assert_eq!(a.console, b.console, "{name}/{tier}: console bytes");
+        assert_eq!(
+            a.console_hosts, b.console_hosts,
+            "{name}/{tier}: console hosts"
+        );
+        assert_eq!(a.disk_log, b.disk_log, "{name}/{tier}: disk logs diverged");
+        assert_eq!(a.guest_retries, b.guest_retries, "{name}/{tier}: retries");
+        assert_eq!(
+            a.messages_per_replica, b.messages_per_replica,
+            "{name}/{tier}: message counts diverged"
+        );
+        assert_eq!(
+            a.failovers, b.failovers,
+            "{name}/{tier}: failover schedules diverged"
+        );
+        assert!(a.lockstep_clean, "{name}/{tier}: run diverged");
+        assert_eq!(
+            a.lockstep_compared, b.lockstep_compared,
+            "{name}/{tier}: lockstep comparison counts diverged"
+        );
+        // Same number of epochs, simulated instructions, reflections and
+        // interrupt deliveries on every replica.
+        let stats = |r: &RunReport| {
+            r.replica_stats
+                .iter()
+                .map(|s| (s.epochs, s.simulated, s.reflected, s.mmio, s.irqs_delivered))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            stats(&a),
+            stats(&b),
+            "{name}/{tier}: hypervisor stats diverged"
+        );
+    }
 }
 
 #[test]
@@ -337,6 +428,36 @@ fn ft_failover_is_engine_invariant() {
     assert_ft_equivalent("ft-failover", &dhrystone_source(1_500, 9), &kcfg, &|| {
         Scenario::builder().fail_primary_at(SimTime::from_nanos(800_000))
     });
+}
+
+// ---------------------------------------------------------------------
+// Registry sweep: every built-in workload under every tier
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_registry_workload_is_tier_invariant() {
+    for name in hvft::guest::workload::names() {
+        let run = |tier: ExecTier| {
+            Scenario::builder()
+                .workload_named(&name)
+                .bare()
+                .exec_tier(tier)
+                .build()
+                .expect("registry scenario is valid")
+                .run()
+        };
+        let b = run(ExecTier::Step);
+        for tier in [ExecTier::Block, ExecTier::Jit] {
+            let a = run(tier);
+            assert_eq!(a.exit, b.exit, "{name}/{tier}: exit codes diverged");
+            assert_eq!(a.retired, b.retired, "{name}/{tier}: retired diverged");
+            assert_eq!(a.console, b.console, "{name}/{tier}: console diverged");
+            assert_eq!(
+                a.completion_time, b.completion_time,
+                "{name}/{tier}: simulated time diverged"
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -489,7 +610,9 @@ fn synth_word(r: u64) -> u32 {
 
 /// Drives one engine until `max_retired` instructions retired or
 /// `max_events` non-retired exits, delivering traps the way bare
-/// hardware would and logging every event.
+/// hardware would and logging every event. `use_run = false` bypasses
+/// [`Cpu::run`] entirely and single-steps by hand — the most primitive
+/// reference there is.
 fn drive(
     cpu: &mut Cpu,
     mem: &mut Memory,
@@ -563,19 +686,22 @@ proptest! {
             }
             (cpu, mem)
         };
-        let (mut cpu_a, mut mem_a) = build();
         let (mut cpu_b, mut mem_b) = build();
-        cpu_b.set_block_execution(false);
-        let log_a = drive(&mut cpu_a, &mut mem_a, true, 5_000, 400);
         let log_b = drive(&mut cpu_b, &mut mem_b, false, 5_000, 400);
-        prop_assert_eq!(&log_a, &log_b, "event sequences diverged");
-        prop_assert_eq!(cpu_a.retired(), cpu_b.retired());
-        prop_assert_eq!(cpu_a.pc, cpu_b.pc);
-        prop_assert_eq!(
-            vm_state_hash(&cpu_a, &mem_a),
-            vm_state_hash(&cpu_b, &mem_b),
-            "final states diverged"
-        );
+        for tier in [ExecTier::Step, ExecTier::Block, ExecTier::Jit] {
+            let (mut cpu_a, mut mem_a) = build();
+            cpu_a.set_exec_tier(tier);
+            let log_a = drive(&mut cpu_a, &mut mem_a, true, 5_000, 400);
+            prop_assert_eq!(&log_a, &log_b, "event sequences diverged ({})", tier);
+            prop_assert_eq!(cpu_a.retired(), cpu_b.retired(), "{}", tier);
+            prop_assert_eq!(cpu_a.pc, cpu_b.pc, "{}", tier);
+            prop_assert_eq!(
+                vm_state_hash(&cpu_a, &mem_a),
+                vm_state_hash(&cpu_b, &mem_b),
+                "final states diverged ({})",
+                tier
+            );
+        }
     }
 
     #[test]
@@ -601,22 +727,31 @@ proptest! {
             cpu.set_reg(Reg::SP, 0x2000);
             (cpu, mem)
         };
-        let (mut cpu_a, mut mem_a) = build();
         let (mut cpu_b, mut mem_b) = build();
-        cpu_b.set_block_execution(false);
+        let (mut cpu_blk, mut mem_blk) = build();
+        let (mut cpu_jit, mut mem_jit) = build();
+        cpu_jit.set_exec_tier(ExecTier::Jit);
         for _ in 0..4 {
-            let log_a = drive(&mut cpu_a, &mut mem_a, true, u64::MAX, 200);
             let log_b = drive(&mut cpu_b, &mut mem_b, false, u64::MAX, 200);
-            prop_assert_eq!(&log_a, &log_b);
-            prop_assert_eq!(cpu_a.retired(), cpu_b.retired());
+            let log_blk = drive(&mut cpu_blk, &mut mem_blk, true, u64::MAX, 200);
+            let log_jit = drive(&mut cpu_jit, &mut mem_jit, true, u64::MAX, 200);
+            prop_assert_eq!(&log_blk, &log_b, "block");
+            prop_assert_eq!(&log_jit, &log_b, "jit");
+            prop_assert_eq!(cpu_blk.retired(), cpu_b.retired());
+            prop_assert_eq!(cpu_jit.retired(), cpu_b.retired());
             // Re-arm and continue (drive stops at the event cap or a
             // non-trap exit; RecoveryCounter traps are delivered like
             // any other and vector to low memory).
-            cpu_a.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
             cpu_b.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
+            cpu_blk.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
+            cpu_jit.set_ctl(hvft::isa::reg::ControlReg::Rctr, epoch_len);
         }
         prop_assert_eq!(
-            vm_state_hash(&cpu_a, &mem_a),
+            vm_state_hash(&cpu_blk, &mem_blk),
+            vm_state_hash(&cpu_b, &mem_b)
+        );
+        prop_assert_eq!(
+            vm_state_hash(&cpu_jit, &mem_jit),
             vm_state_hash(&cpu_b, &mem_b)
         );
     }

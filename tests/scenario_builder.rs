@@ -4,6 +4,7 @@
 //! acceptance that would hang or OOM a run later.
 
 use hvft::core::scenario::{ConfigError, Parallelism, Scenario, ScenarioBuilder, MAX_DISK_BLOCKS};
+use hvft::machine::ExecTier;
 use hvft::sim::time::{SimDuration, SimTime};
 
 /// Discriminant-level expectation (payloads are checked separately
@@ -20,6 +21,7 @@ fn variant(e: &ConfigError) -> &'static str {
         ConfigError::EmptyDisk => "EmptyDisk",
         ConfigError::ZeroEpochLen => "ZeroEpochLen",
         ConfigError::DriverMismatch(_) => "DriverMismatch",
+        ConfigError::ExecTierConflict { .. } => "ExecTierConflict",
     }
 }
 
@@ -112,6 +114,16 @@ fn every_invalid_combination_yields_its_config_error() {
             "worker threads on the chain driver",
             wl().chain().parallelism(Parallelism::Threads(2)),
             "DriverMismatch",
+        ),
+        (
+            "legacy block_exec(false) against exec_tier(Jit)",
+            wl().block_exec(false).exec_tier(ExecTier::Jit),
+            "ExecTierConflict",
+        ),
+        (
+            "legacy block_exec(true) against exec_tier(Step)",
+            wl().exec_tier(ExecTier::Step).block_exec(true),
+            "ExecTierConflict",
         ),
     ];
     for (label, builder, expected) in cases {
