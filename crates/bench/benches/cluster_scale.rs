@@ -1,32 +1,50 @@
 //! Cluster scaling under the parallel conservative-sync executor —
 //! recorded to `BENCH_cluster_scale.json` for the CI artifact.
 //!
-//! One workload mix, swept across shard counts × execution modes
-//! (sequential, and worker-thread counts up to the machine's cores):
-//! each `cluster/<shards>sys_<mode>` entry times the *same*
-//! deterministic simulated run, so the wall-clock ratios between modes
-//! are the scaling curve of the executor itself. Thread rows are
-//! labelled with the *effective* parallelism
-//! ([`Parallelism::effective_workers`]): a `Threads(2)` request clamps
-//! to `min(2, shards, cores)`, so on a one-core CI runner the row says
-//! `2thr_eff1` — archived numbers never claim parallelism the hardware
-//! didn't deliver. On a many-core box the thread rows shrink toward
-//! `1/eff` of the sequential row; either way the recorded curve is
-//! honest for the hardware that produced it, and the bit-identity
-//! micro-assert below is the part that must hold everywhere.
+//! One workload mix, swept across shards × replicas (`t` backups) ×
+//! execution modes × execution tiers. Each
+//! `cluster_scale/<shards>sys_t<t>_<tier>_<mode>` entry times the
+//! *same* deterministic simulated run, so the wall-clock ratios
+//! between modes are the scaling curve of the executor itself, and
+//! the `jit` rows show that tier-2 gains and multi-core gains compose.
+//!
+//! Every row records enough to make regressions attributable:
+//!
+//! - `elements_per_sec` — guest instructions retired per wall-clock
+//!   second (the throughput that actually matters), via
+//!   [`Throughput::Elements`];
+//! - `requested_workers` / `effective_workers` — what the mode asked
+//!   for (clamped to the cluster's slice slots,
+//!   `shards × replicas`) and what the machine can actually deliver
+//!   (further clamped to cores);
+//! - `pool_utilization` (thread rows only) — the fraction of
+//!   `effective_workers × wall` the persistent pool's workers spent
+//!   executing guest slices, observed via [`WorkPool::stats`].
+//!
+//! Thread rows are labelled with the *effective* parallelism: a
+//! `Threads(4)` request on a one-core CI runner reads `4thr_eff1` —
+//! archived numbers never claim parallelism the hardware didn't
+//! deliver. On a many-core box the thread rows shrink toward `1/eff`
+//! of the sequential row; either way the recorded curve is honest for
+//! the hardware that produced it, and the bit-identity micro-assert
+//! below is the part that must hold everywhere.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use hvft_core::scenario::{ClusterScenario, Parallelism, RunReport, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hvft_core::scenario::{ClusterScenario, ExecTier, Parallelism, RunReport, Scenario};
 use hvft_guest::workload::{Dhrystone, IoBench};
 use hvft_guest::{IoMode, KernelConfig};
 use hvft_net::link::LinkSpec;
+use hvft_sim::WorkPool;
+use std::time::Instant;
 
-fn cluster(shards: usize) -> ClusterScenario {
+fn cluster(shards: usize, backups: usize, tier: ExecTier) -> ClusterScenario {
     let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), 13);
     for i in 0..shards {
         let b = Scenario::builder()
             .functional_cost()
             .seed(13 + i as u64)
+            .backups(backups)
+            .exec_tier(tier)
             // Contention on a crowded wire must not forge suspicions.
             .detector_timeout(hvft_sim::time::SimDuration::from_millis(300));
         let b = if i % 2 == 0 {
@@ -76,69 +94,101 @@ fn fingerprint(reports: &[RunReport]) -> Vec<String> {
         .collect()
 }
 
-fn modes() -> Vec<Parallelism> {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let mut modes = vec![Parallelism::Sequential];
-    let mut t = 2;
-    while t <= cores.max(2) {
-        modes.push(Parallelism::Threads(t));
-        t *= 2;
-    }
-    modes
+/// Guest instructions retired across every replica of every shard —
+/// the work the cluster actually performed, whatever tier retired it.
+fn guest_insns(reports: &[RunReport]) -> u64 {
+    reports
+        .iter()
+        .flat_map(|r| &r.replica_stats)
+        .map(|s| s.exec.step_retired + s.exec.block_retired + s.exec.jit_retired)
+        .sum()
 }
 
 /// `seq`, or `<n>thr_eff<e>` with the effective worker count for this
-/// shard count on this machine baked into the archived label.
-fn mode_label(par: Parallelism, shards: usize) -> String {
+/// slot count on this machine baked into the archived label.
+fn mode_label(par: Parallelism, slots: usize) -> String {
     match par {
         Parallelism::Sequential => "seq".to_owned(),
         Parallelism::Threads(t) => {
-            format!("{t}thr_eff{}", par.effective_workers(shards))
+            format!("{t}thr_eff{}", par.effective_workers(slots))
         }
     }
 }
 
-/// Shards × threads sweep: whole cluster runs to completion.
+/// Shards × replicas × threads × tier sweep: whole cluster runs to
+/// completion.
 fn bench_cluster_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster_scale");
-    g.sample_size(5);
-    let mut fingerprints: Vec<(usize, String, Vec<String>)> = Vec::new();
+    g.sample_size(3);
+    // (sweep point, mode, fingerprint): modes must agree per point.
+    let mut fingerprints: Vec<(String, String, Vec<String>)> = Vec::new();
     for shards in [2usize, 4, 8] {
-        for par in modes() {
-            let mode = mode_label(par, shards);
-            let label = format!("{shards}sys_{mode}");
-            let mut last: Vec<RunReport> = Vec::new();
-            g.bench_function(label.clone(), |b| {
-                b.iter(|| {
-                    let mut sc = cluster(shards);
-                    sc.parallelism(par);
-                    last = sc.run();
-                    last.len()
-                })
-            });
-            for r in &last {
-                assert!(r.exit.is_clean_exit(), "{label}: {:?}", r.exit);
+        for backups in [1usize, 2] {
+            for tier in [ExecTier::Block, ExecTier::Jit] {
+                let point = format!("{shards}sys_t{backups}_{tier}");
+                for par in [
+                    Parallelism::Sequential,
+                    Parallelism::Threads(2),
+                    Parallelism::Threads(4),
+                ] {
+                    let run = || {
+                        let mut sc = cluster(shards, backups, tier);
+                        sc.parallelism(par);
+                        sc.run()
+                    };
+                    let slots = cluster(shards, backups, tier).slice_slots();
+                    let eff = par.effective_workers(slots);
+                    // Untimed probe: observed pool utilization and the
+                    // guest-instruction total for the throughput rate.
+                    let pool_before = WorkPool::global().stats();
+                    let wall = Instant::now();
+                    let reports = run();
+                    let wall = wall.elapsed();
+                    let pool_delta = WorkPool::global().stats().busy_nanos - pool_before.busy_nanos;
+                    let utilization =
+                        pool_delta as f64 / (wall.as_nanos().max(1) as f64 * eff as f64);
+                    let insns = guest_insns(&reports);
+                    let mode = mode_label(par, slots);
+                    let label = format!("{point}_{mode}");
+                    for r in &reports {
+                        assert!(r.exit.is_clean_exit(), "{label}: {:?}", r.exit);
+                    }
+                    fingerprints.push((point.clone(), mode, fingerprint(&reports)));
+                    g.throughput(Throughput::Elements(insns));
+                    g.bench_function(label, |b| b.iter(|| run().len()));
+                    g.annotate("requested_workers", par.requested_workers(slots) as f64)
+                        .annotate("effective_workers", eff as f64);
+                    if !matches!(par, Parallelism::Sequential) {
+                        g.annotate("pool_utilization", utilization);
+                    }
+                }
             }
-            fingerprints.push((shards, mode, fingerprint(&last)));
         }
     }
     g.finish();
-    // Micro-assert: every execution mode of a given shard count is
+    // Micro-assert: every execution mode of a given sweep point is
     // bit-identical — the determinism oracle, archived alongside the
     // timings it licenses.
-    for shards in [2usize, 4, 8] {
-        let of_count: Vec<_> = fingerprints
+    let points: Vec<String> = {
+        let mut seen = Vec::new();
+        for (p, _, _) in &fingerprints {
+            if !seen.contains(p) {
+                seen.push(p.clone());
+            }
+        }
+        seen
+    };
+    for point in points {
+        let of_point: Vec<_> = fingerprints
             .iter()
-            .filter(|(s, _, _)| *s == shards)
+            .filter(|(p, _, _)| *p == point)
             .collect();
-        let (_, seq_label, reference) = of_count.first().expect("sequential row present");
+        let (_, seq_label, reference) = of_point.first().expect("sequential row present");
         assert_eq!(seq_label, "seq");
-        for (_, mode, fp) in &of_count[1..] {
+        for (_, mode, fp) in &of_point[1..] {
             assert_eq!(
                 fp, reference,
-                "{shards} shards: mode {mode} diverged from sequential"
+                "{point}: mode {mode} diverged from sequential"
             );
         }
     }

@@ -24,29 +24,38 @@
 //!
 //! # Parallel execution
 //!
-//! [`FtCluster::run_with`] can run the shards' guest computations on
-//! `N` worker threads ([`Parallelism::Threads`]) while producing
-//! results **bit-identical** to the sequential schedule. The executor
-//! is conservative — it never speculates and never rolls back — and
-//! rests on two facts:
+//! [`FtCluster::run_with`] can run the cluster's guest computations on
+//! worker threads ([`Parallelism::Threads`]) while producing results
+//! **bit-identical** to the sequential schedule. The unit of
+//! parallelism is the *replica slice*, not the shard: a shard's plan
+//! step yields a **wave** of independent slices — one per replica whose
+//! conservative horizon permits progress — so a `t = 4` system keeps
+//! all five of its replicas' guests in flight at once, and a cluster
+//! exposes up to `shards × (1 + backups)` concurrent slices. The
+//! executor is conservative — it never speculates and never rolls
+//! back — and rests on two facts:
 //!
-//! 1. A shard's next scheduling decision (which host runs, with what
-//!    lookahead-bounded budget) and the *content* of that guest slice
-//!    depend only on the shard's own committed state: shards exchange
-//!    no messages, so another shard can influence this one only through
-//!    the medium's serialization clock, which is read exactly at
-//!    commit (send) points, never during a slice.
-//! 2. All shared-medium effects are committed on the coordinator
-//!    thread in the same global `(time, shard)` order the sequential
-//!    schedule uses.
+//! 1. **Replica-slice independence.** A planned slice runs only the
+//!    replica's own guest (CPU + memory); replicas couple exclusively
+//!    through protocol messages, which the link delivers no sooner
+//!    than the sender's clock plus the link's minimum latency — the
+//!    lookahead that bounds every budget in the wave. Whatever an
+//!    earlier wave member's commit schedules therefore lands at or
+//!    beyond every horizon planned from the snapshot, so slices in a
+//!    wave cannot influence one another. Likewise shards exchange no
+//!    messages, so another shard reaches this one only through the
+//!    medium's serialization clock, read at commit points only.
+//! 2. **Commit in order.** Wave slices commit in plan order (ascending
+//!    snapshot clock, replica index), and all shared-medium effects
+//!    commit on the coordinator thread in the same global
+//!    `(time, shard)` order the sequential schedule uses.
 //!
-//! So each shard's next slice is *planned* as soon as its previous
-//! action commits, executed off-thread up to its conservative horizon
-//! (its own next event, or a peer replica's clock plus the link's
-//! minimum latency — the lookahead), and committed strictly in global
-//! order. Sequential mode runs the identical plan/commit sequence with
-//! the slice executed inline, which is why the two modes cannot
-//! diverge.
+//! So the coordinator plans each shard's wave as soon as its previous
+//! action commits, ships every slice in the wave to the persistent
+//! work-stealing pool ([`hvft_sim::pool::WorkPool`]), and commits
+//! strictly in order — banking slices that finish early. Sequential
+//! mode executes the *identical* plan/commit sequence inline, which is
+//! why the two modes cannot diverge.
 //!
 //! # Examples
 //!
@@ -82,12 +91,12 @@ use hvft_hypervisor::hvguest::{HvEvent, HvGuest};
 use hvft_isa::program::Program;
 use hvft_net::lan::{Lan, LanStats};
 use hvft_net::link::LinkSpec;
+use hvft_sim::pool::WorkPool;
 use hvft_sim::sched::Scheduler;
-use hvft_sim::time::SimDuration;
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// How a cluster run distributes its shards' guest computations.
@@ -104,26 +113,35 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    /// How many guest computations a run over `shards` shards can
-    /// actually advance simultaneously in this mode: the requested
-    /// thread count, clamped to the shard count (the pool never spawns
-    /// idle workers — see [`FtCluster::run_with`]) and to the machine's
-    /// available cores (the OS cannot run more in parallel than that).
-    /// Sequential (and `Threads(0)`, its degenerate form) is 1.
+    /// How many pool workers a run with this many *slice slots*
+    /// (`shards × max replicas per shard`, see
+    /// [`FtCluster::slice_slots`]) asks for: the requested thread
+    /// count, clamped to the slot count (more workers than
+    /// concurrently plannable slices would only ever idle). Sequential
+    /// (and `Threads(0)`, its degenerate form) is 1. Unlike
+    /// [`Parallelism::effective_workers`], this does **not** clamp to
+    /// the machine's cores — it is the pool size, not a speedup bound.
+    pub fn requested_workers(&self, slots: usize) -> usize {
+        match *self {
+            Parallelism::Sequential | Parallelism::Threads(0) => 1,
+            Parallelism::Threads(n) => n.min(slots).max(1),
+        }
+    }
+
+    /// How many guest computations a run with this many slice slots
+    /// can actually advance simultaneously in this mode:
+    /// [`Parallelism::requested_workers`] further clamped to the
+    /// machine's available cores (the OS cannot run more in parallel
+    /// than that). Sequential (and `Threads(0)`) is 1.
     ///
     /// Bench labels record this so archived scaling rows are honest: a
     /// `Threads(2)` sweep on a one-core box is effectively sequential,
     /// and its label must say so.
-    pub fn effective_workers(&self, shards: usize) -> usize {
-        match *self {
-            Parallelism::Sequential | Parallelism::Threads(0) => 1,
-            Parallelism::Threads(n) => {
-                let cores = thread::available_parallelism()
-                    .map(|c| c.get())
-                    .unwrap_or(1);
-                n.min(shards).min(cores).max(1)
-            }
-        }
+    pub fn effective_workers(&self, slots: usize) -> usize {
+        let cores = thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        self.requested_workers(slots).min(cores).max(1)
     }
 }
 
@@ -165,6 +183,20 @@ impl FtCluster {
     /// Number of shards.
     pub fn systems(&self) -> usize {
         self.sched.len()
+    }
+
+    /// Upper bound on the number of guest slices this cluster can have
+    /// in flight at once: `shards × max replicas per shard`. Each
+    /// shard's plan step yields up to one slice per replica (a wave),
+    /// so this — not the shard count — is what
+    /// [`Parallelism::Threads`] is clamped against.
+    pub fn slice_slots(&self) -> usize {
+        self.sched
+            .components()
+            .map(|sys| sys.replicas())
+            .max()
+            .unwrap_or(1)
+            * self.sched.len().max(1)
     }
 
     /// Direct access to shard `sys` (failure scheduling, disk
@@ -225,35 +257,65 @@ impl FtCluster {
         assert!(!self.sched.is_empty(), "empty cluster");
         let pool = match parallelism {
             Parallelism::Sequential | Parallelism::Threads(0) => None,
-            Parallelism::Threads(n) => Some(SlicePool::new(n.min(self.sched.len()))),
+            Parallelism::Threads(_) => {
+                let pool = WorkPool::global();
+                pool.ensure_workers(parallelism.requested_workers(self.slice_slots()));
+                Some(pool)
+            }
         };
-        self.coordinate(pool.as_ref())
+        self.coordinate(pool)
     }
 
-    /// The coordinator loop shared by both modes: plan each shard as
-    /// soon as its previous action commits (shipping planned slices to
-    /// the workers, if any), then commit actions strictly in the
-    /// kernel's global `(time, shard)` pick order.
-    fn coordinate(&mut self, pool: Option<&SlicePool>) -> Vec<FtRunResult> {
+    /// The coordinator loop shared by both modes: plan each shard's
+    /// wave as soon as its previous action commits (shipping every
+    /// slice in the wave to the pool, if any), then commit actions
+    /// strictly in the kernel's global `(time, shard)` pick order —
+    /// and, within a shard's wave, in plan order.
+    fn coordinate(&mut self, pool: Option<&'static WorkPool>) -> Vec<FtRunResult> {
         let n = self.sched.len();
         let mut plans: Vec<Option<StepPlan>> = vec![None; n];
-        // A completed off-thread slice's hypervisor event, awaiting its
-        // shard's turn in the global order.
-        let mut slice_events: Vec<Option<HvEvent>> = (0..n).map(|_| None).collect();
+        // Completed off-thread slices' hypervisor events, banked per
+        // (shard, host) until their turn in the commit order. The pool
+        // is process-global and may carry other runs' jobs, so results
+        // come back on this run's own channel, never via pool idleness.
+        let mut banked: Vec<BTreeMap<usize, HvEvent>> = (0..n).map(|_| BTreeMap::new()).collect();
+        let (done_tx, done_rx) = mpsc::channel::<SliceDone>();
         loop {
             for (i, plan_slot) in plans.iter_mut().enumerate() {
                 if plan_slot.is_some() || self.sched.is_finished(i) {
                     continue;
                 }
                 let plan = self.sched.component_mut(i).plan();
-                if let (Some(pool), StepPlan::Slice { host, budget }) = (pool, plan) {
-                    let guest = self.sched.component_mut(i).detach_guest(host);
-                    pool.submit(SliceJob {
-                        shard: i,
-                        host,
-                        guest,
-                        budget,
-                    });
+                if let (Some(pool), StepPlan::Slices(wave)) = (pool, &plan) {
+                    for s in wave {
+                        let (host, budget) = (s.host, s.budget);
+                        let mut guest = self.sched.component_mut(i).detach_guest(host);
+                        let done_tx = done_tx.clone();
+                        pool.submit(move || {
+                            // A panicking slice must surface on the
+                            // coordinator (as it would sequentially),
+                            // not strand it waiting for a reply. The
+                            // guest is consumed either way, so no
+                            // broken state escapes the unwind boundary.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    let event = guest.run(budget);
+                                    (guest, event)
+                                }))
+                                .map_err(|payload| {
+                                    payload
+                                        .downcast_ref::<&str>()
+                                        .map(|m| (*m).to_owned())
+                                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".to_owned())
+                                });
+                            let _ = done_tx.send(SliceDone {
+                                shard: i,
+                                host,
+                                outcome,
+                            });
+                        });
+                    }
                 }
                 *plan_slot = Some(plan);
             }
@@ -266,33 +328,37 @@ impl FtCluster {
                     self.sched.record(i, result);
                 }
                 StepPlan::Event => self.sched.component_mut(i).fire_next_event(),
-                StepPlan::Slice { host, budget } => {
-                    let event = match pool {
-                        // Conservative barrier: this shard is globally
-                        // next, so nothing may commit until its slice
-                        // lands. Other shards' finished slices are
-                        // banked along the way.
-                        Some(pool) => loop {
-                            if let Some(ev) = slice_events[i].take() {
-                                break ev;
-                            }
-                            let done = pool.recv();
-                            let (guest, event) = match done.outcome {
-                                Ok(ok) => ok,
-                                Err(msg) => panic!(
-                                    "guest slice panicked on a worker \
-                                     (shard {}, host {}): {msg}",
-                                    done.shard, done.host
-                                ),
-                            };
-                            self.sched
-                                .component_mut(done.shard)
-                                .attach_guest(done.host, guest);
-                            slice_events[done.shard] = Some(event);
-                        },
-                        None => self.sched.component_mut(i).run_slice(host, budget),
-                    };
-                    self.sched.component_mut(i).commit_slice(host, event);
+                StepPlan::Slices(wave) => {
+                    // Commit the wave in plan order — the same order
+                    // sequential mode executes it inline.
+                    for s in wave {
+                        let event = match pool {
+                            // Conservative barrier: this slice is next
+                            // in the commit order, so nothing may
+                            // commit until it lands. Other finished
+                            // slices are banked along the way.
+                            Some(_) => loop {
+                                if let Some(ev) = banked[i].remove(&s.host) {
+                                    break ev;
+                                }
+                                let done = done_rx.recv().expect("a worker must answer");
+                                let (guest, event) = match done.outcome {
+                                    Ok(ok) => ok,
+                                    Err(msg) => panic!(
+                                        "guest slice panicked on a worker \
+                                         (shard {}, host {}): {msg}",
+                                        done.shard, done.host
+                                    ),
+                                };
+                                self.sched
+                                    .component_mut(done.shard)
+                                    .attach_guest(done.host, guest);
+                                banked[done.shard].insert(done.host, event);
+                            },
+                            None => self.sched.component_mut(i).run_slice(s.host, s.budget),
+                        };
+                        self.sched.component_mut(i).commit_slice(s.host, event);
+                    }
                 }
             }
         }
@@ -300,111 +366,14 @@ impl FtCluster {
     }
 }
 
-/// One planned guest slice, shipped to a worker.
-struct SliceJob {
-    shard: usize,
-    host: usize,
-    guest: HvGuest,
-    budget: SimDuration,
-}
-
-/// A completed slice coming back from a worker. `outcome` carries the
-/// guest back on success, or the panic message if the slice panicked —
-/// the coordinator re-raises it instead of deadlocking on a reply that
-/// will never come.
+/// A completed slice coming back from a pool worker. `outcome` carries
+/// the guest back on success, or the panic message if the slice
+/// panicked — the coordinator re-raises it instead of deadlocking on a
+/// reply that will never come.
 struct SliceDone {
     shard: usize,
     host: usize,
     outcome: Result<(HvGuest, HvEvent), String>,
-}
-
-/// A fixed pool of slice workers fed from one shared job queue. Only
-/// guests cross threads; every protocol, device and medium effect stays
-/// on the coordinator.
-struct SlicePool {
-    jobs: Option<mpsc::Sender<SliceJob>>,
-    done: mpsc::Receiver<SliceDone>,
-    workers: Vec<thread::JoinHandle<()>>,
-}
-
-impl SlicePool {
-    fn new(threads: usize) -> Self {
-        let (job_tx, job_rx) = mpsc::channel::<SliceJob>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (done_tx, done_rx) = mpsc::channel();
-        let workers = (0..threads.max(1))
-            .map(|_| {
-                let job_rx = Arc::clone(&job_rx);
-                let done_tx = done_tx.clone();
-                thread::spawn(move || loop {
-                    let job = match job_rx.lock().expect("job queue lock").recv() {
-                        Ok(job) => job,
-                        // Coordinator hung up: drain complete, exit.
-                        Err(_) => return,
-                    };
-                    let SliceJob {
-                        shard,
-                        host,
-                        mut guest,
-                        budget,
-                    } = job;
-                    // A panicking slice must surface on the coordinator
-                    // (as it would sequentially), not strand it waiting
-                    // for a reply. The guest is consumed either way, so
-                    // no broken state escapes the unwind boundary.
-                    let outcome =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                            let event = guest.run(budget);
-                            (guest, event)
-                        }))
-                        .map_err(|payload| {
-                            payload
-                                .downcast_ref::<&str>()
-                                .map(|m| (*m).to_owned())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".to_owned())
-                        });
-                    if done_tx
-                        .send(SliceDone {
-                            shard,
-                            host,
-                            outcome,
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
-                })
-            })
-            .collect();
-        SlicePool {
-            jobs: Some(job_tx),
-            done: done_rx,
-            workers,
-        }
-    }
-
-    fn submit(&self, job: SliceJob) {
-        self.jobs
-            .as_ref()
-            .expect("pool open")
-            .send(job)
-            .expect("a worker is alive");
-    }
-
-    fn recv(&self) -> SliceDone {
-        self.done.recv().expect("a worker must answer")
-    }
-}
-
-impl Drop for SlicePool {
-    fn drop(&mut self) {
-        // Close the queue so idle workers see the hang-up, then join.
-        self.jobs.take();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
 }
 
 #[cfg(test)]

@@ -416,13 +416,16 @@ impl ScenarioBuilder {
     }
 
     /// How a sharded cluster run executes this scenario's guest
-    /// computations: [`Parallelism::Threads`] runs shards on worker
-    /// threads with conservative synchronization, bit-identical to
-    /// [`Parallelism::Sequential`] (see
-    /// [`crate::cluster::FtCluster::run_with`]). Applies when the
-    /// scenario is added to a [`ClusterScenario`]; a standalone
-    /// replicated run is a single shard and executes sequentially
-    /// either way. Replicated driver only.
+    /// computations: [`Parallelism::Threads`] runs *replica slices* on
+    /// the persistent worker pool with conservative synchronization,
+    /// bit-identical to [`Parallelism::Sequential`] (see
+    /// [`crate::cluster::FtCluster::run_with`]). The thread count is
+    /// clamped to the cluster's slice slots
+    /// (`shards × max replicas per shard`,
+    /// [`ClusterScenario::slice_slots`]), so even a single-shard
+    /// cluster with `t` backups can keep `t + 1` guests in flight.
+    /// Applies when the scenario is added to a [`ClusterScenario`].
+    /// Replicated driver only.
     pub fn parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
         self
@@ -1099,6 +1102,20 @@ impl ClusterScenario {
     /// Number of shards added so far.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Upper bound on concurrently in-flight guest slices:
+    /// `shards × max replicas per shard` — each shard's plan step
+    /// yields up to one slice per replica, so this (not the shard
+    /// count) is what [`Parallelism::Threads`] is clamped against.
+    /// See [`crate::cluster::FtCluster::slice_slots`].
+    pub fn slice_slots(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| 1 + s.cfg.backups)
+            .max()
+            .unwrap_or(1)
+            * self.shards.len().max(1)
     }
 
     /// Runs every shard to completion over the shared medium and

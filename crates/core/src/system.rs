@@ -427,21 +427,35 @@ enum EventTag {
     Detector(usize),
 }
 
-/// The system's next scheduling decision (see [`FtSystem::plan`]).
+/// One planned guest slice: host `host` may run for `budget` without
+/// anything external affecting it (the conservative horizon computed
+/// from the event agenda and every peer's clock plus the link's
+/// minimum latency).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct SlicePlan {
+    /// Which host's guest runs.
+    pub host: usize,
+    /// The conservative slice budget.
+    pub budget: SimDuration,
+}
+
+/// The system's next scheduling decision (see [`FtSystem::plan`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub(crate) enum StepPlan {
     /// The run is over; stepping yields the result.
     Finished,
     /// Process the earliest pending event inline.
     Event,
-    /// Run `host`'s guest for `budget` — the only expensive action, and
-    /// the one the parallel cluster executor ships to worker threads.
-    Slice {
-        /// Which host's guest runs.
-        host: usize,
-        /// The conservative slice budget.
-        budget: SimDuration,
-    },
+    /// A *wave* of independent guest slices — one per replica whose
+    /// conservative horizon permits progress, planned from one state
+    /// snapshot. Slices are the only expensive action and depend only
+    /// on replica-local CPU/memory state (replicas couple solely
+    /// through protocol messages, which commit on the coordinator), so
+    /// a wave's slices may execute concurrently on worker threads; the
+    /// commits land in vec order (ascending start clock, then host
+    /// index), which both execution modes share — the bit-identity
+    /// invariant.
+    Slices(Vec<SlicePlan>),
 }
 
 /// The complete §3 prototype, generalized to `t` backups: `t + 1`
@@ -1592,48 +1606,81 @@ impl FtSystem {
         }
 
         let ev_time = self.event_agenda().earliest().map(|(t, _)| t);
-        // Pick the runnable host with the smallest clock.
-        let mut pick: Option<usize> = None;
-        for i in 0..self.hosts.len() {
-            if self.hosts[i].runnable()
-                && pick.is_none_or(|p| self.hosts[i].now < self.hosts[p].now)
-            {
-                pick = Some(i);
+        // Runnable hosts in commit order: ascending clock, host index
+        // breaking ties — exactly the order the one-slice-at-a-time
+        // schedule would have picked them in.
+        let mut order: Vec<usize> = (0..self.hosts.len())
+            .filter(|&i| self.hosts[i].runnable())
+            .collect();
+        order.sort_by_key(|&i| (self.hosts[i].now, i));
+
+        let Some(&first) = order.first() else {
+            return match ev_time {
+                // Nothing can run; advance by events.
+                Some(_) => StepPlan::Event,
+                // Deadlock: nobody runnable, no events. This is a
+                // protocol bug or an ended run; stepping yields the
+                // result.
+                None => StepPlan::Finished,
+            };
+        };
+        // Events at (or within one instruction of) the laggiest host's
+        // clock go first — a budget smaller than one instruction cannot
+        // make progress.
+        if let Some(t) = ev_time {
+            if t <= self.hosts[first].now.saturating_add(self.cfg.cost.insn) {
+                return StepPlan::Event;
             }
         }
-
-        match (pick, ev_time) {
-            // Nothing can run; advance by events.
-            (None, Some(_)) => StepPlan::Event,
-            // Deadlock: nobody runnable, no events. This is a protocol
-            // bug or an ended run; stepping yields the result.
-            (None, None) => StepPlan::Finished,
-            (Some(i), ev) => {
-                // Events at (or within one instruction of) the host's
-                // clock go first — a budget smaller than one
-                // instruction cannot make progress.
-                if let Some(t) = ev {
-                    if t <= self.hosts[i].now.saturating_add(self.cfg.cost.insn) {
-                        return StepPlan::Event;
+        // The wave: every runnable replica whose conservative horizon
+        // permits at least one instruction of progress gets its own
+        // independent slice, budgeted from this one state snapshot. The
+        // horizon is the earliest thing that could affect anyone — the
+        // next pending event, or any *other* replica's clock plus the
+        // link's minimum latency (a peer cannot influence this replica
+        // sooner than that; anything a peer's commit schedules later in
+        // this wave is therefore at or beyond every horizon computed
+        // here, which is why planning from the snapshot is safe).
+        let lookahead = self.cfg.link.min_latency();
+        let insn = self.cfg.cost.insn;
+        let wave = order
+            .iter()
+            .filter_map(|&i| {
+                let now = self.hosts[i].now;
+                let mut horizon = ev_time.unwrap_or(SimTime::MAX);
+                for &j in &order {
+                    if j != i {
+                        horizon = horizon.min(self.hosts[j].now.saturating_add(lookahead));
                     }
                 }
-                // Horizon: the earliest thing that could affect anyone,
-                // including messages any peer might send (conservative
-                // lookahead) — the kernel's budget rule.
-                let budget = sched::conservative_budget(
-                    self.hosts[i].now,
-                    ev,
-                    self.hosts
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, h)| j != i && h.runnable())
-                        .map(|(_, h)| h.now),
-                    self.cfg.link.min_latency(),
-                    SimDuration::from_millis(10),
-                );
-                StepPlan::Slice { host: i, budget }
-            }
-        }
+                let budget = if horizon == SimTime::MAX {
+                    // No horizon at all: the idle grain keeps external
+                    // schedules responsive.
+                    SimDuration::from_millis(10)
+                } else if horizon > now.saturating_add(insn) {
+                    horizon - now
+                } else if i == first {
+                    // The laggiest host always advances (its horizon is
+                    // at least the lookahead past its own clock), so
+                    // the wave is never empty and time cannot stall.
+                    sched::conservative_budget(
+                        now,
+                        ev_time,
+                        order
+                            .iter()
+                            .filter(|&&j| j != i)
+                            .map(|&j| self.hosts[j].now),
+                        lookahead,
+                        SimDuration::from_millis(10),
+                    )
+                } else {
+                    // Too far ahead of a peer: it waits this wave out.
+                    return None;
+                };
+                Some(SlicePlan { host: i, budget })
+            })
+            .collect();
+        StepPlan::Slices(wave)
     }
 
     /// Executes a planned guest slice inline.
@@ -1681,9 +1728,15 @@ impl FtSystem {
                 self.fire_next_event();
                 None
             }
-            StepPlan::Slice { host, budget } => {
-                let event = self.run_slice(host, budget);
-                self.commit_slice(host, event);
+            StepPlan::Slices(wave) => {
+                // Execute the wave in plan (commit) order. The parallel
+                // executor runs these same slices concurrently and then
+                // commits in this exact order, so both paths fold the
+                // identical sequence of (host, event) pairs into state.
+                for s in wave {
+                    let event = self.run_slice(s.host, s.budget);
+                    self.commit_slice(s.host, event);
+                }
                 None
             }
         }

@@ -10,6 +10,9 @@
 //!   tie-breaking, the [`sched::Agenda`] event-source arbiter, and the
 //!   conservative-lookahead budget rule every driver in `hvft-core`
 //!   runs on;
+//! - [`pool`]: a persistent work-stealing worker pool ([`pool::WorkPool`])
+//!   for off-thread guest-slice execution — per-worker deques with
+//!   stealing, parked idle workers, reused across runs;
 //! - [`rng`]: seeded, fork-able pseudo-randomness so "non-deterministic"
 //!   hardware behaviour (TLB replacement, transient device faults) is
 //!   reproducible;
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod sched;
 pub mod stats;
@@ -34,6 +38,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use pool::{PoolStats, WorkPool};
 pub use rng::SimRng;
 pub use sched::{Agenda, Component, Scheduler};
 pub use stats::{DurationHistogram, RunningStats};

@@ -24,6 +24,11 @@ pub struct Measurement {
     /// Bytes processed per iteration, when declared via
     /// [`Throughput::Bytes`].
     pub bytes_per_iter: Option<u64>,
+    /// Free-form numeric annotations attached via
+    /// [`BenchmarkGroup::annotate`] — serialized as extra JSON fields
+    /// so benches can record context (worker utilization, effective
+    /// parallelism) alongside the timing.
+    pub extra: Vec<(String, f64)>,
 }
 
 impl Measurement {
@@ -47,6 +52,10 @@ impl Measurement {
                 ", \"bytes_per_iter\": {n}, \"bytes_per_sec\": {:.1}",
                 n as f64 / (self.ns_per_iter * 1e-9)
             ));
+        }
+        for (key, value) in &self.extra {
+            let key = key.replace('\\', "\\\\").replace('"', "\\\"");
+            s.push_str(&format!(", \"{key}\": {value:.4}"));
         }
         s.push('}');
         s
@@ -138,6 +147,7 @@ fn report(
             Some(Throughput::Bytes(n)) => Some(n),
             _ => None,
         },
+        extra: Vec::new(),
     })
 }
 
@@ -196,6 +206,17 @@ impl BenchmarkGroup<'_> {
         let label = format!("{}/{}", self.name, id.into_label());
         if let Some(m) = report(&label, b.measured, self.throughput) {
             self.criterion.measurements.push(m);
+        }
+        self
+    }
+
+    /// Attaches a numeric annotation to the most recently recorded
+    /// measurement (a no-op if nothing has been recorded yet). The
+    /// annotation is serialized as an extra JSON field on that
+    /// measurement's row in [`Criterion::save_json`] output.
+    pub fn annotate(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        if let Some(m) = self.criterion.measurements.last_mut() {
+            m.extra.push((key.into(), value));
         }
         self
     }
@@ -339,6 +360,31 @@ mod tests {
         assert!(doc.contains("\"elements_per_iter\": 100"));
         assert!(doc.contains("\"ns_per_element\":"));
         assert!(doc.starts_with("{\n  \"benchmarks\": ["));
+    }
+
+    #[test]
+    fn annotations_attach_to_the_last_measurement() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2)
+                .bench_function("annotated", |b| b.iter(|| 1 + 1));
+            g.annotate("utilization", 0.75)
+                .annotate("effective_workers", 4.0);
+        }
+        assert_eq!(
+            c.measurements()[0].extra,
+            vec![
+                ("utilization".to_owned(), 0.75),
+                ("effective_workers".to_owned(), 4.0)
+            ]
+        );
+        let path = std::env::temp_dir().join("hvft_criterion_shim_annotate.json");
+        c.save_json(&path).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(doc.contains("\"utilization\": 0.7500"));
+        assert!(doc.contains("\"effective_workers\": 4.0000"));
     }
 
     #[test]

@@ -112,12 +112,21 @@ fn digest(reports: &[RunReport]) -> u64 {
 }
 
 fn main() {
-    // At least two workers even on a single-core box: the machine
-    // decides the speedup, the digests decide the correctness.
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .clamp(2, SHARDS);
+    // HVFT_THREADS forces an exact worker count (CI pins 4 so the
+    // determinism gate exercises intra-shard replica slots even on a
+    // small runner); otherwise, at least two workers even on a
+    // single-core box — the machine decides the speedup, the digests
+    // decide the correctness.
+    let threads = match std::env::var("HVFT_THREADS") {
+        Ok(v) => v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("HVFT_THREADS must be a worker count, got {v:?}"))
+            .max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, SHARDS),
+    };
 
     println!("=== sequential schedule ===");
     let t0 = Instant::now();

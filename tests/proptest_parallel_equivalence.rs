@@ -8,10 +8,13 @@
 //! — so *nothing* the report can express may differ: exit codes,
 //! console streams, epoch counts, completion clocks, per-replica
 //! message counters, retransmission and suppression totals, failover
-//! records, operation latencies. The sweep crosses registry workloads,
-//! shard counts (≥ 3), t ∈ {1, 2}, LAN loss with retransmission, and
-//! primary-failstop schedules; this retires the old legacy-vs-scenario
-//! workload-equivalence proptest, whose legacy path no longer exists.
+//! records, operation latencies. The executor's unit of parallelism is
+//! the *replica slice* (each of a shard's t + 1 replicas runs its own
+//! guest slice per wave), so the sweep crosses registry workloads,
+//! shard counts (≥ 3), t ∈ {1..4}, LAN loss with retransmission,
+//! primary-failstop schedules, and backup failstops landing mid-slice;
+//! this retires the old legacy-vs-scenario workload-equivalence
+//! proptest, whose legacy path no longer exists.
 
 use hvft::core::scenario::{ClusterScenario, Parallelism, RunReport, Scenario, ScenarioBuilder};
 use hvft::guest::workload::{Dhrystone, IoBench};
@@ -55,6 +58,7 @@ fn cluster(
     seed: u64,
     loss: bool,
     fail_shard: Option<(usize, u64)>,
+    fail_backup: Option<(usize, usize, u64)>,
 ) -> ClusterScenario {
     let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), seed);
     for i in 0..shards {
@@ -70,6 +74,15 @@ fn cluster(
         if let Some((shard, at_ns)) = fail_shard {
             if shard == i {
                 b = b.fail_primary_at(SimTime::from_nanos(at_ns));
+            }
+        }
+        // A backup failstop lands mid-slice: with intra-shard replica
+        // parallelism the victim's guest is typically in flight on a
+        // worker when its failure time arrives, so this exercises the
+        // plan/commit pipeline's failure path, not just the happy one.
+        if let Some((shard, replica, at_ns)) = fail_backup {
+            if shard == i {
+                b = b.fail_replica_at(SimTime::from_nanos(at_ns), 1 + replica % backups);
             }
         }
         cluster
@@ -112,20 +125,22 @@ fn run_modes_agree(
     seed: u64,
     loss: bool,
     fail_shard: Option<(usize, u64)>,
+    fail_backup: Option<(usize, usize, u64)>,
     threads: usize,
 ) {
-    let mut sequential = cluster(shards, backups, seed, loss, fail_shard);
+    let mut sequential = cluster(shards, backups, seed, loss, fail_shard, fail_backup);
     sequential.parallelism(Parallelism::Sequential);
     let seq = fingerprint(&sequential.run());
 
-    let mut parallel = cluster(shards, backups, seed, loss, fail_shard);
+    let mut parallel = cluster(shards, backups, seed, loss, fail_shard, fail_backup);
     parallel.parallelism(Parallelism::Threads(threads));
     let par = fingerprint(&parallel.run());
 
     assert_eq!(
         seq, par,
         "Threads({threads}) diverged from sequential \
-         (shards={shards}, t={backups}, seed={seed}, loss={loss}, fail={fail_shard:?})"
+         (shards={shards}, t={backups}, seed={seed}, loss={loss}, \
+         fail={fail_shard:?}, fail_backup={fail_backup:?})"
     );
     assert!(
         seq.iter().any(|f| f.contains("Exit")),
@@ -136,31 +151,71 @@ fn run_modes_agree(
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
-    // The acceptance oracle: ≥ 3 shards, t ∈ {1, 2}, loss and failstop
-    // schedules sampled, 2–4 worker threads.
+    // The acceptance oracle: ≥ 3 shards, t ∈ {1..4} (intra-shard
+    // replica parallelism means every backup is its own slice), loss,
+    // primary-failstop *and* mid-slice backup-failstop schedules
+    // sampled, 2–8 worker threads (beyond the shard count, so replica
+    // slots are what keeps the extra workers busy).
     #[test]
     fn parallel_equals_sequential(
         seed in 0u64..1_000,
         shards in 3usize..5,
-        backups in 1usize..3,
+        backups in 1usize..5,
         loss in prop::bool::weighted(0.5),
-        threads in 2usize..5,
+        threads in 2usize..9,
         // 0..3 failstops shard N's primary; 3 injects no failure.
         fail_shard in 0usize..4,
         fail_ns in 500_000u64..4_000_000,
+        // 0..3 failstops a backup replica of shard N mid-run.
+        fail_backup_shard in 0usize..4,
+        fail_backup_replica in 0usize..4,
+        fail_backup_ns in 500_000u64..4_000_000,
     ) {
         let fail = (fail_shard < 3).then_some((fail_shard, fail_ns));
-        run_modes_agree(shards, backups, seed, loss, fail, threads);
+        let fail_backup = (fail_backup_shard < 3)
+            .then_some((fail_backup_shard, fail_backup_replica, fail_backup_ns));
+        run_modes_agree(shards, backups, seed, loss, fail, fail_backup, threads);
     }
 }
 
 /// Deterministic pin of the acceptance criterion — 3 shards, both
-/// t ∈ {1, 2}, loss + a mid-run primary failstop — so the oracle holds
-/// even if sampling shifts.
+/// t ∈ {1, 2}, loss + a mid-run primary failstop + a mid-slice backup
+/// failstop on another shard — so the oracle holds even if sampling
+/// shifts.
 #[test]
 fn pinned_parallel_equivalence() {
     for backups in [1usize, 2] {
-        run_modes_agree(3, backups, 42, true, Some((1, 2_000_000)), 3);
+        run_modes_agree(
+            3,
+            backups,
+            42,
+            true,
+            Some((1, 2_000_000)),
+            Some((2, 0, 1_500_000)),
+            3,
+        );
+    }
+}
+
+/// Deterministic pin of *intra-shard* replica parallelism: a single
+/// shard with t = 4 backups exposes five replica slices per wave —
+/// parallelism the pre-wave executor (one slice per shard) could never
+/// express. Loss plus a mid-run primary failstop and a mid-slice
+/// backup failstop land while the victims' guests are in flight on
+/// workers; `Threads(5)` exceeds the shard count (1) and is only
+/// useful via replica slots.
+#[test]
+fn pinned_intra_shard_replica_parallelism() {
+    for threads in [2usize, 5] {
+        run_modes_agree(
+            1,
+            4,
+            42,
+            true,
+            Some((0, 2_000_000)),
+            Some((0, 2, 1_200_000)),
+            threads,
+        );
     }
 }
 
