@@ -1,0 +1,94 @@
+//! hvft-lang toolchain benchmarks — recorded to `BENCH_lang.json`.
+//!
+//! Three costs matter for the fuzzing pipeline's wall-clock budget:
+//!
+//! - `compile_*` — source bytes per second through the full pass stack
+//!   (parse → check → lower → regalloc → emit → assemble) for the two
+//!   shipped workloads;
+//! - `generate_and_compile` — programs per second minted by
+//!   `genprog` and pushed to a bootable image, the per-case setup cost
+//!   of every differential-fuzz iteration;
+//! - `execute_*` — retired guest instructions per second for a
+//!   compiled workload under the step interpreter and the jit, showing
+//!   compiled code enjoys the same tier speedup as the hand-written
+//!   guests.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hvft_guest::compiled::{lang_collatz_source, lang_gcd_source};
+use hvft_guest::workload::Workload;
+use hvft_guest::{build_image, guest_codegen_options, CompiledWorkload};
+use hvft_hypervisor::bare::BareHost;
+use hvft_hypervisor::cost::CostModel;
+use hvft_lang::genprog::{self, GenConfig};
+use hvft_machine::ExecTier;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let opts = guest_codegen_options();
+    let mut g = c.benchmark_group("lang_compile");
+    for (name, src) in [
+        ("compile_gcd", lang_gcd_source()),
+        ("compile_collatz", lang_collatz_source()),
+    ] {
+        g.throughput(Throughput::Bytes(src.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(hvft_lang::compile_with(black_box(src), &opts).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let cfg = GenConfig::default();
+    let opts = guest_codegen_options();
+    let mut g = c.benchmark_group("lang_generate");
+    g.throughput(Throughput::Elements(1));
+    let mut seed = 0u64;
+    g.bench_function("generate_and_compile", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let src = genprog::source(seed, &cfg);
+            black_box(hvft_lang::compile_to_program(&src, &opts).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let workload = CompiledWorkload::new("gcd", lang_gcd_source()).unwrap();
+    let image = build_image(&workload.kernel(), &workload.user_source()).unwrap();
+    let mut host = BareHost::new(
+        &image,
+        CostModel::functional(),
+        hvft_guest::layout::RAM_BYTES,
+        16,
+        0,
+    );
+    let retired = host.run(100_000_000).retired;
+    let mut g = c.benchmark_group("lang_execute");
+    g.throughput(Throughput::Elements(retired));
+    g.sample_size(20);
+    host.set_exec_tier(ExecTier::Step);
+    g.bench_function("gcd_step", |b| {
+        b.iter(|| {
+            host.reset(&image);
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    host.set_exec_tier(ExecTier::Jit);
+    g.bench_function("gcd_jit", |b| {
+        b.iter(|| {
+            host.reset(&image);
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    g.finish();
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lang.json");
+    c.save_json(out)
+        .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_compile, bench_generate, bench_execute);
+criterion_main!(benches);

@@ -67,7 +67,7 @@ use crate::config::{FailureSpec, FtConfig, ProtocolVariant};
 use crate::observer::Observer;
 use crate::system::{FailoverInfo, FtRunResult, FtSystem, RunEnd};
 use hvft_devices::disk::DiskLogEntry;
-use hvft_guest::workload::{by_name, Workload};
+use hvft_guest::workload::{by_name, UnknownWorkload, Workload};
 use hvft_hypervisor::bare::{BareExit, BareHost};
 use hvft_hypervisor::cost::CostModel;
 use hvft_hypervisor::hvguest::{HvConfig, HvStats};
@@ -97,8 +97,9 @@ pub enum ConfigError {
     /// No workload (or raw image) was supplied.
     MissingWorkload,
     /// [`ScenarioBuilder::workload_named`] named nothing in the
-    /// [`hvft_guest::workload::registry`].
-    UnknownWorkload(String),
+    /// [`hvft_guest::workload::registry`]; the payload carries the
+    /// failed name *and* every registered name.
+    UnknownWorkload(UnknownWorkload),
     /// The workload's guest image failed to assemble.
     WorkloadImage(String),
     /// A replicated driver was configured with zero backups.
@@ -149,9 +150,7 @@ impl fmt::Display for ConfigError {
                     "no workload: call workload(..), workload_named(..) or image(..)"
                 )
             }
-            ConfigError::UnknownWorkload(name) => {
-                write!(f, "no registered workload named {name:?}")
-            }
+            ConfigError::UnknownWorkload(e) => write!(f, "{e}"),
             ConfigError::WorkloadImage(e) => write!(f, "workload image failed to assemble: {e}"),
             ConfigError::NoBackups => {
                 write!(f, "a fault-tolerant scenario needs backups >= 1")
@@ -578,7 +577,7 @@ impl ScenarioBuilder {
         let (image, name) = match self.workload.take() {
             None => return Err(ConfigError::MissingWorkload),
             Some(WorkloadSpec::Named(name)) => {
-                let w = by_name(&name).ok_or(ConfigError::UnknownWorkload(name))?;
+                let w = by_name(&name).map_err(ConfigError::UnknownWorkload)?;
                 let img = w
                     .image()
                     .map_err(|e| ConfigError::WorkloadImage(e.to_string()))?;
@@ -1345,13 +1344,20 @@ mod tests {
             Scenario::builder().build().unwrap_err(),
             ConfigError::MissingWorkload
         );
-        assert_eq!(
-            Scenario::builder()
-                .workload_named("no-such-guest")
-                .build()
-                .unwrap_err(),
-            ConfigError::UnknownWorkload("no-such-guest".into())
-        );
+        let err = Scenario::builder()
+            .workload_named("no-such-guest")
+            .build()
+            .unwrap_err();
+        match err {
+            ConfigError::UnknownWorkload(u) => {
+                assert_eq!(u.name, "no-such-guest");
+                assert!(
+                    u.registered.iter().any(|n| n == "lang-gcd"),
+                    "error must list the registry: {u:?}"
+                );
+            }
+            other => panic!("expected UnknownWorkload, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Workloads written in `hvft-lang` instead of raw assembly.
+//!
+//! [`CompiledWorkload`] turns any hvft-lang source program into a
+//! first-class [`Workload`]: the compiler runs eagerly at construction
+//! (so bad programs fail loudly, not at image-build time) and the
+//! emitted assembly links against the guest kernel exactly like the
+//! hand-written programs in [`crate::programs`].
+//!
+//! Two compiled programs ship in the [`crate::workload::registry`]
+//! (`lang-gcd`, `lang-collatz`), and [`CompiledWorkload::generated`]
+//! wraps `hvft_lang::genprog` so differential tests can mint a
+//! scenario-ready workload from a bare seed.
+
+use crate::kernel::KernelConfig;
+use crate::layout::{self, sys};
+use crate::workload::{functional_kernel, Workload};
+use hvft_lang::genprog::{self, GenConfig};
+use hvft_lang::{CodegenOptions, LangError};
+
+/// The [`CodegenOptions`] matching this crate's guest environment:
+/// memory layout from [`crate::layout`], syscall gates from
+/// [`crate::layout::sys`]. A unit test pins these to `hvft-lang`'s
+/// defaults so the two crates cannot drift apart silently.
+pub fn guest_codegen_options() -> CodegenOptions {
+    CodegenOptions {
+        org: layout::USER_TEXT,
+        // Stack grows down from just under the DMA buffer, leaving a
+        // 4 KiB guard of headroom for the deepest frames.
+        stack_top: layout::DMA_BUF - 0x1000,
+        user_data: layout::USER_DATA,
+        // peek/poke window stops 12 KiB short of the stack region.
+        data_window: 0xC000,
+        dma_buf: layout::DMA_BUF,
+        sys_putc: sys::PUTC,
+        sys_gettime: sys::GETTIME,
+        sys_read_block: sys::READ_BLOCK,
+        sys_write_block: sys::WRITE_BLOCK,
+        sys_exit: sys::EXIT,
+        sys_mark: sys::MARK,
+        sys_getticks: sys::GETTICKS,
+    }
+}
+
+/// An hvft-lang program packaged as a registry-compatible workload.
+#[derive(Debug, Clone)]
+pub struct CompiledWorkload {
+    name: String,
+    asm: String,
+    kernel: KernelConfig,
+}
+
+impl CompiledWorkload {
+    /// Compile `source` under the guest's codegen options.
+    ///
+    /// # Errors
+    ///
+    /// Any front-end or codegen failure, with source line where known.
+    pub fn new(name: &str, source: &str) -> Result<CompiledWorkload, LangError> {
+        let asm = hvft_lang::compile_with(source, &guest_codegen_options())?;
+        Ok(CompiledWorkload {
+            name: name.to_string(),
+            asm,
+            kernel: functional_kernel(),
+        })
+    }
+
+    /// Same, with an explicit kernel configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any front-end or codegen failure, with source line where known.
+    pub fn with_kernel(
+        name: &str,
+        source: &str,
+        kernel: KernelConfig,
+    ) -> Result<CompiledWorkload, LangError> {
+        let mut w = CompiledWorkload::new(name, source)?;
+        w.kernel = kernel;
+        Ok(w)
+    }
+
+    /// A workload from the seed-deterministic program generator,
+    /// registered under the name `lang-gen-<seed>`.
+    ///
+    /// Generated programs are well-formed by construction, so this
+    /// cannot fail.
+    pub fn generated(seed: u64, cfg: &GenConfig) -> CompiledWorkload {
+        let source = genprog::source(seed, cfg);
+        CompiledWorkload::new(&format!("lang-gen-{seed}"), &source)
+            .expect("generated programs always compile")
+    }
+}
+
+impl Workload for CompiledWorkload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+
+    fn user_source(&self) -> String {
+        self.asm.clone()
+    }
+}
+
+/// hvft-lang source of the `lang-gcd` registry workload: Euclid's
+/// algorithm folded over a sweep of operand pairs, checkpointed with
+/// `mark` and exited with the running checksum.
+pub fn lang_gcd_source() -> &'static str {
+    "// lang-gcd: Euclid over a sweep of operand pairs.
+fn gcd(a, b) {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+
+fn main() {
+    let acc = 0;
+    let i = 1;
+    while i < 40 {
+        let g = gcd(i * 1000 + 17, 252 + (i & 7));
+        acc = (acc << 1) ^ g;
+        i = i + 1;
+    }
+    mark(acc);
+    exit(acc);
+}
+"
+}
+
+/// hvft-lang source of the `lang-collatz` registry workload: Collatz
+/// trajectory lengths with console output of each length.
+pub fn lang_collatz_source() -> &'static str {
+    "// lang-collatz: hailstone trajectory lengths, console-audited.
+fn steps(n) {
+    let c = 0;
+    while (n != 1) && (c < 200) {
+        if n & 1 {
+            n = 3 * n + 1;
+        } else {
+            n = n / 2;
+        }
+        c = c + 1;
+    }
+    return c;
+}
+
+fn main() {
+    let total = 0;
+    let i = 1;
+    while i < 48 {
+        let s = steps(i);
+        total = total + s;
+        putc(0x41 + (s & 15));
+        i = i + 1;
+    }
+    putc('\\n');
+    exit(total);
+}
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_image;
+
+    /// The whole point of `CodegenOptions::default()` is that it IS the
+    /// guest environment; if this test fails, a layout or syscall
+    /// change must be mirrored in `hvft-lang`.
+    #[test]
+    fn guest_options_match_lang_defaults() {
+        assert_eq!(guest_codegen_options(), CodegenOptions::default());
+    }
+
+    #[test]
+    fn builtin_lang_workloads_compile_and_build_bootable_images() {
+        for (name, src) in [
+            ("lang-gcd", lang_gcd_source()),
+            ("lang-collatz", lang_collatz_source()),
+        ] {
+            let w = CompiledWorkload::new(name, src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let img = build_image(&w.kernel(), &w.user_source())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(img.symbol("u_main"), Some(layout::USER_TEXT), "{name}");
+        }
+    }
+
+    #[test]
+    fn generated_workloads_build_images_too() {
+        for seed in [0u64, 1, 17, 99] {
+            let w = CompiledWorkload::generated(seed, &GenConfig::default());
+            assert_eq!(w.name(), format!("lang-gen-{seed}"));
+            let img = build_image(&w.kernel(), &w.user_source())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(img.symbol("u_main"), Some(layout::USER_TEXT));
+        }
+    }
+
+    #[test]
+    fn compile_errors_surface_at_construction() {
+        let err = CompiledWorkload::new("bad", "fn main() { undefined_var; }").unwrap_err();
+        assert!(err.msg.contains("undeclared"), "{err}");
+    }
+}

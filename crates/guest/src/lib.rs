@@ -10,17 +10,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod kernel;
 pub mod layout;
 pub mod programs;
 pub mod workload;
 
+pub use compiled::{guest_codegen_options, CompiledWorkload};
 pub use kernel::{kernel_source, KernelConfig};
 pub use programs::{
     dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source, pingpong_source,
     sieve_source, IoMode,
 };
-pub use workload::Workload;
+pub use workload::{UnknownWorkload, Workload};
 
 use hvft_isa::asm::{assemble, AsmError};
 use hvft_isa::program::Program;

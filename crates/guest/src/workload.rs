@@ -20,6 +20,8 @@
 //! | `sieve` | [`crate::sieve_source`] | branchy byte-store prime sieve |
 //! | `matmul` | [`crate::matmul_source`] | n³ integer multiply, deep loop nest |
 //! | `pingpong` | [`crate::pingpong_source`] | producer–consumer ring + console |
+//! | `lang-gcd` | [`crate::compiled::lang_gcd_source`] | hvft-lang: Euclid sweep (call-heavy) |
+//! | `lang-collatz` | [`crate::compiled::lang_collatz_source`] | hvft-lang: hailstone lengths + console |
 //!
 //! # Examples
 //!
@@ -33,9 +35,13 @@
 //! // Selection by name is how CLIs and CI harnesses pick guests.
 //! let sieve = by_name("sieve").expect("sieve is registered");
 //! assert_eq!(sieve.name(), "sieve");
+//! // Misses come back as a structured error naming the registry.
+//! let err = by_name("no-such").err().expect("no-such must not resolve");
+//! assert!(err.to_string().contains("registered workloads"));
 //! ```
 
 use crate::build_image;
+use crate::compiled::{lang_collatz_source, lang_gcd_source, CompiledWorkload};
 use crate::kernel::KernelConfig;
 use crate::programs::{
     dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source, pingpong_source,
@@ -71,7 +77,7 @@ pub trait Workload {
 /// A snappy kernel for functional (non-paper-calibrated) runs: frequent
 /// ticks with a little privileged work, so the timer/interrupt path
 /// stays exercised without dominating short workloads.
-fn functional_kernel() -> KernelConfig {
+pub(crate) fn functional_kernel() -> KernelConfig {
     KernelConfig {
         tick_period_us: 2000,
         tick_work: 2,
@@ -363,6 +369,14 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(Sieve::default()),
         Box::new(MatMul::default()),
         Box::new(PingPong::default()),
+        Box::new(
+            CompiledWorkload::new("lang-gcd", lang_gcd_source())
+                .expect("built-in lang-gcd compiles"),
+        ),
+        Box::new(
+            CompiledWorkload::new("lang-collatz", lang_collatz_source())
+                .expect("built-in lang-collatz compiles"),
+        ),
     ]
 }
 
@@ -371,9 +385,43 @@ pub fn names() -> Vec<String> {
     registry().iter().map(|w| w.name()).collect()
 }
 
+/// The structured error for a failed registry lookup: it names the
+/// request *and* every registered workload, so the message a CLI or
+/// scenario error surfaces is immediately actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every registered workload name, in registry order.
+    pub registered: Vec<String>,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown workload `{}`; registered workloads: {}",
+            self.name,
+            self.registered.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
 /// Looks up a registered workload by name.
-pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
-    registry().into_iter().find(|w| w.name() == name)
+///
+/// # Errors
+///
+/// [`UnknownWorkload`], which lists every registered name.
+pub fn by_name(name: &str) -> Result<Box<dyn Workload>, UnknownWorkload> {
+    registry()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| UnknownWorkload {
+            name: name.to_string(),
+            registered: names(),
+        })
 }
 
 #[cfg(test)]
@@ -385,7 +433,7 @@ mod tests {
     fn registry_names_are_unique_and_resolvable() {
         let names = names();
         for n in &names {
-            assert!(by_name(n).is_some(), "{n} must resolve");
+            assert!(by_name(n).is_ok(), "{n} must resolve");
         }
         let mut dedup = names.clone();
         dedup.sort();
@@ -426,7 +474,15 @@ mod tests {
     }
 
     #[test]
-    fn unknown_name_is_none() {
-        assert!(by_name("no-such-workload").is_none());
+    fn unknown_name_is_a_structured_error_listing_the_registry() {
+        let err = match by_name("no-such-workload") {
+            Err(e) => e,
+            Ok(w) => panic!("{} must not resolve", w.name()),
+        };
+        assert_eq!(err.name, "no-such-workload");
+        assert_eq!(err.registered, names());
+        let msg = err.to_string();
+        assert!(msg.contains("no-such-workload"), "{msg}");
+        assert!(msg.contains("lang-gcd"), "{msg}");
     }
 }

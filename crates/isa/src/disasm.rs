@@ -1,6 +1,7 @@
 //! Disassembly helpers for debugging guest images.
 
-use crate::codec::decode;
+use crate::codec::{decode, encode};
+use crate::instruction::Instruction;
 use crate::program::Program;
 
 /// One disassembled line.
@@ -67,6 +68,118 @@ pub fn render(program: &Program) -> String {
             )),
         }
     }
+    out
+}
+
+/// The text of one instruction as *re-assemblable* source.
+///
+/// [`Instruction`]'s `Display` prints PC-relative branch/jump operands
+/// as raw byte offsets, but the assembler's branch operand is an
+/// **absolute target expression** — so offsets are converted back to
+/// absolute addresses here. Everything else reuses `Display`, whose
+/// grammar the assembler parses (pinned by the `proptest_roundtrip`
+/// suite).
+fn source_text(addr: u32, insn: &Instruction) -> String {
+    let target = |offset: i32| addr.wrapping_add_signed(offset);
+    match insn {
+        Instruction::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let shown = Instruction::Branch {
+                cond: *cond,
+                rs1: *rs1,
+                rs2: *rs2,
+                offset: 0,
+            };
+            let mnemonic = shown.to_string();
+            let head = mnemonic
+                .rsplit_once(' ')
+                .map_or(mnemonic.as_str(), |(h, _)| h);
+            format!("{head} {:#x}", target(*offset))
+        }
+        Instruction::Jal { rd, offset } => format!("jal {rd}, {:#x}", target(*offset)),
+        other => other.to_string(),
+    }
+}
+
+/// Renders a program as **assembler source**: `.org` per segment,
+/// labels from the symbol table, `.equ` for off-image symbols,
+/// `.word`/`.byte` for data that does not decode, and a final
+/// `.entry`. Feeding the result back through [`crate::asm::assemble`]
+/// reproduces the image bit-for-bit (same words, symbols and entry),
+/// and a second `to_source` is string-identical — the fixpoint the
+/// `asm_disasm_roundtrip` integration test pins.
+///
+/// # Examples
+///
+/// ```
+/// use hvft_isa::asm::assemble;
+/// use hvft_isa::disasm::to_source;
+///
+/// let p = assemble(".org 0x100\nmain: addi r4, r0, 7\nloop: beq r4, r0, loop\n halt\n").unwrap();
+/// let src = to_source(&p);
+/// let q = assemble(&src).unwrap();
+/// assert_eq!(p.words().collect::<Vec<_>>(), q.words().collect::<Vec<_>>());
+/// assert_eq!(p.symbols, q.symbols);
+/// assert_eq!(src, to_source(&q));
+/// ```
+pub fn to_source(program: &Program) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut labelled: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    for seg in &program.segments {
+        let _ = writeln!(out, ".org {:#x}", seg.base);
+        let whole_words = seg.data.len() / 4;
+        let emit_labels =
+            |out: &mut String, labelled: &mut std::collections::BTreeSet<String>, addr: u32| {
+                for (name, _) in program.symbols.iter().filter(|&(_, &a)| a == addr) {
+                    if labelled.insert(name.clone()) {
+                        let _ = writeln!(out, "{name}:");
+                    }
+                }
+            };
+        for i in 0..whole_words {
+            let addr = seg.base + (i as u32) * 4;
+            let word = u32::from_le_bytes([
+                seg.data[i * 4],
+                seg.data[i * 4 + 1],
+                seg.data[i * 4 + 2],
+                seg.data[i * 4 + 3],
+            ]);
+            emit_labels(&mut out, &mut labelled, addr);
+            // Only print as an instruction when the encoding round
+            // trips exactly; a data word that happens to decode (but
+            // with, say, ignored bits set) must stay a `.word`.
+            match decode(word) {
+                Ok(insn) if encode(insn) == Ok(word) => {
+                    let _ = writeln!(out, "    {}", source_text(addr, &insn));
+                }
+                _ => {
+                    let _ = writeln!(out, "    .word {word:#010x}");
+                }
+            }
+        }
+        for (i, byte) in seg.data[whole_words * 4..].iter().enumerate() {
+            let addr = seg.base + (whole_words * 4 + i) as u32;
+            emit_labels(&mut out, &mut labelled, addr);
+            let _ = writeln!(out, "    .byte {byte:#04x}");
+        }
+        emit_labels(&mut out, &mut labelled, seg.end());
+    }
+
+    // Symbols that did not land on an emittable boundary (`.equ`
+    // constants, addresses outside any segment) are preserved as
+    // explicit equates.
+    for (name, &addr) in &program.symbols {
+        if !labelled.contains(name) {
+            let _ = writeln!(out, ".equ {name}, {addr:#x}");
+        }
+    }
+    let _ = writeln!(out, ".entry {:#x}", program.entry);
     out
 }
 

@@ -1,0 +1,186 @@
+//! assemble → encode → disassemble-to-source → re-assemble is a
+//! fixpoint.
+//!
+//! `disasm::to_source` must hand back source the assembler maps to the
+//! *same image* (words, symbols, entry), and a second `to_source` must
+//! be string-identical. The snippets cover every instruction form the
+//! hvft-lang compiler emits, the pc-relative forms whose `Display` is
+//! deliberately **not** re-assemblable (raw offsets), privileged
+//! kernel forms, pseudo-instruction expansions, and data directives.
+
+use hvft_isa::asm::assemble;
+use hvft_isa::disasm::to_source;
+use hvft_isa::program::Program;
+
+fn words(p: &Program) -> Vec<(u32, u32)> {
+    p.words().collect()
+}
+
+/// The fixpoint property: one round re-assembles bit-identically and
+/// the rendering stabilizes.
+fn assert_fixpoint(label: &str, src: &str) {
+    let p = assemble(src).unwrap_or_else(|e| panic!("{label}: source does not assemble: {e}"));
+    let rendered = to_source(&p);
+    let q = assemble(&rendered)
+        .unwrap_or_else(|e| panic!("{label}: to_source output does not assemble: {e}\n{rendered}"));
+    assert_eq!(words(&p), words(&q), "{label}: words changed");
+    assert_eq!(p.symbols, q.symbols, "{label}: symbols changed");
+    assert_eq!(p.entry, q.entry, "{label}: entry changed");
+    let rendered2 = to_source(&q);
+    assert_eq!(rendered, rendered2, "{label}: to_source is not a fixpoint");
+}
+
+/// Every ALU, ALU-immediate, load/store, branch, jump, and syscall
+/// form the hvft-lang emitter produces.
+#[test]
+fn compiler_output_forms_round_trip() {
+    assert_fixpoint(
+        "compiler forms",
+        r"
+        .org 0x10000
+        u_main:
+            li   sp, 0x2F000
+            call fn_main
+            gate 5
+            halt
+        fn_main:
+            addi sp, sp, -32
+            sw   ra, 0(sp)
+            sw   r20, 4(sp)
+            mv   r20, r4
+            addi r8, r0, 42
+            li   r9, 0xDEADBEEF
+            add  r10, r8, r9
+            sub  r10, r0, r8
+            mul  r10, r8, r9
+            divu r10, r8, r9
+            remu r10, r8, r9
+            and  r10, r8, r9
+            or   r10, r8, r9
+            xor  r10, r8, r9
+            sll  r10, r8, r9
+            srl  r10, r8, r9
+            slt  r10, r8, r9
+            sltu r10, r0, r8
+            xori r10, r10, 1
+            lw   r26, 8(sp)
+            sw   r26, 12(sp)
+            lw   r11, 0(r26)
+        loop_head:
+            beq  r8, r0, loop_end
+            b    loop_head
+        loop_end:
+            mv   r4, r10
+            lw   ra, 0(sp)
+            addi sp, sp, 32
+            ret
+        ",
+    );
+}
+
+/// The pc-relative family specifically: `Display` prints raw offsets
+/// (not re-assemblable); `to_source` must print absolute targets.
+/// Branches in both directions, `jal` with a non-`ra` link register.
+#[test]
+fn pc_relative_forms_print_absolute_targets() {
+    let src = r"
+        .org 0x2000
+        top:
+            beq  r1, r2, fwd
+            bne  r3, r4, top
+            blt  r5, r6, fwd
+            bge  r7, r8, top
+            bltu r9, r10, fwd
+            bgeu r11, r12, top
+            jal  r5, top
+        fwd:
+            jal  ra, top
+            halt
+        ";
+    let p = assemble(src).unwrap();
+    let rendered = to_source(&p);
+    // Raw-offset operands like `beq r1, r2, 28` must not appear.
+    assert!(
+        rendered.contains("beq r1, r2, 0x"),
+        "branch target should be absolute hex:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("jal r5, 0x2000"),
+        "jal target should be absolute hex:\n{rendered}"
+    );
+    assert_fixpoint("pc-relative", src);
+}
+
+/// Privileged/kernel forms: control registers, rfi, TLB ops, masks,
+/// diagnostics — the forms a whole-image round trip will meet.
+#[test]
+fn kernel_forms_round_trip() {
+    assert_fixpoint(
+        "kernel forms",
+        r"
+        .org 0x1000
+        k_boot:
+            mftod  r4
+            mftodh r5
+            mtit   r6
+            mfit   r7
+            mtctl  eiem, r5
+            mfctl  r8, eiem
+            ssm    1
+            rsm    1
+            tlbi   r6, r7
+            tlbp   r6
+            probe  r9, r10
+            diag   r4, 1
+            brk    0
+            idle
+            nop
+            rfi
+        ",
+    );
+}
+
+/// Data directives, tail bytes (len % 4 != 0), `.equ` constants and
+/// words that do not decode must all survive as data.
+#[test]
+fn data_and_equates_round_trip() {
+    assert_fixpoint(
+        "data",
+        r#"
+        .equ magic, 0xCAFE
+        .org 0x3000
+        table:
+            .word 0xFFFFFFFF
+            .word 0x00000000
+            .ascii "ab"
+        tail:
+            .byte 0x7F
+        end_sym:
+        .org 0x4000
+        second_segment:
+            halt
+        .entry 0x4000
+        "#,
+    );
+}
+
+/// `li`/`la`/`call`/`ret`/`mv`/`b` pseudo-instructions expand to real
+/// forms; the round trip is over the *expansion*, which must itself be
+/// stable.
+#[test]
+fn pseudo_expansions_round_trip() {
+    assert_fixpoint(
+        "pseudos",
+        r"
+        .org 0
+        start:
+            li   r4, 0x12345678
+            la   r5, start
+            mv   r6, r4
+            call start
+            b    start
+            j    start
+            ret
+        ",
+    );
+}

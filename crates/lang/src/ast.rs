@@ -1,0 +1,234 @@
+//! Abstract syntax of hvft-lang.
+//!
+//! The surface language is deliberately tiny: every value is a `u32`
+//! with wrapping arithmetic, there is one flat scope of function
+//! definitions, and control flow is `while`/`if`/`return` only. The
+//! `Display` impls pretty-print a program back to parseable source —
+//! with every compound expression fully parenthesized — which is how
+//! the seed-deterministic generator ([`crate::genprog`]) feeds the
+//! compiler through its real front door (lexer and parser included).
+
+use std::fmt;
+
+/// A binary operator. `<`/`<=`/`>`/`>=` compare signed, `==`/`!=` are
+/// bitwise, shifts mask their count to 5 bits, `/`/`%` are unsigned
+/// (zero divisor traps), and `&&`/`||` evaluate **both** operands
+/// (no short-circuit) and normalize to 0/1 — exactly the hvft ALU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition `+`.
+    Add,
+    /// Wrapping subtraction `-`.
+    Sub,
+    /// Wrapping multiplication `*`.
+    Mul,
+    /// Unsigned division `/` (traps on zero divisor).
+    Div,
+    /// Unsigned remainder `%` (traps on zero divisor).
+    Rem,
+    /// Bitwise and `&`.
+    And,
+    /// Bitwise or `|`.
+    Or,
+    /// Bitwise xor `^`.
+    Xor,
+    /// Logical shift left `<<` (count masked to 5 bits).
+    Shl,
+    /// Logical shift right `>>` (count masked to 5 bits).
+    Shr,
+    /// Equality `==` (result 0 or 1).
+    Eq,
+    /// Inequality `!=` (result 0 or 1).
+    Ne,
+    /// Signed less-than `<` (result 0 or 1).
+    Lt,
+    /// Signed less-or-equal `<=` (result 0 or 1).
+    Le,
+    /// Signed greater-than `>` (result 0 or 1).
+    Gt,
+    /// Signed greater-or-equal `>=` (result 0 or 1).
+    Ge,
+    /// Logical and `&&`: both sides evaluate, result is 0 or 1.
+    LAnd,
+    /// Logical or `||`: both sides evaluate, result is 0 or 1.
+    LOr,
+}
+
+impl BinOp {
+    /// The surface-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::LAnd => "&&",
+            BinOp::LOr => "||",
+        }
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Two's-complement negation `-`.
+    Neg,
+    /// Logical not `!`: `!e` is 1 if `e == 0`, else 0.
+    Not,
+}
+
+/// An expression. Every expression evaluates to a `u32`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Num(u32),
+    /// A variable reference (parameter or `let`-bound local).
+    Var(String),
+    /// A call to a user function or intrinsic, by name.
+    Call(String, Vec<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;` — declares a function-scoped local.
+    Let(String, Expr),
+    /// `name = expr;` — assigns an already-declared local.
+    Assign(String, Expr),
+    /// `while cond { body }` — loops while `cond` is nonzero.
+    While(Expr, Vec<Stmt>),
+    /// `if cond { then } else { other }` — the `else` arm may be empty.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `return;` or `return expr;` — a bare return yields 0.
+    Return(Option<Expr>),
+    /// An expression evaluated for effect, value discarded.
+    Expr(Expr),
+}
+
+/// A function definition: `fn name(p0, p1) { body }`. Falling off the
+/// end of the body returns 0. At most [`crate::MAX_ARITY`] parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Function name; `main` (zero parameters) is the entry point.
+    pub name: String,
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: a flat list of function definitions, one of which
+/// must be `main()`. `main`'s return value is the guest exit code
+/// (unless `exit(e)` fires first).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The function definitions, in source order.
+    pub funcs: Vec<FnDef>,
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => {
+                if *n > 9 {
+                    write!(f, "{n:#x}")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Unary(op, e) => match op {
+                UnOp::Neg => write!(f, "(-{e})"),
+                UnOp::Not => write!(f, "(!{e})"),
+            },
+            Expr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+        }
+    }
+}
+
+fn fmt_block(f: &mut fmt::Formatter<'_>, body: &[Stmt], indent: usize) -> fmt::Result {
+    for s in body {
+        fmt_stmt(f, s, indent)?;
+    }
+    Ok(())
+}
+
+fn fmt_stmt(f: &mut fmt::Formatter<'_>, s: &Stmt, indent: usize) -> fmt::Result {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Let(n, e) => writeln!(f, "{pad}let {n} = {e};"),
+        Stmt::Assign(n, e) => writeln!(f, "{pad}{n} = {e};"),
+        Stmt::While(c, body) => {
+            writeln!(f, "{pad}while {c} {{")?;
+            fmt_block(f, body, indent + 1)?;
+            writeln!(f, "{pad}}}")
+        }
+        Stmt::If(c, t, e) => {
+            writeln!(f, "{pad}if {c} {{")?;
+            fmt_block(f, t, indent + 1)?;
+            if e.is_empty() {
+                writeln!(f, "{pad}}}")
+            } else {
+                writeln!(f, "{pad}}} else {{")?;
+                fmt_block(f, e, indent + 1)?;
+                writeln!(f, "{pad}}}")
+            }
+        }
+        Stmt::Return(None) => writeln!(f, "{pad}return;"),
+        Stmt::Return(Some(e)) => writeln!(f, "{pad}return {e};"),
+        Stmt::Expr(e) => writeln!(f, "{pad}{e};"),
+    }
+}
+
+impl fmt::Display for FnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        fmt_block(f, &self.body, 1)?;
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,261 @@
+//! Name resolution and static checks.
+//!
+//! Produces a *typed* program in which every variable is a local slot
+//! index and every call target is either a user-function index or an
+//! [`Intrinsic`]. Locals are **function-scoped**: a `let` introduces a
+//! slot visible from its textual declaration to the end of the
+//! function (re-declaring a name in the same function is an error),
+//! which keeps the compiled slot model and the reference interpreter
+//! trivially in agreement.
+
+use crate::ast::{BinOp, Expr, FnDef, Program, Stmt, UnOp};
+use crate::{LangError, MAX_ARITY};
+use std::collections::HashMap;
+
+/// An MMIO/syscall intrinsic, callable like a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intrinsic {
+    /// `putc(c)` — write the low byte of `c` to the console; yields 0.
+    Putc,
+    /// `mark(v)` — emit the checkpoint diagnostic `(v, MARK)`; yields 0.
+    Mark,
+    /// `exit(code)` — terminate the guest with `code`; never returns.
+    Exit,
+    /// `ticks()` — kernel timer-tick count so far.
+    Ticks,
+    /// `time()` — low word of the time-of-day register.
+    Time,
+    /// `read_block(b)` — DMA disk block `b` into the DMA buffer; yields
+    /// the buffer's first word.
+    ReadBlock,
+    /// `write_block(b)` — DMA the buffer out to disk block `b`; yields 0.
+    WriteBlock,
+    /// `peek(addr)` — load the word at `addr` (word-aligned).
+    Peek,
+    /// `poke(addr, v)` — store `v` at `addr` (word-aligned); yields 0.
+    Poke,
+}
+
+impl Intrinsic {
+    /// All intrinsics with their surface names and arities.
+    pub const ALL: [(&'static str, Intrinsic, usize); 9] = [
+        ("putc", Intrinsic::Putc, 1),
+        ("mark", Intrinsic::Mark, 1),
+        ("exit", Intrinsic::Exit, 1),
+        ("ticks", Intrinsic::Ticks, 0),
+        ("time", Intrinsic::Time, 0),
+        ("read_block", Intrinsic::ReadBlock, 1),
+        ("write_block", Intrinsic::WriteBlock, 1),
+        ("peek", Intrinsic::Peek, 1),
+        ("poke", Intrinsic::Poke, 2),
+    ];
+
+    fn by_name(name: &str) -> Option<(Intrinsic, usize)> {
+        Self::ALL
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|&(_, i, a)| (i, a))
+    }
+}
+
+/// A resolved expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TExpr {
+    /// Integer literal.
+    Num(u32),
+    /// Local slot (parameters occupy slots `0..params`).
+    Local(usize),
+    /// Call of user function `funcs[i]`.
+    Call(usize, Vec<TExpr>),
+    /// Intrinsic invocation.
+    Intr(Intrinsic, Vec<TExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<TExpr>),
+    /// Binary operation.
+    Bin(BinOp, Box<TExpr>, Box<TExpr>),
+}
+
+/// A resolved statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TStmt {
+    /// Store into a local slot (covers both `let` and assignment).
+    Assign(usize, TExpr),
+    /// `while` loop.
+    While(TExpr, Vec<TStmt>),
+    /// Two-armed conditional (missing `else` becomes an empty arm).
+    If(TExpr, Vec<TStmt>, Vec<TStmt>),
+    /// Return; `None` yields 0.
+    Return(Option<TExpr>),
+    /// Expression for effect.
+    Expr(TExpr),
+}
+
+/// A resolved function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TFn {
+    /// Name (kept for labels and diagnostics).
+    pub name: String,
+    /// Number of parameters (slots `0..params`).
+    pub params: usize,
+    /// Total local slots, parameters included.
+    pub locals: usize,
+    /// Resolved body.
+    pub body: Vec<TStmt>,
+}
+
+/// A resolved program; `funcs[entry]` is `main`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TProgram {
+    /// The functions, in source order.
+    pub funcs: Vec<TFn>,
+    /// Index of `main` in `funcs`.
+    pub entry: usize,
+}
+
+struct FnChecker<'a> {
+    fn_ids: &'a HashMap<String, (usize, usize)>, // name -> (index, arity)
+    slots: HashMap<String, usize>,
+    locals: usize,
+}
+
+impl FnChecker<'_> {
+    fn expr(&mut self, e: &Expr) -> Result<TExpr, LangError> {
+        Ok(match e {
+            Expr::Num(n) => TExpr::Num(*n),
+            Expr::Var(name) => {
+                TExpr::Local(*self.slots.get(name).ok_or_else(|| {
+                    LangError::new(format!("use of undeclared variable `{name}`"))
+                })?)
+            }
+            Expr::Unary(op, a) => TExpr::Unary(*op, Box::new(self.expr(a)?)),
+            Expr::Bin(op, a, b) => {
+                TExpr::Bin(*op, Box::new(self.expr(a)?), Box::new(self.expr(b)?))
+            }
+            Expr::Call(name, args) => {
+                let targs = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if let Some((intr, arity)) = Intrinsic::by_name(name) {
+                    if targs.len() != arity {
+                        return Err(LangError::new(format!(
+                            "intrinsic `{name}` takes {arity} argument(s), got {}",
+                            targs.len()
+                        )));
+                    }
+                    TExpr::Intr(intr, targs)
+                } else {
+                    let (idx, arity) = *self.fn_ids.get(name).ok_or_else(|| {
+                        LangError::new(format!("call to unknown function `{name}`"))
+                    })?;
+                    if targs.len() != arity {
+                        return Err(LangError::new(format!(
+                            "function `{name}` takes {arity} argument(s), got {}",
+                            targs.len()
+                        )));
+                    }
+                    TExpr::Call(idx, targs)
+                }
+            }
+        })
+    }
+
+    fn block(&mut self, body: &[Stmt]) -> Result<Vec<TStmt>, LangError> {
+        body.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<TStmt, LangError> {
+        Ok(match s {
+            Stmt::Let(name, e) => {
+                // Resolve the initializer *before* declaring, so
+                // `let x = x;` is rejected unless an outer x exists.
+                let te = self.expr(e)?;
+                if self.slots.contains_key(name) {
+                    return Err(LangError::new(format!(
+                        "variable `{name}` is already declared in this function"
+                    )));
+                }
+                if Intrinsic::by_name(name).is_some() {
+                    return Err(LangError::new(format!(
+                        "`{name}` is an intrinsic and cannot be a variable"
+                    )));
+                }
+                let slot = self.locals;
+                self.locals += 1;
+                self.slots.insert(name.clone(), slot);
+                TStmt::Assign(slot, te)
+            }
+            Stmt::Assign(name, e) => {
+                let slot = *self.slots.get(name).ok_or_else(|| {
+                    LangError::new(format!("assignment to undeclared variable `{name}`"))
+                })?;
+                TStmt::Assign(slot, self.expr(e)?)
+            }
+            Stmt::While(c, body) => TStmt::While(self.expr(c)?, self.block(body)?),
+            Stmt::If(c, t, e) => TStmt::If(self.expr(c)?, self.block(t)?, self.block(e)?),
+            Stmt::Return(e) => TStmt::Return(e.as_ref().map(|e| self.expr(e)).transpose()?),
+            Stmt::Expr(e) => TStmt::Expr(self.expr(e)?),
+        })
+    }
+}
+
+fn check_fn(f: &FnDef, fn_ids: &HashMap<String, (usize, usize)>) -> Result<TFn, LangError> {
+    if f.params.len() > MAX_ARITY {
+        return Err(LangError::new(format!(
+            "function `{}` has {} parameters; the ABI caps arity at {MAX_ARITY}",
+            f.name,
+            f.params.len()
+        )));
+    }
+    let mut c = FnChecker {
+        fn_ids,
+        slots: HashMap::new(),
+        locals: 0,
+    };
+    for p in &f.params {
+        if c.slots.insert(p.clone(), c.locals).is_some() {
+            return Err(LangError::new(format!(
+                "duplicate parameter `{p}` in function `{}`",
+                f.name
+            )));
+        }
+        c.locals += 1;
+    }
+    let body = c.block(&f.body)?;
+    Ok(TFn {
+        name: f.name.clone(),
+        params: f.params.len(),
+        locals: c.locals,
+        body,
+    })
+}
+
+/// Resolve and check a parsed program.
+pub fn check(p: &Program) -> Result<TProgram, LangError> {
+    let mut fn_ids = HashMap::new();
+    for (i, f) in p.funcs.iter().enumerate() {
+        if Intrinsic::by_name(&f.name).is_some() {
+            return Err(LangError::new(format!(
+                "`{}` is an intrinsic and cannot be redefined",
+                f.name
+            )));
+        }
+        if fn_ids.insert(f.name.clone(), (i, f.params.len())).is_some() {
+            return Err(LangError::new(format!(
+                "function `{}` is defined twice",
+                f.name
+            )));
+        }
+    }
+    let funcs = p
+        .funcs
+        .iter()
+        .map(|f| check_fn(f, &fn_ids))
+        .collect::<Result<Vec<_>, _>>()?;
+    let entry = match fn_ids.get("main") {
+        Some(&(i, 0)) => i,
+        Some(_) => return Err(LangError::new("`main` must take no parameters".into())),
+        None => return Err(LangError::new("program has no `main` function".into())),
+    };
+    Ok(TProgram { funcs, entry })
+}

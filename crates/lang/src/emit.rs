@@ -1,0 +1,343 @@
+//! Assembly emission: lowered IR → `hvft-isa::asm` source text.
+//!
+//! The emitter walks each function's IR once, materializing the
+//! evaluation stack onto the registers chosen by [`crate::regalloc`].
+//! Spilled operands bounce through the two scratch registers
+//! (`r26`/`r27`), which are never live across a call or gate — the
+//! guest kernel's syscall path clobbers exactly `r4` and `r26..r31`
+//! and preserves `r5..r25`, so evaluation registers survive gates
+//! without caller saves; only real `call`s save the live window.
+
+use crate::ast::{BinOp, UnOp};
+use crate::check::Intrinsic;
+use crate::lower::{Ir, IrProgram};
+use crate::regalloc::{FnAlloc, Loc, SCRATCH0, SCRATCH1, TMP_BASE, TMP_REGS};
+use crate::CodegenOptions;
+use std::fmt::Write;
+
+struct Emitter<'a> {
+    out: String,
+    alloc: &'a FnAlloc,
+    fi: usize,
+    opts: &'a CodegenOptions,
+}
+
+impl Emitter<'_> {
+    fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "    {text}");
+    }
+
+    fn label(&mut self, l: usize) {
+        let fi = self.fi;
+        let _ = writeln!(self.out, "Lf{fi}_{l}:");
+    }
+
+    /// Load an immediate into a register; `addi` for small values,
+    /// `li` (lui+ori) otherwise.
+    fn imm(&mut self, rd: u8, v: u32) {
+        if v < 0x1000 {
+            self.line(&format!("addi r{rd}, r0, {v}"));
+        } else {
+            self.line(&format!("li   r{rd}, {v:#x}"));
+        }
+    }
+
+    /// Ensure temp `t(d)` is in a register, loading spills into
+    /// `scratch`; returns the register holding the value.
+    fn read_tmp(&mut self, d: usize, scratch: u8) -> u8 {
+        match self.alloc.tmp(d) {
+            Loc::Reg(r) => r,
+            Loc::Frame(off) => {
+                self.line(&format!("lw   r{scratch}, {off}(sp)"));
+                scratch
+            }
+        }
+    }
+
+    /// Register to compute `t(d)` into ([`SCRATCH0`] when spilled —
+    /// follow with [`Self::finish_dst`]).
+    fn dst_reg(&self, d: usize) -> u8 {
+        match self.alloc.tmp(d) {
+            Loc::Reg(r) => r,
+            Loc::Frame(_) => SCRATCH0,
+        }
+    }
+
+    /// Write back `t(d)` if it lives in the frame.
+    fn finish_dst(&mut self, d: usize, computed_in: u8) {
+        if let Loc::Frame(off) = self.alloc.tmp(d) {
+            self.line(&format!("sw   r{computed_in}, {off}(sp)"));
+        }
+    }
+
+    fn bin(&mut self, op: BinOp, d: usize) {
+        let a = self.read_tmp(d, SCRATCH0);
+        let b = self.read_tmp(d + 1, SCRATCH1);
+        let dd = self.dst_reg(d);
+        let simple = |m: &str| format!("{m:<4} r{dd}, r{a}, r{b}");
+        match op {
+            BinOp::Add => self.line(&simple("add")),
+            BinOp::Sub => self.line(&simple("sub")),
+            BinOp::Mul => self.line(&simple("mul")),
+            BinOp::Div => self.line(&simple("divu")),
+            BinOp::Rem => self.line(&simple("remu")),
+            BinOp::And => self.line(&simple("and")),
+            BinOp::Or => self.line(&simple("or")),
+            BinOp::Xor => self.line(&simple("xor")),
+            BinOp::Shl => self.line(&simple("sll")),
+            BinOp::Shr => self.line(&simple("srl")),
+            BinOp::Lt => self.line(&simple("slt")),
+            BinOp::Gt => self.line(&format!("slt  r{dd}, r{b}, r{a}")),
+            BinOp::Le => {
+                self.line(&format!("slt  r{dd}, r{b}, r{a}"));
+                self.line(&format!("xori r{dd}, r{dd}, 1"));
+            }
+            BinOp::Ge => {
+                self.line(&format!("slt  r{dd}, r{a}, r{b}"));
+                self.line(&format!("xori r{dd}, r{dd}, 1"));
+            }
+            BinOp::Eq => {
+                self.line(&format!("xor  r{dd}, r{a}, r{b}"));
+                self.line(&format!("sltu r{dd}, r0, r{dd}"));
+                self.line(&format!("xori r{dd}, r{dd}, 1"));
+            }
+            BinOp::Ne => {
+                self.line(&format!("xor  r{dd}, r{a}, r{b}"));
+                self.line(&format!("sltu r{dd}, r0, r{dd}"));
+            }
+            BinOp::LOr => {
+                self.line(&format!("or   r{dd}, r{a}, r{b}"));
+                self.line(&format!("sltu r{dd}, r0, r{dd}"));
+            }
+            BinOp::LAnd => {
+                // Normalize both sides to 0/1; `b`'s register is dead
+                // after this op, so it can hold the normalized right
+                // side (it is never the destination register).
+                self.line(&format!("sltu r{dd}, r0, r{a}"));
+                self.line(&format!("sltu r{b}, r0, r{b}"));
+                self.line(&format!("and  r{dd}, r{dd}, r{b}"));
+            }
+        }
+        self.finish_dst(d, dd);
+    }
+
+    fn unary(&mut self, op: UnOp, d: usize) {
+        let a = self.read_tmp(d, SCRATCH0);
+        let dd = self.dst_reg(d);
+        match op {
+            UnOp::Neg => self.line(&format!("sub  r{dd}, r0, r{a}")),
+            UnOp::Not => {
+                self.line(&format!("sltu r{dd}, r0, r{a}"));
+                self.line(&format!("xori r{dd}, r{dd}, 1"));
+            }
+        }
+        self.finish_dst(d, dd);
+    }
+
+    /// Move temp `t(d)` into argument register `r(4 + k)`.
+    fn arg(&mut self, d: usize, k: usize) {
+        match self.alloc.tmp(d) {
+            Loc::Reg(r) => self.line(&format!("mv   r{}, r{r}", 4 + k)),
+            Loc::Frame(off) => self.line(&format!("lw   r{}, {off}(sp)", 4 + k)),
+        }
+    }
+
+    /// Store the syscall result (`r4`) into `t(d)`.
+    fn result_from_r4(&mut self, d: usize) {
+        match self.alloc.tmp(d) {
+            Loc::Reg(r) => self.line(&format!("mv   r{r}, r4")),
+            Loc::Frame(off) => self.line(&format!("sw   r4, {off}(sp)")),
+        }
+    }
+
+    /// Intrinsics that "return" 0 still define `t(d)`.
+    fn result_zero(&mut self, d: usize) {
+        match self.alloc.tmp(d) {
+            Loc::Reg(r) => self.line(&format!("mv   r{r}, r0")),
+            Loc::Frame(off) => self.line(&format!("sw   r0, {off}(sp)")),
+        }
+    }
+
+    fn intrinsic(&mut self, intr: Intrinsic, d: usize) {
+        let o = self.opts;
+        match intr {
+            Intrinsic::Putc => {
+                self.arg(d, 0);
+                self.line(&format!("gate {}", o.sys_putc));
+                self.result_zero(d);
+            }
+            Intrinsic::Mark => {
+                self.arg(d, 0);
+                self.line(&format!("gate {}", o.sys_mark));
+                self.result_zero(d);
+            }
+            Intrinsic::Exit => {
+                self.arg(d, 0);
+                self.line(&format!("gate {}", o.sys_exit));
+            }
+            Intrinsic::Time => {
+                self.line(&format!("gate {}", o.sys_gettime));
+                self.result_from_r4(d);
+            }
+            Intrinsic::Ticks => {
+                self.line(&format!("gate {}", o.sys_getticks));
+                self.result_from_r4(d);
+            }
+            Intrinsic::ReadBlock => {
+                self.arg(d, 0);
+                self.line(&format!("li   r5, {:#x}", o.dma_buf));
+                self.line(&format!("gate {}", o.sys_read_block));
+                // Yield the buffer's first word so reads are visible
+                // to pure-integer programs.
+                let dd = self.dst_reg(d);
+                self.line(&format!("li   r{SCRATCH0}, {:#x}", o.dma_buf));
+                self.line(&format!("lw   r{dd}, 0(r{SCRATCH0})"));
+                self.finish_dst(d, dd);
+            }
+            Intrinsic::WriteBlock => {
+                self.arg(d, 0);
+                self.line(&format!("li   r5, {:#x}", o.dma_buf));
+                self.line(&format!("gate {}", o.sys_write_block));
+                self.result_zero(d);
+            }
+            Intrinsic::Peek => {
+                let a = self.read_tmp(d, SCRATCH0);
+                let dd = self.dst_reg(d);
+                self.line(&format!("lw   r{dd}, 0(r{a})"));
+                self.finish_dst(d, dd);
+            }
+            Intrinsic::Poke => {
+                let a = self.read_tmp(d, SCRATCH0);
+                let v = self.read_tmp(d + 1, SCRATCH1);
+                self.line(&format!("sw   r{v}, 0(r{a})"));
+                self.result_zero(d);
+            }
+        }
+    }
+
+    fn call(&mut self, d: usize, callee: &str, nargs: usize) {
+        // Registers t0..t(d-1) are live across the call; the callee
+        // owns the whole evaluation window, so park them in the
+        // caller's call-save area.
+        let live = d.min(TMP_REGS);
+        for i in 0..live {
+            let off = self.alloc.call_save(i);
+            self.line(&format!("sw   r{}, {off}(sp)", TMP_BASE + i as u8));
+        }
+        for k in 0..nargs {
+            self.arg(d + k, k);
+        }
+        self.line(&format!("call fn_{callee}"));
+        self.result_from_r4(d);
+        for i in 0..live {
+            let off = self.alloc.call_save(i);
+            self.line(&format!("lw   r{}, {off}(sp)", TMP_BASE + i as u8));
+        }
+    }
+
+    fn op(&mut self, op: &Ir, prog: &IrProgram) {
+        let fi = self.fi;
+        match op {
+            Ir::Const { d, imm } => {
+                let dd = self.dst_reg(*d);
+                self.imm(dd, *imm);
+                self.finish_dst(*d, dd);
+            }
+            Ir::LoadLocal { d, slot } => match (self.alloc.tmp(*d), self.alloc.locals[*slot]) {
+                (Loc::Reg(r), Loc::Reg(l)) => self.line(&format!("mv   r{r}, r{l}")),
+                (Loc::Reg(r), Loc::Frame(off)) => self.line(&format!("lw   r{r}, {off}(sp)")),
+                (Loc::Frame(off), Loc::Reg(l)) => self.line(&format!("sw   r{l}, {off}(sp)")),
+                (Loc::Frame(doff), Loc::Frame(soff)) => {
+                    self.line(&format!("lw   r{SCRATCH0}, {soff}(sp)"));
+                    self.line(&format!("sw   r{SCRATCH0}, {doff}(sp)"));
+                }
+            },
+            Ir::StoreLocal { slot, d } => {
+                let src = self.read_tmp(*d, SCRATCH0);
+                match self.alloc.locals[*slot] {
+                    Loc::Reg(l) => self.line(&format!("mv   r{l}, r{src}")),
+                    Loc::Frame(off) => self.line(&format!("sw   r{src}, {off}(sp)")),
+                }
+            }
+            Ir::Unary { op, d } => self.unary(*op, *d),
+            Ir::Bin { op, d } => self.bin(*op, *d),
+            Ir::Call { d, index, nargs } => {
+                let callee = prog.funcs[*index].name.clone();
+                self.call(*d, &callee, *nargs);
+            }
+            Ir::Intr { d, intr, nargs: _ } => self.intrinsic(*intr, *d),
+            Ir::Label(l) => self.label(*l),
+            Ir::Jump(l) => self.line(&format!("b    Lf{fi}_{l}")),
+            Ir::Branch0 { d, label } => {
+                let r = self.read_tmp(*d, SCRATCH0);
+                self.line(&format!("beq  r{r}, r0, Lf{fi}_{label}"));
+            }
+            Ir::Ret { has_value } => {
+                if *has_value {
+                    let r = self.read_tmp(0, SCRATCH0);
+                    self.line(&format!("mv   r4, r{r}"));
+                } else {
+                    self.line("mv   r4, r0");
+                }
+                self.line(&format!("b    Lret{fi}"));
+            }
+        }
+    }
+}
+
+fn emit_fn(out: &mut String, prog: &IrProgram, fi: usize, opts: &CodegenOptions) {
+    let f = &prog.funcs[fi];
+    let alloc = FnAlloc::of(f);
+    let mut e = Emitter {
+        out: String::new(),
+        alloc: &alloc,
+        fi,
+        opts,
+    };
+    let _ = writeln!(e.out, "fn_{}:", f.name);
+    e.line(&format!("addi sp, sp, -{}", alloc.frame_size));
+    e.line("sw   ra, 0(sp)");
+    for (reg, off) in alloc.saved.clone() {
+        e.line(&format!("sw   r{reg}, {off}(sp)"));
+    }
+    // Marshal incoming arguments into their local slots.
+    for p in 0..f.params {
+        match alloc.locals[p] {
+            Loc::Reg(l) => e.line(&format!("mv   r{l}, r{}", 4 + p)),
+            Loc::Frame(off) => e.line(&format!("sw   r{}, {off}(sp)", 4 + p)),
+        }
+    }
+    for op in &f.body {
+        e.op(op, prog);
+    }
+    let _ = writeln!(e.out, "Lret{fi}:");
+    for (reg, off) in alloc.saved.clone() {
+        e.line(&format!("lw   r{reg}, {off}(sp)"));
+    }
+    e.line("lw   ra, 0(sp)");
+    e.line(&format!("addi sp, sp, {}", alloc.frame_size));
+    e.line("ret");
+    out.push_str(&e.out);
+    out.push('\n');
+}
+
+/// Emit a whole program as `hvft-isa::asm` source.
+///
+/// The entry shim `u_main` sits first at `opts.org` (the guest kernel
+/// expects the user program's entry symbol there), sets up the stack,
+/// calls `fn_main`, and exits with its return value.
+pub fn emit(prog: &IrProgram, opts: &CodegenOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; generated by hvft-lang");
+    let _ = writeln!(out, ".org {:#x}", opts.org);
+    let _ = writeln!(out, "u_main:");
+    let _ = writeln!(out, "    li   sp, {:#x}", opts.stack_top);
+    let _ = writeln!(out, "    call fn_{}", prog.funcs[prog.entry].name);
+    let _ = writeln!(out, "    gate {}", opts.sys_exit);
+    let _ = writeln!(out, "    halt");
+    out.push('\n');
+    for fi in 0..prog.funcs.len() {
+        emit_fn(&mut out, prog, fi, opts);
+    }
+    out
+}

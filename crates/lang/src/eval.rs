@@ -1,0 +1,316 @@
+//! The reference interpreter — hvft-lang's operational semantics.
+//!
+//! This is the SOS-style contract the compiler must preserve: a
+//! program's observable behaviour is its exit code, the byte stream it
+//! `putc`s, and the sequence of `mark` checkpoints. The differential
+//! tests run this interpreter against the compiled image on a real
+//! `BareHost` and demand exact agreement, which is what turns randomly
+//! generated programs into oracles.
+//!
+//! The machine model mirrors the guest environment: memory words read
+//! as 0 until written (guest RAM is zeroed at boot), `peek`/`poke` are
+//! confined to the user data window and the DMA buffer, and disk
+//! blocks read as zeros until written.
+
+use crate::check::{Intrinsic, TExpr, TProgram, TStmt};
+use crate::{ast, CodegenOptions};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Words per disk block (8 KiB blocks).
+const BLOCK_WORDS: usize = 2048;
+/// Maximum call depth before the interpreter gives up.
+const MAX_CALL_DEPTH: usize = 64;
+
+/// Everything a program can observe about its own run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Outcome {
+    /// Exit code: `main`'s return value, or `exit(code)`'s argument.
+    pub exit: u32,
+    /// Bytes written via `putc`, in order.
+    pub console: Vec<u8>,
+    /// Values passed to `mark`, in order.
+    pub marks: Vec<u32>,
+    /// Interpreter steps spent (an abstract cost, **not** retired
+    /// instructions — useful only for relative sizing of programs).
+    pub steps: u64,
+}
+
+/// Why evaluation could not produce an [`Outcome`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The fuel budget ran out — the program loops too long.
+    OutOfFuel,
+    /// Division or remainder by zero (the guest would trap fatally).
+    DivideByZero,
+    /// `peek`/`poke` outside the data window or unaligned.
+    BadAddress(u32),
+    /// Call nesting exceeded the interpreter's depth limit.
+    CallDepth,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::OutOfFuel => write!(f, "out of fuel (program runs too long)"),
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::BadAddress(a) => write!(f, "bad memory address {a:#x}"),
+            EvalError::CallDepth => write!(f, "call depth limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Early-termination channel threaded through evaluation.
+enum Stop {
+    Exit(u32),
+    Err(EvalError),
+}
+
+/// Statement-level control flow.
+enum Flow {
+    Normal,
+    Return(u32),
+}
+
+struct Machine<'a> {
+    prog: &'a TProgram,
+    opts: &'a CodegenOptions,
+    mem: BTreeMap<u32, u32>,
+    disk: BTreeMap<u32, Vec<u32>>,
+    console: Vec<u8>,
+    marks: Vec<u32>,
+    ticks: u64,
+    fuel: u64,
+    spent: u64,
+    depth: usize,
+}
+
+fn apply_bin(op: ast::BinOp, a: u32, b: u32) -> Result<u32, Stop> {
+    use ast::BinOp::*;
+    Ok(match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => a.checked_div(b).ok_or(Stop::Err(EvalError::DivideByZero))?,
+        Rem => a.checked_rem(b).ok_or(Stop::Err(EvalError::DivideByZero))?,
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => a << (b & 31),
+        Shr => a >> (b & 31),
+        Eq => u32::from(a == b),
+        Ne => u32::from(a != b),
+        Lt => u32::from((a as i32) < (b as i32)),
+        Le => u32::from((a as i32) <= (b as i32)),
+        Gt => u32::from((a as i32) > (b as i32)),
+        Ge => u32::from((a as i32) >= (b as i32)),
+        LAnd => u32::from(a != 0 && b != 0),
+        LOr => u32::from(a != 0 || b != 0),
+    })
+}
+
+impl Machine<'_> {
+    fn burn(&mut self) -> Result<(), Stop> {
+        if self.fuel == 0 {
+            return Err(Stop::Err(EvalError::OutOfFuel));
+        }
+        self.fuel -= 1;
+        self.spent += 1;
+        Ok(())
+    }
+
+    /// `peek`/`poke` must land word-aligned inside the data window or
+    /// the DMA buffer; anywhere else is undefined behaviour on the
+    /// real guest (it would fault), so the interpreter rejects it.
+    fn check_addr(&self, addr: u32) -> Result<u32, Stop> {
+        let o = self.opts;
+        let in_data = addr >= o.user_data && addr < o.user_data + o.data_window;
+        let in_dma = addr >= o.dma_buf && addr < o.dma_buf + (BLOCK_WORDS as u32) * 4;
+        if !addr.is_multiple_of(4) || !(in_data || in_dma) {
+            return Err(Stop::Err(EvalError::BadAddress(addr)));
+        }
+        Ok(addr)
+    }
+
+    fn intrinsic(&mut self, intr: Intrinsic, args: &[u32]) -> Result<u32, Stop> {
+        Ok(match intr {
+            Intrinsic::Putc => {
+                self.console.push((args[0] & 0xFF) as u8);
+                0
+            }
+            Intrinsic::Mark => {
+                self.marks.push(args[0]);
+                0
+            }
+            Intrinsic::Exit => return Err(Stop::Exit(args[0])),
+            // The guest's timer state is nondeterministic relative to
+            // the abstract semantics, so the interpreter models both
+            // clocks as a simple monotonic counter. Programs that
+            // branch on these values can't be interpreter oracles
+            // (the generator never emits them), but they still work as
+            // tier-differential oracles.
+            Intrinsic::Ticks | Intrinsic::Time => {
+                self.ticks += 1;
+                (self.ticks - 1) as u32
+            }
+            Intrinsic::ReadBlock => {
+                let block = self.disk.get(&args[0]).cloned();
+                for i in 0..BLOCK_WORDS {
+                    let addr = self.opts.dma_buf + (i as u32) * 4;
+                    let w = block.as_ref().map_or(0, |b| b[i]);
+                    self.mem.insert(addr, w);
+                }
+                *self.mem.get(&self.opts.dma_buf).unwrap_or(&0)
+            }
+            Intrinsic::WriteBlock => {
+                let words = (0..BLOCK_WORDS)
+                    .map(|i| {
+                        let addr = self.opts.dma_buf + (i as u32) * 4;
+                        *self.mem.get(&addr).unwrap_or(&0)
+                    })
+                    .collect();
+                self.disk.insert(args[0], words);
+                0
+            }
+            Intrinsic::Peek => {
+                let addr = self.check_addr(args[0])?;
+                *self.mem.get(&addr).unwrap_or(&0)
+            }
+            Intrinsic::Poke => {
+                let addr = self.check_addr(args[0])?;
+                self.mem.insert(addr, args[1]);
+                0
+            }
+        })
+    }
+
+    fn expr(&mut self, e: &TExpr, locals: &mut [u32]) -> Result<u32, Stop> {
+        self.burn()?;
+        Ok(match e {
+            TExpr::Num(n) => *n,
+            TExpr::Local(slot) => locals[*slot],
+            TExpr::Unary(op, a) => {
+                let v = self.expr(a, locals)?;
+                match op {
+                    ast::UnOp::Neg => 0u32.wrapping_sub(v),
+                    ast::UnOp::Not => u32::from(v == 0),
+                }
+            }
+            TExpr::Bin(op, a, b) => {
+                let av = self.expr(a, locals)?;
+                let bv = self.expr(b, locals)?;
+                apply_bin(*op, av, bv)?
+            }
+            TExpr::Intr(intr, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.expr(a, locals))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.intrinsic(*intr, &vals)?
+            }
+            TExpr::Call(idx, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.expr(a, locals))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.call(*idx, &vals)?
+            }
+        })
+    }
+
+    fn call(&mut self, idx: usize, args: &[u32]) -> Result<u32, Stop> {
+        if self.depth >= MAX_CALL_DEPTH {
+            return Err(Stop::Err(EvalError::CallDepth));
+        }
+        self.depth += 1;
+        let f = &self.prog.funcs[idx];
+        let mut locals = vec![0u32; f.locals];
+        locals[..args.len()].copy_from_slice(args);
+        let r = self.block(&f.body, &mut locals);
+        self.depth -= 1;
+        Ok(match r? {
+            Flow::Return(v) => v,
+            Flow::Normal => 0,
+        })
+    }
+
+    fn block(&mut self, body: &[TStmt], locals: &mut [u32]) -> Result<Flow, Stop> {
+        for s in body {
+            match self.stmt(s, locals)? {
+                Flow::Normal => {}
+                ret => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, s: &TStmt, locals: &mut [u32]) -> Result<Flow, Stop> {
+        self.burn()?;
+        Ok(match s {
+            TStmt::Assign(slot, e) => {
+                locals[*slot] = self.expr(e, locals)?;
+                Flow::Normal
+            }
+            TStmt::Expr(e) => {
+                self.expr(e, locals)?;
+                Flow::Normal
+            }
+            TStmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.expr(e, locals)?,
+                    None => 0,
+                };
+                Flow::Return(v)
+            }
+            TStmt::If(c, t, o) => {
+                if self.expr(c, locals)? != 0 {
+                    self.block(t, locals)?
+                } else {
+                    self.block(o, locals)?
+                }
+            }
+            TStmt::While(c, body) => {
+                while self.expr(c, locals)? != 0 {
+                    match self.block(body, locals)? {
+                        Flow::Normal => {}
+                        ret => return Ok(ret),
+                    }
+                }
+                Flow::Normal
+            }
+        })
+    }
+}
+
+/// Evaluate a checked program under a fuel budget.
+///
+/// `fuel` bounds the number of AST nodes visited; well-formed generated
+/// programs finish in a few thousand steps, so a budget of ~1 M
+/// distinguishes "loops forever" from "slow" with a wide margin.
+pub fn eval(prog: &TProgram, opts: &CodegenOptions, fuel: u64) -> Result<Outcome, EvalError> {
+    let mut m = Machine {
+        prog,
+        opts,
+        mem: BTreeMap::new(),
+        disk: BTreeMap::new(),
+        console: Vec::new(),
+        marks: Vec::new(),
+        ticks: 0,
+        fuel,
+        spent: 0,
+        depth: 0,
+    };
+    let exit = match m.call(prog.entry, &[]) {
+        Ok(v) => v,
+        Err(Stop::Exit(code)) => code,
+        Err(Stop::Err(e)) => return Err(e),
+    };
+    Ok(Outcome {
+        exit,
+        console: m.console,
+        marks: m.marks,
+        steps: m.spent,
+    })
+}

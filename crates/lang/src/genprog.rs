@@ -1,0 +1,382 @@
+//! Seed-deterministic generator of random, well-formed programs.
+//!
+//! Every program this module emits is guaranteed (by construction, not
+//! by luck) to terminate and to stay within the reference semantics:
+//!
+//! - loops are counter-driven with a literal bound ≤ 8, and the
+//!   counter is reserved — no other statement assigns it;
+//! - the call graph is acyclic (function `i` may only call functions
+//!   with larger indices), so recursion is impossible;
+//! - every `/` and `%` divisor is wrapped `(e | 1)`, so arithmetic
+//!   traps cannot fire;
+//! - `peek`/`poke` addresses are masked into a 16 KiB window of the
+//!   user data segment;
+//! - `time()`/`ticks()` are never emitted — their values depend on the
+//!   cost model, which would break interpreter parity.
+//!
+//! The generator returns an [`crate::ast::Program`] and the differential
+//! tests feed its **pretty-printed source** back through the real
+//! lexer and parser, so the whole front end is on the fuzzing path.
+
+use crate::ast::{BinOp, Expr, FnDef, Program, Stmt, UnOp};
+
+/// Knobs for program generation.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Allow `read_block`/`write_block` (needs a host with ≥ 8 disk
+    /// blocks; off by default so cluster scenarios stay disk-free).
+    pub disk_ops: bool,
+    /// Maximum expression depth.
+    pub max_expr_depth: usize,
+    /// Maximum statements in `main`'s top-level body.
+    pub max_stmts: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            disk_ops: false,
+            max_expr_depth: 4,
+            max_stmts: 8,
+        }
+    }
+}
+
+/// splitmix64 — tiny, deterministic, and self-contained.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// Per-function generation context.
+struct FnCtx {
+    /// Variables that may be *read*.
+    readable: Vec<String>,
+    /// Variables that may be *assigned* (excludes loop counters).
+    writable: Vec<String>,
+    next_var: usize,
+    next_loop: usize,
+    /// `(name, arity)` of callable functions (strictly later ones).
+    callees: Vec<(String, usize)>,
+}
+
+struct Gen<'a> {
+    rng: Rng,
+    cfg: &'a GenConfig,
+}
+
+const INTERESTING: [u32; 8] = [0, 1, 2, 3, 7, 0xFF, 0x7FFF_FFFF, 0xFFFF_FFFF];
+
+impl Gen<'_> {
+    fn num(&mut self) -> Expr {
+        let v = if self.rng.chance(50) {
+            INTERESTING[self.rng.below(INTERESTING.len())]
+        } else {
+            (self.rng.next() & 0xFFFF) as u32
+        };
+        Expr::Num(v)
+    }
+
+    fn leaf(&mut self, ctx: &FnCtx) -> Expr {
+        if !ctx.readable.is_empty() && self.rng.chance(60) {
+            Expr::Var(ctx.readable[self.rng.below(ctx.readable.len())].clone())
+        } else {
+            self.num()
+        }
+    }
+
+    fn expr(&mut self, ctx: &FnCtx, depth: usize) -> Expr {
+        if depth == 0 || self.rng.chance(25) {
+            return self.leaf(ctx);
+        }
+        match self.rng.below(10) {
+            0..=3 => {
+                // Binary operator, divisors made nonzero at AST level.
+                const OPS: [BinOp; 18] = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::LAnd,
+                    BinOp::LOr,
+                ];
+                let op = OPS[self.rng.below(OPS.len())];
+                let a = self.expr(ctx, depth - 1);
+                let mut b = self.expr(ctx, depth - 1);
+                if matches!(op, BinOp::Div | BinOp::Rem) {
+                    b = Expr::Bin(BinOp::Or, Box::new(b), Box::new(Expr::Num(1)));
+                }
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            }
+            4 => {
+                let op = if self.rng.chance(50) {
+                    UnOp::Neg
+                } else {
+                    UnOp::Not
+                };
+                Expr::Unary(op, Box::new(self.expr(ctx, depth - 1)))
+            }
+            5 if !ctx.callees.is_empty() => {
+                let (name, arity) = ctx.callees[self.rng.below(ctx.callees.len())].clone();
+                let args = (0..arity).map(|_| self.expr(ctx, depth - 1)).collect();
+                Expr::Call(name, args)
+            }
+            6 => self.peek(ctx, depth),
+            _ => self.leaf(ctx),
+        }
+    }
+
+    /// `peek(0x20000 + (e & 0x3FFC))` — always in-window, aligned.
+    fn masked_addr(&mut self, ctx: &FnCtx, depth: usize) -> Expr {
+        let e = self.expr(ctx, depth.saturating_sub(1));
+        Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Num(crate::CodegenOptions::default().user_data)),
+            Box::new(Expr::Bin(
+                BinOp::And,
+                Box::new(e),
+                Box::new(Expr::Num(0x3FFC)),
+            )),
+        )
+    }
+
+    fn peek(&mut self, ctx: &FnCtx, depth: usize) -> Expr {
+        Expr::Call("peek".into(), vec![self.masked_addr(ctx, depth)])
+    }
+
+    fn stmt(&mut self, ctx: &mut FnCtx, body: &mut Vec<Stmt>, loop_depth: usize) {
+        match self.rng.below(12) {
+            0 | 1 => {
+                // Declare a fresh variable.
+                let name = format!("v{}", ctx.next_var);
+                ctx.next_var += 1;
+                let e = self.expr(ctx, self.cfg.max_expr_depth);
+                ctx.readable.push(name.clone());
+                ctx.writable.push(name.clone());
+                body.push(Stmt::Let(name, e));
+            }
+            2..=4 => {
+                if let Some(name) = self.pick_writable(ctx) {
+                    let e = self.expr(ctx, self.cfg.max_expr_depth);
+                    body.push(Stmt::Assign(name, e));
+                }
+            }
+            5 | 6 if loop_depth < 2 => {
+                // Bounded counter loop; the counter is read-only for
+                // the body, so termination is structural.
+                let counter = format!("l{}", ctx.next_loop);
+                ctx.next_loop += 1;
+                let bound = 1 + self.rng.below(8) as u32;
+                body.push(Stmt::Let(counter.clone(), Expr::Num(0)));
+                ctx.readable.push(counter.clone());
+                let mut inner = Vec::new();
+                for _ in 0..1 + self.rng.below(3) {
+                    self.stmt(ctx, &mut inner, loop_depth + 1);
+                }
+                inner.push(Stmt::Assign(
+                    counter.clone(),
+                    Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Var(counter.clone())),
+                        Box::new(Expr::Num(1)),
+                    ),
+                ));
+                body.push(Stmt::While(
+                    Expr::Bin(
+                        BinOp::Lt,
+                        Box::new(Expr::Var(counter)),
+                        Box::new(Expr::Num(bound)),
+                    ),
+                    inner,
+                ));
+            }
+            7 => {
+                let cond = self.expr(ctx, 2);
+                let mut then = Vec::new();
+                self.stmt(ctx, &mut then, loop_depth + 1);
+                let mut other = Vec::new();
+                if self.rng.chance(50) {
+                    self.stmt(ctx, &mut other, loop_depth + 1);
+                }
+                body.push(Stmt::If(cond, then, other));
+            }
+            8 => {
+                // Console output, masked printable so transcripts stay
+                // readable in failure dumps.
+                let e = self.expr(ctx, 2);
+                body.push(Stmt::Expr(Expr::Call(
+                    "putc".into(),
+                    vec![Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Num(0x41)),
+                        Box::new(Expr::Bin(BinOp::And, Box::new(e), Box::new(Expr::Num(15)))),
+                    )],
+                )));
+            }
+            9 => {
+                let addr = self.masked_addr(ctx, 2);
+                let val = self.expr(ctx, 2);
+                body.push(Stmt::Expr(Expr::Call("poke".into(), vec![addr, val])));
+            }
+            10 if self.cfg.disk_ops => {
+                let block = Expr::Num(self.rng.below(8) as u32);
+                let call = if self.rng.chance(50) {
+                    Expr::Call("write_block".into(), vec![block])
+                } else {
+                    Expr::Call("read_block".into(), vec![block])
+                };
+                body.push(Stmt::Expr(call));
+            }
+            _ => {
+                if let Some(name) = self.pick_writable(ctx) {
+                    let e = self.expr(ctx, 2);
+                    body.push(Stmt::Assign(
+                        name.clone(),
+                        Expr::Bin(
+                            BinOp::Xor,
+                            Box::new(Expr::Bin(
+                                BinOp::Shl,
+                                Box::new(Expr::Var(name)),
+                                Box::new(Expr::Num(1)),
+                            )),
+                            Box::new(e),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    fn pick_writable(&mut self, ctx: &FnCtx) -> Option<String> {
+        if ctx.writable.is_empty() {
+            None
+        } else {
+            Some(ctx.writable[self.rng.below(ctx.writable.len())].clone())
+        }
+    }
+
+    /// Fold every declared variable into an accumulator expression so
+    /// the exit code observes the whole program state.
+    fn checksum(&mut self, ctx: &FnCtx) -> Expr {
+        let mut acc = Expr::Num(0x9E37);
+        for v in &ctx.readable {
+            acc = Expr::Bin(
+                BinOp::Xor,
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Bin(BinOp::Shl, Box::new(acc), Box::new(Expr::Num(3)))),
+                    Box::new(Expr::Var(v.clone())),
+                )),
+                Box::new(Expr::Num(0x55)),
+            );
+        }
+        acc
+    }
+
+    fn helper(&mut self, index: usize, callees: Vec<(String, usize)>) -> FnDef {
+        let arity = self.rng.below(4); // 0..=3
+        let params: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+        let mut ctx = FnCtx {
+            readable: params.clone(),
+            writable: params.clone(),
+            next_var: 0,
+            next_loop: 0,
+            callees,
+        };
+        let mut body = Vec::new();
+        for _ in 0..1 + self.rng.below(4) {
+            self.stmt(&mut ctx, &mut body, 1);
+        }
+        let ret = self.checksum(&ctx);
+        body.push(Stmt::Return(Some(ret)));
+        FnDef {
+            name: format!("f{index}"),
+            params,
+            body,
+        }
+    }
+
+    fn main_fn(&mut self, callees: Vec<(String, usize)>) -> FnDef {
+        let mut ctx = FnCtx {
+            readable: Vec::new(),
+            writable: Vec::new(),
+            next_var: 0,
+            next_loop: 0,
+            callees,
+        };
+        let mut body = Vec::new();
+        for _ in 0..3 + self.rng.below(self.cfg.max_stmts.saturating_sub(2).max(1)) {
+            self.stmt(&mut ctx, &mut body, 0);
+        }
+        let checksum = self.checksum(&ctx);
+        if self.rng.chance(30) {
+            body.push(Stmt::Expr(Expr::Call(
+                "mark".into(),
+                vec![checksum.clone()],
+            )));
+        }
+        if self.rng.chance(50) {
+            body.push(Stmt::Expr(Expr::Call("exit".into(), vec![checksum])));
+        } else {
+            body.push(Stmt::Return(Some(checksum)));
+        }
+        FnDef {
+            name: "main".into(),
+            params: Vec::new(),
+            body,
+        }
+    }
+}
+
+/// Generate a random, well-formed, terminating program from `seed`.
+pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
+    let mut g = Gen {
+        rng: Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F),
+        cfg,
+    };
+    let n_helpers = g.rng.below(3); // 0..=2
+                                    // Generate back-to-front so each function knows its callees.
+    let mut funcs: Vec<FnDef> = Vec::new();
+    let mut callable: Vec<(String, usize)> = Vec::new();
+    for i in (0..n_helpers).rev() {
+        let f = g.helper(i, callable.clone());
+        callable.push((f.name.clone(), f.params.len()));
+        funcs.push(f);
+    }
+    funcs.push(g.main_fn(callable));
+    funcs.reverse();
+    Program { funcs }
+}
+
+/// Generate a program and pretty-print it to source text.
+pub fn source(seed: u64, cfg: &GenConfig) -> String {
+    generate(seed, cfg).to_string()
+}

@@ -1,0 +1,241 @@
+//! Hand-rolled lexer for hvft-lang.
+//!
+//! Tokens carry the 1-based source line they started on so parse and
+//! check errors can point back into generated or corpus programs.
+
+use crate::LangError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword candidate.
+    Ident(String),
+    /// An integer literal (decimal, `0x` hex, or `'c'` char).
+    Num(u32),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+/// A token plus the 1-based line it started on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "fn" => Tok::Fn,
+        "let" => Tok::Let,
+        "while" => Tok::While,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "return" => Tok::Return,
+        _ => return None,
+    })
+}
+
+/// Tokenize `src`. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let s = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[s..i];
+                out.push(Spanned {
+                    tok: keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string())),
+                    line: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let s = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                let text = &src[s..i];
+                let value =
+                    if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
+                        u32::from_str_radix(hex, 16)
+                    } else {
+                        text.parse::<u32>()
+                    }
+                    .map_err(|_| LangError::at(start, format!("bad integer literal `{text}`")))?;
+                out.push(Spanned {
+                    tok: Tok::Num(value),
+                    line: start,
+                });
+            }
+            '\'' => {
+                // 'c' or '\n' style char literal, value = the byte.
+                let (value, len) = match (bytes.get(i + 1), bytes.get(i + 2), bytes.get(i + 3)) {
+                    (Some(b'\\'), Some(&esc), Some(b'\'')) => {
+                        let v = match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            _ => {
+                                return Err(LangError::at(
+                                    start,
+                                    format!("unknown escape `\\{}`", esc as char),
+                                ))
+                            }
+                        };
+                        (v as u32, 4)
+                    }
+                    (Some(&ch), Some(b'\''), _) if ch != b'\\' && ch != b'\'' => (ch as u32, 3),
+                    _ => return Err(LangError::at(start, "unterminated char literal".into())),
+                };
+                out.push(Spanned {
+                    tok: Tok::Num(value),
+                    line: start,
+                });
+                i += len;
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let tok2 = match two {
+                    "<<" => Some(Tok::Shl),
+                    ">>" => Some(Tok::Shr),
+                    "==" => Some(Tok::EqEq),
+                    "!=" => Some(Tok::NotEq),
+                    "<=" => Some(Tok::Le),
+                    ">=" => Some(Tok::Ge),
+                    "&&" => Some(Tok::AndAnd),
+                    "||" => Some(Tok::OrOr),
+                    _ => None,
+                };
+                if let Some(t) = tok2 {
+                    out.push(Spanned {
+                        tok: t,
+                        line: start,
+                    });
+                    i += 2;
+                    continue;
+                }
+                let tok1 = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '=' => Tok::Assign,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '&' => Tok::Amp,
+                    '|' => Tok::Pipe,
+                    '^' => Tok::Caret,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    '!' => Tok::Bang,
+                    other => {
+                        return Err(LangError::at(
+                            start,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                };
+                out.push(Spanned {
+                    tok: tok1,
+                    line: start,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}

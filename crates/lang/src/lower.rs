@@ -1,0 +1,246 @@
+//! Lowering: typed AST → a linear, label-based IR.
+//!
+//! Expressions lower onto an *evaluation stack* of virtual temporaries
+//! `t0, t1, …` in strict left-to-right order: an expression rooted at
+//! depth `d` leaves its value in `t(d)` and may clobber only `t(>d)`.
+//! Statements always evaluate at depth 0. This stack discipline is
+//! what makes register allocation ([`crate::regalloc`]) trivially
+//! deterministic: `t(i)` maps to a fixed register or spill slot.
+
+use crate::ast::{BinOp, UnOp};
+use crate::check::{Intrinsic, TExpr, TFn, TProgram, TStmt};
+
+/// One lowered operation. `usize` operands named `d` are evaluation
+/// depths (virtual temporaries); `slot` are function-local slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ir {
+    /// `t(d) = imm`
+    Const {
+        /// Destination depth.
+        d: usize,
+        /// Immediate value.
+        imm: u32,
+    },
+    /// `t(d) = local[slot]`
+    LoadLocal {
+        /// Destination depth.
+        d: usize,
+        /// Source local slot.
+        slot: usize,
+    },
+    /// `local[slot] = t(d)`
+    StoreLocal {
+        /// Destination local slot.
+        slot: usize,
+        /// Source depth.
+        d: usize,
+    },
+    /// `t(d) = op t(d)` (in place).
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand and destination depth.
+        d: usize,
+    },
+    /// `t(d) = t(d) op t(d+1)`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left-operand / destination depth; right operand is `d + 1`.
+        d: usize,
+    },
+    /// `t(d) = funcs[index](t(d), …, t(d + nargs - 1))`.
+    Call {
+        /// Destination depth (arguments start here too).
+        d: usize,
+        /// Callee index in the program's function table.
+        index: usize,
+        /// Argument count.
+        nargs: usize,
+    },
+    /// `t(d) = intrinsic(t(d), …, t(d + nargs - 1))`.
+    Intr {
+        /// Destination depth (arguments start here too).
+        d: usize,
+        /// Which intrinsic.
+        intr: Intrinsic,
+        /// Argument count.
+        nargs: usize,
+    },
+    /// A local jump label (function-unique id).
+    Label(usize),
+    /// Unconditional jump to a label.
+    Jump(usize),
+    /// Jump to `label` if `t(d) == 0`.
+    Branch0 {
+        /// Tested depth.
+        d: usize,
+        /// Target label.
+        label: usize,
+    },
+    /// Return. If `has_value`, the value is in `t0`; else return 0.
+    Ret {
+        /// Whether `t0` holds the return value.
+        has_value: bool,
+    },
+}
+
+/// A lowered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFn {
+    /// Function name (for labels and diagnostics).
+    pub name: String,
+    /// Parameter count.
+    pub params: usize,
+    /// Local slot count (parameters included).
+    pub locals: usize,
+    /// One past the deepest temporary used (`t0..t(max_depth)`).
+    pub max_depth: usize,
+    /// Whether the body contains any user-function call (drives the
+    /// caller-save frame area in the allocator).
+    pub has_calls: bool,
+    /// The operations.
+    pub body: Vec<Ir>,
+}
+
+/// A lowered program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrProgram {
+    /// Functions, same order/indices as the typed program.
+    pub funcs: Vec<IrFn>,
+    /// Entry (`main`) index.
+    pub entry: usize,
+}
+
+struct Lowerer {
+    body: Vec<Ir>,
+    next_label: usize,
+    max_depth: usize,
+    has_calls: bool,
+}
+
+impl Lowerer {
+    fn fresh(&mut self) -> usize {
+        self.next_label += 1;
+        self.next_label - 1
+    }
+
+    fn touch(&mut self, d: usize) {
+        self.max_depth = self.max_depth.max(d + 1);
+    }
+
+    fn expr(&mut self, e: &TExpr, d: usize) {
+        self.touch(d);
+        match e {
+            TExpr::Num(n) => self.body.push(Ir::Const { d, imm: *n }),
+            TExpr::Local(slot) => self.body.push(Ir::LoadLocal { d, slot: *slot }),
+            TExpr::Unary(op, a) => {
+                self.expr(a, d);
+                self.body.push(Ir::Unary { op: *op, d });
+            }
+            TExpr::Bin(op, a, b) => {
+                self.expr(a, d);
+                self.expr(b, d + 1);
+                self.body.push(Ir::Bin { op: *op, d });
+            }
+            TExpr::Call(index, args) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.expr(a, d + i);
+                }
+                self.has_calls = true;
+                self.body.push(Ir::Call {
+                    d,
+                    index: *index,
+                    nargs: args.len(),
+                });
+            }
+            TExpr::Intr(intr, args) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.expr(a, d + i);
+                }
+                self.body.push(Ir::Intr {
+                    d,
+                    intr: *intr,
+                    nargs: args.len(),
+                });
+            }
+        }
+    }
+
+    fn block(&mut self, body: &[TStmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &TStmt) {
+        match s {
+            TStmt::Assign(slot, e) => {
+                self.expr(e, 0);
+                self.body.push(Ir::StoreLocal { slot: *slot, d: 0 });
+            }
+            TStmt::Expr(e) => self.expr(e, 0),
+            TStmt::Return(e) => {
+                let has_value = if let Some(e) = e {
+                    self.expr(e, 0);
+                    true
+                } else {
+                    false
+                };
+                self.body.push(Ir::Ret { has_value });
+            }
+            TStmt::If(c, t, o) => {
+                let l_else = self.fresh();
+                let l_end = self.fresh();
+                self.expr(c, 0);
+                self.body.push(Ir::Branch0 {
+                    d: 0,
+                    label: l_else,
+                });
+                self.block(t);
+                self.body.push(Ir::Jump(l_end));
+                self.body.push(Ir::Label(l_else));
+                self.block(o);
+                self.body.push(Ir::Label(l_end));
+            }
+            TStmt::While(c, body) => {
+                let l_head = self.fresh();
+                let l_end = self.fresh();
+                self.body.push(Ir::Label(l_head));
+                self.expr(c, 0);
+                self.body.push(Ir::Branch0 { d: 0, label: l_end });
+                self.block(body);
+                self.body.push(Ir::Jump(l_head));
+                self.body.push(Ir::Label(l_end));
+            }
+        }
+    }
+}
+
+fn lower_fn(f: &TFn) -> IrFn {
+    let mut l = Lowerer {
+        body: Vec::new(),
+        next_label: 0,
+        max_depth: 0,
+        has_calls: false,
+    };
+    l.block(&f.body);
+    // Falling off the end returns 0.
+    l.body.push(Ir::Ret { has_value: false });
+    IrFn {
+        name: f.name.clone(),
+        params: f.params,
+        locals: f.locals,
+        max_depth: l.max_depth,
+        has_calls: l.has_calls,
+        body: l.body,
+    }
+}
+
+/// Lower a checked program to IR.
+pub fn lower(p: &TProgram) -> IrProgram {
+    IrProgram {
+        funcs: p.funcs.iter().map(lower_fn).collect(),
+        entry: p.entry,
+    }
+}

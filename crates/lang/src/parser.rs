@@ -1,0 +1,263 @@
+//! Recursive-descent parser with precedence climbing.
+//!
+//! Grammar (all operators left-associative, loosest first):
+//!
+//! ```text
+//! program := fn*
+//! fn      := "fn" ident "(" [ident ("," ident)*] ")" block
+//! block   := "{" stmt* "}"
+//! stmt    := "let" ident "=" expr ";"
+//!          | ident "=" expr ";"
+//!          | "while" expr block
+//!          | "if" expr block ["else" block]
+//!          | "return" [expr] ";"
+//!          | expr ";"
+//! expr    := binary operators over unary / primary
+//! primary := number | ident | ident "(" args ")" | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, Expr, FnDef, Program, Stmt, UnOp};
+use crate::lexer::{lex, Spanned, Tok};
+use crate::LangError;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Binding power of a binary operator token; higher binds tighter.
+fn binop_of(tok: &Tok) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        Tok::OrOr => (BinOp::LOr, 1),
+        Tok::AndAnd => (BinOp::LAnd, 2),
+        Tok::EqEq => (BinOp::Eq, 3),
+        Tok::NotEq => (BinOp::Ne, 3),
+        Tok::Lt => (BinOp::Lt, 3),
+        Tok::Le => (BinOp::Le, 3),
+        Tok::Gt => (BinOp::Gt, 3),
+        Tok::Ge => (BinOp::Ge, 3),
+        Tok::Pipe => (BinOp::Or, 4),
+        Tok::Caret => (BinOp::Xor, 5),
+        Tok::Amp => (BinOp::And, 6),
+        Tok::Shl => (BinOp::Shl, 7),
+        Tok::Shr => (BinOp::Shr, 7),
+        Tok::Plus => (BinOp::Add, 8),
+        Tok::Minus => (BinOp::Sub, 8),
+        Tok::Star => (BinOp::Mul, 9),
+        Tok::Slash => (BinOp::Div, 9),
+        Tok::Percent => (BinOp::Rem, 9),
+        _ => return None,
+    })
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |s| s.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn next(&mut self) -> Result<Tok, LangError> {
+        let s = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| LangError::at(self.line(), "unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(s.tok.clone())
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), LangError> {
+        let line = self.line();
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(LangError::at(line, format!("expected {what}, got {got:?}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Ident(name) => Ok(name),
+            other => Err(LangError::at(
+                line,
+                format!("expected {what}, got {other:?}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut funcs = Vec::new();
+        while self.peek().is_some() {
+            self.expect(Tok::Fn, "`fn`")?;
+            let name = self.ident("function name")?;
+            self.expect(Tok::LParen, "`(`")?;
+            let mut params = Vec::new();
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    params.push(self.ident("parameter name")?);
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen, "`)`")?;
+            let body = self.block()?;
+            funcs.push(FnDef { name, params, body });
+        }
+        Ok(Program { funcs })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, LangError> {
+        self.expect(Tok::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(LangError::at(self.line(), "unclosed block".into()));
+            }
+            body.push(self.stmt()?);
+        }
+        self.pos += 1; // consume `}`
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        match self.peek() {
+            Some(Tok::Let) => {
+                self.pos += 1;
+                let name = self.ident("variable name")?;
+                self.expect(Tok::Assign, "`=`")?;
+                let e = self.expr(0)?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Let(name, e))
+            }
+            Some(Tok::While) => {
+                self.pos += 1;
+                let cond = self.expr(0)?;
+                Ok(Stmt::While(cond, self.block()?))
+            }
+            Some(Tok::If) => {
+                self.pos += 1;
+                let cond = self.expr(0)?;
+                let then = self.block()?;
+                let other = if self.peek() == Some(&Tok::Else) {
+                    self.pos += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, other))
+            }
+            Some(Tok::Return) => {
+                self.pos += 1;
+                if self.peek() == Some(&Tok::Semi) {
+                    self.pos += 1;
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr(0)?;
+                    self.expect(Tok::Semi, "`;`")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            // `ident = ...` is an assignment; anything else (including
+            // `ident(...)` calls) is an expression statement.
+            Some(Tok::Ident(_))
+                if matches!(
+                    self.toks.get(self.pos + 1).map(|s| &s.tok),
+                    Some(Tok::Assign)
+                ) =>
+            {
+                let name = self.ident("variable name")?;
+                self.pos += 1; // consume `=`
+                let e = self.expr(0)?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Assign(name, e))
+            }
+            _ => {
+                let e = self.expr(0)?;
+                self.expect(Tok::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn expr(&mut self, min_bp: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary()?;
+        while let Some((op, bp)) = self.peek().and_then(binop_of) {
+            if bp < min_bp {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.expr(bp + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.next()? {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::LParen => {
+                let e = self.expr(0)?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(LangError::at(
+                line,
+                format!("expected an expression, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Parse hvft-lang source text into an AST.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    p.program()
+}

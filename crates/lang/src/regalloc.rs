@@ -1,0 +1,158 @@
+//! Register allocation over the hvft register file.
+//!
+//! The allocator is deterministic and table-driven — the IR's stack
+//! discipline means no liveness analysis is needed:
+//!
+//! | registers | role |
+//! |-----------|------|
+//! | `r0`      | hardwired zero |
+//! | `r1`      | return address (`ra`) |
+//! | `r2`      | stack pointer (`sp`) |
+//! | `r3`      | reserved (unused) |
+//! | `r4..r7`  | call/syscall arguments and return value (volatile) |
+//! | `r8..r19` | evaluation stack `t0..t11`; deeper temps spill |
+//! | `r20..r25`| first six locals (callee-saved) |
+//! | `r26,r27` | emitter scratch, never live across a call or gate |
+//! | `r28..r31`| kernel-owned — user code must not touch them |
+//!
+//! The frame layout (offsets from `sp` after the prologue) is
+//! `[ra, saved locals regs…, memory locals…, temp spills…,
+//! call-save area (12 words, only if the function calls)]`.
+
+use crate::lower::IrFn;
+
+/// First evaluation-stack register.
+pub const TMP_BASE: u8 = 8;
+/// Number of evaluation-stack registers (`r8..r19`).
+pub const TMP_REGS: usize = 12;
+/// First local register.
+pub const LOCAL_BASE: u8 = 20;
+/// Number of local registers (`r20..r25`).
+pub const LOCAL_REGS: usize = 6;
+/// First scratch register for the emitter.
+pub const SCRATCH0: u8 = 26;
+/// Second scratch register for the emitter.
+pub const SCRATCH1: u8 = 27;
+
+/// Where a value lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// In a register.
+    Reg(u8),
+    /// In the frame, at `offset(sp)`.
+    Frame(u32),
+}
+
+/// The allocation decisions for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnAlloc {
+    /// Location of each local slot.
+    pub locals: Vec<Loc>,
+    /// Frame offset of each spilled temp (`t(TMP_REGS + i)`).
+    spill_base: u32,
+    /// Frame offset of the call-save area (12 words), if any calls.
+    call_save_base: Option<u32>,
+    /// Callee-saved registers this function uses, with their save
+    /// slots, in save order.
+    pub saved: Vec<(u8, u32)>,
+    /// Total frame size in bytes (16-byte aligned).
+    pub frame_size: u32,
+}
+
+impl FnAlloc {
+    /// Allocate for one lowered function.
+    pub fn of(f: &IrFn) -> FnAlloc {
+        let mut off = 4u32; // 0(sp) holds ra
+        let reg_locals = f.locals.min(LOCAL_REGS);
+        let mut saved = Vec::new();
+        for i in 0..reg_locals {
+            saved.push((LOCAL_BASE + i as u8, off));
+            off += 4;
+        }
+        let mut locals = Vec::with_capacity(f.locals);
+        for i in 0..f.locals {
+            if i < LOCAL_REGS {
+                locals.push(Loc::Reg(LOCAL_BASE + i as u8));
+            } else {
+                locals.push(Loc::Frame(off));
+                off += 4;
+            }
+        }
+        let spill_base = off;
+        off += 4 * f.max_depth.saturating_sub(TMP_REGS) as u32;
+        let call_save_base = f.has_calls.then(|| {
+            let base = off;
+            off += 4 * TMP_REGS as u32;
+            base
+        });
+        FnAlloc {
+            locals,
+            spill_base,
+            call_save_base,
+            saved,
+            frame_size: (off + 15) & !15,
+        }
+    }
+
+    /// Location of evaluation-stack temp `t(d)`.
+    pub fn tmp(&self, d: usize) -> Loc {
+        if d < TMP_REGS {
+            Loc::Reg(TMP_BASE + d as u8)
+        } else {
+            Loc::Frame(self.spill_base + 4 * (d - TMP_REGS) as u32)
+        }
+    }
+
+    /// Save slot for live temp register `t(i)` (`i < TMP_REGS`) around
+    /// a call. Panics if the function was allocated without calls.
+    pub fn call_save(&self, i: usize) -> u32 {
+        debug_assert!(i < TMP_REGS);
+        self.call_save_base.expect("function has no calls") + 4 * i as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::IrFn;
+
+    fn dummy(locals: usize, max_depth: usize, has_calls: bool) -> IrFn {
+        IrFn {
+            name: "f".into(),
+            params: 0,
+            locals,
+            max_depth,
+            has_calls,
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn leaf_frames_are_small_and_aligned() {
+        let a = FnAlloc::of(&dummy(2, 3, false));
+        assert_eq!(a.locals, vec![Loc::Reg(20), Loc::Reg(21)]);
+        assert_eq!(a.tmp(0), Loc::Reg(8));
+        assert_eq!(a.tmp(11), Loc::Reg(19));
+        assert_eq!(a.frame_size % 16, 0);
+        assert!(a.frame_size >= 12); // ra + two saved locals
+    }
+
+    #[test]
+    fn deep_temps_spill_past_twelve() {
+        let a = FnAlloc::of(&dummy(0, 15, false));
+        assert!(matches!(a.tmp(12), Loc::Frame(_)));
+        let (Loc::Frame(s0), Loc::Frame(s1)) = (a.tmp(12), a.tmp(13)) else {
+            panic!("expected frame spills");
+        };
+        assert_eq!(s1, s0 + 4);
+    }
+
+    #[test]
+    fn overflow_locals_go_to_frame_and_calls_reserve_save_area() {
+        let a = FnAlloc::of(&dummy(8, 2, true));
+        assert!(matches!(a.locals[6], Loc::Frame(_)));
+        assert!(matches!(a.locals[7], Loc::Frame(_)));
+        // 12-word call-save area fits inside the frame.
+        assert!(a.call_save(11) + 4 <= a.frame_size);
+    }
+}

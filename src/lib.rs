@@ -15,6 +15,7 @@
 //! | [`machine`] | `hvft-machine` | CPU, MMU/TLB, recovery counter |
 //! | [`isa`] | `hvft-isa` | instruction set and assembler |
 //! | [`guest`] | `hvft-guest` | the mini guest OS and workloads |
+//! | [`lang`] | `hvft-lang` | the hvft-lang workload compiler, reference interpreter, and random-program generator |
 //! | [`devices`] | `hvft-devices` | shared disk (IO1/IO2), console |
 //! | [`net`] | `hvft-net` | the [`net::transport::Transport`] interface with its two media — timed FIFO channels and the chain's instant links — plus link models, the failure detector, the [`net::reliable`] ack/retransmission layer, and the shared-medium [`net::lan::Lan`] |
 //! | [`sim`] | `hvft-sim` | simulated time, events, RNG, stats |
@@ -43,6 +44,7 @@ pub use hvft_devices as devices;
 pub use hvft_guest as guest;
 pub use hvft_hypervisor as hypervisor;
 pub use hvft_isa as isa;
+pub use hvft_lang as lang;
 pub use hvft_machine as machine;
 pub use hvft_model as model;
 pub use hvft_net as net;

@@ -18,7 +18,8 @@
 
 use hvft::core::scenario::{ClusterScenario, Parallelism, RunReport, Scenario, ScenarioBuilder};
 use hvft::guest::workload::{Dhrystone, IoBench};
-use hvft::guest::{IoMode, KernelConfig};
+use hvft::guest::{CompiledWorkload, IoMode, KernelConfig};
+use hvft::lang::genprog::GenConfig;
 use hvft::net::link::LinkSpec;
 use hvft::sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -252,4 +253,81 @@ fn builder_level_parallelism_request_is_honoured() {
         fingerprint(&baseline.run()),
         "the requested mode must not change results"
     );
+}
+
+// ---------------------------------------------------------------------
+// Generated workloads through the full protocol stack
+// ---------------------------------------------------------------------
+
+/// A cluster whose shards all run `hvft-lang` *generated* programs:
+/// the fuzz frontier pushed through the replication protocol itself.
+/// Each shard gets a different program (seed-offset), loss plus a
+/// mid-run backup failstop are always on, and the oracle is the same
+/// as above — `Threads(n)` must be bit-identical to `Sequential`.
+fn lang_cluster(shards: usize, backups: usize, seed: u64) -> ClusterScenario {
+    let mut cluster = ClusterScenario::new(LinkSpec::ethernet_10mbps(), seed);
+    for i in 0..shards {
+        let workload = CompiledWorkload::generated(
+            seed.wrapping_mul(31).wrapping_add(i as u64),
+            &GenConfig::default(),
+        );
+        let b = Scenario::builder()
+            .functional_cost()
+            .workload(workload)
+            .backups(backups)
+            .seed(seed.wrapping_add(i as u64))
+            .lossy(0.15)
+            .retransmit(SimDuration::from_millis(5))
+            .detector_timeout(SimDuration::from_millis(300))
+            .fail_replica_at(SimTime::from_nanos(1_200_000), 1 + i % backups);
+        cluster
+            .add(b.build().expect("valid generated-workload shard"))
+            .expect("replicated shard");
+    }
+    cluster
+}
+
+fn lang_modes_agree(shards: usize, backups: usize, seed: u64) {
+    let mut sequential = lang_cluster(shards, backups, seed);
+    sequential.parallelism(Parallelism::Sequential);
+    let seq = fingerprint(&sequential.run());
+
+    let mut parallel = lang_cluster(shards, backups, seed);
+    parallel.parallelism(Parallelism::Threads(4));
+    let par = fingerprint(&parallel.run());
+
+    assert_eq!(
+        seq, par,
+        "generated workloads: Threads(4) diverged from sequential \
+         (shards={shards}, t={backups}, seed={seed})"
+    );
+    assert!(
+        seq.iter().any(|f| f.contains("Exit")),
+        "degenerate generated sweep: no shard exited (seed={seed})"
+    );
+}
+
+// Generated programs are adversarial in a way the registry set is not:
+// their gate/branch mix is arbitrary, so epoch boundaries land in
+// arbitrary spots. The protocol oracle must not care.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+    #[test]
+    fn generated_workloads_parallel_equals_sequential(
+        seed in 0u64..1 << 32,
+        shards in 2usize..4,
+        backups in 1usize..3,
+    ) {
+        lang_modes_agree(shards, backups, seed);
+    }
+}
+
+/// Deterministic pin of the generated-workload protocol oracle for
+/// both replication degrees the issue names (t = 1 and t = 2), with
+/// loss and a mid-run backup failstop always injected.
+#[test]
+fn pinned_generated_workload_cluster_equivalence() {
+    for backups in [1usize, 2] {
+        lang_modes_agree(3, backups, 1995);
+    }
 }
