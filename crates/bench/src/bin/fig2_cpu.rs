@@ -2,10 +2,10 @@
 //! performance versus epoch length.
 //!
 //! ```text
-//! cargo run --release -p hvft-bench --bin fig2_cpu [--full] [--micro]
+//! cargo run --release -p hvft-bench --bin fig2_cpu [--full|--sample] [--micro]
 //! ```
 
-use hvft_bench::{measure_cpu_np, Scale, CURVE_ELS};
+use hvft_bench::{measure_cpu_np, Scale};
 use hvft_core::config::ProtocolVariant;
 use hvft_model::cpu::NpcModel;
 use hvft_net::link::LinkSpec;
@@ -32,7 +32,7 @@ fn main() {
     println!("|-----------:|------------------:|------------------:|--------------------:|");
 
     let mut measured = Vec::new();
-    for el in CURVE_ELS {
+    for &el in scale.curve_els() {
         let m = measure_cpu_np(el, ProtocolVariant::Old, LinkSpec::ethernet_10mbps(), scale);
         let paper = paper_measured(el).map_or("-".to_owned(), |v| format!("{v:.2}"));
         println!(

@@ -2,10 +2,10 @@
 //! normalized performance versus epoch length.
 //!
 //! ```text
-//! cargo run --release -p hvft-bench --bin fig3_io [--full] [--micro]
+//! cargo run --release -p hvft-bench --bin fig3_io [--full|--sample] [--micro]
 //! ```
 
-use hvft_bench::{bare_disk_op_time, measure_io_np, Scale, CURVE_ELS};
+use hvft_bench::{bare_disk_op_time, measure_io_np, Scale};
 use hvft_core::config::ProtocolVariant;
 use hvft_guest::IoMode;
 use hvft_model::io::NpIoModel;
@@ -43,7 +43,7 @@ fn main() {
         println!("| EL (insns) | NP measured (sim) | NP paper measured | model paper |");
         println!("|-----------:|------------------:|------------------:|------------:|");
         let mut at_4k = None;
-        for el in CURVE_ELS {
+        for &el in scale.curve_els() {
             let m = measure_io_np(el, mode, ProtocolVariant::Old, link, scale);
             let paper = paper_measured(mode, el).map_or("-".to_owned(), |v| format!("{v:.2}"));
             println!(

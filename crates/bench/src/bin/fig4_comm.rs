@@ -5,24 +5,24 @@
 //! can also measure it: we run the same workload over both link models.
 //!
 //! ```text
-//! cargo run --release -p hvft-bench --bin fig4_comm [--full]
+//! cargo run --release -p hvft-bench --bin fig4_comm [--full|--sample]
 //! ```
 
-use hvft_bench::{measure_cpu_np, Scale, CURVE_ELS};
+use hvft_bench::{measure_cpu_np, Scale};
 use hvft_core::config::ProtocolVariant;
 use hvft_model::comm::predict_fig4;
 use hvft_net::link::LinkSpec;
 
 fn main() {
     let scale = Scale::from_args();
-    let els: Vec<u64> = CURVE_ELS.iter().map(|&e| e as u64).collect();
+    let els: Vec<u64> = scale.curve_els().iter().map(|&e| e as u64).collect();
     let predicted = predict_fig4(&els);
 
     println!("== Figure 4: faster communication (CPU workload, original protocol) ==");
     println!("(workload scale: {scale:?})\n");
     println!("| EL (insns) | Ethernet measured | ATM measured | Ethernet paper model | ATM paper model |");
     println!("|-----------:|------------------:|-------------:|---------------------:|----------------:|");
-    for (i, el) in CURVE_ELS.iter().enumerate() {
+    for (i, el) in scale.curve_els().iter().enumerate() {
         let eth = measure_cpu_np(
             *el,
             ProtocolVariant::Old,

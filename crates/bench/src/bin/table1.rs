@@ -2,7 +2,7 @@
 //! protocols for all three workloads at epoch lengths 1 K – 8 K.
 //!
 //! ```text
-//! cargo run --release -p hvft-bench --bin table1 [--full]
+//! cargo run --release -p hvft-bench --bin table1 [--full|--sample]
 //! ```
 
 use hvft_bench::{measure_cpu_np, measure_io_np, Scale, MEASURED_ELS};

@@ -35,12 +35,29 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--full` from argv.
+    /// Parses `--full` / `--sample` from argv. `--sample` selects the
+    /// tiny profile CI uses to exercise the figure binaries end to end
+    /// in seconds; without either flag the quick profile runs.
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--full") {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--full") {
             Scale::Full
+        } else if args.iter().any(|a| a == "--sample") {
+            Scale::Tiny
         } else {
             Scale::Quick
+        }
+    }
+
+    /// Epoch lengths for the figure curves. The sampled profile keeps
+    /// the paper's short, measured epochs — every point still spans
+    /// dozens of epochs at the tiny workload size — and drops the
+    /// long-epoch tail, where the tiny workload would finish in a
+    /// couple of epochs and the NP ratio degenerates.
+    pub fn curve_els(self) -> &'static [u32] {
+        match self {
+            Scale::Tiny => &CURVE_ELS[..4],
+            Scale::Quick | Scale::Full => &CURVE_ELS,
         }
     }
 

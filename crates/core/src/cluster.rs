@@ -86,13 +86,14 @@
 //! ```
 
 use crate::config::FtConfig;
-use crate::system::{FtRunResult, FtSystem, StepPlan, WireFrame};
+use crate::system::{FtRunResult, FtSystem, StepPlan, SystemCheckpoint, WireFrame};
 use hvft_hypervisor::hvguest::{HvEvent, HvGuest};
 use hvft_isa::program::Program;
 use hvft_net::lan::{Lan, LanStats};
 use hvft_net::link::LinkSpec;
 use hvft_sim::pool::WorkPool;
 use hvft_sim::sched::Scheduler;
+use hvft_sim::time::SimTime;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -207,6 +208,42 @@ impl FtCluster {
     /// Panics if `sys` is out of range.
     pub fn system_mut(&mut self, sys: usize) -> &mut FtSystem {
         self.sched.component_mut(sys)
+    }
+
+    /// Shared access to shard `sys` (checkpoint retrieval, stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sys` is out of range.
+    pub fn system(&self, sys: usize) -> &FtSystem {
+        self.sched.component(sys)
+    }
+
+    /// Schedules a whole-cluster checkpoint at the global-time barrier
+    /// `at`: every shard captures its canonical state — through the
+    /// same [`FtSystem::schedule_checkpoint`] API, hence the same
+    /// [`crate::messages::ReplicaState`] a reintegration transfer ships
+    /// — at its acting primary's first epoch boundary at or past `at`.
+    /// The kernel commits shard actions in global `(time, shard)` order
+    /// in both execution modes, so the captures land at a globally
+    /// consistent cut and the resulting [`SystemCheckpoint`]s are
+    /// bit-identical between [`Parallelism::Sequential`] and
+    /// [`Parallelism::Threads`]; capture is pure, so the run itself is
+    /// unperturbed. Retrieve per shard via
+    /// [`FtCluster::checkpoints`] after (or during) the run.
+    pub fn schedule_checkpoint_all(&mut self, at: SimTime) {
+        for i in 0..self.sched.len() {
+            self.sched.component_mut(i).schedule_checkpoint(at);
+        }
+    }
+
+    /// Checkpoints shard `sys` has captured so far, in capture order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sys` is out of range.
+    pub fn checkpoints(&self, sys: usize) -> &[SystemCheckpoint] {
+        self.sched.component(sys).checkpoints()
     }
 
     /// Sets the loss probability of every link currently registered on
@@ -516,6 +553,60 @@ mod tests {
             assert_eq!(
                 sequential, parallel,
                 "Threads({threads}) diverged from the sequential schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_checkpoint_is_mode_invariant_and_restores_exactly() {
+        // Whole-cluster checkpoint at a global-time barrier: every
+        // shard captures the same canonical state a reintegration
+        // transfer ships, bit-identically in every execution mode,
+        // without perturbing the run itself.
+        use hvft_hypervisor::hvguest::HvConfig;
+        // Big enough that epoch boundaries keep occurring well past the
+        // barrier (the capture rides the first boundary at or after it).
+        let image = build_image(&KernelConfig::default(), &dhrystone_source(2000, 5)).unwrap();
+        let barrier = SimTime::from_nanos(2_000_000);
+        let run = |par: Parallelism, checkpoint: bool| {
+            let mut c = FtCluster::new(LinkSpec::ethernet_10mbps(), 11);
+            let cfg = FtConfig {
+                backups: 2,
+                ..fast()
+            };
+            for _ in 0..3 {
+                c.add_system(&image, cfg);
+            }
+            if checkpoint {
+                c.schedule_checkpoint_all(barrier);
+            }
+            let fp = fingerprint(&c.run_with(par));
+            let cks: Vec<Vec<crate::system::SystemCheckpoint>> = (0..c.systems())
+                .map(|i| c.checkpoints(i).to_vec())
+                .collect();
+            (fp, cks)
+        };
+        let (fp_plain, _) = run(Parallelism::Sequential, false);
+        let (fp_seq, cks_seq) = run(Parallelism::Sequential, true);
+        assert_eq!(fp_plain, fp_seq, "checkpointing must not perturb the run");
+        for (sys, cks) in cks_seq.iter().enumerate() {
+            assert_eq!(cks.len(), 1, "shard {sys} must capture exactly once");
+            let ck = &cks[0];
+            assert!(ck.at >= barrier, "shard {sys} captured before the barrier");
+            // Restore through the same API reintegration uses: the
+            // captured snapshot restored into a fresh guest reproduces
+            // the live state exactly.
+            let mut guest = HvGuest::new(&image, CostModel::functional(), HvConfig::default());
+            guest.restore(&ck.state.guest);
+            assert_eq!(guest.state_hash(), ck.state_hash, "shard {sys} restore");
+            assert_eq!(guest.epoch(), ck.epoch, "shard {sys} epoch");
+        }
+        for threads in [2, 8] {
+            let (fp_par, cks_par) = run(Parallelism::Threads(threads), true);
+            assert_eq!(fp_seq, fp_par, "Threads({threads}) fingerprint diverged");
+            assert_eq!(
+                cks_seq, cks_par,
+                "Threads({threads}) checkpoints diverged from sequential"
             );
         }
     }

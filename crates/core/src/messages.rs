@@ -8,7 +8,9 @@
 //! every epoch boundary, and the revised protocol of §4.3 waits for only
 //! before I/O operations.
 
+use hvft_hypervisor::hvguest::HvGuestSnapshot;
 use hvft_hypervisor::vclock::VClock;
+use std::rc::Rc;
 
 /// A forwarded interrupt: what `[E, Int]` carries.
 ///
@@ -30,6 +32,29 @@ pub struct DiskCompletion {
     pub status: u32,
     /// Block contents for reads whose transfer happened.
     pub data: Option<Vec<u8>>,
+}
+
+/// The canonical state of one replica, captured at an epoch boundary
+/// and shipped to a repaired processor during reintegration: the guest
+/// snapshot plus the driver-level device shadows that rule P3's
+/// suppression bookkeeping depends on. Derived caches (decoded blocks,
+/// JIT superblocks, TLB front array) are never shipped — the receiver
+/// rebuilds them, invisibly to the VM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaState {
+    /// The whole virtual machine plus hypervisor bookkeeping.
+    pub guest: HvGuestSnapshot,
+    /// Disk block-number register shadow.
+    pub reg_block: u32,
+    /// Disk DMA-address register shadow.
+    pub reg_addr: u32,
+    /// Disk status register shadow.
+    pub disk_status_reg: u32,
+    /// Guest-issued disk operation not yet completed at the snapshot:
+    /// `(cmd_value, dma_addr)` in `mmio::disk_cmd` encoding. The
+    /// receiver records it backup-style (no captured write data) so
+    /// rule P7's outstanding-I/O bookkeeping survives the transfer.
+    pub inflight: Option<(u32, u32)>,
 }
 
 /// A protocol message.
@@ -68,6 +93,25 @@ pub enum Message {
         /// Highest sequence number received.
         upto: u64,
     },
+    /// Reintegration: one bounded-size chunk of a whole-replica state
+    /// transfer taken at an epoch boundary. Chunks are driver traffic —
+    /// the receiving engine never sees them — and are unsequenced at
+    /// the protocol level (like [`Message::Ack`]); under loss they ride
+    /// the link-level ack/retransmission layer like any other frame.
+    /// Only the final chunk carries the state object (the simulation
+    /// ships structure once; the link model charges per-chunk `bytes`).
+    StateChunk {
+        /// Epoch boundary at which the snapshot was taken.
+        epoch: u64,
+        /// Chunk index, `0 .. total`.
+        index: u32,
+        /// Total chunks in this transfer.
+        total: u32,
+        /// Modelled payload bytes of this chunk.
+        bytes: u32,
+        /// The full replica state, present on the final chunk only.
+        state: Option<Rc<ReplicaState>>,
+    },
 }
 
 impl Message {
@@ -90,16 +134,18 @@ impl Message {
             Message::Time { .. } => 150,
             Message::EpochEnd { .. } => 60,
             Message::Ack { .. } => 26,
+            Message::StateChunk { bytes, .. } => 64 + *bytes as usize,
         }
     }
 
-    /// The sender-side sequence number (acks are unsequenced).
+    /// The sender-side sequence number (acks and state-transfer chunks
+    /// are unsequenced at the protocol level).
     pub fn seq(&self) -> Option<u64> {
         match *self {
             Message::Interrupt { seq, .. }
             | Message::Time { seq, .. }
             | Message::EpochEnd { seq, .. } => Some(seq),
-            Message::Ack { .. } => None,
+            Message::Ack { .. } | Message::StateChunk { .. } => None,
         }
     }
 }

@@ -100,6 +100,16 @@ pub trait Observer {
     /// backups, the buffered delivery point at the primary, or a P7
     /// synthesized uncertain completion).
     fn interrupt_delivered(&mut self, _replica: usize, _irq_bits: u32, _at: SimTime) {}
+
+    /// The acting primary captured a whole-replica snapshot at the
+    /// boundary of `epoch` and began streaming it to a repaired
+    /// replica; `bytes` is the modelled size of the transfer.
+    fn snapshot_taken(&mut self, _replica: usize, _epoch: u64, _bytes: u64, _at: SimTime) {}
+
+    /// A repaired replica finished restoring a state transfer and
+    /// rejoined the chain as a live backup at the boundary of `epoch` —
+    /// the instant `t`-fault coverage is restored.
+    fn replica_reintegrated(&mut self, _replica: usize, _epoch: u64, _bytes: u64, _at: SimTime) {}
 }
 
 /// The run-long statistics observer installed by default on every
@@ -135,6 +145,12 @@ pub struct RunStats {
     pub failovers: u64,
     /// Interrupts delivered into guests.
     pub interrupts_delivered: u64,
+    /// Whole-replica snapshots captured for reintegration transfers.
+    pub snapshots_taken: u64,
+    /// Repaired replicas readmitted as live backups.
+    pub reintegrations: u64,
+    /// Modelled bytes of completed reintegration state transfers.
+    pub state_transfer_bytes: u64,
 }
 
 impl RunStats {
@@ -180,5 +196,14 @@ impl Observer for RunStats {
 
     fn interrupt_delivered(&mut self, _replica: usize, _irq_bits: u32, _at: SimTime) {
         self.interrupts_delivered += 1;
+    }
+
+    fn snapshot_taken(&mut self, _replica: usize, _epoch: u64, _bytes: u64, _at: SimTime) {
+        self.snapshots_taken += 1;
+    }
+
+    fn replica_reintegrated(&mut self, _replica: usize, _epoch: u64, bytes: u64, _at: SimTime) {
+        self.reintegrations += 1;
+        self.state_transfer_bytes += bytes;
     }
 }

@@ -408,6 +408,14 @@ impl ReplicaEngine {
                 effects.extend(self.try_advance());
                 effects
             }
+            Message::StateChunk { .. } => {
+                // State-transfer chunks are driver traffic: the driver
+                // intercepts them before the engine and restores the
+                // replica itself. A stray chunk (e.g. one still in
+                // flight from a primary that since died) is protocol
+                // no-op.
+                Vec::new()
+            }
         }
     }
 
@@ -463,6 +471,45 @@ impl ReplicaEngine {
         } else {
             Vec::new()
         }
+    }
+
+    /// Reintegration: a repaired replica rejoins the chain as a live
+    /// backup. Called by the driver at the epoch boundary whose
+    /// snapshot the rejoiner restores, *before* that boundary's
+    /// `[Tme]`/`[end]` broadcast, so the new peer receives the complete
+    /// boundary sequence over a fresh sequence space.
+    ///
+    /// Interrupts currently buffered at this primary were broadcast
+    /// while the rejoiner was dead; its restored state expects them
+    /// (the snapshot predates their delivery), so they are re-forwarded
+    /// as freshly sequenced `[E, Int]` messages — without this the
+    /// rejoiner would miss a delivery and diverge one epoch later.
+    pub fn add_peer(&mut self, peer: ReplicaId) -> Vec<Effect> {
+        debug_assert!(self.is_primary, "only the acting primary admits peers");
+        if !self.peers.contains(&peer) {
+            self.peers.push(peer);
+            self.peers.sort_unstable();
+        }
+        self.next_seq.insert(peer, 0);
+        self.acked.insert(peer, 0);
+        let mut effects = Vec::new();
+        let pending: Vec<(u64, Vec<ForwardedInterrupt>)> =
+            self.buffered.iter().map(|(&e, v)| (e, v.clone())).collect();
+        for (epoch, fwds) in pending {
+            for interrupt in fwds {
+                let seq = self.next_seq.entry(peer).or_insert(0);
+                *seq += 1;
+                effects.push(Effect::Send {
+                    to: peer,
+                    msg: Message::Interrupt {
+                        seq: *seq,
+                        epoch,
+                        interrupt,
+                    },
+                });
+            }
+        }
+        effects
     }
 
     // -----------------------------------------------------------------

@@ -65,7 +65,7 @@ use crate::chain::{ChainEnd, TChain};
 use crate::cluster::FtCluster;
 use crate::config::{FailureSpec, FtConfig, ProtocolVariant};
 use crate::observer::Observer;
-use crate::system::{FailoverInfo, FtRunResult, FtSystem, RunEnd};
+use crate::system::{FailoverInfo, FtRunResult, FtSystem, ReintegrationInfo, RunEnd};
 use hvft_devices::disk::DiskLogEntry;
 use hvft_guest::workload::{by_name, UnknownWorkload, Workload};
 use hvft_hypervisor::bare::{BareExit, BareHost};
@@ -108,6 +108,12 @@ pub enum ConfigError {
     /// single lost `[Tme]` or `[end]` would stall its epoch boundary
     /// forever.
     LossWithoutRetransmit,
+    /// A rejoin schedule was configured without the ack/retransmission
+    /// layer. Reintegration rides the reliable-framed transport, and
+    /// only reliable mode sends the heartbeats that keep backup
+    /// detectors quiet while the boundary stalls behind a state
+    /// transfer.
+    RejoinWithoutRetransmit,
     /// The failure-detection timeout does not dominate worst-case loss
     /// recovery, so an unlucky drop burst would promote a backup under
     /// a live primary.
@@ -159,6 +165,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "message loss without retransmission stalls the first dropped \
                  epoch boundary forever (add retransmit(..))"
+            ),
+            ConfigError::RejoinWithoutRetransmit => write!(
+                f,
+                "reintegration needs the reliable layer: state transfers ride \
+                 its framing and its heartbeats keep detectors quiet during \
+                 the transfer (add retransmit(..))"
             ),
             ConfigError::DetectorTooShort { detector, required } => write!(
                 f,
@@ -266,6 +278,11 @@ pub struct RunReport {
     pub frames_retransmitted: u64,
     /// Duplicate frames suppressed by receivers.
     pub frames_suppressed: u64,
+    /// Every completed backup reintegration, in completion order
+    /// (replicated driver only).
+    pub reintegrations: Vec<ReintegrationInfo>,
+    /// Modelled bytes of completed reintegration state transfers.
+    pub state_transfer_bytes: u64,
     /// Epoch-boundary state-hash comparisons performed.
     pub lockstep_compared: u64,
     /// Whether every compared boundary hashed identically.
@@ -315,6 +332,7 @@ pub struct ScenarioBuilder {
     backups: Option<usize>,
     extra_primary_failures: Vec<SimTime>,
     replica_failures: Vec<(SimTime, usize)>,
+    rejoins: Vec<(SimTime, usize)>,
     chain_failures_at: Vec<u64>,
     max_epochs: u64,
     parallelism: Parallelism,
@@ -331,6 +349,7 @@ impl Default for ScenarioBuilder {
             backups: None,
             extra_primary_failures: Vec::new(),
             replica_failures: Vec::new(),
+            rejoins: Vec::new(),
             chain_failures_at: Vec::new(),
             max_epochs: 1_000_000,
             parallelism: Parallelism::Sequential,
@@ -450,6 +469,19 @@ impl ScenarioBuilder {
     /// Failstops a specific replica at `at` (backup processor death).
     pub fn fail_replica_at(mut self, at: SimTime, replica: usize) -> Self {
         self.replica_failures.push((at, replica));
+        self
+    }
+
+    /// Puts a failstopped replica back on the LAN at `at` (the repaired
+    /// processor of §5's future work). It waits for a whole-state
+    /// snapshot the acting primary takes at its next epoch boundary,
+    /// restores it, and rejoins the chain as a live backup — restoring
+    /// `t`-fault coverage, so a *subsequent* primary failure can again
+    /// be survived. A replica that is not failstopped at `at` is left
+    /// alone. Requires [`ScenarioBuilder::retransmit`]; replicated
+    /// driver only.
+    pub fn rejoin_replica_at(mut self, at: SimTime, replica: usize) -> Self {
+        self.rejoins.push((at, replica));
         self
     }
 
@@ -613,6 +645,17 @@ impl ScenarioBuilder {
                 max: MAX_DISK_BLOCKS,
             });
         }
+        if !self.rejoins.is_empty() {
+            if self.driver != Driver::Replicated {
+                return Err(ConfigError::DriverMismatch(
+                    "reintegration rides the replicated DES's timed network \
+                     (bare and chain runs cannot rejoin a repaired replica)",
+                ));
+            }
+            if self.cfg.retransmit.is_none() {
+                return Err(ConfigError::RejoinWithoutRetransmit);
+            }
+        }
         if self.driver != Driver::Replicated {
             if self.cfg.nic_queue_bound.is_some() {
                 return Err(ConfigError::DriverMismatch(
@@ -686,6 +729,7 @@ impl ScenarioBuilder {
             driver: self.driver,
             extra_primary_failures: self.extra_primary_failures,
             replica_failures: self.replica_failures,
+            rejoins: self.rejoins,
             chain_failures_at: self.chain_failures_at,
             max_epochs: self.max_epochs,
             parallelism: self.parallelism,
@@ -704,6 +748,7 @@ pub struct Scenario {
     driver: Driver,
     extra_primary_failures: Vec<SimTime>,
     replica_failures: Vec<(SimTime, usize)>,
+    rejoins: Vec<(SimTime, usize)>,
     chain_failures_at: Vec<u64>,
     max_epochs: u64,
     parallelism: Parallelism,
@@ -775,6 +820,9 @@ impl Scenario {
                 }
                 for &(at, replica) in &self.replica_failures {
                     system.schedule_replica_failure(at, replica);
+                }
+                for &(at, replica) in &self.rejoins {
+                    system.schedule_rejoin(at, replica);
                 }
                 Runner::Replicated {
                     system,
@@ -921,6 +969,8 @@ impl Runner {
                     messages_per_replica: Vec::new(),
                     frames_retransmitted: 0,
                     frames_suppressed: 0,
+                    reintegrations: Vec::new(),
+                    state_transfer_bytes: 0,
                     lockstep_compared: 0,
                     lockstep_clean: true,
                     disk_log: host.disk.log().to_vec(),
@@ -970,6 +1020,8 @@ impl Runner {
                     messages_per_replica: Vec::new(),
                     frames_retransmitted: 0,
                     frames_suppressed: 0,
+                    reintegrations: Vec::new(),
+                    state_transfer_bytes: 0,
                     lockstep_compared: r.comparisons,
                     lockstep_clean: !matches!(r.end, ChainEnd::Diverged { .. }),
                     disk_log: Vec::new(),
@@ -1002,6 +1054,8 @@ fn report_from_ft(label: String, r: FtRunResult, retired: u64) -> RunReport {
         messages_per_replica: r.messages_per_replica,
         frames_retransmitted: r.frames_retransmitted,
         frames_suppressed: r.frames_suppressed,
+        reintegrations: r.reintegrations,
+        state_transfer_bytes: r.state_transfer_bytes,
         lockstep_compared: r.lockstep.compared(),
         lockstep_clean: r.lockstep.is_clean(),
         disk_log: r.disk_log,
@@ -1145,6 +1199,9 @@ impl ClusterScenario {
             }
             for &(at, replica) in &shard.replica_failures {
                 sys.schedule_replica_failure(at, replica);
+            }
+            for &(at, replica) in &shard.rejoins {
+                sys.schedule_rejoin(at, replica);
             }
         }
         let results = cluster.run_with(self.effective_parallelism());

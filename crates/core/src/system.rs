@@ -30,7 +30,7 @@
 
 use crate::config::{FailureSpec, FtConfig};
 use crate::lockstep::LockstepChecker;
-use crate::messages::{DiskCompletion, ForwardedInterrupt, Message};
+use crate::messages::{DiskCompletion, ForwardedInterrupt, Message, ReplicaState};
 use crate::observer::{DropReason, Observer, RunStats};
 use crate::protocol::{apply_to_guest, Effect, IoGate, ReplicaEngine};
 use hvft_devices::console::Console;
@@ -96,6 +96,12 @@ enum Life {
     BackupDone(RunEnd),
     /// Failstopped.
     Dead,
+    /// Repaired and back on the LAN, awaiting a state transfer from
+    /// the acting primary. A rejoining host receives frames (so the
+    /// transfer and its link-level acks flow) but runs no guest
+    /// instructions and is not promotable until reintegration
+    /// completes.
+    Rejoining,
 }
 
 /// An operation issued by the guest and not yet completed+delivered.
@@ -212,6 +218,16 @@ impl Host {
     }
 
     fn alive(&self) -> bool {
+        matches!(
+            self.life,
+            Life::Active | Life::BackupDone(_) | Life::Rejoining
+        )
+    }
+
+    /// Whether this host can serve in the promotion chain right now: a
+    /// rejoining replica is alive (it receives frames) but has no
+    /// restored state to promote from.
+    fn promotable(&self) -> bool {
         matches!(self.life, Life::Active | Life::BackupDone(_))
     }
 }
@@ -225,6 +241,46 @@ pub struct FailoverInfo {
     pub epoch: u64,
     /// Whether rule P7 synthesized an uncertain interrupt.
     pub uncertain_synthesized: bool,
+}
+
+/// Information about a completed backup reintegration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReintegrationInfo {
+    /// When the repaired replica became a live backup again — the
+    /// instant `t`-fault coverage was restored.
+    pub at: SimTime,
+    /// The rejoining replica's chain position.
+    pub replica: usize,
+    /// The epoch boundary whose snapshot it restored.
+    pub epoch: u64,
+    /// Modelled bytes of the state transfer.
+    pub bytes: u64,
+}
+
+/// One whole-system checkpoint, captured at the acting primary's first
+/// epoch boundary at or past the requested barrier instant — the same
+/// quiescent point, and the same canonical [`ReplicaState`], that a
+/// reintegration transfer ships (see [`FtSystem::schedule_checkpoint`]).
+/// Capture is pure — no wire traffic, no engine interaction — so a
+/// checkpointed run is bit-identical to an uncheckpointed one, and the
+/// checkpoint itself is identical whichever
+/// [`crate::cluster::Parallelism`] mode produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SystemCheckpoint {
+    /// The requested barrier instant.
+    pub requested: SimTime,
+    /// When the capture actually happened: the acting primary's first
+    /// epoch boundary at or past `requested`.
+    pub at: SimTime,
+    /// The epoch whose boundary was captured.
+    pub epoch: u64,
+    /// The live guest's VM-state hash at capture. Restoring
+    /// `state.guest` into any [`HvGuest`] reproduces exactly this hash
+    /// — the restore-exactness check for consumers.
+    pub state_hash: u64,
+    /// The canonical state, identical in kind to a reintegration
+    /// transfer: guest snapshot plus driver-level device shadows.
+    pub state: ReplicaState,
 }
 
 /// The outcome of a system run.
@@ -265,6 +321,10 @@ pub struct FtRunResult {
     /// Duplicate or out-of-order frames suppressed by receivers (zero
     /// without the reliable layer).
     pub frames_suppressed: u64,
+    /// Every completed backup reintegration, in completion order.
+    pub reintegrations: Vec<ReintegrationInfo>,
+    /// Modelled bytes of completed reintegration state transfers.
+    pub state_transfer_bytes: u64,
 }
 
 /// The coordination medium: either a private full mesh of
@@ -360,6 +420,22 @@ impl NetBackend {
         }
     }
 
+    /// Reopens every link touching `victim` — the physical repair that
+    /// precedes reintegration. Frames offered while the links were down
+    /// stay lost.
+    fn unsever_all_of(&mut self, victim: usize) {
+        match self {
+            NetBackend::Mesh(chans) => {
+                for (&(from, to), ch) in chans.iter_mut() {
+                    if from == victim || to == victim {
+                        ch.unsever();
+                    }
+                }
+            }
+            NetBackend::Shared { lan, base, .. } => lan.borrow_mut().unsever_node(*base + victim),
+        }
+    }
+
     fn is_severed(&self, from: usize, to: usize) -> bool {
         match self {
             NetBackend::Mesh(chans) => chans.get(&(from, to)).is_none_or(|ch| ch.is_severed()),
@@ -425,6 +501,8 @@ enum EventTag {
     Heartbeat,
     /// Backup `b`'s failure detector reaches its deadline.
     Detector(usize),
+    /// The rejoin schedule repairs a failstopped replica.
+    Rejoin,
 }
 
 /// One planned guest slice: host `host` may run for `budget` without
@@ -487,6 +565,24 @@ pub struct FtSystem {
     /// Failure schedule for specific replicas (backup failstops),
     /// sorted by time.
     replica_fail_schedule: Vec<(SimTime, usize)>,
+    /// Rejoin schedule: each entry repairs a failstopped replica at a
+    /// time, putting it back on the LAN to await a state transfer.
+    rejoin_schedule: Vec<(SimTime, usize)>,
+    /// Repaired replicas on the LAN awaiting a transfer, in repair
+    /// order. The acting primary serves the head of this queue at its
+    /// next epoch boundary (one transfer at a time).
+    pending_rejoins: Vec<usize>,
+    /// An in-progress state transfer: `(victim, snapshot epoch)`.
+    /// Aborted (and later restarted by the new primary) if the sender
+    /// failstops mid-transfer.
+    transfer: Option<(usize, u64)>,
+    /// Pending checkpoint barriers, sorted by time; each is served at
+    /// the acting primary's first epoch boundary at or past it.
+    checkpoint_schedule: Vec<SimTime>,
+    /// Completed checkpoints, in capture order.
+    checkpoints: Vec<SystemCheckpoint>,
+    /// Completed reintegrations, in completion order.
+    reintegrations: Vec<ReintegrationInfo>,
     failovers: Vec<FailoverInfo>,
     lockstep: LockstepChecker,
     /// Index of the host currently acting as primary.
@@ -650,6 +746,12 @@ impl FtSystem {
             disk_done: vec![None; n],
             fail_schedule,
             replica_fail_schedule: Vec::new(),
+            rejoin_schedule: Vec::new(),
+            pending_rejoins: Vec::new(),
+            transfer: None,
+            checkpoint_schedule: Vec::new(),
+            checkpoints: Vec::new(),
+            reintegrations: Vec::new(),
             failovers: Vec::new(),
             lockstep: LockstepChecker::new(),
             acting_primary: 0,
@@ -744,6 +846,45 @@ impl FtSystem {
         assert!(replica < self.hosts.len(), "no replica {replica}");
         self.replica_fail_schedule.push((at, replica));
         self.replica_fail_schedule.sort_by_key(|&(t, r)| (t, r));
+    }
+
+    /// Schedules the repair of a failstopped replica at `at`: its links
+    /// are reopened and it waits on the LAN for a state transfer. At
+    /// the acting primary's next epoch boundary the whole replica state
+    /// is snapshotted and shipped in bounded-size chunks; once the
+    /// final chunk arrives the replica restores it, rejoins the chain
+    /// as a live backup, and every backup's failure detector is
+    /// re-armed by recomputed rank — restoring `t`-fault coverage. If
+    /// the replica is not failstopped when the event fires, it is a
+    /// no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn schedule_rejoin(&mut self, at: SimTime, replica: usize) {
+        assert!(replica < self.hosts.len(), "no replica {replica}");
+        self.rejoin_schedule.push((at, replica));
+        self.rejoin_schedule.sort_by_key(|&(t, r)| (t, r));
+    }
+
+    /// Schedules a whole-system checkpoint barrier at `at`: at the
+    /// acting primary's first epoch boundary at or past `at`, the same
+    /// canonical state a reintegration transfer ships
+    /// ([`ReplicaState`]) is captured into a [`SystemCheckpoint`],
+    /// retrievable via [`FtSystem::checkpoints`]. The capture is pure —
+    /// no wire traffic, no engine interaction — so a checkpointed run
+    /// is observably identical to an uncheckpointed one, and under
+    /// [`crate::cluster::Parallelism::Threads`] the capture commits on
+    /// the coordinator in the same global order the sequential schedule
+    /// uses, keeping the checkpoint itself bit-identical across modes.
+    pub fn schedule_checkpoint(&mut self, at: SimTime) {
+        self.checkpoint_schedule.push(at);
+        self.checkpoint_schedule.sort();
+    }
+
+    /// Checkpoints captured so far, in capture order.
+    pub fn checkpoints(&self) -> &[SystemCheckpoint] {
+        &self.checkpoints
     }
 
     /// Access to the protocol-event tracer (disabled by default; enable
@@ -935,6 +1076,25 @@ impl FtSystem {
                 return;
             }
         };
+        if let Message::StateChunk {
+            epoch,
+            index,
+            total,
+            state,
+            ..
+        } = payload
+        {
+            if state.is_some() {
+                debug_assert_eq!(index + 1, total, "state object rides the final chunk");
+            }
+            self.receive_chunk(to, from, at, epoch, state);
+            return;
+        }
+        if self.hosts[to].life == Life::Rejoining {
+            // A rejoining host has no live engine yet; anything but the
+            // state transfer reaching it is stale traffic.
+            return;
+        }
         let effects = self.hosts[to].engine.message_received(from, payload);
         self.process_effects(to, effects);
     }
@@ -1077,6 +1237,13 @@ impl FtSystem {
         self.hosts[i].charge(self.cfg.cost.hv_epoch_cpu);
         let at = self.hosts[i].now;
         self.notify(|o| o.epoch_boundary(i, epoch, at));
+        if i == self.acting_primary {
+            self.maybe_take_checkpoint(i, epoch);
+            // Reintegration transfers start here — before this
+            // boundary's `[Tme]`/`[end]` broadcast, so the rejoiner's
+            // restore precedes every engine message on the FIFO link.
+            self.maybe_start_transfer(i, epoch);
+        }
         let vclock = self.hosts[i].guest.vclock.snapshot();
         let effects = self.hosts[i].engine.boundary_reached(epoch, vclock);
         self.process_effects(i, effects);
@@ -1195,16 +1362,18 @@ impl FtSystem {
     // Failover (rules P6/P7)
     // -----------------------------------------------------------------
 
-    /// Live backups after `of`, in chain (promotion) order.
+    /// Live backups after `of`, in chain (promotion) order. A replica
+    /// mid-reintegration is on the LAN but holds no usable state, so it
+    /// is not a survivor.
     fn survivors_after(&self, of: usize) -> Vec<usize> {
         (0..self.hosts.len())
-            .filter(|&j| j != of && j != self.acting_primary && self.hosts[j].alive())
+            .filter(|&j| j != of && j != self.acting_primary && self.hosts[j].promotable())
             .collect()
     }
 
     /// The backup next in line for promotion, if any.
     fn next_in_line(&self) -> Option<usize> {
-        (0..self.hosts.len()).find(|&j| j != self.acting_primary && self.hosts[j].alive())
+        (0..self.hosts.len()).find(|&j| j != self.acting_primary && self.hosts[j].promotable())
     }
 
     fn failover(&mut self, i: usize, at: SimTime) {
@@ -1366,6 +1535,11 @@ impl FtSystem {
                 .and_then(|io| io.write_data.clone());
             self.disk.abandon(data.as_deref());
         }
+        // A state transfer in flight from the dead primary is aborted;
+        // the rejoiner stays queued and the successor restarts the
+        // transfer from its own boundary snapshot. Chunks already on
+        // the wire are rejected by the receiver's sender check.
+        self.transfer = None;
     }
 
     /// Drops all retransmission state touching a failstopped replica:
@@ -1412,6 +1586,308 @@ impl FtSystem {
             let effects = self.hosts[ap].engine.remove_peer(victim);
             self.process_effects(ap, effects);
         }
+        // A repaired replica that dies again mid-reintegration leaves
+        // the rejoin pipeline entirely.
+        if self.transfer.is_some_and(|(v, _)| v == victim) {
+            self.transfer = None;
+        }
+        self.pending_rejoins.retain(|&v| v != victim);
+    }
+
+    // -----------------------------------------------------------------
+    // Reintegration: epoch-boundary state transfer to a repaired backup
+    // -----------------------------------------------------------------
+
+    /// The rejoin schedule fired: put the repaired processor back on
+    /// the LAN. Its links reopen, its link-layer windows restart, and
+    /// it queues for a state transfer at the acting primary's next
+    /// epoch boundary. A replica that is not failstopped is left alone.
+    fn begin_rejoin(&mut self, at: SimTime, victim: usize) {
+        if self.hosts[victim].life != Life::Dead {
+            return;
+        }
+        self.net.unsever_all_of(victim);
+        self.reset_windows_of(victim);
+        let h = &mut self.hosts[victim];
+        h.life = Life::Rejoining;
+        h.now = h.now.max(at);
+        h.held_io = None;
+        h.inflight = None;
+        h.disk_status_reg = mmio::disk_status::IDLE;
+        self.pending_rejoins.push(victim);
+        self.tracer.emit(
+            at,
+            TraceCategory::Failure,
+            Some(victim as u8),
+            "repaired processor back on the LAN; awaiting state transfer".to_owned(),
+        );
+    }
+
+    /// Replaces the link-layer state of every directed link touching a
+    /// repaired replica with fresh windows: the reconnect starts a new
+    /// frame sequence space on both sides, mirroring the fresh engine
+    /// sequence space the rejoiner gets at restore.
+    fn reset_windows_of(&mut self, victim: usize) {
+        let Some(rto) = self.cfg.retransmit else {
+            return;
+        };
+        let rel = self.rel.as_mut().expect("retransmit implies RelNet");
+        for (&(from, to), w) in rel.send.iter_mut() {
+            if from == victim || to == victim {
+                *w = SendWindow::new(rto);
+            }
+        }
+        for (&(from, to), w) in rel.recv.iter_mut() {
+            if from == victim || to == victim {
+                *w = RecvWindow::new();
+            }
+        }
+    }
+
+    /// Serves the checkpoint schedule at the acting primary's epoch
+    /// boundary: every barrier at or before this boundary captures the
+    /// canonical state — the guest snapshot plus device shadows that a
+    /// reintegration transfer would ship — without touching the wire or
+    /// the engine, so the run proceeds exactly as if no checkpoint had
+    /// been taken.
+    fn maybe_take_checkpoint(&mut self, i: usize, epoch: u64) {
+        let now = self.hosts[i].now;
+        while self
+            .checkpoint_schedule
+            .first()
+            .is_some_and(|&req| req <= now)
+        {
+            let requested = self.checkpoint_schedule.remove(0);
+            let state = self.capture_replica_state(i);
+            let bytes = state.guest.wire_bytes();
+            self.notify(|o| o.snapshot_taken(i, epoch, bytes, now));
+            self.tracer.emit(
+                now,
+                TraceCategory::Protocol,
+                Some(i as u8),
+                format!("checkpoint at end of epoch {epoch} ({bytes} bytes of canonical state)"),
+            );
+            self.checkpoints.push(SystemCheckpoint {
+                requested,
+                at: now,
+                epoch,
+                state_hash: self.hosts[i].guest.state_hash(),
+                state,
+            });
+        }
+    }
+
+    /// Serves the rejoin queue at the acting primary's epoch boundary:
+    /// snapshots this replica's whole canonical state, streams it to
+    /// the repaired backup in bounded-size chunks, and admits the
+    /// backup to the engine's peer set — in that order, and all before
+    /// this boundary's `[Tme]`/`[end]` broadcast, so the re-forwarded
+    /// interrupts and the boundary sequence queue behind the transfer
+    /// on the same FIFO link and reach the rejoiner only after its
+    /// restore. One transfer runs at a time; further repaired replicas
+    /// wait for a later boundary.
+    fn maybe_start_transfer(&mut self, i: usize, epoch: u64) {
+        if self.transfer.is_some() {
+            return;
+        }
+        self.pending_rejoins
+            .retain(|&v| self.hosts[v].life == Life::Rejoining);
+        let Some(&victim) = self.pending_rejoins.first() else {
+            return;
+        };
+        let state = self.capture_replica_state(i);
+        let total_bytes = state.guest.wire_bytes();
+        self.transfer = Some((victim, epoch));
+        let at = self.hosts[i].now;
+        self.notify(|o| o.snapshot_taken(i, epoch, total_bytes, at));
+        self.tracer.emit(
+            at,
+            TraceCategory::Failure,
+            Some(i as u8),
+            format!(
+                "snapshot at end of epoch {epoch}: streaming {total_bytes} bytes to replica {victim}"
+            ),
+        );
+        const CHUNK: u64 = 8192;
+        let total = total_bytes.div_ceil(CHUNK).max(1) as u32;
+        let state = Rc::new(state);
+        for index in 0..total {
+            let bytes = if index + 1 == total {
+                (total_bytes - u64::from(index) * CHUNK) as u32
+            } else {
+                CHUNK as u32
+            };
+            // Only the final chunk carries the state object: the
+            // simulation ships structure once, the link model charges
+            // per-chunk bytes.
+            let payload = (index + 1 == total).then(|| Rc::clone(&state));
+            self.transmit_chunk(
+                i,
+                victim,
+                Message::StateChunk {
+                    epoch,
+                    index,
+                    total,
+                    bytes,
+                    state: payload,
+                },
+            );
+        }
+        let effects = self.hosts[i].engine.add_peer(victim);
+        self.process_effects(i, effects);
+    }
+
+    /// Captures the canonical state shipped during reintegration: the
+    /// guest snapshot plus the driver-level device shadows. The shared
+    /// disk and console are environment, not replica state — they are
+    /// never shipped.
+    fn capture_replica_state(&self, i: usize) -> ReplicaState {
+        let h = &self.hosts[i];
+        ReplicaState {
+            guest: h.guest.snapshot(),
+            reg_block: h.reg_block,
+            reg_addr: h.reg_addr,
+            disk_status_reg: h.disk_status_reg,
+            inflight: h.inflight.as_ref().map(|io| {
+                let cmd_value = match io.cmd {
+                    DiskCommand::Read => mmio::disk_cmd::READ,
+                    DiskCommand::Write => mmio::disk_cmd::WRITE,
+                };
+                (cmd_value, io.dma_addr)
+            }),
+        }
+    }
+
+    /// Transmits one state-transfer chunk: the wire mechanics of
+    /// [`FtSystem::transmit`] minus the NIC-queue clamp — the transfer
+    /// is controller-driven background traffic that occupies the wire
+    /// but must not stall the primary's guest, exactly like
+    /// retransmissions.
+    fn transmit_chunk(&mut self, from: usize, to: usize, msg: Message) {
+        let bytes = msg.wire_bytes();
+        let now = self.hosts[from].now;
+        self.note_outbound(from, to, now);
+        let accepted = match &mut self.rel {
+            Some(rel) => {
+                let window = rel.send.get_mut(&(from, to)).expect("send window");
+                let frame = window.wrap(bytes, msg);
+                let wire = frame.wire_bytes(bytes);
+                let (tx_end, accepted) = self.net.send(now, from, to, wire, frame);
+                self.rel
+                    .as_mut()
+                    .expect("rel unchanged")
+                    .send
+                    .get_mut(&(from, to))
+                    .expect("send window")
+                    .arm(tx_end);
+                accepted
+            }
+            None => {
+                let frame = Frame::Data {
+                    seq: 0,
+                    payload: msg,
+                };
+                let wire = frame.wire_bytes(bytes);
+                self.net.send(now, from, to, wire, frame).1
+            }
+        };
+        self.note_offered(from, to, bytes, now, accepted);
+    }
+
+    /// A state-transfer chunk reached a rejoining replica. Chunks from
+    /// anyone but the current transfer's sender — e.g. still in flight
+    /// from a primary that died mid-transfer — are dropped; the
+    /// successor restarts the transfer from its own boundary snapshot.
+    fn receive_chunk(
+        &mut self,
+        to: usize,
+        from: usize,
+        at: SimTime,
+        epoch: u64,
+        state: Option<Rc<ReplicaState>>,
+    ) {
+        if self.hosts[to].life != Life::Rejoining
+            || from != self.acting_primary
+            || self.transfer != Some((to, epoch))
+        {
+            return;
+        }
+        if let Some(state) = state {
+            self.finish_reintegration(to, from, epoch, &state, at);
+        }
+    }
+
+    /// The final chunk arrived: restore the replica, give it a fresh
+    /// backup engine acknowledging toward the sender, readmit it to the
+    /// detector rank order, and declare `t`-fault coverage restored.
+    ///
+    /// The restored guest is parked at the end of the snapshot epoch
+    /// (recovery counter expired), so its next slice re-raises
+    /// [`HvEvent::EpochEnd`]: it records the same lockstep hash the
+    /// donor did, then waits for the `[Tme]`/`[end]` queued right
+    /// behind the transfer — from there on it is an ordinary backup.
+    fn finish_reintegration(
+        &mut self,
+        victim: usize,
+        from: usize,
+        epoch: u64,
+        state: &ReplicaState,
+        at: SimTime,
+    ) {
+        let bytes = state.guest.wire_bytes();
+        {
+            let h = &mut self.hosts[victim];
+            h.guest.restore(&state.guest);
+            h.synced_elapsed = h.guest.elapsed();
+            h.now = h.now.max(at);
+            h.reg_block = state.reg_block;
+            h.reg_addr = state.reg_addr;
+            h.disk_status_reg = state.disk_status_reg;
+            h.inflight = state.inflight.map(|(cmd_value, dma_addr)| InflightIo {
+                cmd: if cmd_value == mmio::disk_cmd::WRITE {
+                    DiskCommand::Write
+                } else {
+                    DiskCommand::Read
+                },
+                dma_addr,
+                // Backup-style: rule P3 suppressed I/O never captures
+                // write data; P7 bookkeeping only needs the descriptor.
+                write_data: None,
+                issued_at: h.now,
+            });
+            h.held_io = None;
+            h.engine = ReplicaEngine::new_backup(victim, from, self.cfg.protocol);
+            h.life = Life::Active;
+        }
+        self.transfer = None;
+        self.pending_rejoins.retain(|&v| v != victim);
+        // Every live backup re-arms by recomputed rank: the rejoiner
+        // slots back into the chain order, shifting deeper backups'
+        // timeouts so exactly one replica still suspects first.
+        let backups: Vec<usize> = (0..self.hosts.len())
+            .filter(|&j| j != self.acting_primary && self.hosts[j].promotable())
+            .collect();
+        for (rank0, &b) in backups.iter().enumerate() {
+            let mut d = FailureDetector::new(self.cfg.detector_timeout * (rank0 as u64 + 1));
+            d.heard(at);
+            self.detectors[b] = Some(d);
+        }
+        let info = ReintegrationInfo {
+            at,
+            replica: victim,
+            epoch,
+            bytes,
+        };
+        self.reintegrations.push(info);
+        self.tracer.emit(
+            at,
+            TraceCategory::Failure,
+            Some(victim as u8),
+            format!(
+                "reintegrated as live backup at end of epoch {epoch} ({bytes} bytes transferred)"
+            ),
+        );
+        self.notify(|o| o.replica_reintegrated(victim, epoch, bytes, at));
     }
 
     // -----------------------------------------------------------------
@@ -1488,6 +1964,10 @@ impl FtSystem {
             self.replica_fail_schedule.first().map(|&(t, _)| t),
             EventTag::ReplicaFailure,
         );
+        agenda.offer(
+            self.rejoin_schedule.first().map(|&(t, _)| t),
+            EventTag::Rejoin,
+        );
         for (i, done) in self.disk_done.iter().enumerate() {
             agenda.offer(*done, EventTag::DiskCompletion(i));
         }
@@ -1517,6 +1997,10 @@ impl FtSystem {
             EventTag::ReplicaFailure => {
                 let (_, victim) = self.replica_fail_schedule.remove(0);
                 self.inject_replica_failure(t, victim);
+            }
+            EventTag::Rejoin => {
+                let (_, victim) = self.rejoin_schedule.remove(0);
+                self.begin_rejoin(t, victim);
             }
             EventTag::DiskCompletion(i) => {
                 self.disk_done[i] = None;
@@ -1776,6 +2260,8 @@ impl FtSystem {
             messages_per_replica,
             frames_retransmitted,
             frames_suppressed,
+            reintegrations: self.reintegrations.clone(),
+            state_transfer_bytes: self.stats.state_transfer_bytes,
         }
     }
 }

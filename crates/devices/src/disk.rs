@@ -99,6 +99,23 @@ pub struct PendingOp {
     log_idx: usize,
 }
 
+/// Complete disk state — medium, controller, fault-injection RNG and
+/// operation log — captured by [`Disk::snapshot`] for whole-system
+/// checkpoints. (Replica reintegration does *not* ship this: the disk
+/// is shared environment, accessible to every processor on the bus.)
+#[derive(Clone, Debug)]
+pub struct DiskSnapshot {
+    blocks: Vec<u8>,
+    num_blocks: u32,
+    read_time: SimDuration,
+    write_time: SimDuration,
+    pending: Option<PendingOp>,
+    log: Vec<DiskLogEntry>,
+    rng: SimRng,
+    fault_prob: f64,
+    force_uncertain: u32,
+}
+
 /// The shared disk: storage, timing, fault injection, and the
 /// environment log.
 ///
@@ -318,6 +335,36 @@ impl Disk {
     /// The environment-visible operation log.
     pub fn log(&self) -> &[DiskLogEntry] {
         &self.log
+    }
+
+    /// Captures the complete disk state for a system checkpoint.
+    pub fn snapshot(&self) -> DiskSnapshot {
+        DiskSnapshot {
+            blocks: self.blocks.clone(),
+            num_blocks: self.num_blocks,
+            read_time: self.read_time,
+            write_time: self.write_time,
+            pending: self.pending.clone(),
+            log: self.log.clone(),
+            rng: self.rng.clone(),
+            fault_prob: self.fault_prob,
+            force_uncertain: self.force_uncertain,
+        }
+    }
+
+    /// Restores state captured by [`Disk::snapshot`], including the
+    /// in-flight operation and the fault-injection RNG stream, so
+    /// post-restore outcomes match the uninterrupted run exactly.
+    pub fn restore(&mut self, snap: &DiskSnapshot) {
+        self.blocks = snap.blocks.clone();
+        self.num_blocks = snap.num_blocks;
+        self.read_time = snap.read_time;
+        self.write_time = snap.write_time;
+        self.pending = snap.pending.clone();
+        self.log = snap.log.clone();
+        self.rng = snap.rng.clone();
+        self.fault_prob = snap.fault_prob;
+        self.force_uncertain = snap.force_uncertain;
     }
 }
 

@@ -15,6 +15,6 @@ pub mod mmio;
 
 pub use console::{Console, ConsoleEvent};
 pub use disk::{
-    check_single_processor_consistency, Disk, DiskCommand, DiskError, DiskLogEntry, DiskStatus,
-    BLOCK_SIZE,
+    check_single_processor_consistency, Disk, DiskCommand, DiskError, DiskLogEntry, DiskSnapshot,
+    DiskStatus, BLOCK_SIZE,
 };

@@ -29,6 +29,7 @@ use hvft_isa::reg::ControlReg;
 use hvft_machine::cpu::{Cpu, Exit, LoadProgram};
 use hvft_machine::exec::{ExecStats, ExecTier};
 use hvft_machine::mem::{Memory, PAGE_SHIFT};
+use hvft_machine::snapshot::{CpuSnapshot, MemSnapshot};
 use hvft_machine::statehash::vm_state_hash;
 use hvft_machine::tlb::{pte, TlbReplacement};
 use hvft_machine::trap::Trap;
@@ -76,7 +77,7 @@ pub enum HvEvent {
 }
 
 /// Counters describing where execution time went.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct HvStats {
     /// Privileged/environment instructions simulated (the paper's
     /// `nsim`).
@@ -135,6 +136,41 @@ impl Default for HvConfig {
             ram_bytes: hvft_guest::layout::RAM_BYTES,
             exec_tier: ExecTier::Block,
         }
+    }
+}
+
+/// Canonical state of one hypervised guest, as captured by
+/// [`HvGuest::snapshot`]: the whole virtual machine plus the
+/// hypervisor-side bookkeeping (virtual clock, consumed time, epoch
+/// progress, counters). The cost model and [`HvConfig`] are *not*
+/// captured — a restore target must be built with the same
+/// configuration, which is how replicas are constructed anyway.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HvGuestSnapshot {
+    cpu: CpuSnapshot,
+    mem: MemSnapshot,
+    vclock: VClock,
+    elapsed: SimDuration,
+    epoch_start_retired: u64,
+    stats: HvStats,
+}
+
+impl HvGuestSnapshot {
+    /// Approximate serialized size in bytes, used to charge the network
+    /// when a snapshot is shipped for reintegration: RAM dominates; the
+    /// registers, TLB and bookkeeping ride in a small fixed overhead.
+    pub fn wire_bytes(&self) -> u64 {
+        self.mem.ram_bytes() as u64 + 4096
+    }
+
+    /// Epoch counter at the moment of capture.
+    pub fn epoch(&self) -> u64 {
+        self.stats.epochs
+    }
+
+    /// Simulated time the captured guest had consumed.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
     }
 }
 
@@ -222,6 +258,34 @@ impl HvGuest {
         self.stats.epochs += 1;
         self.epoch_start_retired = self.cpu.retired();
         self.cpu.set_ctl(ControlReg::Rctr, self.config.epoch_len);
+    }
+
+    /// Captures the guest's canonical state. The machine's derived
+    /// caches (decoded blocks, JIT superblocks, TLB front array) are
+    /// excluded by construction; see [`hvft_machine::snapshot`].
+    pub fn snapshot(&self) -> HvGuestSnapshot {
+        HvGuestSnapshot {
+            cpu: self.cpu.snapshot(),
+            mem: self.mem.snapshot(),
+            vclock: self.vclock,
+            elapsed: self.elapsed,
+            epoch_start_retired: self.epoch_start_retired,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`HvGuest::snapshot`] onto this guest.
+    /// The guest keeps its own cost model and [`HvConfig`] (they must
+    /// match the donor's — replicas are always built identically), and
+    /// resumes bit-identically to the donor: same PC, same retirement
+    /// count, same epoch progress, same TLB replacement stream.
+    pub fn restore(&mut self, snap: &HvGuestSnapshot) {
+        self.cpu.restore(&snap.cpu);
+        self.mem.restore(&snap.mem);
+        self.vclock = snap.vclock;
+        self.elapsed = snap.elapsed;
+        self.epoch_start_retired = snap.epoch_start_retired;
+        self.stats = snap.stats;
     }
 
     /// Asserts external-interrupt bits in the guest's `eirr`. Under the

@@ -23,5 +23,5 @@ pub mod vclock;
 
 pub use bare::{BareExit, BareHost, BareRunResult};
 pub use cost::CostModel;
-pub use hvguest::{HvConfig, HvEvent, HvGuest, HvStats, GUEST_KERNEL_LEVEL};
+pub use hvguest::{HvConfig, HvEvent, HvGuest, HvGuestSnapshot, HvStats, GUEST_KERNEL_LEVEL};
 pub use vclock::VClock;

@@ -302,6 +302,38 @@ impl Cpu {
         &self.ctl
     }
 
+    /// Captures the architectural CPU state (plus the cumulative
+    /// [`ExecStats`]) for a whole-machine snapshot. The block and
+    /// superblock caches are derived state and are not captured.
+    pub fn snapshot(&self) -> crate::snapshot::CpuSnapshot {
+        crate::snapshot::CpuSnapshot {
+            regs: self.regs,
+            pc: self.pc,
+            psw: self.psw,
+            ctl: self.ctl,
+            retired: self.retired,
+            tier: self.exec.tier,
+            exec_stats: self.exec.stats,
+            tlb: self.tlb.snapshot_state(),
+        }
+    }
+
+    /// Restores state captured by [`Cpu::snapshot`]. The dispatcher is
+    /// replaced with a cold one (same tier, counters carried over):
+    /// blocks and superblocks recompile on demand, which changes cache
+    /// statistics but never architectural behaviour.
+    pub fn restore(&mut self, snap: &crate::snapshot::CpuSnapshot) {
+        self.regs = snap.regs;
+        self.pc = snap.pc;
+        self.psw = snap.psw;
+        self.ctl = snap.ctl;
+        self.retired = snap.retired;
+        self.tlb.restore_state(&snap.tlb);
+        self.exec = ExecDispatcher::default();
+        self.exec.tier = snap.tier;
+        self.exec.stats = snap.exec_stats;
+    }
+
     // -----------------------------------------------------------------
     // Trap delivery and completion helpers
     // -----------------------------------------------------------------

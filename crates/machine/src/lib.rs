@@ -29,6 +29,7 @@ pub mod hash;
 pub mod jit;
 pub mod mem;
 pub mod psw;
+pub mod snapshot;
 pub mod statehash;
 pub mod tlb;
 pub mod trap;
@@ -38,6 +39,7 @@ pub use cpu::{Cpu, EnvOp, Exit, LoadProgram};
 pub use exec::{ExecStats, ExecTier};
 pub use mem::{MemFault, Memory, IO_BASE, IO_SIZE, PAGE_SHIFT, PAGE_SIZE};
 pub use psw::Psw;
+pub use snapshot::{CpuSnapshot, MemSnapshot, TlbSnapshot};
 pub use statehash::{register_state_hash, vm_state_hash, Fnv64};
 pub use tlb::{pte, Tlb, TlbAccess, TlbEntry, TlbReplacement, TlbResult};
 pub use trap::{irq, Trap};

@@ -204,6 +204,24 @@ impl Memory {
     pub fn raw(&self) -> &[u8] {
         &self.ram
     }
+
+    /// Captures RAM and the per-page write generations for a
+    /// whole-machine snapshot.
+    pub fn snapshot(&self) -> crate::snapshot::MemSnapshot {
+        crate::snapshot::MemSnapshot {
+            ram: self.ram.clone(),
+            page_gens: self.page_gens.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Memory::snapshot`]. Generations are
+    /// restored verbatim: block/superblock caches are rebuilt empty
+    /// after a restore, so they can only record generations at or after
+    /// the captured values and SMC detection stays sound.
+    pub fn restore(&mut self, snap: &crate::snapshot::MemSnapshot) {
+        self.ram = snap.ram.clone();
+        self.page_gens = snap.page_gens.clone();
+    }
 }
 
 #[cfg(test)]

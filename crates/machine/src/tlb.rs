@@ -254,6 +254,42 @@ impl Tlb {
         v.sort_by_key(|e| e.vpn);
         v
     }
+
+    /// Captures slot-exact state for whole-machine snapshots: entries in
+    /// their physical slots, the replacement cursor, the replacement RNG
+    /// and the hit/miss counters. (Unlike [`Tlb::snapshot`], which sorts
+    /// and drops slot positions, this preserves everything future
+    /// replacement decisions depend on.)
+    pub fn snapshot_state(&self) -> crate::snapshot::TlbSnapshot {
+        crate::snapshot::TlbSnapshot {
+            entries: self.entries.clone(),
+            policy: self.policy,
+            rr_next: self.rr_next,
+            rng: self.rng.clone(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores slot-exact state captured by [`Tlb::snapshot_state`].
+    /// The lookup index is rebuilt from the entries and the front cache
+    /// cleared — both are derived, so subsequent lookups, fills and
+    /// evictions behave bit-identically to the captured TLB.
+    pub fn restore_state(&mut self, snap: &crate::snapshot::TlbSnapshot) {
+        self.entries = snap.entries.clone();
+        self.index.clear();
+        for (slot, entry) in self.entries.iter().enumerate() {
+            if let Some(e) = entry {
+                self.index.insert(e.vpn, slot);
+            }
+        }
+        self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
+        self.policy = snap.policy;
+        self.rr_next = snap.rr_next;
+        self.rng = snap.rng.clone();
+        self.hits = snap.hits;
+        self.misses = snap.misses;
+    }
 }
 
 #[cfg(test)]

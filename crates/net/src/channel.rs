@@ -31,6 +31,7 @@ pub struct ChannelStats {
 /// sever-with-drain. The serialization clock (`busy_until`) is owned
 /// by the caller — per channel for a private link, per medium for a
 /// shared one — which is the only difference between the two media.
+#[derive(Clone)]
 pub(crate) struct FifoCore<M> {
     queue: VecDeque<(SimTime, M)>,
     rng: SimRng,
@@ -56,6 +57,10 @@ impl<M> FifoCore<M> {
 
     pub(crate) fn sever(&mut self) {
         self.severed = true;
+    }
+
+    pub(crate) fn unsever(&mut self) {
+        self.severed = false;
     }
 
     pub(crate) fn is_severed(&self) -> bool {
@@ -131,6 +136,7 @@ impl<M> FifoCore<M> {
 /// assert!(ch.pop_ready(SimTime::ZERO).is_none(), "not delivered instantly");
 /// assert_eq!(ch.pop_ready(t), Some("hello"));
 /// ```
+#[derive(Clone)]
 pub struct Channel<M> {
     link: LinkSpec,
     /// Time the transmitter finishes serializing the last accepted
@@ -170,6 +176,13 @@ impl<M> Channel<M> {
     /// Whether the channel has been severed.
     pub fn is_severed(&self) -> bool {
         self.core.is_severed()
+    }
+
+    /// Reopens a severed channel — the physical repair that precedes a
+    /// failstopped station rejoining service. Messages offered while the
+    /// channel was down stay lost; only future sends go through.
+    pub fn unsever(&mut self) {
+        self.core.unsever();
     }
 
     /// Sends a message of `bytes` payload bytes at time `now`.

@@ -71,6 +71,7 @@ pub struct LanStats {
 /// `FifoCore`), so per-link delivery semantics cannot drift between
 /// the private-mesh and shared-LAN media; only the serialization clock
 /// differs (one per medium here, one per channel there).
+#[derive(Clone)]
 pub struct Lan<M> {
     link: LinkSpec,
     seed: u64,
@@ -166,6 +167,20 @@ impl<M> Lan<M> {
         for (&(f, t), link) in self.links.iter_mut() {
             if f == node || t == node {
                 link.sever();
+            }
+        }
+    }
+
+    /// Reconnects a previously severed station: clears the node-level
+    /// flag and reopens every link touching `node` (the physical repair
+    /// that precedes reintegration). Links severed *individually* via
+    /// [`Lan::sever_link`] on other node pairs are untouched.
+    pub fn unsever_node(&mut self, node: NodeId) {
+        assert!(node < self.nodes, "no node {node}");
+        self.severed_nodes[node] = false;
+        for (&(f, t), link) in self.links.iter_mut() {
+            if f == node || t == node {
+                link.unsever();
             }
         }
     }

@@ -179,6 +179,20 @@ pub struct SendWindowStats {
     pub timeouts: u64,
 }
 
+/// One retained unacknowledged frame.
+#[derive(Clone, Debug)]
+struct Pending<M> {
+    seq: u64,
+    bytes: usize,
+    payload: M,
+    /// When this frame's first transmission finished serializing onto
+    /// the medium (recorded by [`SendWindow::arm`]); `None` until the
+    /// driver reports it. Re-arms after ack progress never set a
+    /// deadline earlier than this — a frame still on the adapter's
+    /// queue cannot be lost yet.
+    tx_end: Option<SimTime>,
+}
+
 /// The sender half of one reliable directed link.
 ///
 /// Stamps per-link sequence numbers and retains every unacknowledged
@@ -193,7 +207,7 @@ pub struct SendWindowStats {
 pub struct SendWindow<M> {
     rto: SimDuration,
     next_seq: u64,
-    unacked: VecDeque<(u64, usize, M)>,
+    unacked: VecDeque<Pending<M>>,
     deadline: Option<SimTime>,
     /// Consecutive timeouts without ack progress.
     backoff: u32,
@@ -234,7 +248,12 @@ impl<M: Clone> SendWindow<M> {
     pub fn wrap(&mut self, bytes: usize, payload: M) -> Frame<M> {
         self.next_seq += 1;
         let seq = self.next_seq;
-        self.unacked.push_back((seq, bytes, payload.clone()));
+        self.unacked.push_back(Pending {
+            seq,
+            bytes,
+            payload: payload.clone(),
+            tx_end: None,
+        });
         self.stats.sent += 1;
         Frame::Data { seq, payload }
     }
@@ -242,19 +261,34 @@ impl<M: Clone> SendWindow<M> {
     /// Arms the retransmit timer at `tx_end + rto`, where `tx_end` is
     /// the instant the just-wrapped frame finished serializing onto the
     /// medium. A timer already running (for an older frame) is left
-    /// alone — the oldest unacknowledged frame's deadline governs.
+    /// alone — the oldest unacknowledged frame's deadline governs — but
+    /// the serialization end is recorded on the frame either way, so
+    /// later re-arms know when it actually left the adapter.
     pub fn arm(&mut self, tx_end: SimTime) {
-        if self.deadline.is_none() && !self.unacked.is_empty() {
-            self.deadline = Some(tx_end + self.effective_rto());
+        if let Some(last) = self.unacked.back_mut() {
+            if last.tx_end.is_none() {
+                last.tx_end = Some(tx_end);
+            }
+            if self.deadline.is_none() {
+                self.deadline = Some(tx_end + self.effective_rto());
+            }
         }
     }
 
     /// Processes a cumulative acknowledgment: frames up to `cum` are
     /// dropped from the window. Progress resets the backoff and
-    /// restarts the timer from `now`; a stale ack changes nothing.
+    /// restarts the timer; a stale ack changes nothing.
+    ///
+    /// The restarted deadline is anchored at the *later* of `now` and
+    /// the oldest remaining frame's serialization end: during a bulk
+    /// burst (say, a reintegration state transfer) acks for early
+    /// frames arrive while later frames are still serializing, and
+    /// `now + rto` alone would declare those queued frames lost on a
+    /// medium slower than the rto — a spurious-retransmit storm that
+    /// feeds itself by adding yet more backlog.
     pub fn on_ack(&mut self, now: SimTime, cum: u64) {
         let before = self.unacked.len();
-        while self.unacked.front().is_some_and(|&(seq, _, _)| seq <= cum) {
+        while self.unacked.front().is_some_and(|p| p.seq <= cum) {
             self.unacked.pop_front();
         }
         if self.unacked.is_empty() {
@@ -262,7 +296,12 @@ impl<M: Clone> SendWindow<M> {
             self.backoff = 0;
         } else if self.unacked.len() != before {
             self.backoff = 0;
-            self.deadline = Some(now + self.effective_rto());
+            let pending = self
+                .unacked
+                .front()
+                .and_then(|p| p.tx_end)
+                .map_or(now, |t| t.max(now));
+            self.deadline = Some(pending + self.effective_rto());
         }
     }
 
@@ -291,12 +330,12 @@ impl<M: Clone> SendWindow<M> {
             .unacked
             .iter()
             .take(RETX_BURST)
-            .map(|(seq, bytes, payload)| Outgoing {
+            .map(|p| Outgoing {
                 frame: Frame::Data {
-                    seq: *seq,
-                    payload: payload.clone(),
+                    seq: p.seq,
+                    payload: p.payload.clone(),
                 },
-                bytes: *bytes,
+                bytes: p.bytes,
             })
             .collect();
         self.stats.retransmitted += out.len() as u64;
@@ -498,6 +537,32 @@ mod tests {
             Some(at(100) + ms(1) * (1 << MAX_BACKOFF_EXP)),
             "backoff saturates at 2^{MAX_BACKOFF_EXP}"
         );
+    }
+
+    /// A bulk burst on a medium slower than the rto: each frame takes
+    /// 3 ms to serialize against a 2 ms rto, and acks land 1 ms after
+    /// each serialization end. The re-armed deadline must respect the
+    /// next frame's still-pending serialization instead of firing in
+    /// the gap between consecutive acks — the spurious-retransmit storm
+    /// that would otherwise melt a reintegration state transfer.
+    #[test]
+    fn in_order_acks_on_slow_medium_never_time_out() {
+        let mut tx: SendWindow<u8> = SendWindow::new(ms(2));
+        for p in 0..10u8 {
+            tx.wrap(1, p);
+            tx.arm(at(3 * (p as u64 + 1)));
+        }
+        for p in 0..10u64 {
+            let ack_at = at(3 * (p + 1) + 1);
+            assert!(
+                tx.deadline().is_none_or(|d| d > ack_at),
+                "timer would fire before the ack for frame {} arrived",
+                p + 1
+            );
+            tx.on_ack(ack_at, p + 1);
+        }
+        assert!(!tx.has_unacked());
+        assert_eq!(tx.stats().timeouts, 0);
     }
 
     #[test]

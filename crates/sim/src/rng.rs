@@ -20,7 +20,7 @@
 /// let mut b = SimRng::seed_from_u64(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SimRng {
     s: [u64; 4],
 }

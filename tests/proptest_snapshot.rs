@@ -1,0 +1,501 @@
+//! Property tests: deterministic snapshot/restore and epoch-boundary
+//! reintegration.
+//!
+//! A snapshot captures exactly the canonical machine state; everything
+//! derived — decoded blocks, JIT superblocks, the TLB front cache — is
+//! dropped and rebuilt after a restore. The claim that makes the
+//! subsystem usable for backup reintegration is *bit-identity*: a
+//! restored machine must compute exactly what the donor computes from
+//! the capture point on, whatever execution tier is in use, however hot
+//! the donor's caches were, and even if the guest patches its own code
+//! right after the restore lands on a cold cache.
+//!
+//! Three layers are pinned down:
+//!
+//! - **machine level**: a hot self-modifying guest is snapshotted at an
+//!   arbitrary mid-run point and restored into a freshly constructed
+//!   CPU; donor and restoree then run side by side, compared at short
+//!   chunk boundaries, for every tier;
+//! - **TLB state**: the replacement cursor and RNG are part of the
+//!   canonical state, so a restored TLB continues the *same replacement
+//!   stream* the donor would have produced;
+//! - **system level**: a failstopped backup is repaired mid-run,
+//!   reintegrated from a primary snapshot shipped over the (possibly
+//!   lossy) coordination network, and must then survive a subsequent
+//!   primary failstop — with the checksum, console stream and lockstep
+//!   hashes of an undisturbed run.
+
+#![recursion_limit = "256"]
+
+use hvft::guest::workload::Dhrystone;
+use hvft::hypervisor::cost::CostModel;
+use hvft::hypervisor::hvguest::{HvConfig, HvEvent, HvGuest};
+use hvft::isa::asm::assemble;
+use hvft::isa::codec::encode;
+use hvft::isa::instruction::{AluImmOp, Instruction};
+use hvft::isa::reg::Reg;
+use hvft::machine::cpu::{Cpu, Exit};
+use hvft::machine::exec::ExecTier;
+use hvft::machine::mem::Memory;
+use hvft::machine::statehash::vm_state_hash;
+use hvft::machine::tlb::TlbReplacement;
+use hvft::machine::LoadProgram;
+use hvft::net::link::LinkSpec;
+use hvft::sim::time::{SimDuration, SimTime};
+use hvft_core::scenario::{RunReport, Scenario, ScenarioBuilder};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const TIERS: [ExecTier; 3] = [ExecTier::Step, ExecTier::Block, ExecTier::Jit];
+
+// ---------------------------------------------------------------------
+// Machine level: mid-run capture of a hot, self-modifying guest
+// ---------------------------------------------------------------------
+
+/// A guest whose hot inner routine is called far past the JIT promotion
+/// threshold and patched *mid-run*: iterations count down from a poked
+/// start value, and when the counter hits the poked trigger the word at
+/// `slot` is overwritten. Loads and stores in the outer loop keep the
+/// memory path (and SMC write generations) busy.
+const HOT_SMC_GUEST: &str = ".org 0
+start:
+    lw   r21, 512(r0)        ; replacement word (poked by the test)
+    lw   r22, 516(r0)        ; loop counter start (poked)
+    lw   r24, 520(r0)        ; patch trigger value (poked)
+outer:
+    jal  ra, patchable
+    bne  r22, r24, nopatch
+    sw   r21, 96(r0)         ; patch `slot` when the counter hits trigger
+nopatch:
+    sw   r22, 1024(r0)
+    lw   r23, 1024(r0)
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+
+    .org 96
+patchable:
+slot:
+    addi r20, r20, 1         ; becomes: addi r20, r20, 100
+    jalr r0, ra, 0
+";
+
+/// Builds the guest with `iters` countdown iterations, patching when
+/// the counter reaches `trigger`. `tlb_seed` exercises that restore
+/// overwrites constructor-chosen TLB state.
+fn build_hot_smc(iters: u32, trigger: u32, tier: ExecTier, tlb_seed: u64) -> (Cpu, Memory) {
+    let patched = encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::of(20),
+        rs1: Reg::of(20),
+        imm: 100,
+    })
+    .unwrap();
+    let image = assemble(HOT_SMC_GUEST).expect("asm");
+    let mut cpu = Cpu::new(16, TlbReplacement::Random, tlb_seed);
+    cpu.set_exec_tier(tier);
+    let mut mem = Memory::new(64 * 1024);
+    image.load_into_cpu(&mut cpu, &mut mem);
+    mem.write_u32(512, patched).unwrap();
+    mem.write_u32(516, iters).unwrap();
+    mem.write_u32(520, trigger).unwrap();
+    (cpu, mem)
+}
+
+/// Runs until `Halt` or until `budget` more instructions retired.
+/// Returns true when halted.
+fn run_budget(cpu: &mut Cpu, mem: &mut Memory, budget: u64) -> bool {
+    let target = cpu.retired() + budget;
+    while cpu.retired() < target {
+        match cpu.run(mem, target - cpu.retired()) {
+            Exit::Retired => {}
+            Exit::Halt => return true,
+            other => panic!("unexpected exit {other:?} at pc {:#x}", cpu.pc),
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    // Snapshot at an arbitrary mid-run point, restore into a fresh
+    // machine (different TLB seed, cold caches), and run donor and
+    // restoree side by side to completion: retired counts, PCs and
+    // whole-state hashes must stay identical at every comparison
+    // chunk, on every tier, even though the patch at `slot` may land
+    // on a hot superblock in the donor and a cold cache in the
+    // restoree.
+    #[test]
+    fn mid_run_snapshot_restores_bit_identically(
+        tier_idx in 0usize..3,
+        iters in 40u32..150,
+        trigger_frac in 1u32..1000,
+        split_frac in 1u64..1000,
+    ) {
+        let tier = TIERS[tier_idx];
+        let trigger = (iters * trigger_frac / 1000).max(1);
+
+        // Learn the total retirement count once, uninterrupted.
+        let (mut ref_cpu, mut ref_mem) = build_hot_smc(iters, trigger, tier, 1);
+        prop_assert!(run_budget(&mut ref_cpu, &mut ref_mem, u64::MAX / 2));
+        let total = ref_cpu.retired();
+
+        // Donor: run to the split point (possibly mid-hot-loop), capture.
+        let split = (total * split_frac / 1000).max(1);
+        let (mut donor, mut donor_mem) = build_hot_smc(iters, trigger, tier, 1);
+        prop_assert!(!run_budget(&mut donor, &mut donor_mem, split));
+        let cpu_snap = donor.snapshot();
+        let mem_snap = donor_mem.snapshot();
+        prop_assert_eq!(cpu_snap.retired(), split);
+        prop_assert_eq!(cpu_snap.tier(), tier);
+
+        // Restoree: a fresh machine with a *different* TLB seed; the
+        // restore must overwrite every canonical bit of it.
+        let (mut rest, mut rest_mem) = build_hot_smc(iters, trigger, ExecTier::Step, 99);
+        rest.restore(&cpu_snap);
+        rest_mem.restore(&mem_snap);
+        prop_assert_eq!(rest.exec_tier(), tier, "tier travels with the snapshot");
+        prop_assert_eq!(
+            vm_state_hash(&rest, &rest_mem),
+            vm_state_hash(&donor, &donor_mem),
+            "restored state must hash identically to the donor at capture"
+        );
+
+        // Side-by-side to completion, compared at short chunks so a
+        // divergence is localized.
+        loop {
+            let done_d = run_budget(&mut donor, &mut donor_mem, 500);
+            let done_r = run_budget(&mut rest, &mut rest_mem, 500);
+            prop_assert_eq!(done_d, done_r, "halt points diverged");
+            prop_assert_eq!(donor.retired(), rest.retired());
+            prop_assert_eq!(donor.pc, rest.pc);
+            prop_assert_eq!(
+                vm_state_hash(&donor, &donor_mem),
+                vm_state_hash(&rest, &rest_mem),
+                "states diverged at {} retired", donor.retired()
+            );
+            if done_d {
+                break;
+            }
+        }
+        prop_assert_eq!(donor.retired(), total);
+        prop_assert_eq!(
+            rest.tlb.snapshot_state(),
+            donor.tlb.snapshot_state(),
+            "TLB state (cursor, RNG, counters) must track the donor"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// TLB: the replacement stream continues across a restore
+// ---------------------------------------------------------------------
+
+#[test]
+fn tlb_replacement_stream_continues_after_restore() {
+    use hvft::machine::tlb::pte;
+
+    let pte_for = |page: u32| (page << 12) | pte::V | pte::R | pte::W | pte::X;
+    // Warm an 8-slot random-replacement TLB past capacity so the
+    // replacement RNG has advanced a few draws.
+    let mut donor = Cpu::new(8, TlbReplacement::Random, 42);
+    for page in 0u32..12 {
+        donor.tlb.insert_pte(page << 12, pte_for(page));
+    }
+    let snap = donor.snapshot();
+
+    // Restore into a CPU built with a different seed and cursor state.
+    let mut rest = Cpu::new(8, TlbReplacement::Random, 7);
+    rest.tlb.insert_pte(0x8000_0000, pte_for(5));
+    rest.restore(&snap);
+    assert_eq!(rest.tlb.snapshot_state(), donor.tlb.snapshot_state());
+
+    // The *future* replacement decisions — which slot each insertion
+    // evicts — must now be identical draw for draw.
+    for page in 12u32..64 {
+        donor.tlb.insert_pte(page << 12, pte_for(page));
+        rest.tlb.insert_pte(page << 12, pte_for(page));
+        assert_eq!(
+            rest.tlb.snapshot_state(),
+            donor.tlb.snapshot_state(),
+            "replacement streams diverged at page {page}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hypervisor level: HvGuest round trip
+// ---------------------------------------------------------------------
+
+#[test]
+fn hvguest_snapshot_round_trip_is_exact() {
+    let workload = Dhrystone {
+        iters: 5_000,
+        syscall_every: 7,
+        ..Default::default()
+    };
+    let image = hvft::guest::workload::Workload::image(&workload).expect("image");
+    let mk = || HvGuest::new(&image, CostModel::functional(), HvConfig::default());
+
+    // Run the donor a few epochs in, far enough to warm the TLB and
+    // accumulate hypervisor bookkeeping.
+    let mut donor = mk();
+    for _ in 0..5 {
+        match donor.run(SimDuration::from_micros(200)) {
+            HvEvent::EpochEnd => donor.begin_epoch(),
+            HvEvent::BudgetExhausted => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    let snap = donor.snapshot();
+    assert_eq!(snap.epoch(), donor.epoch());
+    assert_eq!(snap.elapsed(), donor.elapsed());
+    assert!(snap.wire_bytes() > hvft::guest::layout::RAM_BYTES as u64);
+
+    let mut rest = mk();
+    rest.restore(&snap);
+    assert_eq!(rest.state_hash(), donor.state_hash());
+    assert_eq!(rest.elapsed(), donor.elapsed());
+    assert_eq!(rest.epoch(), donor.epoch());
+    assert_eq!(rest.epoch_progress(), donor.epoch_progress());
+
+    // Both must reach the next epoch boundary at the same instant with
+    // the same state.
+    let run_to_boundary = |g: &mut HvGuest| loop {
+        match g.run(SimDuration::from_millis(10)) {
+            HvEvent::EpochEnd => break,
+            HvEvent::BudgetExhausted => {}
+            other => panic!("unexpected event {other:?}"),
+        }
+    };
+    run_to_boundary(&mut donor);
+    run_to_boundary(&mut rest);
+    assert_eq!(rest.state_hash(), donor.state_hash());
+    assert_eq!(rest.elapsed(), donor.elapsed());
+    assert_eq!(rest.epoch_progress(), donor.epoch_progress());
+}
+
+// ---------------------------------------------------------------------
+// System level: reintegration under arbitrary schedules and loss
+// ---------------------------------------------------------------------
+
+/// A fast coordination link so the ~266 KB state transfer completes in
+/// a couple of simulated milliseconds — the schedules below interleave
+/// two failovers around it inside one short run.
+fn fast_link() -> LinkSpec {
+    LinkSpec {
+        bits_per_sec: 1_000_000_000,
+        propagation: SimDuration::from_micros(5),
+        per_message: SimDuration::from_micros(5),
+        mtu: 16384,
+    }
+}
+
+/// An even fatter link for the loss variant. The receive window accepts
+/// chunks strictly in order, so recovery is go-back-N: every lost chunk
+/// costs roughly a full drain of the frames queued behind it. Keeping
+/// that per-episode cost small keeps the property about protocol
+/// correctness (retransmission, abort, successor retry) rather than
+/// about link capacity versus the kill schedule.
+fn bulk_link() -> LinkSpec {
+    LinkSpec {
+        bits_per_sec: 10_000_000_000,
+        propagation: SimDuration::from_micros(2),
+        per_message: SimDuration::from_micros(1),
+        mtu: 16384,
+    }
+}
+
+fn rejoin_base() -> ScenarioBuilder {
+    Scenario::builder()
+        .workload(Dhrystone {
+            iters: 20_000,
+            syscall_every: 9,
+            ..Default::default()
+        })
+        .backups(2)
+        .functional_cost()
+        .link(fast_link())
+        .retransmit(SimDuration::from_micros(40))
+        .detector_timeout(SimDuration::from_micros(1500))
+}
+
+struct Reference {
+    total_ns: u64,
+    code: u32,
+    console: Vec<u8>,
+}
+
+fn rejoin_reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let r = rejoin_base().build().expect("valid scenario").run();
+        Reference {
+            total_ns: r.completion_time.as_nanos(),
+            code: r.exit.code().unwrap_or_else(|| panic!("{:?}", r.exit)),
+            console: r.console.clone(),
+        }
+    })
+}
+
+/// The undisturbed duration on the bulk link, for scheduling the loss
+/// variant (the checksum and console are link-invariant and shared
+/// with [`rejoin_reference`]).
+fn bulk_total_ns() -> u64 {
+    static NS: OnceLock<u64> = OnceLock::new();
+    *NS.get_or_init(|| {
+        rejoin_base()
+            .link(bulk_link())
+            .build()
+            .expect("valid scenario")
+            .run()
+            .completion_time
+            .as_nanos()
+    })
+}
+
+/// Kill backup 2 at `t0`‰ of the reference run, repair it `gap`‰
+/// later, then failstop two primaries in sequence: the first
+/// `transfer_margin`‰ after the repair (wide enough for the state
+/// transfer — including loss-retransmission cycles — to complete), the
+/// second `kill_gap`‰ after that (wide enough for the rank-scaled
+/// detection of the first).
+fn rejoin_schedule(
+    b: ScenarioBuilder,
+    total_ns: u64,
+    t0: u64,
+    gap: u64,
+    transfer_margin: u64,
+    kill_gap: u64,
+) -> ScenarioBuilder {
+    let at = |frac: u64| SimTime::from_nanos((total_ns * frac / 1000).max(1));
+    let t1 = t0 + gap;
+    b.fail_replica_at(at(t0), 2)
+        .rejoin_replica_at(at(t1), 2)
+        .fail_primary_at(at(t1 + transfer_margin))
+        .fail_primary_at(at(t1 + transfer_margin + kill_gap))
+}
+
+/// One full arc, asserting the invariants every variant shares: the
+/// repaired replica reintegrates once, both failovers are survived
+/// (the second only the reintegrated replica can cover), and the run
+/// is observably identical to the undisturbed reference.
+fn assert_rejoin_arc(report: &RunReport, label: &str) {
+    let reference = rejoin_reference();
+    assert_eq!(
+        report.reintegrations.len(),
+        1,
+        "{label}: exactly one reintegration expected, got {:?}",
+        report.reintegrations
+    );
+    assert_eq!(report.reintegrations[0].replica, 2, "{label}");
+    assert_eq!(
+        report.failovers.len(),
+        2,
+        "{label}: both failstops must be survived, got {:?}",
+        report.failovers
+    );
+    let code = report
+        .exit
+        .code()
+        .unwrap_or_else(|| panic!("{label}: run ended {:?}", report.exit));
+    assert_eq!(
+        code, reference.code,
+        "{label}: checksum must be transparent"
+    );
+    assert_eq!(report.console, reference.console, "{label}: console bytes");
+    assert!(report.lockstep_clean, "{label}: replicas diverged");
+    assert_eq!(
+        report.state_transfer_bytes, report.reintegrations[0].bytes,
+        "{label}: transfer accounting"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Arbitrary (safely-margined) kill/repair times: the reintegrated
+    // backup must always carry the run to the reference checksum after
+    // the second failover.
+    #[test]
+    fn reintegrated_backup_survives_a_second_failover(
+        t0 in 80u64..220,
+        gap in 40u64..120,
+    ) {
+        let reference = rejoin_reference();
+        let report = rejoin_schedule(rejoin_base(), reference.total_ns, t0, gap, 300, 150)
+            .build()
+            .unwrap()
+            .run();
+        assert_rejoin_arc(&report, &format!("t0={t0} gap={gap}"));
+    }
+
+    // The same arc under message loss: chunks, boundary messages and
+    // heartbeats all ride the lossy medium, so the transfer leans on
+    // the ack/retransmission layer — and must still reintegrate
+    // exactly once and survive both failovers.
+    #[test]
+    fn reintegration_survives_message_loss(
+        loss in 0.01f64..0.12,
+        seed in 0u64..1_000,
+    ) {
+        let report = rejoin_schedule(
+            rejoin_base().link(bulk_link()).lossy(loss).seed(seed),
+            bulk_total_ns(),
+            100,
+            50,
+            450,
+            170,
+        )
+        .build()
+        .unwrap()
+        .run();
+        assert_rejoin_arc(&report, &format!("loss={loss:.3} seed={seed}"));
+        // Loss must actually have bitten for the case to mean anything.
+        prop_assert!(
+            report.frames_retransmitted > 0,
+            "no retransmissions at p={loss}"
+        );
+    }
+}
+
+/// The whole reintegration arc is execution-tier invariant: snapshots
+/// taken from a JIT-hot primary restore onto an identically configured
+/// replica and the entire observable outcome matches the interpreter
+/// tier for tier — including the reintegration epoch and both failover
+/// epochs.
+#[test]
+fn reintegration_is_execution_tier_invariant() {
+    let reference = rejoin_reference();
+    let run = |tier: ExecTier| {
+        rejoin_schedule(
+            rejoin_base().exec_tier(tier),
+            reference.total_ns,
+            150,
+            80,
+            300,
+            150,
+        )
+        .build()
+        .unwrap()
+        .run()
+    };
+    let base = run(ExecTier::Step);
+    assert_rejoin_arc(&base, "step");
+    for tier in [ExecTier::Block, ExecTier::Jit] {
+        let r = run(tier);
+        assert_rejoin_arc(&r, &format!("{tier}"));
+        assert_eq!(
+            r.reintegrations[0].epoch, base.reintegrations[0].epoch,
+            "{tier}: reintegration epoch"
+        );
+        assert_eq!(
+            r.reintegrations[0].at, base.reintegrations[0].at,
+            "{tier}: reintegration instant"
+        );
+        assert_eq!(r.failovers[0].epoch, base.failovers[0].epoch, "{tier}");
+        assert_eq!(r.failovers[1].epoch, base.failovers[1].epoch, "{tier}");
+        assert_eq!(r.completion_time, base.completion_time, "{tier}");
+    }
+}

@@ -19,6 +19,7 @@ fn variant(e: &ConfigError) -> &'static str {
         ConfigError::WorkloadImage(_) => "WorkloadImage",
         ConfigError::NoBackups => "NoBackups",
         ConfigError::LossWithoutRetransmit => "LossWithoutRetransmit",
+        ConfigError::RejoinWithoutRetransmit => "RejoinWithoutRetransmit",
         ConfigError::DetectorTooShort { .. } => "DetectorTooShort",
         ConfigError::DiskTooLarge { .. } => "DiskTooLarge",
         ConfigError::EmptyDisk => "EmptyDisk",
@@ -127,6 +128,18 @@ fn every_invalid_combination_yields_its_config_error() {
             "legacy block_exec(true) against exec_tier(Step)",
             wl().exec_tier(ExecTier::Step).block_exec(true),
             "ExecTierConflict",
+        ),
+        (
+            "rejoin schedule without the reliable layer",
+            wl().rejoin_replica_at(SimTime::from_nanos(1_000_000), 1),
+            "RejoinWithoutRetransmit",
+        ),
+        (
+            "rejoin schedule on a chain run",
+            wl().chain()
+                .retransmit(SimDuration::from_micros(40))
+                .rejoin_replica_at(SimTime::from_nanos(1_000_000), 1),
+            "DriverMismatch",
         ),
     ];
     for (label, builder, expected) in cases {
