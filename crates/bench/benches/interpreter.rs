@@ -6,7 +6,7 @@
 //! primitives. They bound how long the paper-reproduction harnesses take.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hvft_guest::{build_image, dhrystone_source, KernelConfig};
+use hvft_guest::{build_image, callstorm_source, dhrystone_source, KernelConfig};
 use hvft_hypervisor::bare::BareHost;
 use hvft_hypervisor::cost::CostModel;
 use hvft_machine::tlb::{pte, Tlb, TlbAccess, TlbReplacement};
@@ -59,6 +59,44 @@ fn bench_interpreter(c: &mut Criterion) {
             black_box(host.run(100_000_000).retired)
         })
     });
+    g.finish();
+    // Call-heavy guest: leaf calls, calls into the next text page and a
+    // deep monomorphic recursion. This is where the jit tier's inline
+    // return cache and cross-page traces pay off, so it gets its own
+    // block-vs-jit pair.
+    let cs_image = build_image(&KernelConfig::default(), &callstorm_source(2_000, 12)).unwrap();
+    host.set_exec_tier(ExecTier::Block);
+    let cs_retired = {
+        host.reset(&cs_image);
+        host.run(100_000_000).retired
+    };
+    let mut g = c.benchmark_group("interpreter");
+    g.throughput(Throughput::Elements(cs_retired));
+    g.sample_size(20);
+    g.bench_function("bare_callstorm_2k_iters", |b| {
+        b.iter(|| {
+            host.reset(&cs_image);
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    host.set_exec_tier(ExecTier::Jit);
+    g.bench_function("bare_callstorm_2k_iters_jit", |b| {
+        b.iter(|| {
+            host.reset(&cs_image);
+            black_box(host.run(100_000_000).retired)
+        })
+    });
+    // Annotate the jit row with the return-cache hit rate and trace
+    // shape of the last run, so the artifact records *why* it is fast.
+    let cs = host.exec_stats();
+    let ret_total = cs.ret_cache_hits + cs.ret_cache_misses;
+    if ret_total > 0 {
+        g.annotate(
+            "ret_cache_hit_rate",
+            cs.ret_cache_hits as f64 / ret_total as f64,
+        );
+    }
+    g.annotate("cross_page_superblocks", cs.cross_page_superblocks as f64);
     g.finish();
     // Machine-readable record (ns/insn, insns/sec, before/after) for
     // the CI artifact; written at the workspace root.

@@ -19,8 +19,8 @@ pub mod workload;
 pub use compiled::{guest_codegen_options, CompiledWorkload};
 pub use kernel::{kernel_source, KernelConfig};
 pub use programs::{
-    dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source, pingpong_source,
-    sieve_source, IoMode,
+    callstorm_source, dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source,
+    pingpong_source, sieve_source, IoMode,
 };
 pub use workload::{UnknownWorkload, Workload};
 

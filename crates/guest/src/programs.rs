@@ -479,6 +479,72 @@ u_pp_even:
     s
 }
 
+/// A call-dominated workload: the stress case for the jit tier's
+/// inline return cache and cross-page traces.
+///
+/// Each outer iteration makes a near leaf call, a call into the *next*
+/// text page (so hot traces must fuse across a page boundary to batch
+/// it), and a `depth`-deep recursive chain whose return site is
+/// monomorphic — the exact shape Dynamo-style return prediction wins
+/// on. The checksum in `r4` folds every path and is timing-independent.
+pub fn callstorm_source(calls: u32, depth: u32) -> String {
+    assert!(calls >= 1, "callstorm needs at least one iteration");
+    assert!(
+        (1..=1024).contains(&depth),
+        "callstorm depth {depth} outside 1..=1024 (software stack must fit in user data)"
+    );
+    let mut s = prologue("callstorm");
+    s.push_str(&format!(
+        "    li   r10, {calls}       ; outer iterations
+    li   r14, 0              ; checksum
+    li   r15, 0x2F           ; LCG state
+    li   r12, {udata:#x}     ; software call stack base
+u_cs_loop:
+    jal  ra, u_cs_leaf       ; near monomorphic call
+    jal  ra, u_cs_far        ; call into the next text page
+    li   r11, {depth}        ; remaining recursion depth
+    mv   r13, r12            ; software stack pointer
+    jal  ra, u_cs_rec        ; deep call/return chain
+    addi r10, r10, -1
+    bne  r10, r0, u_cs_loop
+    mv   r4, r14
+    gate {exit}
+
+u_cs_leaf:
+    addi r14, r14, 3
+    xor  r14, r14, r10
+    jalr r0, ra, 0
+
+u_cs_rec:                    ; r11 = depth left, r13 = stack pointer
+    beq  r11, r0, u_cs_rec_done
+    sw   ra, 0(r13)
+    addi r13, r13, 4
+    addi r11, r11, -1
+    addi r14, r14, 1
+    jal  ra, u_cs_rec
+    addi r13, r13, -4
+    lw   ra, 0(r13)
+u_cs_rec_done:
+    jalr r0, ra, 0
+
+.org {far:#x}
+u_cs_far:
+    li   r17, 1664525
+    mul  r15, r15, r17
+    li   r17, 1013904223
+    add  r15, r15, r17
+    xor  r14, r14, r15
+    jalr r0, ra, 0
+",
+        calls = calls,
+        depth = depth,
+        udata = USER_DATA,
+        far = USER_TEXT + 0x1000,
+        exit = sys::EXIT,
+    ));
+    s
+}
+
 /// A tiny console program: prints a message, waits for a few timer
 /// ticks, prints again, exits with a fixed code.
 pub fn hello_source(message: &str, wait_ticks: u32) -> String {
@@ -534,6 +600,13 @@ mod tests {
             let src = io_bench_source(64, mode, 128, 1);
             assemble(&src).unwrap_or_else(|e| panic!("io({mode:?}): {e}"));
         }
+    }
+
+    #[test]
+    fn callstorm_assembles_and_spans_two_text_pages() {
+        let src = callstorm_source(100, 8);
+        let prog = assemble(&src).unwrap_or_else(|e| panic!("callstorm: {e}"));
+        assert_eq!(prog.symbol("u_cs_far"), Some(USER_TEXT + 0x1000));
     }
 
     #[test]

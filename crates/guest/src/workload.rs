@@ -20,6 +20,7 @@
 //! | `sieve` | [`crate::sieve_source`] | branchy byte-store prime sieve |
 //! | `matmul` | [`crate::matmul_source`] | n³ integer multiply, deep loop nest |
 //! | `pingpong` | [`crate::pingpong_source`] | producer–consumer ring + console |
+//! | `callstorm` | [`crate::callstorm_source`] | call-dominated: leaf, cross-page and deep-recursive calls |
 //! | `lang-gcd` | [`crate::compiled::lang_gcd_source`] | hvft-lang: Euclid sweep (call-heavy) |
 //! | `lang-collatz` | [`crate::compiled::lang_collatz_source`] | hvft-lang: hailstone lengths + console |
 //!
@@ -44,8 +45,8 @@ use crate::build_image;
 use crate::compiled::{lang_collatz_source, lang_gcd_source, CompiledWorkload};
 use crate::kernel::KernelConfig;
 use crate::programs::{
-    dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source, pingpong_source,
-    sieve_source, IoMode,
+    callstorm_source, dhrystone_source, hello_source, io_bench_source, matmul_source, mixed_source,
+    pingpong_source, sieve_source, IoMode,
 };
 use hvft_isa::asm::AsmError;
 use hvft_isa::program::Program;
@@ -353,6 +354,42 @@ impl Workload for PingPong {
     }
 }
 
+/// A call-dominated guest: near leaf calls, calls into the next text
+/// page, and a deep monomorphic recursion — the stress workload for the
+/// jit tier's inline return cache and cross-page traces.
+#[derive(Clone, Copy, Debug)]
+pub struct CallStorm {
+    /// Outer iterations (each makes one leaf, one far and `depth`
+    /// recursive calls).
+    pub calls: u32,
+    /// Recursion depth per iteration.
+    pub depth: u32,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl Default for CallStorm {
+    fn default() -> Self {
+        CallStorm {
+            calls: 400,
+            depth: 12,
+            kernel: functional_kernel(),
+        }
+    }
+}
+
+impl Workload for CallStorm {
+    fn name(&self) -> String {
+        "callstorm".into()
+    }
+    fn kernel(&self) -> KernelConfig {
+        self.kernel
+    }
+    fn user_source(&self) -> String {
+        callstorm_source(self.calls, self.depth)
+    }
+}
+
 /// Default-sized instances of every built-in workload, in stable order.
 ///
 /// Sizes are chosen so a whole-registry sweep (e.g. the scenarios bench
@@ -369,6 +406,7 @@ pub fn registry() -> Vec<Box<dyn Workload>> {
         Box::new(Sieve::default()),
         Box::new(MatMul::default()),
         Box::new(PingPong::default()),
+        Box::new(CallStorm::default()),
         Box::new(
             CompiledWorkload::new("lang-gcd", lang_gcd_source())
                 .expect("built-in lang-gcd compiles"),
@@ -453,6 +491,7 @@ mod tests {
             "sieve",
             "matmul",
             "pingpong",
+            "callstorm",
         ] {
             assert!(names.iter().any(|n| n == required), "{required} missing");
         }

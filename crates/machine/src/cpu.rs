@@ -437,6 +437,24 @@ impl Cpu {
         }
     }
 
+    /// Side-effect-free translation probe for derived-cache validation:
+    /// the same outcome as [`Cpu::translate`] with every non-hit folded
+    /// to `None`, but touching neither the TLB's front cache nor its
+    /// hit/miss counters. The jit validates cross-page traces on every
+    /// entry, and validation frequency depends on cache warmth — state
+    /// that snapshot/restore deliberately drops — so it must not leak
+    /// into the snapshotted accounting.
+    #[inline]
+    pub(crate) fn peek_translate(&self, vaddr: u32, access: TlbAccess) -> Option<u32> {
+        if !self.psw.translation {
+            return Some(vaddr);
+        }
+        match self.tlb.peek_lookup(vaddr, access, self.psw.is_user()) {
+            TlbResult::Hit(p) => Some(p),
+            TlbResult::Miss | TlbResult::Denied => None,
+        }
+    }
+
     // -----------------------------------------------------------------
     // Execution
     // -----------------------------------------------------------------
@@ -573,13 +591,15 @@ impl Cpu {
             if let Some(e) = self.pre_dispatch_check() {
                 return e;
             }
-            // As with blocks, one translation covers the superblock:
-            // superblocks never cross a page boundary either.
+            // One translation covers the superblock's *entry* page; a
+            // cross-page trace records its secondary (page, generation)
+            // pairs and the probe re-validates every one before the
+            // compiled code is entered.
             let fetch_pa = match self.translate(self.pc, TlbAccess::Execute) {
                 Ok(p) => p,
                 Err(t) => return Exit::Trap(t),
             };
-            match d.jit.probe(fetch_pa, mem, &mut d.stats) {
+            match d.jit.probe(fetch_pa, self, mem, &mut d.stats) {
                 Lookup::Compiled(first) => {
                     // Clamp so the recovery counter can only expire
                     // *between* instructions, exactly where the
@@ -591,7 +611,7 @@ impl Cpu {
                     if self.psw.recovery {
                         budget = budget.min(u64::from(self.ctl(ControlReg::Rctr)));
                     }
-                    let (executed, exit) = d.jit.run_chain(first, self, mem, budget);
+                    let (executed, exit) = d.jit.run_chain(first, self, mem, budget, &mut d.stats);
                     d.stats.jit_retired += executed;
                     if let Some(e) = exit {
                         return e;

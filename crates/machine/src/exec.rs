@@ -89,6 +89,20 @@ pub struct ExecStats {
     /// Compiled superblocks found stale (self-modifying code or DMA)
     /// and recompiled or discarded.
     pub jit_invalidations: u64,
+    /// Subset of `jit_invalidations` where the entry page was intact
+    /// and only a *secondary* page of a cross-page trace had been
+    /// written.
+    pub jit_invalidations_secondary: u64,
+    /// `jalr` executions inside superblocks whose inline return-cache
+    /// prediction verified and chained in-frame.
+    pub ret_cache_hits: u64,
+    /// `jalr` executions inside superblocks whose prediction missed
+    /// (cold slot, polymorphic target, or invalidated prediction) and
+    /// took the full chain path.
+    pub ret_cache_misses: u64,
+    /// Compiled superblocks whose trace crossed at least one page
+    /// boundary (subset of `superblocks_compiled`).
+    pub cross_page_superblocks: u64,
 }
 
 /// Dispatcher state owned by the CPU: the selected tier plus the caches

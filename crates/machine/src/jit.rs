@@ -15,18 +15,39 @@
 //! Superblocks are larger than the basic blocks of [`crate::block`]:
 //! compilation is a *trace* — it continues through conditional
 //! branches (the not-taken path falls through to the next op) and
-//! follows the static target of unconditional `jal`s within the page,
-//! so a call and its callee compile into one superblock. Each op
-//! records its own entry-relative PC offset, which is what lets the
-//! trace leave address order. Any branch or `jal` whose target was
-//! compiled into the trace is wired directly to the target op index,
-//! so a hot loop — calls included — executes entirely inside one
-//! superblock without re-entering the dispatcher. Compilation stops
-//! at the first `jalr`-class register-indirect jump, at any
-//! privileged or trapping instruction (`gate`, `brk`, every
-//! environment op), at an undecodable word, at an already-compiled
-//! address, or at the page boundary — superblocks, like basic blocks,
-//! never cross a page.
+//! follows the static target of unconditional `jal`s, so a call and
+//! its callee compile into one superblock. Each op records its own
+//! entry-relative PC offset, which is what lets the trace leave
+//! address order. Any branch or `jal` whose target was compiled into
+//! the trace is wired directly to the target op index, so a hot loop —
+//! calls included — executes entirely inside one superblock without
+//! re-entering the dispatcher. Compilation stops at the first
+//! `jalr`-class register-indirect jump, at any privileged or trapping
+//! instruction (`gate`, `brk`, every environment op), at an
+//! undecodable word, or at an already-compiled address.
+//!
+//! Unlike basic blocks, a trace may **cross pages**: a `jal` whose
+//! target lies in another page (up to `MAX_TRACE_PAGES` per trace)
+//! extends the trace when that page translates executably *right
+//! now*, and the trace records the secondary page as a
+//! `(entry-relative virtual base, physical page, write generation)`
+//! dependency. Every entry path — the dispatcher probe, the front
+//! table, and `JitCache::peek` during chaining — re-validates *all*
+//! recorded pages: generations must be unwritten and each secondary
+//! virtual page must still translate to the recorded physical page
+//! (via side-effect-free TLB peeks, so validation frequency never
+//! perturbs snapshotted accounting). Straight-line flow still stops
+//! at an unregistered page edge, which keeps the dependency set tied
+//! to explicit call structure.
+//!
+//! The trace-terminating `jalr` carries an **inline return cache**: a
+//! per-op slot predicting the target superblock (virtual target,
+//! physical entry, arena index) plus everything the prediction's
+//! translation depended on (PSW key, TLB content generation). On a
+//! verified hit the executor jumps in-frame — no translate, no map
+//! probe; on a miss it takes the ordinary `chain!` path and
+//! re-records the slot, so a monomorphic call site (the overwhelming
+//! case: a `ret` with one hot caller) stabilizes after one miss.
 //!
 //! # Exactness
 //!
@@ -49,11 +70,17 @@
 //!   per-step path with the PC on the faulting instruction and no
 //!   retirement, by routing loads and stores through the same
 //!   `access_load`/`access_store` helpers the other engines use;
-//! - **self-modifying code**: a superblock records its page's write
-//!   generation at compile time; the dispatcher refuses stale entries,
-//!   and every compiled store re-checks the superblock's own page so a
-//!   block that patches itself abandons its compiled tail exactly like
-//!   the block engine does.
+//! - **self-modifying code**: a superblock records the write
+//!   generation of *every* constituent page at compile time; the
+//!   dispatcher refuses stale entries, and every compiled store
+//!   re-checks all of the superblock's pages so a trace that patches
+//!   any page it was compiled from — its own or a cross-page callee's
+//!   — abandons its compiled tail exactly like the block engine does;
+//! - **cross-page entry validation**: a secondary page's translation
+//!   is re-checked against the recorded physical page on every entry,
+//!   so a TLB remap, purge or privilege change makes the trace
+//!   unreachable (the block engine then takes the exact fault, if
+//!   any, at the exact instruction the per-step path would).
 
 use crate::cpu::{alu_imm_value, alu_value, Cpu, Exit};
 use crate::exec::ExecStats;
@@ -64,6 +91,7 @@ use crate::trap::Trap;
 use hvft_isa::codec::decode;
 use hvft_isa::instruction::{AluImmOp, AluOp, BranchCond, Instruction, MemWidth};
 use hvft_isa::reg::Reg;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Executions of a cold address before it is compiled.
@@ -83,6 +111,15 @@ const FRONT_EMPTY: u32 = u32::MAX;
 
 /// Branch-wiring sentinel: the target is outside the compiled span.
 const NO_TARGET: u32 = u32::MAX;
+
+/// Pages a single trace may execute from (entry page included). Every
+/// entry validates every recorded page, so the cap bounds both the
+/// per-entry validation cost and the blast radius of an invalidation.
+pub(crate) const MAX_TRACE_PAGES: usize = 4;
+
+/// Return-slot sentinel: `jalr` masks the low two target bits, so no
+/// computed target ever equals 1 and an empty slot can never hit.
+const RET_EMPTY: u32 = 1;
 
 /// Pre-specialized opcode of one compiled [`Op`]. One variant per
 /// instruction template: the ALU operation, memory width or branch
@@ -157,17 +194,125 @@ struct Op {
     off: u32,
 }
 
+/// One secondary page of a cross-page trace: where the page sits
+/// relative to the entry, and what it must still look like for the
+/// compiled code to be entered.
+#[derive(Clone, Copy, Debug)]
+struct PageDep {
+    /// Entry-relative (wrapping) byte offset of the page's virtual
+    /// base address. Well-defined for any aliasing entry VPC because
+    /// translation preserves the in-page offset.
+    voff: u32,
+    /// Physical page the virtual page translated to at compile time.
+    ppage: u32,
+    /// Write generation of that physical page at compile time.
+    gen: u64,
+}
+
+/// Inline return-cache slot of a trace-terminating `jalr`: the
+/// predicted target superblock plus everything the prediction's
+/// translation depended on.
+#[derive(Clone, Copy, Debug)]
+struct RetSlot {
+    /// Predicted virtual target, or [`RET_EMPTY`].
+    vpc: u32,
+    /// Physical entry address the target translated to when recorded.
+    paddr: u32,
+    /// Arena index of the predicted superblock when recorded.
+    idx: u32,
+    /// TLB content generation the prediction was recorded under.
+    tlb_gen: u64,
+    /// Packed translation inputs when recorded (see [`psw_key`]).
+    psw_key: u32,
+}
+
+impl RetSlot {
+    const EMPTY: RetSlot = RetSlot {
+        vpc: RET_EMPTY,
+        paddr: 0,
+        idx: 0,
+        tlb_gen: 0,
+        psw_key: 0,
+    };
+}
+
+/// The PSW inputs a predicted return target's translation depends on:
+/// the translation-enable bit and the privilege level. A prediction is
+/// reused only while these and the TLB content generation are
+/// unchanged, which is what makes skipping the re-translation sound —
+/// translation is a pure function of (vaddr, these bits, TLB
+/// contents).
+#[inline]
+fn psw_key(cpu: &Cpu) -> u32 {
+    (u32::from(cpu.psw.cpl) << 1) | u32::from(cpu.psw.translation)
+}
+
 /// A compiled superblock.
 #[derive(Debug)]
 pub(crate) struct SuperBlock {
     ops: Box<[Op]>,
-    /// Page-aligned physical address of the backing page.
+    /// Page-aligned physical address of the entry page.
     page_addr: u32,
-    /// Write generation of the backing page at compile time.
+    /// Write generation of the entry page at compile time.
     gen: u64,
+    /// Physical address of the entry instruction — the cache key this
+    /// superblock was compiled for (return-slot identity checks
+    /// compare it, since arena indices are reused across clears).
+    entry_paddr: u32,
+    /// Secondary pages a cross-page trace executes from, in discovery
+    /// order; empty for the common single-page trace.
+    extra_pages: Box<[PageDep]>,
     /// Entry-relative byte offset of the PC after falling off the
     /// final op (`ops.last().off + 4`).
     end_off: u32,
+    /// Return-cache slot of the trace-terminating `jalr`, if any.
+    /// `Cell` because predictions are recorded while the executor
+    /// holds a shared borrow of the cache (`run_chain` takes `&self`);
+    /// the dispatcher is owned per-CPU and moved — never shared —
+    /// across threads, so interior mutability without `Sync` is
+    /// exactly the contract.
+    ret_slot: Cell<RetSlot>,
+}
+
+impl SuperBlock {
+    /// Empty marker for an address that does not compile (until its
+    /// page changes again): the block engine owns it.
+    fn marker(paddr: u32, gen: u64) -> SuperBlock {
+        SuperBlock {
+            ops: Box::new([]),
+            page_addr: paddr & !(PAGE_SIZE - 1),
+            gen,
+            entry_paddr: paddr,
+            extra_pages: Box::new([]),
+            end_off: 0,
+            ret_slot: Cell::new(RetSlot::EMPTY),
+        }
+    }
+
+    /// True when any constituent page has been written since compile
+    /// time (SMC or DMA): the compiled trace may no longer match
+    /// memory.
+    #[inline]
+    fn pages_stale(&self, mem: &Memory) -> bool {
+        mem.page_gen(self.page_addr) != self.gen
+            || self
+                .extra_pages
+                .iter()
+                .any(|d| mem.page_gen(d.ppage) != d.gen)
+    }
+
+    /// Full entry validation for an entry at virtual PC `vpc`: every
+    /// constituent page unwritten since compile time *and* every
+    /// secondary virtual page still translating — executably, at the
+    /// current privilege — to the physical page the trace was compiled
+    /// from. The common single-page trace pays one generation compare.
+    #[inline]
+    fn fresh(&self, vpc: u32, cpu: &Cpu, mem: &Memory) -> bool {
+        !self.pages_stale(mem)
+            && self.extra_pages.iter().all(|d| {
+                cpu.peek_translate(vpc.wrapping_add(d.voff), TlbAccess::Execute) == Some(d.ppage)
+            })
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -292,9 +437,22 @@ fn build_op(off: u32, index_of: &HashMap<u32, u32, IntBuildHasher>, insn: Instru
 }
 
 /// Compiles the superblock (trace) starting at physical address
-/// `paddr`, or `None` when no compilable instruction starts there.
-fn compile(paddr: u32, gen: u64, mem: &Memory) -> Option<SuperBlock> {
-    let page_addr = paddr & !(PAGE_SIZE - 1);
+/// `paddr` with the entry's virtual PC `entry_vpc` (they must agree in
+/// their in-page offset — translation preserves it), or `None` when no
+/// compilable instruction starts there. `cpu` supplies the *current*
+/// translation state: a `jal` whose target lies in another page
+/// extends the trace only when that page translates executably right
+/// now, and the page is recorded as a dependency every entry
+/// re-validates.
+fn compile(paddr: u32, entry_vpc: u32, gen: u64, cpu: &Cpu, mem: &Memory) -> Option<SuperBlock> {
+    debug_assert_eq!(paddr & (PAGE_SIZE - 1), entry_vpc & (PAGE_SIZE - 1));
+    let page_mask = !(PAGE_SIZE - 1);
+    let page_addr = paddr & page_mask;
+    // Constituent pages as (entry-relative byte offset of the page's
+    // virtual base, physical page address); the entry page is
+    // `pages[0]`. Like op offsets, the page offsets are *wrapping*
+    // deltas from `entry_vpc`.
+    let mut pages: Vec<(u32, u32)> = vec![(0u32.wrapping_sub(paddr & (PAGE_SIZE - 1)), page_addr)];
     // The trace in compile order: `(instruction, entry-relative byte
     // offset)`. Offsets are *wrapping* deltas — a `jal` redirect may
     // target an address before the entry.
@@ -302,13 +460,24 @@ fn compile(paddr: u32, gen: u64, mem: &Memory) -> Option<SuperBlock> {
     let mut index_of: HashMap<u32, u32, IntBuildHasher> = HashMap::default();
     let mut off: u32 = 0;
     loop {
-        let pa = paddr.wrapping_add(off);
-        // Never cross the page (one write generation covers the whole
-        // trace), never compile the same address twice (this also
-        // bounds the trace at one page of ops).
-        if pa & !(PAGE_SIZE - 1) != page_addr || index_of.contains_key(&off) {
+        // Never compile the same address twice (this also bounds the
+        // trace at MAX_TRACE_PAGES pages of ops).
+        if index_of.contains_key(&off) {
             break;
         }
+        let vaddr = entry_vpc.wrapping_add(off);
+        let page_voff = (vaddr & page_mask).wrapping_sub(entry_vpc);
+        // Straight-line flow only walks pages the trace has already
+        // registered: falling off the edge of the last registered page
+        // ends the trace, so the dependency set grows only at explicit
+        // cross-page calls.
+        let Some(ppage) = pages
+            .iter()
+            .find_map(|&(v, p)| (v == page_voff).then_some(p))
+        else {
+            break;
+        };
+        let pa = ppage | (vaddr & (PAGE_SIZE - 1));
         let Ok(word) = mem.read_u32(pa) else {
             break;
         };
@@ -340,19 +509,28 @@ fn compile(paddr: u32, gen: u64, mem: &Memory) -> Option<SuperBlock> {
             // Trace compilation follows the static target of an
             // unconditional `jal` — a call's callee or a jump's
             // continuation lands in the same superblock — when it is
-            // 4-aligned, in the same page and not already compiled
-            // (the wiring pass then turns the `jal` into an in-span
-            // jump). Otherwise the `jal` is the final op.
+            // 4-aligned and not already compiled (the wiring pass then
+            // turns the `jal` into an in-span jump). A target in an
+            // unregistered page extends the dependency set if the page
+            // translates executably under the current state and the
+            // page budget allows; otherwise the `jal` is the final op.
             I::Jal { offset, .. } => {
                 let toff = off.wrapping_add(offset as u32);
-                if offset % 4 == 0
-                    && paddr.wrapping_add(toff) & !(PAGE_SIZE - 1) == page_addr
-                    && !index_of.contains_key(&toff)
-                {
-                    off = toff;
-                } else {
+                if offset % 4 != 0 || index_of.contains_key(&toff) {
                     break;
                 }
+                let tvoff = (entry_vpc.wrapping_add(toff) & page_mask).wrapping_sub(entry_vpc);
+                if !pages.iter().any(|&(v, _)| v == tvoff) {
+                    if pages.len() >= MAX_TRACE_PAGES {
+                        break;
+                    }
+                    let vbase = entry_vpc.wrapping_add(tvoff);
+                    let Some(pbase) = cpu.peek_translate(vbase, TlbAccess::Execute) else {
+                        break;
+                    };
+                    pages.push((tvoff, pbase & page_mask));
+                }
+                off = toff;
             }
             // A register-indirect jump has no static target: final op.
             I::Jalr { .. } => break,
@@ -366,11 +544,30 @@ fn compile(paddr: u32, gen: u64, mem: &Memory) -> Option<SuperBlock> {
         .iter()
         .map(|&(insn, o)| build_op(o, &index_of, insn))
         .collect();
+    // A page registered at a `jal` follow whose first word then failed
+    // to compile contributed no ops: drop it rather than record a
+    // phantom dependency.
+    let extra_pages: Vec<PageDep> = pages[1..]
+        .iter()
+        .filter(|&&(voff, _)| {
+            insns.iter().any(|&(_, o)| {
+                (entry_vpc.wrapping_add(o) & page_mask).wrapping_sub(entry_vpc) == voff
+            })
+        })
+        .map(|&(voff, ppage)| PageDep {
+            voff,
+            ppage,
+            gen: mem.page_gen(ppage),
+        })
+        .collect();
     Some(SuperBlock {
         ops: ops.into_boxed_slice(),
         page_addr,
         gen,
+        entry_paddr: paddr,
+        extra_pages: extra_pages.into_boxed_slice(),
         end_off: last_off.wrapping_add(4),
+        ret_slot: Cell::new(RetSlot::EMPTY),
     })
 }
 
@@ -416,6 +613,7 @@ impl JitCache {
         cpu: &mut Cpu,
         mem: &mut Memory,
         budget: u64,
+        stats: &mut ExecStats,
     ) -> (u64, Option<Exit>) {
         debug_assert!(budget > 0);
         let mut sb = self.get(start);
@@ -460,7 +658,7 @@ impl JitCache {
                     let Ok(pa) = cpu.translate(cpu.pc, TlbAccess::Execute) else {
                         break 'run None;
                     };
-                    match self.peek(pa, mem) {
+                    match self.peek(pa, cpu, mem) {
                         Some(next) => {
                             sb = self.get(next);
                             ops = &sb.ops[..];
@@ -536,11 +734,12 @@ impl JitCache {
                 ($w:ident) => {{
                     match cpu.access_store(MemWidth::$w, op.rs1, op.rs2, op.imm, mem) {
                         Ok(()) => {
-                            // The store may have patched this
-                            // superblock's own page ahead of the
+                            // The store may have patched one of this
+                            // superblock's own pages — the entry page
+                            // or a cross-page callee's — ahead of the
                             // program counter: abandon the compiled
                             // tail and re-enter the dispatcher.
-                            if mem.page_gen(sb.page_addr) != sb.gen {
+                            if sb.pages_stale(mem) {
                                 executed += 1;
                                 cpu.pc = vpc!().wrapping_add(4);
                                 break 'run None;
@@ -618,7 +817,60 @@ impl JitCache {
                     cpu.set_reg(op.rd, link);
                     executed += 1;
                     cpu.pc = target;
-                    chain!()
+                    if executed == budget {
+                        break 'run None;
+                    }
+                    // Inline return cache. The trace-terminating
+                    // `jalr` is almost always a `ret` with one hot
+                    // call site, so its target superblock is
+                    // predicted per-op. The prediction is trusted
+                    // only while nothing it depends on has moved:
+                    // same virtual target, same translation inputs
+                    // (PSW key + TLB content generation keep the
+                    // recorded physical entry current), and a fresh
+                    // superblock still compiled for that exact entry
+                    // — the same `valid_at` predicate every other
+                    // entry path uses.
+                    let slot = sb.ret_slot.get();
+                    if slot.vpc == target
+                        && slot.psw_key == psw_key(cpu)
+                        && slot.tlb_gen == cpu.tlb.content_gen()
+                        && self.valid_at(slot.idx, slot.paddr, target, cpu, mem)
+                    {
+                        stats.ret_cache_hits += 1;
+                        sb = self.get(slot.idx);
+                        ops = &sb.ops[..];
+                        n = ops.len();
+                        i = 0;
+                        entry_vpc = target;
+                        continue 'run;
+                    }
+                    stats.ret_cache_misses += 1;
+                    // Miss: the full chain path (`jalr` masks the low
+                    // target bits, so no alignment check is needed),
+                    // re-recording the slot on success so monomorphic
+                    // call sites stabilize after one miss.
+                    let Ok(pa) = cpu.translate(cpu.pc, TlbAccess::Execute) else {
+                        break 'run None;
+                    };
+                    match self.peek(pa, cpu, mem) {
+                        Some(next) => {
+                            sb.ret_slot.set(RetSlot {
+                                vpc: target,
+                                paddr: pa,
+                                idx: next,
+                                tlb_gen: cpu.tlb.content_gen(),
+                                psw_key: psw_key(cpu),
+                            });
+                            sb = self.get(next);
+                            ops = &sb.ops[..];
+                            n = ops.len();
+                            i = 0;
+                            entry_vpc = target;
+                            continue 'run;
+                        }
+                        None => break 'run None,
+                    }
                 }
                 Kind::Probe => {
                     // Probe never changes translation state, so it is
@@ -702,78 +954,112 @@ impl JitCache {
         &self.arena[idx as usize]
     }
 
+    /// The one entry predicate: true when arena index `idx` holds a
+    /// compiled, fresh superblock whose entry is exactly `paddr`,
+    /// entered at virtual PC `vpc`. Shared by the front table, the map
+    /// path, [`Self::peek`] and the inline return cache, so no entry
+    /// path can skip a page-generation or translation check.
+    #[inline]
+    fn valid_at(&self, idx: u32, paddr: u32, vpc: u32, cpu: &Cpu, mem: &Memory) -> bool {
+        match self.arena.get(idx as usize) {
+            Some(sb) => sb.entry_paddr == paddr && !sb.ops.is_empty() && sb.fresh(vpc, cpu, mem),
+            None => false,
+        }
+    }
+
     /// Read-only lookup for superblock chaining: the compiled, fresh
     /// superblock at `paddr`, or `None` (cold, stale or uncompilable —
     /// the caller returns to the full dispatcher, whose [`Self::probe`]
-    /// owns promotion and invalidation). Taking `&self` is the point:
-    /// the executing superblock holds a shared borrow of the cache, so
+    /// owns promotion and invalidation). The CPU's PC must already be
+    /// on the entry's virtual address (`chain!` sets it before
+    /// translating); cross-page traces validate their secondary
+    /// translations against it. Taking `&self` is the point: the
+    /// executing superblock holds a shared borrow of the cache, so
     /// chaining must not mutate it.
     #[inline]
-    pub(crate) fn peek(&self, paddr: u32, mem: &Memory) -> Option<u32> {
-        let gen = mem.page_gen(paddr);
+    pub(crate) fn peek(&self, paddr: u32, cpu: &Cpu, mem: &Memory) -> Option<u32> {
+        let vpc = cpu.pc;
         let fidx = ((paddr >> 2) as usize) & (FRONT_SLOTS - 1);
         if let Some(front) = &self.front {
             let (tag, idx) = front[fidx];
-            if tag == paddr && self.arena[idx as usize].gen == gen {
+            if tag == paddr && self.valid_at(idx, paddr, vpc, cpu, mem) {
                 return Some(idx);
             }
         }
         let idx = *self.map.get(&paddr)?;
-        let sb = &self.arena[idx as usize];
-        if sb.gen == gen && !sb.ops.is_empty() {
-            Some(idx)
-        } else {
-            None
-        }
+        self.valid_at(idx, paddr, vpc, cpu, mem).then_some(idx)
     }
 
-    /// Looks up the superblock starting at physical address `paddr`,
-    /// compiling it if the address just crossed the promotion
-    /// threshold, recompiling if its page changed.
+    /// Looks up the superblock starting at physical address `paddr`
+    /// (the translation of the CPU's current PC), compiling it if the
+    /// address just crossed the promotion threshold, recompiling if
+    /// any constituent page changed.
     #[inline]
-    pub(crate) fn probe(&mut self, paddr: u32, mem: &Memory, stats: &mut ExecStats) -> Lookup {
-        let gen = mem.page_gen(paddr);
+    pub(crate) fn probe(
+        &mut self,
+        paddr: u32,
+        cpu: &Cpu,
+        mem: &Memory,
+        stats: &mut ExecStats,
+    ) -> Lookup {
         let fidx = ((paddr >> 2) as usize) & (FRONT_SLOTS - 1);
         if let Some(front) = &self.front {
             let (tag, idx) = front[fidx];
-            if tag == paddr && self.arena[idx as usize].gen == gen {
+            if tag == paddr && self.valid_at(idx, paddr, cpu.pc, cpu, mem) {
                 return Lookup::Compiled(idx);
             }
         }
-        self.probe_slow(paddr, gen, fidx, mem, stats)
+        self.probe_slow(paddr, fidx, cpu, mem, stats)
     }
 
     fn probe_slow(
         &mut self,
         paddr: u32,
-        gen: u64,
         fidx: usize,
+        cpu: &Cpu,
         mem: &Memory,
         stats: &mut ExecStats,
     ) -> Lookup {
+        let gen = mem.page_gen(paddr);
         if let Some(&idx) = self.map.get(&paddr) {
-            if self.arena[idx as usize].gen != gen {
-                // Self-modifying code or DMA over a compiled page:
+            let sb = &self.arena[idx as usize];
+            if sb.pages_stale(mem) {
+                // Self-modifying code or DMA over a constituent page:
                 // this address is known-hot, recompile in place. An
                 // empty-ops marker records an address that no longer
                 // compiles (until the page changes again).
                 stats.jit_invalidations += 1;
-                let replacement = match compile(paddr, gen, mem) {
+                if mem.page_gen(sb.page_addr) == sb.gen {
+                    // The entry page is intact: only a *secondary*
+                    // page of a cross-page trace was written.
+                    stats.jit_invalidations_secondary += 1;
+                }
+                let replacement = match compile(paddr, cpu.pc, gen, cpu, mem) {
                     Some(sb) => {
                         stats.superblocks_compiled += 1;
+                        if !sb.extra_pages.is_empty() {
+                            stats.cross_page_superblocks += 1;
+                        }
                         sb
                     }
-                    None => SuperBlock {
-                        ops: Box::new([]),
-                        page_addr: paddr & !(PAGE_SIZE - 1),
-                        gen,
-                        end_off: 0,
-                    },
+                    None => SuperBlock::marker(paddr, gen),
                 };
                 self.arena[idx as usize] = replacement;
                 self.front_mut()[fidx] = (FRONT_EMPTY, 0);
             }
-            if self.arena[idx as usize].ops.is_empty() {
+            let sb = &self.arena[idx as usize];
+            if sb.ops.is_empty() {
+                return Lookup::Cold;
+            }
+            if !sb.fresh(cpu.pc, cpu, mem) {
+                // Every page is unwritten, but a secondary virtual
+                // page no longer translates to the page the trace was
+                // compiled from (a remap, a purge, or a privilege
+                // change). The code itself is intact, so keep the
+                // trace — the mapping usually comes back — and let
+                // the block engine own this entry meanwhile; it takes
+                // the exact fault, if any, where the per-step path
+                // would.
                 return Lookup::Cold;
             }
             self.front_mut()[fidx] = (paddr, idx);
@@ -789,20 +1075,18 @@ impl JitCache {
             return Lookup::Cold;
         }
         self.heat.remove(&paddr);
-        let sb = match compile(paddr, gen, mem) {
+        let sb = match compile(paddr, cpu.pc, gen, cpu, mem) {
             Some(sb) => {
                 stats.superblocks_compiled += 1;
+                if !sb.extra_pages.is_empty() {
+                    stats.cross_page_superblocks += 1;
+                }
                 sb
             }
             // Uncompilable start (privileged or undecodable first
             // word): cache an empty marker so the block engine owns
             // this address without re-attempting compilation.
-            None => SuperBlock {
-                ops: Box::new([]),
-                page_addr: paddr & !(PAGE_SIZE - 1),
-                gen,
-                end_off: 0,
-            },
+            None => SuperBlock::marker(paddr, gen),
         };
         if self.arena.len() >= MAX_SUPERBLOCKS {
             self.clear();
@@ -822,6 +1106,7 @@ impl JitCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tlb::TlbReplacement;
     use hvft_isa::asm::assemble;
 
     fn mem_with(src: &str) -> Memory {
@@ -833,6 +1118,19 @@ mod tests {
         mem
     }
 
+    /// A bare CPU (translation off, kernel privilege) positioned at
+    /// `pc`; compile/probe use it for translation peeks, which are
+    /// identity here.
+    fn cpu_at(pc: u32) -> Cpu {
+        let mut cpu = Cpu::new(16, TlbReplacement::RoundRobin, 0);
+        cpu.pc = pc;
+        cpu
+    }
+
+    fn compile_at(paddr: u32, mem: &Memory) -> Option<SuperBlock> {
+        compile(paddr, paddr, mem.page_gen(paddr), &cpu_at(paddr), mem)
+    }
+
     #[test]
     fn superblock_chains_across_not_taken_branches() {
         let mem = mem_with(
@@ -842,7 +1140,7 @@ mod tests {
                 addi r6, r0, 3
                 jal  ra, s",
         );
-        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        let sb = compile_at(0, &mem).expect("superblock");
         assert_eq!(
             sb.len(),
             5,
@@ -854,24 +1152,24 @@ mod tests {
     #[test]
     fn superblock_stops_at_privileged_instructions() {
         let mem = mem_with("s: addi r4, r0, 1\n addi r5, r0, 2\n rfi\n nop");
-        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        let sb = compile_at(0, &mem).expect("superblock");
         assert_eq!(sb.len(), 2, "rfi must not be compiled");
     }
 
     #[test]
     fn superblock_stops_at_gate_and_brk() {
         let mem = mem_with("s: addi r4, r0, 1\n gate 3\n nop");
-        assert_eq!(compile(0, mem.page_gen(0), &mem).expect("sb").len(), 1);
+        assert_eq!(compile_at(0, &mem).expect("sb").len(), 1);
         let mem = mem_with("s: nop\n brk 0\n nop");
-        assert_eq!(compile(0, mem.page_gen(0), &mem).expect("sb").len(), 1);
+        assert_eq!(compile_at(0, &mem).expect("sb").len(), 1);
     }
 
     #[test]
     fn uncompilable_start_yields_none() {
         let mem = mem_with("s: halt");
-        assert!(compile(0, mem.page_gen(0), &mem).is_none());
+        assert!(compile_at(0, &mem).is_none());
         let zeros = Memory::new(PAGE_SIZE as usize); // .word 0 is illegal
-        assert!(compile(0, zeros.page_gen(0), &zeros).is_none());
+        assert!(compile_at(0, &zeros).is_none());
     }
 
     #[test]
@@ -884,7 +1182,7 @@ mod tests {
                 bne  r5, r0, loop
                 jal  ra, s",
         );
-        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        let sb = compile_at(0, &mem).expect("superblock");
         assert_eq!(sb.len(), 5);
         // The bne at index 3 targets index 1.
         assert_eq!(sb.ops[3].target, 1);
@@ -895,19 +1193,103 @@ mod tests {
     #[test]
     fn forward_branches_out_of_span_are_unwired() {
         let mem = mem_with("s: beq r0, r0, 4096\n jal ra, 0");
-        let sb = compile(0, mem.page_gen(0), &mem).expect("superblock");
+        let sb = compile_at(0, &mem).expect("superblock");
         assert_eq!(sb.ops[0].target, NO_TARGET);
     }
 
     #[test]
-    fn superblock_never_crosses_a_page_boundary() {
+    fn straight_line_flow_stops_at_the_page_edge() {
+        // Only explicit `jal`s extend the page set: a straight-line
+        // walk off the entry page still ends the trace.
         let mut mem = Memory::new(2 * PAGE_SIZE as usize);
         let nop = hvft_isa::codec::encode(Instruction::Nop).unwrap();
         for i in 0..(2 * PAGE_SIZE / 4) {
             mem.write_u32(i * 4, nop).unwrap();
         }
-        let sb = compile(16, mem.page_gen(16), &mem).expect("superblock");
+        let sb = compile_at(16, &mem).expect("superblock");
         assert_eq!(sb.len() as u32, (PAGE_SIZE - 16) / 4);
+        assert!(sb.extra_pages.is_empty());
+    }
+
+    #[test]
+    fn cross_page_jal_fuses_and_records_the_page_dependency() {
+        let mem = mem_with(
+            "s: addi r4, r0, 1
+                jal  ra, callee
+            .org 4096
+            callee:
+                addi r5, r0, 2
+                jalr r0, ra, 0",
+        );
+        let sb = compile_at(0, &mem).expect("superblock");
+        assert_eq!(sb.len(), 4, "call + callee must fuse across the page");
+        assert_eq!(sb.extra_pages.len(), 1);
+        assert_eq!(sb.extra_pages[0].ppage, PAGE_SIZE);
+        assert_eq!(sb.extra_pages[0].voff, PAGE_SIZE);
+        assert_eq!(sb.extra_pages[0].gen, mem.page_gen(PAGE_SIZE));
+    }
+
+    #[test]
+    fn trace_page_set_is_capped() {
+        // A call chain touching more pages than MAX_TRACE_PAGES stops
+        // extending at the cap.
+        let mut src = String::from("s: jal ra, f1\n");
+        for p in 1..6 {
+            src.push_str(&format!(
+                ".org {}\nf{p}: addi r4, r4, {p}\n jal ra, f{}\n",
+                p * 4096,
+                p + 1
+            ));
+        }
+        src.push_str(".org 24576\nf6: jalr r0, ra, 0\n");
+        let mem = {
+            let prog = assemble(&src).unwrap_or_else(|e| panic!("asm: {e}"));
+            let mut mem = Memory::new(8 * PAGE_SIZE as usize);
+            for seg in &prog.segments {
+                mem.write_bytes(seg.base, &seg.data);
+            }
+            mem
+        };
+        let sb = compile_at(0, &mem).expect("superblock");
+        assert_eq!(sb.extra_pages.len(), MAX_TRACE_PAGES - 1);
+        // Pages 0..MAX_TRACE_PAGES contribute ops: the jal on the
+        // last allowed page ends the trace.
+        assert_eq!(sb.len(), 1 + (MAX_TRACE_PAGES - 1) * 2);
+    }
+
+    #[test]
+    fn secondary_page_write_invalidates_a_cross_page_trace() {
+        let mut mem = mem_with(
+            "s: addi r4, r0, 1
+                jal  ra, callee
+            .org 4096
+            callee:
+                addi r5, r0, 2
+                jalr r0, ra, 0",
+        );
+        let mut cache = JitCache::default();
+        let mut stats = ExecStats::default();
+        let cpu = cpu_at(0);
+        for _ in 0..PROMOTE_THRESHOLD {
+            let _ = cache.probe(0, &cpu, &mem, &mut stats);
+        }
+        assert_eq!(stats.superblocks_compiled, 1);
+        assert_eq!(stats.cross_page_superblocks, 1);
+        // Write into the *second* page: the entry page's generation is
+        // untouched, yet the trace must die.
+        let halt = hvft_isa::codec::encode(Instruction::Halt).unwrap();
+        mem.write_u32(4096, halt).unwrap();
+        match cache.probe(0, &cpu, &mem, &mut stats) {
+            Lookup::Compiled(idx) => {
+                // Recompiled: the callee's first word is now halt, so
+                // the trace ends at the jal and is single-page again.
+                assert_eq!(cache.get(idx).len(), 2);
+                assert!(cache.get(idx).extra_pages.is_empty());
+            }
+            Lookup::Cold => panic!("hot address must recompile"),
+        }
+        assert_eq!(stats.jit_invalidations, 1);
+        assert_eq!(stats.jit_invalidations_secondary, 1);
     }
 
     #[test]
@@ -916,16 +1298,19 @@ mod tests {
         let mut cache = JitCache::default();
         let mut stats = ExecStats::default();
         for _ in 0..PROMOTE_THRESHOLD - 1 {
-            assert!(matches!(cache.probe(0, &mem, &mut stats), Lookup::Cold));
+            assert!(matches!(
+                cache.probe(0, &cpu_at(0), &mem, &mut stats),
+                Lookup::Cold
+            ));
         }
         assert!(matches!(
-            cache.probe(0, &mem, &mut stats),
+            cache.probe(0, &cpu_at(0), &mem, &mut stats),
             Lookup::Compiled(_)
         ));
         assert_eq!(stats.superblocks_compiled, 1);
         // Subsequent probes hit without recompiling.
         assert!(matches!(
-            cache.probe(0, &mem, &mut stats),
+            cache.probe(0, &cpu_at(0), &mem, &mut stats),
             Lookup::Compiled(_)
         ));
         assert_eq!(stats.superblocks_compiled, 1);
@@ -937,14 +1322,14 @@ mod tests {
         let mut cache = JitCache::default();
         let mut stats = ExecStats::default();
         for _ in 0..PROMOTE_THRESHOLD {
-            let _ = cache.probe(0, &mem, &mut stats);
+            let _ = cache.probe(0, &cpu_at(0), &mem, &mut stats);
         }
         assert_eq!(stats.superblocks_compiled, 1);
         // Patch the second instruction into a halt: recompile shrinks
         // the superblock.
         let halt = hvft_isa::codec::encode(Instruction::Halt).unwrap();
         mem.write_u32(4, halt).unwrap();
-        match cache.probe(0, &mem, &mut stats) {
+        match cache.probe(0, &cpu_at(0), &mem, &mut stats) {
             Lookup::Compiled(idx) => assert_eq!(cache.get(idx).len(), 1),
             Lookup::Cold => panic!("hot address must recompile"),
         }
@@ -958,7 +1343,10 @@ mod tests {
         let mut cache = JitCache::default();
         let mut stats = ExecStats::default();
         for _ in 0..PROMOTE_THRESHOLD + 8 {
-            assert!(matches!(cache.probe(0, &mem, &mut stats), Lookup::Cold));
+            assert!(matches!(
+                cache.probe(0, &cpu_at(0), &mem, &mut stats),
+                Lookup::Cold
+            ));
         }
         assert_eq!(stats.superblocks_compiled, 0);
         assert_eq!(cache.map.len(), 1, "marker cached after promotion");
@@ -968,19 +1356,24 @@ mod tests {
     fn cache_stays_bounded() {
         let pages = (MAX_SUPERBLOCKS as u32 * 4).div_ceil(PAGE_SIZE) + 1;
         let mut mem = Memory::new((pages * PAGE_SIZE) as usize);
-        let jal = hvft_isa::codec::encode(Instruction::Jal {
+        // Fill with `jalr` so every superblock is a single op: the test
+        // exercises cache bounding, not trace formation.
+        let jalr = hvft_isa::codec::encode(Instruction::Jalr {
             rd: Reg::ZERO,
-            offset: 4,
+            base: Reg::RA,
+            disp: 0,
         })
         .unwrap();
         for i in 0..(pages * PAGE_SIZE / 4) {
-            mem.write_u32(i * 4, jal).unwrap();
+            mem.write_u32(i * 4, jalr).unwrap();
         }
         let mut cache = JitCache::default();
         let mut stats = ExecStats::default();
+        let mut cpu = cpu_at(0);
         for i in 0..(MAX_SUPERBLOCKS as u32 + 64) {
             for _ in 0..PROMOTE_THRESHOLD {
-                let _ = cache.probe(i * 4, &mem, &mut stats);
+                cpu.pc = i * 4;
+                let _ = cache.probe(i * 4, &cpu, &mem, &mut stats);
             }
         }
         assert!(cache.map.len() <= MAX_SUPERBLOCKS);

@@ -90,6 +90,20 @@ pub enum TlbResult {
     Denied,
 }
 
+/// Shared permission predicate of [`Tlb::lookup`] and
+/// [`Tlb::peek_lookup`] — one definition so the counted and the
+/// side-effect-free paths cannot drift.
+#[inline]
+fn permits(flags: u32, access: TlbAccess, user: bool) -> bool {
+    flags & pte::V != 0
+        && (!user || flags & pte::U != 0)
+        && match access {
+            TlbAccess::Execute => flags & pte::X != 0,
+            TlbAccess::Read => flags & pte::R != 0,
+            TlbAccess::Write => flags & pte::W != 0,
+        }
+}
+
 /// Size of the direct-mapped front cache (power of two).
 const FRONT_SLOTS: usize = 16;
 /// Front-cache tag marking an empty slot (no valid vpn reaches it:
@@ -125,6 +139,11 @@ pub struct Tlb {
     rng: SimRng,
     hits: u64,
     misses: u64,
+    /// Monotonic generation of the TLB *contents*: bumped by every
+    /// insert, purge and restore. Derived-cache validation (the jit's
+    /// inline return cache) compares generations instead of re-walking
+    /// entries; not part of canonical state.
+    content_gen: u64,
 }
 
 impl Tlb {
@@ -145,6 +164,7 @@ impl Tlb {
             rng: SimRng::seed_from_label(seed, "tlb"),
             hits: 0,
             misses: 0,
+            content_gen: 0,
         }
     }
 
@@ -174,15 +194,7 @@ impl Tlb {
             slot
         };
         let entry = self.entries[slot].expect("indexed slot must be valid");
-        let f = entry.flags;
-        let ok = f & pte::V != 0
-            && (!user || f & pte::U != 0)
-            && match access {
-                TlbAccess::Execute => f & pte::X != 0,
-                TlbAccess::Read => f & pte::R != 0,
-                TlbAccess::Write => f & pte::W != 0,
-            };
-        if ok {
+        if permits(entry.flags, access, user) {
             self.hits += 1;
             TlbResult::Hit(entry.translate(vaddr))
         } else {
@@ -190,10 +202,37 @@ impl Tlb {
         }
     }
 
+    /// Side-effect-free lookup: same outcome as [`Tlb::lookup`] but
+    /// touching neither the front cache nor the hit/miss counters.
+    /// Derived-cache validation (the jit re-checking a cross-page
+    /// trace's secondary translations) uses this so that validation
+    /// frequency — which depends on cache warmth — can never perturb
+    /// the snapshotted accounting state.
+    #[inline]
+    pub fn peek_lookup(&self, vaddr: u32, access: TlbAccess, user: bool) -> TlbResult {
+        let vpn = vaddr >> PAGE_SHIFT;
+        let Some(&slot) = self.index.get(&vpn) else {
+            return TlbResult::Miss;
+        };
+        let entry = self.entries[slot].expect("indexed slot must be valid");
+        if permits(entry.flags, access, user) {
+            TlbResult::Hit(entry.translate(vaddr))
+        } else {
+            TlbResult::Denied
+        }
+    }
+
+    /// Current content generation (see the field doc).
+    #[inline]
+    pub fn content_gen(&self) -> u64 {
+        self.content_gen
+    }
+
     /// Inserts a mapping, evicting per the replacement policy if full.
     /// An existing entry for the same page is overwritten in place.
     pub fn insert(&mut self, entry: TlbEntry) {
         self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
+        self.content_gen += 1;
         if let Some(&slot) = self.index.get(&entry.vpn) {
             self.entries[slot] = Some(entry);
             return;
@@ -229,6 +268,7 @@ impl Tlb {
     /// Purges the entry covering `vaddr`, if any.
     pub fn purge(&mut self, vaddr: u32) {
         self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
+        self.content_gen += 1;
         let vpn = vaddr >> PAGE_SHIFT;
         if let Some(slot) = self.index.remove(&vpn) {
             self.entries[slot] = None;
@@ -238,6 +278,7 @@ impl Tlb {
     /// Purges every entry.
     pub fn purge_all(&mut self) {
         self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
+        self.content_gen += 1;
         self.index.clear();
         self.entries.iter_mut().for_each(|e| *e = None);
     }
@@ -284,6 +325,10 @@ impl Tlb {
             }
         }
         self.front = [(FRONT_EMPTY, 0); FRONT_SLOTS];
+        // Derived, not snapshotted: any bump conservatively invalidates
+        // stale translation predictions (and restores rebuild the jit
+        // caches cold anyway).
+        self.content_gen += 1;
         self.policy = snap.policy;
         self.rr_next = snap.rr_next;
         self.rng = snap.rng.clone();

@@ -29,8 +29,20 @@ fn tier_summary(x: &ExecStats) -> String {
     }
     if x.superblocks_compiled > 0 {
         parts.push(format!(
-            "{} superblocks, {} invalidations",
-            x.superblocks_compiled, x.jit_invalidations
+            "{} superblocks ({} cross-page), {} invalidations ({} secondary)",
+            x.superblocks_compiled,
+            x.cross_page_superblocks,
+            x.jit_invalidations,
+            x.jit_invalidations_secondary
+        ));
+    }
+    let ret_total = x.ret_cache_hits + x.ret_cache_misses;
+    if ret_total > 0 {
+        parts.push(format!(
+            "ret-cache {}/{} ({:.1}% hit)",
+            x.ret_cache_hits,
+            ret_total,
+            100.0 * x.ret_cache_hits as f64 / ret_total as f64
         ));
     }
     if parts.is_empty() {

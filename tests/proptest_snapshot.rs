@@ -189,6 +189,117 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Machine level: hot cross-page superblocks across a restore
+// ---------------------------------------------------------------------
+
+/// Like [`HOT_SMC_GUEST`], but the hot routine sits at the end of page 0
+/// and `jal`s into page 1, so the jit's compiled trace spans both pages
+/// — and the mid-run patch lands on the *second* page. The snapshot is
+/// taken while that cross-page trace is hot; the restoree rebuilds it
+/// cold and must still replay bit-identically through the patch.
+const HOT_CROSS_PAGE_GUEST: &str = ".org 0
+start:
+    lw   r21, 512(r0)        ; replacement word (poked by the test)
+    lw   r22, 516(r0)        ; loop counter start (poked)
+    lw   r24, 520(r0)        ; patch trigger value (poked)
+outer:
+    jal  ra, crosser
+    bne  r22, r24, nopatch
+    sw   r21, 4096(r0)       ; patch `slot` on the trace's second page
+nopatch:
+    sw   r22, 1024(r0)
+    lw   r23, 1024(r0)
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+
+    .org 4088
+crosser:
+    addi r20, r20, 1
+    jal  r0, tail            ; crosses into page 1 mid-trace
+
+    .org 4096
+tail:
+slot:
+    addi r20, r20, 2         ; becomes: addi r20, r20, 100
+    jalr r0, ra, 0
+";
+
+fn build_hot_cross(iters: u32, trigger: u32, tier: ExecTier, tlb_seed: u64) -> (Cpu, Memory) {
+    let patched = encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::of(20),
+        rs1: Reg::of(20),
+        imm: 100,
+    })
+    .unwrap();
+    let image = assemble(HOT_CROSS_PAGE_GUEST).expect("asm");
+    let mut cpu = Cpu::new(16, TlbReplacement::Random, tlb_seed);
+    cpu.set_exec_tier(tier);
+    let mut mem = Memory::new(64 * 1024);
+    image.load_into_cpu(&mut cpu, &mut mem);
+    mem.write_u32(512, patched).unwrap();
+    mem.write_u32(516, iters).unwrap();
+    mem.write_u32(520, trigger).unwrap();
+    (cpu, mem)
+}
+
+#[test]
+fn snapshot_with_hot_cross_page_superblocks_restores_bit_identically() {
+    for tier in TIERS {
+        let (mut ref_cpu, mut ref_mem) = build_hot_cross(120, 40, tier, 1);
+        assert!(run_budget(&mut ref_cpu, &mut ref_mem, u64::MAX / 2));
+        let total = ref_cpu.retired();
+
+        // Split mid-hot-loop, well past the promotion threshold and
+        // before the patch trigger fires.
+        let split = total / 2;
+        let (mut donor, mut donor_mem) = build_hot_cross(120, 40, tier, 1);
+        assert!(!run_budget(&mut donor, &mut donor_mem, split));
+        if tier == ExecTier::Jit {
+            let x = donor.exec_stats();
+            assert!(
+                x.cross_page_superblocks >= 1,
+                "the donor must be hot with a cross-page trace at the \
+                 capture point: {x:?}"
+            );
+        }
+        let cpu_snap = donor.snapshot();
+        let mem_snap = donor_mem.snapshot();
+
+        let (mut rest, mut rest_mem) = build_hot_cross(120, 40, ExecTier::Step, 99);
+        rest.restore(&cpu_snap);
+        rest_mem.restore(&mem_snap);
+        assert_eq!(rest.exec_tier(), tier);
+        assert_eq!(
+            vm_state_hash(&rest, &rest_mem),
+            vm_state_hash(&donor, &donor_mem)
+        );
+        loop {
+            let done_d = run_budget(&mut donor, &mut donor_mem, 500);
+            let done_r = run_budget(&mut rest, &mut rest_mem, 500);
+            assert_eq!(done_d, done_r, "{tier}: halt points diverged");
+            assert_eq!(donor.retired(), rest.retired(), "{tier}");
+            assert_eq!(donor.pc, rest.pc, "{tier}");
+            assert_eq!(
+                vm_state_hash(&donor, &donor_mem),
+                vm_state_hash(&rest, &rest_mem),
+                "{tier}: states diverged at {} retired",
+                donor.retired()
+            );
+            if done_d {
+                break;
+            }
+        }
+        assert_eq!(
+            rest.tlb.snapshot_state(),
+            donor.tlb.snapshot_state(),
+            "{tier}: TLB state must track the donor"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // TLB: the replacement stream continues across a restore
 // ---------------------------------------------------------------------
 

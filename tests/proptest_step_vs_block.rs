@@ -296,6 +296,154 @@ fn patching_a_compiled_superblock_invalidates_and_recompiles() {
     assert!(x.jit_retired > 0, "the hot loop must run compiled: {x:?}");
 }
 
+/// A hot loop whose callee sits at the end of page 0 and `jal`s into
+/// page 1, so the compiled superblock spans both pages. Mid-hot-loop
+/// the guest patches an instruction on the *second* page — the entry
+/// page's write generation never changes, so only per-constituent-page
+/// validation can catch the staleness.
+const SMC_CROSS_PAGE_GUEST: &str = ".org 0
+start:
+    addi r22, r0, 60         ; loop counter
+    lw   r21, 512(r0)        ; replacement word (poked by the test)
+outer:
+    jal  ra, crosser
+    addi r23, r22, -30
+    bne  r23, r0, nopatch
+    sw   r21, 4096(r0)       ; patch `slot` on the trace's SECOND page
+nopatch:
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+
+    .org 4088
+crosser:
+    addi r20, r20, 1
+    jal  r0, tail            ; crosses into page 1 mid-trace
+
+    .org 4096
+tail:
+slot:
+    addi r20, r20, 2         ; becomes: addi r20, r20, 100
+    jalr r0, ra, 0
+";
+
+#[test]
+fn patching_the_second_page_of_a_cross_page_superblock_invalidates_it() {
+    let patched = encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::of(20),
+        rs1: Reg::of(20),
+        imm: 100,
+    })
+    .unwrap();
+    let image = hvft::isa::asm::assemble(SMC_CROSS_PAGE_GUEST).expect("asm");
+    let run = |tier: ExecTier| {
+        let mut host = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 16, 0);
+        host.set_exec_tier(tier);
+        host.mem.write_u32(512, patched).unwrap();
+        let r = host.run(100_000);
+        (r, host)
+    };
+    let (rs, host_s) = run(ExecTier::Step);
+    let (rj, host_j) = run(ExecTier::Jit);
+    assert!(matches!(rj.exit, BareExit::Halted { .. }), "{:?}", rj.exit);
+    assert_eq!(rj.exit, rs.exit);
+    assert_eq!(rj.retired, rs.retired);
+    assert_eq!(
+        vm_state_hash(&host_j.cpu, &host_j.mem),
+        vm_state_hash(&host_s.cpu, &host_s.mem),
+        "a cross-page superblock stale on its second page must replay \
+         exactly like the interpreter"
+    );
+    // Calls with r22 = 60..=30 add 1+2 (31 calls); r22 = 29..=1 add 1+100.
+    assert_eq!(host_j.cpu.reg(Reg::of(20)), 31 * 3 + 29 * 101);
+    let x = host_j.exec_stats();
+    assert!(
+        x.cross_page_superblocks >= 1,
+        "the crosser must compile into a cross-page trace: {x:?}"
+    );
+    assert!(
+        x.jit_invalidations_secondary >= 1,
+        "the patch leaves the entry page intact, so the invalidation \
+         must be attributed to a secondary page: {x:?}"
+    );
+    assert!(x.jit_retired > 0, "the hot loop must run compiled: {x:?}");
+}
+
+/// Like [`SMC_CROSS_PAGE_GUEST`], but the patching store executes from
+/// *inside* the cross-page trace itself (it sits on the second page,
+/// four bytes before the instruction it overwrites), so the store
+/// helper must notice the trace it is running in went stale and abandon
+/// the compiled tail with the PC advanced past the store.
+const SMC_CROSS_PAGE_SELF_GUEST: &str = ".org 0
+start:
+    addi r22, r0, 60         ; loop counter
+    lw   r21, 512(r0)        ; replacement word (poked by the test)
+outer:
+    addi r24, r22, -30       ; r24 == 0 exactly once, mid-hot-loop
+    jal  ra, crosser
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+
+    .org 4088
+crosser:
+    addi r20, r20, 1
+    jal  r0, tail            ; crosses into page 1 mid-trace
+
+    .org 4096
+tail:
+    bne  r24, r0, skip
+    sw   r21, 4104(r0)       ; patch `slot` from INSIDE the trace
+skip:
+slot:
+    addi r20, r20, 2         ; becomes: addi r20, r20, 100
+    jalr r0, ra, 0
+";
+
+#[test]
+fn a_store_from_inside_a_cross_page_superblock_kills_its_own_trace() {
+    let patched = encode(Instruction::AluImm {
+        op: AluImmOp::Addi,
+        rd: Reg::of(20),
+        rs1: Reg::of(20),
+        imm: 100,
+    })
+    .unwrap();
+    let image = hvft::isa::asm::assemble(SMC_CROSS_PAGE_SELF_GUEST).expect("asm");
+    let run = |tier: ExecTier| {
+        let mut host = BareHost::new(&image, CostModel::hp9000_720(), RAM_BYTES, 16, 0);
+        host.set_exec_tier(tier);
+        host.mem.write_u32(512, patched).unwrap();
+        let r = host.run(100_000);
+        (r, host)
+    };
+    let (rs, host_s) = run(ExecTier::Step);
+    let (rj, host_j) = run(ExecTier::Jit);
+    assert!(matches!(rj.exit, BareExit::Halted { .. }), "{:?}", rj.exit);
+    assert_eq!(rj.exit, rs.exit);
+    assert_eq!(rj.retired, rs.retired);
+    assert_eq!(
+        vm_state_hash(&host_j.cpu, &host_j.mem),
+        vm_state_hash(&host_s.cpu, &host_s.mem),
+        "a trace that patches its own second page must replay exactly \
+         like the interpreter"
+    );
+    // r22 = 60..=31: +3 each; r22 = 30 patches then runs the patched
+    // slot (+101); r22 = 29..=1: +101 each.
+    assert_eq!(host_j.cpu.reg(Reg::of(20)), 30 * 3 + 30 * 101);
+    let x = host_j.exec_stats();
+    assert!(
+        x.cross_page_superblocks >= 1,
+        "the crosser must compile into a cross-page trace: {x:?}"
+    );
+    assert!(
+        x.jit_invalidations >= 1,
+        "the in-trace patch must invalidate the superblock: {x:?}"
+    );
+    assert!(x.jit_retired > 0, "the hot loop must run compiled: {x:?}");
+}
+
 // ---------------------------------------------------------------------
 // Hypervised differential: the whole replicated system, block on/off
 // ---------------------------------------------------------------------
@@ -754,5 +902,83 @@ proptest! {
             vm_state_hash(&cpu_jit, &mem_jit),
             vm_state_hash(&cpu_b, &mem_b)
         );
+    }
+
+    #[test]
+    fn random_stores_into_cross_page_traces_are_engine_exact(
+        patch_idx in 0u32..4,
+        patch_seed in any::<u64>(),
+        patch_at in 20u32..45,
+        loops in 50u32..70,
+    ) {
+        // A hot loop whose trace spans two pages, patched at a random
+        // word of the SECOND page with a random replacement (valid,
+        // control-transfer, trapping or garbage) at a random point
+        // after the trace is hot. All three tiers must report the same
+        // event log, retired count and final state, whatever the patch
+        // turns the code into.
+        let src = format!(
+            ".org 0
+start:
+    addi r22, r0, {loops}
+    lw   r21, 512(r0)        ; replacement word
+    lw   r25, 516(r0)        ; patch address
+    lw   r26, 520(r0)        ; patch countdown
+outer:
+    jal  ra, crosser
+    addi r26, r26, -1
+    bne  r26, r0, nopatch
+    sw   r21, 0(r25)
+nopatch:
+    addi r22, r22, -1
+    bne  r22, r0, outer
+    halt
+    .org 4088
+crosser:
+    addi r20, r20, 1
+    jal  r0, tail
+    .org 4096
+tail:
+    addi r20, r20, 2
+    xor  r20, r20, r22
+    addi r20, r20, 3
+    jalr r0, ra, 0
+"
+        );
+        let image = hvft::isa::asm::assemble(&src).expect("asm");
+        let build = || {
+            let cpu = Cpu::new(16, TlbReplacement::RoundRobin, 0);
+            let mut mem = Memory::new(64 * 1024);
+            for seg in &image.segments {
+                mem.write_bytes(seg.base, &seg.data);
+            }
+            mem.write_u32(512, synth_word(patch_seed)).unwrap();
+            mem.write_u32(516, 4096 + 4 * patch_idx).unwrap();
+            mem.write_u32(520, patch_at).unwrap();
+            (cpu, mem)
+        };
+        let (mut cpu_b, mut mem_b) = build();
+        let log_b = drive(&mut cpu_b, &mut mem_b, false, 50_000, 400);
+        for tier in [ExecTier::Step, ExecTier::Block, ExecTier::Jit] {
+            let (mut cpu_a, mut mem_a) = build();
+            cpu_a.set_exec_tier(tier);
+            let log_a = drive(&mut cpu_a, &mut mem_a, true, 50_000, 400);
+            prop_assert_eq!(&log_a, &log_b, "event sequences diverged ({})", tier);
+            prop_assert_eq!(cpu_a.retired(), cpu_b.retired(), "{}", tier);
+            prop_assert_eq!(
+                vm_state_hash(&cpu_a, &mem_a),
+                vm_state_hash(&cpu_b, &mem_b),
+                "final states diverged ({})",
+                tier
+            );
+            if tier == ExecTier::Jit {
+                let x = cpu_a.exec_stats();
+                prop_assert!(
+                    x.cross_page_superblocks >= 1,
+                    "the hot crosser must fuse across the page: {:?}",
+                    x
+                );
+            }
+        }
     }
 }
